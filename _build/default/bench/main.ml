@@ -1,0 +1,480 @@
+(* The experiment harness: regenerates every figure of the paper's
+   evaluation (section 5) plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe             -- run everything
+     dune exec bench/main.exe -- fig4b    -- run a subset (by name)
+
+   Scale: the paper uses 1M-record datasets; the default here is
+   REPRO_SCALE = 0.1 (100,000 records, same 100 versions-per-key shape) so
+   the whole suite runs in a couple of minutes.  Set REPRO_SCALE=1.0 to
+   reproduce at full size.
+
+   Cost model: as in the paper, estimated time = #I/O x 10 ms + measured
+   CPU time, with LRU buffer pools (default 64 pages) in front of the
+   simulated disk. *)
+
+let scale =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | Some s -> (try float_of_string s with _ -> 0.1)
+  | None -> 0.1
+
+let page_size = 4096
+
+(* Paper record layout: key, start, end, value at 4 bytes each. *)
+let mvbt_b = page_size / 16
+
+(* MVSBT records additionally carry a key range and a child pointer. *)
+let mvsbt_b = page_size / 24
+
+let queries_per_batch = 100
+let spec = Workload.Generator.scaled Workload.Generator.paper_spec scale
+let events = lazy (Workload.Generator.events spec)
+
+let mvsbt_config = { (Mvsbt.default_config ~b:mvsbt_b) with f = 0.9 }
+
+let pp_mb ppf pages = Format.fprintf ppf "%.2f" (float_of_int (pages * page_size) /. 1e6)
+
+let header title = Printf.printf "\n=== %s ===\n%!" title
+
+(* --- Builders ---------------------------------------------------------------- *)
+
+let build_mvbt ?(pool_capacity = 64) ?on_event () =
+  let stats = Storage.Io_stats.create () in
+  let config = Mvbt.default_config ~b:mvbt_b in
+  let mvbt = Mvbt.create ~config ~pool_capacity ~stats ~max_key:spec.max_key () in
+  let i = ref 0 in
+  let _, m =
+    Storage.Cost_model.measure ~stats (fun () ->
+        List.iter
+          (fun ev ->
+            (match ev with
+            | Workload.Generator.Insert { key; value; at } -> Mvbt.insert mvbt ~key ~value ~at
+            | Workload.Generator.Delete { key; at } -> Mvbt.delete mvbt ~key ~at);
+            incr i;
+            match on_event with Some f -> f !i mvbt | None -> ())
+          (Lazy.force events);
+        (* Account for the final write-back of dirty pages. *)
+        Mvbt.drop_cache mvbt)
+  in
+  (mvbt, stats, m)
+
+let build_rta ?(pool_capacity = 64) ?(config = mvsbt_config) ?on_event () =
+  let stats = Storage.Io_stats.create () in
+  let rta = Rta.create ~config ~pool_capacity ~stats ~max_key:spec.max_key () in
+  let i = ref 0 in
+  let _, m =
+    Storage.Cost_model.measure ~stats (fun () ->
+        List.iter
+          (fun ev ->
+            (match ev with
+            | Workload.Generator.Insert { key; value; at } -> Rta.insert rta ~key ~value ~at
+            | Workload.Generator.Delete { key; at } -> Rta.delete rta ~key ~at);
+            incr i;
+            match on_event with Some f -> f !i rta | None -> ())
+          (Lazy.force events);
+        Rta.drop_cache rta)
+  in
+  (rta, stats, m)
+
+let total_updates () = List.length (Lazy.force events)
+
+(* --- Query batches ------------------------------------------------------------ *)
+
+let run_batch_mvbt mvbt stats rects =
+  Mvbt.drop_cache mvbt;
+  let results = ref [] in
+  let _, m =
+    Storage.Cost_model.measure ~stats (fun () ->
+        List.iter
+          (fun (r : Workload.Query_gen.rect) ->
+            let { Naive_rta.sum; count } =
+              Naive_rta.sum_count mvbt ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi
+            in
+            results := (sum, count) :: !results)
+          rects)
+  in
+  (List.rev !results, m)
+
+let run_batch_rta rta stats rects =
+  Rta.drop_cache rta;
+  let results = ref [] in
+  let _, m =
+    Storage.Cost_model.measure ~stats (fun () ->
+        List.iter
+          (fun (r : Workload.Query_gen.rect) ->
+            results := Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi :: !results)
+          rects)
+  in
+  (List.rev !results, m)
+
+let check_agreement ~what a b =
+  List.iteri
+    (fun i ((s1, c1), (s2, c2)) ->
+      if s1 <> s2 || c1 <> c2 then
+        Printf.printf "!! MISMATCH in %s, query %d: mvbt=(%d,%d) mvsbt=(%d,%d)\n%!" what i
+          s1 c1 s2 c2)
+    (List.combine a b)
+
+let rects_for ~qrs ~seed =
+  let rng = Workload.Rng.create ~seed in
+  Workload.Query_gen.batch rng ~n:queries_per_batch ~max_key:spec.max_key
+    ~max_time:spec.max_time ~qrs ~r_over_i:1.0
+
+(* --- Figure 4a: space --------------------------------------------------------- *)
+
+let fig4a () =
+  header "Figure 4a: index size vs. number of updates (uniform keys, long intervals)";
+  Printf.printf "records=%d unique_keys=%d page=%dB b(mvbt)=%d b(mvsbt)=%d f=%.2f\n"
+    spec.n_records spec.n_keys page_size mvbt_b mvsbt_b mvsbt_config.Mvsbt.f;
+  let nev = total_updates () in
+  let checkpoints = List.init 10 (fun i -> (i + 1) * nev / 10) in
+  let mvbt_points = ref [] in
+  let _, _, _ =
+    build_mvbt
+      ~on_event:(fun i m ->
+        if List.mem i checkpoints then mvbt_points := (i, Mvbt.page_count m) :: !mvbt_points)
+      ()
+  in
+  let rta_points = ref [] in
+  let _, _, _ =
+    build_rta
+      ~on_event:(fun i r ->
+        if List.mem i checkpoints then rta_points := (i, Rta.page_count r) :: !rta_points)
+      ()
+  in
+  Printf.printf "%12s %14s %14s %14s %14s %8s\n" "updates" "mvbt pages" "mvbt MB"
+    "2-mvsbt pages" "2-mvsbt MB" "ratio";
+  List.iter2
+    (fun (i, p1) (_, p2) ->
+      Printf.printf "%12d %14d %14s %14d %14s %8.2f\n" i p1
+        (Format.asprintf "%a" pp_mb p1)
+        p2
+        (Format.asprintf "%a" pp_mb p2)
+        (float_of_int p2 /. float_of_int p1))
+    (List.rev !mvbt_points) (List.rev !rta_points);
+  Printf.printf
+    "(paper: the two-MVSBT approach used about 2.5x the space of the single MVBT)\n"
+
+(* --- Update cost --------------------------------------------------------------- *)
+
+let update_time () =
+  header "Update cost per insertion/deletion (section 5, discussed with fig 4a)";
+  let _, _, m1 = build_mvbt () in
+  let _, _, m2 = build_rta () in
+  let n = float_of_int (total_updates ()) in
+  let row name (m : Storage.Cost_model.measurement) =
+    Printf.printf "%10s  total: %s\n" name (Format.asprintf "%a" Storage.Cost_model.pp_measurement m);
+    Printf.printf "%10s  per update: %.3f I/Os, %.4f ms estimated\n" ""
+      (float_of_int (m.reads + m.writes) /. n)
+      (m.estimated_s *. 1000. /. n)
+  in
+  row "mvbt" m1;
+  row "2-mvsbt" m2;
+  Printf.printf "(paper: update overhead of the two-MVSBT approach similar to its space overhead)\n"
+
+(* --- Figure 4b: query time vs QRS ---------------------------------------------- *)
+
+let fig4b () =
+  header "Figure 4b: RTA query estimated time vs query rectangle size (R/I = 1, buffer 64)";
+  let mvbt, mvbt_stats, _ = build_mvbt () in
+  let rta, rta_stats, _ = build_rta () in
+  Printf.printf "%10s %16s %16s %12s\n" "QRS" "mvbt est (s)" "2-mvsbt est (s)" "speedup";
+  List.iter
+    (fun qrs ->
+      let rects = rects_for ~qrs ~seed:(int_of_float (qrs *. 1e6) + 17) in
+      let res1, m1 = run_batch_mvbt mvbt mvbt_stats rects in
+      let res2, m2 = run_batch_rta rta rta_stats rects in
+      check_agreement ~what:(Printf.sprintf "fig4b qrs=%g" qrs) res1 res2;
+      Printf.printf "%9.2f%% %16.4f %16.4f %11.1fx\n" (qrs *. 100.) m1.estimated_s
+        m2.estimated_s
+        (m1.estimated_s /. m2.estimated_s))
+    [ 0.0001; 0.001; 0.01; 0.1; 1.0 ];
+  Printf.printf
+    "(paper: speedup grows with QRS; >5000x when the rectangle is the whole space)\n"
+
+(* --- Figure 4c: query time vs buffer size --------------------------------------- *)
+
+let fig4c () =
+  header "Figure 4c: RTA query estimated time vs buffer size (QRS = 1%)";
+  Printf.printf "%10s %16s %16s %12s\n" "buffer" "mvbt est (s)" "2-mvsbt est (s)" "speedup";
+  List.iter
+    (fun capacity ->
+      let mvbt, mvbt_stats, _ = build_mvbt ~pool_capacity:capacity () in
+      let rta, rta_stats, _ = build_rta ~pool_capacity:capacity () in
+      let rects = rects_for ~qrs:0.01 ~seed:4242 in
+      let res1, m1 = run_batch_mvbt mvbt mvbt_stats rects in
+      let res2, m2 = run_batch_rta rta rta_stats rects in
+      check_agreement ~what:(Printf.sprintf "fig4c buffer=%d" capacity) res1 res2;
+      Printf.printf "%10d %16.4f %16.4f %11.1fx\n" capacity m1.estimated_s m2.estimated_s
+        (m1.estimated_s /. m2.estimated_s))
+    [ 16; 32; 64; 128; 256; 512 ]
+
+(* --- Ablation: strong factor f --------------------------------------------------- *)
+
+let ablation_f () =
+  header "Ablation: strong factor f (open problem (i) of section 6)";
+  Printf.printf "%6s %12s %12s %18s %18s\n" "f" "pages" "records" "upd est (ms)" "qry est (s, 1%)";
+  List.iter
+    (fun f ->
+      let config = { mvsbt_config with Mvsbt.f } in
+      let rta, stats, m = build_rta ~config () in
+      let rects = rects_for ~qrs:0.01 ~seed:99 in
+      let _, qm = run_batch_rta rta stats rects in
+      Printf.printf "%6.2f %12d %12d %18.4f %18.4f\n" f (Rta.page_count rta)
+        (Rta.record_count rta)
+        (m.estimated_s *. 1000. /. float_of_int (total_updates ()))
+        qm.estimated_s)
+    [ 0.5; 0.6; 0.7; 0.8; 0.9; 0.95 ]
+
+(* --- Ablation: the three optimisations ------------------------------------------- *)
+
+let ablation_opt () =
+  header "Ablation: insertion variant and optimisations (sections 4.1, 4.2)";
+  Printf.printf "%10s %8s %9s %12s %14s %16s\n" "variant" "merging" "disposal" "pages"
+    "records" "upd est (ms)";
+  let combos =
+    [ (Mvsbt.Logical, true, true); (Mvsbt.Logical, true, false);
+      (Mvsbt.Logical, false, true); (Mvsbt.Logical, false, false);
+      (Mvsbt.Plain, true, true); (Mvsbt.Plain, false, false) ]
+  in
+  List.iter
+    (fun (variant, merging, disposal) ->
+      let config = { mvsbt_config with Mvsbt.variant; merging; disposal } in
+      let rta, _stats, m = build_rta ~config () in
+      Printf.printf "%10s %8b %9b %12d %14s %16.4f\n"
+        (match variant with Mvsbt.Plain -> "plain" | Mvsbt.Logical -> "logical")
+        merging disposal (Rta.page_count rta) (string_of_int (Rta.record_count rta))
+        (m.estimated_s *. 1000. /. float_of_int (total_updates ())))
+    combos;
+  Printf.printf "(logical splitting is optimisation 4.2.1; the plain 4.1 algorithm splits Theta(b) records per insertion)\n"
+
+(* --- Ablation: dataset shape ------------------------------------------------------ *)
+
+let ablation_data () =
+  header "Ablation: dataset shape (section 5 datasets, plus hot-key skew)";
+  Printf.printf "%16s %12s %14s %14s %16s %12s\n" "keys" "intervals" "mvbt pages"
+    "2-mvsbt pages" "qry speedup(1%)" "agree";
+  let run_row ~kd_name ~st_name spec' =
+          let evs = Workload.Generator.events spec' in
+          let mvbt_stats = Storage.Io_stats.create () in
+          let mvbt =
+            Mvbt.create ~config:(Mvbt.default_config ~b:mvbt_b) ~stats:mvbt_stats
+              ~max_key:spec.max_key ()
+          in
+          let rta_stats = Storage.Io_stats.create () in
+          let rta = Rta.create ~config:mvsbt_config ~stats:rta_stats ~max_key:spec.max_key () in
+          List.iter
+            (fun ev ->
+              match ev with
+              | Workload.Generator.Insert { key; value; at } ->
+                  Mvbt.insert mvbt ~key ~value ~at;
+                  Rta.insert rta ~key ~value ~at
+              | Workload.Generator.Delete { key; at } ->
+                  Mvbt.delete mvbt ~key ~at;
+                  Rta.delete rta ~key ~at)
+            evs;
+          let rects = rects_for ~qrs:0.01 ~seed:7 in
+          let res1, m1 = run_batch_mvbt mvbt mvbt_stats rects in
+          let res2, m2 = run_batch_rta rta rta_stats rects in
+          let agree =
+            List.for_all2 (fun (a, b) (c, d) -> a = c && b = d) res1 res2
+          in
+          Printf.printf "%16s %12s %14d %14d %15.1fx %12b\n" kd_name st_name
+            (Mvbt.page_count mvbt) (Rta.page_count rta)
+            (m1.estimated_s /. m2.estimated_s)
+            agree
+  in
+  List.iter
+    (fun (kd, kd_name) ->
+      List.iter
+        (fun (st, st_name) ->
+          run_row ~kd_name ~st_name
+            { spec with Workload.Generator.key_distribution = kd; interval_style = st })
+        [ (Workload.Generator.Long_lived, "long"); (Workload.Generator.Short_lived, "short") ])
+    [ (Workload.Generator.Uniform, "uniform");
+      (Workload.Generator.Normal { mean_frac = 0.5; stddev_frac = 0.1 }, "normal") ];
+  (* Hot-key skew: many versions concentrated on few keys. *)
+  run_row ~kd_name:"uniform+zipf1.0" ~st_name:"long"
+    { spec with Workload.Generator.version_skew = 1.0 }
+
+(* --- Scalar temporal aggregation baselines (section 2.1) -------------------------- *)
+
+let scalar_baselines () =
+  header "Scalar aggregation baselines (section 2.1): SB-tree vs [KS95] vs [MLI00] vs [Tum92]";
+  let module G = Aggregate.Group.Int_sum in
+  let module Sb = Sbtree.Make (G) in
+  let module KS = Agg_tree.Make (G) in
+  let module Bal = Balanced_agg_tree.Make (G) in
+  let module Scan = Two_scan.Make (G) in
+  let horizon = 1_000_000 in
+  let n = max 1000 (int_of_float (20_000. *. scale /. 0.1)) in
+  let mk_random () =
+    let rng = Workload.Rng.create ~seed:55 in
+    List.init n (fun _ ->
+        let a = Workload.Rng.int rng horizon and b = Workload.Rng.int rng horizon in
+        let lo = min a b and hi = max a b in
+        if lo < hi then (lo, hi, 1) else (lo, lo + 1, 1))
+  in
+  (* The adversarial case is quadratic for [KS95] by design; cap it so the
+     suite stays fast while the blow-up remains unmistakable. *)
+  let n_sorted = min n 4000 in
+  let mk_sorted () =
+    (* Nested, endpoint-sorted intervals: the [KS95] worst case. *)
+    List.init n_sorted (fun i ->
+        let i = i mod (horizon / 2 - 1) in
+        (i, horizon - 1 - i, 1))
+  in
+  let run name intervals =
+    let probes =
+      let rng = Workload.Rng.create ~seed:56 in
+      List.init 1000 (fun _ -> Workload.Rng.int rng horizon)
+    in
+    let time f =
+      let t0 = Sys.time () in
+      let x = f () in
+      (x, Sys.time () -. t0)
+    in
+    let sb = Sb.create ~b:64 ~horizon () in
+    let _, sb_build =
+      time (fun () -> List.iter (fun (lo, hi, v) -> Sb.insert sb ~lo ~hi v) intervals)
+    in
+    let sb_res, sb_q = time (fun () -> List.map (fun p -> Sb.query sb p) probes) in
+    let ks = KS.create ~horizon () in
+    let _, ks_build =
+      time (fun () -> List.iter (fun (lo, hi, v) -> KS.insert ks ~lo ~hi v) intervals)
+    in
+    let ks_res, ks_q = time (fun () -> List.map (fun p -> KS.query ks p) probes) in
+    let bal = Bal.create ~horizon () in
+    let _, bal_build =
+      time (fun () -> List.iter (fun (lo, hi, v) -> Bal.insert bal ~lo ~hi v) intervals)
+    in
+    let bal_res, bal_q = time (fun () -> List.map (fun p -> Bal.query bal p) probes) in
+    let scan_input = List.map (fun (lo, hi, v) -> (Interval.make lo hi, v)) intervals in
+    let scan_result, scan_build = time (fun () -> Scan.compute scan_input) in
+    let scan_res, scan_q =
+      time (fun () -> List.map (fun p -> Scan.at scan_result p) probes)
+    in
+    if not (sb_res = ks_res && ks_res = bal_res && bal_res = scan_res) then
+      Printf.printf "!! MISMATCH between scalar baselines on %s\n" name;
+    Printf.printf "%s (%d intervals, 1000 point queries; CPU seconds):\n" name
+      (List.length intervals);
+    Printf.printf "  %-22s %12s %12s %10s\n" "method" "build (s)" "query (s)" "depth";
+    Printf.printf "  %-22s %12.4f %12.4f %10d\n" "SB-tree [YW01]" sb_build sb_q (Sb.height sb);
+    Printf.printf "  %-22s %12.4f %12.4f %10d\n" "agg-tree [KS95]" ks_build ks_q (KS.depth ks);
+    Printf.printf "  %-22s %12.4f %12.4f %10d\n" "balanced [MLI00]" bal_build bal_q (Bal.depth bal);
+    Printf.printf "  %-22s %12.4f %12.4f %10s\n" "two-scan [Tum92]" scan_build scan_q "-"
+  in
+  run "random intervals" (mk_random ());
+  run "sorted/nested intervals" (mk_sorted ());
+  Printf.printf
+    "(section 2.1: the KS95 tree degenerates on adversarial orders; MLI00 fixes balance\n\
+    \ but stays main-memory; Tum92 is non-incremental; the SB-tree is both balanced and\n\
+    \ disk-based)\n"
+
+(* --- Ablation: root* backing -------------------------------------------------------- *)
+
+let ablation_root_star () =
+  header "Ablation: root* as main-memory array vs B+-tree (section 4.4 discussion)";
+  Printf.printf "%12s %12s %16s %18s\n" "root*" "roots" "qry est (s, 1%)" "qry I/Os/query";
+  List.iter
+    (fun btree ->
+      let config = { mvsbt_config with Mvsbt.root_star_btree = btree } in
+      let rta, stats, _ = build_rta ~config () in
+      let rects = rects_for ~qrs:0.01 ~seed:21 in
+      let _, m = run_batch_rta rta stats rects in
+      Printf.printf "%12s %12d %16.4f %18.2f\n"
+        (if btree then "b+tree" else "array")
+        (Rta.root_count rta) m.estimated_s
+        (float_of_int (m.reads + m.writes) /. float_of_int queries_per_batch))
+    [ false; true ]
+
+(* --- Bechamel micro-benchmarks ----------------------------------------------------- *)
+
+let micro () =
+  header "Bechamel micro-benchmarks (wall clock per operation)";
+  let open Bechamel in
+  let open Toolkit in
+  (* Pre-built structures shared by the query benchmarks. *)
+  let rta, _, _ = build_rta () in
+  let mvbt, _, _ = build_mvbt () in
+  let horizon = Rta.now rta in
+  let rng = Workload.Rng.create ~seed:31 in
+  let mk_insert_rta () =
+    (* A fresh small index, hammered with one more insertion each run. *)
+    let r = Rta.create ~config:mvsbt_config ~max_key:spec.max_key () in
+    let t = ref 1 and k = ref 0 in
+    fun () ->
+      incr t;
+      k := (!k + 7919) mod spec.max_key;
+      if Rta.is_alive r ~key:!k then Rta.delete r ~key:!k ~at:!t
+      else Rta.insert r ~key:!k ~value:1 ~at:!t
+  in
+  let tests =
+    [
+      Test.make ~name:"mvsbt point query" (Staged.stage (fun () ->
+           ignore (Rta.lkst rta ~key:(Workload.Rng.int rng spec.max_key)
+                     ~at:(Workload.Rng.int rng (horizon + 1)))));
+      Test.make ~name:"rta sum_count (1% rect)" (Staged.stage (fun () ->
+           let r =
+             Workload.Query_gen.rectangle rng ~max_key:spec.max_key
+               ~max_time:spec.max_time ~qrs:0.01 ~r_over_i:1.0
+           in
+           ignore (Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi)));
+      Test.make ~name:"mvbt snapshot (1% range)" (Staged.stage (fun () ->
+           let klen = spec.max_key / 100 in
+           let klo = Workload.Rng.int rng (spec.max_key - klen) in
+           ignore (Mvbt.snapshot mvbt ~klo ~khi:(klo + klen)
+                     ~at:(Workload.Rng.int rng (horizon + 1)))));
+      Test.make ~name:"rta update" (Staged.stage (mk_insert_rta ()));
+    ]
+  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-28s %12.1f ns/op\n%!" name est
+          | _ -> Printf.printf "%-28s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* --- Driver -------------------------------------------------------------------------- *)
+
+let experiments =
+  [
+    ("fig4a", fig4a);
+    ("update-time", update_time);
+    ("fig4b", fig4b);
+    ("fig4c", fig4c);
+    ("ablation-f", ablation_f);
+    ("ablation-opt", ablation_opt);
+    ("ablation-data", ablation_data);
+    ("ablation-root-star", ablation_root_star);
+    ("scalar-baselines", scalar_baselines);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  Printf.printf
+    "MVSBT reproduction benchmarks | scale=%.3f (%d records, %d unique keys)\n"
+    scale spec.n_records spec.n_keys;
+  Printf.printf "cost model: 10 ms per page I/O + measured CPU; LRU buffer, %dB pages\n"
+    page_size;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.printf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments)))
+    requested

@@ -1,0 +1,339 @@
+(* Command-line driver for the range-temporal aggregation system.
+
+   Subcommands:
+     generate  — emit a workload as a text event stream
+     build     — replay a workload into the 2-MVSBT index and report stats
+     query     — build, then answer ad-hoc or random RTA queries
+     compare   — build both 2-MVSBT and MVBT, run a query batch on each *)
+
+let setup_logs verbosity =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level
+    (match verbosity with 0 -> Some Logs.Warning | 1 -> Some Logs.Info | _ -> Some Logs.Debug)
+
+(* --- Shared argument bundles ------------------------------------------------ *)
+
+open Cmdliner
+
+let verbosity =
+  let doc = "Verbosity (-v info, -vv debug)." in
+  Arg.(value & flag_all & info [ "v"; "verbose" ] ~doc)
+  |> Term.map List.length
+
+let spec_term =
+  let records =
+    let doc = "Number of tuple versions to generate." in
+    Arg.(value & opt int 20_000 & info [ "n"; "records" ] ~doc)
+  in
+  let keys =
+    let doc = "Number of unique keys (about records/100 by default)." in
+    Arg.(value & opt (some int) None & info [ "keys" ] ~doc)
+  in
+  let max_key =
+    let doc = "Key space upper bound (exclusive)." in
+    Arg.(value & opt int 1_000_000_000 & info [ "max-key" ] ~doc)
+  in
+  let max_time =
+    let doc = "Time space upper bound (exclusive)." in
+    Arg.(value & opt int 100_000_000 & info [ "max-time" ] ~doc)
+  in
+  let normal =
+    let doc = "Draw keys from a normal distribution instead of uniform." in
+    Arg.(value & flag & info [ "normal-keys" ] ~doc)
+  in
+  let short =
+    let doc = "Generate mainly short-lived intervals instead of long-lived." in
+    Arg.(value & flag & info [ "short-intervals" ] ~doc)
+  in
+  let skew =
+    let doc = "Zipf exponent for versions-per-key (0 = even, the paper's shape)." in
+    Arg.(value & opt float 0. & info [ "skew" ] ~doc)
+  in
+  let seed =
+    let doc = "Random seed." in
+    Arg.(value & opt int 2001 & info [ "seed" ] ~doc)
+  in
+  let mk records keys max_key max_time normal short skew seed : Workload.Generator.spec =
+    {
+      n_records = records;
+      n_keys = (match keys with Some k -> k | None -> max 1 (records / 100));
+      max_key;
+      max_time;
+      key_distribution =
+        (if normal then Workload.Generator.Normal { mean_frac = 0.5; stddev_frac = 0.1 }
+         else Workload.Generator.Uniform);
+      interval_style =
+        (if short then Workload.Generator.Short_lived else Workload.Generator.Long_lived);
+      value_bound = 1000;
+      version_skew = skew;
+      seed;
+    }
+  in
+  Term.(const mk $ records $ keys $ max_key $ max_time $ normal $ short $ skew $ seed)
+
+let mvsbt_config_term =
+  let b =
+    let doc = "Page capacity in records (default models 4KB pages)." in
+    Arg.(value & opt int 170 & info [ "b" ] ~doc)
+  in
+  let f =
+    let doc = "Strong factor in (0,1]." in
+    Arg.(value & opt float 0.9 & info [ "f" ] ~doc)
+  in
+  let plain =
+    let doc = "Use the unoptimised section-4.1 insertion algorithm." in
+    Arg.(value & flag & info [ "plain" ] ~doc)
+  in
+  let no_merging =
+    let doc = "Disable record merging (section 4.2.2)." in
+    Arg.(value & flag & info [ "no-merging" ] ~doc)
+  in
+  let no_disposal =
+    let doc = "Disable page disposal (section 4.2.3)." in
+    Arg.(value & flag & info [ "no-disposal" ] ~doc)
+  in
+  let buffer =
+    let doc = "LRU buffer pool capacity in pages." in
+    Arg.(value & opt int 64 & info [ "buffer" ] ~doc)
+  in
+  let mk b f plain no_merging no_disposal buffer =
+    ( { (Mvsbt.default_config ~b) with
+        Mvsbt.f;
+        variant = (if plain then Mvsbt.Plain else Mvsbt.Logical);
+        merging = not no_merging;
+        disposal = not no_disposal;
+      },
+      buffer )
+  in
+  Term.(const mk $ b $ f $ plain $ no_merging $ no_disposal $ buffer)
+
+(* --- Helpers ------------------------------------------------------------------ *)
+
+let input_term =
+  let doc = "Replay events from a trace file (as written by generate) instead of generating." in
+  Arg.(value & opt (some file) None & info [ "input" ] ~doc)
+
+let events_of ~spec ~input =
+  match input with
+  | Some path -> Workload.Trace.load ~path
+  | None -> Workload.Generator.events spec
+
+let build_rta ~spec ~config ~buffer ~input =
+  let stats = Storage.Io_stats.create () in
+  let rta =
+    Rta.create ~config ~pool_capacity:buffer ~stats
+      ~max_key:spec.Workload.Generator.max_key ()
+  in
+  let events = events_of ~spec ~input in
+  let (), m =
+    Storage.Cost_model.measure ~stats (fun () ->
+        Workload.Trace.replay events
+          ~insert:(fun ~key ~value ~at -> Rta.insert rta ~key ~value ~at)
+          ~delete:(fun ~key ~at -> Rta.delete rta ~key ~at))
+  in
+  Logs.info (fun l -> l "replayed %d events" (List.length events));
+  (rta, stats, m)
+
+let report_build ~label (m : Storage.Cost_model.measurement) ~pages ~updates =
+  Printf.printf "%s: built from %d updates\n" label updates;
+  Printf.printf "  pages: %d (%.2f MB at 4KB)\n" pages (float_of_int pages *. 4096. /. 1e6);
+  Printf.printf "  build: %d reads, %d writes, %.3f s CPU, %.3f s estimated\n" m.reads
+    m.writes m.cpu_s m.estimated_s;
+  Printf.printf "  per update: %.3f I/Os, %.4f ms estimated\n"
+    (float_of_int (m.reads + m.writes) /. float_of_int updates)
+    (m.estimated_s *. 1000. /. float_of_int updates)
+
+(* --- generate ------------------------------------------------------------------ *)
+
+let generate verbosity spec out =
+  setup_logs verbosity;
+  let events = Workload.Generator.events spec in
+  (match out with
+  | Some path -> Workload.Trace.save events ~path
+  | None -> Workload.Trace.save_channel events stdout);
+  Logs.app (fun l -> l "wrote %d events" (List.length events))
+
+let generate_cmd =
+  let out =
+    let doc = "Output file (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a transaction-time workload (TimeIT substitute)")
+    Term.(const generate $ verbosity $ spec_term $ out)
+
+(* --- build ----------------------------------------------------------------------- *)
+
+let build verbosity spec (config, buffer) input snapshot =
+  setup_logs verbosity;
+  let rta, _stats, m = build_rta ~spec ~config ~buffer ~input in
+  report_build ~label:"2-MVSBT" m ~pages:(Rta.page_count rta) ~updates:(Rta.n_updates rta);
+  Rta.check_invariants rta;
+  Printf.printf "  invariants: ok\n";
+  match snapshot with
+  | Some path ->
+      Rta.save rta ~path;
+      Printf.printf "  snapshot saved to %s.{lkst,lklt,meta}\n" path
+  | None -> ()
+
+let snapshot_out_term =
+  let doc = "Save the built index as a snapshot (three files under this prefix)." in
+  Arg.(value & opt (some string) None & info [ "save" ] ~doc)
+
+let build_cmd =
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build the two-MVSBT index from a generated or replayed workload")
+    Term.(const build $ verbosity $ spec_term $ mvsbt_config_term $ input_term
+          $ snapshot_out_term)
+
+(* --- query ----------------------------------------------------------------------- *)
+
+let query verbosity spec (config, buffer) input snapshot rect_opt n_random qrs =
+  setup_logs verbosity;
+  let rta, stats =
+    match snapshot with
+    | Some path ->
+        let stats = Storage.Io_stats.create () in
+        (Rta.load ~pool_capacity:buffer ~stats ~path (), stats)
+    | None ->
+        let rta, stats, _ = build_rta ~spec ~config ~buffer ~input in
+        (rta, stats)
+  in
+  let run (klo, khi, tlo, thi) =
+    let (sum, count), m =
+      Storage.Cost_model.measure ~stats (fun () -> Rta.sum_count rta ~klo ~khi ~tlo ~thi)
+    in
+    Printf.printf "[%d, %d) x [%d, %d): SUM=%d COUNT=%d AVG=%s  (%d I/Os, %.2f ms est)\n"
+      klo khi tlo thi sum count
+      (if count = 0 then "-" else Printf.sprintf "%.3f" (float_of_int sum /. float_of_int count))
+      (m.reads + m.writes) (m.estimated_s *. 1000.)
+  in
+  (match rect_opt with
+  | Some r -> run r
+  | None ->
+      let rng = Workload.Rng.create ~seed:(spec.Workload.Generator.seed + 1) in
+      let rects =
+        Workload.Query_gen.batch rng ~n:n_random ~max_key:spec.max_key
+          ~max_time:spec.max_time ~qrs ~r_over_i:1.0
+      in
+      List.iter (fun (r : Workload.Query_gen.rect) -> run (r.klo, r.khi, r.tlo, r.thi)) rects)
+
+let query_cmd =
+  let rect =
+    let doc = "Explicit query rectangle KLO,KHI,TLO,THI." in
+    Arg.(value & opt (some (t4 int int int int)) None & info [ "rect" ] ~doc)
+  in
+  let n_random =
+    let doc = "Number of random queries when no --rect is given." in
+    Arg.(value & opt int 5 & info [ "queries" ] ~doc)
+  in
+  let qrs =
+    let doc = "Query rectangle size as an area fraction for random queries." in
+    Arg.(value & opt float 0.01 & info [ "qrs" ] ~doc)
+  in
+  let snapshot_in =
+    let doc = "Load the index from a snapshot prefix instead of building." in
+    Arg.(value & opt (some string) None & info [ "load" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Answer RTA queries over a built or loaded index")
+    Term.(const query $ verbosity $ spec_term $ mvsbt_config_term $ input_term
+          $ snapshot_in $ rect $ n_random $ qrs)
+
+(* --- compare ----------------------------------------------------------------------- *)
+
+let compare_cmd_impl verbosity spec (config, buffer) input qrs n =
+  setup_logs verbosity;
+  let rta, rta_stats, m2 = build_rta ~spec ~config ~buffer ~input in
+  let mvbt_stats = Storage.Io_stats.create () in
+  let mvbt =
+    Mvbt.create
+      ~config:(Mvbt.default_config ~b:256)
+      ~pool_capacity:buffer ~stats:mvbt_stats ~max_key:spec.max_key ()
+  in
+  let (), m1 =
+    Storage.Cost_model.measure ~stats:mvbt_stats (fun () ->
+        Workload.Trace.replay (events_of ~spec ~input)
+          ~insert:(fun ~key ~value ~at -> Mvbt.insert mvbt ~key ~value ~at)
+          ~delete:(fun ~key ~at -> Mvbt.delete mvbt ~key ~at))
+  in
+  report_build ~label:"MVBT (baseline)" m1 ~pages:(Mvbt.page_count mvbt)
+    ~updates:(Mvbt.n_updates mvbt);
+  report_build ~label:"2-MVSBT" m2 ~pages:(Rta.page_count rta) ~updates:(Rta.n_updates rta);
+  let rng = Workload.Rng.create ~seed:(spec.seed + 7) in
+  let rects =
+    Workload.Query_gen.batch rng ~n ~max_key:spec.max_key ~max_time:spec.max_time ~qrs
+      ~r_over_i:1.0
+  in
+  Mvbt.drop_cache mvbt;
+  Rta.drop_cache rta;
+  let naive, mn =
+    Storage.Cost_model.measure ~stats:mvbt_stats (fun () ->
+        List.map
+          (fun (r : Workload.Query_gen.rect) ->
+            let { Naive_rta.sum; count } =
+              Naive_rta.sum_count mvbt ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi
+            in
+            (sum, count))
+          rects)
+  in
+  let ours, mo =
+    Storage.Cost_model.measure ~stats:rta_stats (fun () ->
+        List.map
+          (fun (r : Workload.Query_gen.rect) ->
+            Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi)
+          rects)
+  in
+  let agree = naive = ours in
+  Printf.printf "query batch (%d queries at QRS=%.4f): results agree: %b\n" n qrs agree;
+  Printf.printf "  MVBT naive : %d I/Os, %.4f s estimated\n" (mn.reads + mn.writes)
+    mn.estimated_s;
+  Printf.printf "  2-MVSBT    : %d I/Os, %.4f s estimated\n" (mo.reads + mo.writes)
+    mo.estimated_s;
+  Printf.printf "  speedup    : %.1fx\n" (mn.estimated_s /. mo.estimated_s);
+  if not agree then exit 1
+
+let compare_cmd =
+  let qrs =
+    let doc = "Query rectangle size as an area fraction." in
+    Arg.(value & opt float 0.01 & info [ "qrs" ] ~doc)
+  in
+  let n =
+    let doc = "Number of queries in the batch." in
+    Arg.(value & opt int 100 & info [ "queries" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Build both the 2-MVSBT and the MVBT baseline and race a query batch")
+    Term.(const compare_cmd_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
+          $ qrs $ n)
+
+(* --- dot ------------------------------------------------------------------------- *)
+
+let dot verbosity spec (config, buffer) input out =
+  setup_logs verbosity;
+  let rta, _, _ = build_rta ~spec ~config ~buffer ~input in
+  let write ppf = Format.fprintf ppf "%a@." Rta.pp_dot rta in
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+      write (Format.formatter_of_out_channel oc)
+  | None -> write Format.std_formatter
+
+let dot_cmd =
+  let out =
+    let doc = "Output file for the Graphviz rendering (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Render the MVSBT page graphs as Graphviz (small workloads only)")
+    Term.(const dot $ verbosity $ spec_term $ mvsbt_config_term $ input_term $ out)
+
+let () =
+  let info =
+    Cmd.info "mvsbt-rta" ~version:"1.0.0"
+      ~doc:"Range-temporal aggregates with the Multiversion SB-tree (PODS 2001)"
+  in
+  exit
+    (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; query_cmd; compare_cmd; dot_cmd ]))

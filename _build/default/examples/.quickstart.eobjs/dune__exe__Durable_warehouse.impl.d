@@ -1,0 +1,1 @@
+examples/durable_warehouse.ml: Filename List Printf Rta Sys Workload

@@ -1,0 +1,1 @@
+examples/network_traffic.ml: Aggregate Hashtbl Int List Printf Rta Sb_cumulative Workload

@@ -1,0 +1,1 @@
+examples/stock_exchange.ml: Aggregate Hashtbl List Minmax_sbtree Printf Rta Workload

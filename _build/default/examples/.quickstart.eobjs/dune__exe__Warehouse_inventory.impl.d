@@ -1,0 +1,1 @@
+examples/warehouse_inventory.ml: Format List Mvbt Mvsbt Naive_rta Printf Rta Rta_report Storage Workload

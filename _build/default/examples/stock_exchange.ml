@@ -1,0 +1,91 @@
+(* A limit-order-book monitor built on the paper's machinery.
+
+     dune exec examples/stock_exchange.exe
+
+   Orders rest in the book at a price level (the key) with a size (the
+   value); they are alive from placement to cancellation/fill.  The
+   range-temporal aggregate answers questions an exchange surveillance
+   desk actually asks:
+
+     "How much resting size sat between $99.00 and $101.00 during the
+      opening auction window?"
+
+   — a key-range x time-interval SUM/COUNT/AVG, i.e. exactly an RTA query.
+   A min/max SB-tree tracks the best (lowest) resting ask over time
+   windows on the side. *)
+
+module MinTree = Minmax_sbtree.Make (Aggregate.Lattice.Int_min)
+
+(* Price levels in cents: keys in [0, 20000) = $0 .. $200. *)
+let max_price_cents = 20_000
+let session_end = 10_000 (* timestamps in milliseconds from the open *)
+
+let () =
+  let book = Rta.create ~max_key:max_price_cents () in
+  let best_ask = MinTree.create ~horizon:session_end () in
+  let rng = Workload.Rng.create ~seed:20010603 in
+
+  (* Simulate a morning of order flow: asks placed around a drifting
+     mid-price, each resting for a while before cancellation. *)
+  let open_orders = Hashtbl.create 256 in
+  let now = ref 0 in
+  let placed = ref 0 and cancelled = ref 0 in
+  while !now < session_end - 1000 do
+    now := !now + 1 + Workload.Rng.int rng 10;
+    let mid = 10_000 + int_of_float (1500. *. sin (float_of_int !now /. 1500.)) in
+    if Workload.Rng.int rng 100 < 60 then begin
+      (* Place an ask a bit above mid, if that level is free. *)
+      let price = mid + Workload.Rng.int rng 300 in
+      if not (Rta.is_alive book ~key:price) then begin
+        let size = 100 * (1 + Workload.Rng.int rng 50) in
+        Rta.insert book ~key:price ~value:size ~at:!now;
+        Hashtbl.replace open_orders price ();
+        incr placed;
+        (* The resting ask bounds the best ask until it goes away; record
+           a conservative window into the min-tree. *)
+        let rest = min (session_end - 1) (!now + 500) in
+        if !now < rest then MinTree.insert best_ask ~lo:!now ~hi:rest price
+      end
+    end
+    else begin
+      (* Cancel a random open order. *)
+      let keys = Hashtbl.fold (fun k () acc -> k :: acc) open_orders [] in
+      match keys with
+      | [] -> ()
+      | _ ->
+          let k = List.nth keys (Workload.Rng.int rng (List.length keys)) in
+          Rta.delete book ~key:k ~at:!now;
+          Hashtbl.remove open_orders k;
+          incr cancelled
+    end
+  done;
+
+  Printf.printf "Session: %d orders placed, %d cancelled, %d still resting.\n\n"
+    !placed !cancelled (Rta.alive_count book);
+
+  let band ~dollars_lo ~dollars_hi ~tlo ~thi =
+    let klo = dollars_lo * 100 and khi = dollars_hi * 100 in
+    let sum, count = Rta.sum_count book ~klo ~khi ~tlo ~thi in
+    Printf.printf
+      "  $%-3d..$%-3d during [%5d, %5d) ms : %8d shares across %4d orders (avg %s)\n"
+      dollars_lo dollars_hi tlo thi sum count
+      (match Rta.avg book ~klo ~khi ~tlo ~thi with
+      | Some a -> Printf.sprintf "%7.0f" a
+      | None -> "      -")
+  in
+  print_endline "Resting ask size by price band and window (RTA queries):";
+  band ~dollars_lo:85 ~dollars_hi:115 ~tlo:0 ~thi:2_000;
+  band ~dollars_lo:85 ~dollars_hi:115 ~tlo:4_000 ~thi:6_000;
+  band ~dollars_lo:99 ~dollars_hi:101 ~tlo:0 ~thi:session_end;
+  band ~dollars_lo:115 ~dollars_hi:200 ~tlo:0 ~thi:session_end;
+
+  print_endline "\nBest (lowest) recorded resting ask per window (min/max SB-tree):";
+  List.iter
+    (fun (lo, hi) ->
+      let best = MinTree.query_window best_ask ~lo ~hi in
+      if best = max_int then Printf.printf "  [%5d, %5d) ms : (no asks)\n" lo hi
+      else Printf.printf "  [%5d, %5d) ms : $%.2f\n" lo hi (float_of_int best /. 100.))
+    [ (0, 2_000); (2_000, 4_000); (4_000, 6_000); (6_000, 8_000) ];
+
+  Printf.printf "\nIndex footprint: %d pages; history of %d book updates retained.\n"
+    (Rta.page_count book) (Rta.n_updates book)

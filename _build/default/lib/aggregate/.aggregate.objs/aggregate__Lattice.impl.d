@@ -1,0 +1,1 @@
+lib/aggregate/lattice.ml: Float Format Int

@@ -1,0 +1,53 @@
+module type S = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val neg : t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+let sub (type a) (module G : S with type t = a) (x : a) (y : a) : a =
+  G.add x (G.neg y)
+
+module Int_sum = struct
+  type t = int
+
+  let zero = 0
+  let add = ( + )
+  let neg x = -x
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Int_count = Int_sum
+
+module Float_sum = struct
+  type t = float
+
+  let zero = 0.
+  let add = ( +. )
+  let neg x = -.x
+  let equal a b = Float.equal a b
+  let pp ppf x = Format.fprintf ppf "%g" x
+end
+
+module Pair (A : S) (B : S) = struct
+  type t = A.t * B.t
+
+  let zero = (A.zero, B.zero)
+  let add (a1, b1) (a2, b2) = (A.add a1 a2, B.add b1 b2)
+  let neg (a, b) = (A.neg a, B.neg b)
+  let equal (a1, b1) (a2, b2) = A.equal a1 a2 && B.equal b1 b2
+  let pp ppf (a, b) = Format.fprintf ppf "(%a, %a)" A.pp a B.pp b
+end
+
+module Sum_count = struct
+  include Pair (Int_sum) (Int_count)
+
+  let of_value v = (v, 1)
+  let sum (s, _) = s
+  let count (_, c) = c
+  let avg (s, c) = if c = 0 then None else Some (float_of_int s /. float_of_int c)
+end

@@ -1,0 +1,60 @@
+(** Aggregate value algebra for SUM / COUNT / AVG.
+
+    The SB-tree family maintains SUM-like aggregates incrementally: a
+    physical deletion is "an insertion of a new tuple with a negative
+    attribute value" (paper section 2.2), so the value type must form a
+    commutative {e group} — an associative commutative [add] with a [zero]
+    and an inverse [neg].  SUM over integers, COUNT (sum of ones) and the
+    SUM × COUNT pair that yields AVG are the instances used by the paper;
+    {!Pair} builds products so one index maintains several aggregates in a
+    single pass. *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  (** Neutral element: the aggregate of the empty set. *)
+
+  val add : t -> t -> t
+  (** Commutative, associative combination. *)
+
+  val neg : t -> t
+  (** Inverse: [add x (neg x) = zero].  Used to encode deletions. *)
+
+  val equal : t -> t -> bool
+  (** Required by the record-merging optimisation (time merge demands equal
+      values, key merge demands a zero value). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val sub : (module S with type t = 'a) -> 'a -> 'a -> 'a
+(** [sub (module G) a b] is [G.add a (G.neg b)]. *)
+
+module Int_sum : S with type t = int
+(** SUM of 4-byte-style integer attributes (OCaml native ints). *)
+
+module Int_count : S with type t = int
+(** COUNT: identical carrier to {!Int_sum}; a separate module documents
+    intent at call sites (insertions contribute [1]). *)
+
+module Float_sum : S with type t = float
+(** SUM over floats, for workloads with fractional measures. *)
+
+module Pair (A : S) (B : S) : S with type t = A.t * B.t
+(** Product group: both aggregates maintained together. *)
+
+module Sum_count : sig
+  include S with type t = int * int
+
+  val of_value : int -> t
+  (** [of_value v] is [(v, 1)]: the contribution of one tuple with
+      attribute value [v]. *)
+
+  val sum : t -> int
+  val count : t -> int
+
+  val avg : t -> float option
+  (** [avg (s, c)] is [Some (s / c)] unless [c = 0].  AVG = SUM / COUNT
+      (paper section 3). *)
+end

@@ -1,0 +1,44 @@
+module type S = sig
+  type t
+
+  val bottom : t
+  val join : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int_min = struct
+  type t = int
+
+  let bottom = max_int
+  let join = min
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Int_max = struct
+  type t = int
+
+  let bottom = min_int
+  let join = max
+  let equal = Int.equal
+  let pp = Format.pp_print_int
+end
+
+module Float_min = struct
+  type t = float
+
+  let bottom = infinity
+  let join = Float.min
+  let equal = Float.equal
+  let pp ppf x = Format.fprintf ppf "%g" x
+end
+
+module Float_max = struct
+  type t = float
+
+  let bottom = neg_infinity
+  let join = Float.max
+  let equal = Float.equal
+  let pp ppf x = Format.fprintf ppf "%g" x
+end

@@ -1,0 +1,29 @@
+(** Semilattice algebra for MIN / MAX aggregates.
+
+    MIN and MAX have no inverse, so they cannot ride the group-based SUM
+    machinery; the paper handles them with the dedicated min/max SB-tree
+    variant of [YW01] (section 2.2) and leaves range-predicate MIN/MAX as an
+    open problem.  A bounded semilattice — an idempotent commutative [join]
+    with an absorbing [bottom] — is exactly what that variant needs. *)
+
+module type S = sig
+  type t
+
+  val bottom : t
+  (** Neutral element of [join]: the aggregate of the empty set. *)
+
+  val join : t -> t -> t
+  (** Idempotent, commutative, associative. *)
+
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int_min : S with type t = int
+(** [join] is [min]; [bottom] is [max_int]. *)
+
+module Int_max : S with type t = int
+(** [join] is [max]; [bottom] is [min_int]. *)
+
+module Float_min : S with type t = float
+module Float_max : S with type t = float

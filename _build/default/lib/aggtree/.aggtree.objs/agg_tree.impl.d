@@ -1,0 +1,1 @@
+lib/aggtree/agg_tree.ml: Aggregate Format Interval

@@ -1,0 +1,1 @@
+lib/aggtree/agg_tree.mli: Aggregate

@@ -1,0 +1,1 @@
+lib/aggtree/balanced_agg_tree.ml: Aggregate Format Int64 Interval

@@ -1,0 +1,1 @@
+lib/aggtree/balanced_agg_tree.mli: Aggregate Interval

@@ -1,0 +1,1 @@
+lib/aggtree/two_scan.mli: Aggregate Interval

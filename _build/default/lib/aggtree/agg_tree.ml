@@ -1,0 +1,95 @@
+module Make (G : Aggregate.Group.S) = struct
+  (* A node owns a half-open interval; [value] applies to every instant of
+     it.  Internal nodes have exactly two children partitioning their
+     interval at [split]. *)
+  type node = {
+    iv : Interval.t;
+    mutable value : G.t;
+    mutable kids : (int * node * node) option; (* split point, left, right *)
+  }
+
+  type t = { root : node; horizon : int }
+
+  let create ?(horizon = max_int - 1) () =
+    if horizon < 1 then invalid_arg "Agg_tree.create: horizon must be >= 1";
+    { root = { iv = Interval.make 0 horizon; value = G.zero; kids = None }; horizon }
+
+  (* Split a leaf at [p] (strictly inside its interval). *)
+  let split_leaf node p =
+    assert (node.kids = None);
+    let l, r = Interval.split_at p node.iv in
+    node.kids <-
+      Some (p, { iv = l; value = G.zero; kids = None },
+            { iv = r; value = G.zero; kids = None })
+
+  let rec insert_node node lo hi v =
+    let q = Interval.make lo hi in
+    if Interval.subset node.iv q then node.value <- G.add node.value v
+    else if Interval.intersects node.iv q then begin
+      (match node.kids with
+      | Some _ -> ()
+      | None ->
+          (* Split at whichever endpoint falls strictly inside. *)
+          let p =
+            if Interval.mem lo node.iv && lo > node.iv.Interval.lo then lo else hi
+          in
+          assert (node.iv.Interval.lo < p && p < node.iv.Interval.hi);
+          split_leaf node p);
+      match node.kids with
+      | Some (_, l, r) ->
+          let clip kid =
+            let c = Interval.inter kid.iv q in
+            if not (Interval.is_empty c) then
+              insert_node kid c.Interval.lo c.Interval.hi v
+          in
+          clip l;
+          clip r
+      | None -> assert false
+    end
+
+  let insert t ~lo ~hi v =
+    if lo >= hi then invalid_arg "Agg_tree.insert: empty interval";
+    if lo < 0 || hi > t.horizon then invalid_arg "Agg_tree.insert: outside time domain";
+    insert_node t.root lo hi v
+
+  let query t p =
+    if p < 0 || p >= t.horizon then invalid_arg "Agg_tree.query: outside time domain";
+    let rec go node acc =
+      let acc = G.add acc node.value in
+      match node.kids with
+      | None -> acc
+      | Some (split, l, r) -> if p < split then go l acc else go r acc
+    in
+    go t.root G.zero
+
+  let depth t =
+    let rec go node =
+      match node.kids with Some (_, l, r) -> 1 + max (go l) (go r) | None -> 1
+    in
+    go t.root
+
+  let node_count t =
+    let rec go node =
+      match node.kids with Some (_, l, r) -> 1 + go l + go r | None -> 1
+    in
+    go t.root
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let rec go node =
+      if Interval.is_empty node.iv then fail "Agg_tree: empty node interval";
+      match node.kids with
+      | None -> ()
+      | Some (split, l, r) ->
+          if not (Interval.mem split node.iv) || split = node.iv.Interval.lo then
+            fail "Agg_tree: split point outside node";
+          let el, er = Interval.split_at split node.iv in
+          if not (Interval.equal l.iv el && Interval.equal r.iv er) then
+            fail "Agg_tree: children do not partition parent";
+          go l;
+          go r
+    in
+    go t.root;
+    if not (Interval.equal t.root.iv (Interval.make 0 t.horizon)) then
+      fail "Agg_tree: root does not cover the domain"
+end

@@ -1,0 +1,39 @@
+(** The aggregation tree of Kline and Snodgrass [KS95].
+
+    Paper section 2.1: "[KS95] uses the aggregation-tree, a main-memory
+    tree (based on the segment tree) to incrementally compute temporal
+    aggregates.  However the structure can become unbalanced which implies
+    O(n) worst-case time for computing a scalar temporal aggregate."
+
+    A binary segment tree over the time domain grown by incremental
+    insertion: inserting an interval splits the leaves its endpoints fall
+    into and adds the value to the maximal nodes it covers; an
+    instantaneous query accumulates values along one root-to-leaf path.
+    Split positions are wherever endpoints happen to fall, so adversarial
+    (e.g. sorted) insertion orders degenerate the tree into a list — the
+    weakness that motivated both [MLI00] and the SB-tree. *)
+
+module Make (G : Aggregate.Group.S) : sig
+  type t
+
+  val create : ?horizon:int -> unit -> t
+  (** Time domain [\[0, horizon)], default [max_int - 1]. *)
+
+  val insert : t -> lo:int -> hi:int -> G.t -> unit
+  (** Add [v] to every instant of [\[lo, hi)].
+      @raise Invalid_argument if the interval is empty or escapes the
+      domain. *)
+
+  val query : t -> int -> G.t
+  (** Instantaneous aggregate. *)
+
+  val depth : t -> int
+  (** Current tree depth — O(n) in the worst case, the point of the
+      exercise. *)
+
+  val node_count : t -> int
+
+  val check_invariants : t -> unit
+  (** Children partition their parent's interval; leaf intervals partition
+      the domain. *)
+end

@@ -1,0 +1,173 @@
+module Make (G : Aggregate.Group.S) = struct
+  (* A treap over the constant segments of the step function, keyed by
+     segment start, heap-ordered by random priority.  [value] applies to
+     the node's own segment, [pending] lazily applies to the whole
+     subtree. *)
+  type tree =
+    | Leaf
+    | Node of {
+        seg : Interval.t;
+        prio : int;
+        value : G.t;
+        pending : G.t;
+        l : tree;
+        r : tree;
+      }
+
+  type t = { mutable root : tree; horizon : int; mutable rng_state : int64 }
+
+  let next_prio t =
+    (* SplitMix64, inlined to keep the library dependency-free. *)
+    t.rng_state <- Int64.add t.rng_state 0x9E3779B97F4A7C15L;
+    let z = t.rng_state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.to_int (Int64.logand (Int64.logxor z (Int64.shift_right_logical z 31)) 0x3FFFFFFFFFFFFFFFL)
+
+  let create ?(horizon = max_int - 1) ?(seed = 0x5EED) () =
+    if horizon < 1 then invalid_arg "Balanced_agg_tree.create: horizon must be >= 1";
+    let t = { root = Leaf; horizon; rng_state = Int64.of_int seed } in
+    t.root <-
+      Node
+        { seg = Interval.make 0 horizon; prio = next_prio t; value = G.zero;
+          pending = G.zero; l = Leaf; r = Leaf };
+    t
+
+  let add_pending v = function
+    | Leaf -> Leaf
+    | Node n -> Node { n with pending = G.add n.pending v }
+
+  (* Resolve the lazy tag at a node before descending. *)
+  let push = function
+    | Leaf -> Leaf
+    | Node n when G.equal n.pending G.zero -> Node n
+    | Node n ->
+        Node
+          { n with value = G.add n.value n.pending; pending = G.zero;
+            l = add_pending n.pending n.l; r = add_pending n.pending n.r }
+
+  let node seg prio value l r = Node { seg; prio; value; pending = G.zero; l; r }
+
+  (* Split by segment start: segments with [lo < p] go left. *)
+  let rec split t p =
+    match push t with
+    | Leaf -> (Leaf, Leaf)
+    | Node n ->
+        if n.seg.Interval.lo < p then begin
+          let rl, rr = split n.r p in
+          (node n.seg n.prio n.value n.l rl, rr)
+        end
+        else begin
+          let ll, lr = split n.l p in
+          (ll, node n.seg n.prio n.value lr n.r)
+        end
+
+  let rec merge a b =
+    match (push a, push b) with
+    | Leaf, t | t, Leaf -> t
+    | (Node na as ta), (Node nb as tb) ->
+        if na.prio >= nb.prio then node na.seg na.prio na.value na.l (merge na.r tb)
+        else node nb.seg nb.prio nb.value (merge ta nb.l) nb.r
+
+  (* Detach the maximum-key node. *)
+  let rec take_max t =
+    match push t with
+    | Leaf -> (Leaf, None)
+    | Node n -> (
+        match n.r with
+        | Leaf -> (n.l, Some (n.seg, n.value))
+        | _ ->
+            let rest, m = take_max n.r in
+            (node n.seg n.prio n.value n.l rest, m))
+
+  let singleton t seg value = node seg (next_prio t) value Leaf Leaf
+
+  (* Guarantee a segment boundary at [p]. *)
+  let ensure_boundary t p =
+    if p > 0 && p < t.horizon then begin
+      let a, b = split t.root p in
+      (* The segment containing p is the maximum of [a]; split it in two
+         if p falls strictly inside. *)
+      let a', carried =
+        match take_max a with
+        | rest, Some (seg, value) when seg.Interval.hi > p ->
+            let low, high = Interval.split_at p seg in
+            ( merge rest (singleton t low value),
+              Some (singleton t high value) )
+        | _, Some _ -> (a, None) (* boundary already present *)
+        | _, None -> (a, None)
+      in
+      let b' = match carried with Some n -> merge n b | None -> b in
+      t.root <- merge a' b'
+    end
+
+  let insert t ~lo ~hi v =
+    if lo >= hi then invalid_arg "Balanced_agg_tree.insert: empty interval";
+    if lo < 0 || hi > t.horizon then
+      invalid_arg "Balanced_agg_tree.insert: outside time domain";
+    ensure_boundary t lo;
+    ensure_boundary t hi;
+    let a, bc = split t.root lo in
+    let b, c = split bc hi in
+    t.root <- merge (merge a (add_pending v b)) c
+
+  let query t p =
+    if p < 0 || p >= t.horizon then
+      invalid_arg "Balanced_agg_tree.query: outside time domain";
+    let rec go tr acc =
+      match tr with
+      | Leaf -> acc (* unreachable: segments partition the domain *)
+      | Node n ->
+          let acc = G.add acc n.pending in
+          if p < n.seg.Interval.lo then go n.l acc
+          else if p >= n.seg.Interval.hi then go n.r acc
+          else G.add acc n.value
+    in
+    go t.root G.zero
+
+  let depth t =
+    let rec go = function Leaf -> 0 | Node n -> 1 + max (go n.l) (go n.r) in
+    go t.root
+
+  let segment_count t =
+    let rec go = function Leaf -> 0 | Node n -> 1 + go n.l + go n.r in
+    go t.root
+
+  let to_steps t =
+    let rec go tr acc pending =
+      match tr with
+      | Leaf -> acc
+      | Node n ->
+          let pending = G.add pending n.pending in
+          let acc = go n.r acc pending in
+          let acc = (n.seg, G.add pending n.value) :: acc in
+          go n.l acc pending
+    in
+    go t.root [] G.zero
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    (* In-order segments must partition [0, horizon). *)
+    let steps = to_steps t in
+    let rec chain pos = function
+      | [] -> if pos <> t.horizon then fail "Balanced_agg_tree: domain not covered"
+      | (seg, _) :: rest ->
+          if seg.Interval.lo <> pos then fail "Balanced_agg_tree: gap/overlap at %d" pos;
+          chain seg.Interval.hi rest
+    in
+    chain 0 steps;
+    (* Heap property. *)
+    let rec heap = function
+      | Leaf -> ()
+      | Node n ->
+          (match n.l with
+          | Node m when m.prio > n.prio -> fail "Balanced_agg_tree: heap violation"
+          | _ -> ());
+          (match n.r with
+          | Node m when m.prio > n.prio -> fail "Balanced_agg_tree: heap violation"
+          | _ -> ());
+          heap n.l;
+          heap n.r
+    in
+    heap t.root
+end

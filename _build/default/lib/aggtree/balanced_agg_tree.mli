@@ -1,0 +1,40 @@
+(** A balanced main-memory aggregation tree, after [MLI00].
+
+    Paper section 2.1: "[MLI00] presents an improvement by considering a
+    balanced tree (based on red-black trees).  However, this method is
+    still main-memory resident."
+
+    The structure maintains the partition of the time domain into
+    constant-value segments inside a balanced search tree (a treap here —
+    the balancing scheme is immaterial to the algorithm) with lazy
+    subtree increments, giving O(log n) expected insertion and
+    instantaneous-query time regardless of insertion order — fixing the
+    [KS95] degeneration while remaining a main-memory structure (no
+    paging, which is exactly the gap the SB-tree fills). *)
+
+module Make (G : Aggregate.Group.S) : sig
+  type t
+
+  val create : ?horizon:int -> ?seed:int -> unit -> t
+  (** Time domain [\[0, horizon)] (default [max_int - 1]); [seed] feeds
+      the treap priorities. *)
+
+  val insert : t -> lo:int -> hi:int -> G.t -> unit
+  (** Add [v] to every instant of [\[lo, hi)].
+      @raise Invalid_argument on an empty or out-of-domain interval. *)
+
+  val query : t -> int -> G.t
+  (** Instantaneous aggregate at an instant. *)
+
+  val depth : t -> int
+  (** O(log n) with high probability. *)
+
+  val segment_count : t -> int
+  (** Number of constant segments currently maintained. *)
+
+  val to_steps : t -> (Interval.t * G.t) list
+  (** The maintained step function, in time order (for tests). *)
+
+  val check_invariants : t -> unit
+  (** Segments partition the domain in key order; treap heap property. *)
+end

@@ -1,0 +1,39 @@
+module Make (G : Aggregate.Group.S) = struct
+  type result = (Interval.t * G.t) list
+
+  let compute records =
+    let records = List.filter (fun (iv, _) -> not (Interval.is_empty iv)) records in
+    match records with
+    | [] -> []
+    | _ ->
+        (* Scan 1: the endpoint set induces the constant intervals. *)
+        let points =
+          List.concat_map (fun (iv, _) -> [ iv.Interval.lo; iv.Interval.hi ]) records
+          |> List.sort_uniq Int.compare
+        in
+        let rec segments = function
+          | a :: (b :: _ as rest) -> Interval.make a b :: segments rest
+          | _ -> []
+        in
+        let segs = segments points in
+        (* Scan 2: each record contributes to every segment it covers. *)
+        List.map
+          (fun seg ->
+            let total =
+              List.fold_left
+                (fun acc (iv, v) -> if Interval.subset seg iv then G.add acc v else acc)
+                G.zero records
+            in
+            (seg, total))
+          segs
+
+  let at result p =
+    match List.find_opt (fun (iv, _) -> Interval.mem p iv) result with
+    | Some (_, v) -> v
+    | None -> G.zero
+
+  let instant records p =
+    List.fold_left
+      (fun acc (iv, v) -> if Interval.mem p iv then G.add acc v else acc)
+      G.zero records
+end

@@ -1,0 +1,31 @@
+(** The two-scan temporal aggregation of [Tum92].
+
+    Paper section 2.1: "[Tum92] presents a non-incremental two-step
+    approach where each step requires a full database scan.  First the
+    intervals of the aggregate result tuples are found and then each
+    database tuple updates the values of all result tuples that it
+    affects.  This approach computes a temporal aggregate in O(mn) time".
+
+    It is the simplest correct baseline for scalar (whole-key-range)
+    temporal aggregation and doubles as an oracle for the tree-based
+    methods.  All intervals are half-open. *)
+
+module Make (G : Aggregate.Group.S) : sig
+  type result = (Interval.t * G.t) list
+  (** The aggregate as a step function: maximal constant intervals in time
+      order.  Instants covered by no input interval carry [G.zero] and are
+      included so consecutive intervals always partition the hull. *)
+
+  val compute : (Interval.t * G.t) list -> result
+  (** The two scans: derive the constant-interval partition from the
+      endpoint set, then accumulate every record into each result interval
+      it covers.  O(m·n) like the original. *)
+
+  val at : result -> int -> G.t
+  (** Look an instant up in a computed result ([G.zero] outside its
+      hull). *)
+
+  val instant : (Interval.t * G.t) list -> int -> G.t
+  (** One-shot instantaneous aggregate by a single scan (no
+      materialisation). *)
+end

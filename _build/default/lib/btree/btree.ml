@@ -1,0 +1,433 @@
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (K : KEY) (V : sig
+  type t
+end) =
+struct
+  type node =
+    | Leaf of { entries : (K.t * V.t) array; next : Storage.Page_id.t option }
+    | Node of { keys : K.t array; children : Storage.Page_id.t array }
+
+  module Store = Storage.Page_store.Mem (struct
+    type t = node
+  end)
+
+  module Pool = Storage.Buffer_pool.Make (Store)
+
+  type t = {
+    pool : Pool.t;
+    branching : int;
+    mutable root : Storage.Page_id.t;
+    mutable length : int;
+    mutable height : int;
+  }
+
+  let min_fill t = t.branching / 2
+
+  let create ?(branching = 64) ?(pool_capacity = 64) ?stats () =
+    if branching < 4 then invalid_arg "Btree.create: branching must be >= 4";
+    let store = Store.create ?stats () in
+    let pool = Pool.create ~capacity:pool_capacity store in
+    let root = Pool.alloc pool in
+    Pool.write pool root (Leaf { entries = [||]; next = None });
+    { pool; branching; root; length = 0; height = 1 }
+
+  let branching t = t.branching
+  let stats t = Pool.stats t.pool
+  let length t = t.length
+  let is_empty t = t.length = 0
+  let height t = if t.length = 0 then 0 else t.height
+  let page_count t = Store.live_pages (Pool.store t.pool)
+  let flush t = Pool.flush t.pool
+  let drop_cache t = Pool.drop_cache t.pool
+
+  let read t id = Pool.read t.pool id
+  let write t id node = Pool.write t.pool id node
+
+  (* Position of the first entry with key >= [key]; also reports whether
+     that entry's key equals [key]. *)
+  let leaf_search entries key =
+    let n = Array.length entries in
+    let rec bsearch lo hi =
+      if lo >= hi then (lo, false)
+      else
+        let mid = (lo + hi) / 2 in
+        let c = K.compare key (fst entries.(mid)) in
+        if c = 0 then (mid, true)
+        else if c < 0 then bsearch lo mid
+        else bsearch (mid + 1) hi
+    in
+    bsearch 0 n
+
+  (* Child index for [key]: the first i with key < keys.(i), else |keys|.
+     Subtree children.(i) covers [keys.(i-1), keys.(i)). *)
+  let child_index keys key =
+    let n = Array.length keys in
+    let rec bsearch lo hi =
+      if lo >= hi then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if K.compare key keys.(mid) < 0 then bsearch lo mid else bsearch (mid + 1) hi
+    in
+    bsearch 0 n
+
+  let array_insert arr i x =
+    let n = Array.length arr in
+    Array.init (n + 1) (fun j -> if j < i then arr.(j) else if j = i then x else arr.(j - 1))
+
+  let array_remove arr i =
+    let n = Array.length arr in
+    Array.init (n - 1) (fun j -> if j < i then arr.(j) else arr.(j + 1))
+
+  let sub_array arr lo len = Array.sub arr lo len
+
+  type split = No_split | Split of K.t * Storage.Page_id.t
+
+  let rec insert_rec t id key value : split * bool =
+    match read t id with
+    | Leaf { entries; next } ->
+        let pos, found = leaf_search entries key in
+        if found then begin
+          let entries = Array.copy entries in
+          entries.(pos) <- (key, value);
+          write t id (Leaf { entries; next });
+          (No_split, false)
+        end
+        else begin
+          let entries = array_insert entries pos (key, value) in
+          if Array.length entries <= t.branching then begin
+            write t id (Leaf { entries; next });
+            (No_split, true)
+          end
+          else begin
+            let mid = Array.length entries / 2 in
+            let left = sub_array entries 0 mid in
+            let right = sub_array entries mid (Array.length entries - mid) in
+            let rid = Pool.alloc t.pool in
+            write t rid (Leaf { entries = right; next });
+            write t id (Leaf { entries = left; next = Some rid });
+            (Split (fst right.(0), rid), true)
+          end
+        end
+    | Node { keys; children } -> (
+        let i = child_index keys key in
+        let split, added = insert_rec t children.(i) key value in
+        match split with
+        | No_split -> (No_split, added)
+        | Split (sep, rid) ->
+            let keys = array_insert keys i sep in
+            let children = array_insert children (i + 1) rid in
+            if Array.length children <= t.branching then begin
+              write t id (Node { keys; children });
+              (No_split, added)
+            end
+            else begin
+              (* Promote the middle key; it separates the two halves. *)
+              let midk = Array.length keys / 2 in
+              let up = keys.(midk) in
+              let lkeys = sub_array keys 0 midk in
+              let rkeys = sub_array keys (midk + 1) (Array.length keys - midk - 1) in
+              let lchildren = sub_array children 0 (midk + 1) in
+              let rchildren =
+                sub_array children (midk + 1) (Array.length children - midk - 1)
+              in
+              let rid' = Pool.alloc t.pool in
+              write t rid' (Node { keys = rkeys; children = rchildren });
+              write t id (Node { keys = lkeys; children = lchildren });
+              (Split (up, rid'), added)
+            end)
+
+  let insert t key value =
+    match insert_rec t t.root key value with
+    | No_split, added -> if added then t.length <- t.length + 1
+    | Split (sep, rid), added ->
+        let new_root = Pool.alloc t.pool in
+        write t new_root (Node { keys = [| sep |]; children = [| t.root; rid |] });
+        t.root <- new_root;
+        t.height <- t.height + 1;
+        if added then t.length <- t.length + 1
+
+  let rec find_rec t id key =
+    match read t id with
+    | Leaf { entries; _ } ->
+        let pos, found = leaf_search entries key in
+        if found then Some (snd entries.(pos)) else None
+    | Node { keys; children } -> find_rec t children.(child_index keys key) key
+
+  let find t key = find_rec t t.root key
+
+  let rec max_binding_rec t id =
+    match read t id with
+    | Leaf { entries; _ } ->
+        let n = Array.length entries in
+        if n = 0 then None else Some entries.(n - 1)
+    | Node { children; _ } -> max_binding_rec t children.(Array.length children - 1)
+
+  let rec min_binding_rec t id =
+    match read t id with
+    | Leaf { entries; _ } -> if Array.length entries = 0 then None else Some entries.(0)
+    | Node { children; _ } -> min_binding_rec t children.(0)
+
+  let min_binding t = min_binding_rec t t.root
+  let max_binding t = max_binding_rec t t.root
+
+  let rec find_le_rec t id key =
+    match read t id with
+    | Leaf { entries; _ } ->
+        let pos, found = leaf_search entries key in
+        if found then Some entries.(pos)
+        else if pos > 0 then Some entries.(pos - 1)
+        else None
+    | Node { keys; children } -> (
+        let i = child_index keys key in
+        match find_le_rec t children.(i) key with
+        | Some _ as r -> r
+        | None -> if i > 0 then max_binding_rec t children.(i - 1) else None)
+
+  let find_le t key = find_le_rec t t.root key
+
+  let rec find_ge_rec t id key =
+    match read t id with
+    | Leaf { entries; next } -> (
+        let pos, _found = leaf_search entries key in
+        if pos < Array.length entries then Some entries.(pos)
+        else
+          (* The answer, if any, is the first entry of the next leaf. *)
+          match next with
+          | None -> None
+          | Some nid -> (
+              match read t nid with
+              | Leaf { entries; _ } when Array.length entries > 0 -> Some entries.(0)
+              | Leaf _ -> None
+              | Node _ -> assert false))
+    | Node { keys; children } -> (
+        let i = child_index keys key in
+        match find_ge_rec t children.(i) key with
+        | Some _ as r -> r
+        | None ->
+            if i + 1 < Array.length children then min_binding_rec t children.(i + 1)
+            else None)
+
+  let find_ge t key = find_ge_rec t t.root key
+
+  (* --- Deletion with rebalancing --------------------------------------- *)
+
+  (* [remove_rec] deletes [key] below [id] and reports whether the node at
+     [id] is now under-full, letting the parent repair it. *)
+  let rec remove_rec t id key : bool * bool =
+    match read t id with
+    | Leaf { entries; next } ->
+        let pos, found = leaf_search entries key in
+        if not found then (false, false)
+        else begin
+          let entries = array_remove entries pos in
+          write t id (Leaf { entries; next });
+          (true, Array.length entries < min_fill t)
+        end
+    | Node { keys; children } ->
+        let i = child_index keys key in
+        let removed, underflow = remove_rec t children.(i) key in
+        if not underflow then (removed, false)
+        else begin
+          let keys, children = rebalance_child t keys children i in
+          write t id (Node { keys; children });
+          (removed, Array.length children < min_fill t)
+        end
+
+  (* Repair an under-full child [i] by borrowing from or merging with an
+     adjacent sibling.  Returns the node's updated keys/children. *)
+  and rebalance_child t keys children i =
+    let left_sibling = if i > 0 then Some (i - 1) else None in
+    let right_sibling = if i + 1 < Array.length children then Some (i + 1) else None in
+    let node_size nid =
+      match read t nid with
+      | Leaf { entries; _ } -> Array.length entries
+      | Node { children; _ } -> Array.length children
+    in
+    let try_borrow_from j =
+      node_size children.(j) > min_fill t
+    in
+    match (left_sibling, right_sibling) with
+    | Some l, _ when try_borrow_from l -> borrow_from_left t keys children i l
+    | _, Some r when try_borrow_from r -> borrow_from_right t keys children i r
+    | Some l, _ -> merge_children t keys children l (* merge i into its left *)
+    | _, Some _ -> merge_children t keys children i (* merge right into i *)
+    | None, None -> (keys, children)
+
+  and borrow_from_left t keys children i l =
+    let lid = children.(l) and cid = children.(i) in
+    (match (read t lid, read t cid) with
+    | Leaf ll, Leaf cc ->
+        let n = Array.length ll.entries in
+        let moved = ll.entries.(n - 1) in
+        write t lid (Leaf { ll with entries = sub_array ll.entries 0 (n - 1) });
+        write t cid (Leaf { cc with entries = array_insert cc.entries 0 moved });
+        keys.(l) <- fst moved
+    | Node ln, Node cn ->
+        let nk = Array.length ln.keys and nc = Array.length ln.children in
+        let moved_child = ln.children.(nc - 1) in
+        let sep = keys.(l) in
+        keys.(l) <- ln.keys.(nk - 1);
+        write t lid
+          (Node { keys = sub_array ln.keys 0 (nk - 1);
+                  children = sub_array ln.children 0 (nc - 1) });
+        write t cid
+          (Node { keys = array_insert cn.keys 0 sep;
+                  children = array_insert cn.children 0 moved_child })
+    | _ -> assert false);
+    (keys, children)
+
+  and borrow_from_right t keys children i r =
+    let rid = children.(r) and cid = children.(i) in
+    (match (read t rid, read t cid) with
+    | Leaf rr, Leaf cc ->
+        let moved = rr.entries.(0) in
+        write t rid (Leaf { rr with entries = array_remove rr.entries 0 });
+        write t cid
+          (Leaf { cc with entries = array_insert cc.entries (Array.length cc.entries) moved });
+        (match read t rid with
+        | Leaf { entries; _ } when Array.length entries > 0 -> keys.(i) <- fst entries.(0)
+        | _ -> ())
+    | Node rn, Node cn ->
+        let sep = keys.(i) in
+        keys.(i) <- rn.keys.(0);
+        let moved_child = rn.children.(0) in
+        write t rid
+          (Node { keys = array_remove rn.keys 0; children = array_remove rn.children 0 });
+        write t cid
+          (Node { keys = array_insert cn.keys (Array.length cn.keys) sep;
+                  children = array_insert cn.children (Array.length cn.children) moved_child })
+    | _ -> assert false);
+    (keys, children)
+
+  (* Merge child [l+1] into child [l]; drops separator keys.(l). *)
+  and merge_children t keys children l =
+    let lid = children.(l) and rid = children.(l + 1) in
+    (match (read t lid, read t rid) with
+    | Leaf ll, Leaf rr ->
+        write t lid
+          (Leaf { entries = Array.append ll.entries rr.entries; next = rr.next })
+    | Node ln, Node rn ->
+        let keys' = Array.concat [ ln.keys; [| keys.(l) |]; rn.keys ] in
+        let children' = Array.append ln.children rn.children in
+        write t lid (Node { keys = keys'; children = children' })
+    | _ -> assert false);
+    Pool.free t.pool rid;
+    (array_remove keys l, array_remove children (l + 1))
+
+  let remove t key =
+    let removed, _underflow = remove_rec t t.root key in
+    if removed then t.length <- t.length - 1;
+    (* Collapse a root that lost all separators. *)
+    (match read t t.root with
+    | Node { children; _ } when Array.length children = 1 ->
+        let only = children.(0) in
+        Pool.free t.pool t.root;
+        t.root <- only;
+        t.height <- t.height - 1
+    | _ -> ());
+    removed
+
+  (* --- Traversal -------------------------------------------------------- *)
+
+  let rec leftmost_leaf t id =
+    match read t id with
+    | Leaf _ -> id
+    | Node { children; _ } -> leftmost_leaf t children.(0)
+
+  let iter f t =
+    let rec walk id =
+      match read t id with
+      | Leaf { entries; next } -> (
+          Array.iter (fun (k, v) -> f k v) entries;
+          match next with Some nid -> walk nid | None -> ())
+      | Node _ -> assert false
+    in
+    walk (leftmost_leaf t t.root)
+
+  let fold f t init =
+    let acc = ref init in
+    iter (fun k v -> acc := f k v !acc) t;
+    !acc
+
+  let to_list t = List.rev (fold (fun k v acc -> (k, v) :: acc) t [])
+
+  let range t ~lo ~hi =
+    let out = ref [] in
+    iter
+      (fun k v ->
+        if K.compare k lo >= 0 && K.compare k hi < 0 then out := (k, v) :: !out)
+      t;
+    List.rev !out
+
+  (* --- Invariant checking ----------------------------------------------- *)
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let check_sorted_strict what get n at =
+      for i = 0 to n - 2 do
+        if K.compare (get (at i)) (get (at (i + 1))) >= 0 then
+          fail "Btree: %s not strictly sorted at %d" what i
+      done
+    in
+    (* Returns the leaf depth below [id]; checks bounds [lo, hi) as
+       optional exclusive key windows. *)
+    let rec walk id lo hi ~is_root =
+      match read t id with
+      | Leaf { entries; _ } ->
+          let n = Array.length entries in
+          check_sorted_strict "leaf entries" fst n (fun i -> entries.(i));
+          if (not is_root) && n < min_fill t then
+            fail "Btree: leaf %d under-full (%d < %d)" (Storage.Page_id.to_int id) n
+              (min_fill t);
+          if n > t.branching then fail "Btree: leaf over-full";
+          Array.iter
+            (fun (k, _) ->
+              (match lo with
+              | Some l when K.compare k l < 0 -> fail "Btree: key below window"
+              | _ -> ());
+              match hi with
+              | Some h when K.compare k h >= 0 -> fail "Btree: key above window"
+              | _ -> ())
+            entries;
+          1
+      | Node { keys; children } ->
+          let nk = Array.length keys and nc = Array.length children in
+          if nc <> nk + 1 then fail "Btree: node arity mismatch";
+          if nc > t.branching then fail "Btree: node over-full";
+          if (not is_root) && nc < min_fill t then fail "Btree: node under-full";
+          if is_root && nc < 2 then fail "Btree: root node with single child";
+          check_sorted_strict "separators" (fun k -> k) nk (fun i -> keys.(i));
+          let depths =
+            Array.mapi
+              (fun i cid ->
+                let lo' = if i = 0 then lo else Some keys.(i - 1) in
+                let hi' = if i = nk then hi else Some keys.(i) in
+                walk cid lo' hi' ~is_root:false)
+              children
+          in
+          Array.iter
+            (fun d -> if d <> depths.(0) then fail "Btree: unbalanced depths")
+            depths;
+          depths.(0) + 1
+    in
+    ignore (walk t.root None None ~is_root:true);
+    (* The leaf chain must enumerate exactly [length] entries in order. *)
+    let count = ref 0 in
+    let last = ref None in
+    iter
+      (fun k _ ->
+        (match !last with
+        | Some k' when K.compare k' k >= 0 -> fail "Btree: leaf chain out of order"
+        | _ -> ());
+        last := Some k;
+        incr count)
+      t;
+    if !count <> t.length then
+      fail "Btree: length %d but chain has %d entries" t.length !count
+end

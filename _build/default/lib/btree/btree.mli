@@ -1,0 +1,83 @@
+(** A disk-page B+-tree.
+
+    The MVSBT keeps references to its SB-tree roots "in a structure called
+    [root*] which can be implemented as a B+-tree" (paper section 4.1), and
+    Theorem 2 charges the [O(log_b n)] root lookup of a point query to this
+    structure.  This module provides that B+-tree as a reusable substrate:
+    a generic ordered-key/value index whose nodes live in a page store
+    behind an LRU buffer pool, so lookups cost real (simulated) I/Os.
+
+    Entries live in the leaves; internal nodes hold separator keys.  Leaves
+    are linked left-to-right for ordered scans.  Insertion splits full
+    nodes top-down; deletion rebalances by borrowing from or merging with a
+    sibling. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (K : KEY) (V : sig
+  type t
+end) : sig
+  type t
+
+  val create :
+    ?branching:int -> ?pool_capacity:int -> ?stats:Storage.Io_stats.t -> unit -> t
+  (** [branching] is the maximum number of children of an internal node
+      (and of entries in a leaf); default 64.  Minimum 4.
+      [pool_capacity] sizes the LRU buffer pool (default 64 pages). *)
+
+  val branching : t -> int
+  val stats : t -> Storage.Io_stats.t
+
+  val length : t -> int
+  (** Number of stored bindings, O(1). *)
+
+  val is_empty : t -> bool
+
+  val height : t -> int
+  (** 0 for an empty tree, 1 for a single leaf. *)
+
+  val page_count : t -> int
+  (** Live pages in the underlying store. *)
+
+  val insert : t -> K.t -> V.t -> unit
+  (** Adds a binding, replacing any existing binding of the same key. *)
+
+  val find : t -> K.t -> V.t option
+
+  val find_le : t -> K.t -> (K.t * V.t) option
+  (** Greatest binding whose key is [<= k] — the lookup [root*] needs to
+      map a query time to the root alive at that time. *)
+
+  val find_ge : t -> K.t -> (K.t * V.t) option
+  (** Least binding whose key is [>= k]. *)
+
+  val remove : t -> K.t -> bool
+  (** Returns [true] iff a binding was removed. *)
+
+  val min_binding : t -> (K.t * V.t) option
+  val max_binding : t -> (K.t * V.t) option
+
+  val iter : (K.t -> V.t -> unit) -> t -> unit
+  (** In increasing key order, via the leaf chain. *)
+
+  val fold : (K.t -> V.t -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+  val to_list : t -> (K.t * V.t) list
+
+  val range : t -> lo:K.t -> hi:K.t -> (K.t * V.t) list
+  (** Bindings with [lo <= key < hi], in increasing key order. *)
+
+  val flush : t -> unit
+  (** Write back dirty pages. *)
+
+  val drop_cache : t -> unit
+  (** Flush, then empty the buffer pool (cold-cache measurements). *)
+
+  val check_invariants : t -> unit
+  (** Validates key ordering, separator correctness, node fill factors and
+      the leaf chain.  @raise Failure describing the first violation. *)
+end

@@ -1,0 +1,1 @@
+lib/core/mvsbt.ml: Aggregate Bytes Format Fun Int Int32 Int64 Interval List Printf Queue Root_star Storage String

@@ -1,0 +1,1 @@
+lib/core/mvsbt.mli: Aggregate Format Storage

@@ -1,0 +1,1 @@
+lib/core/root_star.ml: Btree Format Int Interval List Storage

@@ -1,0 +1,1 @@
+lib/core/rta.ml: Aggregate Bytes Format Fun Hashtbl Mvsbt Option Printf Storage String

@@ -1,0 +1,1 @@
+lib/core/rta.mli: Format Mvsbt Storage

@@ -1,0 +1,1 @@
+lib/core/rta_report.ml: Format Interval List Rta String

@@ -1,0 +1,1 @@
+lib/core/rta_report.mli: Format Interval Rta

@@ -1,0 +1,901 @@
+let forever = max_int
+
+type variant = Plain | Logical
+
+type config = {
+  b : int;
+  f : float;
+  variant : variant;
+  merging : bool;
+  disposal : bool;
+  root_star_btree : bool;
+}
+
+let default_config ~b =
+  { b; f = 0.9; variant = Logical; merging = true; disposal = true;
+    root_star_btree = false }
+
+module Make (G : Aggregate.Group.S) = struct
+  type record = {
+    range : Interval.t;
+    rt_start : int;
+    mutable rt_end : int; (* [forever] while alive *)
+    mutable value : G.t;
+    child : Storage.Page_id.t option; (* [None] for leaf records *)
+  }
+
+  type page = {
+    pid : Storage.Page_id.t;
+    level : int; (* 0 = leaf *)
+    prange : Interval.t;
+    created : int;
+    mutable closed : int; (* [forever] while alive *)
+    mutable records : record list;
+  }
+
+  module Store = Storage.Page_store.Mem (struct
+    type t = page
+  end)
+
+  module Pool = Storage.Buffer_pool.Make (Store)
+
+  (* The tree is agnostic to where its pages live; a backend bundles the
+     operations of one buffer-pooled page store (in-memory by default, a
+     real file through {!Durable}). *)
+  type backend = {
+    b_alloc : unit -> Storage.Page_id.t;
+    b_read : Storage.Page_id.t -> page;
+    b_write : Storage.Page_id.t -> page -> unit;
+    b_free : Storage.Page_id.t -> unit;
+    b_exists : Storage.Page_id.t -> bool;
+    b_live : unit -> int;
+    b_drop : unit -> unit;
+    b_flush : unit -> unit;
+  }
+
+  let mem_backend ~pool_capacity ~io_stats =
+    let store = Store.create ~stats:io_stats () in
+    let pool = Pool.create ~capacity:pool_capacity store in
+    ( store,
+      {
+        b_alloc = (fun () -> Pool.alloc pool);
+        b_read = (fun pid -> Pool.read pool pid);
+        b_write = (fun pid page -> Pool.write pool pid page);
+        b_free = (fun pid -> Pool.free pool pid);
+        b_exists = (fun pid -> Store.mem store pid);
+        b_live = (fun () -> Store.live_pages store);
+        b_drop = (fun () -> Pool.drop_cache pool);
+        b_flush = (fun () -> Pool.flush pool);
+      } )
+
+  type t = {
+    backend : backend;
+    io_stats : Storage.Io_stats.t;
+    cfg : config;
+    key_space : int;
+    root_star : Root_star.t;
+    mutable cur_root : Storage.Page_id.t;
+    mutable height : int;
+    mutable now_ : int;
+  }
+
+  let strong_cap cfg = int_of_float (cfg.f *. float_of_int cfg.b)
+
+  let validate_create cfg key_space =
+    if cfg.b < 4 then invalid_arg "Mvsbt.create: b must be >= 4";
+    if not (cfg.f > 0. && cfg.f <= 1.) then invalid_arg "Mvsbt.create: f must be in (0, 1]";
+    if strong_cap cfg < 2 then
+      invalid_arg "Mvsbt.create: f*b must be >= 2 (fan-out of at least 2)";
+    if key_space < 1 then invalid_arg "Mvsbt.create: key_space must be >= 1"
+
+  (* Allocate the initial root (one all-covering zero record) and assemble
+     the handle. *)
+  let boot ~cfg ~key_space ~io_stats backend =
+    let root_star = Root_star.create ~btree:cfg.root_star_btree ~stats:io_stats () in
+    let pid = backend.b_alloc () in
+    let root =
+      {
+        pid;
+        level = 0;
+        prange = Interval.make 0 key_space;
+        created = 0;
+        closed = forever;
+        records =
+          [ { range = Interval.make 0 key_space; rt_start = 0; rt_end = forever;
+              value = G.zero; child = None } ];
+      }
+    in
+    backend.b_write pid root;
+    Root_star.register root_star ~at:0 pid;
+    { backend; io_stats; cfg; key_space; root_star; cur_root = pid; height = 1; now_ = 0 }
+
+  let create ?config ?(pool_capacity = 64) ?stats ~key_space () =
+    let cfg = match config with Some c -> c | None -> default_config ~b:64 in
+    validate_create cfg key_space;
+    let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+    let _store, backend = mem_backend ~pool_capacity ~io_stats in
+    boot ~cfg ~key_space ~io_stats backend
+
+  let config t = t.cfg
+  let key_space t = t.key_space
+  let stats t = t.io_stats
+  let now t = t.now_
+  let page_count t = t.backend.b_live ()
+  let height t = t.height
+  let root_count t = Root_star.count t.root_star
+
+  let drop_cache t =
+    t.backend.b_drop ();
+    Root_star.drop_cache t.root_star
+
+  let flush t = t.backend.b_flush ()
+  let read t pid = t.backend.b_read pid
+  let touch t page = t.backend.b_write page.pid page
+
+  let alive r = r.rt_end = forever
+  let alive_at tau r = r.rt_start <= tau && tau < r.rt_end
+
+  (* Partly-covered record: intersects [k, maxkey) without being contained
+     in it, i.e. it contains [k] with its low end strictly below. *)
+  let partly_covered page k =
+    List.find_opt
+      (fun r -> alive r && r.range.Interval.lo < k && Interval.mem k r.range)
+      page.records
+
+  (* Fully-covered records, ascending by range. *)
+  let fully_covered page k =
+    List.filter (fun r -> alive r && r.range.Interval.lo >= k) page.records
+    |> List.sort (fun a b -> Int.compare a.range.Interval.lo b.range.Interval.lo)
+
+  let first_fully_covered page k =
+    List.fold_left
+      (fun best r ->
+        if alive r && r.range.Interval.lo >= k then
+          match best with
+          | Some b when b.range.Interval.lo <= r.range.Interval.lo -> best
+          | _ -> Some r
+        else best)
+      None page.records
+
+  (* --- Insertion ---------------------------------------------------------- *)
+
+  type op = { killed : record list; added : record list }
+
+  let mk_record ~now range value child =
+    { range; rt_start = now; rt_end = forever; value; child }
+
+  (* Vertical split of [r] at the current time, adding [v]. *)
+  let plus_v_copy ~now v r = mk_record ~now r.range (G.add r.value v) r.child
+
+  (* The records receiving [v] by vertical split at this page, lowest page
+     case — the single "representative" under logical splitting, all
+     fully-covered records under the plain algorithm. *)
+  let covered_targets t page k =
+    match t.cfg.variant with
+    | Plain -> fully_covered page k
+    | Logical -> ( match first_fully_covered page k with None -> [] | Some r -> [ r ])
+
+  let op_for_lowest t page k v ~now : op =
+    if page.level = 0 then
+      match partly_covered page k with
+      | Some rc ->
+          (* Split into three: vertically at [now], horizontally at [k].
+             Under logical splitting the top-right piece carries just the
+             delta [v]; under the plain algorithm values are absolute. *)
+          let low, high = Interval.split_at k rc.range in
+          let high_value =
+            match t.cfg.variant with Logical -> v | Plain -> G.add rc.value v
+          in
+          let extra =
+            match t.cfg.variant with
+            | Logical -> []
+            | Plain -> fully_covered page k
+          in
+          {
+            killed = rc :: extra;
+            added =
+              mk_record ~now low rc.value None
+              :: mk_record ~now high high_value None
+              :: List.map (plus_v_copy ~now v) extra;
+          }
+      | None ->
+          let targets = covered_targets t page k in
+          { killed = targets; added = List.map (plus_v_copy ~now v) targets }
+    else begin
+      (* Index page without a partly-covered record. *)
+      let targets = covered_targets t page k in
+      { killed = targets; added = List.map (plus_v_copy ~now v) targets }
+    end
+
+  (* Op for a path page whose partly-covered record is [partly];
+     [child_descs] are the replacement pages when the child was split. *)
+  let op_for_path t page k v ~now ~partly ~child_descs : op =
+    let targets = covered_targets t page k in
+    let from_child =
+      match child_descs with
+      | [] -> []
+      | descs ->
+          List.mapi
+            (fun i (range, pid) ->
+              let value =
+                match t.cfg.variant with
+                | Plain -> partly.value
+                | Logical -> if i = 0 then partly.value else G.zero
+              in
+              mk_record ~now range value (Some pid))
+            descs
+    in
+    {
+      killed = (if child_descs <> [] then [ partly ] else []) @ targets;
+      added = from_child @ List.map (plus_v_copy ~now v) targets;
+    }
+
+  (* Record merging (section 4.2.2).  Time merge: an alive record whose
+     dead predecessor has the same rectangle sides, value and child is
+     folded back into it.  Key merge: under logical splitting an alive
+     zero-valued record is absorbed by its alive left neighbour when both
+     started together (the zero delta contributes nothing); under the
+     plain algorithm values are absolute, so the neighbours must carry
+     equal values instead. *)
+  let merge_pass t page candidates =
+    let key_mergeable m n =
+      match t.cfg.variant with
+      | Logical -> G.equal n.value G.zero
+      | Plain -> G.equal m.value n.value
+    in
+    (* Only freshly added (or just-merged) records can take part in a new
+       merge, so the worklist stays tiny and the pass is O(|added| * b). *)
+    let work = Queue.create () in
+    List.iter (fun r -> Queue.add r work) candidates;
+    while not (Queue.is_empty work) do
+      let a = Queue.pop work in
+      if List.memq a page.records && alive a then begin
+        (* Time merge: fold [a] back into a dead twin ending where [a]
+           starts. *)
+        match
+          List.find_opt
+            (fun d ->
+              d != a && (not (alive d)) && d.rt_end = a.rt_start
+              && Interval.equal d.range a.range
+              && G.equal d.value a.value && d.child = a.child)
+            page.records
+        with
+        | Some d ->
+            d.rt_end <- forever;
+            page.records <- List.filter (fun r -> r != a) page.records;
+            Queue.add d work
+        | None -> (
+            (* Key merge with the alive neighbour above or below. *)
+            let try_pair m n =
+              if
+                n.range.Interval.lo = m.range.Interval.hi
+                && n.rt_start = m.rt_start && n.rt_end = m.rt_end
+                && key_mergeable m n && n.child = m.child
+              then begin
+                let merged = { m with range = Interval.hull m.range n.range } in
+                page.records <-
+                  List.filter_map
+                    (fun r ->
+                      if r == m then Some merged
+                      else if r == n then None
+                      else Some r)
+                    page.records;
+                Queue.add merged work;
+                true
+              end
+              else false
+            in
+            let neighbour_above =
+              List.find_opt
+                (fun n -> n != a && alive n && n.range.Interval.lo = a.range.Interval.hi)
+                page.records
+            in
+            let merged_up =
+              match neighbour_above with Some n -> try_pair a n | None -> false
+            in
+            if not merged_up then
+              let neighbour_below =
+                List.find_opt
+                  (fun m -> m != a && alive m && m.range.Interval.hi = a.range.Interval.lo)
+                  page.records
+              in
+              match neighbour_below with
+              | Some m -> ignore (try_pair m a)
+              | None -> ())
+      end
+    done
+
+  (* Split [buffer] (alive records of an overflowing page, restarted at the
+     current time) into chunks obeying the strong condition. *)
+  let distribute t buffer =
+    let n = List.length buffer in
+    let cap = strong_cap t.cfg in
+    if n <= cap then [ buffer ]
+    else begin
+      let m = (n + cap - 1) / cap in
+      let base = n / m and extra = n mod m in
+      let rec take k xs =
+        if k = 0 then ([], xs)
+        else
+          match xs with
+          | x :: rest ->
+              let taken, left = take (k - 1) rest in
+              (x :: taken, left)
+          | [] -> assert false
+      in
+      let rec go i xs =
+        if xs = [] then []
+        else
+          let size = base + if i < extra then 1 else 0 in
+          let chunk, rest = take size xs in
+          chunk :: go (i + 1) rest
+      in
+      go 0 buffer
+    end
+
+  let chunk_span chunk =
+    List.fold_left (fun acc r -> Interval.hull acc r.range) Interval.empty chunk
+
+  (* Apply [op] to [page] at time [now].  Returns the replacement
+     descriptors when the page had to be time split (possibly key split),
+     or [] when the op fit in place. *)
+  let apply_op t page op ~now : (Interval.t * Storage.Page_id.t) list =
+    let remaining =
+      List.filter_map
+        (fun r ->
+          if List.memq r op.killed then
+            if t.cfg.disposal && r.rt_start = now then None
+            else begin
+              r.rt_end <- now;
+              Some r
+            end
+          else Some r)
+        page.records
+    in
+    if List.length remaining + List.length op.added <= t.cfg.b then begin
+      page.records <- remaining @ op.added;
+      if t.cfg.merging then merge_pass t page op.added;
+      touch t page;
+      []
+    end
+    else begin
+      (* Time split: alive records restart at [now] in fresh pages. *)
+      let survivors =
+        List.filter alive remaining
+        |> List.map (fun r -> { r with rt_start = now; rt_end = forever })
+      in
+      let buffer =
+        List.sort
+          (fun a b -> Int.compare a.range.Interval.lo b.range.Interval.lo)
+          (survivors @ op.added)
+      in
+      page.closed <- now;
+      touch t page;
+      let chunks = distribute t buffer in
+      (* Key-split value adjustment under logical splitting: queries in a
+         higher chunk must still see the mass of the lower chunks, so the
+         lowest record of chunk j gains the sum of chunks 1..j-1. *)
+      (match (t.cfg.variant, chunks) with
+      | Logical, _ :: _ :: _ ->
+          let prefix = ref G.zero in
+          List.iter
+            (fun chunk ->
+              let chunk_sum =
+                List.fold_left (fun acc r -> G.add acc r.value) G.zero chunk
+              in
+              (match chunk with
+              | lowest :: _ ->
+                  if not (G.equal !prefix G.zero) then
+                    lowest.value <- G.add lowest.value !prefix
+              | [] -> assert false);
+              prefix := G.add !prefix chunk_sum)
+            chunks
+      | _ -> ());
+      let descs =
+        List.map
+          (fun chunk ->
+            let pid = t.backend.b_alloc () in
+            let p =
+              { pid; level = page.level; prange = chunk_span chunk;
+                created = now; closed = forever; records = chunk }
+            in
+            touch t p;
+            (p.prange, pid))
+          chunks
+      in
+      if t.cfg.disposal && page.created = now then t.backend.b_free page.pid;
+      descs
+    end
+
+  (* Install a fresh root covering the whole key space above [descs]. *)
+  let grow_root t descs ~now =
+    match descs with
+    | [] -> ()
+    | [ (_, pid) ] ->
+        (* A pure time split of the root: the copy is the new root of the
+           same height. *)
+        t.cur_root <- pid;
+        Root_star.register t.root_star ~at:now pid
+    | pieces ->
+        let pid = t.backend.b_alloc () in
+        let level = (read t (snd (List.hd pieces))).level + 1 in
+        let records =
+          List.map
+            (fun (range, child) -> mk_record ~now range G.zero (Some child))
+            pieces
+        in
+        let root =
+          { pid; level; prange = Interval.make 0 t.key_space; created = now;
+            closed = forever; records }
+        in
+        touch t root;
+        t.cur_root <- pid;
+        t.height <- t.height + 1;
+        Root_star.register t.root_star ~at:now pid
+
+  let insert t ~key ~at v =
+    if key < 0 || key >= t.key_space then
+      invalid_arg "Mvsbt.insert: key outside key domain";
+    if at < t.now_ then
+      invalid_arg
+        (Printf.sprintf
+           "Mvsbt.insert: time %d precedes current time %d (transaction time is monotone)"
+           at t.now_);
+    t.now_ <- at;
+    (* Phase 1: descend along partly-covered records, keeping the chain of
+       (page, partly-covered record), nearest ancestor first. *)
+    let rec descend page path =
+      if page.level = 0 then (page, path)
+      else
+        match partly_covered page key with
+        | None -> (page, path)
+        | Some r -> (
+            match r.child with
+            | None -> assert false
+            | Some c -> descend (read t c) ((page, r) :: path))
+    in
+    let lowest, path = descend (read t t.cur_root) [] in
+    (* Phase 2: handle the lowest page. *)
+    let descs = apply_op t lowest (op_for_lowest t lowest key v ~now:at) ~now:at in
+    (* Phase 3: walk back up the partly-covered chain. *)
+    let descs =
+      List.fold_left
+        (fun child_descs (page, partly) ->
+          let op = op_for_path t page key v ~now:at ~partly ~child_descs in
+          apply_op t page op ~now:at)
+        descs path
+    in
+    (* Phase 4: the root itself was split. *)
+    grow_root t descs ~now:at
+
+  (* --- Point query ---------------------------------------------------------- *)
+
+  let query t ~key ~at =
+    if key < 0 || key >= t.key_space then
+      invalid_arg "Mvsbt.query: key outside key domain";
+    if at < 0 then invalid_arg "Mvsbt.query: negative time";
+    let root = if at >= t.now_ then t.cur_root else Root_star.find t.root_star ~at in
+    let rec go pid acc =
+      let page = read t pid in
+      let acc =
+        match t.cfg.variant with
+        | Logical ->
+            (* Appendix A: sum every record alive at [at] whose low end is
+               at or below the key. *)
+            List.fold_left
+              (fun acc r ->
+                if alive_at at r && r.range.Interval.lo <= key then G.add acc r.value
+                else acc)
+              acc page.records
+        | Plain ->
+            (* Plain semantics: only the containing record applies. *)
+            let r =
+              List.find (fun r -> alive_at at r && Interval.mem key r.range) page.records
+            in
+            G.add acc r.value
+      in
+      let r =
+        try List.find (fun r -> alive_at at r && Interval.mem key r.range) page.records
+        with Not_found ->
+          Format.kasprintf failwith
+            "Mvsbt: no record containing (%d, %d) in page %d" key at
+            (Storage.Page_id.to_int pid)
+      in
+      match r.child with None -> acc | Some c -> go c acc
+    in
+    go root G.zero
+
+  (* --- Whole-graph traversal ------------------------------------------------ *)
+
+  let page_exists t pid = t.backend.b_exists pid
+
+  let iter_pages t f =
+    let visited = ref Storage.Page_id.Set.empty in
+    let rec go pid =
+      if not (Storage.Page_id.Set.mem pid !visited) then begin
+        visited := Storage.Page_id.Set.add pid !visited;
+        let page = read t pid in
+        f page;
+        List.iter
+          (fun r ->
+            match r.child with
+            (* Dead record copies may reference disposed pages; queries can
+               never follow them (their effective lifetime is empty). *)
+            | Some c when page_exists t c -> go c
+            | Some _ | None -> ())
+          page.records
+      end
+    in
+    List.iter (fun (_, pid) -> go pid) (Root_star.tenures t.root_star)
+
+  let record_count t =
+    let n = ref 0 in
+    iter_pages t (fun p -> n := !n + List.length p.records);
+    !n
+
+  (* --- Invariant checking ---------------------------------------------------- *)
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let root_pids =
+      List.fold_left
+        (fun s (_, pid) -> Storage.Page_id.Set.add pid s)
+        Storage.Page_id.Set.empty
+        (Root_star.tenures t.root_star)
+    in
+    iter_pages t (fun page ->
+        let pid = Storage.Page_id.to_int page.pid in
+        if page.records = [] then fail "Mvsbt: page %d empty" pid;
+        if List.length page.records > t.cfg.b then fail "Mvsbt: page %d over-full" pid;
+        let lifetime_hi = min page.closed (t.now_ + 1) in
+        List.iter
+          (fun r ->
+            if Interval.is_empty r.range then fail "Mvsbt: empty record range";
+            if not (Interval.subset r.range page.prange) then
+              fail "Mvsbt: record range escapes page %d" pid;
+            if r.rt_start > r.rt_end then fail "Mvsbt: inverted record interval";
+            if r.rt_start < page.created then
+              fail "Mvsbt: record starts before page %d was created" pid;
+            (match (page.level, r.child) with
+            | 0, Some _ -> fail "Mvsbt: leaf record with child in page %d" pid
+            | 0, None | _, Some _ -> ()
+            | _, None -> fail "Mvsbt: index record without child in page %d" pid);
+            match r.child with
+            | None -> ()
+            | Some c -> (
+                let slice =
+                  Interval.inter
+                    (Interval.make r.rt_start (min r.rt_end lifetime_hi))
+                    (Interval.make page.created lifetime_hi)
+                in
+                match read t c with
+                | exception Not_found ->
+                    (* A reference to a disposed page is legal only when no
+                       query can follow it. *)
+                    if not (Interval.is_empty slice) then
+                      fail "Mvsbt: reachable record references a disposed page"
+                | child ->
+                    if child.level <> page.level - 1 then fail "Mvsbt: level mismatch";
+                    if not (Interval.equal child.prange r.range) then
+                      fail "Mvsbt: record range differs from child page range";
+                    if
+                      not
+                        (Interval.subset slice
+                           (Interval.make child.created (min child.closed (t.now_ + 1))))
+                    then fail "Mvsbt: record refers to child page outside its lifetime"))
+          page.records;
+        (* Property 1 at every interesting instant of the page lifetime. *)
+        let times =
+          page.created
+          :: List.concat_map (fun r -> [ r.rt_start; r.rt_end ]) page.records
+          |> List.filter (fun x -> page.created <= x && x < lifetime_hi)
+          |> List.sort_uniq Int.compare
+        in
+        List.iter
+          (fun tau ->
+            let alive_recs =
+              List.filter (fun r -> alive_at tau r) page.records
+              |> List.sort (fun a b ->
+                     Int.compare a.range.Interval.lo b.range.Interval.lo)
+            in
+            let rec chain pos = function
+              | [] ->
+                  if pos <> page.prange.Interval.hi then
+                    fail "Mvsbt: page %d not covered at time %d (stops at %d)" pid tau
+                      pos
+              | r :: rest ->
+                  if r.range.Interval.lo <> pos then
+                    fail "Mvsbt: gap/overlap in page %d at time %d (key %d, expected %d)"
+                      pid tau r.range.Interval.lo pos;
+                  chain r.range.Interval.hi rest
+            in
+            chain page.prange.Interval.lo alive_recs;
+            (* Lemma 3: without merging, non-root pages keep at least
+               ceil(f*b/2) alive records. *)
+            if
+              (not t.cfg.merging)
+              && (not (Storage.Page_id.Set.mem page.pid root_pids))
+              && List.length alive_recs < (strong_cap t.cfg + 1) / 2
+            then
+              fail "Mvsbt: page %d below Lemma-3 density at time %d (%d alive)" pid tau
+                (List.length alive_recs))
+          times);
+    (* Root tenures partition the time axis from 0. *)
+    let rec tenure_chain pos = function
+      | [] -> if pos <> forever then fail "Mvsbt: root tenures do not reach maxtime"
+      | (iv, _) :: rest ->
+          if iv.Interval.lo <> pos then fail "Mvsbt: root tenure gap at %d" pos;
+          tenure_chain iv.Interval.hi rest
+    in
+    tenure_chain 0 (Root_star.tenures t.root_star)
+
+  (* --- On-disk formats ---------------------------------------------------------- *)
+
+  module type VALUE_CODEC = sig
+    val max_size : int
+    val encode : Storage.Codec.Writer.t -> G.t -> unit
+    val decode : Storage.Codec.Reader.t -> G.t
+  end
+
+  (* Binary layout of records and pages, shared by the durable (file-resident)
+     tree and snapshot persistence. *)
+  module Record_codec (V : VALUE_CODEC) = struct
+    let encode_record w r =
+      Storage.Codec.Writer.i64 w r.range.Interval.lo;
+      Storage.Codec.Writer.i64 w r.range.Interval.hi;
+      Storage.Codec.Writer.i64 w r.rt_start;
+      Storage.Codec.Writer.i64 w r.rt_end;
+      V.encode w r.value;
+      match r.child with
+      | None -> Storage.Codec.Writer.bool w false
+      | Some c ->
+          Storage.Codec.Writer.bool w true;
+          Storage.Codec.Writer.i64 w (Storage.Page_id.to_int c)
+
+    let decode_record rd =
+      let lo = Storage.Codec.Reader.i64 rd in
+      let hi = Storage.Codec.Reader.i64 rd in
+      let rt_start = Storage.Codec.Reader.i64 rd in
+      let rt_end = Storage.Codec.Reader.i64 rd in
+      let value = V.decode rd in
+      let child =
+        if Storage.Codec.Reader.bool rd then
+          Some (Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd))
+        else None
+      in
+      { range = Interval.make lo hi; rt_start; rt_end; value; child }
+
+    let record_bytes = (4 * 8) + 9 + V.max_size
+
+    let encode_page w p =
+      Storage.Codec.Writer.i64 w (Storage.Page_id.to_int p.pid);
+      Storage.Codec.Writer.i32 w p.level;
+      Storage.Codec.Writer.i64 w p.prange.Interval.lo;
+      Storage.Codec.Writer.i64 w p.prange.Interval.hi;
+      Storage.Codec.Writer.i64 w p.created;
+      Storage.Codec.Writer.i64 w p.closed;
+      Storage.Codec.Writer.i32 w (List.length p.records);
+      List.iter (encode_record w) p.records
+
+    let decode_page rd =
+      let pid = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
+      let level = Storage.Codec.Reader.i32 rd in
+      let lo = Storage.Codec.Reader.i64 rd in
+      let hi = Storage.Codec.Reader.i64 rd in
+      let created = Storage.Codec.Reader.i64 rd in
+      let closed = Storage.Codec.Reader.i64 rd in
+      let n_records = Storage.Codec.Reader.i32 rd in
+      let records = List.init n_records (fun _ -> decode_record rd) in
+      { pid; level; prange = Interval.make lo hi; created; closed; records }
+
+    let page_header_bytes = 8 + 4 + (4 * 8) + 4
+  end
+
+  module Durable (V : VALUE_CODEC) = struct
+    module RC = Record_codec (V)
+
+    module File_store = Storage.Page_store.File (struct
+      type t = page
+
+      let encode = RC.encode_page
+      let decode = RC.decode_page
+    end)
+
+    module File_pool = Storage.Buffer_pool.Make (File_store)
+
+    let min_page_size cfg = RC.page_header_bytes + (cfg.b * RC.record_bytes)
+
+    let create ?config ?(pool_capacity = 64) ?stats ?(page_size = 4096) ~key_space
+        ~path () =
+      let cfg = match config with Some c -> c | None -> default_config ~b:64 in
+      validate_create cfg key_space;
+      if min_page_size cfg > page_size then
+        invalid_arg
+          (Printf.sprintf
+             "Mvsbt.Durable.create: %d-byte pages cannot hold b=%d records (need %d)"
+             page_size cfg.b (min_page_size cfg));
+      let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+      let store = File_store.create ~stats:io_stats ~page_size ~path () in
+      let pool = File_pool.create ~capacity:pool_capacity store in
+      let backend =
+        {
+          b_alloc = (fun () -> File_pool.alloc pool);
+          b_read = (fun pid -> File_pool.read pool pid);
+          b_write = (fun pid page -> File_pool.write pool pid page);
+          b_free = (fun pid -> File_pool.free pool pid);
+          b_exists = (fun pid -> File_store.mem store pid);
+          b_live = (fun () -> File_store.live_pages store);
+          b_drop = (fun () -> File_pool.drop_cache pool);
+          b_flush = (fun () -> File_pool.flush pool);
+        }
+      in
+      boot ~cfg ~key_space ~io_stats backend
+  end
+
+  (* --- Snapshot persistence --------------------------------------------------- *)
+
+  module Persist (V : VALUE_CODEC) = struct
+    let magic = "MVSBT-SNAPSHOT-1"
+
+    let write_chunk oc (w : Storage.Codec.Writer.t) =
+      let len = Storage.Codec.Writer.pos w in
+      let hdr = Bytes.create 4 in
+      Bytes.set_int32_le hdr 0 (Int32.of_int len);
+      output_bytes oc hdr;
+      output_bytes oc (Bytes.sub (Storage.Codec.Writer.contents w) 0 len)
+
+    let read_chunk ic =
+      let hdr = Bytes.create 4 in
+      really_input ic hdr 0 4;
+      let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+      if len < 0 || len > 1 lsl 30 then failwith "Mvsbt.Persist: corrupt chunk length";
+      let buf = Bytes.create len in
+      really_input ic buf 0 len;
+      Storage.Codec.Reader.create buf
+
+    include Record_codec (V)
+
+    let save t ~path =
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+      output_string oc magic;
+      (* Header. *)
+      let tenures = Root_star.tenures t.root_star in
+      let w = Storage.Codec.Writer.create (128 + (List.length tenures * 16)) in
+      Storage.Codec.Writer.i32 w t.cfg.b;
+      Storage.Codec.Writer.i64 w (Int64.to_int (Int64.bits_of_float t.cfg.f));
+      Storage.Codec.Writer.u8 w (match t.cfg.variant with Plain -> 0 | Logical -> 1);
+      Storage.Codec.Writer.bool w t.cfg.merging;
+      Storage.Codec.Writer.bool w t.cfg.disposal;
+      Storage.Codec.Writer.bool w t.cfg.root_star_btree;
+      Storage.Codec.Writer.i64 w t.key_space;
+      Storage.Codec.Writer.i64 w t.now_;
+      Storage.Codec.Writer.i64 w (Storage.Page_id.to_int t.cur_root);
+      Storage.Codec.Writer.i32 w t.height;
+      Storage.Codec.Writer.i32 w (List.length tenures);
+      List.iter
+        (fun (iv, pid) ->
+          Storage.Codec.Writer.i64 w iv.Interval.lo;
+          Storage.Codec.Writer.i64 w (Storage.Page_id.to_int pid))
+        tenures;
+      write_chunk oc w;
+      (* Pages: count, then one chunk each. *)
+      let pages = ref [] in
+      iter_pages t (fun p -> pages := p :: !pages);
+      let w = Storage.Codec.Writer.create 8 in
+      Storage.Codec.Writer.i32 w (List.length !pages);
+      write_chunk oc w;
+      List.iter
+        (fun p ->
+          let w = Storage.Codec.Writer.create (64 + (List.length p.records * record_bytes)) in
+          Storage.Codec.Writer.i64 w (Storage.Page_id.to_int p.pid);
+          Storage.Codec.Writer.i32 w p.level;
+          Storage.Codec.Writer.i64 w p.prange.Interval.lo;
+          Storage.Codec.Writer.i64 w p.prange.Interval.hi;
+          Storage.Codec.Writer.i64 w p.created;
+          Storage.Codec.Writer.i64 w p.closed;
+          Storage.Codec.Writer.i32 w (List.length p.records);
+          List.iter (encode_record w) p.records;
+          write_chunk oc w)
+        !pages
+
+    let load ?(pool_capacity = 64) ?stats ~path () =
+      let ic = open_in_bin path in
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      let m = really_input_string ic (String.length magic) in
+      if m <> magic then failwith "Mvsbt.Persist.load: bad magic";
+      let rd = read_chunk ic in
+      let b = Storage.Codec.Reader.i32 rd in
+      let f = Int64.float_of_bits (Int64.of_int (Storage.Codec.Reader.i64 rd)) in
+      let variant =
+        match Storage.Codec.Reader.u8 rd with
+        | 0 -> Plain
+        | 1 -> Logical
+        | _ -> failwith "Mvsbt.Persist.load: bad variant"
+      in
+      let merging = Storage.Codec.Reader.bool rd in
+      let disposal = Storage.Codec.Reader.bool rd in
+      let root_star_btree = Storage.Codec.Reader.bool rd in
+      let key_space = Storage.Codec.Reader.i64 rd in
+      let now_ = Storage.Codec.Reader.i64 rd in
+      let cur_root = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
+      let height = Storage.Codec.Reader.i32 rd in
+      let n_roots = Storage.Codec.Reader.i32 rd in
+      let roots =
+        List.init n_roots (fun _ ->
+            let ts = Storage.Codec.Reader.i64 rd in
+            let pid = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
+            (ts, pid))
+      in
+      let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+      let store = Store.create ~stats:io_stats () in
+      let pool = Pool.create ~capacity:pool_capacity store in
+      (* [Store.install] charges no I/O, so loading is free of counters. *)
+      let backend =
+        {
+          b_alloc = (fun () -> Pool.alloc pool);
+          b_read = (fun pid -> Pool.read pool pid);
+          b_write = (fun pid page -> Pool.write pool pid page);
+          b_free = (fun pid -> Pool.free pool pid);
+          b_exists = (fun pid -> Store.mem store pid);
+          b_live = (fun () -> Store.live_pages store);
+          b_drop = (fun () -> Pool.drop_cache pool);
+          b_flush = (fun () -> Pool.flush pool);
+        }
+      in
+      let root_star = Root_star.create ~btree:root_star_btree ~stats:io_stats () in
+      List.iter (fun (ts, pid) -> Root_star.register root_star ~at:ts pid) roots;
+      let rd = read_chunk ic in
+      let n_pages = Storage.Codec.Reader.i32 rd in
+      for _ = 1 to n_pages do
+        let rd = read_chunk ic in
+        let pid = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
+        let level = Storage.Codec.Reader.i32 rd in
+        let lo = Storage.Codec.Reader.i64 rd in
+        let hi = Storage.Codec.Reader.i64 rd in
+        let created = Storage.Codec.Reader.i64 rd in
+        let closed = Storage.Codec.Reader.i64 rd in
+        let n_records = Storage.Codec.Reader.i32 rd in
+        let records = List.init n_records (fun _ -> decode_record rd) in
+        Store.install store pid
+          { pid; level; prange = Interval.make lo hi; created; closed; records }
+      done;
+      {
+        backend;
+        io_stats;
+        cfg = { b; f; variant; merging; disposal; root_star_btree };
+        key_space;
+        root_star;
+        cur_root;
+        height;
+        now_;
+      }
+  end
+
+  let pp_dot ppf t =
+    Format.fprintf ppf "digraph mvsbt {@.  node [shape=record];@.";
+    iter_pages t (fun page ->
+        let label =
+          String.concat "|"
+            (List.map
+               (fun r ->
+                 Format.asprintf "%a@%d..%s: %a" Interval.pp r.range r.rt_start
+                   (if r.rt_end = forever then "inf" else string_of_int r.rt_end)
+                   G.pp r.value)
+               page.records)
+        in
+        Format.fprintf ppf "  p%d [label=\"{p%d lvl%d %a|%s}\"];@."
+          (Storage.Page_id.to_int page.pid)
+          (Storage.Page_id.to_int page.pid)
+          page.level Interval.pp page.prange label;
+        List.iter
+          (fun r ->
+            match r.child with
+            | Some c ->
+                Format.fprintf ppf "  p%d -> p%d;@."
+                  (Storage.Page_id.to_int page.pid)
+                  (Storage.Page_id.to_int c)
+            | None -> ())
+          page.records);
+    Format.fprintf ppf "}@."
+end

@@ -1,0 +1,162 @@
+(** The Multiversion SB-tree (MVSBT) — the paper's core contribution.
+
+    The MVSBT is "a directed acyclic graph of disk-resident nodes that
+    results from incremental insertions to an initially empty SB-tree"
+    (section 4.1).  It supports two operations over the key-time plane:
+
+    - {e insertion} [(k, t): v] — "add [v] to the values associated with
+      all the points in the rectangle [\[k, maxkey\] × \[t, maxtime\]]",
+      with [t] non-decreasing across calls (transaction time);
+    - {e point query} [(k, t)] — "find the value associated with this
+      point", for any past or present [t].
+
+    Equivalently, [query k t] returns the dominance sum
+    [Σ {v | insert (k', t'): v with k' <= k and t' <= t}], which is
+    exactly what the LKST / LKLT indices of the problem reduction need.
+
+    Structure: each SB-tree root covers a disjoint time interval
+    (registered in {!Root_star}); pages hold records
+    [<range, interval, value(, child)>] whose rectangles partition the
+    page rectangle (Property 1).  A page that accumulates more than [b]
+    records is {e time split} (alive records copied to a fresh page) and,
+    if the copy exceeds the strong bound [f*b], {e key split}.
+
+    Both insertion algorithms of the paper are implemented:
+
+    - {!variant} [Logical] — the "aggregation in a page" optimisation of
+      section 4.2.1: at most one record per page is physically split;
+      record values are deltas, and a query at [(k, t)] sums {e every}
+      alive record with [low <= k] along the path (Appendix A).
+    - {!variant} [Plain] — the unoptimised section-4.1 algorithm: every
+      fully-covered record is split on insertion ([Θ(b)] work per page);
+      values are absolute and a query sums only the records containing
+      the point.
+
+    The record-merging (4.2.2) and page-disposal (4.2.3) optimisations are
+    independent switches. *)
+
+type variant =
+  | Plain  (** Section 4.1: split all fully-covered records. *)
+  | Logical  (** Section 4.2.1: logical splitting (the default). *)
+
+type config = {
+  b : int;  (** Page capacity in records. *)
+  f : float;  (** Strong factor in (0, 1]: at most [f*b] records survive a time split. *)
+  variant : variant;
+  merging : bool;  (** Record merging (time merge + key merge), section 4.2.2. *)
+  disposal : bool;  (** Page disposal of empty-lifetime pages, section 4.2.3. *)
+  root_star_btree : bool;
+      (** Keep [root*] in a disk-based B+-tree instead of a main-memory
+          array (section 4.4 discusses both). *)
+}
+
+val default_config : b:int -> config
+(** [f = 0.9] (the paper's experimental setting), [Logical] variant,
+    merging and disposal on, main-memory [root*]. *)
+
+module Make (G : Aggregate.Group.S) : sig
+  type t
+
+  val create :
+    ?config:config ->
+    ?pool_capacity:int ->
+    ?stats:Storage.Io_stats.t ->
+    key_space:int ->
+    unit ->
+    t
+  (** An MVSBT over the key domain [\[0, key_space)].  [config] defaults
+      to [default_config ~b:64]; [pool_capacity] sizes the LRU buffer pool
+      (default 64 pages, the paper's default). *)
+
+  val config : t -> config
+  val key_space : t -> int
+  val stats : t -> Storage.Io_stats.t
+
+  val now : t -> int
+  (** Largest insertion time seen so far (0 initially). *)
+
+  val insert : t -> key:int -> at:int -> G.t -> unit
+  (** Add [v] to every point of [\[key, key_space) × \[at, infinity)].
+      @raise Invalid_argument if [key] is outside [\[0, key_space)] or
+      [at] precedes an earlier insertion (transaction time is monotone). *)
+
+  val query : t -> key:int -> at:int -> G.t
+  (** The value at point [(key, at)] — for any [at >= 0], including times
+      in the future of {!now} (which see the current state).
+      @raise Invalid_argument if [key] is outside the key domain. *)
+
+  val page_count : t -> int
+  (** Live pages — the space metric of figure 4a. *)
+
+  val record_count : t -> int
+  (** Total records over all pages (occupied slots).  Full scan. *)
+
+  val height : t -> int
+  (** Height of the current (latest) SB-tree. *)
+
+  val root_count : t -> int
+  (** Number of SB-tree roots in the graph. *)
+
+  val drop_cache : t -> unit
+  (** Flush and empty the buffer pool (cold-cache measurements). *)
+
+  val flush : t -> unit
+  (** Write dirty pages back to the underlying store (a real file for
+      {!Durable} trees). *)
+
+  val check_invariants : t -> unit
+  (** Structural validation over the whole graph: Property 1 (alive
+      records partition the page rectangle at every instant of its
+      lifetime), page capacity, strong condition at page creation,
+      parent/child range and level agreement, and root tenure coverage.
+      @raise Failure on the first violation. *)
+
+  val pp_dot : Format.formatter -> t -> unit
+  (** Graphviz rendering of the page graph, for debugging and docs. *)
+
+  (** Binary codec for aggregate values, supplied by the caller to enable
+      on-disk page formats ({!Persist} snapshots and {!Durable} trees). *)
+  module type VALUE_CODEC = sig
+    val max_size : int
+    (** Upper bound on the encoded size of one value, in bytes. *)
+
+    val encode : Storage.Codec.Writer.t -> G.t -> unit
+    val decode : Storage.Codec.Reader.t -> G.t
+  end
+
+  (** A file-resident MVSBT: pages are encoded into fixed-size blocks of a
+      real file behind the LRU buffer pool, so physical reads and writes
+      hit the filesystem.  The handle type and every operation are those
+      of the in-memory tree. *)
+  module Durable (V : VALUE_CODEC) : sig
+    val create :
+      ?config:config ->
+      ?pool_capacity:int ->
+      ?stats:Storage.Io_stats.t ->
+      ?page_size:int ->
+      key_space:int ->
+      path:string ->
+      unit ->
+      t
+    (** Creates (truncating) [path].  [page_size] defaults to 4096 bytes;
+        it must be able to hold [b] maximal records.
+        @raise Invalid_argument when the configuration cannot fit. *)
+
+    val min_page_size : config -> int
+    (** The smallest page size accepted for a configuration. *)
+  end
+
+  (** Snapshot persistence: serialise the whole page graph (every page
+      with its original id, the [root*] directory, and the configuration)
+      to a file and reload it later.  The caller supplies the binary codec
+      for aggregate values. *)
+  module Persist (V : VALUE_CODEC) : sig
+    val save : t -> path:string -> unit
+    (** Write a snapshot.  The index remains usable. *)
+
+    val load : ?pool_capacity:int -> ?stats:Storage.Io_stats.t -> path:string -> unit -> t
+    (** Reload a snapshot; queries and further (time-monotone) insertions
+        behave exactly as on the saved index.
+        @raise Failure on a malformed or incompatible file. *)
+  end
+end

@@ -1,0 +1,72 @@
+module Time_key = struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end
+
+module Dir = Btree.Make (Time_key) (struct
+  type t = Storage.Page_id.t
+end)
+
+type backing =
+  | Array_backed of (int * Storage.Page_id.t) list ref (* newest first *)
+  | Btree_backed of Dir.t
+
+type t = { backing : backing; mutable latest_at : int; mutable n : int }
+
+let create ?(btree = false) ?stats () =
+  let backing =
+    if btree then Btree_backed (Dir.create ?stats ()) else Array_backed (ref [])
+  in
+  { backing; latest_at = min_int; n = 0 }
+
+let is_btree t = match t.backing with Btree_backed _ -> true | Array_backed _ -> false
+
+let register t ~at pid =
+  if at < t.latest_at then invalid_arg "Root_star.register: time went backwards";
+  let replacing = at = t.latest_at && t.n > 0 in
+  (match t.backing with
+  | Array_backed cell ->
+      if replacing then cell := (at, pid) :: List.tl !cell
+      else cell := (at, pid) :: !cell
+  | Btree_backed dir -> Dir.insert dir at pid);
+  t.latest_at <- at;
+  if not replacing then t.n <- t.n + 1
+
+let find t ~at =
+  match t.backing with
+  | Array_backed cell ->
+      let rec go = function
+        | (ts, pid) :: rest -> if ts <= at then pid else go rest
+        | [] -> raise Not_found
+      in
+      go !cell
+  | Btree_backed dir -> (
+      match Dir.find_le dir at with Some (_, pid) -> pid | None -> raise Not_found)
+
+let latest t =
+  if t.n = 0 then raise Not_found;
+  match t.backing with
+  | Array_backed cell -> (
+      match !cell with (_, pid) :: _ -> pid | [] -> raise Not_found)
+  | Btree_backed dir -> (
+      match Dir.max_binding dir with Some (_, pid) -> pid | None -> raise Not_found)
+
+let count t = t.n
+
+let drop_cache t =
+  match t.backing with Array_backed _ -> () | Btree_backed dir -> Dir.drop_cache dir
+
+let tenures t =
+  let entries =
+    match t.backing with
+    | Array_backed cell -> List.rev !cell
+    | Btree_backed dir -> Dir.to_list dir
+  in
+  let rec go = function
+    | [ (ts, pid) ] -> [ (Interval.make ts max_int, pid) ]
+    | (ts, pid) :: ((ts', _) :: _ as rest) -> (Interval.make ts ts', pid) :: go rest
+    | [] -> []
+  in
+  go entries

@@ -1,0 +1,204 @@
+module G = Aggregate.Group.Sum_count
+module Index = Mvsbt.Make (G)
+
+module Value_codec = struct
+  let max_size = 16
+
+  let encode w ((s, c) : G.t) =
+    Storage.Codec.Writer.i64 w s;
+    Storage.Codec.Writer.i64 w c
+
+  let decode rd =
+    let s = Storage.Codec.Reader.i64 rd in
+    let c = Storage.Codec.Reader.i64 rd in
+    (s, c)
+end
+
+module Durable_index = Index.Durable (Value_codec)
+
+type t = {
+  lkst : Index.t; (* tuples alive at a given time *)
+  lklt : Index.t; (* tuples ended by a given time *)
+  alive : (int, int * int) Hashtbl.t; (* key -> (value, start time): the base table *)
+  max_key : int;
+  mutable now_ : int;
+  mutable n_updates : int;
+}
+
+let create ?config ?pool_capacity ?stats ~max_key () =
+  if max_key < 1 then invalid_arg "Rta.create: max_key must be >= 1";
+  let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+  (* Key domain [0, max_key]: insertions land on k+1, queries on range
+     bounds up to max_key. *)
+  let key_space = max_key + 1 in
+  let mk () = Index.create ?config ?pool_capacity ~stats ~key_space () in
+  {
+    lkst = mk ();
+    lklt = mk ();
+    alive = Hashtbl.create 1024;
+    max_key;
+    now_ = 0;
+    n_updates = 0;
+  }
+
+let create_durable ?config ?pool_capacity ?stats ?page_size ~max_key ~path () =
+  if max_key < 1 then invalid_arg "Rta.create_durable: max_key must be >= 1";
+  let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+  let key_space = max_key + 1 in
+  let mk suffix =
+    Durable_index.create ?config ?pool_capacity ~stats ?page_size ~key_space
+      ~path:(path ^ suffix) ()
+  in
+  {
+    lkst = mk ".lkst.pages";
+    lklt = mk ".lklt.pages";
+    alive = Hashtbl.create 1024;
+    max_key;
+    now_ = 0;
+    n_updates = 0;
+  }
+
+let flush t =
+  Index.flush t.lkst;
+  Index.flush t.lklt
+
+let max_key t = t.max_key
+let config t = Index.config t.lkst
+let stats t = Index.stats t.lkst
+let now t = t.now_
+let n_updates t = t.n_updates
+let alive_count t = Hashtbl.length t.alive
+
+let advance t at =
+  if at < t.now_ then invalid_arg "Rta: time went backwards (transaction time is monotone)";
+  t.now_ <- at
+
+let insert t ~key ~value ~at =
+  if key < 0 || key >= t.max_key then invalid_arg "Rta.insert: key outside key space";
+  if Hashtbl.mem t.alive key then
+    invalid_arg (Printf.sprintf "Rta.insert: key %d is already alive (1TNF)" key);
+  advance t at;
+  Index.insert t.lkst ~key:(key + 1) ~at (value, 1);
+  Hashtbl.replace t.alive key (value, at);
+  t.n_updates <- t.n_updates + 1
+
+let delete t ~key ~at =
+  match Hashtbl.find_opt t.alive key with
+  | None -> invalid_arg (Printf.sprintf "Rta.delete: key %d is not alive" key)
+  | Some (value, started) ->
+      advance t at;
+      Index.insert t.lkst ~key:(key + 1) ~at (-value, -1);
+      (* A version deleted at its own start instant never existed for any
+         query, so it must not appear as "ended by" either. *)
+      if at > started then Index.insert t.lklt ~key:(key + 1) ~at (value, 1);
+      Hashtbl.remove t.alive key;
+      t.n_updates <- t.n_updates + 1
+
+let is_alive t ~key = Hashtbl.mem t.alive key
+
+let alive_value t ~key =
+  Option.map (fun (v, _started) -> v) (Hashtbl.find_opt t.alive key)
+
+let clamp_key t k = if k < 0 then 0 else if k > t.max_key then t.max_key else k
+
+let lkst t ~key ~at =
+  if at < 0 then (0, 0) else Index.query t.lkst ~key:(clamp_key t key) ~at
+
+let lklt t ~key ~at =
+  if at < 0 then (0, 0) else Index.query t.lklt ~key:(clamp_key t key) ~at
+
+(* Theorem 1.  With half-open [tlo, thi), the last instant of the query
+   interval is t3 = thi - 1, and:
+
+     RTA = LKST(k2,t3) + LKLT(k2,t3) + LKLT(k1,t1)
+         - LKST(k1,t3) - LKLT(k1,t3) - LKLT(k2,t1)
+
+   where a tuple "ended by t" intersects the window iff its end exceeds
+   tlo, i.e. it is counted by LKLT(., t3) but not LKLT(., t1). *)
+let sum_count t ~klo ~khi ~tlo ~thi =
+  if klo >= khi || tlo >= thi then (0, 0)
+  else begin
+    let k1 = clamp_key t klo and k2 = clamp_key t khi in
+    let t1 = max 0 tlo and t3 = thi - 1 in
+    let ( -- ) (s1, c1) (s2, c2) = (s1 - s2, c1 - c2) in
+    let ( ++ ) (s1, c1) (s2, c2) = (s1 + s2, c1 + c2) in
+    lkst t ~key:k2 ~at:t3 -- lkst t ~key:k1 ~at:t3
+    ++ (lklt t ~key:k2 ~at:t3 -- lklt t ~key:k1 ~at:t3)
+    -- (lklt t ~key:k2 ~at:t1 -- lklt t ~key:k1 ~at:t1)
+  end
+
+let sum t ~klo ~khi ~tlo ~thi = fst (sum_count t ~klo ~khi ~tlo ~thi)
+let count t ~klo ~khi ~tlo ~thi = snd (sum_count t ~klo ~khi ~tlo ~thi)
+
+let avg t ~klo ~khi ~tlo ~thi =
+  let s, c = sum_count t ~klo ~khi ~tlo ~thi in
+  if c = 0 then None else Some (float_of_int s /. float_of_int c)
+
+let page_count t = Index.page_count t.lkst + Index.page_count t.lklt
+let record_count t = Index.record_count t.lkst + Index.record_count t.lklt
+let root_count t = Index.root_count t.lkst + Index.root_count t.lklt
+
+let drop_cache t =
+  Index.drop_cache t.lkst;
+  Index.drop_cache t.lklt
+
+let check_invariants t =
+  Index.check_invariants t.lkst;
+  Index.check_invariants t.lklt
+
+let pp_dot ppf t =
+  Format.fprintf ppf "// LKST index@.%a@.// LKLT index@.%a@." Index.pp_dot t.lkst
+    Index.pp_dot t.lklt
+
+(* --- Persistence --------------------------------------------------------- *)
+
+module Persist = Index.Persist (Value_codec)
+
+let meta_magic = "RTA-META-1"
+
+let save t ~path =
+  Persist.save t.lkst ~path:(path ^ ".lkst");
+  Persist.save t.lklt ~path:(path ^ ".lklt");
+  let oc = open_out_bin (path ^ ".meta") in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc meta_magic;
+  let w =
+    Storage.Codec.Writer.create (64 + (Hashtbl.length t.alive * 24))
+  in
+  Storage.Codec.Writer.i64 w t.max_key;
+  Storage.Codec.Writer.i64 w t.now_;
+  Storage.Codec.Writer.i64 w t.n_updates;
+  Storage.Codec.Writer.i32 w (Hashtbl.length t.alive);
+  Hashtbl.iter
+    (fun key (value, started) ->
+      Storage.Codec.Writer.i64 w key;
+      Storage.Codec.Writer.i64 w value;
+      Storage.Codec.Writer.i64 w started)
+    t.alive;
+  let len = Storage.Codec.Writer.pos w in
+  output_bytes oc (Bytes.sub (Storage.Codec.Writer.contents w) 0 len)
+
+let load ?pool_capacity ?stats ~path () =
+  let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+  let lkst = Persist.load ?pool_capacity ~stats ~path:(path ^ ".lkst") () in
+  let lklt = Persist.load ?pool_capacity ~stats ~path:(path ^ ".lklt") () in
+  let ic = open_in_bin (path ^ ".meta") in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let m = really_input_string ic (String.length meta_magic) in
+  if m <> meta_magic then failwith "Rta.load: bad meta magic";
+  let len = in_channel_length ic - String.length meta_magic in
+  let buf = Bytes.create len in
+  really_input ic buf 0 len;
+  let rd = Storage.Codec.Reader.create buf in
+  let max_key = Storage.Codec.Reader.i64 rd in
+  let now_ = Storage.Codec.Reader.i64 rd in
+  let n_updates = Storage.Codec.Reader.i64 rd in
+  let n_alive = Storage.Codec.Reader.i32 rd in
+  let alive = Hashtbl.create (max 16 (2 * n_alive)) in
+  for _ = 1 to n_alive do
+    let key = Storage.Codec.Reader.i64 rd in
+    let value = Storage.Codec.Reader.i64 rd in
+    let started = Storage.Codec.Reader.i64 rd in
+    Hashtbl.replace alive key (value, started)
+  done;
+  { lkst; lklt; alive; max_key; now_; n_updates }

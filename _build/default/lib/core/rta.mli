@@ -1,0 +1,126 @@
+(** Range-temporal aggregation with two MVSBTs — the paper's end-to-end
+    system.
+
+    The RTA problem (section 1): given a transaction-time warehouse,
+    compute SUM / COUNT / AVG over the tuples whose key lies in a query
+    key range {e and} whose interval intersects a query time interval.
+
+    Theorem 1 reduces an RTA query to six point queries over two
+    dominance-sum indices:
+
+    - the {e LKST} index answers "aggregate of tuples with key < k alive
+      at instant t";
+    - the {e LKLT} index answers "aggregate of tuples with key < k whose
+      end times are at most t".
+
+    Both are MVSBTs (section 3): inserting a tuple [(k, v)] at [t] adds
+    [v] to [\[k+1, maxkey\] × \[t, maxtime\]] of the LKST index; logically
+    deleting it at [t'] adds [-v] there and [+v] to the same region of the
+    LKLT index.  Each index carries a SUM × COUNT pair, so one structure
+    pair serves SUM, COUNT and AVG simultaneously.
+
+    The engine also keeps the set of currently-alive tuples (the
+    warehouse's base table) so that a deletion by key can recover the
+    tuple's attribute value. *)
+
+type t
+
+val create :
+  ?config:Mvsbt.config ->
+  ?pool_capacity:int ->
+  ?stats:Storage.Io_stats.t ->
+  max_key:int ->
+  unit ->
+  t
+(** A warehouse over keys [\[0, max_key)].  Both MVSBTs share the [stats]
+    sink and the configuration. *)
+
+val create_durable :
+  ?config:Mvsbt.config ->
+  ?pool_capacity:int ->
+  ?stats:Storage.Io_stats.t ->
+  ?page_size:int ->
+  max_key:int ->
+  path:string ->
+  unit ->
+  t
+(** Like {!create}, but both MVSBTs keep their pages in real files
+    ([<path>.lkst.pages] and [<path>.lklt.pages], fixed-size blocks behind
+    the LRU pools).  [page_size] defaults to 4096 and must hold [config.b]
+    records (~50 bytes each).
+    @raise Invalid_argument when the configuration cannot fit a page. *)
+
+val flush : t -> unit
+(** Write dirty pages of both indices back to their stores. *)
+
+val max_key : t -> int
+val config : t -> Mvsbt.config
+val stats : t -> Storage.Io_stats.t
+val now : t -> int
+
+val n_updates : t -> int
+(** Total inserts + deletes applied. *)
+
+val alive_count : t -> int
+
+val insert : t -> key:int -> value:int -> at:int -> unit
+(** A tuple with key [key] and attribute [value] becomes alive at [at].
+    @raise Invalid_argument on a 1TNF violation (key already alive),
+    an out-of-domain key, or non-monotone time. *)
+
+val delete : t -> key:int -> at:int -> unit
+(** Logically delete the alive tuple with key [key] at [at].
+    @raise Invalid_argument if the key is not alive. *)
+
+val is_alive : t -> key:int -> bool
+val alive_value : t -> key:int -> int option
+
+(** {1 Queries}
+
+    All rectangles are half-open: keys in [\[klo, khi)], instants in
+    [\[tlo, thi)].  Time bounds beyond {!now} are valid and see the
+    current state. *)
+
+val sum_count : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int * int
+(** [(SUM, COUNT)] over the query rectangle, via the Theorem-1 reduction:
+    six MVSBT point queries, [O(log_b n)] I/Os total. *)
+
+val sum : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int
+val count : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int
+
+val avg : t -> klo:int -> khi:int -> tlo:int -> thi:int -> float option
+(** [None] when no tuple qualifies. *)
+
+val lkst : t -> key:int -> at:int -> int * int
+(** Definition 1 — [(sum, count)] of tuples with key < [key] alive at
+    [at].  One MVSBT point query. *)
+
+val lklt : t -> key:int -> at:int -> int * int
+(** Definition 2 — [(sum, count)] of tuples with key < [key] and end time
+    at most [at]. *)
+
+val page_count : t -> int
+(** Live pages over both MVSBTs (the "two-MVSBT" space of figure 4a). *)
+
+val record_count : t -> int
+(** Total records (occupied slots) over both MVSBTs.  Full scan. *)
+
+val root_count : t -> int
+(** SB-tree roots over both MVSBTs (the [root*] directory sizes). *)
+
+val drop_cache : t -> unit
+val check_invariants : t -> unit
+
+(** {1 Persistence}
+
+    A saved warehouse occupies three files: [<path>.lkst], [<path>.lklt]
+    (the two MVSBT snapshots) and [<path>.meta] (the base table of alive
+    tuples plus counters). *)
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering of both MVSBT page graphs (debugging / docs). *)
+
+val save : t -> path:string -> unit
+
+val load : ?pool_capacity:int -> ?stats:Storage.Io_stats.t -> path:string -> unit -> t
+(** @raise Failure on malformed or missing snapshot files. *)

@@ -1,0 +1,49 @@
+type bucket = { range : Interval.t; interval : Interval.t; sum : int; count : int }
+
+let avg b = if b.count = 0 then None else Some (float_of_int b.sum /. float_of_int b.count)
+
+(* Split [lo, hi) into [n] consecutive pieces whose lengths differ by at
+   most one; the leading pieces absorb the remainder. *)
+let slices ~lo ~hi ~n =
+  if n < 1 then invalid_arg "Report: bucket count must be >= 1";
+  if hi - lo < n then invalid_arg "Report: window smaller than the bucket count";
+  let len = hi - lo in
+  let base = len / n and extra = len mod n in
+  let rec go i pos =
+    if i = n then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      Interval.make pos (pos + size) :: go (i + 1) (pos + size)
+  in
+  go 0 lo
+
+let cell rta ~range ~interval =
+  let sum, count =
+    Rta.sum_count rta ~klo:range.Interval.lo ~khi:range.Interval.hi
+      ~tlo:interval.Interval.lo ~thi:interval.Interval.hi
+  in
+  { range; interval; sum; count }
+
+let time_series rta ~klo ~khi ~tlo ~thi ~buckets =
+  let range = Interval.make klo khi in
+  List.map (fun interval -> cell rta ~range ~interval) (slices ~lo:tlo ~hi:thi ~n:buckets)
+
+let key_histogram rta ~klo ~khi ~tlo ~thi ~buckets =
+  let interval = Interval.make tlo thi in
+  List.map (fun range -> cell rta ~range ~interval) (slices ~lo:klo ~hi:khi ~n:buckets)
+
+let heatmap rta ~klo ~khi ~tlo ~thi ~key_buckets ~time_buckets =
+  let times = slices ~lo:tlo ~hi:thi ~n:time_buckets in
+  List.map
+    (fun range -> List.map (fun interval -> cell rta ~range ~interval) times)
+    (slices ~lo:klo ~hi:khi ~n:key_buckets)
+
+let pp_series ?(width = 40) ppf buckets =
+  let peak = List.fold_left (fun acc b -> max acc (abs b.sum)) 1 buckets in
+  List.iter
+    (fun b ->
+      let bar = abs b.sum * width / peak in
+      Format.fprintf ppf "%11d..%-11d %10d %s@." b.interval.Interval.lo
+        b.interval.Interval.hi b.sum
+        (String.make bar (if b.sum >= 0 then '#' else '-')))
+    buckets

@@ -1,0 +1,46 @@
+(** Reporting helpers over the RTA engine.
+
+    The paper's motivation is a warehouse manager focusing aggregation "to
+    any time-interval and/or key-range" (section 1); in practice that
+    means grids of RTA queries: a revenue series per quarter, a histogram
+    per SKU band, a heat map over both.  Each cell is one [O(log_b n)]
+    {!Rta.sum_count} call, so a whole dashboard costs
+    [O(cells x log_b n)] I/Os — independent of how much history it
+    covers. *)
+
+type bucket = {
+  range : Interval.t;  (** Key slice of the cell. *)
+  interval : Interval.t;  (** Time slice of the cell. *)
+  sum : int;
+  count : int;
+}
+
+val avg : bucket -> float option
+(** [sum/count], [None] for an empty cell. *)
+
+val time_series :
+  Rta.t -> klo:int -> khi:int -> tlo:int -> thi:int -> buckets:int -> bucket list
+(** Split [\[tlo, thi)] into [buckets] near-equal consecutive intervals
+    and aggregate the key range over each.  Buckets partition the window
+    exactly (the first ones absorb the remainder).
+    @raise Invalid_argument if [buckets < 1] or the window is smaller than
+    the bucket count or empty. *)
+
+val key_histogram :
+  Rta.t -> klo:int -> khi:int -> tlo:int -> thi:int -> buckets:int -> bucket list
+(** Same, slicing the key range instead of the time window. *)
+
+val heatmap :
+  Rta.t ->
+  klo:int ->
+  khi:int ->
+  tlo:int ->
+  thi:int ->
+  key_buckets:int ->
+  time_buckets:int ->
+  bucket list list
+(** A grid: one row per key slice (ascending), one cell per time slice. *)
+
+val pp_series : ?width:int -> Format.formatter -> bucket list -> unit
+(** Render a series as labelled ASCII bars scaled to [width] (default 40)
+    columns — handy in examples and CLI output. *)

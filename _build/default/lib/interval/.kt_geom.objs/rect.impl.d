@@ -1,0 +1,1 @@
+lib/interval/rect.ml: Format Interval

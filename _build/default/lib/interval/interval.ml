@@ -1,0 +1,56 @@
+type t = { lo : int; hi : int }
+
+let empty = { lo = 0; hi = 0 }
+
+let make lo hi =
+  if lo > hi then
+    invalid_arg (Printf.sprintf "Interval.make: lo=%d > hi=%d" lo hi)
+  else if lo = hi then empty
+  else { lo; hi }
+
+let make_opt lo hi = if lo > hi then None else Some (make lo hi)
+let point x = { lo = x; hi = x + 1 }
+let is_empty i = i.lo >= i.hi
+let length i = if is_empty i then 0 else i.hi - i.lo
+let mem x i = i.lo <= x && x < i.hi
+
+let normalize i = if is_empty i then empty else i
+
+let equal a b =
+  let a = normalize a and b = normalize b in
+  a.lo = b.lo && a.hi = b.hi
+
+let compare a b =
+  let a = normalize a and b = normalize b in
+  match Int.compare a.lo b.lo with 0 -> Int.compare a.hi b.hi | c -> c
+
+let subset a b = is_empty a || (not (is_empty b) && b.lo <= a.lo && a.hi <= b.hi)
+
+let intersects a b =
+  (not (is_empty a)) && (not (is_empty b)) && a.lo < b.hi && b.lo < a.hi
+
+let inter a b =
+  if intersects a b then { lo = max a.lo b.lo; hi = min a.hi b.hi } else empty
+
+let adjacent a b =
+  (not (is_empty a)) && (not (is_empty b)) && (a.hi = b.lo || b.hi = a.lo)
+
+let hull a b =
+  if is_empty a then normalize b
+  else if is_empty b then normalize a
+  else { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+let split_at x i =
+  if is_empty i then (empty, empty)
+  else if x <= i.lo then (empty, i)
+  else if x >= i.hi then (i, empty)
+  else ({ lo = i.lo; hi = x }, { lo = x; hi = i.hi })
+
+let before a b = (not (is_empty a)) && (not (is_empty b)) && a.hi <= b.lo
+let contains_point_left_closed i x = mem x i
+
+let pp ppf i =
+  if is_empty i then Format.fprintf ppf "[)"
+  else Format.fprintf ppf "[%d, %d)" i.lo i.hi
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,81 @@
+(** Half-open integer intervals [lo, hi).
+
+    The paper (section 2.3) models both the key space and the time space as
+    positive integers and uses closed intervals where [end = start + 1]
+    denotes a single instant.  We adopt the equivalent half-open convention
+    [\[lo, hi)] throughout the code base: an interval contains the integers
+    [lo, lo+1, ..., hi-1], a single instant [t] is [\[t, t+1)], and two
+    intervals are adjacent exactly when the [hi] of one equals the [lo] of
+    the other.  This removes every off-by-one adjustment from the split and
+    merge logic of the trees. *)
+
+type t = private { lo : int; hi : int }
+(** An interval [\[lo, hi)] with [lo < hi], or the distinguished empty
+    interval.  The representation is exposed read-only; use {!make} or
+    {!make_opt} to construct values so the [lo <= hi] invariant holds. *)
+
+val make : int -> int -> t
+(** [make lo hi] is the interval [\[lo, hi)].
+    @raise Invalid_argument if [lo > hi]. [make x x] is {!empty}. *)
+
+val make_opt : int -> int -> t option
+(** [make_opt lo hi] is [Some (make lo hi)] when [lo <= hi] and [None]
+    otherwise. *)
+
+val point : int -> t
+(** [point x] is the singleton interval [\[x, x+1)]. *)
+
+val empty : t
+(** A canonical empty interval ([\[0, 0)]).  All empty intervals compare
+    equal under {!equal}. *)
+
+val is_empty : t -> bool
+(** [is_empty i] is true iff [i] contains no integer. *)
+
+val length : t -> int
+(** [length i] is the number of integers in [i], i.e. [hi - lo]. *)
+
+val mem : int -> t -> bool
+(** [mem x i] is true iff [lo <= x < hi]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; every empty interval equals {!empty}. *)
+
+val compare : t -> t -> int
+(** Total order: by [lo], then by [hi].  Empty intervals are normalised
+    before comparison. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true iff every integer of [a] belongs to [b].  The empty
+    interval is a subset of everything. *)
+
+val intersects : t -> t -> bool
+(** [intersects a b] is true iff [a] and [b] share at least one integer. *)
+
+val inter : t -> t -> t
+(** [inter a b] is the largest interval contained in both. *)
+
+val adjacent : t -> t -> bool
+(** [adjacent a b] is true iff [a.hi = b.lo] or [b.hi = a.lo], with both
+    non-empty: the two can be merged into a single interval with {!hull}. *)
+
+val hull : t -> t -> t
+(** [hull a b] is the smallest interval containing both. *)
+
+val split_at : int -> t -> t * t
+(** [split_at x i] is [(inter i [lo,x), inter i [x,hi))]: the part of [i]
+    strictly below [x] and the part at or above [x].  Either part may be
+    empty. *)
+
+val before : t -> t -> bool
+(** [before a b] is true iff [a] is "lower than" [b] in the paper's sense:
+    [a.hi <= b.lo], with both non-empty. *)
+
+val contains_point_left_closed : t -> int -> bool
+(** Alias of [fun i x -> mem x i]; provided for call sites that read better
+    with the interval first. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints [\[lo, hi)]. *)
+
+val to_string : t -> string

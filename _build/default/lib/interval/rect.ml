@@ -1,0 +1,30 @@
+type t = { range : Interval.t; interval : Interval.t }
+
+let make ~range ~interval = { range; interval }
+
+let of_bounds ~klo ~khi ~tlo ~thi =
+  { range = Interval.make klo khi; interval = Interval.make tlo thi }
+
+let is_empty r = Interval.is_empty r.range || Interval.is_empty r.interval
+let area r = Interval.length r.range * Interval.length r.interval
+
+let area_float r =
+  float_of_int (Interval.length r.range) *. float_of_int (Interval.length r.interval)
+
+let mem ~key ~time r = Interval.mem key r.range && Interval.mem time r.interval
+
+let intersects a b =
+  Interval.intersects a.range b.range && Interval.intersects a.interval b.interval
+
+let inter a b =
+  { range = Interval.inter a.range b.range;
+    interval = Interval.inter a.interval b.interval }
+
+let equal a b =
+  Interval.equal a.range b.range && Interval.equal a.interval b.interval
+
+let covers_record ~key ~interval r =
+  Interval.mem key r.range && Interval.intersects interval r.interval
+
+let pp ppf r = Format.fprintf ppf "%a x %a" Interval.pp r.range Interval.pp r.interval
+let to_string r = Format.asprintf "%a" pp r

@@ -1,0 +1,39 @@
+(** Rectangles in the key-time plane.
+
+    A rectangle couples a key range with a time interval (paper section
+    2.3): "A rectangle [R] in the key-time space consists of a key range
+    [R.range] and a time interval [R.interval]".  Both components use the
+    half-open convention of {!Interval}. *)
+
+type t = { range : Interval.t; interval : Interval.t }
+(** [range] spans the key dimension, [interval] the time dimension. *)
+
+val make : range:Interval.t -> interval:Interval.t -> t
+
+val of_bounds : klo:int -> khi:int -> tlo:int -> thi:int -> t
+(** [of_bounds ~klo ~khi ~tlo ~thi] is the rectangle
+    [\[klo, khi) × \[tlo, thi)]. *)
+
+val is_empty : t -> bool
+(** A rectangle is empty when either side is empty. *)
+
+val area : t -> int
+(** Number of integer points covered.  May overflow for the full
+    [10^9 × 10^8] spaces of the paper; use {!area_float} there. *)
+
+val area_float : t -> float
+
+val mem : key:int -> time:int -> t -> bool
+(** Point membership in both dimensions. *)
+
+val intersects : t -> t -> bool
+val inter : t -> t -> t
+val equal : t -> t -> bool
+
+val covers_record : key:int -> interval:Interval.t -> t -> bool
+(** [covers_record ~key ~interval r] is the paper's "record is in rectangle
+    R" predicate: the record's key lies in [r.range] and its validity
+    interval intersects [r.interval]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

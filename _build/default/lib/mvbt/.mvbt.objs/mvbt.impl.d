@@ -1,0 +1,1 @@
+lib/mvbt/mvbt.ml: Array Format Hashtbl Int Interval List Printf Storage

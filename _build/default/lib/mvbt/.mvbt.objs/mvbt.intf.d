@@ -1,0 +1,1 @@
+lib/mvbt/mvbt.mli: Storage

@@ -1,0 +1,1 @@
+lib/mvbt/naive_rta.mli: Mvbt

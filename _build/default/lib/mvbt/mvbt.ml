@@ -1,0 +1,643 @@
+let forever = max_int
+
+type leaf_entry = {
+  key : int;
+  rid : int;
+  value : int;
+  lt_start : int;
+  mutable lt_end : int; (* [forever] while alive *)
+}
+
+type index_entry = {
+  range : Interval.t;
+  it_start : int;
+  mutable it_end : int; (* [forever] while referenced *)
+  child : Storage.Page_id.t;
+}
+
+type content =
+  | CLeaf of { mutable les : leaf_entry list }
+  | CIndex of { mutable ies : index_entry list }
+
+type page = {
+  pid : Storage.Page_id.t;
+  level : int;
+  prange : Interval.t;
+  created : int;
+  mutable closed : int; (* [forever] while current *)
+  content : content;
+}
+
+module Store = Storage.Page_store.Mem (struct
+  type t = page
+end)
+
+module Pool = Storage.Buffer_pool.Make (Store)
+
+type config = { b : int; weak_min : int; strong_min : int; strong_max : int }
+
+let default_config ~b =
+  {
+    b;
+    weak_min = max 2 (b / 5);
+    strong_min = max 3 (3 * b / 10);
+    strong_max = min (b - 1) (9 * b / 10);
+  }
+
+type t = {
+  pool : Pool.t;
+  cfg : config;
+  max_key : int;
+  mutable now_ : int;
+  mutable rid_counter : int;
+  mutable roots : (int * Storage.Page_id.t) list; (* newest first *)
+  mutable n_updates : int;
+}
+
+let validate_config c =
+  if c.b < 10 then invalid_arg "Mvbt: b must be >= 10";
+  if not (1 <= c.weak_min && c.weak_min < c.strong_min && c.strong_min <= c.strong_max
+          && c.strong_max < c.b) then
+    invalid_arg "Mvbt: need 1 <= weak_min < strong_min <= strong_max < b";
+  if 2 * c.strong_min > c.strong_max + 1 then
+    invalid_arg "Mvbt: strong bounds too tight for key splits"
+
+let create ?config ?(pool_capacity = 64) ?stats ~max_key () =
+  let cfg = match config with Some c -> c | None -> default_config ~b:64 in
+  validate_config cfg;
+  if max_key < 1 then invalid_arg "Mvbt.create: max_key must be >= 1";
+  let store = Store.create ?stats () in
+  let pool = Pool.create ~capacity:pool_capacity store in
+  let pid = Pool.alloc pool in
+  let root =
+    {
+      pid;
+      level = 0;
+      prange = Interval.make 0 max_key;
+      created = 0;
+      closed = forever;
+      content = CLeaf { les = [] };
+    }
+  in
+  Pool.write pool pid root;
+  {
+    pool;
+    cfg;
+    max_key;
+    now_ = 0;
+    rid_counter = 0;
+    roots = [ (0, pid) ];
+    n_updates = 0;
+  }
+
+let config t = t.cfg
+let stats t = Pool.stats t.pool
+let now t = t.now_
+let page_count t = Store.live_pages (Pool.store t.pool)
+let n_updates t = t.n_updates
+let drop_cache t = Pool.drop_cache t.pool
+let read t pid = Pool.read t.pool pid
+let touch t page = Pool.write t.pool page.pid page
+
+let leaf_alive e = e.lt_end = forever
+let ientry_alive e = e.it_end = forever
+
+let alive_count page =
+  match page.content with
+  | CLeaf c -> List.length (List.filter leaf_alive c.les)
+  | CIndex c -> List.length (List.filter ientry_alive c.ies)
+
+let entry_count page =
+  match page.content with
+  | CLeaf c -> List.length c.les
+  | CIndex c -> List.length c.ies
+
+let current_root t = match t.roots with (_, pid) :: _ -> pid | [] -> assert false
+
+let advance t at =
+  if at < t.now_ then
+    invalid_arg
+      (Printf.sprintf "Mvbt: update at time %d but current time is %d (transaction time is monotone)"
+         at t.now_);
+  t.now_ <- at
+
+(* Register [pid] as the current root from time [at].  If the previous root
+   took office at the same instant its tenure is empty: drop it, and
+   dispose the page entirely when it was also created at [at]. *)
+let push_root t at pid =
+  match t.roots with
+  | (ts, old) :: rest when ts = at ->
+      t.roots <- (at, pid) :: rest;
+      let old_page = read t old in
+      if old_page.created = at then Pool.free t.pool old
+  | _ -> t.roots <- (at, pid) :: t.roots
+
+let root_at t time =
+  let rec go = function
+    | (ts, pid) :: rest -> if ts <= time then pid else go rest
+    | [] -> assert false (* the initial root has ts = 0 and times are >= 0 *)
+  in
+  go t.roots
+
+(* --- Descent ------------------------------------------------------------- *)
+
+let rec find_leaf t pid key path =
+  let p = read t pid in
+  match p.content with
+  | CLeaf _ -> (p, path)
+  | CIndex c ->
+      let e =
+        try List.find (fun e -> ientry_alive e && Interval.mem key e.range) c.ies
+        with Not_found ->
+          Format.kasprintf failwith "Mvbt: alive entries of page %d do not cover key %d"
+            (Storage.Page_id.to_int pid) key
+      in
+      find_leaf t e.child key (p :: path)
+
+(* --- Structural changes --------------------------------------------------- *)
+
+(* Fresh copies of the alive entries of [sources] (the dead stay frozen in
+   the closed pages). *)
+let alive_leaf_copies sources =
+  List.concat_map
+    (fun p ->
+      match p.content with
+      | CLeaf c ->
+          List.filter_map
+            (fun e -> if leaf_alive e then Some { e with lt_end = forever } else None)
+            c.les
+      | CIndex _ -> assert false)
+    sources
+
+let alive_index_copies sources =
+  List.concat_map
+    (fun p ->
+      match p.content with
+      | CIndex c ->
+          List.filter_map
+            (fun e -> if ientry_alive e then Some { e with it_end = forever } else None)
+            c.ies
+      | CLeaf _ -> assert false)
+    sources
+
+(* Build the replacement page(s) of a version split from the buffer of
+   surviving entries: one page, or two split at the median key when the
+   strong upper bound is violated.  Returns descriptors for the parent. *)
+let build_new_pages t ~level ~range ~at buffer : (Interval.t * Storage.Page_id.t) list =
+  let mk ~range entries_content =
+    let pid = Pool.alloc t.pool in
+    let page =
+      { pid; level; prange = range; created = at; closed = forever;
+        content = entries_content }
+    in
+    touch t page;
+    (range, pid)
+  in
+  if level = 0 then begin
+    let alive = match buffer with `Leaves es -> es | `Entries _ -> assert false in
+    let n = List.length alive in
+    if n > t.cfg.strong_max then begin
+      let sorted = List.sort (fun a b -> Int.compare a.key b.key) alive in
+      let arr = Array.of_list sorted in
+      let mid = n / 2 in
+      (* Alive keys are unique (1TNF), so the median key is a valid
+         strictly-separating boundary. *)
+      let split_key = arr.(mid).key in
+      assert (arr.(mid - 1).key < split_key);
+      let left = Array.to_list (Array.sub arr 0 mid) in
+      let right = Array.to_list (Array.sub arr mid (n - mid)) in
+      let rl, rr = Interval.split_at split_key range in
+      [ mk ~range:rl (CLeaf { les = left }); mk ~range:rr (CLeaf { les = right }) ]
+    end
+    else [ mk ~range (CLeaf { les = alive }) ]
+  end
+  else begin
+    let alive = match buffer with `Entries es -> es | `Leaves _ -> assert false in
+    let n = List.length alive in
+    if n > t.cfg.strong_max then begin
+      let sorted =
+        List.sort (fun a b -> Int.compare a.range.Interval.lo b.range.Interval.lo) alive
+      in
+      let arr = Array.of_list sorted in
+      let mid = n / 2 in
+      let split_key = arr.(mid).range.Interval.lo in
+      let left = Array.to_list (Array.sub arr 0 mid) in
+      let right = Array.to_list (Array.sub arr mid (n - mid)) in
+      let rl, rr = Interval.split_at split_key range in
+      [ mk ~range:rl (CIndex { ies = left }); mk ~range:rr (CIndex { ies = right }) ]
+    end
+    else [ mk ~range (CIndex { ies = alive }) ]
+  end
+
+let close_page t at page =
+  page.closed <- at;
+  touch t page
+
+(* Dispose pages whose lifetime came out empty (created and closed at the
+   same instant) — they can never be reached by any query. *)
+let dispose_if_ephemeral t at page =
+  if page.created = at then Pool.free t.pool page.pid
+
+(* In [parent], kill the alive entry pointing to each of [pids] at time
+   [at].  Entries whose tenure would be empty are removed outright.  The
+   entry count never grows, so this is always safe in place. *)
+let kill_child_entries t ~at parent pids =
+  match parent.content with
+  | CLeaf _ -> assert false
+  | CIndex c ->
+      c.ies <-
+        List.filter_map
+          (fun e ->
+            if ientry_alive e && List.exists (Storage.Page_id.equal e.child) pids then
+              if e.it_start = at then None (* empty tenure: drop physically *)
+              else begin
+                e.it_end <- at;
+                Some e
+              end
+            else Some e)
+          c.ies;
+      touch t parent
+
+(* The alive sibling entry adjacent to [page]'s entry in [parent], for
+   merging.  Prefers the left neighbour. *)
+let pick_sibling t parent page =
+  match parent.content with
+  | CLeaf _ -> assert false
+  | CIndex c ->
+      let alive =
+        List.filter ientry_alive c.ies
+        |> List.sort (fun a b -> Int.compare a.range.Interval.lo b.range.Interval.lo)
+      in
+      let arr = Array.of_list alive in
+      let idx = ref (-1) in
+      Array.iteri
+        (fun i e -> if Storage.Page_id.equal e.child page.pid then idx := i)
+        arr;
+      if !idx < 0 then
+        Format.kasprintf failwith "Mvbt: page %d not found in its parent"
+          (Storage.Page_id.to_int page.pid);
+      if !idx > 0 then Some (read t arr.(!idx - 1).child)
+      else if !idx + 1 < Array.length arr then Some (read t arr.(!idx + 1).child)
+      else None
+
+(* Restructure [page] at the current time: version split (alive entries
+   survive into fresh pages), preceded by a merge with a sibling when the
+   survivor count would violate the lower strong bound and followed by a
+   key split when it violates the upper one.  [extra] carries entries that
+   must land in the replacement pages because the old page had no room for
+   them (fresh child descriptors, or a leaf entry being inserted into a
+   full leaf).  [parents] is the ancestor chain, nearest first. *)
+let rec restructure t page parents ~extra =
+  let at = t.now_ in
+  let extra_n =
+    match extra with `Leaves es -> List.length es | `Entries es -> List.length es
+  in
+  let needs_merge = alive_count page + extra_n < t.cfg.strong_min in
+  let sibling =
+    match parents with
+    | [] -> None
+    | parent :: _ -> if needs_merge then pick_sibling t parent page else None
+  in
+  let sources =
+    match sibling with
+    | Some s ->
+        (* Keep sources in key order so index unions stay contiguous. *)
+        if Interval.before s.prange page.prange then [ s; page ] else [ page; s ]
+    | None -> [ page ]
+  in
+  let union_range =
+    match parents with
+    | [] -> Interval.make 0 t.max_key
+    | _ ->
+        List.fold_left (fun acc p -> Interval.hull acc p.prange) Interval.empty sources
+  in
+  List.iter (close_page t at) sources;
+  let buffer =
+    if page.level = 0 then
+      `Leaves (alive_leaf_copies sources
+               @ match extra with `Leaves es -> es | `Entries _ -> assert false)
+    else
+      `Entries (alive_index_copies sources
+                @ match extra with `Entries es -> es | `Leaves _ -> assert false)
+  in
+  let replacements = build_new_pages t ~level:page.level ~range:union_range ~at buffer in
+  (match parents with
+  | [] -> (
+      (* [page] was the current root. *)
+      match replacements with
+      | [ (_, pid) ] -> push_root t at pid
+      | pieces ->
+          let pid = Pool.alloc t.pool in
+          let ies =
+            List.map
+              (fun (range, child) -> { range; it_start = at; it_end = forever; child })
+              pieces
+          in
+          let root =
+            { pid; level = page.level + 1; prange = Interval.make 0 t.max_key;
+              created = at; closed = forever; content = CIndex { ies } }
+          in
+          touch t root;
+          push_root t at pid)
+  | parent :: ancestors ->
+      kill_child_entries t ~at parent (List.map (fun p -> p.pid) sources);
+      let fresh =
+        List.map
+          (fun (range, pid) -> { range; it_start = at; it_end = forever; child = pid })
+          replacements
+      in
+      install_entries t parent ancestors fresh);
+  List.iter (dispose_if_ephemeral t at) sources
+
+(* Add fresh child entries to [parent], version-splitting it first when it
+   has no room, and repairing weak underflow afterwards. *)
+and install_entries t parent ancestors fresh =
+  if entry_count parent + List.length fresh > t.cfg.b then
+    restructure t parent ancestors ~extra:(`Entries fresh)
+  else begin
+    (match parent.content with
+    | CIndex c -> c.ies <- c.ies @ fresh
+    | CLeaf _ -> assert false);
+    touch t parent;
+    if
+      alive_count parent < t.cfg.weak_min
+      && not (Storage.Page_id.equal parent.pid (current_root t))
+    then restructure t parent ancestors ~extra:(`Entries [])
+  end
+
+(* Whenever the current root is an index page with a single alive child,
+   that child takes over as root for future times. *)
+let rec maybe_shrink_root t =
+  let root = read t (current_root t) in
+  match root.content with
+  | CIndex c -> (
+      match List.filter ientry_alive c.ies with
+      | [ only ] ->
+          close_page t t.now_ root;
+          push_root t t.now_ only.child;
+          dispose_if_ephemeral t t.now_ root;
+          maybe_shrink_root t
+      | _ -> ())
+  | CLeaf _ -> ()
+
+(* --- Updates -------------------------------------------------------------- *)
+
+let find_alive_leaf_entry page key =
+  match page.content with
+  | CLeaf c -> List.find_opt (fun e -> leaf_alive e && e.key = key) c.les
+  | CIndex _ -> assert false
+
+let insert t ~key ~value ~at =
+  if key < 0 || key >= t.max_key then invalid_arg "Mvbt.insert: key outside key space";
+  advance t at;
+  let leaf, parents = find_leaf t (current_root t) key [] in
+  (match find_alive_leaf_entry leaf key with
+  | Some _ ->
+      invalid_arg (Printf.sprintf "Mvbt.insert: key %d is already alive (1TNF)" key)
+  | None -> ());
+  let rid = t.rid_counter in
+  t.rid_counter <- rid + 1;
+  let entry = { key; rid; value; lt_start = at; lt_end = forever } in
+  if entry_count leaf >= t.cfg.b then
+    (* No room: the new entry rides the version split into the copy. *)
+    restructure t leaf parents ~extra:(`Leaves [ entry ])
+  else begin
+    (match leaf.content with
+    | CLeaf c -> c.les <- entry :: c.les
+    | CIndex _ -> assert false);
+    touch t leaf
+  end;
+  t.n_updates <- t.n_updates + 1;
+  maybe_shrink_root t
+
+let delete t ~key ~at =
+  if key < 0 || key >= t.max_key then invalid_arg "Mvbt.delete: key outside key space";
+  advance t at;
+  let leaf, parents = find_leaf t (current_root t) key [] in
+  (match find_alive_leaf_entry leaf key with
+  | None -> invalid_arg (Printf.sprintf "Mvbt.delete: key %d is not alive" key)
+  | Some e ->
+      if e.lt_start = at then begin
+        (* Inserted and deleted at the same instant: the version never
+           existed for any query; remove it physically. *)
+        match leaf.content with
+        | CLeaf c -> c.les <- List.filter (fun e' -> e' != e) c.les
+        | CIndex _ -> assert false
+      end
+      else e.lt_end <- at);
+  touch t leaf;
+  t.n_updates <- t.n_updates + 1;
+  if alive_count leaf < t.cfg.weak_min && parents <> [] then
+    restructure t leaf parents ~extra:(`Leaves []);
+  maybe_shrink_root t
+
+let is_alive t ~key =
+  if key < 0 || key >= t.max_key then false
+  else
+    let leaf, _ = find_leaf t (current_root t) key [] in
+    find_alive_leaf_entry leaf key <> None
+
+(* --- Queries -------------------------------------------------------------- *)
+
+type record = { key : int; value : int; t_start : int; t_end : int; rid : int }
+
+let snapshot t ~klo ~khi ~at =
+  let q = Interval.make klo khi in
+  if Interval.is_empty q then []
+  else begin
+    let out = ref [] in
+    let rec go pid =
+      let p = read t pid in
+      match p.content with
+      | CLeaf c ->
+          List.iter
+            (fun e ->
+              if e.lt_start <= at && at < e.lt_end && Interval.mem e.key q then
+                out :=
+                  { key = e.key; value = e.value; t_start = e.lt_start;
+                    t_end = e.lt_end; rid = e.rid }
+                  :: !out)
+            c.les
+      | CIndex c ->
+          List.iter
+            (fun e ->
+              if e.it_start <= at && at < e.it_end && Interval.intersects e.range q then
+                go e.child)
+            c.ies
+    in
+    go (root_at t at);
+    List.sort (fun a b -> Int.compare a.key b.key) !out
+  end
+
+(* Roots with their tenures: the i-th root serves from its own timestamp
+   until the next root's. *)
+let root_tenures t =
+  let rec go upper = function
+    | (ts, pid) :: rest -> (Interval.make ts upper, pid) :: go ts rest
+    | [] -> []
+  in
+  go forever t.roots
+
+let fold_rectangle t ~klo ~khi ~tlo ~thi ~init ~f =
+  let qr = Interval.make klo khi and qt = Interval.make tlo thi in
+  if Interval.is_empty qr || Interval.is_empty qt then init
+  else begin
+    let visited = ref Storage.Page_id.Set.empty in
+    let acc : (int, record) Hashtbl.t = Hashtbl.create 256 in
+    let rec go pid =
+      if not (Storage.Page_id.Set.mem pid !visited) then begin
+        visited := Storage.Page_id.Set.add pid !visited;
+        let p = read t pid in
+        let lifetime = Interval.make p.created p.closed in
+        match p.content with
+        | CLeaf c ->
+            List.iter
+              (fun e ->
+                (* The copy witnesses the record during the page lifetime;
+                   qualify on that slice so stale [forever] ends in closed
+                   pages cannot over-report. *)
+                let slice =
+                  Interval.inter (Interval.make e.lt_start e.lt_end) lifetime
+                in
+                if Interval.mem e.key qr && Interval.intersects slice qt then begin
+                  let merged =
+                    match Hashtbl.find_opt acc e.rid with
+                    | None ->
+                        { key = e.key; value = e.value; t_start = e.lt_start;
+                          t_end = e.lt_end; rid = e.rid }
+                    | Some r -> { r with t_end = min r.t_end e.lt_end }
+                  in
+                  Hashtbl.replace acc e.rid merged
+                end)
+              c.les
+        | CIndex c ->
+            List.iter
+              (fun e ->
+                let slice =
+                  Interval.inter (Interval.make e.it_start e.it_end) lifetime
+                in
+                if Interval.intersects e.range qr && Interval.intersects slice qt then
+                  go e.child)
+              c.ies
+      end
+    in
+    List.iter
+      (fun (tenure, pid) -> if Interval.intersects tenure qt then go pid)
+      (root_tenures t);
+    Hashtbl.fold (fun _rid r acc -> f acc r) acc init
+  end
+
+let rectangle t ~klo ~khi ~tlo ~thi =
+  fold_rectangle t ~klo ~khi ~tlo ~thi ~init:[] ~f:(fun acc r -> r :: acc)
+  |> List.sort (fun a b ->
+         match Int.compare a.key b.key with 0 -> Int.compare a.t_start b.t_start | c -> c)
+
+(* --- Invariant checking ---------------------------------------------------- *)
+
+let check_invariants t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  let root_pids =
+    List.fold_left (fun s (_, pid) -> Storage.Page_id.Set.add pid s)
+      Storage.Page_id.Set.empty t.roots
+  in
+  let visited = ref Storage.Page_id.Set.empty in
+  let rec walk pid =
+    if not (Storage.Page_id.Set.mem pid !visited) then begin
+      visited := Storage.Page_id.Set.add pid !visited;
+      let p = read t pid in
+      let lifetime = Interval.make p.created p.closed in
+      (* Interesting instants: every entry boundary inside the lifetime. *)
+      let times =
+        let bounds =
+          match p.content with
+          | CLeaf c -> List.concat_map (fun e -> [ e.lt_start; e.lt_end ]) c.les
+          | CIndex c -> List.concat_map (fun e -> [ e.it_start; e.it_end ]) c.ies
+        in
+        p.created :: bounds
+        |> List.filter (fun x -> Interval.mem x lifetime)
+        |> List.sort_uniq Int.compare
+      in
+      let is_root = Storage.Page_id.Set.mem pid root_pids in
+      (match p.content with
+      | CLeaf c ->
+          if List.length c.les > t.cfg.b then fail "Mvbt: leaf %d over-full" (Storage.Page_id.to_int pid);
+          List.iter
+            (fun (e : leaf_entry) ->
+              if not (Interval.mem e.key p.prange) then
+                fail "Mvbt: leaf key %d escapes page range" e.key;
+              if e.lt_start >= e.lt_end then fail "Mvbt: empty leaf entry interval")
+            c.les;
+          List.iter
+            (fun tau ->
+              let alive =
+                List.filter (fun (e : leaf_entry) -> e.lt_start <= tau && tau < e.lt_end) c.les
+              in
+              let keys = List.map (fun (e : leaf_entry) -> e.key) alive in
+              if List.length (List.sort_uniq Int.compare keys) <> List.length keys then
+                fail "Mvbt: duplicate alive key in leaf at time %d" tau;
+              if (not is_root) && List.length alive < t.cfg.weak_min then
+                fail "Mvbt: weak condition violated in leaf %d at time %d (%d < %d)"
+                  (Storage.Page_id.to_int pid) tau (List.length alive) t.cfg.weak_min)
+            times
+      | CIndex c ->
+          if List.length c.ies > t.cfg.b then fail "Mvbt: index page over-full";
+          List.iter
+            (fun e ->
+              if not (Interval.subset e.range p.prange) then
+                fail "Mvbt: index entry range escapes page range";
+              if e.it_start >= e.it_end then fail "Mvbt: empty index entry interval";
+              let slice = Interval.inter (Interval.make e.it_start e.it_end) lifetime in
+              match read t e.child with
+              | exception Not_found ->
+                  (* Dead copies may reference a disposed page, but only if
+                     no query can ever follow them. *)
+                  if not (Interval.is_empty slice) then
+                    fail "Mvbt: reachable entry references a disposed page"
+              | child ->
+                  if not (Interval.equal child.prange e.range) then
+                    fail "Mvbt: entry range differs from child page range";
+                  if child.level <> p.level - 1 then fail "Mvbt: level mismatch";
+                  if
+                    not
+                      (Interval.subset slice (Interval.make child.created child.closed))
+                  then fail "Mvbt: entry refers to child outside its lifetime")
+            c.ies;
+          List.iter
+            (fun tau ->
+              let alive =
+                List.filter (fun e -> e.it_start <= tau && tau < e.it_end) c.ies
+                |> List.sort (fun a b ->
+                       Int.compare a.range.Interval.lo b.range.Interval.lo)
+              in
+              if (not is_root) && List.length alive < t.cfg.weak_min then
+                fail "Mvbt: weak condition violated in index page at time %d" tau;
+              (* Alive ranges must partition the page range. *)
+              let rec chain pos = function
+                | [] ->
+                    if alive <> [] && pos <> p.prange.Interval.hi then
+                      fail "Mvbt: alive entries do not cover page range at %d" tau
+                | e :: rest ->
+                    if e.range.Interval.lo <> pos then
+                      fail "Mvbt: gap/overlap in alive index ranges at time %d" tau;
+                    chain e.range.Interval.hi rest
+              in
+              (match alive with
+              | [] -> ()
+              | first :: _ ->
+                  if first.range.Interval.lo <> p.prange.Interval.lo then
+                    fail "Mvbt: alive entries do not start at page range"
+                  else chain p.prange.Interval.lo alive))
+            times;
+          List.iter
+            (fun e ->
+              if Store.mem (Pool.store t.pool) e.child then walk e.child)
+            c.ies)
+    end
+  in
+  List.iter (fun (_, pid) -> walk pid) t.roots;
+  (* The alive leaves reachable from the current root partition the key
+     space at the current instant. *)
+  let recs = snapshot t ~klo:0 ~khi:t.max_key ~at:t.now_ in
+  let keys = List.map (fun r -> r.key) recs in
+  if List.length (List.sort_uniq Int.compare keys) <> List.length keys then
+    fail "Mvbt: duplicate keys in current snapshot"

@@ -1,0 +1,107 @@
+(** The Multiversion B-tree (MVBT) of Becker, Gschwind, Ohler, Seeger and
+    Widmayer [BGO+96].
+
+    A partially persistent B+-tree over a transaction-time database: "the
+    MVBT is a graph that maintains the evolution of a B+-tree over time"
+    (paper section 2.4).  Updates arrive in non-decreasing time order and
+    apply to the newest version only.  Each page owns a key-range × lifetime
+    rectangle; when a page overflows (more than [b] entries) its alive
+    entries are copied to a fresh page (a {e time split}, called version
+    split in [BGO+96]), followed, if the copy violates the strong
+    condition, by a {e key split} or a {e merge} with a sibling.  Every
+    page guarantees a minimum number of alive entries at every instant of
+    its lifetime (weak condition), which is what makes the range-snapshot
+    query optimal.
+
+    This is the baseline of the paper's evaluation (section 5): the
+    warehouse tuples are stored raw in an MVBT, and a range-temporal
+    aggregate is computed by retrieving every tuple in the query rectangle
+    and aggregating — see {!Naive_rta}. *)
+
+type t
+
+type config = {
+  b : int;  (** Page capacity in entries (paper: derived from a 4 KB page). *)
+  weak_min : int;  (** Minimum alive entries per non-root page, every instant. *)
+  strong_min : int;  (** Lower strong bound after a structural change. *)
+  strong_max : int;  (** Upper strong bound after a structural change. *)
+}
+
+val default_config : b:int -> config
+(** [weak_min = b/5], [strong_min = 3b/10], [strong_max = 9b/10] — the
+    classic MVBT instantiation (k = 5, eps = 1/2). *)
+
+val create :
+  ?config:config ->
+  ?pool_capacity:int ->
+  ?stats:Storage.Io_stats.t ->
+  max_key:int ->
+  unit ->
+  t
+(** An empty MVBT over key space [\[0, max_key)].  [config] defaults to
+    [default_config ~b:64]. *)
+
+val config : t -> config
+val stats : t -> Storage.Io_stats.t
+val now : t -> int
+(** The largest update timestamp seen so far. *)
+
+val page_count : t -> int
+(** Live pages — the paper's space metric (figure 4a). *)
+
+val n_updates : t -> int
+(** Total insert + delete operations applied. *)
+
+val insert : t -> key:int -> value:int -> at:int -> unit
+(** Start a tuple version: key [key] becomes alive at [at] with attribute
+    [value] (interval [\[at, now)]).
+    @raise Invalid_argument if [at] precedes a previous update (transaction
+    time is monotone), if the key is outside the key space, or if the key
+    is already alive (1TNF). *)
+
+val delete : t -> key:int -> at:int -> unit
+(** Logically delete the alive tuple with key [key]: its interval end
+    becomes [at].  The record remains queryable for past times.
+    @raise Invalid_argument if no such alive tuple exists or time is not
+    monotone. *)
+
+val is_alive : t -> key:int -> bool
+(** Whether the key has an alive version at the current time.  O(log) via
+    the current B+-tree. *)
+
+type record = {
+  key : int;
+  value : int;
+  t_start : int;
+  t_end : int;  (** [max_int] when still alive. *)
+  rid : int;  (** Unique id of the logical record (copies share it). *)
+}
+
+val snapshot : t -> klo:int -> khi:int -> at:int -> record list
+(** The range-snapshot query the MVBT solves optimally: all tuple versions
+    with key in [\[klo, khi)] alive at instant [at], in key order. *)
+
+val rectangle : t -> klo:int -> khi:int -> tlo:int -> thi:int -> record list
+(** All logical records in the query rectangle: key in [\[klo, khi)] and
+    interval intersecting [\[tlo, thi)].  Each logical record is reported
+    once even though the MVBT stores multiple copies of it.  The reported
+    [t_end] is resolved from the copies the traversal visits: a finite
+    value is exact, while [max_int] means the deletion (if any) is not
+    recorded in any page the query rectangle reaches — key, start time and
+    value are always exact, which is all aggregation needs. *)
+
+val fold_rectangle :
+  t -> klo:int -> khi:int -> tlo:int -> thi:int -> init:'a -> f:('a -> record -> 'a) -> 'a
+(** Like {!rectangle} without materialising the list (still deduplicates
+    by record id internally). *)
+
+val drop_cache : t -> unit
+(** Flush and empty the buffer pool — cold-cache query measurements. *)
+
+val check_invariants : t -> unit
+(** Validates, over every page of the graph: entries stay inside the page
+    rectangle; at every instant of a page's lifetime the alive index
+    entries partition the page range / the alive leaf keys are unique; the
+    weak condition holds for non-root pages; parent entries agree with
+    child page rectangles; alive leaves reachable from the current root
+    form a partition of the key space.  @raise Failure on violation. *)

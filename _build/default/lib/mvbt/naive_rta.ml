@@ -1,0 +1,9 @@
+type result = { sum : int; count : int }
+
+let sum_count t ~klo ~khi ~tlo ~thi =
+  Mvbt.fold_rectangle t ~klo ~khi ~tlo ~thi ~init:{ sum = 0; count = 0 }
+    ~f:(fun acc (r : Mvbt.record) -> { sum = acc.sum + r.value; count = acc.count + 1 })
+
+let avg t ~klo ~khi ~tlo ~thi =
+  let { sum; count } = sum_count t ~klo ~khi ~tlo ~thi in
+  if count = 0 then None else Some (float_of_int sum /. float_of_int count)

@@ -1,0 +1,20 @@
+(** The paper's baseline: range-temporal aggregation over a raw MVBT.
+
+    Section 5 compares the two-MVSBT approach "with a naive approach where
+    the temporal records are kept in a traditional temporal index, the
+    MVBT": the query "first retrieves the tuples of the warehouse which
+    satisfy the RTA key-range and time-interval predicates, and then
+    computes the aggregate on the retrieved tuples".  Its cost therefore
+    grows with the number of qualifying tuples — in the worst case (QRS =
+    100%) it scans the whole dataset, which is exactly the behaviour
+    figure 4b exposes. *)
+
+type result = { sum : int; count : int }
+
+val sum_count : Mvbt.t -> klo:int -> khi:int -> tlo:int -> thi:int -> result
+(** SUM and COUNT of the attribute values of every logical record in the
+    rectangle [\[klo, khi) × \[tlo, thi)], computed by retrieval +
+    aggregation (one pass, no materialised list). *)
+
+val avg : Mvbt.t -> klo:int -> khi:int -> tlo:int -> thi:int -> float option
+(** AVG = SUM / COUNT; [None] when no record qualifies. *)

@@ -1,0 +1,95 @@
+module Dominance (G : Aggregate.Group.S) = struct
+  type t = { mutable entries : (int * int * G.t) list; mutable n : int }
+
+  let create () = { entries = []; n = 0 }
+
+  let add t ~key ~at v =
+    t.entries <- (key, at, v) :: t.entries;
+    t.n <- t.n + 1
+
+  let query t ~key ~at =
+    List.fold_left
+      (fun acc (k, tm, v) -> if k <= key && tm <= at then G.add acc v else acc)
+      G.zero t.entries
+
+  let size t = t.n
+end
+
+module Warehouse = struct
+  type tuple = { key : int; value : int; t_start : int; t_end : int }
+
+  type t = { mutable tuples : tuple list; mutable now_ : int }
+
+  let forever = max_int
+
+  let create () = { tuples = []; now_ = 0 }
+
+  let advance t at =
+    if at < t.now_ then invalid_arg "Reference.Warehouse: time went backwards";
+    t.now_ <- at
+
+  let alive tu = tu.t_end = forever
+
+  let insert t ~key ~value ~at =
+    advance t at;
+    if List.exists (fun tu -> alive tu && tu.key = key) t.tuples then
+      invalid_arg (Printf.sprintf "Reference.Warehouse.insert: key %d alive (1TNF)" key);
+    t.tuples <- { key; value; t_start = at; t_end = forever } :: t.tuples
+
+  let delete t ~key ~at =
+    advance t at;
+    let rec go = function
+      | [] -> invalid_arg (Printf.sprintf "Reference.Warehouse.delete: key %d not alive" key)
+      | tu :: rest when alive tu && tu.key = key ->
+          if tu.t_start = at then rest (* empty version: drop *)
+          else { tu with t_end = at } :: rest
+      | tu :: rest -> tu :: go rest
+    in
+    t.tuples <- go t.tuples
+
+  let now t = t.now_
+  let size t = List.length t.tuples
+  let alive_count t = List.length (List.filter alive t.tuples)
+  let tuples t = t.tuples
+
+  let alive_at tau tu = tu.t_start <= tau && tau < tu.t_end
+
+  let snapshot t ~klo ~khi ~at =
+    List.filter (fun tu -> klo <= tu.key && tu.key < khi && alive_at at tu) t.tuples
+    |> List.sort (fun a b -> Int.compare a.key b.key)
+
+  let in_rectangle ~klo ~khi ~tlo ~thi tu =
+    klo <= tu.key && tu.key < khi && tu.t_start < thi && tlo < tu.t_end
+
+  let rectangle t ~klo ~khi ~tlo ~thi =
+    if klo >= khi || tlo >= thi then []
+    else
+      List.filter (in_rectangle ~klo ~khi ~tlo ~thi) t.tuples
+      |> List.sort (fun a b ->
+             match Int.compare a.key b.key with
+             | 0 -> Int.compare a.t_start b.t_start
+             | c -> c)
+
+  let rta_sum t ~klo ~khi ~tlo ~thi =
+    List.fold_left (fun acc tu -> acc + tu.value) 0 (rectangle t ~klo ~khi ~tlo ~thi)
+
+  let rta_count t ~klo ~khi ~tlo ~thi =
+    List.length (rectangle t ~klo ~khi ~tlo ~thi)
+
+  let rta_avg t ~klo ~khi ~tlo ~thi =
+    let c = rta_count t ~klo ~khi ~tlo ~thi in
+    if c = 0 then None
+    else Some (float_of_int (rta_sum t ~klo ~khi ~tlo ~thi) /. float_of_int c)
+
+  let lkst t ~key ~at =
+    List.fold_left
+      (fun (s, c) tu ->
+        if tu.key < key && alive_at at tu then (s + tu.value, c + 1) else (s, c))
+      (0, 0) t.tuples
+
+  let lklt t ~key ~at =
+    List.fold_left
+      (fun (s, c) tu ->
+        if tu.key < key && tu.t_end <= at then (s + tu.value, c + 1) else (s, c))
+      (0, 0) t.tuples
+end

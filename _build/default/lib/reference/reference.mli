@@ -1,0 +1,66 @@
+(** Brute-force oracles.
+
+    In-memory, scan-based implementations of every query the indexed
+    structures answer.  They follow the definitions of the paper directly
+    (the two-scan spirit of [Tum92]) and serve as the ground truth for the
+    unit and property tests: any disagreement between a tree and its
+    oracle is a bug in the tree. *)
+
+(** Dominance-sum oracle for a single MVSBT: a bag of insertions
+    [(key, time, value)], where the value at point [(k, t)] is the sum of
+    all insertions with [key <= k] and [time <= t]. *)
+module Dominance (G : Aggregate.Group.S) : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> key:int -> at:int -> G.t -> unit
+  val query : t -> key:int -> at:int -> G.t
+  val size : t -> int
+end
+
+(** Tuple-store oracle for the warehouse: transaction-time tuples with
+    integer attribute values, 1TNF enforced. *)
+module Warehouse : sig
+  type t
+
+  type tuple = {
+    key : int;
+    value : int;
+    t_start : int;
+    t_end : int;  (** [max_int] while alive. *)
+  }
+
+  val create : unit -> t
+
+  val insert : t -> key:int -> value:int -> at:int -> unit
+  (** @raise Invalid_argument on 1TNF violation or non-monotone time. *)
+
+  val delete : t -> key:int -> at:int -> unit
+  (** Logical deletion.  @raise Invalid_argument if the key is not alive. *)
+
+  val now : t -> int
+  val size : t -> int
+  (** Number of tuple versions ever inserted. *)
+
+  val alive_count : t -> int
+  val tuples : t -> tuple list
+
+  val snapshot : t -> klo:int -> khi:int -> at:int -> tuple list
+  (** Tuples with key in the range, alive at the instant; key order. *)
+
+  val rectangle : t -> klo:int -> khi:int -> tlo:int -> thi:int -> tuple list
+  (** Tuples in the query rectangle (key in range, interval intersecting
+      the time interval). *)
+
+  val rta_sum : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int
+  val rta_count : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int
+  val rta_avg : t -> klo:int -> khi:int -> tlo:int -> thi:int -> float option
+
+  val lkst : t -> key:int -> at:int -> int * int
+  (** Less-key single-time: [(sum, count)] of tuples with [key < k] alive
+      at [t] (Definition 1). *)
+
+  val lklt : t -> key:int -> at:int -> int * int
+  (** Less-key less-time: [(sum, count)] of tuples with [key < k] whose
+      end times are at most [t] (Definition 2). *)
+end

@@ -1,0 +1,1 @@
+lib/sbtree/minmax_sbtree.ml: Aggregate Format Interval List Storage

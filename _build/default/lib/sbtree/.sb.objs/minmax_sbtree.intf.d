@@ -1,0 +1,1 @@
+lib/sbtree/minmax_sbtree.mli: Aggregate Storage

@@ -1,0 +1,1 @@
+lib/sbtree/sb_cumulative.mli: Aggregate Storage

@@ -1,0 +1,1 @@
+lib/sbtree/sbtree.ml: Format Interval List Storage

@@ -1,0 +1,1 @@
+lib/sbtree/sbtree.mli: Format Interval Storage

@@ -1,0 +1,234 @@
+module Make (L : Aggregate.Lattice.S) = struct
+  (* [pushed] is the value joined at this level ("applies to the whole
+     interval"); [agg] caches [pushed |_| join of the subtree below], so
+     window queries can take fully-covered records without descending.
+     For leaf records [agg = pushed]. *)
+  type record = {
+    iv : Interval.t;
+    pushed : L.t;
+    agg : L.t;
+    child : Storage.Page_id.t option;
+  }
+
+  type node = { level : int; records : record list }
+
+  module Store = Storage.Page_store.Mem (struct
+    type t = node
+  end)
+
+  module Pool = Storage.Buffer_pool.Make (Store)
+
+  type t = {
+    pool : Pool.t;
+    b : int;
+    compaction : bool;
+    horizon : int;
+    mutable root : Storage.Page_id.t;
+    mutable height : int;
+  }
+
+  let create ?(b = 64) ?(pool_capacity = 64) ?stats ?(compaction = true)
+      ?(horizon = max_int - 1) () =
+    if b < 4 then invalid_arg "Minmax_sbtree.create: b must be >= 4";
+    let store = Store.create ?stats () in
+    let pool = Pool.create ~capacity:pool_capacity store in
+    let root = Pool.alloc pool in
+    Pool.write pool root
+      {
+        level = 0;
+        records =
+          [ { iv = Interval.make 0 horizon; pushed = L.bottom; agg = L.bottom; child = None } ];
+      };
+    { pool; b; compaction; horizon; root; height = 1 }
+
+  let b t = t.b
+  let horizon t = t.horizon
+  let stats t = Pool.stats t.pool
+  let page_count t = Store.live_pages (Pool.store t.pool)
+  let height t = t.height
+  let read t id = Pool.read t.pool id
+  let write t id node = Pool.write t.pool id node
+
+  let node_agg node =
+    List.fold_left (fun acc r -> L.join acc r.agg) L.bottom node.records
+
+  let span records =
+    match records with
+    | [] -> Interval.empty
+    | first :: _ ->
+        let rec last = function [ r ] -> r | _ :: tl -> last tl | [] -> assert false in
+        Interval.hull first.iv (last records).iv
+
+  let compact_records t records =
+    if not t.compaction then records
+    else
+      let rec go = function
+        | r1 :: r2 :: rest
+          when r1.child = None && r2.child = None && L.equal r1.pushed r2.pushed
+               && Interval.adjacent r1.iv r2.iv ->
+            go ({ r1 with iv = Interval.hull r1.iv r2.iv } :: rest)
+        | r :: rest -> r :: go rest
+        | [] -> []
+      in
+      go records
+
+  type split = (Interval.t * Storage.Page_id.t) * (Interval.t * Storage.Page_id.t)
+
+  let split_node t id node : split =
+    let n = List.length node.records in
+    let mid = n / 2 in
+    let left = List.filteri (fun i _ -> i < mid) node.records in
+    let right = List.filteri (fun i _ -> i >= mid) node.records in
+    let rid = Pool.alloc t.pool in
+    write t rid { node with records = right };
+    write t id { node with records = left };
+    ((span left, id), (span right, rid))
+
+  (* Returns the node's new aggregate and an optional split. *)
+  let rec insert_node t id lo hi v : L.t * split option =
+    let node = read t id in
+    let q = Interval.make lo hi in
+    let records =
+      if node.level = 0 then
+        List.concat_map
+          (fun r ->
+            if not (Interval.intersects r.iv q) then [ r ]
+            else if Interval.subset r.iv q then
+              let value = L.join r.pushed v in
+              [ { r with pushed = value; agg = value } ]
+            else begin
+              let below, rest = Interval.split_at lo r.iv in
+              let inside, above = Interval.split_at hi rest in
+              let joined = L.join r.pushed v in
+              List.concat
+                [
+                  (if Interval.is_empty below then [] else [ { r with iv = below } ]);
+                  (if Interval.is_empty inside then []
+                   else [ { r with iv = inside; pushed = joined; agg = joined } ]);
+                  (if Interval.is_empty above then [] else [ { r with iv = above } ]);
+                ]
+            end)
+          node.records
+      else
+        List.concat_map
+          (fun r ->
+            if not (Interval.intersects r.iv q) then [ r ]
+            else if Interval.subset r.iv q then
+              let pushed = L.join r.pushed v in
+              [ { r with pushed; agg = L.join r.agg v } ]
+            else begin
+              let clip = Interval.inter r.iv q in
+              let child = match r.child with Some c -> c | None -> assert false in
+              let child_agg, split =
+                insert_node t child clip.Interval.lo clip.Interval.hi v
+              in
+              match split with
+              | None -> [ { r with agg = L.join r.pushed child_agg } ]
+              | Some ((liv, lid), (riv, rid)) ->
+                  let sub_agg pid = node_agg (read t pid) in
+                  [
+                    { r with iv = liv; child = Some lid;
+                      agg = L.join r.pushed (sub_agg lid) };
+                    { r with iv = riv; child = Some rid;
+                      agg = L.join r.pushed (sub_agg rid) };
+                  ]
+            end)
+          node.records
+    in
+    let records = compact_records t records in
+    let node = { node with records } in
+    if List.length records <= t.b then begin
+      write t id node;
+      (node_agg node, None)
+    end
+    else begin
+      let split = split_node t id node in
+      (node_agg node, Some split)
+    end
+
+  let insert t ~lo ~hi v =
+    if lo >= hi then invalid_arg "Minmax_sbtree.insert: empty interval";
+    if lo < 0 || hi > t.horizon then
+      invalid_arg "Minmax_sbtree.insert: outside time domain";
+    match insert_node t t.root lo hi v with
+    | _, None -> ()
+    | _, Some ((liv, lid), (riv, rid)) ->
+        let new_root = Pool.alloc t.pool in
+        let level = (read t lid).level + 1 in
+        let mk iv pid =
+          { iv; pushed = L.bottom; agg = node_agg (read t pid); child = Some pid }
+        in
+        write t new_root { level; records = [ mk liv lid; mk riv rid ] };
+        t.root <- new_root;
+        t.height <- t.height + 1
+
+  let query t time =
+    if time < 0 || time >= t.horizon then
+      invalid_arg "Minmax_sbtree.query: outside time domain";
+    let rec go id acc =
+      let node = read t id in
+      let r = List.find (fun r -> Interval.mem time r.iv) node.records in
+      let acc = L.join acc r.pushed in
+      match r.child with None -> acc | Some c -> go c acc
+    in
+    go t.root L.bottom
+
+  let query_window t ~lo ~hi =
+    if lo >= hi then invalid_arg "Minmax_sbtree.query_window: empty window";
+    if lo < 0 || hi > t.horizon then
+      invalid_arg "Minmax_sbtree.query_window: outside time domain";
+    let q = Interval.make lo hi in
+    let rec go id w acc =
+      let node = read t id in
+      List.fold_left
+        (fun acc r ->
+          if not (Interval.intersects r.iv w) then acc
+          else if Interval.subset r.iv w then L.join acc r.agg
+          else
+            match r.child with
+            | None -> L.join acc r.pushed
+            | Some c -> go c (Interval.inter r.iv w) (L.join acc r.pushed))
+        acc node.records
+    in
+    go t.root q L.bottom
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let rec walk id expected_span =
+      let node = read t id in
+      if node.records = [] then fail "Minmax_sbtree: empty node";
+      if List.length node.records > t.b then fail "Minmax_sbtree: node over-full";
+      let rec check_chain pos = function
+        | [] ->
+            if pos <> expected_span.Interval.hi then fail "Minmax_sbtree: span not covered"
+        | r :: rest ->
+            if r.iv.Interval.lo <> pos then fail "Minmax_sbtree: gap/overlap";
+            check_chain r.iv.Interval.hi rest
+      in
+      check_chain expected_span.Interval.lo node.records;
+      let depths =
+        List.map
+          (fun r ->
+            match (node.level, r.child) with
+            | 0, None ->
+                if not (L.equal r.agg r.pushed) then
+                  fail "Minmax_sbtree: leaf agg differs from value";
+                0
+            | 0, Some _ -> fail "Minmax_sbtree: leaf with child"
+            | _, None -> fail "Minmax_sbtree: index record without child"
+            | _, Some c ->
+                let d = walk c r.iv in
+                let expect = L.join r.pushed (node_agg (read t c)) in
+                if not (L.equal r.agg expect) then
+                  fail "Minmax_sbtree: stale cached aggregate";
+                d)
+          node.records
+      in
+      (match depths with
+      | d :: rest -> List.iter (fun d' -> if d <> d' then fail "Minmax_sbtree: unbalanced") rest
+      | [] -> ());
+      List.hd depths + 1
+    in
+    let depth = walk t.root (Interval.make 0 t.horizon) in
+    if depth <> t.height then fail "Minmax_sbtree: height mismatch"
+end

@@ -1,0 +1,45 @@
+(** The min/max SB-tree variant of [YW01].
+
+    MIN and MAX admit no inverse, so they cannot reuse the group-based
+    SB-tree; the paper notes that "a special extension of the SB-tree (the
+    min/max SB-tree) can be used to support MIN and MAX aggregates"
+    (section 2.2) — for insertions only, since retracting a joined value is
+    not possible.
+
+    Beyond the instantaneous query, each index record caches the join of
+    its whole subtree, which yields window queries ("MIN over
+    [\[t1, t2)]") in [O(log_b n)] I/Os: records fully inside the window
+    contribute their cached join without descent, and at most two partial
+    records per level are descended. *)
+
+module Make (L : Aggregate.Lattice.S) : sig
+  type t
+
+  val create :
+    ?b:int ->
+    ?pool_capacity:int ->
+    ?stats:Storage.Io_stats.t ->
+    ?compaction:bool ->
+    ?horizon:int ->
+    unit ->
+    t
+
+  val b : t -> int
+  val horizon : t -> int
+  val stats : t -> Storage.Io_stats.t
+  val page_count : t -> int
+  val height : t -> int
+
+  val insert : t -> lo:int -> hi:int -> L.t -> unit
+  (** Join [v] into the aggregate of every instant of [\[lo, hi)]. *)
+
+  val query : t -> int -> L.t
+  (** Aggregate at one instant ([L.bottom] if nothing covers it). *)
+
+  val query_window : t -> lo:int -> hi:int -> L.t
+  (** Join of the aggregate over all instants of [\[lo, hi)]: the MIN/MAX
+      of values of records whose intervals intersect the window. *)
+
+  val check_invariants : t -> unit
+  (** Partition/nesting/balance checks plus cached-join consistency. *)
+end

@@ -1,0 +1,45 @@
+module Make (G : Aggregate.Group.S) = struct
+  module Tree = Sbtree.Make (G)
+
+  type t = { alive : Tree.t; ended : Tree.t; horizon : int }
+
+  let create ?b ?pool_capacity ?stats ?compaction ?(horizon = max_int - 1) () =
+    let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+    let mk () = Tree.create ?b ?pool_capacity ~stats ?compaction ~horizon () in
+    { alive = mk (); ended = mk (); horizon }
+
+  let horizon t = t.horizon
+  let stats t = Tree.stats t.alive
+  let page_count t = Tree.page_count t.alive + Tree.page_count t.ended
+
+  let insert_record t ~lo ~hi v =
+    Tree.insert t.alive ~lo ~hi v;
+    (* Register the record's end so "valid strictly before" queries see it.
+       A record ending at the horizon never ends. *)
+    if hi < t.horizon then Tree.insert_from t.ended ~lo:hi v
+
+  let delete_record t ~lo ~hi v =
+    let neg = G.neg v in
+    Tree.insert t.alive ~lo ~hi neg;
+    if hi < t.horizon then Tree.insert_from t.ended ~lo:hi neg
+
+  let begin_tuple t ~at v = Tree.insert_from t.alive ~lo:at v
+
+  let end_tuple t ~at v =
+    Tree.insert_from t.alive ~lo:at (G.neg v);
+    Tree.insert_from t.ended ~lo:at v
+
+  let instantaneous t time = Tree.query t.alive time
+  let ended_by t time = Tree.query t.ended time
+
+  let cumulative t ~at ~window =
+    if window < 0 then invalid_arg "Cumulative.cumulative: negative window";
+    let inst = instantaneous t at in
+    if window = 0 then inst
+    else begin
+      let upper = ended_by t at in
+      let floor = at - window in
+      let lower = if floor < 0 then G.zero else ended_by t floor in
+      G.add inst (G.add upper (G.neg lower))
+    end
+end

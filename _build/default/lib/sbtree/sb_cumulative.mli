@@ -1,0 +1,66 @@
+(** Cumulative temporal aggregates via two SB-trees.
+
+    Paper section 2.2: "To support cumulative SUM, COUNT and AVG aggregates
+    with arbitrary window offset [w], two SB-trees are used, one
+    maintaining the aggregates of records valid at any given time, while
+    the other maintaining the aggregates of records valid strictly before
+    any given time."  The value of a cumulative aggregate at instant [t]
+    with window [w] is computed from the tuples whose intervals intersect
+    [\[t - w, t\]]:
+
+    [cumulative t w = instantaneous t + ended_by t - ended_by (t - w)]
+
+    Both valid-time records (interval fully known at insertion) and
+    transaction-time tuples (begin now, end later) are supported.  Values
+    must form a group since record removal is encoded as a negative
+    insertion. *)
+
+module Make (G : Aggregate.Group.S) : sig
+  type t
+
+  val create :
+    ?b:int ->
+    ?pool_capacity:int ->
+    ?stats:Storage.Io_stats.t ->
+    ?compaction:bool ->
+    ?horizon:int ->
+    unit ->
+    t
+  (** Parameters as in {!Sbtree.Make.create}; both underlying trees share
+      the [stats] sink so I/O measurements cover the pair. *)
+
+  val horizon : t -> int
+  val stats : t -> Storage.Io_stats.t
+  val page_count : t -> int
+
+  (** {1 Valid-time interface} *)
+
+  val insert_record : t -> lo:int -> hi:int -> G.t -> unit
+  (** Add a record valid over [\[lo, hi)] with value [v]. *)
+
+  val delete_record : t -> lo:int -> hi:int -> G.t -> unit
+  (** Physically remove a previously inserted record — "represented as an
+      insertion of a new tuple with a negative attribute value". *)
+
+  (** {1 Transaction-time interface} *)
+
+  val begin_tuple : t -> at:int -> G.t -> unit
+  (** A tuple becomes alive at [at] with value [v] (interval [\[at, now)]). *)
+
+  val end_tuple : t -> at:int -> G.t -> unit
+  (** The tuple with value [v] is logically deleted at [at]. *)
+
+  (** {1 Queries} *)
+
+  val instantaneous : t -> int -> G.t
+  (** Aggregate of records alive at the instant. *)
+
+  val ended_by : t -> int -> G.t
+  (** Aggregate of records whose interval ended at or before the instant
+      (i.e. valid strictly before it). *)
+
+  val cumulative : t -> at:int -> window:int -> G.t
+  (** Aggregate of records whose intervals intersect [\[at - window, at\]]
+      (window clamped at 0).  [window = 0] degenerates to
+      {!instantaneous}. *)
+end

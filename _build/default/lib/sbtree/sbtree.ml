@@ -1,0 +1,247 @@
+module type MONOID = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (M : MONOID) = struct
+  type record = { iv : Interval.t; value : M.t; child : Storage.Page_id.t option }
+  type node = { level : int; records : record list }
+
+  module Store = Storage.Page_store.Mem (struct
+    type t = node
+  end)
+
+  module Pool = Storage.Buffer_pool.Make (Store)
+
+  type t = {
+    pool : Pool.t;
+    b : int;
+    compaction : bool;
+    horizon : int;
+    mutable root : Storage.Page_id.t;
+    mutable height : int;
+  }
+
+  let create ?(b = 64) ?(pool_capacity = 64) ?stats ?(compaction = true)
+      ?(horizon = max_int - 1) () =
+    if b < 4 then invalid_arg "Sbtree.create: b must be >= 4";
+    if horizon < 1 then invalid_arg "Sbtree.create: horizon must be >= 1";
+    let store = Store.create ?stats () in
+    let pool = Pool.create ~capacity:pool_capacity store in
+    let root = Pool.alloc pool in
+    Pool.write pool root
+      {
+        level = 0;
+        records = [ { iv = Interval.make 0 horizon; value = M.zero; child = None } ];
+      };
+    { pool; b; compaction; horizon; root; height = 1 }
+
+  let b t = t.b
+  let horizon t = t.horizon
+  let stats t = Pool.stats t.pool
+  let height t = t.height
+  let page_count t = Store.live_pages (Pool.store t.pool)
+  let flush t = Pool.flush t.pool
+  let read t id = Pool.read t.pool id
+  let write t id node = Pool.write t.pool id node
+
+  let span records =
+    match records with
+    | [] -> Interval.empty
+    | first :: _ ->
+        let rec last = function [ r ] -> r | _ :: tl -> last tl | [] -> assert false in
+        Interval.hull first.iv (last records).iv
+
+  (* Merge adjacent leaf records with equal values — the paper's
+     compaction, applied within a page. *)
+  let compact_records t records =
+    if not t.compaction then records
+    else
+      let rec go = function
+        | r1 :: r2 :: rest
+          when M.equal r1.value r2.value && r1.child = None && r2.child = None
+               && Interval.adjacent r1.iv r2.iv ->
+            go ({ r1 with iv = Interval.hull r1.iv r2.iv } :: rest)
+        | r :: rest -> r :: go rest
+        | [] -> []
+      in
+      go records
+
+  (* A split replaces one child with two; [None] means no split happened. *)
+  type split = (Interval.t * Storage.Page_id.t) * (Interval.t * Storage.Page_id.t)
+
+  let split_node t id (node : node) : split =
+    let records = node.records in
+    let n = List.length records in
+    let mid = n / 2 in
+    let left = List.filteri (fun i _ -> i < mid) records in
+    let right = List.filteri (fun i _ -> i >= mid) records in
+    let rid = Pool.alloc t.pool in
+    write t rid { node with records = right };
+    write t id { node with records = left };
+    ((span left, id), (span right, rid))
+
+  let rec insert_node t id lo hi v : split option =
+    let node = read t id in
+    if node.level = 0 then begin
+      (* Leaf: add [v] to fully covered records; split the (at most two)
+         boundary records at [lo] / [hi] and add to the covered pieces. *)
+      let q = Interval.make lo hi in
+      let expand r =
+        if not (Interval.intersects r.iv q) then [ r ]
+        else if Interval.subset r.iv q then [ { r with value = M.add r.value v } ]
+        else begin
+          let below, rest = Interval.split_at lo r.iv in
+          let inside, above = Interval.split_at hi rest in
+          List.concat
+            [
+              (if Interval.is_empty below then [] else [ { r with iv = below } ]);
+              (if Interval.is_empty inside then []
+               else [ { r with iv = inside; value = M.add r.value v } ]);
+              (if Interval.is_empty above then [] else [ { r with iv = above } ]);
+            ]
+        end
+      in
+      let records = compact_records t (List.concat_map expand node.records) in
+      let node = { node with records } in
+      if List.length records <= t.b then begin
+        write t id node;
+        None
+      end
+      else Some (split_node t id node)
+    end
+    else begin
+      let q = Interval.make lo hi in
+      let process r =
+        if not (Interval.intersects r.iv q) then [ r ]
+        else if Interval.subset r.iv q then [ { r with value = M.add r.value v } ]
+        else begin
+          (* Partially covered: push the clipped interval into the child. *)
+          let clip = Interval.inter r.iv q in
+          let child = match r.child with Some c -> c | None -> assert false in
+          match insert_node t child clip.Interval.lo clip.Interval.hi v with
+          | None -> [ r ]
+          | Some ((liv, lid), (riv, rid)) ->
+              [
+                { r with iv = liv; child = Some lid };
+                { r with iv = riv; child = Some rid };
+              ]
+        end
+      in
+      let records = List.concat_map process node.records in
+      let node = { node with records } in
+      if List.length records <= t.b then begin
+        write t id node;
+        None
+      end
+      else Some (split_node t id node)
+    end
+
+  let insert t ~lo ~hi v =
+    if lo >= hi then invalid_arg "Sbtree.insert: empty interval";
+    if lo < 0 || hi > t.horizon then invalid_arg "Sbtree.insert: outside time domain";
+    match insert_node t t.root lo hi v with
+    | None -> ()
+    | Some ((liv, lid), (riv, rid)) ->
+        let new_root = Pool.alloc t.pool in
+        let level = (read t lid).level + 1 in
+        write t new_root
+          {
+            level;
+            records =
+              [
+                { iv = liv; value = M.zero; child = Some lid };
+                { iv = riv; value = M.zero; child = Some rid };
+              ];
+          };
+        t.root <- new_root;
+        t.height <- t.height + 1
+
+  let insert_from t ~lo v = insert t ~lo ~hi:t.horizon v
+
+  let query t time =
+    if time < 0 || time >= t.horizon then
+      invalid_arg "Sbtree.query: outside time domain";
+    let rec go id acc =
+      let node = read t id in
+      let r =
+        try List.find (fun r -> Interval.mem time r.iv) node.records
+        with Not_found ->
+          Format.kasprintf failwith "Sbtree: no record containing %d in page %d" time
+            (Storage.Page_id.to_int id)
+      in
+      let acc = M.add acc r.value in
+      match r.child with None -> acc | Some c -> go c acc
+    in
+    go t.root M.zero
+
+  let record_count t =
+    let rec go id =
+      let node = read t id in
+      let here = List.length node.records in
+      if node.level = 0 then here
+      else
+        List.fold_left
+          (fun acc r -> match r.child with Some c -> acc + go c | None -> acc)
+          here node.records
+    in
+    go t.root
+
+  let leaf_intervals t =
+    let out = ref [] in
+    let rec go id acc =
+      let node = read t id in
+      List.iter
+        (fun r ->
+          let acc = M.add acc r.value in
+          match r.child with
+          | None -> out := (r.iv, acc) :: !out
+          | Some c -> go c acc)
+        node.records
+    in
+    go t.root M.zero;
+    List.rev !out
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let rec walk id expected_span =
+      let node = read t id in
+      let records = node.records in
+      if records = [] then fail "Sbtree: empty node";
+      if List.length records > t.b then fail "Sbtree: node over-full";
+      (* Records must exactly partition the expected span, in order. *)
+      let rec check_chain pos = function
+        | [] -> if pos <> expected_span.Interval.hi then fail "Sbtree: span not covered"
+        | r :: rest ->
+            if Interval.is_empty r.iv then fail "Sbtree: empty record interval";
+            if r.iv.Interval.lo <> pos then
+              fail "Sbtree: gap or overlap at %d (expected %d)" r.iv.Interval.lo pos;
+            check_chain r.iv.Interval.hi rest
+      in
+      check_chain expected_span.Interval.lo records;
+      if node.level = 0 then begin
+        List.iter (fun r -> if r.child <> None then fail "Sbtree: leaf with child") records;
+        1
+      end
+      else begin
+        let depths =
+          List.map
+            (fun r ->
+              match r.child with
+              | None -> fail "Sbtree: index record without child"
+              | Some c -> walk c r.iv)
+            records
+        in
+        (match depths with
+        | d :: rest -> List.iter (fun d' -> if d <> d' then fail "Sbtree: unbalanced") rest
+        | [] -> ());
+        List.hd depths + 1
+      end
+    in
+    let depth = walk t.root (Interval.make 0 t.horizon) in
+    if depth <> t.height then fail "Sbtree: height %d but depth %d" t.height depth
+end

@@ -1,0 +1,85 @@
+(** The SB-tree of Yang and Widom [YW01].
+
+    The SB-tree "incorporates properties from both the segment tree and the
+    B-tree" (paper section 2.2): it indexes the time domain, each node
+    partitions its span into at most [b] contiguous intervals, and every
+    interval carries a value used to compute the aggregate over that
+    interval.  Inserting a tuple with interval [i] and value [v] updates,
+    at each node along at most two root-to-leaf paths, the records fully
+    contained in [i]; partially contained records are recursed into (at the
+    leaf level they are split at the boundary).  An instantaneous aggregate
+    at time [t] accumulates the values of the records containing [t] along
+    a single root-to-leaf path — [O(log_b n)] I/Os for both operations.
+
+    The tree needs only a commutative monoid over values: insertion adds,
+    queries accumulate.  Deletions are encoded by the caller as insertions
+    of inverse values when the monoid is a group (SUM/COUNT/AVG), exactly
+    as the paper prescribes; MIN/MAX ride the same core via
+    {!Minmax_sbtree}.
+
+    Nodes live in a page store behind an LRU buffer pool, so operations
+    cost simulated I/Os. *)
+
+module type MONOID = sig
+  type t
+
+  val zero : t
+  val add : t -> t -> t
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (M : MONOID) : sig
+  type t
+
+  val create :
+    ?b:int ->
+    ?pool_capacity:int ->
+    ?stats:Storage.Io_stats.t ->
+    ?compaction:bool ->
+    ?horizon:int ->
+    unit ->
+    t
+  (** [b] is the page capacity in records (default 64, minimum 4).
+      [compaction] enables merging adjacent leaf records with equal values
+      (paper: "a special compaction algorithm ... merges leaf intervals
+      with equal aggregate values"); default [true].  [horizon] is the
+      exclusive upper end of the time domain (default [max_int - 1]):
+      intervals reaching it behave as the paper's [now]-terminated
+      records. *)
+
+  val b : t -> int
+  val horizon : t -> int
+  val stats : t -> Storage.Io_stats.t
+
+  val insert : t -> lo:int -> hi:int -> M.t -> unit
+  (** Add [v] to the aggregate of every instant in [\[lo, hi)].
+      @raise Invalid_argument if the interval is empty or escapes
+      [\[0, horizon)]. *)
+
+  val insert_from : t -> lo:int -> M.t -> unit
+  (** [insert_from t ~lo v] adds [v] from [lo] to the horizon — the shape
+      every transaction-time insertion has ("[t_i, now)"). *)
+
+  val query : t -> int -> M.t
+  (** Instantaneous aggregate at an instant.
+      @raise Invalid_argument if outside [\[0, horizon)]. *)
+
+  val height : t -> int
+  val page_count : t -> int
+
+  val record_count : t -> int
+  (** Total records stored over all pages. *)
+
+  val leaf_intervals : t -> (Interval.t * M.t) list
+  (** The leaf-level step function, in time order: contiguous intervals
+      with the (fully accumulated) aggregate value of each.  Mainly for
+      tests and debugging; costs a full scan. *)
+
+  val flush : t -> unit
+
+  val check_invariants : t -> unit
+  (** Verifies: each node's records exactly partition its span, spans
+      nest, leaves share one depth and fan-outs respect [b].
+      @raise Failure on violation. *)
+end

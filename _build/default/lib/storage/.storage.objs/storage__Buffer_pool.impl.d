@@ -1,0 +1,1 @@
+lib/storage/buffer_pool.ml: Lru Page_id Page_store

@@ -1,0 +1,1 @@
+lib/storage/page_store.mli: Codec Io_stats Page_id

@@ -1,0 +1,59 @@
+module Make (Store : Page_store.S) = struct
+  type entry = { payload : Store.payload; mutable dirty : bool }
+
+  type t = {
+    store : Store.t;
+    cache : (Page_id.t, entry) Lru.t;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create ?(capacity = 64) store =
+    { store; cache = Lru.create ~capacity; hits = 0; misses = 0 }
+
+  let store t = t.store
+  let capacity t = Lru.capacity t.cache
+  let stats t = Store.stats t.store
+  let hits t = t.hits
+  let misses t = t.misses
+  let alloc t = Store.alloc t.store
+
+  let write_back t id (entry : entry) =
+    if entry.dirty then begin
+      Store.write t.store id entry.payload;
+      entry.dirty <- false
+    end
+
+  let insert t id entry =
+    match Lru.add t.cache id entry with
+    | None -> ()
+    | Some (evicted_id, evicted) -> write_back t evicted_id evicted
+
+  let read t id =
+    match Lru.find t.cache id with
+    | Some entry ->
+        t.hits <- t.hits + 1;
+        entry.payload
+    | None ->
+        t.misses <- t.misses + 1;
+        let payload = Store.read t.store id in
+        insert t id { payload; dirty = false };
+        payload
+
+  let write t id payload = insert t id { payload; dirty = true }
+
+  let mark_dirty t id =
+    match Lru.peek t.cache id with
+    | Some entry -> entry.dirty <- true
+    | None -> ()
+
+  let free t id =
+    ignore (Lru.remove t.cache id);
+    Store.free t.store id
+
+  let flush t = Lru.iter (fun id entry -> write_back t id entry) t.cache
+
+  let drop_cache t =
+    flush t;
+    Lru.clear t.cache
+end

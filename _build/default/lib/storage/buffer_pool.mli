@@ -1,0 +1,53 @@
+(** Write-back LRU buffer pool over a page store.
+
+    The paper's experiments use "LRU buffering and the default buffer size
+    is 64 pages" (section 5) and sweep the buffer size in figure 4c.  The
+    pool caches page payloads; a read miss costs one physical read, and
+    evicting or flushing a dirty page costs one physical write — both
+    charged to the underlying store's {!Io_stats}.  Cache hits are free,
+    exactly like a real buffer manager. *)
+
+module Make (Store : Page_store.S) : sig
+  type t
+
+  val create : ?capacity:int -> Store.t -> t
+  (** [capacity] defaults to 64 pages, the paper's default. *)
+
+  val store : t -> Store.t
+  val capacity : t -> int
+
+  val stats : t -> Io_stats.t
+  (** Physical I/O counters of the underlying store. *)
+
+  val hits : t -> int
+  val misses : t -> int
+
+  val alloc : t -> Page_id.t
+  (** Allocate a page id from the store.  The caller must {!write} a
+      payload before reading it back. *)
+
+  val read : t -> Page_id.t -> Store.payload
+  (** Cached read.  On a miss the payload is fetched from the store (one
+      physical read) and cached, possibly evicting the LRU page.
+      @raise Not_found if the page does not exist. *)
+
+  val write : t -> Page_id.t -> Store.payload -> unit
+  (** Install a payload in the cache and mark it dirty.  No physical write
+      happens until eviction or {!flush}. *)
+
+  val mark_dirty : t -> Page_id.t -> unit
+  (** Mark an already-cached page dirty after mutating its payload in
+      place.  No-op if the page is not cached (the caller must then use
+      {!write}). *)
+
+  val free : t -> Page_id.t -> unit
+  (** Drop the page from the cache (without write-back) and free it in the
+      store. *)
+
+  val flush : t -> unit
+  (** Write back every dirty page; the cache keeps its contents clean. *)
+
+  val drop_cache : t -> unit
+  (** Flush, then empty the cache — simulates a cold buffer pool before a
+      query batch. *)
+end

@@ -1,0 +1,65 @@
+exception Overflow of string
+
+module Writer = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let create size = { buf = Bytes.make size '\000'; pos = 0 }
+  let pos t = t.pos
+
+  let ensure t n =
+    if t.pos + n > Bytes.length t.buf then
+      raise (Overflow (Printf.sprintf "write of %d bytes at %d exceeds page size %d"
+                         n t.pos (Bytes.length t.buf)))
+
+  let u8 t v =
+    ensure t 1;
+    Bytes.set_uint8 t.buf t.pos (v land 0xff);
+    t.pos <- t.pos + 1
+
+  let i32 t v =
+    if v < Int32.to_int Int32.min_int || v > Int32.to_int Int32.max_int then
+      raise (Overflow (Printf.sprintf "value %d does not fit in 32 bits" v));
+    ensure t 4;
+    Bytes.set_int32_le t.buf t.pos (Int32.of_int v);
+    t.pos <- t.pos + 4
+
+  let i64 t v =
+    ensure t 8;
+    Bytes.set_int64_le t.buf t.pos (Int64.of_int v);
+    t.pos <- t.pos + 8
+
+  let bool t b = u8 t (if b then 1 else 0)
+  let contents t = t.buf
+end
+
+module Reader = struct
+  type t = { buf : bytes; mutable pos : int }
+
+  let create buf = { buf; pos = 0 }
+  let pos t = t.pos
+
+  let ensure t n =
+    if t.pos + n > Bytes.length t.buf then
+      raise (Overflow (Printf.sprintf "read of %d bytes at %d exceeds block size %d"
+                         n t.pos (Bytes.length t.buf)))
+
+  let u8 t =
+    ensure t 1;
+    let v = Bytes.get_uint8 t.buf t.pos in
+    t.pos <- t.pos + 1;
+    v
+
+  let i32 t =
+    ensure t 4;
+    let v = Int32.to_int (Bytes.get_int32_le t.buf t.pos) in
+    t.pos <- t.pos + 4;
+    v
+
+  let i64 t =
+    ensure t 8;
+    let v = Int64.to_int (Bytes.get_int64_le t.buf t.pos) in
+    t.pos <- t.pos + 8;
+    v
+
+  let bool t = u8 t <> 0
+end

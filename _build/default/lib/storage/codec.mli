@@ -1,0 +1,46 @@
+(** Little-endian binary encoding of page payloads.
+
+    The file-backed page store serialises every page into a fixed-size
+    block.  [Writer] appends primitive values into a sized buffer and
+    [Reader] consumes them back; both raise on overflow so a page whose
+    payload exceeds the configured page size fails loudly instead of
+    corrupting its neighbours. *)
+
+exception Overflow of string
+(** Raised when an encoder exceeds the page size or a decoder reads past
+    the end of the block. *)
+
+module Writer : sig
+  type t
+
+  val create : int -> t
+  (** [create size] is a writer over a zero-filled buffer of [size] bytes. *)
+
+  val pos : t -> int
+
+  val u8 : t -> int -> unit
+  (** Writes the low 8 bits. *)
+
+  val i32 : t -> int -> unit
+  (** Writes a signed 32-bit value.
+      @raise Overflow if the value does not fit in 32 bits. *)
+
+  val i64 : t -> int -> unit
+  (** Writes a full OCaml native int as 64 bits. *)
+
+  val bool : t -> bool -> unit
+
+  val contents : t -> bytes
+  (** The full fixed-size buffer (trailing bytes are zero). *)
+end
+
+module Reader : sig
+  type t
+
+  val create : bytes -> t
+  val pos : t -> int
+  val u8 : t -> int
+  val i32 : t -> int
+  val i64 : t -> int
+  val bool : t -> bool
+end

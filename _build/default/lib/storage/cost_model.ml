@@ -1,0 +1,42 @@
+type t = { io_ms : float }
+
+let default = { io_ms = 10.0 }
+
+let estimate_s ~model ~ios ~cpu_s =
+  (float_of_int ios *. model.io_ms /. 1000.) +. cpu_s
+
+type measurement = {
+  reads : int;
+  writes : int;
+  cpu_s : float;
+  estimated_s : float;
+}
+
+let measure ?(model = default) ~stats f =
+  let before = Io_stats.snapshot stats in
+  let cpu0 = Sys.time () in
+  let result = f () in
+  let cpu_s = Sys.time () -. cpu0 in
+  let d = Io_stats.diff (Io_stats.snapshot stats) before in
+  let ios = d.Io_stats.reads + d.Io_stats.writes in
+  ( result,
+    {
+      reads = d.Io_stats.reads;
+      writes = d.Io_stats.writes;
+      cpu_s;
+      estimated_s = estimate_s ~model ~ios ~cpu_s;
+    } )
+
+let zero = { reads = 0; writes = 0; cpu_s = 0.; estimated_s = 0. }
+
+let add a b =
+  {
+    reads = a.reads + b.reads;
+    writes = a.writes + b.writes;
+    cpu_s = a.cpu_s +. b.cpu_s;
+    estimated_s = a.estimated_s +. b.estimated_s;
+  }
+
+let pp_measurement ppf m =
+  Format.fprintf ppf "reads=%d writes=%d cpu=%.4fs est=%.4fs" m.reads m.writes
+    m.cpu_s m.estimated_s

@@ -1,0 +1,31 @@
+(** Estimated running time, the paper's performance metric.
+
+    Section 5: "This estimate is commonly obtained by multiplying the
+    number of I/O's by the average disk page read access time, and then
+    adding the measured CPU time.  We assume all disk I/Os are random.  A
+    random disk access takes 10ms on average." *)
+
+type t = { io_ms : float }
+
+val default : t
+(** 10 ms per random page access. *)
+
+val estimate_s : model:t -> ios:int -> cpu_s:float -> float
+(** Estimated elapsed seconds for [ios] physical page accesses plus
+    [cpu_s] seconds of CPU. *)
+
+type measurement = {
+  reads : int;
+  writes : int;
+  cpu_s : float;  (** CPU seconds consumed by the measured thunk. *)
+  estimated_s : float;
+}
+
+val measure : ?model:t -> stats:Io_stats.t -> (unit -> 'a) -> 'a * measurement
+(** Run a thunk, attributing to it the I/O recorded on [stats] during the
+    run (via snapshot diffing) and its CPU time ([Sys.time], i.e. user +
+    system, mirroring the paper's [getrusage] methodology). *)
+
+val add : measurement -> measurement -> measurement
+val zero : measurement
+val pp_measurement : Format.formatter -> measurement -> unit

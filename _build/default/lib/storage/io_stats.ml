@@ -1,0 +1,44 @@
+type snapshot = { reads : int; writes : int; allocs : int; frees : int }
+
+type t = {
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_allocs : int;
+  mutable n_frees : int;
+}
+
+let create () = { n_reads = 0; n_writes = 0; n_allocs = 0; n_frees = 0 }
+let reads t = t.n_reads
+let writes t = t.n_writes
+let allocs t = t.n_allocs
+let frees t = t.n_frees
+let total_io t = t.n_reads + t.n_writes
+let record_read t = t.n_reads <- t.n_reads + 1
+let record_write t = t.n_writes <- t.n_writes + 1
+let record_alloc t = t.n_allocs <- t.n_allocs + 1
+let record_free t = t.n_frees <- t.n_frees + 1
+
+let reset t =
+  t.n_reads <- 0;
+  t.n_writes <- 0;
+  t.n_allocs <- 0;
+  t.n_frees <- 0
+
+let snapshot t : snapshot =
+  { reads = t.n_reads; writes = t.n_writes; allocs = t.n_allocs; frees = t.n_frees }
+
+let diff (a : snapshot) (b : snapshot) : snapshot =
+  {
+    reads = a.reads - b.reads;
+    writes = a.writes - b.writes;
+    allocs = a.allocs - b.allocs;
+    frees = a.frees - b.frees;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d" t.n_reads
+    t.n_writes t.n_allocs t.n_frees
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d" s.reads s.writes
+    s.allocs s.frees

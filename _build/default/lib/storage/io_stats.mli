@@ -1,0 +1,45 @@
+(** Physical I/O counters.
+
+    The paper's evaluation estimates running time as
+    [#I/O x average disk access time + measured CPU time] (section 5).
+    Every page store and buffer pool in this code base charges its physical
+    page operations to an [Io_stats.t], so experiments can report the same
+    quantity without real disks. *)
+
+type t
+
+val create : unit -> t
+
+val reads : t -> int
+(** Physical page reads (buffer-pool misses, or direct store reads). *)
+
+val writes : t -> int
+(** Physical page writes (dirty evictions, flushes, direct writes). *)
+
+val allocs : t -> int
+(** Pages allocated over the lifetime of the store. *)
+
+val frees : t -> int
+(** Pages returned to the store (page-disposal optimisation). *)
+
+val total_io : t -> int
+(** [reads + writes]. *)
+
+val record_read : t -> unit
+val record_write : t -> unit
+val record_alloc : t -> unit
+val record_free : t -> unit
+
+val reset : t -> unit
+(** Zero all counters. *)
+
+type snapshot = { reads : int; writes : int; allocs : int; frees : int }
+
+val snapshot : t -> snapshot
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference — the I/O incurred
+    between the two snapshots. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,101 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+type ('k, 'v) t = {
+  capacity : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option; (* most recently used *)
+  mutable tail : ('k, 'v) node option; (* least recently used *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity must be >= 1";
+  { capacity; table = Hashtbl.create (2 * capacity); head = None; tail = None }
+
+let capacity t = t.capacity
+let length t = Hashtbl.length t.table
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  unlink t node;
+  push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      touch t node;
+      Some node.value
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with None -> None | Some node -> Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table node.key;
+      Some (node.key, node.value)
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      touch t node;
+      None
+  | None ->
+      let node = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k node;
+      push_front t node;
+      if Hashtbl.length t.table > t.capacity then evict_lru t else None
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      unlink t node;
+      Hashtbl.remove t.table k;
+      Some node.value
+
+let iter f t =
+  let rec loop = function
+    | None -> ()
+    | Some node ->
+        (* Capture [next] first: [f] may remove the current entry. *)
+        let next = node.next in
+        f node.key node.value;
+        loop next
+  in
+  loop t.head
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None

@@ -1,0 +1,36 @@
+(** A generic fixed-capacity LRU index.
+
+    Backs {!Buffer_pool}.  Keys are hashed with the polymorphic hash, which
+    is adequate for the integer-like keys used here ({!Page_id.t}).  All
+    operations are O(1): a hash table maps keys to nodes of an intrusive
+    doubly-linked recency list. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Returns the value and marks the entry most-recently-used. *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Returns the value without touching recency. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or replace, marking the entry most-recently-used.  When the
+    insert pushes the cache past capacity, the least-recently-used entry is
+    evicted and returned so the caller can write it back. *)
+
+val remove : ('k, 'v) t -> 'k -> 'v option
+(** Drop an entry without treating it as an eviction. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iterates from most- to least-recently-used. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,22 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Page_id.of_int: negative id" else i
+
+let to_int i = i
+let equal = Int.equal
+let compare = Int.compare
+let hash i = i
+let pp ppf i = Format.fprintf ppf "p%d" i
+
+module Key = struct
+  type nonrec t = t
+
+  let equal = equal
+  let compare = compare
+  let hash = hash
+end
+
+module Tbl = Hashtbl.Make (Key)
+module Set = Set.Make (Key)
+module Map = Map.Make (Key)

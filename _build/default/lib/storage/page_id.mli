@@ -1,0 +1,19 @@
+(** Abstract identifiers for disk pages.
+
+    A thin wrapper over [int] that keeps page references from mixing with
+    keys, times and aggregate values in the tree code. *)
+
+type t
+
+val of_int : int -> t
+(** @raise Invalid_argument on negative input. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Tbl : Hashtbl.S with type key = t
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t

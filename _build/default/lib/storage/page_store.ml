@@ -1,0 +1,149 @@
+module type S = sig
+  type payload
+  type t
+
+  val stats : t -> Io_stats.t
+  val alloc : t -> Page_id.t
+  val read : t -> Page_id.t -> payload
+  val write : t -> Page_id.t -> payload -> unit
+  val free : t -> Page_id.t -> unit
+  val mem : t -> Page_id.t -> bool
+  val live_pages : t -> int
+end
+
+module Mem (P : sig
+  type t
+end) =
+struct
+  type payload = P.t
+
+  type t = {
+    pages : payload Page_id.Tbl.t;
+    mutable next_id : int;
+    mutable live : int;
+    stats : Io_stats.t;
+  }
+
+  let create ?(stats = Io_stats.create ()) () =
+    { pages = Page_id.Tbl.create 1024; next_id = 0; live = 0; stats }
+
+  let stats t = t.stats
+
+  (* Ids are never reused: a freed page's id stays dangling forever, so a
+     stale historical reference to a disposed page is detectably missing
+     instead of silently pointing into an unrelated page. *)
+  let alloc t =
+    Io_stats.record_alloc t.stats;
+    t.live <- t.live + 1;
+    let id = Page_id.of_int t.next_id in
+    t.next_id <- t.next_id + 1;
+    id
+
+  let read t id =
+    Io_stats.record_read t.stats;
+    Page_id.Tbl.find t.pages id
+
+  let write t id payload =
+    Io_stats.record_write t.stats;
+    Page_id.Tbl.replace t.pages id payload
+
+  let free t id =
+    Io_stats.record_free t.stats;
+    Page_id.Tbl.remove t.pages id;
+    t.live <- t.live - 1
+
+  let mem t id = Page_id.Tbl.mem t.pages id
+  let live_pages t = t.live
+
+  let reserve t ~next = if next > t.next_id then t.next_id <- next
+
+  let install t id payload =
+    if not (Page_id.Tbl.mem t.pages id) then t.live <- t.live + 1;
+    Page_id.Tbl.replace t.pages id payload;
+    reserve t ~next:(Page_id.to_int id + 1)
+end
+
+module type PAGE_CODEC = sig
+  type t
+
+  val encode : Codec.Writer.t -> t -> unit
+  val decode : Codec.Reader.t -> t
+end
+
+module File (C : PAGE_CODEC) = struct
+  type payload = C.t
+
+  type t = {
+    fd : Unix.file_descr;
+    page_size : int;
+    mutable next_id : int;
+    written : unit Page_id.Tbl.t;
+    mutable live : int;
+    stats : Io_stats.t;
+  }
+
+  let create ?(stats = Io_stats.create ()) ?(page_size = 4096) ~path () =
+    if page_size < 16 then invalid_arg "Page_store.File: page_size too small";
+    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    { fd; page_size; next_id = 0; written = Page_id.Tbl.create 1024; live = 0; stats }
+
+  let stats t = t.stats
+  let page_size t = t.page_size
+
+  (* As in {!Mem}: ids are never reused. *)
+  let alloc t =
+    Io_stats.record_alloc t.stats;
+    t.live <- t.live + 1;
+    let id = Page_id.of_int t.next_id in
+    t.next_id <- t.next_id + 1;
+    id
+
+  let offset t id = Page_id.to_int id * t.page_size
+
+  let really_read fd buf =
+    let len = Bytes.length buf in
+    let rec loop off =
+      if off < len then begin
+        let n = Unix.read fd buf off (len - off) in
+        if n = 0 then failwith "Page_store.File: short read";
+        loop (off + n)
+      end
+    in
+    loop 0
+
+  let really_write fd buf =
+    let len = Bytes.length buf in
+    let rec loop off =
+      if off < len then begin
+        let n = Unix.write fd buf off (len - off) in
+        loop (off + n)
+      end
+    in
+    loop 0
+
+  let read t id =
+    if not (Page_id.Tbl.mem t.written id) then raise Not_found;
+    Io_stats.record_read t.stats;
+    ignore (Unix.lseek t.fd (offset t id) Unix.SEEK_SET);
+    let buf = Bytes.create t.page_size in
+    really_read t.fd buf;
+    C.decode (Codec.Reader.create buf)
+
+  let write t id payload =
+    Io_stats.record_write t.stats;
+    let w = Codec.Writer.create t.page_size in
+    C.encode w payload;
+    ignore (Unix.lseek t.fd (offset t id) Unix.SEEK_SET);
+    really_write t.fd (Codec.Writer.contents w);
+    Page_id.Tbl.replace t.written id ()
+
+  let free t id =
+    Io_stats.record_free t.stats;
+    Page_id.Tbl.remove t.written id;
+    t.live <- t.live - 1
+
+  let mem t id = Page_id.Tbl.mem t.written id
+  let live_pages t = t.live
+  let close t = Unix.close t.fd
+  let file_size_bytes t = t.next_id * t.page_size
+end

@@ -1,0 +1,82 @@
+(** Page stores: the simulated disk.
+
+    A page store owns a growing collection of fixed-size pages addressed by
+    {!Page_id.t}.  Two implementations share one signature:
+
+    - {!Mem} keeps payloads in memory — fast, used by tests and benchmarks;
+      physical I/O is still charged to {!Io_stats} so experiments measure
+      the same quantity the paper does.
+    - {!File} serialises each page through a {!PAGE_CODEC} into a fixed-size
+      block of a real file, proving the structures are genuinely
+      disk-resident (every tree page round-trips through bytes).
+
+    Stores are deliberately dumb: no caching.  Layer {!Buffer_pool} on top
+    for LRU buffering. *)
+
+module type S = sig
+  type payload
+  (** The in-memory representation of one page. *)
+
+  type t
+
+  val stats : t -> Io_stats.t
+  (** The counter sink this store charges physical operations to. *)
+
+  val alloc : t -> Page_id.t
+  (** Allocate a fresh page id.  Charges an alloc, not an I/O; the first
+      {!write} pays the I/O.  Ids are never reused, so stale references to
+      freed pages stay detectably dangling instead of silently aliasing a
+      new page. *)
+
+  val read : t -> Page_id.t -> payload
+  (** @raise Not_found if the page was never written or was freed. *)
+
+  val write : t -> Page_id.t -> payload -> unit
+
+  val free : t -> Page_id.t -> unit
+  (** Return a page to the store (page-disposal optimisation).  The id is
+      retired, never recycled. *)
+
+  val mem : t -> Page_id.t -> bool
+  val live_pages : t -> int
+  (** Number of currently allocated, not-freed pages — the paper's space
+      metric. *)
+end
+
+module Mem (P : sig
+  type t
+end) : sig
+  include S with type payload = P.t
+
+  val create : ?stats:Io_stats.t -> unit -> t
+
+  val reserve : t -> next:int -> unit
+  (** Ensure future {!alloc}s return ids at or above [next].  Used when
+      reloading a persisted structure whose pages carry their original
+      ids. *)
+
+  val install : t -> Page_id.t -> payload -> unit
+  (** Install a page under an explicit id without charging I/O — snapshot
+      loading only. *)
+end
+
+module type PAGE_CODEC = sig
+  type t
+
+  val encode : Codec.Writer.t -> t -> unit
+  (** @raise Codec.Overflow if the payload exceeds the page size. *)
+
+  val decode : Codec.Reader.t -> t
+end
+
+module File (C : PAGE_CODEC) : sig
+  include S with type payload = C.t
+
+  val create : ?stats:Io_stats.t -> ?page_size:int -> path:string -> unit -> t
+  (** Creates or truncates [path]; every page occupies one fixed-size
+      block of [page_size] bytes (default 4096, the paper's setting). *)
+
+  val page_size : t -> int
+  val close : t -> unit
+  val file_size_bytes : t -> int
+end

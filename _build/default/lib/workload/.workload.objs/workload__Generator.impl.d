@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Format Hashtbl Int List Rng

@@ -1,0 +1,1 @@
+lib/workload/trace.ml: Fun Generator List Printf String

@@ -1,0 +1,185 @@
+type key_distribution =
+  | Uniform
+  | Normal of { mean_frac : float; stddev_frac : float }
+
+type interval_style = Long_lived | Short_lived
+
+type spec = {
+  n_records : int;
+  n_keys : int;
+  max_key : int;
+  max_time : int;
+  key_distribution : key_distribution;
+  interval_style : interval_style;
+  value_bound : int;
+  version_skew : float;
+  seed : int;
+}
+
+let paper_spec =
+  {
+    n_records = 1_000_000;
+    n_keys = 10_000;
+    max_key = 1_000_000_000;
+    max_time = 100_000_000;
+    key_distribution = Uniform;
+    interval_style = Long_lived;
+    value_bound = 1000;
+    version_skew = 0.;
+    seed = 2001;
+  }
+
+let scaled spec s =
+  {
+    spec with
+    n_records = max 1 (int_of_float (float_of_int spec.n_records *. s));
+    n_keys = max 1 (int_of_float (float_of_int spec.n_keys *. s));
+  }
+
+type event =
+  | Insert of { key : int; value : int; at : int }
+  | Delete of { key : int; at : int }
+
+let event_time = function Insert { at; _ } -> at | Delete { at; _ } -> at
+
+type record = { key : int; value : int; t_start : int; t_end : int }
+
+let validate spec =
+  if spec.n_records < 1 then invalid_arg "Generator: n_records must be >= 1";
+  if spec.n_keys < 1 || spec.n_keys > spec.n_records then
+    invalid_arg "Generator: need 1 <= n_keys <= n_records";
+  if spec.n_keys > spec.max_key then
+    invalid_arg "Generator: more unique keys than the key space holds";
+  let versions_per_key = (spec.n_records + spec.n_keys - 1) / spec.n_keys in
+  if spec.max_time / versions_per_key < 2 then
+    invalid_arg "Generator: time space too small for the versions per key";
+  if spec.value_bound < 1 then invalid_arg "Generator: value_bound must be >= 1";
+  if spec.version_skew < 0. then invalid_arg "Generator: version_skew must be >= 0"
+
+(* [n] distinct keys following the requested distribution. *)
+let sample_keys rng spec =
+  let seen = Hashtbl.create (2 * spec.n_keys) in
+  let draw () =
+    match spec.key_distribution with
+    | Uniform -> Rng.int rng spec.max_key
+    | Normal { mean_frac; stddev_frac } ->
+        let x =
+          Rng.gaussian rng
+            ~mean:(mean_frac *. float_of_int spec.max_key)
+            ~stddev:(stddev_frac *. float_of_int spec.max_key)
+        in
+        let k = int_of_float x in
+        if k < 0 then 0 else if k >= spec.max_key then spec.max_key - 1 else k
+  in
+  let keys = Array.make spec.n_keys 0 in
+  let filled = ref 0 in
+  let attempts = ref 0 in
+  while !filled < spec.n_keys do
+    incr attempts;
+    let k = draw () in
+    (* Dense normals can collide heavily; probe linearly after too many
+       rejections so generation always terminates. *)
+    let k =
+      if !attempts < 20 * spec.n_keys then k
+      else begin
+        let rec probe k = if Hashtbl.mem seen k then probe ((k + 1) mod spec.max_key) else k in
+        probe k
+      end
+    in
+    if not (Hashtbl.mem seen k) then begin
+      Hashtbl.add seen k ();
+      keys.(!filled) <- k;
+      incr filled
+    end
+  done;
+  keys
+
+(* How many versions each key receives.  With [version_skew = 0] the
+   versions spread evenly (the first keys absorb the remainder); a
+   positive Zipf exponent concentrates them on the leading "hot" keys,
+   capped so every key's chain still fits the time space. *)
+let version_counts spec =
+  let n = spec.n_keys in
+  let base = spec.n_records / n and rem = spec.n_records mod n in
+  if spec.version_skew <= 0. then Array.init n (fun i -> base + if i < rem then 1 else 0)
+  else begin
+    let cap = max 1 (spec.max_time / 2) in
+    let w = Array.init n (fun i -> 1. /. (float_of_int (i + 1) ** spec.version_skew)) in
+    let total_w = Array.fold_left ( +. ) 0. w in
+    let counts =
+      Array.map
+        (fun wi ->
+          min cap (max 1 (int_of_float (float_of_int spec.n_records *. wi /. total_w))))
+        w
+    in
+    (* Round-robin until the total is exact; validate() guarantees both
+       directions can terminate. *)
+    let diff = ref (spec.n_records - Array.fold_left ( + ) 0 counts) in
+    let i = ref 0 in
+    while !diff <> 0 do
+      let j = !i mod n in
+      if !diff > 0 && counts.(j) < cap then begin
+        counts.(j) <- counts.(j) + 1;
+        decr diff
+      end
+      else if !diff < 0 && counts.(j) > 1 then begin
+        counts.(j) <- counts.(j) - 1;
+        incr diff
+      end;
+      incr i
+    done;
+    counts
+  end
+
+let records spec =
+  validate spec;
+  let rng = Rng.create ~seed:spec.seed in
+  let keys = sample_keys rng spec in
+  let counts = version_counts spec in
+  let avg_len =
+    match spec.interval_style with
+    | Long_lived -> max 1 (spec.max_time / 50)
+    | Short_lived -> max 1 (spec.max_time / 2000)
+  in
+  let out = ref [] in
+  Array.iteri
+    (fun i key ->
+      let versions = counts.(i) in
+      if versions > 0 then begin
+        (* One version per equal time window keeps the chain 1TNF by
+           construction. *)
+        let window = spec.max_time / versions in
+        for j = 0 to versions - 1 do
+          let wlo = j * window in
+          let len = min (window - 1) (1 + Rng.int rng (2 * avg_len)) in
+          let slack = window - len in
+          let s = wlo + if slack > 0 then Rng.int rng slack else 0 in
+          let value = 1 + Rng.int rng spec.value_bound in
+          out := { key; value; t_start = s; t_end = s + len } :: !out
+        done
+      end)
+    keys;
+  !out
+
+let events spec =
+  let recs = records spec in
+  let evs =
+    List.concat_map
+      (fun r ->
+        [ Insert { key = r.key; value = r.value; at = r.t_start };
+          Delete { key = r.key; at = r.t_end } ])
+      recs
+  in
+  (* Deletes sort before inserts at equal instants so a key whose version
+     ends at [t] can be reinserted at [t]. *)
+  let kind = function Delete _ -> 0 | Insert _ -> 1 in
+  List.stable_sort
+    (fun a b ->
+      match Int.compare (event_time a) (event_time b) with
+      | 0 -> Int.compare (kind a) (kind b)
+      | c -> c)
+    evs
+
+let pp_event ppf = function
+  | Insert { key; value; at } -> Format.fprintf ppf "insert key=%d value=%d at=%d" key value at
+  | Delete { key; at } -> Format.fprintf ppf "delete key=%d at=%d" key at

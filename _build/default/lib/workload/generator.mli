@@ -1,0 +1,68 @@
+(** Transaction-time warehouse streams — the TimeIT substitute.
+
+    The paper's datasets "were initially created using the TimeIT software
+    and then transformed to add record keys ...  Each dataset has 1 million
+    records.  The key space is [\[1, 10^9\]] and the time space is
+    [\[1, 10^8\]].  A dataset contains 10,000 unique keys where on average
+    there are 100 different records with the same key.  We tested datasets
+    with mainly long-lived intervals and with mainly short-lived
+    intervals" (section 5), with both uniformly and normally distributed
+    keys.
+
+    TimeIT is not available, so this generator produces equivalent
+    streams: for each unique key, a chain of non-overlapping versions
+    (1TNF by construction) whose lifetimes follow the selected style; the
+    resulting insert/delete events are emitted in time order, ready to be
+    replayed into any of the indices. *)
+
+type key_distribution =
+  | Uniform
+  | Normal of { mean_frac : float; stddev_frac : float }
+      (** Key positions drawn from a clamped normal over the key space. *)
+
+type interval_style =
+  | Long_lived  (** Version lifetimes around 2% of the time space. *)
+  | Short_lived  (** Version lifetimes around 0.05% of the time space. *)
+
+type spec = {
+  n_records : int;  (** Total tuple versions (paper: 1,000,000). *)
+  n_keys : int;  (** Unique keys (paper: 10,000). *)
+  max_key : int;  (** Key space [\[0, max_key)] (paper: 10^9). *)
+  max_time : int;  (** Time space [\[0, max_time)] (paper: 10^8). *)
+  key_distribution : key_distribution;
+  interval_style : interval_style;
+  value_bound : int;  (** Attribute values uniform in [\[1, value_bound\]]. *)
+  version_skew : float;
+      (** Zipf exponent for the number of versions per key: [0.] spreads
+          versions evenly (the paper's ~100 per key); larger values
+          concentrate updates on hot keys. *)
+  seed : int;
+}
+
+val paper_spec : spec
+(** The paper's dataset parameters (uniform keys, long-lived intervals,
+    1 M records).  Scale [n_records]/[n_keys] down for quick runs. *)
+
+val scaled : spec -> float -> spec
+(** [scaled spec s] multiplies [n_records] and [n_keys] by [s] (keeping
+    the ~100 versions-per-key ratio), leaving the key and time spaces
+    untouched. *)
+
+type event =
+  | Insert of { key : int; value : int; at : int }
+  | Delete of { key : int; at : int }
+
+val event_time : event -> int
+
+type record = { key : int; value : int; t_start : int; t_end : int }
+(** A closed version: [\[t_start, t_end)] with [t_end <= max_time]. *)
+
+val records : spec -> record list
+(** The raw versions, grouped by key, 1TNF-safe. *)
+
+val events : spec -> event list
+(** The same stream as insert/delete events sorted by time (deletes before
+    inserts at equal instants, so a key can be reused at the very instant
+    its previous version ends).  Exactly [2 * n_records] events. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,29 @@
+type rect = { klo : int; khi : int; tlo : int; thi : int }
+
+let side_fractions ~qrs ~r_over_i =
+  if not (qrs > 0. && qrs <= 1.) then invalid_arg "Query_gen: qrs must be in (0, 1]";
+  if r_over_i <= 0. then invalid_arg "Query_gen: r_over_i must be positive";
+  let r = sqrt (qrs *. r_over_i) and i = sqrt (qrs /. r_over_i) in
+  (* Clamp either side to the full space; the other absorbs the excess so
+     the area is preserved. *)
+  if r > 1. then (1., qrs)
+  else if i > 1. then (qrs, 1.)
+  else (r, i)
+
+let rectangle rng ~max_key ~max_time ~qrs ~r_over_i =
+  let rfrac, ifrac = side_fractions ~qrs ~r_over_i in
+  let klen = max 1 (int_of_float (rfrac *. float_of_int max_key)) in
+  let tlen = max 1 (int_of_float (ifrac *. float_of_int max_time)) in
+  let klen = min klen max_key and tlen = min tlen max_time in
+  let klo = if klen = max_key then 0 else Rng.int rng (max_key - klen + 1) in
+  let tlo = if tlen = max_time then 0 else Rng.int rng (max_time - tlen + 1) in
+  { klo; khi = klo + klen; tlo; thi = tlo + tlen }
+
+let batch rng ~n ~max_key ~max_time ~qrs ~r_over_i =
+  List.init n (fun _ -> rectangle rng ~max_key ~max_time ~qrs ~r_over_i)
+
+let area_frac ~max_key ~max_time r =
+  float_of_int (r.khi - r.klo) /. float_of_int max_key
+  *. (float_of_int (r.thi - r.tlo) /. float_of_int max_time)
+
+let pp ppf r = Format.fprintf ppf "[%d, %d) x [%d, %d)" r.klo r.khi r.tlo r.thi

@@ -1,0 +1,28 @@
+(** Query-rectangle generation for the evaluation (section 5).
+
+    "The shape of a query rectangle is described by the R/I [ratio] where
+    R is the length of the query key range divided by the length of the
+    key space and I is the length of the query time interval divided by
+    the length of the time space.  The query rectangle size (QRS) is
+    described by the percentage of the area of the query rectangle in the
+    whole key-time space."
+
+    Given QRS [a] and shape [s = R/I]: [R = sqrt (a * s)], [I = sqrt (a / s)],
+    clamped so neither fraction exceeds 1 (the other absorbs the excess so
+    the area stays [a]).  Placement is uniform. *)
+
+type rect = { klo : int; khi : int; tlo : int; thi : int }
+
+val rectangle :
+  Rng.t -> max_key:int -> max_time:int -> qrs:float -> r_over_i:float -> rect
+(** One random rectangle of relative area [qrs] (in (0, 1]) and shape
+    [r_over_i].  Side lengths are at least one unit. *)
+
+val batch :
+  Rng.t -> n:int -> max_key:int -> max_time:int -> qrs:float -> r_over_i:float -> rect list
+(** [n] independent rectangles — the paper measures batches of 100. *)
+
+val area_frac : max_key:int -> max_time:int -> rect -> float
+(** Actual relative area of a generated rectangle. *)
+
+val pp : Format.formatter -> rect -> unit

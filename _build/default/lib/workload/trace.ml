@@ -1,0 +1,55 @@
+let save_channel events oc =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Generator.Insert { key; value; at } -> Printf.fprintf oc "I %d %d %d\n" at key value
+      | Generator.Delete { key; at } -> Printf.fprintf oc "D %d %d\n" at key)
+    events
+
+let save events ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () -> save_channel events oc
+
+let load_channel ic =
+  let events = ref [] in
+  let last_time = ref min_int in
+  let lineno = ref 0 in
+  let fail fmt = Printf.ksprintf (fun msg -> failwith (Printf.sprintf "Trace: line %d: %s" !lineno msg)) fmt in
+  let check_time at =
+    if at < !last_time then fail "time %d goes backwards (previous %d)" at !last_time;
+    last_time := at
+  in
+  (try
+     while true do
+       incr lineno;
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+         | [ "I"; at; key; value ] -> (
+             match (int_of_string_opt at, int_of_string_opt key, int_of_string_opt value) with
+             | Some at, Some key, Some value ->
+                 check_time at;
+                 events := Generator.Insert { key; value; at } :: !events
+             | _ -> fail "malformed insert %S" line)
+         | [ "D"; at; key ] -> (
+             match (int_of_string_opt at, int_of_string_opt key) with
+             | Some at, Some key ->
+                 check_time at;
+                 events := Generator.Delete { key; at } :: !events
+             | _ -> fail "malformed delete %S" line)
+         | _ -> fail "unrecognised line %S" line
+     done
+   with End_of_file -> ());
+  List.rev !events
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () -> load_channel ic
+
+let replay events ~insert ~delete =
+  List.iter
+    (fun ev ->
+      match ev with
+      | Generator.Insert { key; value; at } -> insert ~key ~value ~at
+      | Generator.Delete { key; at } -> delete ~key ~at)
+    events

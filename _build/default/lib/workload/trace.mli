@@ -1,0 +1,28 @@
+(** Text serialisation of transaction-time event streams.
+
+    One event per line, timestamps first:
+
+    {v
+    I <time> <key> <value>     -- tuple (key, value) becomes alive
+    D <time> <key>             -- tuple with key is logically deleted
+    v}
+
+    Lines starting with [#] and blank lines are ignored.  The loader
+    validates syntax and time-monotonicity so a replayed trace can never
+    put the indices into an unreachable state. *)
+
+val save : Generator.event list -> path:string -> unit
+val save_channel : Generator.event list -> out_channel -> unit
+
+val load : path:string -> Generator.event list
+(** @raise Failure with the offending line number on a malformed or
+    non-monotone trace. *)
+
+val load_channel : in_channel -> Generator.event list
+
+val replay :
+  Generator.event list ->
+  insert:(key:int -> value:int -> at:int -> unit) ->
+  delete:(key:int -> at:int -> unit) ->
+  unit
+(** Convenience driver: dispatch each event to the given callbacks. *)

@@ -1,0 +1,1 @@
+test/test_aggtree.ml: Agg_tree Aggregate Alcotest Array Balanced_agg_tree Gen Int64 Interval List Printf QCheck QCheck_alcotest Two_scan

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Format Int Int64 List Map Option Printf QCheck QCheck_alcotest Storage

@@ -1,0 +1,1 @@
+test/test_geom.ml: Aggregate Alcotest Interval List QCheck QCheck_alcotest Rect

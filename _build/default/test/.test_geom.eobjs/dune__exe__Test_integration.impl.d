@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Format List Mvbt Mvsbt Naive_rta Printf Reference Rta Sys Workload

@@ -1,0 +1,1 @@
+test/test_mvbt.ml: Alcotest Hashtbl Int64 List Mvbt Naive_rta Printf QCheck QCheck_alcotest Reference

@@ -1,0 +1,1 @@
+test/test_mvsbt.ml: Aggregate Alcotest Filename Format Int Int64 List Mvsbt Printf QCheck QCheck_alcotest Reference Storage String Sys Unix

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Format Hashtbl Int64 Interval List Printf Reference Rta Rta_report String

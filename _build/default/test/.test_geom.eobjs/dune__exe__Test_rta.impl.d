@@ -1,0 +1,1 @@
+test/test_rta.ml: Alcotest Filename Hashtbl Int64 List Mvsbt Printf Reference Rta Storage Sys Unix

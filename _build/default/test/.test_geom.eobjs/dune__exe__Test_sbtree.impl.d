@@ -1,0 +1,1 @@
+test/test_sbtree.ml: Aggregate Alcotest Array Format Int64 Interval List Minmax_sbtree Sb_cumulative Sbtree

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Char Filename List Printf QCheck QCheck_alcotest Storage String Sys

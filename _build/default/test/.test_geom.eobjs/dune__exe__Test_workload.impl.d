@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Filename Hashtbl Int List Option Printf QCheck QCheck_alcotest Reference Sys Workload

@@ -1,0 +1,188 @@
+(* Tests for the section-2.1 prior-work baselines: two-scan [Tum92], the
+   aggregation tree [KS95] and the balanced variant [MLI00] — all compared
+   against an array oracle and against each other, plus the degeneration
+   behaviour the paper criticises. *)
+
+module G = Aggregate.Group.Int_sum
+module Scan = Two_scan.Make (G)
+module KS = Agg_tree.Make (G)
+module Bal = Balanced_agg_tree.Make (G)
+
+let make_rng seed =
+  let state = ref (Int64.of_int seed) in
+  fun bound ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+
+let random_intervals ~horizon ~n ~seed =
+  let rand = make_rng seed in
+  List.filter_map
+    (fun _ ->
+      let a = rand horizon and b = rand horizon in
+      let lo = min a b and hi = max a b in
+      if lo < hi then Some (Interval.make lo hi, rand 41 - 20) else None)
+    (List.init n (fun i -> i))
+
+let oracle_of ~horizon intervals =
+  let arr = Array.make horizon 0 in
+  List.iter
+    (fun (iv, v) ->
+      for x = iv.Interval.lo to iv.Interval.hi - 1 do
+        arr.(x) <- arr.(x) + v
+      done)
+    intervals;
+  arr
+
+(* --- Two-scan ------------------------------------------------------------- *)
+
+let test_two_scan_against_oracle () =
+  let horizon = 150 in
+  let intervals = random_intervals ~horizon ~n:80 ~seed:1 in
+  let oracle = oracle_of ~horizon intervals in
+  let result = Scan.compute intervals in
+  for x = 0 to horizon - 1 do
+    (* Outside the endpoint hull the aggregate is zero by construction. *)
+    if Scan.at result x <> oracle.(x) then
+      Alcotest.failf "two-scan at %d: got %d want %d" x (Scan.at result x) oracle.(x);
+    if Scan.instant intervals x <> oracle.(x) then Alcotest.failf "instant at %d" x
+  done
+
+let test_two_scan_step_function_shape () =
+  let intervals = [ (Interval.make 2 8, 5); (Interval.make 4 6, 1) ] in
+  let result = Scan.compute intervals in
+  Alcotest.(check int) "three segments" 3 (List.length result);
+  let expect = [ (2, 4, 5); (4, 6, 6); (6, 8, 5) ] in
+  List.iter2
+    (fun (lo, hi, v) (iv, got) ->
+      Alcotest.(check bool) "segment matches" true
+        (iv.Interval.lo = lo && iv.Interval.hi = hi && got = v))
+    expect result
+
+let test_two_scan_empty () =
+  Alcotest.(check int) "empty input" 0 (List.length (Scan.compute []));
+  Alcotest.(check int) "at on empty" 0 (Scan.at [] 5)
+
+(* --- The three structures against each other ---------------------------- *)
+
+let test_all_agree () =
+  let horizon = 200 in
+  List.iter
+    (fun seed ->
+      let intervals = random_intervals ~horizon ~n:120 ~seed in
+      let oracle = oracle_of ~horizon intervals in
+      let ks = KS.create ~horizon () in
+      let bal = Bal.create ~horizon () in
+      List.iter
+        (fun (iv, v) ->
+          KS.insert ks ~lo:iv.Interval.lo ~hi:iv.Interval.hi v;
+          Bal.insert bal ~lo:iv.Interval.lo ~hi:iv.Interval.hi v)
+        intervals;
+      KS.check_invariants ks;
+      Bal.check_invariants bal;
+      for x = 0 to horizon - 1 do
+        if KS.query ks x <> oracle.(x) then
+          Alcotest.failf "agg-tree (seed %d) at %d: got %d want %d" seed x (KS.query ks x)
+            oracle.(x);
+        if Bal.query bal x <> oracle.(x) then
+          Alcotest.failf "balanced (seed %d) at %d: got %d want %d" seed x (Bal.query bal x)
+            oracle.(x)
+      done)
+    [ 3; 4; 5 ]
+
+let test_balanced_steps () =
+  let horizon = 50 in
+  let bal = Bal.create ~horizon () in
+  Bal.insert bal ~lo:10 ~hi:30 4;
+  Bal.insert bal ~lo:20 ~hi:40 2;
+  let steps = Bal.to_steps bal in
+  (* Steps partition [0, 50) and integrate to the queries. *)
+  let total = List.fold_left (fun acc (iv, _) -> acc + Interval.length iv) 0 steps in
+  Alcotest.(check int) "partition" horizon total;
+  List.iter
+    (fun (iv, v) -> Alcotest.(check int) "step value" (Bal.query bal iv.Interval.lo) v)
+    steps
+
+(* The degeneration the paper criticises: sorted endpoint insertion makes
+   the KS95 tree linear in depth while the balanced tree stays
+   logarithmic. *)
+let test_degeneration () =
+  let horizon = 4096 in
+  let n = 512 in
+  let ks = KS.create ~horizon () in
+  let bal = Bal.create ~horizon () in
+  for i = 0 to n - 1 do
+    (* Nested, endpoint-sorted intervals. *)
+    let lo = i and hi = horizon - 1 - i in
+    KS.insert ks ~lo ~hi 1;
+    Bal.insert bal ~lo ~hi 1
+  done;
+  KS.check_invariants ks;
+  Bal.check_invariants bal;
+  let dks = KS.depth ks and dbal = Bal.depth bal in
+  Alcotest.(check bool)
+    (Printf.sprintf "KS95 degenerates (depth %d) while balanced stays shallow (depth %d)"
+       dks dbal)
+    true
+    (dks >= n && dbal < 8 * 11 (* ~ c * log2(2n segments) *));
+  (* Both still answer correctly. *)
+  Alcotest.(check int) "mid query ks" n (KS.query ks (horizon / 2));
+  Alcotest.(check int) "mid query bal" n (Bal.query bal (horizon / 2));
+  Alcotest.(check int) "edge query" 1 (Bal.query bal 0)
+
+let test_bounds_checking () =
+  let ks = KS.create ~horizon:10 () in
+  let bal = Bal.create ~horizon:10 () in
+  Alcotest.check_raises "ks empty" (Invalid_argument "Agg_tree.insert: empty interval")
+    (fun () -> KS.insert ks ~lo:3 ~hi:3 1);
+  Alcotest.check_raises "bal domain"
+    (Invalid_argument "Balanced_agg_tree.insert: outside time domain") (fun () ->
+      Bal.insert bal ~lo:3 ~hi:11 1);
+  Alcotest.check_raises "bal query domain"
+    (Invalid_argument "Balanced_agg_tree.query: outside time domain") (fun () ->
+      ignore (Bal.query bal 10))
+
+(* qcheck: the balanced tree equals the two-scan result on random input. *)
+let prop_balanced_equals_two_scan =
+  QCheck.Test.make ~name:"balanced tree equals two-scan" ~count:150
+    QCheck.(
+      list_of_size (Gen.int_range 0 40)
+        (triple (int_range 0 99) (int_range 0 99) (int_range (-9) 9)))
+    (fun triples ->
+      let horizon = 100 in
+      let intervals =
+        List.filter_map
+          (fun (a, b, v) ->
+            let lo = min a b and hi = max a b in
+            if lo < hi then Some (Interval.make lo hi, v) else None)
+          triples
+      in
+      let bal = Bal.create ~horizon () in
+      List.iter
+        (fun (iv, v) -> Bal.insert bal ~lo:iv.Interval.lo ~hi:iv.Interval.hi v)
+        intervals;
+      List.for_all
+        (fun x -> Bal.query bal x = Scan.instant intervals x)
+        [ 0; 1; 25; 50; 75; 98; 99 ])
+
+let () =
+  Alcotest.run "aggtree"
+    [
+      ( "two-scan",
+        [
+          Alcotest.test_case "against oracle" `Quick test_two_scan_against_oracle;
+          Alcotest.test_case "step function" `Quick test_two_scan_step_function_shape;
+          Alcotest.test_case "empty" `Quick test_two_scan_empty;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "all agree" `Quick test_all_agree;
+          Alcotest.test_case "balanced steps" `Quick test_balanced_steps;
+          Alcotest.test_case "KS95 degeneration" `Quick test_degeneration;
+          Alcotest.test_case "bounds" `Quick test_bounds_checking;
+          QCheck_alcotest.to_alcotest prop_balanced_equals_two_scan;
+        ] );
+    ]

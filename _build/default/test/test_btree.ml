@@ -1,0 +1,178 @@
+(* Tests for the disk-page B+-tree against the stdlib Map, including
+   deletion rebalancing, ordered scans, find_le/find_ge (the lookups
+   root* depends on), and structural invariants. *)
+
+module IntKey = struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end
+
+module T = Btree.Make (IntKey) (struct
+  type t = string
+end)
+
+module M = Map.Make (Int)
+
+let make_rng seed =
+  let state = ref (Int64.of_int seed) in
+  fun bound ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+
+let test_empty () =
+  let t = T.create ~branching:4 () in
+  Alcotest.(check bool) "empty" true (T.is_empty t);
+  Alcotest.(check int) "height 0" 0 (T.height t);
+  Alcotest.(check (option string)) "find" None (T.find t 1);
+  Alcotest.(check (option (pair int string))) "min" None (T.min_binding t);
+  Alcotest.(check bool) "remove missing" false (T.remove t 1);
+  T.check_invariants t
+
+let test_insert_find () =
+  let t = T.create ~branching:4 () in
+  List.iter (fun k -> T.insert t k (string_of_int k)) [ 5; 1; 9; 3; 7; 2; 8; 4; 6; 0 ];
+  T.check_invariants t;
+  Alcotest.(check int) "length" 10 (T.length t);
+  for k = 0 to 9 do
+    Alcotest.(check (option string)) (Printf.sprintf "find %d" k) (Some (string_of_int k))
+      (T.find t k)
+  done;
+  Alcotest.(check (option string)) "missing" None (T.find t 42);
+  (* Replacement does not grow the tree. *)
+  T.insert t 5 "five";
+  Alcotest.(check int) "length after replace" 10 (T.length t);
+  Alcotest.(check (option string)) "replaced" (Some "five") (T.find t 5);
+  Alcotest.(check (list (pair int string))) "ordered iteration"
+    [ (0, "0"); (1, "1"); (2, "2"); (3, "3"); (4, "4"); (5, "five"); (6, "6"); (7, "7");
+      (8, "8"); (9, "9") ]
+    (T.to_list t)
+
+let test_find_le_ge () =
+  let t = T.create ~branching:4 () in
+  List.iter (fun k -> T.insert t k (string_of_int k)) [ 10; 20; 30; 40; 50 ];
+  let le k = Option.map fst (T.find_le t k) in
+  let ge k = Option.map fst (T.find_ge t k) in
+  Alcotest.(check (option int)) "le exact" (Some 30) (le 30);
+  Alcotest.(check (option int)) "le between" (Some 30) (le 39);
+  Alcotest.(check (option int)) "le below all" None (le 9);
+  Alcotest.(check (option int)) "le above all" (Some 50) (le 99);
+  Alcotest.(check (option int)) "ge exact" (Some 30) (ge 30);
+  Alcotest.(check (option int)) "ge between" (Some 40) (ge 31);
+  Alcotest.(check (option int)) "ge above all" None (ge 51);
+  Alcotest.(check (option int)) "ge below all" (Some 10) (ge 0)
+
+let test_range () =
+  let t = T.create ~branching:4 () in
+  for k = 0 to 40 do
+    T.insert t k (string_of_int k)
+  done;
+  let r = T.range t ~lo:10 ~hi:15 in
+  Alcotest.(check (list int)) "range keys" [ 10; 11; 12; 13; 14 ] (List.map fst r)
+
+let test_delete_all () =
+  let t = T.create ~branching:4 () in
+  let n = 200 in
+  for k = 0 to n - 1 do
+    T.insert t k (string_of_int k)
+  done;
+  T.check_invariants t;
+  Alcotest.(check bool) "tall tree" true (T.height t > 2);
+  (* Delete in an order that exercises borrows and merges. *)
+  let order = List.init n (fun i -> if i mod 2 = 0 then i else n - i) in
+  List.iteri
+    (fun step k ->
+      Alcotest.(check bool) (Printf.sprintf "removed %d" k) true (T.remove t k);
+      if step mod 17 = 0 then T.check_invariants t)
+    (List.sort_uniq Int.compare order |> List.map (fun k -> k));
+  Alcotest.(check int) "empty at end" 0 (T.length t);
+  T.check_invariants t
+
+let prop_against_map =
+  QCheck.Test.make ~name:"btree matches Map under random ops" ~count:60
+    QCheck.(pair (int_range 4 10) (list (pair (int_range 0 60) (int_range 0 2))))
+    (fun (branching, ops) ->
+      let t = T.create ~branching () in
+      let m = ref M.empty in
+      let step = ref 0 in
+      let ok =
+        List.for_all
+          (fun (k, op) ->
+            incr step;
+            match op with
+            | 0 ->
+                T.insert t k (string_of_int k);
+                m := M.add k (string_of_int k) !m;
+                true
+            | 1 -> T.find t k = M.find_opt k !m
+            | _ ->
+                let a = T.remove t k in
+                let b = M.mem k !m in
+                m := M.remove k !m;
+                a = b)
+          ops
+      in
+      T.check_invariants t;
+      ok
+      && T.to_list t = M.bindings !m
+      && T.length t = M.cardinal !m
+      && T.min_binding t = M.min_binding_opt !m
+      && T.max_binding t = M.max_binding_opt !m)
+
+let prop_find_le_ge =
+  QCheck.Test.make ~name:"find_le/find_ge match Map" ~count:100
+    QCheck.(pair (list (int_range 0 100)) (int_range 0 100))
+    (fun (keys, probe) ->
+      let t = T.create ~branching:4 () in
+      let m = ref M.empty in
+      List.iter
+        (fun k ->
+          T.insert t k (string_of_int k);
+          m := M.add k (string_of_int k) !m)
+        keys;
+      let want_le = M.fold (fun k v acc -> if k <= probe then Some (k, v) else acc) !m None in
+      let want_ge =
+        M.fold (fun k v acc -> if k >= probe && acc = None then Some (k, v) else acc) !m None
+      in
+      T.find_le t probe = want_le && T.find_ge t probe = want_ge)
+
+let test_large_sequential () =
+  let t = T.create ~branching:8 () in
+  let n = 5000 in
+  for k = 0 to n - 1 do
+    T.insert t k (string_of_int k)
+  done;
+  T.check_invariants t;
+  Alcotest.(check int) "length" n (T.length t);
+  let rand = make_rng 5 in
+  for _ = 0 to 500 do
+    let k = rand n in
+    Alcotest.(check (option string)) "find" (Some (string_of_int k)) (T.find t k)
+  done;
+  (* I/O happened through the pool: the store recorded physical traffic. *)
+  Alcotest.(check bool) "physical writes happened" true
+    (Storage.Io_stats.writes (T.stats t) > 0)
+
+let () =
+  Alcotest.run "btree"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "find_le/_ge" `Quick test_find_le_ge;
+          Alcotest.test_case "range" `Quick test_range;
+          Alcotest.test_case "delete all" `Quick test_delete_all;
+          Alcotest.test_case "large sequential" `Quick test_large_sequential;
+        ] );
+      ( "props",
+        [
+          QCheck_alcotest.to_alcotest prop_against_map;
+          QCheck_alcotest.to_alcotest prop_find_le_ge;
+        ] );
+    ]

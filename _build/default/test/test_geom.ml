@@ -1,0 +1,153 @@
+(* Tests for the key-time geometry (Interval, Rect) and the aggregate
+   algebra (Group, Lattice), including qcheck properties for the algebraic
+   laws the trees rely on. *)
+
+let interval = Alcotest.testable Interval.pp Interval.equal
+
+let test_interval_basics () =
+  let i = Interval.make 3 7 in
+  Alcotest.(check int) "length" 4 (Interval.length i);
+  Alcotest.(check bool) "mem lo" true (Interval.mem 3 i);
+  Alcotest.(check bool) "mem hi" false (Interval.mem 7 i);
+  Alcotest.(check bool) "mem mid" true (Interval.mem 5 i);
+  Alcotest.(check interval) "point" (Interval.make 4 5) (Interval.point 4);
+  Alcotest.(check bool) "empty is empty" true (Interval.is_empty (Interval.make 5 5));
+  Alcotest.(check interval) "all empties equal" Interval.empty (Interval.make 9 9);
+  Alcotest.check_raises "inverted rejected" (Invalid_argument "Interval.make: lo=5 > hi=2")
+    (fun () -> ignore (Interval.make 5 2))
+
+let test_interval_set_ops () =
+  let a = Interval.make 0 10 and b = Interval.make 5 15 and c = Interval.make 10 20 in
+  Alcotest.(check bool) "intersects overlap" true (Interval.intersects a b);
+  Alcotest.(check bool) "adjacent do not intersect" false (Interval.intersects a c);
+  Alcotest.(check bool) "adjacent" true (Interval.adjacent a c);
+  Alcotest.(check interval) "inter" (Interval.make 5 10) (Interval.inter a b);
+  Alcotest.(check interval) "inter empty" Interval.empty (Interval.inter a c);
+  Alcotest.(check interval) "hull" (Interval.make 0 20) (Interval.hull a c);
+  Alcotest.(check bool) "subset" true (Interval.subset (Interval.make 2 5) a);
+  Alcotest.(check bool) "subset refl" true (Interval.subset a a);
+  Alcotest.(check bool) "not subset" false (Interval.subset b a);
+  Alcotest.(check bool) "empty subset of all" true (Interval.subset Interval.empty a);
+  Alcotest.(check bool) "before" true (Interval.before a c);
+  Alcotest.(check bool) "before strict" false (Interval.before b c)
+
+let test_interval_split () =
+  let i = Interval.make 0 10 in
+  let l, r = Interval.split_at 4 i in
+  Alcotest.(check interval) "left" (Interval.make 0 4) l;
+  Alcotest.(check interval) "right" (Interval.make 4 10) r;
+  let l, r = Interval.split_at 0 i in
+  Alcotest.(check interval) "split at lo: left empty" Interval.empty l;
+  Alcotest.(check interval) "split at lo: right whole" i r;
+  let l, r = Interval.split_at 10 i in
+  Alcotest.(check interval) "split at hi: left whole" i l;
+  Alcotest.(check interval) "split at hi: right empty" Interval.empty r;
+  let l, r = Interval.split_at 99 i in
+  Alcotest.(check interval) "split beyond" i l;
+  Alcotest.(check bool) "split beyond right empty" true (Interval.is_empty r)
+
+let test_rect () =
+  let r = Rect.of_bounds ~klo:0 ~khi:10 ~tlo:5 ~thi:8 in
+  Alcotest.(check int) "area" 30 (Rect.area r);
+  Alcotest.(check bool) "mem" true (Rect.mem ~key:9 ~time:5 r);
+  Alcotest.(check bool) "not mem time" false (Rect.mem ~key:9 ~time:8 r);
+  let q = Rect.of_bounds ~klo:9 ~khi:20 ~tlo:7 ~thi:9 in
+  Alcotest.(check bool) "intersects" true (Rect.intersects r q);
+  let i = Rect.inter r q in
+  Alcotest.(check int) "inter area" 1 (Rect.area i);
+  Alcotest.(check bool) "covers_record in" true
+    (Rect.covers_record ~key:5 ~interval:(Interval.make 0 6) r);
+  Alcotest.(check bool) "covers_record out of time" false
+    (Rect.covers_record ~key:5 ~interval:(Interval.make 0 5) r)
+
+(* Property tests. *)
+
+let small_iv =
+  QCheck.map
+    (fun (a, b) -> Interval.make (min a b) (max a b))
+    QCheck.(pair (int_range 0 50) (int_range 0 50))
+
+let prop_split_partition =
+  QCheck.Test.make ~name:"split_at partitions" ~count:500
+    QCheck.(pair (int_range 0 50) small_iv)
+    (fun (x, i) ->
+      let l, r = Interval.split_at x i in
+      Interval.length l + Interval.length r = Interval.length i
+      && (Interval.is_empty l || Interval.is_empty r || Interval.adjacent l r))
+
+let prop_inter_comm =
+  QCheck.Test.make ~name:"inter commutative" ~count:500 (QCheck.pair small_iv small_iv)
+    (fun (a, b) -> Interval.equal (Interval.inter a b) (Interval.inter b a))
+
+let prop_mem_inter =
+  QCheck.Test.make ~name:"mem of inter" ~count:500
+    QCheck.(triple (int_range 0 50) small_iv small_iv)
+    (fun (x, a, b) ->
+      Interval.mem x (Interval.inter a b) = (Interval.mem x a && Interval.mem x b))
+
+let prop_hull_contains =
+  QCheck.Test.make ~name:"hull contains both" ~count:500 (QCheck.pair small_iv small_iv)
+    (fun (a, b) ->
+      let h = Interval.hull a b in
+      Interval.subset a h && Interval.subset b h)
+
+(* Group laws for the instances the MVSBT is instantiated at. *)
+let group_laws (type a) ~name (module G : Aggregate.Group.S with type t = a) gen =
+  [
+    QCheck.Test.make ~name:(name ^ ": associativity") ~count:300
+      (QCheck.triple gen gen gen)
+      (fun (a, b, c) -> G.equal (G.add a (G.add b c)) (G.add (G.add a b) c));
+    QCheck.Test.make ~name:(name ^ ": commutativity") ~count:300 (QCheck.pair gen gen)
+      (fun (a, b) -> G.equal (G.add a b) (G.add b a));
+    QCheck.Test.make ~name:(name ^ ": identity") ~count:300 gen (fun a ->
+        G.equal (G.add a G.zero) a);
+    QCheck.Test.make ~name:(name ^ ": inverse") ~count:300 gen (fun a ->
+        G.equal (G.add a (G.neg a)) G.zero);
+  ]
+
+let lattice_laws (type a) ~name (module L : Aggregate.Lattice.S with type t = a) gen =
+  [
+    QCheck.Test.make ~name:(name ^ ": idempotent") ~count:300 gen (fun a ->
+        L.equal (L.join a a) a);
+    QCheck.Test.make ~name:(name ^ ": commutative") ~count:300 (QCheck.pair gen gen)
+      (fun (a, b) -> L.equal (L.join a b) (L.join b a));
+    QCheck.Test.make ~name:(name ^ ": bottom neutral") ~count:300 gen (fun a ->
+        L.equal (L.join a L.bottom) a);
+  ]
+
+let test_sum_count_helpers () =
+  let open Aggregate.Group.Sum_count in
+  Alcotest.(check int) "sum" 7 (sum (of_value 7));
+  Alcotest.(check int) "count" 1 (count (of_value 7));
+  Alcotest.(check (option (float 1e-9))) "avg" (Some 3.5)
+    (avg (add (of_value 3) (of_value 4)));
+  Alcotest.(check (option (float 1e-9))) "avg of zero" None (avg zero)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "geom+aggregate"
+    [
+      ( "interval",
+        [
+          Alcotest.test_case "basics" `Quick test_interval_basics;
+          Alcotest.test_case "set ops" `Quick test_interval_set_ops;
+          Alcotest.test_case "split" `Quick test_interval_split;
+          Alcotest.test_case "rect" `Quick test_rect;
+        ] );
+      ( "interval-props",
+        qcheck [ prop_split_partition; prop_inter_comm; prop_mem_inter; prop_hull_contains ]
+      );
+      ( "group-laws",
+        qcheck
+          (group_laws ~name:"Int_sum" (module Aggregate.Group.Int_sum) QCheck.small_signed_int
+          @ group_laws ~name:"Sum_count"
+              (module Aggregate.Group.Sum_count)
+              QCheck.(pair small_signed_int small_signed_int))
+        @ [ Alcotest.test_case "sum_count helpers" `Quick test_sum_count_helpers ] );
+      ( "lattice-laws",
+        qcheck
+          (lattice_laws ~name:"Int_min" (module Aggregate.Lattice.Int_min) QCheck.small_signed_int
+          @ lattice_laws ~name:"Int_max" (module Aggregate.Lattice.Int_max)
+              QCheck.small_signed_int) );
+    ]

@@ -1,0 +1,140 @@
+(* End-to-end integration: replay generated workloads through the 2-MVSBT
+   engine, the MVBT baseline, and the brute-force warehouse simultaneously,
+   then fire query batches at all three and require exact agreement —
+   exactly the consistency the benchmark harness relies on. *)
+
+let replay_all events ~rta ~mvbt ~oracle =
+  List.iter
+    (function
+      | Workload.Generator.Insert { key; value; at } ->
+          Rta.insert rta ~key ~value ~at;
+          Mvbt.insert mvbt ~key ~value ~at;
+          Reference.Warehouse.insert oracle ~key ~value ~at
+      | Workload.Generator.Delete { key; at } ->
+          Rta.delete rta ~key ~at;
+          Mvbt.delete mvbt ~key ~at;
+          Reference.Warehouse.delete oracle ~key ~at)
+    events
+
+let run_three_way ~(spec : Workload.Generator.spec) ~mvsbt_b ~mvbt_b ~f ~n_queries () =
+  let config = { (Mvsbt.default_config ~b:mvsbt_b) with Mvsbt.f } in
+  let rta = Rta.create ~config ~max_key:spec.max_key () in
+  let mvbt =
+    Mvbt.create ~config:(Mvbt.default_config ~b:mvbt_b) ~max_key:spec.max_key ()
+  in
+  let oracle = Reference.Warehouse.create () in
+  replay_all (Workload.Generator.events spec) ~rta ~mvbt ~oracle;
+  Rta.check_invariants rta;
+  Mvbt.check_invariants mvbt;
+  let rng = Workload.Rng.create ~seed:(spec.seed + 1000) in
+  List.iter
+    (fun qrs ->
+      let rects =
+        Workload.Query_gen.batch rng ~n:n_queries ~max_key:spec.max_key
+          ~max_time:spec.max_time ~qrs ~r_over_i:1.0
+      in
+      List.iter
+        (fun (r : Workload.Query_gen.rect) ->
+          let s0, c0 = Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
+          let { Naive_rta.sum = s1; count = c1 } =
+            Naive_rta.sum_count mvbt ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi
+          in
+          let s2 = Reference.Warehouse.rta_sum oracle ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
+          let c2 =
+            Reference.Warehouse.rta_count oracle ~klo:r.klo ~khi:r.khi ~tlo:r.tlo
+              ~thi:r.thi
+          in
+          if not (s0 = s1 && s1 = s2 && c0 = c1 && c1 = c2) then
+            Alcotest.failf
+              "three-way disagreement on %s: rta=(%d,%d) mvbt=(%d,%d) scan=(%d,%d)"
+              (Format.asprintf "%a" Workload.Query_gen.pp r)
+              s0 c0 s1 c1 s2 c2)
+        rects)
+    [ 0.001; 0.01; 0.1; 1.0 ]
+
+let small_spec : Workload.Generator.spec =
+  {
+    n_records = 1500;
+    n_keys = 40;
+    max_key = 5_000;
+    max_time = 50_000;
+    key_distribution = Workload.Generator.Uniform;
+    interval_style = Workload.Generator.Long_lived;
+    value_bound = 500;
+    version_skew = 0.;
+    seed = 7;
+  }
+
+let test_uniform_long () =
+  run_three_way ~spec:small_spec ~mvsbt_b:16 ~mvbt_b:16 ~f:0.9 ~n_queries:25 ()
+
+let test_uniform_short () =
+  run_three_way
+    ~spec:{ small_spec with interval_style = Workload.Generator.Short_lived; seed = 8 }
+    ~mvsbt_b:16 ~mvbt_b:16 ~f:0.9 ~n_queries:25 ()
+
+let test_normal_long () =
+  run_three_way
+    ~spec:
+      { small_spec with
+        key_distribution = Workload.Generator.Normal { mean_frac = 0.5; stddev_frac = 0.1 };
+        seed = 9 }
+    ~mvsbt_b:16 ~mvbt_b:16 ~f:0.9 ~n_queries:25 ()
+
+let test_small_pages_low_f () =
+  run_three_way
+    ~spec:{ small_spec with n_records = 800; seed = 10 }
+    ~mvsbt_b:6 ~mvbt_b:10 ~f:0.67 ~n_queries:25 ()
+
+let test_mid_stream_checkpoints () =
+  (* Interleave invariant checks with the replay to catch transient
+     corruption, not just final-state corruption. *)
+  let spec = { small_spec with n_records = 600; seed = 11 } in
+  let config = { (Mvsbt.default_config ~b:8) with Mvsbt.f = 0.75 } in
+  let rta = Rta.create ~config ~max_key:spec.max_key () in
+  let mvbt = Mvbt.create ~config:(Mvbt.default_config ~b:12) ~max_key:spec.max_key () in
+  let i = ref 0 in
+  List.iter
+    (fun ev ->
+      (match ev with
+      | Workload.Generator.Insert { key; value; at } ->
+          Rta.insert rta ~key ~value ~at;
+          Mvbt.insert mvbt ~key ~value ~at
+      | Workload.Generator.Delete { key; at } ->
+          Rta.delete rta ~key ~at;
+          Mvbt.delete mvbt ~key ~at);
+      incr i;
+      if !i mod 50 = 0 then begin
+        Rta.check_invariants rta;
+        Mvbt.check_invariants mvbt
+      end)
+    (Workload.Generator.events spec);
+  Rta.check_invariants rta;
+  Mvbt.check_invariants mvbt
+
+let test_cli_binary_smoke () =
+  (* The CLI executable is exercised by running its compare subcommand on a
+     tiny workload; it exits non-zero on any disagreement. *)
+  let exe = "../bin/rta_cli.exe" in
+  if Sys.file_exists exe then begin
+    let cmd =
+      Printf.sprintf
+        "%s compare -n 1000 --max-key 10000 --max-time 100000 --qrs 0.05 --queries 10 > /dev/null 2>&1"
+        exe
+    in
+    Alcotest.(check int) "cli compare agrees" 0 (Sys.command cmd)
+  end
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "three-way",
+        [
+          Alcotest.test_case "uniform/long" `Quick test_uniform_long;
+          Alcotest.test_case "uniform/short" `Quick test_uniform_short;
+          Alcotest.test_case "normal/long" `Quick test_normal_long;
+          Alcotest.test_case "small pages, low f" `Quick test_small_pages_low_f;
+          Alcotest.test_case "mid-stream checkpoints" `Quick test_mid_stream_checkpoints;
+        ] );
+      ("cli", [ Alcotest.test_case "compare smoke" `Quick test_cli_binary_smoke ]);
+    ]

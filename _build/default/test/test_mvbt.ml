@@ -1,0 +1,278 @@
+(* Tests for the Multiversion B-tree baseline against the brute-force
+   warehouse oracle: snapshots, rectangle retrieval, weak/strong structure
+   invariants, and the naive RTA built on top. *)
+
+let make_rng seed =
+  let state = ref (Int64.of_int seed) in
+  fun bound ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+
+let drive ~n ~max_key ~seed ~delete_pct apply =
+  let rand = make_rng seed in
+  let alive = Hashtbl.create 64 in
+  let now = ref 1 in
+  for _ = 1 to n do
+    now := !now + rand 3;
+    let do_delete = Hashtbl.length alive > 0 && rand 100 < delete_pct in
+    if do_delete then begin
+      let keys = Hashtbl.fold (fun k () acc -> k :: acc) alive [] in
+      let key = List.nth keys (rand (List.length keys)) in
+      Hashtbl.remove alive key;
+      apply (`Delete (key, !now))
+    end
+    else begin
+      let key = rand max_key in
+      if not (Hashtbl.mem alive key) then begin
+        Hashtbl.add alive key ();
+        apply (`Insert (key, rand 500, !now))
+      end
+    end
+  done;
+  !now
+
+let build_pair ~config ~max_key ~n ~seed ~delete_pct ~check_every =
+  let mvbt = Mvbt.create ~config ~max_key () in
+  let oracle = Reference.Warehouse.create () in
+  let i = ref 0 in
+  let horizon =
+    drive ~n ~max_key ~seed ~delete_pct (fun op ->
+        (match op with
+        | `Insert (key, value, at) ->
+            Mvbt.insert mvbt ~key ~value ~at;
+            Reference.Warehouse.insert oracle ~key ~value ~at
+        | `Delete (key, at) ->
+            Mvbt.delete mvbt ~key ~at;
+            Reference.Warehouse.delete oracle ~key ~at);
+        incr i;
+        if !i mod check_every = 0 then Mvbt.check_invariants mvbt)
+  in
+  Mvbt.check_invariants mvbt;
+  (mvbt, oracle, horizon)
+
+let keyset recs = List.map (fun (r : Mvbt.record) -> (r.key, r.value)) recs
+
+let oracle_keyset tus =
+  List.map (fun (tu : Reference.Warehouse.tuple) -> (tu.key, tu.value)) tus
+
+let test_snapshots ~config ~n ~seed () =
+  let max_key = 60 in
+  let mvbt, oracle, horizon =
+    build_pair ~config ~max_key ~n ~seed ~delete_pct:40 ~check_every:50
+  in
+  let rand = make_rng (seed + 100) in
+  for _ = 1 to 300 do
+    let k1 = rand (max_key + 1) and k2 = rand (max_key + 1) in
+    let klo = min k1 k2 and khi = max k1 k2 in
+    let at = rand (horizon + 2) in
+    let got = keyset (Mvbt.snapshot mvbt ~klo ~khi ~at) in
+    let want = oracle_keyset (Reference.Warehouse.snapshot oracle ~klo ~khi ~at) in
+    if got <> want then
+      Alcotest.failf "snapshot [%d,%d)@%d: got %d records, want %d" klo khi at
+        (List.length got) (List.length want)
+  done
+
+let test_rectangles ~config ~n ~seed () =
+  let max_key = 60 in
+  let mvbt, oracle, horizon =
+    build_pair ~config ~max_key ~n ~seed ~delete_pct:40 ~check_every:100
+  in
+  let rand = make_rng (seed + 200) in
+  for _ = 1 to 300 do
+    let k1 = rand (max_key + 1) and k2 = rand (max_key + 1) in
+    let klo = min k1 k2 and khi = max k1 k2 in
+    let t1 = rand (horizon + 3) and t2 = rand (horizon + 3) in
+    let tlo = min t1 t2 and thi = max t1 t2 in
+    let got = Mvbt.rectangle mvbt ~klo ~khi ~tlo ~thi in
+    let want = Reference.Warehouse.rectangle oracle ~klo ~khi ~tlo ~thi in
+    let got' = List.map (fun (r : Mvbt.record) -> (r.key, r.t_start, r.value)) got in
+    let want' =
+      List.map
+        (fun (tu : Reference.Warehouse.tuple) -> (tu.key, tu.t_start, tu.value))
+        want
+    in
+    if got' <> want' then
+      Alcotest.failf "rectangle [%d,%d)x[%d,%d): got %d records, want %d" klo khi tlo
+        thi (List.length got') (List.length want');
+    (* A finite reported end time must be exact; [max_int] means the
+       deletion is not recorded in any reachable copy. *)
+    List.iter2
+      (fun (r : Mvbt.record) (tu : Reference.Warehouse.tuple) ->
+        if r.t_end <> max_int && r.t_end <> tu.t_end then
+          Alcotest.failf "rectangle end time: key %d got %d want %d (thi=%d)" r.key
+            r.t_end tu.t_end thi)
+      got want
+  done
+
+let test_naive_rta_matches_oracle ~config ~n ~seed () =
+  let max_key = 60 in
+  let mvbt, oracle, horizon =
+    build_pair ~config ~max_key ~n ~seed ~delete_pct:35 ~check_every:200
+  in
+  let rand = make_rng (seed + 300) in
+  for _ = 1 to 200 do
+    let k1 = rand (max_key + 1) and k2 = rand (max_key + 1) in
+    let klo = min k1 k2 and khi = max k1 k2 in
+    let t1 = rand (horizon + 3) and t2 = rand (horizon + 3) in
+    let tlo = min t1 t2 and thi = max t1 t2 in
+    let got = Naive_rta.sum_count mvbt ~klo ~khi ~tlo ~thi in
+    let want_sum = Reference.Warehouse.rta_sum oracle ~klo ~khi ~tlo ~thi in
+    let want_count = Reference.Warehouse.rta_count oracle ~klo ~khi ~tlo ~thi in
+    if got.Naive_rta.sum <> want_sum || got.Naive_rta.count <> want_count then
+      Alcotest.failf "naive rta [%d,%d)x[%d,%d): got (%d,%d) want (%d,%d)" klo khi tlo
+        thi got.Naive_rta.sum got.Naive_rta.count want_sum want_count
+  done
+
+let test_basics () =
+  let mvbt = Mvbt.create ~max_key:100 () in
+  Mvbt.insert mvbt ~key:10 ~value:5 ~at:1;
+  Mvbt.insert mvbt ~key:20 ~value:7 ~at:2;
+  Mvbt.delete mvbt ~key:10 ~at:4;
+  Alcotest.(check bool) "key 20 alive" true (Mvbt.is_alive mvbt ~key:20);
+  Alcotest.(check bool) "key 10 dead" false (Mvbt.is_alive mvbt ~key:10);
+  let snap = Mvbt.snapshot mvbt ~klo:0 ~khi:100 ~at:2 in
+  Alcotest.(check int) "two alive at t=2" 2 (List.length snap);
+  let snap = Mvbt.snapshot mvbt ~klo:0 ~khi:100 ~at:4 in
+  Alcotest.(check int) "one alive at t=4" 1 (List.length snap);
+  Mvbt.check_invariants mvbt
+
+let test_1tnf () =
+  let mvbt = Mvbt.create ~max_key:10 () in
+  Mvbt.insert mvbt ~key:3 ~value:1 ~at:1;
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Mvbt.insert: key 3 is already alive (1TNF)") (fun () ->
+      Mvbt.insert mvbt ~key:3 ~value:2 ~at:2);
+  Alcotest.check_raises "delete missing"
+    (Invalid_argument "Mvbt.delete: key 7 is not alive") (fun () ->
+      Mvbt.delete mvbt ~key:7 ~at:2)
+
+let test_time_monotone () =
+  let mvbt = Mvbt.create ~max_key:10 () in
+  Mvbt.insert mvbt ~key:1 ~value:1 ~at:5;
+  Alcotest.check_raises "backwards"
+    (Invalid_argument
+       "Mvbt: update at time 4 but current time is 5 (transaction time is monotone)")
+    (fun () -> Mvbt.insert mvbt ~key:2 ~value:1 ~at:4)
+
+let test_churn_single_key () =
+  (* Insert/delete the same key many times: long version chains. *)
+  let config = Mvbt.default_config ~b:10 in
+  let mvbt = Mvbt.create ~config ~max_key:4 () in
+  let oracle = Reference.Warehouse.create () in
+  for i = 0 to 80 do
+    let t = (2 * i) + 1 in
+    Mvbt.insert mvbt ~key:1 ~value:i ~at:t;
+    Reference.Warehouse.insert oracle ~key:1 ~value:i ~at:t;
+    Mvbt.delete mvbt ~key:1 ~at:(t + 1);
+    Reference.Warehouse.delete oracle ~key:1 ~at:(t + 1)
+  done;
+  Mvbt.check_invariants mvbt;
+  for at = 0 to 165 do
+    let got = keyset (Mvbt.snapshot mvbt ~klo:0 ~khi:4 ~at) in
+    let want = oracle_keyset (Reference.Warehouse.snapshot oracle ~klo:0 ~khi:4 ~at) in
+    if got <> want then Alcotest.failf "churn snapshot at %d" at
+  done;
+  let all = Mvbt.rectangle mvbt ~klo:0 ~khi:4 ~tlo:0 ~thi:1000 in
+  Alcotest.(check int) "all 81 versions found" 81 (List.length all)
+
+let mk_cfg b = Mvbt.default_config ~b
+
+let suite_cases =
+  [
+    Alcotest.test_case "snapshots b=10" `Quick (test_snapshots ~config:(mk_cfg 10) ~n:400 ~seed:1);
+    Alcotest.test_case "snapshots b=16" `Quick (test_snapshots ~config:(mk_cfg 16) ~n:700 ~seed:2);
+    Alcotest.test_case "snapshots b=32" `Quick (test_snapshots ~config:(mk_cfg 32) ~n:900 ~seed:3);
+    Alcotest.test_case "rectangles b=10" `Quick (test_rectangles ~config:(mk_cfg 10) ~n:400 ~seed:4);
+    Alcotest.test_case "rectangles b=16" `Quick (test_rectangles ~config:(mk_cfg 16) ~n:700 ~seed:5);
+    Alcotest.test_case "naive rta b=12" `Quick
+      (test_naive_rta_matches_oracle ~config:(mk_cfg 12) ~n:500 ~seed:6);
+  ]
+
+(* --- qcheck properties -------------------------------------------------------- *)
+
+(* Random op scripts: op = (key, dt, insert-or-delete preference).  A delete
+   targets the key if alive, otherwise falls back to inserting it. *)
+let prop_matches_oracle =
+  let gen =
+    QCheck.make
+      ~print:(fun (b, ops) -> Printf.sprintf "b=%d ops=%d" b (List.length ops))
+      QCheck.Gen.(
+        pair (int_range 10 40)
+          (list_size (int_range 0 150) (tup3 (int_range 0 31) (int_range 0 3) bool)))
+  in
+  QCheck.Test.make ~name:"mvbt equals warehouse oracle (random config)" ~count:100 gen
+    (fun (b, ops) ->
+      let config = Mvbt.default_config ~b in
+      let mvbt = Mvbt.create ~config ~max_key:32 () in
+      let oracle = Reference.Warehouse.create () in
+      let now = ref 0 in
+      List.iter
+        (fun (key, dt, prefer_delete) ->
+          now := !now + dt;
+          if prefer_delete && Mvbt.is_alive mvbt ~key then begin
+            Mvbt.delete mvbt ~key ~at:!now;
+            Reference.Warehouse.delete oracle ~key ~at:!now
+          end
+          else if not (Mvbt.is_alive mvbt ~key) then begin
+            Mvbt.insert mvbt ~key ~value:key ~at:!now;
+            Reference.Warehouse.insert oracle ~key ~value:key ~at:!now
+          end)
+        ops;
+      Mvbt.check_invariants mvbt;
+      List.for_all
+        (fun at ->
+          List.for_all
+            (fun (klo, khi) ->
+              keyset (Mvbt.snapshot mvbt ~klo ~khi ~at)
+              = oracle_keyset (Reference.Warehouse.snapshot oracle ~klo ~khi ~at))
+            [ (0, 32); (5, 20); (31, 32); (0, 1) ])
+        [ 0; !now / 2; !now; !now + 3 ])
+
+let prop_rectangle_sum =
+  QCheck.Test.make ~name:"rectangle aggregation equals scan" ~count:60
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 120) (tup3 (int_range 0 15) (int_range 0 2) bool)))
+    (fun ops ->
+      let mvbt = Mvbt.create ~config:(Mvbt.default_config ~b:10) ~max_key:16 () in
+      let oracle = Reference.Warehouse.create () in
+      let now = ref 0 in
+      List.iter
+        (fun (key, dt, prefer_delete) ->
+          now := !now + dt;
+          if prefer_delete && Mvbt.is_alive mvbt ~key then begin
+            Mvbt.delete mvbt ~key ~at:!now;
+            Reference.Warehouse.delete oracle ~key ~at:!now
+          end
+          else if not (Mvbt.is_alive mvbt ~key) then begin
+            Mvbt.insert mvbt ~key ~value:(key * 3) ~at:!now;
+            Reference.Warehouse.insert oracle ~key ~value:(key * 3) ~at:!now
+          end)
+        ops;
+      List.for_all
+        (fun (klo, khi, tlo, thi) ->
+          let r = Naive_rta.sum_count mvbt ~klo ~khi ~tlo ~thi in
+          r.Naive_rta.sum = Reference.Warehouse.rta_sum oracle ~klo ~khi ~tlo ~thi
+          && r.Naive_rta.count = Reference.Warehouse.rta_count oracle ~klo ~khi ~tlo ~thi)
+        [ (0, 16, 0, !now + 1); (3, 9, !now / 3, (2 * !now / 3) + 1); (0, 1, 0, 2);
+          (15, 16, !now, !now + 1) ])
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest [ prop_matches_oracle; prop_rectangle_sum ]
+
+let () =
+  Alcotest.run "mvbt"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "1TNF" `Quick test_1tnf;
+          Alcotest.test_case "monotone time" `Quick test_time_monotone;
+          Alcotest.test_case "single-key churn" `Quick test_churn_single_key;
+        ] );
+      ("oracle", suite_cases);
+      ("properties", qcheck_tests);
+    ]

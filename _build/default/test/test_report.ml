@@ -1,0 +1,144 @@
+(* Tests for the reporting layer: bucket partitioning, agreement with
+   direct RTA queries and with the brute-force oracle, and the heatmap
+   grid. *)
+
+let make_rng seed =
+  let state = ref (Int64.of_int seed) in
+  fun bound ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+
+let build ~n ~max_key ~seed =
+  let rta = Rta.create ~max_key () in
+  let oracle = Reference.Warehouse.create () in
+  let rand = make_rng seed in
+  let alive = Hashtbl.create 64 in
+  let now = ref 1 in
+  for _ = 1 to n do
+    now := !now + rand 4;
+    if Hashtbl.length alive > 0 && rand 100 < 40 then begin
+      let keys = Hashtbl.fold (fun k () acc -> k :: acc) alive [] in
+      let key = List.nth keys (rand (List.length keys)) in
+      Hashtbl.remove alive key;
+      Rta.delete rta ~key ~at:!now;
+      Reference.Warehouse.delete oracle ~key ~at:!now
+    end
+    else begin
+      let key = rand max_key in
+      if not (Hashtbl.mem alive key) then begin
+        Hashtbl.add alive key ();
+        let value = rand 500 in
+        Rta.insert rta ~key ~value ~at:!now;
+        Reference.Warehouse.insert oracle ~key ~value ~at:!now
+      end
+    end
+  done;
+  (rta, oracle, !now)
+
+let check_partition ~lo ~hi ivs =
+  let rec go pos = function
+    | [] -> Alcotest.(check int) "partition reaches end" hi pos
+    | iv :: rest ->
+        Alcotest.(check int) "contiguous" pos iv.Interval.lo;
+        go iv.Interval.hi rest
+  in
+  go lo ivs
+
+let test_time_series () =
+  let rta, oracle, horizon = build ~n:300 ~max_key:50 ~seed:1 in
+  List.iter
+    (fun buckets ->
+      let series = Rta_report.time_series rta ~klo:5 ~khi:40 ~tlo:0 ~thi:horizon ~buckets in
+      Alcotest.(check int) "bucket count" buckets (List.length series);
+      check_partition ~lo:0 ~hi:horizon (List.map (fun b -> b.Rta_report.interval) series);
+      List.iter
+        (fun (b : Rta_report.bucket) ->
+          let want_sum =
+            Reference.Warehouse.rta_sum oracle ~klo:5 ~khi:40 ~tlo:b.interval.Interval.lo
+              ~thi:b.interval.Interval.hi
+          in
+          let want_count =
+            Reference.Warehouse.rta_count oracle ~klo:5 ~khi:40
+              ~tlo:b.interval.Interval.lo ~thi:b.interval.Interval.hi
+          in
+          Alcotest.(check (pair int int)) "cell matches oracle" (want_sum, want_count)
+            (b.sum, b.count))
+        series)
+    [ 1; 3; 7; 12 ]
+
+let test_key_histogram () =
+  let rta, oracle, horizon = build ~n:300 ~max_key:60 ~seed:2 in
+  let hist = Rta_report.key_histogram rta ~klo:0 ~khi:60 ~tlo:0 ~thi:horizon ~buckets:6 in
+  check_partition ~lo:0 ~hi:60 (List.map (fun b -> b.Rta_report.range) hist);
+  List.iter
+    (fun (b : Rta_report.bucket) ->
+      let want =
+        Reference.Warehouse.rta_sum oracle ~klo:b.range.Interval.lo
+          ~khi:b.range.Interval.hi ~tlo:0 ~thi:horizon
+      in
+      Alcotest.(check int) "histogram cell" want b.sum)
+    hist
+
+let test_heatmap_totals () =
+  let rta, _, horizon = build ~n:300 ~max_key:64 ~seed:3 in
+  let grid =
+    Rta_report.heatmap rta ~klo:0 ~khi:64 ~tlo:0 ~thi:horizon ~key_buckets:4
+      ~time_buckets:5
+  in
+  Alcotest.(check int) "rows" 4 (List.length grid);
+  List.iter (fun row -> Alcotest.(check int) "cols" 5 (List.length row)) grid;
+  (* Key buckets partition the tuples (each tuple has exactly one key), so
+     every column must integrate to the whole-key-range aggregate of its
+     time slice.  Time slices do NOT integrate — a tuple intersecting
+     several slices is counted in each, which is the defined semantics. *)
+  List.iteri
+    (fun col_idx _ ->
+      let col = List.map (fun row -> List.nth row col_idx) grid in
+      let slice = (List.hd col).Rta_report.interval in
+      let col_total = List.fold_left (fun acc (b : Rta_report.bucket) -> acc + b.sum) 0 col in
+      Alcotest.(check int)
+        (Printf.sprintf "column %d integrates over keys" col_idx)
+        (Rta.sum rta ~klo:0 ~khi:64 ~tlo:slice.Interval.lo ~thi:slice.Interval.hi)
+        col_total)
+    (List.hd grid)
+
+let test_avg_and_bad_args () =
+  let rta, _, horizon = build ~n:50 ~max_key:20 ~seed:4 in
+  let series = Rta_report.time_series rta ~klo:0 ~khi:20 ~tlo:0 ~thi:horizon ~buckets:2 in
+  List.iter
+    (fun (b : Rta_report.bucket) ->
+      match Rta_report.avg b with
+      | Some a ->
+          Alcotest.(check (float 1e-9)) "avg" (float_of_int b.sum /. float_of_int b.count) a
+      | None -> Alcotest.(check int) "empty cell" 0 b.count)
+    series;
+  Alcotest.(check bool) "zero buckets rejected" true
+    (try ignore (Rta_report.time_series rta ~klo:0 ~khi:20 ~tlo:0 ~thi:horizon ~buckets:0); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "window too small rejected" true
+    (try ignore (Rta_report.time_series rta ~klo:0 ~khi:20 ~tlo:0 ~thi:3 ~buckets:10); false
+     with Invalid_argument _ -> true)
+
+let test_pp_series_renders () =
+  let rta, _, horizon = build ~n:100 ~max_key:20 ~seed:5 in
+  let series = Rta_report.time_series rta ~klo:0 ~khi:20 ~tlo:0 ~thi:horizon ~buckets:4 in
+  let s = Format.asprintf "%a" (Rta_report.pp_series ~width:20) series in
+  Alcotest.(check bool) "renders one line per bucket" true
+    (List.length (String.split_on_char '\n' (String.trim s)) = 4)
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "report",
+        [
+          Alcotest.test_case "time series" `Quick test_time_series;
+          Alcotest.test_case "key histogram" `Quick test_key_histogram;
+          Alcotest.test_case "heatmap" `Quick test_heatmap_totals;
+          Alcotest.test_case "avg + validation" `Quick test_avg_and_bad_args;
+          Alcotest.test_case "ascii rendering" `Quick test_pp_series_renders;
+        ] );
+    ]

@@ -1,0 +1,259 @@
+(* Tests for the SB-tree family: the core SB-tree against an array oracle,
+   the two-tree cumulative machinery, and the min/max variant with window
+   queries. *)
+
+module G = Aggregate.Group.Int_sum
+module T = Sbtree.Make (G)
+module Cum = Sb_cumulative.Make (G)
+module MinT = Minmax_sbtree.Make (Aggregate.Lattice.Int_min)
+module MaxT = Minmax_sbtree.Make (Aggregate.Lattice.Int_max)
+
+let make_rng seed =
+  let state = ref (Int64.of_int seed) in
+  fun bound ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.rem (Int64.logand z Int64.max_int) (Int64.of_int bound))
+
+let test_basics () =
+  let t = T.create ~b:4 ~horizon:100 () in
+  Alcotest.(check int) "empty" 0 (T.query t 50);
+  T.insert t ~lo:10 ~hi:20 5;
+  Alcotest.(check int) "inside" 5 (T.query t 15);
+  Alcotest.(check int) "at lo" 5 (T.query t 10);
+  Alcotest.(check int) "at hi (exclusive)" 0 (T.query t 20);
+  Alcotest.(check int) "before" 0 (T.query t 9);
+  T.insert t ~lo:15 ~hi:30 2;
+  Alcotest.(check int) "overlap" 7 (T.query t 16);
+  Alcotest.(check int) "tail" 2 (T.query t 25);
+  T.check_invariants t
+
+let test_bounds () =
+  let t = T.create ~b:4 ~horizon:100 () in
+  Alcotest.check_raises "empty interval" (Invalid_argument "Sbtree.insert: empty interval")
+    (fun () -> T.insert t ~lo:5 ~hi:5 1);
+  Alcotest.check_raises "outside domain"
+    (Invalid_argument "Sbtree.insert: outside time domain") (fun () ->
+      T.insert t ~lo:50 ~hi:101 1);
+  Alcotest.check_raises "query outside"
+    (Invalid_argument "Sbtree.query: outside time domain") (fun () ->
+      ignore (T.query t 100))
+
+let run_oracle ~b ~compaction ~horizon ~n ~seed =
+  let t = T.create ~b ~compaction ~horizon () in
+  let oracle = Array.make horizon 0 in
+  let rand = make_rng seed in
+  for i = 1 to n do
+    let a = rand horizon and bnd = rand horizon in
+    let lo = min a bnd and hi = max a bnd in
+    if lo < hi then begin
+      let v = rand 21 - 10 in
+      T.insert t ~lo ~hi v;
+      for x = lo to hi - 1 do
+        oracle.(x) <- oracle.(x) + v
+      done
+    end;
+    if i mod 40 = 0 then T.check_invariants t
+  done;
+  T.check_invariants t;
+  for x = 0 to horizon - 1 do
+    let got = T.query t x in
+    if got <> oracle.(x) then
+      Alcotest.failf "sbtree (b=%d compaction=%b) at %d: got %d want %d" b compaction x
+        got oracle.(x)
+  done;
+  t
+
+let test_oracle_cases () =
+  List.iter
+    (fun (b, compaction, seed) -> ignore (run_oracle ~b ~compaction ~horizon:200 ~n:300 ~seed))
+    [ (4, true, 1); (4, false, 2); (8, true, 3); (16, false, 4); (64, true, 5) ]
+
+let test_insert_from_now_semantics () =
+  (* Transaction-time usage: +v from t to the horizon encodes "alive from
+     t on"; a later -v encodes the logical delete. *)
+  let t = T.create ~b:8 ~horizon:1000 () in
+  T.insert_from t ~lo:100 7;
+  T.insert_from t ~lo:300 (-7);
+  Alcotest.(check int) "before" 0 (T.query t 99);
+  Alcotest.(check int) "alive" 7 (T.query t 100);
+  Alcotest.(check int) "still alive" 7 (T.query t 299);
+  Alcotest.(check int) "deleted" 0 (T.query t 300);
+  Alcotest.(check int) "stays deleted" 0 (T.query t 999)
+
+let test_compaction_reduces_records () =
+  (* Insert then cancel: with compaction the leaf level re-merges. *)
+  let build compaction =
+    let t = T.create ~b:8 ~compaction ~horizon:512 () in
+    for i = 0 to 63 do
+      T.insert t ~lo:(i * 8) ~hi:((i * 8) + 8) 1
+    done;
+    T.record_count t
+  in
+  Alcotest.(check bool) "compaction not larger" true (build true <= build false)
+
+let test_leaf_intervals () =
+  let t = T.create ~b:4 ~horizon:20 () in
+  T.insert t ~lo:5 ~hi:10 3;
+  let steps = T.leaf_intervals t in
+  (* The step function must partition [0, 20) and integrate correctly. *)
+  let total = List.fold_left (fun acc (iv, _) -> acc + Interval.length iv) 0 steps in
+  Alcotest.(check int) "covers domain" 20 total;
+  List.iter
+    (fun (iv, v) ->
+      Alcotest.(check int)
+        (Format.asprintf "value on %a" Interval.pp iv)
+        (T.query t iv.Interval.lo) v)
+    steps
+
+(* --- Cumulative ---------------------------------------------------------- *)
+
+let test_cumulative_against_scan () =
+  let horizon = 300 in
+  let c = Cum.create ~b:8 ~horizon () in
+  let records = ref [] in
+  let rand = make_rng 77 in
+  for _ = 1 to 120 do
+    let a = rand horizon and b = rand horizon in
+    let lo = min a b and hi = max a b in
+    if lo < hi then begin
+      let v = 1 + rand 50 in
+      Cum.insert_record c ~lo ~hi v;
+      records := (lo, hi, v) :: !records
+    end
+  done;
+  (* Instantaneous. *)
+  for t = 0 to horizon - 1 do
+    let want =
+      List.fold_left (fun acc (lo, hi, v) -> if lo <= t && t < hi then acc + v else acc) 0
+        !records
+    in
+    if Cum.instantaneous c t <> want then Alcotest.failf "instantaneous at %d" t
+  done;
+  (* Cumulative with various windows: records intersecting [t-w, t]. *)
+  List.iter
+    (fun w ->
+      for t = 0 to horizon - 1 do
+        let want =
+          List.fold_left
+            (fun acc (lo, hi, v) ->
+              (* intersects [t-w, t] (closed): lo <= t and hi-1 >= t-w *)
+              if lo <= t && hi > t - w then acc + v else acc)
+            0 !records
+        in
+        let got = Cum.cumulative c ~at:t ~window:w in
+        if got <> want then Alcotest.failf "cumulative w=%d at %d: got %d want %d" w t got want
+      done)
+    [ 0; 1; 5; 50; 299 ]
+
+let test_cumulative_delete () =
+  let c = Cum.create ~b:8 ~horizon:100 () in
+  Cum.insert_record c ~lo:10 ~hi:20 5;
+  Cum.insert_record c ~lo:30 ~hi:40 7;
+  Cum.delete_record c ~lo:10 ~hi:20 5;
+  Alcotest.(check int) "deleted record gone" 0 (Cum.instantaneous c 15);
+  Alcotest.(check int) "other remains" 7 (Cum.instantaneous c 35);
+  Alcotest.(check int) "cumulative ignores deleted" 7 (Cum.cumulative c ~at:50 ~window:49)
+
+let test_cumulative_transaction_time () =
+  let c = Cum.create ~b:8 ~horizon:1000 () in
+  Cum.begin_tuple c ~at:100 3;
+  Cum.end_tuple c ~at:200 3;
+  Cum.begin_tuple c ~at:250 10;
+  Alcotest.(check int) "alive" 3 (Cum.instantaneous c 150);
+  Alcotest.(check int) "after end" 0 (Cum.instantaneous c 200);
+  Alcotest.(check int) "ended_by" 3 (Cum.ended_by c 200);
+  (* The tuple's interval is [100, 200): its last alive instant is 199, so
+     the window must reach back to 199 to catch it. *)
+  Alcotest.(check int) "window catches dead tuple" 13
+    (Cum.cumulative c ~at:260 ~window:61);
+  Alcotest.(check int) "narrow window misses it" 10 (Cum.cumulative c ~at:260 ~window:60)
+
+(* --- Min/max -------------------------------------------------------------- *)
+
+let test_minmax_against_scan () =
+  let horizon = 200 in
+  let t = MinT.create ~b:4 ~horizon () in
+  let tmax = MaxT.create ~b:4 ~horizon () in
+  let inserted = ref [] in
+  let rand = make_rng 13 in
+  for i = 1 to 150 do
+    let a = rand horizon and b = rand horizon in
+    let lo = min a b and hi = max a b in
+    if lo < hi then begin
+      let v = rand 1000 in
+      MinT.insert t ~lo ~hi v;
+      MaxT.insert tmax ~lo ~hi v;
+      inserted := (lo, hi, v) :: !inserted
+    end;
+    if i mod 30 = 0 then begin
+      MinT.check_invariants t;
+      MaxT.check_invariants tmax
+    end
+  done;
+  MinT.check_invariants t;
+  let scan_min x =
+    List.fold_left
+      (fun acc (lo, hi, v) -> if lo <= x && x < hi then min acc v else acc)
+      max_int !inserted
+  in
+  let scan_max x =
+    List.fold_left
+      (fun acc (lo, hi, v) -> if lo <= x && x < hi then max acc v else acc)
+      min_int !inserted
+  in
+  for x = 0 to horizon - 1 do
+    if MinT.query t x <> scan_min x then Alcotest.failf "min at %d" x;
+    if MaxT.query tmax x <> scan_max x then Alcotest.failf "max at %d" x
+  done;
+  (* Window queries. *)
+  for _ = 1 to 300 do
+    let a = rand horizon and b = rand horizon in
+    let lo = min a b and hi = max a b in
+    if lo < hi then begin
+      let want_min = ref max_int and want_max = ref min_int in
+      for x = lo to hi - 1 do
+        want_min := min !want_min (scan_min x);
+        want_max := max !want_max (scan_max x)
+      done;
+      let got = MinT.query_window t ~lo ~hi in
+      if got <> !want_min then
+        Alcotest.failf "min window [%d,%d): got %d want %d" lo hi got !want_min;
+      let got = MaxT.query_window tmax ~lo ~hi in
+      if got <> !want_max then
+        Alcotest.failf "max window [%d,%d): got %d want %d" lo hi got !want_max
+    end
+  done
+
+let test_minmax_empty () =
+  let t = MinT.create ~b:4 ~horizon:10 () in
+  Alcotest.(check int) "bottom" max_int (MinT.query t 5);
+  Alcotest.(check int) "window bottom" max_int (MinT.query_window t ~lo:0 ~hi:10)
+
+let () =
+  Alcotest.run "sbtree"
+    [
+      ( "core",
+        [
+          Alcotest.test_case "basics" `Quick test_basics;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "oracle sweep" `Quick test_oracle_cases;
+          Alcotest.test_case "transaction-time shape" `Quick test_insert_from_now_semantics;
+          Alcotest.test_case "compaction" `Quick test_compaction_reduces_records;
+          Alcotest.test_case "leaf intervals" `Quick test_leaf_intervals;
+        ] );
+      ( "cumulative",
+        [
+          Alcotest.test_case "against scan" `Quick test_cumulative_against_scan;
+          Alcotest.test_case "physical delete" `Quick test_cumulative_delete;
+          Alcotest.test_case "transaction time" `Quick test_cumulative_transaction_time;
+        ] );
+      ( "minmax",
+        [
+          Alcotest.test_case "against scan + windows" `Quick test_minmax_against_scan;
+          Alcotest.test_case "empty" `Quick test_minmax_empty;
+        ] );
+    ]

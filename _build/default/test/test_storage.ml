@@ -1,0 +1,250 @@
+(* Tests for the storage substrate: I/O stats, the LRU index, the buffer
+   pool's caching and write-back behaviour, both page stores, the binary
+   codec, and the cost model. *)
+
+module Mem = Storage.Page_store.Mem (struct
+  type t = string
+end)
+
+module Pool = Storage.Buffer_pool.Make (Mem)
+
+let test_io_stats () =
+  let s = Storage.Io_stats.create () in
+  Storage.Io_stats.record_read s;
+  Storage.Io_stats.record_read s;
+  Storage.Io_stats.record_write s;
+  Alcotest.(check int) "reads" 2 (Storage.Io_stats.reads s);
+  Alcotest.(check int) "writes" 1 (Storage.Io_stats.writes s);
+  Alcotest.(check int) "total" 3 (Storage.Io_stats.total_io s);
+  let snap0 = Storage.Io_stats.snapshot s in
+  Storage.Io_stats.record_read s;
+  let d = Storage.Io_stats.diff (Storage.Io_stats.snapshot s) snap0 in
+  Alcotest.(check int) "diff reads" 1 d.Storage.Io_stats.reads;
+  Alcotest.(check int) "diff writes" 0 d.Storage.Io_stats.writes;
+  Storage.Io_stats.reset s;
+  Alcotest.(check int) "reset" 0 (Storage.Io_stats.total_io s)
+
+let test_mem_store () =
+  let s = Mem.create () in
+  let a = Mem.alloc s and b = Mem.alloc s in
+  Alcotest.(check bool) "distinct ids" false (Storage.Page_id.equal a b);
+  Mem.write s a "hello";
+  Mem.write s b "world";
+  Alcotest.(check string) "read back" "hello" (Mem.read s a);
+  Alcotest.(check int) "live" 2 (Mem.live_pages s);
+  Mem.free s a;
+  Alcotest.(check int) "live after free" 1 (Mem.live_pages s);
+  Alcotest.(check bool) "freed missing" false (Mem.mem s a);
+  Alcotest.check_raises "read freed" Not_found (fun () -> ignore (Mem.read s a));
+  (* Ids are never recycled. *)
+  let c = Mem.alloc s in
+  Alcotest.(check bool) "no id reuse" false (Storage.Page_id.equal a c)
+
+let test_lru_eviction_order () =
+  let l = Storage.Lru.create ~capacity:2 in
+  Alcotest.(check (option (pair int string))) "no evict 1" None (Storage.Lru.add l 1 "a");
+  Alcotest.(check (option (pair int string))) "no evict 2" None (Storage.Lru.add l 2 "b");
+  (* Touch 1 so 2 becomes LRU. *)
+  Alcotest.(check (option string)) "find 1" (Some "a") (Storage.Lru.find l 1);
+  Alcotest.(check (option (pair int string))) "evicts 2" (Some (2, "b"))
+    (Storage.Lru.add l 3 "c");
+  Alcotest.(check int) "length" 2 (Storage.Lru.length l);
+  Alcotest.(check bool) "1 kept" true (Storage.Lru.mem l 1);
+  (* peek must not refresh recency. *)
+  Alcotest.(check (option string)) "peek 1" (Some "a") (Storage.Lru.peek l 1);
+  ignore (Storage.Lru.find l 3);
+  Alcotest.(check (option (pair int string))) "evicts 1 (peek did not touch)"
+    (Some (1, "a"))
+    (Storage.Lru.add l 4 "d")
+
+let test_lru_replace_and_remove () =
+  let l = Storage.Lru.create ~capacity:2 in
+  ignore (Storage.Lru.add l 1 "a");
+  ignore (Storage.Lru.add l 1 "a2");
+  Alcotest.(check int) "replace keeps one entry" 1 (Storage.Lru.length l);
+  Alcotest.(check (option string)) "replaced" (Some "a2") (Storage.Lru.find l 1);
+  Alcotest.(check (option string)) "remove" (Some "a2") (Storage.Lru.remove l 1);
+  Alcotest.(check int) "empty" 0 (Storage.Lru.length l);
+  Alcotest.(check (option string)) "remove missing" None (Storage.Lru.remove l 1)
+
+let prop_lru_against_model =
+  (* Compare against a naive list-based LRU model under random ops. *)
+  QCheck.Test.make ~name:"lru matches naive model" ~count:200
+    QCheck.(list (pair (int_range 0 9) (int_range 0 2)))
+    (fun ops ->
+      let capacity = 3 in
+      let l = Storage.Lru.create ~capacity in
+      let model = ref [] (* most recent first: (key, value) *) in
+      let model_find k =
+        match List.assoc_opt k !model with
+        | None -> None
+        | Some v ->
+            model := (k, v) :: List.remove_assoc k !model;
+            Some v
+      in
+      let model_add k v =
+        model := (k, v) :: List.remove_assoc k !model;
+        if List.length !model > capacity then begin
+          let rec split_last acc = function
+            | [ last ] -> (List.rev acc, last)
+            | x :: rest -> split_last (x :: acc) rest
+            | [] -> assert false
+          in
+          let kept, evicted = split_last [] !model in
+          model := kept;
+          Some evicted
+        end
+        else None
+      in
+      List.for_all
+        (fun (k, op) ->
+          match op with
+          | 0 -> Storage.Lru.find l k = model_find k
+          | 1 -> Storage.Lru.add l k (string_of_int k) = model_add k (string_of_int k)
+          | _ ->
+              let a = Storage.Lru.remove l k in
+              let b = List.assoc_opt k !model in
+              model := List.remove_assoc k !model;
+              a = b)
+        ops)
+
+let test_buffer_pool_caching () =
+  let stats = Storage.Io_stats.create () in
+  let store = Mem.create ~stats () in
+  let pool = Pool.create ~capacity:2 store in
+  let a = Pool.alloc pool and b = Pool.alloc pool and c = Pool.alloc pool in
+  Pool.write pool a "A";
+  Pool.write pool b "B";
+  Alcotest.(check int) "writes deferred" 0 (Storage.Io_stats.writes stats);
+  Alcotest.(check string) "cached read" "A" (Pool.read pool a);
+  Alcotest.(check int) "cache hit costs nothing" 0 (Storage.Io_stats.reads stats);
+  (* Inserting a third page evicts the LRU (b) and writes it back. *)
+  Pool.write pool c "C";
+  Alcotest.(check int) "dirty eviction wrote" 1 (Storage.Io_stats.writes stats);
+  (* Reading b again is a physical read. *)
+  Alcotest.(check string) "read back evicted" "B" (Pool.read pool b);
+  Alcotest.(check int) "miss costs a read" 1 (Storage.Io_stats.reads stats);
+  Alcotest.(check int) "hits" 1 (Pool.hits pool);
+  Alcotest.(check int) "misses" 1 (Pool.misses pool)
+
+let test_buffer_pool_flush () =
+  let stats = Storage.Io_stats.create () in
+  let store = Mem.create ~stats () in
+  let pool = Pool.create ~capacity:4 store in
+  let a = Pool.alloc pool in
+  Pool.write pool a "A";
+  Pool.flush pool;
+  Alcotest.(check int) "flush wrote dirty" 1 (Storage.Io_stats.writes stats);
+  Pool.flush pool;
+  Alcotest.(check int) "second flush writes nothing" 1 (Storage.Io_stats.writes stats);
+  Pool.drop_cache pool;
+  Alcotest.(check string) "read after drop is physical" "A" (Pool.read pool a);
+  Alcotest.(check int) "one read" 1 (Storage.Io_stats.reads stats)
+
+let test_codec_roundtrip () =
+  let w = Storage.Codec.Writer.create 64 in
+  Storage.Codec.Writer.u8 w 200;
+  Storage.Codec.Writer.i32 w (-123456);
+  Storage.Codec.Writer.i64 w max_int;
+  Storage.Codec.Writer.bool w true;
+  Storage.Codec.Writer.bool w false;
+  let r = Storage.Codec.Reader.create (Storage.Codec.Writer.contents w) in
+  Alcotest.(check int) "u8" 200 (Storage.Codec.Reader.u8 r);
+  Alcotest.(check int) "i32" (-123456) (Storage.Codec.Reader.i32 r);
+  Alcotest.(check int) "i64" max_int (Storage.Codec.Reader.i64 r);
+  Alcotest.(check bool) "bool t" true (Storage.Codec.Reader.bool r);
+  Alcotest.(check bool) "bool f" false (Storage.Codec.Reader.bool r)
+
+let test_codec_overflow () =
+  let w = Storage.Codec.Writer.create 3 in
+  Storage.Codec.Writer.u8 w 1;
+  Alcotest.(check bool) "i32 overflows 3-byte page" true
+    (try
+       Storage.Codec.Writer.i32 w 5;
+       false
+     with Storage.Codec.Overflow _ -> true);
+  let w = Storage.Codec.Writer.create 8 in
+  Alcotest.(check bool) "value too large for i32" true
+    (try
+       Storage.Codec.Writer.i32 w (1 lsl 40);
+       false
+     with Storage.Codec.Overflow _ -> true)
+
+(* File-backed store: string payloads padded into fixed 64-byte blocks. *)
+module File_store = Storage.Page_store.File (struct
+  type t = string
+
+  let encode w s =
+    Storage.Codec.Writer.i32 w (String.length s);
+    String.iter (fun ch -> Storage.Codec.Writer.u8 w (Char.code ch)) s
+
+  let decode r =
+    let n = Storage.Codec.Reader.i32 r in
+    String.init n (fun _ -> Char.chr (Storage.Codec.Reader.u8 r))
+end)
+
+let test_file_store () =
+  let path = Filename.temp_file "mvsbt_store" ".pages" in
+  let s = File_store.create ~page_size:64 ~path () in
+  let ids = List.init 10 (fun _ -> File_store.alloc s) in
+  List.iteri (fun i id -> File_store.write s id (Printf.sprintf "page-%d" i)) ids;
+  List.iteri
+    (fun i id ->
+      Alcotest.(check string) (Printf.sprintf "roundtrip %d" i)
+        (Printf.sprintf "page-%d" i)
+        (File_store.read s id))
+    (List.rev ids |> List.rev);
+  (* Overwrite in place. *)
+  File_store.write s (List.nth ids 3) "overwritten";
+  Alcotest.(check string) "overwrite" "overwritten" (File_store.read s (List.nth ids 3));
+  Alcotest.(check int) "file size" (10 * 64) (File_store.file_size_bytes s);
+  File_store.free s (List.nth ids 0);
+  Alcotest.check_raises "read freed" Not_found (fun () ->
+      ignore (File_store.read s (List.nth ids 0)));
+  File_store.close s;
+  Sys.remove path
+
+let test_cost_model () =
+  let est = Storage.Cost_model.estimate_s ~model:Storage.Cost_model.default ~ios:100 ~cpu_s:0.5 in
+  Alcotest.(check (float 1e-9)) "100 I/Os at 10ms + 0.5s cpu" 1.5 est;
+  let stats = Storage.Io_stats.create () in
+  let x, m =
+    Storage.Cost_model.measure ~stats (fun () ->
+        Storage.Io_stats.record_read stats;
+        Storage.Io_stats.record_read stats;
+        Storage.Io_stats.record_write stats;
+        42)
+  in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check int) "reads attributed" 2 m.Storage.Cost_model.reads;
+  Alcotest.(check int) "writes attributed" 1 m.Storage.Cost_model.writes;
+  let s = Storage.Cost_model.add m Storage.Cost_model.zero in
+  Alcotest.(check int) "add zero" 2 s.Storage.Cost_model.reads
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "stats+stores",
+        [
+          Alcotest.test_case "io stats" `Quick test_io_stats;
+          Alcotest.test_case "mem store" `Quick test_mem_store;
+          Alcotest.test_case "file store" `Quick test_file_store;
+          Alcotest.test_case "cost model" `Quick test_cost_model;
+        ] );
+      ( "lru",
+        [
+          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "replace/remove" `Quick test_lru_replace_and_remove;
+          QCheck_alcotest.to_alcotest prop_lru_against_model;
+        ] );
+      ( "buffer-pool",
+        [
+          Alcotest.test_case "caching" `Quick test_buffer_pool_caching;
+          Alcotest.test_case "flush" `Quick test_buffer_pool_flush;
+        ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "overflow" `Quick test_codec_overflow;
+        ] );
+    ]

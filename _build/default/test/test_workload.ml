@@ -1,0 +1,331 @@
+(* Tests for the workload generator (TimeIT substitute), the RNG, and the
+   query-rectangle generator. *)
+
+let small_spec : Workload.Generator.spec =
+  {
+    n_records = 2000;
+    n_keys = 50;
+    max_key = 10_000;
+    max_time = 100_000;
+    key_distribution = Workload.Generator.Uniform;
+    interval_style = Workload.Generator.Long_lived;
+    value_bound = 100;
+    version_skew = 0.;
+    seed = 42;
+  }
+
+let test_rng_deterministic () =
+  let a = Workload.Rng.create ~seed:7 and b = Workload.Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Workload.Rng.int a 1000) (Workload.Rng.int b 1000)
+  done;
+  let c = Workload.Rng.copy a in
+  Alcotest.(check int) "copy replays" (Workload.Rng.int a 1000) (Workload.Rng.int c 1000)
+
+let test_rng_bounds () =
+  let r = Workload.Rng.create ~seed:3 in
+  for _ = 1 to 1000 do
+    let x = Workload.Rng.int r 17 in
+    Alcotest.(check bool) "in range" true (0 <= x && x < 17);
+    let y = Workload.Rng.int_in r ~lo:5 ~hi:10 in
+    Alcotest.(check bool) "int_in range" true (5 <= y && y < 10);
+    let f = Workload.Rng.float r 2.0 in
+    Alcotest.(check bool) "float range" true (0. <= f && f < 2.)
+  done;
+  Alcotest.check_raises "bad bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Workload.Rng.int r 0))
+
+let test_rng_uniformity () =
+  (* Coarse sanity: each of 10 buckets gets 10% +- 3%. *)
+  let r = Workload.Rng.create ~seed:11 in
+  let buckets = Array.make 10 0 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let x = Workload.Rng.int r 10 in
+    buckets.(x) <- buckets.(x) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let frac = float_of_int c /. float_of_int n in
+      if frac < 0.07 || frac > 0.13 then Alcotest.failf "bucket %d has fraction %.3f" i frac)
+    buckets
+
+let test_gaussian_moments () =
+  let r = Workload.Rng.create ~seed:23 in
+  let n = 50_000 in
+  let sum = ref 0. and sumsq = ref 0. in
+  for _ = 1 to n do
+    let x = Workload.Rng.gaussian r ~mean:10. ~stddev:2. in
+    sum := !sum +. x;
+    sumsq := !sumsq +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sumsq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean close" true (abs_float (mean -. 10.) < 0.1);
+  Alcotest.(check bool) "variance close" true (abs_float (var -. 4.) < 0.3)
+
+let test_records_shape () =
+  let recs = Workload.Generator.records small_spec in
+  Alcotest.(check int) "record count" small_spec.n_records (List.length recs);
+  let keys = List.sort_uniq Int.compare (List.map (fun r -> r.Workload.Generator.key) recs) in
+  Alcotest.(check int) "unique keys" small_spec.n_keys (List.length keys);
+  List.iter
+    (fun (r : Workload.Generator.record) ->
+      Alcotest.(check bool) "key in space" true (0 <= r.key && r.key < small_spec.max_key);
+      Alcotest.(check bool) "interval valid" true (0 <= r.t_start && r.t_start < r.t_end);
+      Alcotest.(check bool) "interval in time space" true (r.t_end <= small_spec.max_time);
+      Alcotest.(check bool) "positive value" true (r.value >= 1))
+    recs
+
+let test_records_1tnf () =
+  let recs = Workload.Generator.records small_spec in
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Workload.Generator.record) ->
+      Hashtbl.replace by_key r.key (r :: (Option.value ~default:[] (Hashtbl.find_opt by_key r.key))))
+    recs;
+  Hashtbl.iter
+    (fun key versions ->
+      let sorted =
+        List.sort
+          (fun (a : Workload.Generator.record) b -> Int.compare a.t_start b.t_start)
+          versions
+      in
+      let rec check = function
+        | (a : Workload.Generator.record) :: (b :: _ as rest) ->
+            if a.t_end > b.t_start then
+              Alcotest.failf "1TNF violation for key %d: [%d,%d) overlaps [%d,%d)" key
+                a.t_start a.t_end b.t_start b.t_end;
+            check rest
+        | _ -> ()
+      in
+      check sorted)
+    by_key
+
+let test_events_ordering () =
+  let events = Workload.Generator.events small_spec in
+  Alcotest.(check int) "2 events per record" (2 * small_spec.n_records) (List.length events);
+  let rec check_sorted = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool) "time-sorted" true
+          (Workload.Generator.event_time a <= Workload.Generator.event_time b);
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted events;
+  (* Replaying through the reference warehouse must never violate 1TNF. *)
+  let oracle = Reference.Warehouse.create () in
+  List.iter
+    (function
+      | Workload.Generator.Insert { key; value; at } ->
+          Reference.Warehouse.insert oracle ~key ~value ~at
+      | Workload.Generator.Delete { key; at } -> Reference.Warehouse.delete oracle ~key ~at)
+    events;
+  Alcotest.(check int) "all versions closed" 0 (Reference.Warehouse.alive_count oracle);
+  Alcotest.(check int) "all versions present" small_spec.n_records
+    (Reference.Warehouse.size oracle)
+
+let test_determinism () =
+  let a = Workload.Generator.events small_spec in
+  let b = Workload.Generator.events small_spec in
+  Alcotest.(check bool) "same seed, same stream" true (a = b);
+  let c = Workload.Generator.events { small_spec with seed = 43 } in
+  Alcotest.(check bool) "different seed differs" true (a <> c)
+
+let test_normal_keys () =
+  let spec =
+    { small_spec with
+      Workload.Generator.key_distribution =
+        Workload.Generator.Normal { mean_frac = 0.5; stddev_frac = 0.05 } }
+  in
+  let recs = Workload.Generator.records spec in
+  let keys = List.map (fun r -> r.Workload.Generator.key) recs in
+  (* stddev is 0.05 * 10000 = 500; about 95% of draws fall within 2 sigma. *)
+  let center = List.filter (fun k -> abs (k - 5000) < 1000) keys in
+  Alcotest.(check bool) "keys concentrate around the mean" true
+    (10 * List.length center >= 9 * List.length keys)
+
+let test_interval_styles () =
+  let avg_len style =
+    let recs = Workload.Generator.records { small_spec with interval_style = style } in
+    List.fold_left (fun acc (r : Workload.Generator.record) -> acc + r.t_end - r.t_start) 0 recs
+    / List.length recs
+  in
+  Alcotest.(check bool) "long >> short" true
+    (avg_len Workload.Generator.Long_lived > 5 * avg_len Workload.Generator.Short_lived)
+
+let test_version_skew () =
+  let spec = { small_spec with version_skew = 1.2 } in
+  let recs = Workload.Generator.records spec in
+  Alcotest.(check int) "exact record count" spec.n_records (List.length recs);
+  let per_key = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Workload.Generator.record) ->
+      Hashtbl.replace per_key r.key
+        (1 + Option.value ~default:0 (Hashtbl.find_opt per_key r.key)))
+    recs;
+  Alcotest.(check int) "all keys present" spec.n_keys (Hashtbl.length per_key);
+  let counts = Hashtbl.fold (fun _ c acc -> c :: acc) per_key [] |> List.sort Int.compare in
+  let hottest = List.nth counts (List.length counts - 1) in
+  let median = List.nth counts (List.length counts / 2) in
+  Alcotest.(check bool)
+    (Printf.sprintf "hot key (%d versions) dominates median (%d)" hottest median)
+    true
+    (hottest >= 5 * median);
+  (* The skewed stream must still satisfy 1TNF end to end. *)
+  let oracle = Reference.Warehouse.create () in
+  List.iter
+    (function
+      | Workload.Generator.Insert { key; value; at } ->
+          Reference.Warehouse.insert oracle ~key ~value ~at
+      | Workload.Generator.Delete { key; at } -> Reference.Warehouse.delete oracle ~key ~at)
+    (Workload.Generator.events spec);
+  Alcotest.(check int) "replays cleanly" spec.n_records (Reference.Warehouse.size oracle)
+
+let test_scaled () =
+  let s = Workload.Generator.scaled Workload.Generator.paper_spec 0.01 in
+  Alcotest.(check int) "records scaled" 10_000 s.n_records;
+  Alcotest.(check int) "keys scaled" 100 s.n_keys;
+  Alcotest.(check int) "spaces untouched" 1_000_000_000 s.max_key
+
+let test_validation () =
+  let bad = { small_spec with n_keys = 0 } in
+  Alcotest.(check bool) "rejects zero keys" true
+    (try ignore (Workload.Generator.records bad); false with Invalid_argument _ -> true);
+  let bad = { small_spec with n_records = 200_001; n_keys = 1; max_time = 100 } in
+  Alcotest.(check bool) "rejects overfull time space" true
+    (try ignore (Workload.Generator.records bad); false with Invalid_argument _ -> true)
+
+(* --- Traces ------------------------------------------------------------------ *)
+
+let test_trace_roundtrip () =
+  let events = Workload.Generator.events small_spec in
+  let path = Filename.temp_file "trace" ".txt" in
+  Workload.Trace.save events ~path;
+  let loaded = Workload.Trace.load ~path in
+  Alcotest.(check bool) "roundtrip" true (events = loaded);
+  Sys.remove path
+
+let write_trace lines =
+  let path = Filename.temp_file "trace" ".txt" in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) lines;
+  close_out oc;
+  path
+
+let test_trace_comments_and_blanks () =
+  let path = write_trace [ "# a comment"; ""; "I 1 5 10"; "  "; "D 3 5"; "# trailing" ] in
+  let events = Workload.Trace.load ~path in
+  Sys.remove path;
+  Alcotest.(check int) "two events" 2 (List.length events);
+  match events with
+  | [ Workload.Generator.Insert { key = 5; value = 10; at = 1 };
+      Workload.Generator.Delete { key = 5; at = 3 } ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected events"
+
+let test_trace_rejects_garbage () =
+  let expect_failure lines =
+    let path = write_trace lines in
+    let r = try ignore (Workload.Trace.load ~path); false with Failure _ -> true in
+    Sys.remove path;
+    r
+  in
+  Alcotest.(check bool) "bad opcode" true (expect_failure [ "X 1 2 3" ]);
+  Alcotest.(check bool) "bad int" true (expect_failure [ "I one 2 3" ]);
+  Alcotest.(check bool) "missing field" true (expect_failure [ "I 1 2" ]);
+  Alcotest.(check bool) "non-monotone" true (expect_failure [ "I 5 1 1"; "I 4 2 1" ])
+
+let test_trace_replay () =
+  let events = Workload.Generator.events small_spec in
+  let inserts = ref 0 and deletes = ref 0 in
+  Workload.Trace.replay events
+    ~insert:(fun ~key:_ ~value:_ ~at:_ -> incr inserts)
+    ~delete:(fun ~key:_ ~at:_ -> incr deletes);
+  Alcotest.(check int) "inserts" small_spec.n_records !inserts;
+  Alcotest.(check int) "deletes" small_spec.n_records !deletes
+
+(* --- Query generation ------------------------------------------------------- *)
+
+let test_query_area_and_shape () =
+  let rng = Workload.Rng.create ~seed:5 in
+  List.iter
+    (fun qrs ->
+      List.iter
+        (fun shape ->
+          for _ = 1 to 50 do
+            let r =
+              Workload.Query_gen.rectangle rng ~max_key:1_000_000 ~max_time:1_000_000 ~qrs
+                ~r_over_i:shape
+            in
+            Alcotest.(check bool) "bounds" true
+              (0 <= r.klo && r.klo < r.khi && r.khi <= 1_000_000 && 0 <= r.tlo
+             && r.tlo < r.thi && r.thi <= 1_000_000);
+            let area = Workload.Query_gen.area_frac ~max_key:1_000_000 ~max_time:1_000_000 r in
+            if abs_float (area -. qrs) /. qrs > 0.05 then
+              Alcotest.failf "area %.6f far from qrs %.6f (shape %.2f)" area qrs shape
+          done)
+        [ 0.25; 1.0; 4.0 ])
+    [ 0.0001; 0.01; 0.25; 1.0 ]
+
+let test_query_extreme_shape_clamped () =
+  let rng = Workload.Rng.create ~seed:6 in
+  (* A very elongated shape would exceed the key space; the time side must
+     absorb the excess so the area is preserved. *)
+  let r =
+    Workload.Query_gen.rectangle rng ~max_key:1000 ~max_time:1_000_000 ~qrs:0.04
+      ~r_over_i:10_000.
+  in
+  Alcotest.(check int) "key side clamped to full space" 1000 (r.khi - r.klo);
+  let area = Workload.Query_gen.area_frac ~max_key:1000 ~max_time:1_000_000 r in
+  Alcotest.(check bool) "area preserved" true (abs_float (area -. 0.04) < 0.002);
+  Alcotest.check_raises "qrs > 1 rejected"
+    (Invalid_argument "Query_gen: qrs must be in (0, 1]") (fun () ->
+      ignore
+        (Workload.Query_gen.rectangle rng ~max_key:10 ~max_time:10 ~qrs:1.5 ~r_over_i:1.))
+
+let prop_batch_size =
+  QCheck.Test.make ~name:"batch yields n rectangles" ~count:50
+    QCheck.(int_range 1 50)
+    (fun n ->
+      let rng = Workload.Rng.create ~seed:9 in
+      List.length
+        (Workload.Query_gen.batch rng ~n ~max_key:1000 ~max_time:1000 ~qrs:0.1 ~r_over_i:1.)
+      = n)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "record shape" `Quick test_records_shape;
+          Alcotest.test_case "1TNF" `Quick test_records_1tnf;
+          Alcotest.test_case "event ordering" `Quick test_events_ordering;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "normal keys" `Quick test_normal_keys;
+          Alcotest.test_case "interval styles" `Quick test_interval_styles;
+          Alcotest.test_case "version skew" `Quick test_version_skew;
+          Alcotest.test_case "scaled" `Quick test_scaled;
+          Alcotest.test_case "validation" `Quick test_validation;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "comments and blanks" `Quick test_trace_comments_and_blanks;
+          Alcotest.test_case "rejects garbage" `Quick test_trace_rejects_garbage;
+          Alcotest.test_case "replay" `Quick test_trace_replay;
+        ] );
+      ( "queries",
+        [
+          Alcotest.test_case "area and shape" `Quick test_query_area_and_shape;
+          Alcotest.test_case "extreme shapes clamp" `Quick test_query_extreme_shape_clamped;
+          QCheck_alcotest.to_alcotest prop_batch_size;
+        ] );
+    ]
