@@ -1,10 +1,13 @@
 (* Command-line driver for the range-temporal aggregation system.
 
    Subcommands:
-     generate  — emit a workload as a text event stream
-     build     — replay a workload into the 2-MVSBT index and report stats
-     query     — build, then answer ad-hoc or random RTA queries
-     compare   — build both 2-MVSBT and MVBT, run a query batch on each *)
+     generate   — emit a workload as a text event stream
+     build      — replay a workload into the 2-MVSBT index and report stats
+                  (with --wal, through the durable write-ahead-logged engine)
+     query      — build, then answer ad-hoc or random RTA queries
+     compare    — build both 2-MVSBT and MVBT, run a query batch on each
+     checkpoint — recover a durable warehouse, snapshot it, truncate its log
+     recover    — recover a durable warehouse and report what was replayed *)
 
 let setup_logs verbosity =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -107,6 +110,56 @@ let mvsbt_config_term =
   in
   Term.(const mk $ b $ f $ plain $ no_merging $ no_disposal $ buffer)
 
+(* --- WAL / durability arguments ----------------------------------------------- *)
+
+let sync_policy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "never" -> Ok Wal.Never
+    | "always" -> Ok Wal.Always
+    | s ->
+        let n =
+          match String.index_opt s ':' with
+          | Some i when String.sub s 0 i = "every" ->
+              int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+          | _ -> int_of_string_opt s
+        in
+        (match n with
+        | Some n when n > 0 -> Ok (Wal.Every_n n)
+        | _ -> Error (`Msg (Printf.sprintf "bad sync policy %S (never|always|every:N)" s)))
+  in
+  Arg.conv (parse, Wal.pp_sync_policy)
+
+let sync_policy_term =
+  let doc =
+    "WAL fsync policy: $(b,never), $(b,always), or $(b,every:N) (group commit, one fsync \
+     per N appends)."
+  in
+  Arg.(value & opt sync_policy_conv (Wal.Every_n 32) & info [ "sync" ] ~doc)
+
+let checkpoint_every_term =
+  let doc = "Checkpoint automatically every N logged updates (0 = manual only)." in
+  Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc)
+
+let wal_doc =
+  "Durable-engine path prefix: the log lives at PREFIX.wal, checkpoints at \
+   PREFIX.ckpt.{lkst,lklt,meta}."
+
+let wal_opt_term =
+  Arg.(value & opt (some string) None & info [ "wal" ] ~doc:wal_doc ~docv:"PREFIX")
+
+let wal_req_term =
+  Arg.(required & opt (some string) None & info [ "wal" ] ~doc:wal_doc ~docv:"PREFIX")
+
+let report_durable eng =
+  let rta = Durable.warehouse eng in
+  Printf.printf "  warehouse: %d updates, %d pages, now=%d\n" (Rta.n_updates rta)
+    (Rta.page_count rta) (Rta.now rta);
+  Format.printf "  wal: %a@." Wal.Stats.pp (Durable.wal_stats eng);
+  Format.printf "  sync policy: %a; checkpoints this run: %d (since last: %d updates)@."
+    Wal.pp_sync_policy (Durable.sync_policy eng) (Durable.checkpoints eng)
+    (Durable.updates_since_checkpoint eng)
+
 (* --- Helpers ------------------------------------------------------------------ *)
 
 let input_term =
@@ -164,17 +217,47 @@ let generate_cmd =
 
 (* --- build ----------------------------------------------------------------------- *)
 
-let build verbosity spec (config, buffer) input snapshot =
-  setup_logs verbosity;
-  let rta, _stats, m = build_rta ~spec ~config ~buffer ~input in
-  report_build ~label:"2-MVSBT" m ~pages:(Rta.page_count rta) ~updates:(Rta.n_updates rta);
+let build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_every =
+  let stats = Storage.Io_stats.create () in
+  let eng =
+    Durable.open_ ~config ~pool_capacity:buffer ~stats ~sync_policy ~checkpoint_every
+      ~max_key:spec.Workload.Generator.max_key ~path ()
+  in
+  if Durable.replayed_on_open eng > 0 then
+    Printf.printf "recovered %d logged updates before building\n"
+      (Durable.replayed_on_open eng);
+  let events = events_of ~spec ~input in
+  let (), m =
+    Storage.Cost_model.measure ~stats (fun () ->
+        Workload.Trace.replay events
+          ~insert:(fun ~key ~value ~at -> Durable.insert eng ~key ~value ~at)
+          ~delete:(fun ~key ~at -> Durable.delete eng ~key ~at))
+  in
+  let rta = Durable.warehouse eng in
+  report_build ~label:"2-MVSBT (durable)" m ~pages:(Rta.page_count rta)
+    ~updates:(Rta.n_updates rta);
   Rta.check_invariants rta;
   Printf.printf "  invariants: ok\n";
-  match snapshot with
+  report_durable eng;
+  Durable.close eng
+
+let build verbosity spec (config, buffer) input snapshot wal sync_policy checkpoint_every =
+  setup_logs verbosity;
+  match wal with
   | Some path ->
-      Rta.save rta ~path;
-      Printf.printf "  snapshot saved to %s.{lkst,lklt,meta}\n" path
-  | None -> ()
+      if snapshot <> None then
+        Printf.printf "note: --save is ignored with --wal (use the checkpoint subcommand)\n";
+      build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_every
+  | None -> (
+      let rta, _stats, m = build_rta ~spec ~config ~buffer ~input in
+      report_build ~label:"2-MVSBT" m ~pages:(Rta.page_count rta) ~updates:(Rta.n_updates rta);
+      Rta.check_invariants rta;
+      Printf.printf "  invariants: ok\n";
+      match snapshot with
+      | Some path ->
+          Rta.save rta ~path;
+          Printf.printf "  snapshot saved to %s.{lkst,lklt,meta}\n" path
+      | None -> ())
 
 let snapshot_out_term =
   let doc = "Save the built index as a snapshot (three files under this prefix)." in
@@ -184,7 +267,7 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build the two-MVSBT index from a generated or replayed workload")
     Term.(const build $ verbosity $ spec_term $ mvsbt_config_term $ input_term
-          $ snapshot_out_term)
+          $ snapshot_out_term $ wal_opt_term $ sync_policy_term $ checkpoint_every_term)
 
 (* --- query ----------------------------------------------------------------------- *)
 
@@ -308,6 +391,67 @@ let compare_cmd =
     Term.(const compare_cmd_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
           $ qrs $ n)
 
+(* --- checkpoint / recover -------------------------------------------------------- *)
+
+let engine_max_key_term =
+  let doc = "Key space upper bound the engine was created with." in
+  Arg.(value & opt int 1_000_000_000 & info [ "max-key" ] ~doc)
+
+let engine_buffer_term =
+  let doc = "LRU buffer pool capacity in pages." in
+  Arg.(value & opt int 64 & info [ "buffer" ] ~doc)
+
+let checkpoint_impl verbosity max_key buffer wal sync_policy =
+  setup_logs verbosity;
+  let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
+  Printf.printf "recovered: %d WAL records replayed on open\n" (Durable.replayed_on_open eng);
+  Durable.checkpoint eng;
+  Printf.printf "checkpoint written under %s.ckpt.{lkst,lklt,meta}; log truncated\n" wal;
+  report_durable eng;
+  Durable.close eng
+
+let checkpoint_cmd =
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Recover a durable warehouse, snapshot it, and truncate its log")
+    Term.(const checkpoint_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
+          $ wal_req_term $ sync_policy_term)
+
+let recover_impl verbosity max_key buffer wal sync_policy rect_opt =
+  setup_logs verbosity;
+  let wal_stats = Wal.Stats.create () in
+  let eng =
+    Durable.open_ ~pool_capacity:buffer ~sync_policy ~wal_stats ~max_key ~path:wal ()
+  in
+  let rta = Durable.warehouse eng in
+  Printf.printf "recovered %s: checkpoint %s, %d WAL records replayed, %d torn bytes dropped\n"
+    wal
+    (if Sys.file_exists (wal ^ ".ckpt.meta") then "loaded" else "absent")
+    (Durable.replayed_on_open eng)
+    (Wal.Stats.dropped_bytes wal_stats);
+  Rta.check_invariants rta;
+  Printf.printf "  invariants: ok\n";
+  report_durable eng;
+  (match rect_opt with
+  | Some (klo, khi, tlo, thi) ->
+      let sum, count = Durable.sum_count eng ~klo ~khi ~tlo ~thi in
+      Printf.printf "[%d, %d) x [%d, %d): SUM=%d COUNT=%d AVG=%s\n" klo khi tlo thi sum count
+        (if count = 0 then "-"
+         else Printf.sprintf "%.3f" (float_of_int sum /. float_of_int count))
+  | None -> ());
+  Durable.close eng
+
+let recover_cmd =
+  let rect =
+    let doc = "Sanity query rectangle KLO,KHI,TLO,THI to run after recovery." in
+    Arg.(value & opt (some (t4 int int int int)) None & info [ "rect" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a durable warehouse from its checkpoint and log and report its state")
+    Term.(const recover_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
+          $ wal_req_term $ sync_policy_term $ rect)
+
 (* --- dot ------------------------------------------------------------------------- *)
 
 let dot verbosity spec (config, buffer) input out =
@@ -336,4 +480,7 @@ let () =
       ~doc:"Range-temporal aggregates with the Multiversion SB-tree (PODS 2001)"
   in
   exit
-    (Cmd.eval (Cmd.group info [ generate_cmd; build_cmd; query_cmd; compare_cmd; dot_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
+            dot_cmd ]))

@@ -1,20 +1,23 @@
-(* Durability: a warehouse that survives restarts.
+(* Durability: a warehouse that survives a power cut mid-ingestion.
 
      dune exec examples/durable_warehouse.exe
 
-   The MVSBT page graph serialises to snapshot files; loading one restores
-   the exact index — same pages, same root* directory, same history — and
-   the warehouse keeps ingesting from where it stopped.  This example runs
-   "two days" of ingestion with a simulated shutdown in between, then
-   audits the reloaded index against a never-restarted twin. *)
+   The durable engine logs every update to a write-ahead log before
+   applying it, and a checkpoint persists the whole index and truncates
+   the log.  This example runs "two days" of stock movements: day 1 ends
+   with a clean checkpoint; day 2 is cut short by a simulated power
+   failure (the Wal.Faulty layer kills the log file at an arbitrary byte
+   offset, tearing the record in flight).  Restarting recovers
+   checkpoint + log tail, and the recovered warehouse is audited against
+   a never-crashed twin fed exactly the updates that made it to disk. *)
 
 let day = 86_400
 
 let () =
   let dir = Filename.temp_file "warehouse" ".d" in
   Sys.remove dir;
-  (* Use a prefix in the temp dir for the snapshot files. *)
-  let snapshot = dir in
+  Unix.mkdir dir 0o700;
+  let prefix = Filename.concat dir "wh" in
 
   let spec : Workload.Generator.spec =
     {
@@ -36,49 +39,87 @@ let () =
   Printf.printf "Two days of stock movements: %d events on day 1, %d on day 2.\n"
     (List.length day1) (List.length day2);
 
-  (* Day 1: ingest, report, shut down. *)
-  let wh = Rta.create ~max_key:spec.max_key () in
+  (* Day 1: ingest through the durable engine (group commit, one fsync per
+     16 updates), then checkpoint — snapshot on disk, log truncated. *)
+  let eng = Durable.open_ ~sync_policy:(Wal.Every_n 16) ~max_key:spec.max_key ~path:prefix () in
   Workload.Trace.replay day1
-    ~insert:(fun ~key ~value ~at -> Rta.insert wh ~key ~value ~at)
-    ~delete:(fun ~key ~at -> Rta.delete wh ~key ~at);
-  let eod1 = Rta.sum_count wh ~klo:0 ~khi:spec.max_key ~tlo:0 ~thi:day in
-  Printf.printf "End of day 1: SUM=%d COUNT=%d across the whole space; %d pages.\n"
-    (fst eod1) (snd eod1) (Rta.page_count wh);
-  Rta.save wh ~path:snapshot;
-  Printf.printf "Shutdown: snapshot written to %s.{lkst,lklt,meta}\n\n" snapshot;
+    ~insert:(fun ~key ~value ~at -> Durable.insert eng ~key ~value ~at)
+    ~delete:(fun ~key ~at -> Durable.delete eng ~key ~at);
+  let eod1 = Durable.sum_count eng ~klo:0 ~khi:spec.max_key ~tlo:0 ~thi:day in
+  Printf.printf "End of day 1: SUM=%d COUNT=%d across the whole space.\n" (fst eod1)
+    (snd eod1);
+  Durable.checkpoint eng;
+  Durable.close eng;
+  Printf.printf "Checkpoint written to %s.ckpt.{lkst,lklt,meta}; log truncated.\n\n" prefix;
 
-  (* Day 2: restart from the snapshot and keep ingesting.  A twin that
-     never restarted ingests the same stream for comparison. *)
-  let restarted = Rta.load ~path:snapshot () in
-  Printf.printf "Restart: %d pages reloaded, clock at t=%d, %d tuples alive.\n"
-    (Rta.page_count restarted) (Rta.now restarted) (Rta.alive_count restarted);
-  let twin = wh in
-  List.iter
-    (fun wh ->
-      Workload.Trace.replay day2
-        ~insert:(fun ~key ~value ~at -> Rta.insert wh ~key ~value ~at)
-        ~delete:(fun ~key ~at -> Rta.delete wh ~key ~at))
-    [ restarted; twin ];
-
-  (* Audit: the restarted warehouse must agree with the twin everywhere,
-     including for day-1 history. *)
-  let rng = Workload.Rng.create ~seed:123 in
-  let disagreements = ref 0 in
-  for _ = 1 to 500 do
-    let r =
-      Workload.Query_gen.rectangle rng ~max_key:spec.max_key ~max_time:spec.max_time
-        ~qrs:0.02 ~r_over_i:1.0
-    in
-    let a = Rta.sum_count restarted ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
-    let b = Rta.sum_count twin ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
-    if a <> b then incr disagreements
-  done;
-  Printf.printf "\nAudit: 500 random rectangles, %d disagreements with the twin.\n"
-    !disagreements;
-  assert (!disagreements = 0);
-  let eod2 =
-    Rta.sum_count restarted ~klo:0 ~khi:spec.max_key ~tlo:day ~thi:(2 * day)
+  (* The audit oracle: an in-memory twin that never crashes. *)
+  let twin = Rta.create ~max_key:spec.max_key () in
+  let feed_twin evs =
+    Workload.Trace.replay evs
+      ~insert:(fun ~key ~value ~at -> Rta.insert twin ~key ~value ~at)
+      ~delete:(fun ~key ~at -> Rta.delete twin ~key ~at)
   in
-  Printf.printf "End of day 2 (served by the restarted index): SUM=%d COUNT=%d.\n"
+  feed_twin day1;
+
+  (* Day 2: reopen and ingest — until the power cut.  Faulty cuts the log
+     off mid-record after a few thousand more bytes. *)
+  let eng =
+    Durable.open_ ~sync_policy:(Wal.Every_n 16)
+      ~wal_wrap:(fun f -> snd (Wal.Faulty.wrap ~fail_after:3_777 f))
+      ~max_key:spec.max_key ~path:prefix ()
+  in
+  let survived = ref 0 in
+  (try
+     List.iter
+       (fun ev ->
+         (match ev with
+         | Workload.Generator.Insert { key; value; at } -> Durable.insert eng ~key ~value ~at
+         | Workload.Generator.Delete { key; at } -> Durable.delete eng ~key ~at);
+         incr survived)
+       day2
+   with Wal.Crashed -> ());
+  Printf.printf "Power cut! Only %d of %d day-2 events reached the log (last one torn).\n"
+    !survived (List.length day2);
+
+  (* Restart: opening the same prefix IS the recovery — load the day-1
+     checkpoint, replay the surviving log tail, drop the torn record. *)
+  let eng = Durable.open_ ~max_key:spec.max_key ~path:prefix () in
+  let wh = Durable.warehouse eng in
+  Printf.printf "Recovery: checkpoint + %d replayed log records; clock at t=%d.\n"
+    (Durable.replayed_on_open eng) (Rta.now wh);
+  assert (Durable.replayed_on_open eng = !survived);
+
+  (* Audit against the twin, fed exactly the events that survived. *)
+  let survived_day2 = List.filteri (fun i _ -> i < !survived) day2 in
+  feed_twin survived_day2;
+  let rng = Workload.Rng.create ~seed:123 in
+  let audit label =
+    let disagreements = ref 0 in
+    for _ = 1 to 500 do
+      let r =
+        Workload.Query_gen.rectangle rng ~max_key:spec.max_key ~max_time:spec.max_time
+          ~qrs:0.02 ~r_over_i:1.0
+      in
+      let a = Rta.sum_count wh ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
+      let b = Rta.sum_count twin ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
+      if a <> b then incr disagreements
+    done;
+    Printf.printf "Audit (%s): 500 random rectangles, %d disagreements with the twin.\n"
+      label !disagreements;
+    assert (!disagreements = 0)
+  in
+  audit "after recovery";
+
+  (* Finish day 2 on the recovered warehouse; the twin follows along. *)
+  let rest = List.filteri (fun i _ -> i >= !survived) day2 in
+  Workload.Trace.replay rest
+    ~insert:(fun ~key ~value ~at -> Durable.insert eng ~key ~value ~at)
+    ~delete:(fun ~key ~at -> Durable.delete eng ~key ~at);
+  feed_twin rest;
+  audit "end of day 2";
+  let eod2 = Durable.sum_count eng ~klo:0 ~khi:spec.max_key ~tlo:day ~thi:(2 * day) in
+  Printf.printf "End of day 2 (served by the recovered warehouse): SUM=%d COUNT=%d.\n"
     (fst eod2) (snd eod2);
-  List.iter (fun ext -> Sys.remove (snapshot ^ ext)) [ ".lkst"; ".lklt"; ".meta" ]
+  Durable.close eng;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir

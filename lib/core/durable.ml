@@ -1,0 +1,146 @@
+type t = {
+  rta : Rta.t;
+  wal : Wal.t;
+  path : string;
+  checkpoint_every : int;
+  mutable since_ckpt : int;
+  mutable n_ckpts : int;
+  n_replayed : int;
+}
+
+(* --- WAL record payloads ------------------------------------------------------ *)
+
+(* seq i64 | op u8 | at i64 | key i64 | value i64 (inserts only).  [seq] is
+   the warehouse's n_updates after applying the record, so recovery can
+   tell which records a checkpoint already covers. *)
+
+let op_insert = 1
+let op_delete = 2
+let record_max_bytes = 8 + 1 + 8 + 8 + 8
+
+let encode_insert ~seq ~key ~value ~at =
+  let w = Storage.Codec.Writer.create record_max_bytes in
+  Storage.Codec.Writer.i64 w seq;
+  Storage.Codec.Writer.u8 w op_insert;
+  Storage.Codec.Writer.i64 w at;
+  Storage.Codec.Writer.i64 w key;
+  Storage.Codec.Writer.i64 w value;
+  (Storage.Codec.Writer.contents w, Storage.Codec.Writer.pos w)
+
+let encode_delete ~seq ~key ~at =
+  let w = Storage.Codec.Writer.create record_max_bytes in
+  Storage.Codec.Writer.i64 w seq;
+  Storage.Codec.Writer.u8 w op_delete;
+  Storage.Codec.Writer.i64 w at;
+  Storage.Codec.Writer.i64 w key;
+  (Storage.Codec.Writer.contents w, Storage.Codec.Writer.pos w)
+
+(* --- Checkpoint files --------------------------------------------------------- *)
+
+let ckpt_prefix path = path ^ ".ckpt"
+let ckpt_tmp_prefix path = path ^ ".ckpt-tmp"
+let snapshot_exts = [ ".lkst"; ".lklt"; ".meta" ]
+let wal_path path = path ^ ".wal"
+
+let checkpoint_exists path = Sys.file_exists (ckpt_prefix path ^ ".meta")
+
+(* --- Recovery ----------------------------------------------------------------- *)
+
+let apply_record rta rd =
+  let seq = Storage.Codec.Reader.i64 rd in
+  let op = Storage.Codec.Reader.u8 rd in
+  let at = Storage.Codec.Reader.i64 rd in
+  let key = Storage.Codec.Reader.i64 rd in
+  let applied = Rta.n_updates rta in
+  if seq <= applied then () (* already inside the checkpoint *)
+  else if seq > applied + 1 then
+    failwith
+      (Printf.sprintf "Durable: WAL sequence gap (record %d over state %d)" seq applied)
+  else
+    match op with
+    | x when x = op_insert ->
+        let value = Storage.Codec.Reader.i64 rd in
+        Rta.insert rta ~key ~value ~at
+    | x when x = op_delete -> Rta.delete rta ~key ~at
+    | x -> failwith (Printf.sprintf "Durable: unknown WAL opcode %d" x)
+
+let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
+    ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f) ~max_key ~path () =
+  let rta =
+    if checkpoint_exists path then begin
+      let rta = Rta.load ?pool_capacity ?stats ~path:(ckpt_prefix path) () in
+      if Rta.max_key rta <> max_key then
+        failwith
+          (Printf.sprintf "Durable.open_: checkpoint has max_key %d, asked for %d"
+             (Rta.max_key rta) max_key);
+      rta
+    end
+    else Rta.create ?config ?pool_capacity ?stats ~max_key ()
+  in
+  let wal =
+    Wal.open_log ~policy:sync_policy ?stats:wal_stats (wal_wrap (Wal.os_file ~path:(wal_path path)))
+  in
+  let n_replayed = Wal.replay wal (apply_record rta) in
+  (* Replayed records are exactly the updates the last checkpoint missed,
+     so they count toward the next automatic checkpoint. *)
+  { rta; wal; path; checkpoint_every; since_ckpt = n_replayed; n_ckpts = 0; n_replayed }
+
+(* --- Checkpointing ------------------------------------------------------------ *)
+
+let checkpoint t =
+  let tmp = ckpt_tmp_prefix t.path and final = ckpt_prefix t.path in
+  Rta.save t.rta ~path:tmp;
+  (* Rename data files first, the meta file last: its presence is the
+     commit point checkpoint_exists keys off, so a crash anywhere in this
+     sequence leaves either the old checkpoint or the new one — never a
+     half-visible mix that load would trust. *)
+  List.iter (fun ext -> Sys.rename (tmp ^ ext) (final ^ ext)) snapshot_exts;
+  Wal.truncate t.wal;
+  t.since_ckpt <- 0;
+  t.n_ckpts <- t.n_ckpts + 1
+
+let maybe_auto_checkpoint t =
+  if t.checkpoint_every > 0 && t.since_ckpt >= t.checkpoint_every then checkpoint t
+
+(* --- Updates ------------------------------------------------------------------ *)
+
+(* Validation mirrors Rta's own checks and runs before anything is logged,
+   so applying a logged record cannot fail (neither here nor on replay). *)
+
+let insert t ~key ~value ~at =
+  if key < 0 || key >= Rta.max_key t.rta then
+    invalid_arg "Durable.insert: key outside key space";
+  if Rta.is_alive t.rta ~key then
+    invalid_arg (Printf.sprintf "Durable.insert: key %d is already alive (1TNF)" key);
+  if at < Rta.now t.rta then
+    invalid_arg "Durable: time went backwards (transaction time is monotone)";
+  let buf, len = encode_insert ~seq:(Rta.n_updates t.rta + 1) ~key ~value ~at in
+  Wal.append t.wal ~len buf;
+  Rta.insert t.rta ~key ~value ~at;
+  t.since_ckpt <- t.since_ckpt + 1;
+  maybe_auto_checkpoint t
+
+let delete t ~key ~at =
+  if not (Rta.is_alive t.rta ~key) then
+    invalid_arg (Printf.sprintf "Durable.delete: key %d is not alive" key);
+  if at < Rta.now t.rta then
+    invalid_arg "Durable: time went backwards (transaction time is monotone)";
+  let buf, len = encode_delete ~seq:(Rta.n_updates t.rta + 1) ~key ~at in
+  Wal.append t.wal ~len buf;
+  Rta.delete t.rta ~key ~at;
+  t.since_ckpt <- t.since_ckpt + 1;
+  maybe_auto_checkpoint t
+
+(* --- Accessors ---------------------------------------------------------------- *)
+
+let warehouse t = t.rta
+let sum_count t ~klo ~khi ~tlo ~thi = Rta.sum_count t.rta ~klo ~khi ~tlo ~thi
+let replayed_on_open t = t.n_replayed
+let updates_since_checkpoint t = t.since_ckpt
+let checkpoints t = t.n_ckpts
+let wal_stats t = Wal.stats t.wal
+let sync_policy t = Wal.policy t.wal
+
+let close t =
+  Wal.sync t.wal;
+  Wal.close t.wal

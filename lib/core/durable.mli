@@ -1,0 +1,82 @@
+(** The durable warehouse engine: checkpoint + write-ahead log.
+
+    {!Rta.save}/{!Rta.load} snapshots alone lose every update since the
+    last snapshot on a crash.  This wrapper closes that window: each
+    [insert]/[delete] is framed into a {!Wal} record {e before} it is
+    applied to the two MVSBTs, and a {e checkpoint} persists the whole
+    warehouse through the existing snapshot machinery and then truncates
+    the log.  Opening an engine is therefore always a recovery:
+
+    + load the latest checkpoint if one exists (else start empty);
+    + replay the log tail on top of it, skipping records the checkpoint
+      already covers and stopping cleanly at a torn or corrupt frame;
+    + truncate the torn tail so the log is well-formed again.
+
+    Every WAL record carries the warehouse's update sequence number, so a
+    crash {e between} writing a checkpoint and truncating the log cannot
+    double-apply updates on recovery.
+
+    On-disk layout under a path prefix [p]:
+    - [p.wal] — the log;
+    - [p.ckpt.lkst], [p.ckpt.lklt], [p.ckpt.meta] — the latest checkpoint
+      (written to temporary names first, with [p.ckpt.meta] renamed last
+      as the commit point).
+
+    Mutate the warehouse only through this module; going behind its back
+    via {!Rta.insert} on {!warehouse} would leave updates unlogged. *)
+
+type t
+
+val open_ :
+  ?config:Mvsbt.config ->
+  ?pool_capacity:int ->
+  ?stats:Storage.Io_stats.t ->
+  ?sync_policy:Wal.sync_policy ->
+  ?checkpoint_every:int ->
+  ?wal_stats:Wal.Stats.t ->
+  ?wal_wrap:(Wal.file -> Wal.file) ->
+  max_key:int ->
+  path:string ->
+  unit ->
+  t
+(** Open (and recover) the warehouse under path prefix [path], creating
+    it if nothing is on disk yet.  [sync_policy] defaults to
+    [Every_n 32]; [checkpoint_every] (default 0 = manual only) triggers
+    an automatic {!checkpoint} once that many updates have accumulated
+    since the last one.  [wal_wrap] interposes on the log's byte layer —
+    the hook {!Wal.Faulty} plugs into for crash testing.
+    @raise Failure if an existing checkpoint disagrees with [max_key] or
+    a snapshot file is malformed. *)
+
+val insert : t -> key:int -> value:int -> at:int -> unit
+(** Log, then apply.  Same contract as {!Rta.insert}; validation happens
+    {e before} the record is logged, so a rejected update never pollutes
+    the log.  May raise {!Wal.Crashed} under fault injection, in which
+    case the update is not applied. *)
+
+val delete : t -> key:int -> at:int -> unit
+(** Log, then apply; see {!insert}. *)
+
+val checkpoint : t -> unit
+(** Snapshot the warehouse and truncate the log.  Durable once this
+    returns; crash-safe at every intermediate step. *)
+
+val warehouse : t -> Rta.t
+(** The live warehouse, for queries ({!Rta.sum_count} and friends). *)
+
+val sum_count : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int * int
+(** Convenience passthrough to {!Rta.sum_count}. *)
+
+val replayed_on_open : t -> int
+(** WAL records replayed (applied or skipped) during recovery. *)
+
+val updates_since_checkpoint : t -> int
+
+val checkpoints : t -> int
+(** Checkpoints taken by this handle (manual + automatic). *)
+
+val wal_stats : t -> Wal.Stats.t
+val sync_policy : t -> Wal.sync_policy
+
+val close : t -> unit
+(** Fsync the log and release the file; no checkpoint is taken. *)

@@ -62,7 +62,7 @@ module Make (G : Aggregate.Group.S) = struct
         b_read = (fun pid -> Pool.read pool pid);
         b_write = (fun pid page -> Pool.write pool pid page);
         b_free = (fun pid -> Pool.free pool pid);
-        b_exists = (fun pid -> Store.mem store pid);
+        b_exists = (fun pid -> Pool.mem pool pid);
         b_live = (fun () -> Store.live_pages store);
         b_drop = (fun () -> Pool.drop_cache pool);
         b_flush = (fun () -> Pool.flush pool);
@@ -723,10 +723,15 @@ module Make (G : Aggregate.Group.S) = struct
           b_read = (fun pid -> File_pool.read pool pid);
           b_write = (fun pid page -> File_pool.write pool pid page);
           b_free = (fun pid -> File_pool.free pool pid);
-          b_exists = (fun pid -> File_store.mem store pid);
+          b_exists = (fun pid -> File_pool.mem pool pid);
           b_live = (fun () -> File_store.live_pages store);
           b_drop = (fun () -> File_pool.drop_cache pool);
-          b_flush = (fun () -> File_pool.flush pool);
+          (* A durable flush must reach the platter, not just the kernel:
+             write back dirty pages, then fsync the page file. *)
+          b_flush =
+            (fun () ->
+              File_pool.flush pool;
+              File_store.sync store);
         }
       in
       boot ~cfg ~key_space ~io_stats backend
@@ -837,7 +842,7 @@ module Make (G : Aggregate.Group.S) = struct
           b_read = (fun pid -> Pool.read pool pid);
           b_write = (fun pid page -> Pool.write pool pid page);
           b_free = (fun pid -> Pool.free pool pid);
-          b_exists = (fun pid -> Store.mem store pid);
+          b_exists = (fun pid -> Pool.mem pool pid);
           b_live = (fun () -> Store.live_pages store);
           b_drop = (fun () -> Pool.drop_cache pool);
           b_flush = (fun () -> Pool.flush pool);

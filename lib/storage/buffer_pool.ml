@@ -42,6 +42,8 @@ module Make (Store : Page_store.S) = struct
 
   let write t id payload = insert t id { payload; dirty = true }
 
+  let mem t id = Lru.mem t.cache id || Store.mem t.store id
+
   let mark_dirty t id =
     match Lru.peek t.cache id with
     | Some entry -> entry.dirty <- true

@@ -40,6 +40,11 @@ module Make (Store : Page_store.S) : sig
       place.  No-op if the page is not cached (the caller must then use
       {!write}). *)
 
+  val mem : t -> Page_id.t -> bool
+  (** Whether the page exists, in the cache {e or} the store.  A dirty
+      page that has never been evicted lives only in the cache, so
+      existence checks must go through the pool, not the raw store. *)
+
   val free : t -> Page_id.t -> unit
   (** Drop the page from the cache (without write-back) and free it in the
       store. *)

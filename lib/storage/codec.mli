@@ -34,6 +34,24 @@ module Writer : sig
   (** The full fixed-size buffer (trailing bytes are zero). *)
 end
 
+(** {1 CRC-32}
+
+    The IEEE 802.3 checksum (polynomial [0xEDB88320], the zlib/PNG/
+    Ethernet variant), computed byte-at-a-time over a precomputed table.
+    Frames WAL records and page-file headers so torn or corrupted bytes
+    are detected on recovery instead of silently decoded. *)
+
+val crc32 : bytes -> pos:int -> len:int -> int
+(** Checksum of [len] bytes starting at [pos]; the result fits 32 bits.
+    @raise Invalid_argument if the range lies outside the buffer. *)
+
+val crc32_update : int -> bytes -> pos:int -> len:int -> int
+(** [crc32_update crc buf ~pos ~len] extends a running checksum, so a
+    record can be checksummed in pieces: [crc32 b ~pos ~len] equals
+    [crc32_update (crc32 b0) b1] over the concatenation. *)
+
+val crc32_string : string -> int
+
 module Reader : sig
   type t
 

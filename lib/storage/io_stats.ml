@@ -1,31 +1,41 @@
-type snapshot = { reads : int; writes : int; allocs : int; frees : int }
+type snapshot = { reads : int; writes : int; allocs : int; frees : int; syncs : int }
 
 type t = {
   mutable n_reads : int;
   mutable n_writes : int;
   mutable n_allocs : int;
   mutable n_frees : int;
+  mutable n_syncs : int;
 }
 
-let create () = { n_reads = 0; n_writes = 0; n_allocs = 0; n_frees = 0 }
+let create () = { n_reads = 0; n_writes = 0; n_allocs = 0; n_frees = 0; n_syncs = 0 }
 let reads t = t.n_reads
 let writes t = t.n_writes
 let allocs t = t.n_allocs
 let frees t = t.n_frees
+let syncs t = t.n_syncs
 let total_io t = t.n_reads + t.n_writes
 let record_read t = t.n_reads <- t.n_reads + 1
 let record_write t = t.n_writes <- t.n_writes + 1
 let record_alloc t = t.n_allocs <- t.n_allocs + 1
 let record_free t = t.n_frees <- t.n_frees + 1
+let record_sync t = t.n_syncs <- t.n_syncs + 1
 
 let reset t =
   t.n_reads <- 0;
   t.n_writes <- 0;
   t.n_allocs <- 0;
-  t.n_frees <- 0
+  t.n_frees <- 0;
+  t.n_syncs <- 0
 
 let snapshot t : snapshot =
-  { reads = t.n_reads; writes = t.n_writes; allocs = t.n_allocs; frees = t.n_frees }
+  {
+    reads = t.n_reads;
+    writes = t.n_writes;
+    allocs = t.n_allocs;
+    frees = t.n_frees;
+    syncs = t.n_syncs;
+  }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
   {
@@ -33,12 +43,13 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     writes = a.writes - b.writes;
     allocs = a.allocs - b.allocs;
     frees = a.frees - b.frees;
+    syncs = a.syncs - b.syncs;
   }
 
 let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d" t.n_reads
-    t.n_writes t.n_allocs t.n_frees
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d" t.n_reads
+    t.n_writes t.n_allocs t.n_frees t.n_syncs
 
 let pp_snapshot ppf (s : snapshot) =
-  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d" s.reads s.writes
-    s.allocs s.frees
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d" s.reads s.writes
+    s.allocs s.frees s.syncs

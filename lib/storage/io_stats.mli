@@ -22,6 +22,9 @@ val allocs : t -> int
 val frees : t -> int
 (** Pages returned to the store (page-disposal optimisation). *)
 
+val syncs : t -> int
+(** [fsync]s issued against the underlying file (durable stores only). *)
+
 val total_io : t -> int
 (** [reads + writes]. *)
 
@@ -29,11 +32,12 @@ val record_read : t -> unit
 val record_write : t -> unit
 val record_alloc : t -> unit
 val record_free : t -> unit
+val record_sync : t -> unit
 
 val reset : t -> unit
 (** Zero all counters. *)
 
-type snapshot = { reads : int; writes : int; allocs : int; frees : int }
+type snapshot = { reads : int; writes : int; allocs : int; frees : int; syncs : int }
 
 val snapshot : t -> snapshot
 

@@ -82,10 +82,76 @@ module File (C : PAGE_CODEC) = struct
     stats : Io_stats.t;
   }
 
-  let create ?(stats = Io_stats.create ()) ?(page_size = 4096) ~path () =
-    if page_size < 16 then invalid_arg "Page_store.File: page_size too small";
-    let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-    { fd; page_size; next_id = 0; written = Page_id.Tbl.create 1024; live = 0; stats }
+  (* Block 0 of the file is a CRC-framed header; pages occupy blocks 1..
+     The header lets a reopen verify it is looking at a page file of the
+     expected geometry rather than decoding arbitrary bytes. *)
+  let header_magic = "PGSTORE1"
+  let header_payload_bytes = String.length header_magic + 4
+
+  let write_header fd ~page_size =
+    let w = Codec.Writer.create page_size in
+    Codec.Writer.i32 w header_payload_bytes;
+    Codec.Writer.i32 w 0 (* crc placeholder *);
+    String.iter (fun ch -> Codec.Writer.u8 w (Char.code ch)) header_magic;
+    Codec.Writer.i32 w page_size;
+    let buf = Codec.Writer.contents w in
+    let crc = Codec.crc32 buf ~pos:8 ~len:header_payload_bytes in
+    Bytes.set_int32_le buf 4 (Int32.of_int crc);
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    let len = Bytes.length buf in
+    let rec loop off =
+      if off < len then loop (off + Unix.write fd buf off (len - off))
+    in
+    loop 0
+
+  let read_header fd ~page_size =
+    let buf = Bytes.create page_size in
+    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+    let rec loop off =
+      if off < page_size then begin
+        let n = Unix.read fd buf off (page_size - off) in
+        if n = 0 then failwith "Page_store.File: truncated header";
+        loop (off + n)
+      end
+    in
+    loop 0;
+    let rd = Codec.Reader.create buf in
+    let len = Codec.Reader.i32 rd in
+    (* Reader.i32 sign-extends; the CRC is an unsigned 32-bit value. *)
+    let crc = Codec.Reader.i32 rd land 0xFFFFFFFF in
+    if len <> header_payload_bytes then failwith "Page_store.File: bad header length";
+    if Codec.crc32 buf ~pos:8 ~len <> crc then
+      failwith "Page_store.File: header checksum mismatch";
+    let magic = String.init (String.length header_magic) (fun _ -> Char.chr (Codec.Reader.u8 rd)) in
+    if magic <> header_magic then failwith "Page_store.File: bad header magic";
+    let stored = Codec.Reader.i32 rd in
+    if stored <> page_size then
+      failwith
+        (Printf.sprintf "Page_store.File: page size mismatch (file has %d, asked for %d)"
+           stored page_size)
+
+  let create ?(stats = Io_stats.create ()) ?(page_size = 4096) ?(mode = `Create) ~path () =
+    if page_size < 32 then invalid_arg "Page_store.File: page_size too small";
+    match mode with
+    | `Create ->
+        let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+        write_header fd ~page_size;
+        { fd; page_size; next_id = 0; written = Page_id.Tbl.create 1024; live = 0; stats }
+    | `Reopen ->
+        let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+        (try read_header fd ~page_size
+         with e ->
+           Unix.close fd;
+           raise e);
+        let len = (Unix.fstat fd).Unix.st_size in
+        (* Only complete page blocks count; a torn trailing page is ignored
+           (its id will be rewritten by the recovery replay). *)
+        let next_id = max 0 ((len / page_size) - 1) in
+        let written = Page_id.Tbl.create 1024 in
+        for i = 0 to next_id - 1 do
+          Page_id.Tbl.replace written (Page_id.of_int i) ()
+        done;
+        { fd; page_size; next_id; written; live = next_id; stats }
 
   let stats t = t.stats
   let page_size t = t.page_size
@@ -98,7 +164,7 @@ module File (C : PAGE_CODEC) = struct
     t.next_id <- t.next_id + 1;
     id
 
-  let offset t id = Page_id.to_int id * t.page_size
+  let offset t id = (1 + Page_id.to_int id) * t.page_size
 
   let really_read fd buf =
     let len = Bytes.length buf in
@@ -144,6 +210,11 @@ module File (C : PAGE_CODEC) = struct
 
   let mem t id = Page_id.Tbl.mem t.written id
   let live_pages t = t.live
+
+  let sync t =
+    Io_stats.record_sync t.stats;
+    Unix.fsync t.fd
+
   let close t = Unix.close t.fd
-  let file_size_bytes t = t.next_id * t.page_size
+  let file_size_bytes t = (1 + t.next_id) * t.page_size
 end

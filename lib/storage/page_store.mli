@@ -72,11 +72,32 @@ end
 module File (C : PAGE_CODEC) : sig
   include S with type payload = C.t
 
-  val create : ?stats:Io_stats.t -> ?page_size:int -> path:string -> unit -> t
-  (** Creates or truncates [path]; every page occupies one fixed-size
-      block of [page_size] bytes (default 4096, the paper's setting). *)
+  val create :
+    ?stats:Io_stats.t ->
+    ?page_size:int ->
+    ?mode:[ `Create | `Reopen ] ->
+    path:string ->
+    unit ->
+    t
+  (** Every page occupies one fixed-size block of [page_size] bytes
+      (default 4096, the paper's setting); block 0 holds a CRC32-framed
+      header recording the geometry.
+
+      With [`Create] (the default) the file is created or truncated.  With
+      [`Reopen] an existing page file is opened in place: the header is
+      validated against [page_size] and [next_id]/the written set are
+      rebuilt from the file length (a torn trailing page is ignored).
+      @raise Failure on a missing, foreign, or geometry-mismatched file
+      under [`Reopen]. *)
 
   val page_size : t -> int
+
+  val sync : t -> unit
+  (** [fsync] the backing file: every completed {!write} is on the
+      platter when this returns.  Charged to {!Io_stats.syncs}. *)
+
   val close : t -> unit
+
   val file_size_bytes : t -> int
+  (** Includes the header block: [(1 + next_id) * page_size]. *)
 end

@@ -1,0 +1,297 @@
+type sync_policy = Never | Every_n of int | Always
+
+let pp_sync_policy ppf = function
+  | Never -> Format.fprintf ppf "never"
+  | Every_n n -> Format.fprintf ppf "every:%d" n
+  | Always -> Format.fprintf ppf "always"
+
+exception Crashed
+
+module Stats = struct
+  type t = {
+    mutable n_appends : int;
+    mutable n_bytes : int;
+    mutable n_fsyncs : int;
+    mutable n_replayed : int;
+    mutable n_dropped_bytes : int;
+    mutable n_truncations : int;
+  }
+
+  let create () =
+    {
+      n_appends = 0;
+      n_bytes = 0;
+      n_fsyncs = 0;
+      n_replayed = 0;
+      n_dropped_bytes = 0;
+      n_truncations = 0;
+    }
+
+  let appends t = t.n_appends
+  let bytes t = t.n_bytes
+  let fsyncs t = t.n_fsyncs
+  let replayed t = t.n_replayed
+  let dropped_bytes t = t.n_dropped_bytes
+  let truncations t = t.n_truncations
+
+  let reset t =
+    t.n_appends <- 0;
+    t.n_bytes <- 0;
+    t.n_fsyncs <- 0;
+    t.n_replayed <- 0;
+    t.n_dropped_bytes <- 0;
+    t.n_truncations <- 0
+
+  let pp ppf t =
+    Format.fprintf ppf "appends=%d bytes=%d fsyncs=%d replayed=%d dropped=%d truncations=%d"
+      t.n_appends t.n_bytes t.n_fsyncs t.n_replayed t.n_dropped_bytes t.n_truncations
+end
+
+(* --- File layer -------------------------------------------------------------- *)
+
+type file = {
+  f_append : bytes -> int -> int -> unit;
+  f_pread : int -> bytes -> int -> int -> int;
+  f_size : unit -> int;
+  f_sync : unit -> unit;
+  f_truncate : int -> unit;
+  f_close : unit -> unit;
+}
+
+let os_file ~path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let really_write buf pos len =
+    let rec loop off =
+      if off < len then loop (off + Unix.write fd buf (pos + off) (len - off))
+    in
+    loop 0
+  in
+  {
+    f_append =
+      (fun buf pos len ->
+        ignore (Unix.lseek fd 0 Unix.SEEK_END);
+        really_write buf pos len);
+    f_pread =
+      (fun off buf pos len ->
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        (* One read is enough for the small frames we use, but loop to be
+           correct on any filesystem. *)
+        let rec loop got =
+          if got >= len then got
+          else
+            let n = Unix.read fd buf (pos + got) (len - got) in
+            if n = 0 then got else loop (got + n)
+        in
+        loop 0);
+    f_size = (fun () -> (Unix.fstat fd).Unix.st_size);
+    f_sync = (fun () -> Unix.fsync fd);
+    f_truncate = (fun len -> Unix.ftruncate fd len);
+    f_close = (fun () -> Unix.close fd);
+  }
+
+module Faulty = struct
+  type handle = { mutable budget : int; mutable is_crashed : bool; mutable n_written : int }
+
+  let wrap ~fail_after inner =
+    if fail_after < 0 then invalid_arg "Wal.Faulty.wrap: negative budget";
+    let h = { budget = fail_after; is_crashed = false; n_written = 0 } in
+    let check () = if h.is_crashed then raise Crashed in
+    let file =
+      {
+        f_append =
+          (fun buf pos len ->
+            check ();
+            if len < h.budget then begin
+              inner.f_append buf pos len;
+              h.budget <- h.budget - len;
+              h.n_written <- h.n_written + len
+            end
+            else begin
+              (* The crash point lies inside (or exactly at the end of)
+                 this write: emit the surviving prefix, then die. *)
+              inner.f_append buf pos h.budget;
+              h.n_written <- h.n_written + h.budget;
+              h.budget <- 0;
+              h.is_crashed <- true;
+              raise Crashed
+            end);
+        f_pread =
+          (fun off buf pos len ->
+            check ();
+            inner.f_pread off buf pos len);
+        f_size =
+          (fun () ->
+            check ();
+            inner.f_size ());
+        f_sync =
+          (fun () ->
+            check ();
+            inner.f_sync ());
+        f_truncate =
+          (fun len ->
+            check ();
+            inner.f_truncate len);
+        f_close =
+          (fun () ->
+            check ();
+            inner.f_close ());
+      }
+    in
+    (h, file)
+
+  let crashed h = h.is_crashed
+  let written h = h.n_written
+end
+
+(* --- The log ----------------------------------------------------------------- *)
+
+let magic = "MVSBTWAL"
+let version = 1
+let header_bytes = String.length magic + 4 + 4
+let frame_header_bytes = 8
+let max_record_bytes = 1 lsl 20
+
+type t = {
+  file : file;
+  pol : sync_policy;
+  st : Stats.t;
+  mutable appended : bool; (* replay is only legal before the first append *)
+  mutable unsynced : int; (* appends since the last fsync (group commit) *)
+  mutable closed : bool;
+}
+
+let header_buf () =
+  let w = Storage.Codec.Writer.create header_bytes in
+  String.iter (fun ch -> Storage.Codec.Writer.u8 w (Char.code ch)) magic;
+  Storage.Codec.Writer.i32 w version;
+  let buf = Storage.Codec.Writer.contents w in
+  let crc = Storage.Codec.crc32 buf ~pos:0 ~len:(header_bytes - 4) in
+  Storage.Codec.Writer.i32 w crc;
+  buf
+
+let header_valid file =
+  if file.f_size () < header_bytes then false
+  else begin
+    let buf = Bytes.create header_bytes in
+    let got = file.f_pread 0 buf 0 header_bytes in
+    got = header_bytes && Bytes.equal buf (header_buf ())
+  end
+
+let open_log ?(policy = Every_n 32) ?(stats = Stats.create ()) file =
+  (match policy with
+  | Every_n n when n < 1 -> invalid_arg "Wal.open_log: Every_n needs n >= 1"
+  | _ -> ());
+  let t = { file; pol = policy; st = stats; appended = false; unsynced = 0; closed = false } in
+  if file.f_size () = 0 then file.f_append (header_buf ()) 0 header_bytes
+  else if not (header_valid file) then begin
+    (* A torn or foreign header means nothing in the file can be trusted:
+       recover as a clean empty log. *)
+    file.f_truncate 0;
+    file.f_append (header_buf ()) 0 header_bytes;
+    stats.Stats.n_truncations <- stats.Stats.n_truncations + 1
+  end;
+  t
+
+let open_path ?policy ?stats path = open_log ?policy ?stats (os_file ~path)
+
+let check_open t = if t.closed then invalid_arg "Wal: log is closed"
+
+let replay t f =
+  check_open t;
+  if t.appended then invalid_arg "Wal.replay: records were already appended";
+  let size = t.file.f_size () in
+  let hdr = Bytes.create frame_header_bytes in
+  let count = ref 0 in
+  let off = ref header_bytes in
+  let stop = ref false in
+  while not !stop do
+    let remaining = size - !off in
+    if remaining < frame_header_bytes then stop := true
+    else begin
+      let got = t.file.f_pread !off hdr 0 frame_header_bytes in
+      if got < frame_header_bytes then stop := true
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+        let crc = Int32.to_int (Bytes.get_int32_le hdr 4) land 0xFFFFFFFF in
+        if len <= 0 || len > max_record_bytes || remaining < frame_header_bytes + len then
+          stop := true
+        else begin
+          let payload = Bytes.create len in
+          let got = t.file.f_pread (!off + frame_header_bytes) payload 0 len in
+          if got < len || Storage.Codec.crc32 payload ~pos:0 ~len <> crc then stop := true
+          else begin
+            f (Storage.Codec.Reader.create payload);
+            incr count;
+            off := !off + frame_header_bytes + len
+          end
+        end
+      end
+    end
+  done;
+  t.st.Stats.n_replayed <- t.st.Stats.n_replayed + !count;
+  if !off < size then begin
+    (* Torn or corrupt tail: cut it off so new appends extend a
+       well-formed log instead of burying garbage mid-file. *)
+    t.st.Stats.n_dropped_bytes <- t.st.Stats.n_dropped_bytes + (size - !off);
+    t.file.f_truncate !off
+  end;
+  !count
+
+let maybe_sync t =
+  match t.pol with
+  | Never -> ()
+  | Always ->
+      t.file.f_sync ();
+      t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
+      t.unsynced <- 0
+  | Every_n n ->
+      if t.unsynced >= n then begin
+        t.file.f_sync ();
+        t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
+        t.unsynced <- 0
+      end
+
+let append t ?(pos = 0) ?len buf =
+  check_open t;
+  let len = match len with Some l -> l | None -> Bytes.length buf - pos in
+  if len <= 0 then invalid_arg "Wal.append: empty payload";
+  if len > max_record_bytes then invalid_arg "Wal.append: payload exceeds max_record_bytes";
+  if pos < 0 || pos + len > Bytes.length buf then invalid_arg "Wal.append: range outside buffer";
+  let frame = Bytes.create (frame_header_bytes + len) in
+  Bytes.set_int32_le frame 0 (Int32.of_int len);
+  Bytes.set_int32_le frame 4 (Int32.of_int (Storage.Codec.crc32 buf ~pos ~len));
+  Bytes.blit buf pos frame frame_header_bytes len;
+  t.appended <- true;
+  t.unsynced <- t.unsynced + 1;
+  (* One write for the whole frame: a crash tears at most this record. *)
+  t.file.f_append frame 0 (Bytes.length frame);
+  t.st.Stats.n_appends <- t.st.Stats.n_appends + 1;
+  t.st.Stats.n_bytes <- t.st.Stats.n_bytes + Bytes.length frame;
+  maybe_sync t
+
+let sync t =
+  check_open t;
+  t.file.f_sync ();
+  t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
+  t.unsynced <- 0
+
+let truncate t =
+  check_open t;
+  t.file.f_truncate header_bytes;
+  t.file.f_sync ();
+  t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
+  t.st.Stats.n_truncations <- t.st.Stats.n_truncations + 1;
+  t.unsynced <- 0
+
+let size t =
+  check_open t;
+  t.file.f_size ()
+
+let policy t = t.pol
+let stats t = t.st
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    t.file.f_close ()
+  end

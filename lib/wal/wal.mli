@@ -1,0 +1,155 @@
+(** Write-ahead log: the delta-durability primitive.
+
+    An append-only file of length-prefixed, CRC32-framed records.  The
+    engine logs every update here {e before} applying it to the MVSBT
+    pair, so the warehouse state is always recoverable as
+
+    {v latest checkpoint + replay of the log tail v}
+
+    Frame format (all integers little-endian):
+
+    {v
+    offset 0           16                                    EOF
+           +-----------+--[record]--[record]--....--[record]-+
+    header | magic  8B |
+           | version4B |      one record:
+           | crc32  4B |      +--------+---------+---------------+
+           +-----------+      | len 4B | crc 4B  | payload (len) |
+                              +--------+---------+---------------+
+    v}
+
+    The CRC covers the payload only; [len] is validated against a sanity
+    bound before any allocation.  {!replay} walks the records from the
+    start and stops {e cleanly} at the first torn or corrupt frame — a
+    crash mid-append loses at most the record being written, never the
+    prefix — then truncates the file back to the last valid record so
+    subsequent appends extend a well-formed log.
+
+    Sync policy controls when [fsync] is issued: [Never] (the OS decides,
+    fastest, loses recent tail on power failure), [Every_n n] (group
+    commit: one fsync per [n] appends), [Always] (classic WAL, one fsync
+    per record).
+
+    All I/O goes through a {!file} record of closures so the {!Faulty}
+    layer can inject short writes and crashes at arbitrary byte offsets —
+    that is what makes recovery testable. *)
+
+type sync_policy =
+  | Never  (** Let the OS write back whenever it likes. *)
+  | Every_n of int  (** Group commit: fsync once per [n] appends. *)
+  | Always  (** Fsync after every append. *)
+
+val pp_sync_policy : Format.formatter -> sync_policy -> unit
+
+exception Crashed
+(** Raised by a {!Faulty} file once its fault triggers; every later
+    operation on the crashed file raises it too (the process is "dead"). *)
+
+(** Counters in the style of {!Storage.Io_stats}: every log charges its
+    operations to a sink the caller can read, reset, and print. *)
+module Stats : sig
+  type t
+
+  val create : unit -> t
+
+  val appends : t -> int
+  (** Records appended over the log's lifetime. *)
+
+  val bytes : t -> int
+  (** Frame bytes appended (header and payload). *)
+
+  val fsyncs : t -> int
+
+  val replayed : t -> int
+  (** Records successfully replayed by {!Wal.replay}. *)
+
+  val dropped_bytes : t -> int
+  (** Bytes of torn or corrupt tail discarded by {!Wal.replay}. *)
+
+  val truncations : t -> int
+  (** Log resets: checkpoint truncations plus bad-header recoveries. *)
+
+  val reset : t -> unit
+  val pp : Format.formatter -> t -> unit
+end
+
+(** {1 The byte-level file layer} *)
+
+type file = {
+  f_append : bytes -> int -> int -> unit;
+      (** [f_append buf pos len] appends bytes at the end of the file.
+          May raise {!Crashed} after writing a prefix (torn write). *)
+  f_pread : int -> bytes -> int -> int -> int;
+      (** [f_pread off buf pos len] reads up to [len] bytes at absolute
+          offset [off]; returns the number read (0 at EOF). *)
+  f_size : unit -> int;
+  f_sync : unit -> unit;
+  f_truncate : int -> unit;
+  f_close : unit -> unit;
+}
+
+val os_file : path:string -> file
+(** The real thing: [open(2)] with [O_RDWR|O_CREAT] (no truncation),
+    [fsync] for [f_sync]. *)
+
+(** Fault injection: wrap a {!file} so that after a byte budget is
+    exhausted the write in flight is cut short at exactly that boundary
+    and {!Crashed} is raised — simulating a kill at an arbitrary byte
+    offset of the log.  All subsequent operations raise {!Crashed}. *)
+module Faulty : sig
+  type handle
+
+  val wrap : fail_after:int -> file -> handle * file
+  (** [wrap ~fail_after f] crashes once [fail_after] more bytes have been
+      appended through the wrapper.  Reads are unaffected until the crash
+      (recovery reopens the {e underlying} file, as a restarted process
+      would). *)
+
+  val crashed : handle -> bool
+  val written : handle -> int
+  (** Bytes that reached the underlying file before (or at) the crash. *)
+end
+
+(** {1 The log} *)
+
+type t
+
+val open_log : ?policy:sync_policy -> ?stats:Stats.t -> file -> t
+(** Open a log over [file].  An empty file gets a fresh header; a valid
+    header is accepted in place (the tail is then available to
+    {!replay}); a torn or foreign header resets the log to empty — a
+    garbage log recovers as a clean empty one, by design.  [policy]
+    defaults to [Every_n 32]. *)
+
+val open_path : ?policy:sync_policy -> ?stats:Stats.t -> string -> t
+(** [open_log] over [os_file]. *)
+
+val replay : t -> (Storage.Codec.Reader.t -> unit) -> int
+(** Walk every valid record from the start, calling back with a reader
+    positioned at the payload.  Stops at the first torn or corrupt frame
+    and truncates the log there.  Returns the number of records replayed.
+    Must be called before the first {!append} (the log tracks this).
+    @raise Invalid_argument if records were already appended. *)
+
+val append : t -> ?pos:int -> ?len:int -> bytes -> unit
+(** Frame and append one record, then apply the sync policy.  [pos]/[len]
+    default to the whole buffer.
+    @raise Invalid_argument on an empty or oversized payload. *)
+
+val sync : t -> unit
+(** Force an [fsync] now, regardless of policy. *)
+
+val truncate : t -> unit
+(** Reset the log to just its header (checkpoint took over the prefix)
+    and fsync, so the truncation itself is durable. *)
+
+val size : t -> int
+(** Current file size in bytes, header included. *)
+
+val policy : t -> sync_policy
+val stats : t -> Stats.t
+val close : t -> unit
+
+val max_record_bytes : int
+(** Sanity bound on one payload; {!replay} treats larger length prefixes
+    as corruption. *)

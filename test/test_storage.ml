@@ -197,11 +197,64 @@ let test_file_store () =
   (* Overwrite in place. *)
   File_store.write s (List.nth ids 3) "overwritten";
   Alcotest.(check string) "overwrite" "overwritten" (File_store.read s (List.nth ids 3));
-  Alcotest.(check int) "file size" (10 * 64) (File_store.file_size_bytes s);
+  Alcotest.(check int) "file size (header + 10 pages)" (11 * 64)
+    (File_store.file_size_bytes s);
   File_store.free s (List.nth ids 0);
   Alcotest.check_raises "read freed" Not_found (fun () ->
       ignore (File_store.read s (List.nth ids 0)));
   File_store.close s;
+  Sys.remove path
+
+let test_crc32 () =
+  (* Known-answer vectors for CRC-32/IEEE (the zlib/PNG polynomial). *)
+  Alcotest.(check int) "empty" 0 (Storage.Codec.crc32_string "");
+  Alcotest.(check int) "check string" 0xCBF43926 (Storage.Codec.crc32_string "123456789");
+  Alcotest.(check int) "fox" 0x414FA339
+    (Storage.Codec.crc32_string "The quick brown fox jumps over the lazy dog");
+  (* Incremental update equals one-shot over the concatenation. *)
+  let b = Bytes.of_string "123456789" in
+  let partial = Storage.Codec.crc32 b ~pos:0 ~len:4 in
+  Alcotest.(check int) "incremental" 0xCBF43926
+    (Storage.Codec.crc32_update partial b ~pos:4 ~len:5);
+  Alcotest.(check int) "slice" (Storage.Codec.crc32_string "345")
+    (Storage.Codec.crc32 b ~pos:2 ~len:3)
+
+let test_file_store_reopen () =
+  let path = Filename.temp_file "mvsbt_store" ".pages" in
+  let s = File_store.create ~page_size:64 ~path () in
+  let ids = List.init 5 (fun _ -> File_store.alloc s) in
+  List.iteri (fun i id -> File_store.write s id (Printf.sprintf "page-%d" i)) ids;
+  File_store.sync s;
+  Alcotest.(check int) "sync counted" 1 (Storage.Io_stats.syncs (File_store.stats s));
+  File_store.close s;
+  (* Reopen must not truncate: all five pages survive and ids continue. *)
+  let s = File_store.create ~page_size:64 ~mode:`Reopen ~path () in
+  Alcotest.(check int) "live after reopen" 5 (File_store.live_pages s);
+  List.iteri
+    (fun i id ->
+      Alcotest.(check string) (Printf.sprintf "reopen roundtrip %d" i)
+        (Printf.sprintf "page-%d" i)
+        (File_store.read s id))
+    ids;
+  let fresh = File_store.alloc s in
+  Alcotest.(check int) "ids continue" 5 (Storage.Page_id.to_int fresh);
+  File_store.write s fresh "page-5";
+  Alcotest.(check string) "write after reopen" "page-5" (File_store.read s fresh);
+  File_store.close s;
+  (* Geometry mismatch and garbage headers are detected, not decoded. *)
+  Alcotest.(check bool) "page size mismatch rejected" true
+    (try
+       ignore (File_store.create ~page_size:128 ~mode:`Reopen ~path ());
+       false
+     with Failure _ -> true);
+  let oc = open_out_bin path in
+  output_string oc "this is not a page file at all";
+  close_out oc;
+  Alcotest.(check bool) "garbage rejected" true
+    (try
+       ignore (File_store.create ~page_size:64 ~mode:`Reopen ~path ());
+       false
+     with Failure _ -> true);
   Sys.remove path
 
 let test_cost_model () =
@@ -229,6 +282,7 @@ let () =
           Alcotest.test_case "io stats" `Quick test_io_stats;
           Alcotest.test_case "mem store" `Quick test_mem_store;
           Alcotest.test_case "file store" `Quick test_file_store;
+          Alcotest.test_case "file store reopen" `Quick test_file_store_reopen;
           Alcotest.test_case "cost model" `Quick test_cost_model;
         ] );
       ( "lru",
@@ -246,5 +300,6 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
           Alcotest.test_case "overflow" `Quick test_codec_overflow;
+          Alcotest.test_case "crc32" `Quick test_crc32;
         ] );
     ]

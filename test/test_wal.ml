@@ -1,0 +1,396 @@
+(* Tests for the durability layer: WAL framing and replay, torn/corrupt
+   tail handling, fault injection, the Durable engine's checkpoint
+   lifecycle, and crash recovery checked against the reference oracle. *)
+
+let temp_prefix () =
+  let p = Filename.temp_file "mvsbt_wal" "" in
+  Sys.remove p;
+  p
+
+let cleanup prefix =
+  List.iter
+    (fun ext ->
+      let f = prefix ^ ext in
+      if Sys.file_exists f then Sys.remove f)
+    [ ".wal"; ".ckpt.lkst"; ".ckpt.lklt"; ".ckpt.meta"; ".ckpt-tmp.lkst";
+      ".ckpt-tmp.lklt"; ".ckpt-tmp.meta" ]
+
+let payload s = Bytes.of_string s
+
+let replay_strings wal =
+  let acc = ref [] in
+  let n =
+    Wal.replay wal (fun rd ->
+        let buf = Buffer.create 8 in
+        (try
+           while true do
+             Buffer.add_char buf (Char.chr (Storage.Codec.Reader.u8 rd))
+           done
+         with Storage.Codec.Overflow _ -> ());
+        acc := Buffer.contents buf :: !acc)
+  in
+  (n, List.rev !acc)
+
+(* --- WAL framing -------------------------------------------------------------- *)
+
+let test_wal_roundtrip () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let wal = Wal.open_path ~policy:Wal.Always path in
+  Alcotest.(check int) "empty log replays nothing" 0 (Wal.replay wal (fun _ -> ()));
+  List.iter (fun s -> Wal.append wal (payload s)) [ "alpha"; "bravo"; "charlie" ];
+  let st = Wal.stats wal in
+  Alcotest.(check int) "appends" 3 (Wal.Stats.appends st);
+  Alcotest.(check int) "fsyncs under Always" 3 (Wal.Stats.fsyncs st);
+  Wal.close wal;
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "replayed" 3 n;
+  Alcotest.(check (list string)) "payloads" [ "alpha"; "bravo"; "charlie" ] got;
+  (* Appending after replay extends the same log. *)
+  Wal.append wal (payload "delta");
+  Wal.close wal;
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "replayed after extend" 4 n;
+  Alcotest.(check (list string)) "extended" [ "alpha"; "bravo"; "charlie"; "delta" ] got;
+  Wal.close wal;
+  cleanup prefix
+
+let test_wal_group_commit () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let wal = Wal.open_path ~policy:(Wal.Every_n 4) path in
+  for i = 1 to 10 do
+    Wal.append wal (payload (string_of_int i))
+  done;
+  Alcotest.(check int) "two group commits for 10 appends" 2
+    (Wal.Stats.fsyncs (Wal.stats wal));
+  Wal.close wal;
+  let wal = Wal.open_path ~policy:Wal.Never path in
+  ignore (Wal.replay wal (fun _ -> ()));
+  Wal.append wal (payload "x");
+  Alcotest.(check int) "Never policy: no fsync" 0 (Wal.Stats.fsyncs (Wal.stats wal));
+  Wal.close wal;
+  cleanup prefix
+
+let append_raw path bytes =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_bytes oc bytes;
+  close_out oc
+
+let test_wal_torn_tail () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let wal = Wal.open_path path in
+  List.iter (fun s -> Wal.append wal (payload s)) [ "one"; "two" ];
+  Wal.close wal;
+  (* A torn append: a frame header promising 100 bytes, then silence. *)
+  let torn = Bytes.create 11 in
+  Bytes.set_int32_le torn 0 100l;
+  append_raw path torn;
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "torn tail dropped" 2 n;
+  Alcotest.(check (list string)) "prefix intact" [ "one"; "two" ] got;
+  Alcotest.(check bool) "tail bytes counted" true
+    (Wal.Stats.dropped_bytes (Wal.stats wal) = 11);
+  (* The log was truncated back to the valid prefix: extending works. *)
+  Wal.append wal (payload "three");
+  Wal.close wal;
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "extended after truncation" 3 n;
+  Alcotest.(check (list string)) "no garbage revived" [ "one"; "two"; "three" ] got;
+  Wal.close wal;
+  cleanup prefix
+
+let test_wal_corrupt_record () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let wal = Wal.open_path path in
+  List.iter (fun s -> Wal.append wal (payload s)) [ "aaaa"; "bbbb"; "cccc" ];
+  let size = Wal.size wal in
+  Wal.close wal;
+  (* Flip one payload byte of the middle record. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let mid_payload_off = size - (2 * (8 + 4)) + 8 in
+  ignore (Unix.lseek fd mid_payload_off Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1);
+  Unix.close fd;
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "stops at corrupt record" 1 n;
+  Alcotest.(check (list string)) "only the intact prefix" [ "aaaa" ] got;
+  Wal.close wal;
+  cleanup prefix
+
+let test_wal_garbage_header () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let oc = open_out_bin path in
+  output_string oc "certainly not a write-ahead log";
+  close_out oc;
+  let wal = Wal.open_path path in
+  Alcotest.(check int) "garbage log resets to empty" 0 (Wal.replay wal (fun _ -> ()));
+  Alcotest.(check int) "reset counted" 1 (Wal.Stats.truncations (Wal.stats wal));
+  Wal.append wal (payload "fresh");
+  Wal.close wal;
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "usable after reset" 1 n;
+  Alcotest.(check (list string)) "fresh record" [ "fresh" ] got;
+  Wal.close wal;
+  cleanup prefix
+
+let test_faulty_crash () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  (* Header is 16 bytes; allow it plus one full frame (8 + 5) plus 3 bytes
+     of the next frame: the second append must tear. *)
+  let h, file = Wal.Faulty.wrap ~fail_after:(16 + 13 + 3) (Wal.os_file ~path) in
+  let wal = Wal.open_log ~policy:Wal.Never file in
+  Wal.append wal (payload "hello");
+  Alcotest.(check bool) "alive before budget" false (Wal.Faulty.crashed h);
+  Alcotest.check_raises "crash mid-append" Wal.Crashed (fun () ->
+      Wal.append wal (payload "world"));
+  Alcotest.(check bool) "crashed" true (Wal.Faulty.crashed h);
+  Alcotest.(check int) "exact bytes reached the file" (16 + 13 + 3) (Wal.Faulty.written h);
+  Alcotest.check_raises "dead after crash" Wal.Crashed (fun () ->
+      Wal.append wal (payload "zombie"));
+  (* A restarted process reopens the underlying file and sees the torn
+     tail dropped. *)
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "recovered prefix" 1 n;
+  Alcotest.(check (list string)) "payload survives" [ "hello" ] got;
+  Wal.close wal;
+  cleanup prefix
+
+(* --- Durable engine ----------------------------------------------------------- *)
+
+let max_key = 1000
+
+let random_events ~n ~seed =
+  let spec : Workload.Generator.spec =
+    {
+      n_records = n;
+      n_keys = max 4 (n / 4);
+      max_key;
+      max_time = 50_000;
+      key_distribution = Workload.Generator.Uniform;
+      interval_style = Workload.Generator.Short_lived;
+      value_bound = 500;
+      version_skew = 0.;
+      seed;
+    }
+  in
+  Workload.Generator.events spec
+
+let feed_reference events n =
+  let oracle = Reference.Warehouse.create () in
+  List.iteri
+    (fun i ev ->
+      if i < n then
+        match ev with
+        | Workload.Generator.Insert { key; value; at } ->
+            Reference.Warehouse.insert oracle ~key ~value ~at
+        | Workload.Generator.Delete { key; at } -> Reference.Warehouse.delete oracle ~key ~at)
+    events;
+  oracle
+
+let check_against_oracle ~what rta oracle =
+  let rng = Workload.Rng.create ~seed:4242 in
+  for i = 1 to 40 do
+    let r =
+      Workload.Query_gen.rectangle rng ~max_key ~max_time:50_000 ~qrs:0.05 ~r_over_i:1.0
+    in
+    let sum, count = Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
+    let esum = Reference.Warehouse.rta_sum oracle ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi in
+    let ecount =
+      Reference.Warehouse.rta_count oracle ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi
+    in
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "%s: rectangle %d" what i)
+      (esum, ecount) (sum, count)
+  done
+
+let test_durable_checkpoint_lifecycle () =
+  let prefix = temp_prefix () in
+  let events = random_events ~n:300 ~seed:7 in
+  let n_total = List.length events in
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  let applied = ref 0 in
+  List.iteri
+    (fun i ev ->
+      (match ev with
+      | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
+      | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at);
+      incr applied;
+      (* A manual checkpoint a third of the way in. *)
+      if i = n_total / 3 then Durable.checkpoint wh)
+    events;
+  Alcotest.(check int) "one checkpoint" 1 (Durable.checkpoints wh);
+  Alcotest.(check int) "post-checkpoint updates pending" (n_total - (n_total / 3) - 1)
+    (Durable.updates_since_checkpoint wh);
+  Durable.close wh;
+  (* Reopen: checkpoint + replay of the tail must equal the full history. *)
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Alcotest.(check int) "tail replayed" (n_total - (n_total / 3) - 1)
+    (Durable.replayed_on_open wh);
+  Alcotest.(check int) "every update recovered" n_total (Rta.n_updates (Durable.warehouse wh));
+  check_against_oracle ~what:"checkpoint+tail" (Durable.warehouse wh)
+    (feed_reference events n_total);
+  (* Checkpoint now, reopen again: nothing left to replay. *)
+  Durable.checkpoint wh;
+  Durable.close wh;
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Alcotest.(check int) "log empty after checkpoint" 0 (Durable.replayed_on_open wh);
+  Alcotest.(check int) "state intact" n_total (Rta.n_updates (Durable.warehouse wh));
+  Durable.close wh;
+  cleanup prefix
+
+let test_durable_auto_checkpoint () =
+  let prefix = temp_prefix () in
+  let events = random_events ~n:200 ~seed:11 in
+  let wh = Durable.open_ ~checkpoint_every:50 ~max_key ~path:prefix () in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
+      | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at)
+    events;
+  let n_total = List.length events in
+  Alcotest.(check int) "auto checkpoints fired" (n_total / 50) (Durable.checkpoints wh);
+  Alcotest.(check bool) "log stays short" true (Durable.updates_since_checkpoint wh < 50);
+  Durable.close wh;
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  check_against_oracle ~what:"auto-checkpoint" (Durable.warehouse wh)
+    (feed_reference events n_total);
+  Durable.close wh;
+  cleanup prefix
+
+let test_durable_empty_and_garbage_log () =
+  (* A fresh path: clean empty warehouse. *)
+  let prefix = temp_prefix () in
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Alcotest.(check int) "fresh: no updates" 0 (Rta.n_updates (Durable.warehouse wh));
+  Alcotest.(check int) "fresh: nothing replayed" 0 (Durable.replayed_on_open wh);
+  Durable.close wh;
+  cleanup prefix;
+  (* A garbage .wal and no checkpoint: still a clean empty warehouse. *)
+  let prefix = temp_prefix () in
+  let oc = open_out_bin (prefix ^ ".wal") in
+  output_string oc (String.init 100 (fun i -> Char.chr (i * 37 mod 256)));
+  close_out oc;
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Alcotest.(check int) "garbage log: empty warehouse" 0 (Rta.n_updates (Durable.warehouse wh));
+  Alcotest.(check (pair int int)) "garbage log: zero aggregate" (0, 0)
+    (Durable.sum_count wh ~klo:0 ~khi:max_key ~tlo:0 ~thi:50_000);
+  Durable.close wh;
+  cleanup prefix;
+  (* A truncated-mid-record log: the valid prefix is recovered. *)
+  let prefix = temp_prefix () in
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Durable.insert wh ~key:1 ~value:10 ~at:1;
+  Durable.insert wh ~key:2 ~value:20 ~at:2;
+  Durable.close wh;
+  let full = (Unix.stat (prefix ^ ".wal")).Unix.st_size in
+  let fd = Unix.openfile (prefix ^ ".wal") [ Unix.O_RDWR ] 0o644 in
+  Unix.ftruncate fd (full - 5);
+  Unix.close fd;
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Alcotest.(check int) "truncated log: prefix recovered" 1
+    (Rta.n_updates (Durable.warehouse wh));
+  Alcotest.(check bool) "first tuple alive" true
+    (Rta.is_alive (Durable.warehouse wh) ~key:1);
+  Alcotest.(check bool) "second tuple lost with the torn tail" false
+    (Rta.is_alive (Durable.warehouse wh) ~key:2);
+  Durable.close wh;
+  cleanup prefix
+
+(* Crash the WAL at a byte offset, recover, audit the applied prefix
+   against the oracle.  This is the acceptance criterion of the PR. *)
+let crash_and_recover ~events ~checkpoint_every ~fail_after =
+  let prefix = temp_prefix () in
+  let handle = ref None in
+  let wal_wrap file =
+    let h, f = Wal.Faulty.wrap ~fail_after file in
+    handle := Some h;
+    f
+  in
+  (try
+     let wh =
+       Durable.open_ ~checkpoint_every ~sync_policy:(Wal.Every_n 8) ~wal_wrap ~max_key
+         ~path:prefix ()
+     in
+     List.iter
+       (fun ev ->
+         match ev with
+         | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
+         | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at)
+       events
+     (* Budget large enough for the whole stream: no crash this run. *)
+   with Wal.Crashed -> ());
+  (* The "restarted process": reopen without faults and recover. *)
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  let rta = Durable.warehouse wh in
+  let n_applied = Rta.n_updates rta in
+  Alcotest.(check bool)
+    (Printf.sprintf "recovered a prefix (fail_after=%d)" fail_after)
+    true
+    (n_applied >= 0 && n_applied <= List.length events);
+  check_against_oracle
+    ~what:(Printf.sprintf "crash at byte %d (ckpt_every=%d)" fail_after checkpoint_every)
+    rta
+    (feed_reference events n_applied);
+  Rta.check_invariants rta;
+  Durable.close wh;
+  cleanup prefix;
+  n_applied
+
+let prop_crash_recovery =
+  QCheck.Test.make ~name:"crash at random byte offset, recover, match oracle" ~count:25
+    QCheck.(pair (int_range 0 6000) (int_range 0 2))
+    (fun (fail_after, ckpt_sel) ->
+      let events = random_events ~n:120 ~seed:(31 + ckpt_sel) in
+      let checkpoint_every = [| 0; 40; 75 |].(ckpt_sel) in
+      let n = crash_and_recover ~events ~checkpoint_every ~fail_after in
+      n >= 0 && n <= List.length events)
+
+let test_crash_recovery_fixed_offsets () =
+  let events = random_events ~n:150 ~seed:23 in
+  let full = crash_and_recover ~events ~checkpoint_every:0 ~fail_after:max_int in
+  Alcotest.(check int) "fault-free run applies everything" (List.length events) full;
+  (* Crash inside the header, at frame boundaries, and mid-record. *)
+  List.iter
+    (fun fail_after ->
+      ignore (crash_and_recover ~events ~checkpoint_every:0 ~fail_after);
+      ignore (crash_and_recover ~events ~checkpoint_every:50 ~fail_after))
+    [ 0; 1; 15; 16; 17; 16 + 8 + 33; 500; 1000; 2500 ]
+
+let () =
+  Alcotest.run "wal"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "group commit" `Quick test_wal_group_commit;
+          Alcotest.test_case "torn tail" `Quick test_wal_torn_tail;
+          Alcotest.test_case "corrupt record" `Quick test_wal_corrupt_record;
+          Alcotest.test_case "garbage header" `Quick test_wal_garbage_header;
+          Alcotest.test_case "fault injection" `Quick test_faulty_crash;
+        ] );
+      ( "durable-engine",
+        [
+          Alcotest.test_case "checkpoint lifecycle" `Quick test_durable_checkpoint_lifecycle;
+          Alcotest.test_case "auto checkpoint" `Quick test_durable_auto_checkpoint;
+          Alcotest.test_case "empty/garbage/truncated logs" `Quick
+            test_durable_empty_and_garbage_log;
+        ] );
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "fixed offsets" `Quick test_crash_recovery_fixed_offsets;
+          QCheck_alcotest.to_alcotest prop_crash_recovery;
+        ] );
+    ]
