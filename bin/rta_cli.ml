@@ -142,8 +142,8 @@ let checkpoint_every_term =
   Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc)
 
 let wal_doc =
-  "Durable-engine path prefix: the log lives at PREFIX.wal, checkpoints at \
-   PREFIX.ckpt.{lkst,lklt,meta}."
+  "Durable-engine path prefix: the log lives at PREFIX.wal, the committed checkpoint \
+   pointer at PREFIX.ckpt, and snapshot files at PREFIX.ckpt-<gen>.{lkst,lklt,meta}."
 
 let wal_opt_term =
   Arg.(value & opt (some string) None & info [ "wal" ] ~doc:wal_doc ~docv:"PREFIX")
@@ -406,7 +406,7 @@ let checkpoint_impl verbosity max_key buffer wal sync_policy =
   let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
   Printf.printf "recovered: %d WAL records replayed on open\n" (Durable.replayed_on_open eng);
   Durable.checkpoint eng;
-  Printf.printf "checkpoint written under %s.ckpt.{lkst,lklt,meta}; log truncated\n" wal;
+  Printf.printf "checkpoint committed under %s.ckpt-<gen>.{lkst,lklt,meta}; log truncated\n" wal;
   report_durable eng;
   Durable.close eng
 
@@ -426,7 +426,7 @@ let recover_impl verbosity max_key buffer wal sync_policy rect_opt =
   let rta = Durable.warehouse eng in
   Printf.printf "recovered %s: checkpoint %s, %d WAL records replayed, %d torn bytes dropped\n"
     wal
-    (if Sys.file_exists (wal ^ ".ckpt.meta") then "loaded" else "absent")
+    (if Sys.file_exists (wal ^ ".ckpt") then "loaded" else "absent")
     (Durable.replayed_on_open eng)
     (Wal.Stats.dropped_bytes wal_stats);
   Rta.check_invariants rta;

@@ -50,7 +50,7 @@ let () =
     (snd eod1);
   Durable.checkpoint eng;
   Durable.close eng;
-  Printf.printf "Checkpoint written to %s.ckpt.{lkst,lklt,meta}; log truncated.\n\n" prefix;
+  Printf.printf "Checkpoint committed via pointer %s.ckpt; log truncated.\n\n" prefix;
 
   (* The audit oracle: an in-memory twin that never crashes. *)
   let twin = Rta.create ~max_key:spec.max_key () in

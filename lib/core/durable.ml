@@ -3,6 +3,7 @@ type t = {
   wal : Wal.t;
   path : string;
   checkpoint_every : int;
+  mutable ckpt_gen : int; (* generation named by the committed pointer *)
   mutable since_ckpt : int;
   mutable n_ckpts : int;
   n_replayed : int;
@@ -37,12 +38,100 @@ let encode_delete ~seq ~key ~at =
 
 (* --- Checkpoint files --------------------------------------------------------- *)
 
-let ckpt_prefix path = path ^ ".ckpt"
-let ckpt_tmp_prefix path = path ^ ".ckpt-tmp"
+(* A checkpoint is three snapshot files under a generation-stamped prefix
+   ([p.ckpt-<gen>.lkst/.lklt/.meta]) plus one small CRC-framed pointer
+   file [p.ckpt] naming the committed generation.  The snapshot files and
+   the directory are fsynced {e before} the pointer is atomically renamed
+   into place, so the pointer never names files that could be lost or
+   half-written; the rename is the single commit point — there is no
+   window in which load could see snapshot files from two different
+   checkpoints.  Only after the pointer (and the directory entry for it)
+   is durable may the WAL be truncated. *)
+
+let ptr_path path = path ^ ".ckpt"
+let ptr_magic = "RTA-CKPT-PTR-1"
+let gen_prefix path gen = Printf.sprintf "%s.ckpt-%d" path gen
 let snapshot_exts = [ ".lkst"; ".lklt"; ".meta" ]
 let wal_path path = path ^ ".wal"
 
-let checkpoint_exists path = Sys.file_exists (ckpt_prefix path ^ ".meta")
+let fsync_path p =
+  let fd = Unix.openfile p [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+
+let fsync_dir_of p =
+  let dir = Filename.dirname p in
+  let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+
+let write_pointer path gen =
+  let w = Storage.Codec.Writer.create (String.length ptr_magic + 8 + 4) in
+  String.iter (fun ch -> Storage.Codec.Writer.u8 w (Char.code ch)) ptr_magic;
+  Storage.Codec.Writer.i64 w gen;
+  let len = Storage.Codec.Writer.pos w in
+  let buf = Storage.Codec.Writer.contents w in
+  (* Unsigned 32-bit CRC: splice raw rather than through Writer.i32. *)
+  Bytes.set_int32_le buf len (Int32.of_int (Storage.Codec.crc32 buf ~pos:0 ~len));
+  let out_len = len + 4 in
+  let tmp = ptr_path path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let rec loop off =
+        if off < out_len then loop (off + Unix.write fd buf off (out_len - off))
+      in
+      loop 0;
+      Unix.fsync fd);
+  Sys.rename tmp (ptr_path path);
+  fsync_dir_of path
+
+(* [None] when no checkpoint was ever committed; a present-but-corrupt
+   pointer fails loudly rather than silently recovering from an empty
+   state (the WAL alone no longer holds the full history). *)
+let read_pointer path =
+  let file = ptr_path path in
+  if not (Sys.file_exists file) then None
+  else begin
+    let ic = open_in_bin file in
+    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+    let size = in_channel_length ic in
+    let expect = String.length ptr_magic + 8 + 4 in
+    if size <> expect then failwith "Durable: corrupt checkpoint pointer (bad size)";
+    let buf = Bytes.create size in
+    really_input ic buf 0 size;
+    let crc = Int32.to_int (Bytes.get_int32_le buf (size - 4)) land 0xFFFFFFFF in
+    if Storage.Codec.crc32 buf ~pos:0 ~len:(size - 4) <> crc then
+      failwith "Durable: corrupt checkpoint pointer (checksum mismatch)";
+    let rd = Storage.Codec.Reader.create buf in
+    let magic =
+      String.init (String.length ptr_magic) (fun _ -> Char.chr (Storage.Codec.Reader.u8 rd))
+    in
+    if magic <> ptr_magic then failwith "Durable: corrupt checkpoint pointer (bad magic)";
+    Some (Storage.Codec.Reader.i64 rd)
+  end
+
+(* Snapshot files of any generation other than the committed one are
+   leftovers of a checkpoint that crashed before (or was superseded
+   after) its pointer swap. *)
+let remove_stale_generations path ~keep =
+  let dir = Filename.dirname path in
+  let base = Filename.basename path ^ ".ckpt-" in
+  Array.iter
+    (fun name ->
+      if String.length name > String.length base
+         && String.sub name 0 (String.length base) = base then begin
+        let rest = String.sub name (String.length base) (String.length name - String.length base) in
+        match String.index_opt rest '.' with
+        | Some dot ->
+            (match int_of_string_opt (String.sub rest 0 dot) with
+            | Some gen when gen <> keep ->
+                (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+            | _ -> ())
+        | None -> ()
+      end)
+    (try Sys.readdir dir with Sys_error _ -> [||]);
+  let tmp = ptr_path path ^ ".tmp" in
+  if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ()
 
 (* --- Recovery ----------------------------------------------------------------- *)
 
@@ -66,38 +155,51 @@ let apply_record rta rd =
 
 let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
     ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f) ~max_key ~path () =
-  let rta =
-    if checkpoint_exists path then begin
-      let rta = Rta.load ?pool_capacity ?stats ~path:(ckpt_prefix path) () in
-      if Rta.max_key rta <> max_key then
-        failwith
-          (Printf.sprintf "Durable.open_: checkpoint has max_key %d, asked for %d"
-             (Rta.max_key rta) max_key);
-      rta
-    end
-    else Rta.create ?config ?pool_capacity ?stats ~max_key ()
+  let ckpt_gen, rta =
+    match read_pointer path with
+    | Some gen ->
+        let rta = Rta.load ?pool_capacity ?stats ~path:(gen_prefix path gen) () in
+        if Rta.max_key rta <> max_key then
+          failwith
+            (Printf.sprintf "Durable.open_: checkpoint has max_key %d, asked for %d"
+               (Rta.max_key rta) max_key);
+        (gen, rta)
+    | None -> (0, Rta.create ?config ?pool_capacity ?stats ~max_key ())
   in
+  (* Snapshot files of a checkpoint that crashed before its commit point
+     are dead weight; clear them so they cannot be confused with state. *)
+  remove_stale_generations path ~keep:ckpt_gen;
   let wal =
     Wal.open_log ~policy:sync_policy ?stats:wal_stats (wal_wrap (Wal.os_file ~path:(wal_path path)))
   in
   let n_replayed = Wal.replay wal (apply_record rta) in
   (* Replayed records are exactly the updates the last checkpoint missed,
      so they count toward the next automatic checkpoint. *)
-  { rta; wal; path; checkpoint_every; since_ckpt = n_replayed; n_ckpts = 0; n_replayed }
+  { rta; wal; path; checkpoint_every; ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0;
+    n_replayed }
 
 (* --- Checkpointing ------------------------------------------------------------ *)
 
 let checkpoint t =
-  let tmp = ckpt_tmp_prefix t.path and final = ckpt_prefix t.path in
-  Rta.save t.rta ~path:tmp;
-  (* Rename data files first, the meta file last: its presence is the
-     commit point checkpoint_exists keys off, so a crash anywhere in this
-     sequence leaves either the old checkpoint or the new one — never a
-     half-visible mix that load would trust. *)
-  List.iter (fun ext -> Sys.rename (tmp ^ ext) (final ^ ext)) snapshot_exts;
+  let gen = t.ckpt_gen + 1 in
+  let prefix = gen_prefix t.path gen in
+  Rta.save t.rta ~path:prefix;
+  (* The snapshot is written through buffered channels; force it (and the
+     new directory entries) to the platter before the pointer can name
+     it, and the pointer before the WAL — the log records may only be
+     discarded once the state they rebuild is durable without them. *)
+  List.iter (fun ext -> fsync_path (prefix ^ ext)) snapshot_exts;
+  fsync_dir_of t.path;
+  write_pointer t.path gen;
   Wal.truncate t.wal;
+  let old = t.ckpt_gen in
+  t.ckpt_gen <- gen;
   t.since_ckpt <- 0;
-  t.n_ckpts <- t.n_ckpts + 1
+  t.n_ckpts <- t.n_ckpts + 1;
+  if old > 0 then
+    List.iter
+      (fun ext -> try Sys.remove (gen_prefix t.path old ^ ext) with Sys_error _ -> ())
+      snapshot_exts
 
 let maybe_auto_checkpoint t =
   if t.checkpoint_every > 0 && t.since_ckpt >= t.checkpoint_every then checkpoint t

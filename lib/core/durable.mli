@@ -18,9 +18,15 @@
 
     On-disk layout under a path prefix [p]:
     - [p.wal] — the log;
-    - [p.ckpt.lkst], [p.ckpt.lklt], [p.ckpt.meta] — the latest checkpoint
-      (written to temporary names first, with [p.ckpt.meta] renamed last
-      as the commit point).
+    - [p.ckpt-<gen>.lkst], [p.ckpt-<gen>.lklt], [p.ckpt-<gen>.meta] — the
+      snapshot files of checkpoint generation [<gen>];
+    - [p.ckpt] — a small CRC-framed pointer naming the committed
+      generation.  The snapshot files and the directory are fsynced
+      before the pointer is atomically renamed into place (the single
+      commit point), and the WAL is truncated only after that — so a
+      crash at any step leaves either the old checkpoint or the new one,
+      never a mix, and never discards log records whose effects are not
+      yet durable.
 
     Mutate the warehouse only through this module; going behind its back
     via {!Rta.insert} on {!warehouse} would leave updates unlogged. *)

@@ -705,6 +705,120 @@ module Make (G : Aggregate.Group.S) = struct
 
     let min_page_size cfg = RC.page_header_bytes + (cfg.b * RC.record_bytes)
 
+    (* The page file holds only pages; the handle state (configuration,
+       clock, current root, root* directory) lives in a CRC-framed meta
+       sidecar rewritten atomically on every flush — flush order is pages,
+       fsync, then meta, so the meta never points at pages that have not
+       reached the disk.  [reopen] restores the state of the last flush. *)
+    let meta_magic = "MVSBT-DURMETA-1!"
+
+    let meta_path path = path ^ ".meta"
+
+    let write_file_atomic ~path buf ~len =
+      let tmp = path ^ ".tmp" in
+      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let rec loop off =
+            if off < len then loop (off + Unix.write fd buf off (len - off))
+          in
+          loop 0;
+          Unix.fsync fd);
+      Sys.rename tmp path
+
+    let write_meta t ~path =
+      let tenures = Root_star.tenures t.root_star in
+      let cap = String.length meta_magic + 128 + (List.length tenures * 16) + 4 in
+      let w = Storage.Codec.Writer.create cap in
+      String.iter (fun ch -> Storage.Codec.Writer.u8 w (Char.code ch)) meta_magic;
+      Storage.Codec.Writer.i32 w t.cfg.b;
+      Storage.Codec.Writer.i64 w (Int64.to_int (Int64.bits_of_float t.cfg.f));
+      Storage.Codec.Writer.u8 w (match t.cfg.variant with Plain -> 0 | Logical -> 1);
+      Storage.Codec.Writer.bool w t.cfg.merging;
+      Storage.Codec.Writer.bool w t.cfg.disposal;
+      Storage.Codec.Writer.bool w t.cfg.root_star_btree;
+      Storage.Codec.Writer.i64 w t.key_space;
+      Storage.Codec.Writer.i64 w t.now_;
+      Storage.Codec.Writer.i64 w (Storage.Page_id.to_int t.cur_root);
+      Storage.Codec.Writer.i32 w t.height;
+      Storage.Codec.Writer.i32 w (List.length tenures);
+      List.iter
+        (fun (iv, pid) ->
+          Storage.Codec.Writer.i64 w iv.Interval.lo;
+          Storage.Codec.Writer.i64 w (Storage.Page_id.to_int pid))
+        tenures;
+      let len = Storage.Codec.Writer.pos w in
+      let buf = Storage.Codec.Writer.contents w in
+      (* The CRC is unsigned 32-bit; Writer.i32 would reject the top half
+         of its range, so splice it in raw. *)
+      Bytes.set_int32_le buf len (Int32.of_int (Storage.Codec.crc32 buf ~pos:0 ~len));
+      write_file_atomic ~path:(meta_path path) buf ~len:(len + 4)
+
+    let read_meta ~path =
+      let file = meta_path path in
+      if not (Sys.file_exists file) then
+        failwith
+          (Printf.sprintf "Mvsbt.Durable.reopen: no meta sidecar %s (never flushed?)" file);
+      let ic = open_in_bin file in
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      let size = in_channel_length ic in
+      let buf = Bytes.create size in
+      really_input ic buf 0 size;
+      if size < String.length meta_magic + 4 then
+        failwith "Mvsbt.Durable.reopen: truncated meta sidecar";
+      let crc = Int32.to_int (Bytes.get_int32_le buf (size - 4)) land 0xFFFFFFFF in
+      if Storage.Codec.crc32 buf ~pos:0 ~len:(size - 4) <> crc then
+        failwith "Mvsbt.Durable.reopen: meta sidecar checksum mismatch";
+      let rd = Storage.Codec.Reader.create buf in
+      let magic =
+        String.init (String.length meta_magic) (fun _ -> Char.chr (Storage.Codec.Reader.u8 rd))
+      in
+      if magic <> meta_magic then failwith "Mvsbt.Durable.reopen: bad meta magic";
+      let b = Storage.Codec.Reader.i32 rd in
+      let f = Int64.float_of_bits (Int64.of_int (Storage.Codec.Reader.i64 rd)) in
+      let variant =
+        match Storage.Codec.Reader.u8 rd with
+        | 0 -> Plain
+        | 1 -> Logical
+        | _ -> failwith "Mvsbt.Durable.reopen: bad variant"
+      in
+      let merging = Storage.Codec.Reader.bool rd in
+      let disposal = Storage.Codec.Reader.bool rd in
+      let root_star_btree = Storage.Codec.Reader.bool rd in
+      let key_space = Storage.Codec.Reader.i64 rd in
+      let now_ = Storage.Codec.Reader.i64 rd in
+      let cur_root = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
+      let height = Storage.Codec.Reader.i32 rd in
+      let n_roots = Storage.Codec.Reader.i32 rd in
+      let roots =
+        List.init n_roots (fun _ ->
+            let ts = Storage.Codec.Reader.i64 rd in
+            let pid = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
+            (ts, pid))
+      in
+      ( { b; f; variant; merging; disposal; root_star_btree },
+        key_space, now_, cur_root, height, roots )
+
+    let make_backend ~path ~self pool store =
+      {
+        b_alloc = (fun () -> File_pool.alloc pool);
+        b_read = (fun pid -> File_pool.read pool pid);
+        b_write = (fun pid page -> File_pool.write pool pid page);
+        b_free = (fun pid -> File_pool.free pool pid);
+        b_exists = (fun pid -> File_pool.mem pool pid);
+        b_live = (fun () -> File_store.live_pages store);
+        b_drop = (fun () -> File_pool.drop_cache pool);
+        (* A durable flush must reach the platter, not just the kernel:
+           write back dirty pages, fsync the page file, then commit the
+           meta sidecar describing exactly that on-disk state. *)
+        b_flush =
+          (fun () ->
+            File_pool.flush pool;
+            File_store.sync store;
+            match !self with Some t -> write_meta t ~path | None -> ());
+      }
+
     let create ?config ?(pool_capacity = 64) ?stats ?(page_size = 4096) ~key_space
         ~path () =
       let cfg = match config with Some c -> c | None -> default_config ~b:64 in
@@ -717,24 +831,27 @@ module Make (G : Aggregate.Group.S) = struct
       let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
       let store = File_store.create ~stats:io_stats ~page_size ~path () in
       let pool = File_pool.create ~capacity:pool_capacity store in
-      let backend =
-        {
-          b_alloc = (fun () -> File_pool.alloc pool);
-          b_read = (fun pid -> File_pool.read pool pid);
-          b_write = (fun pid page -> File_pool.write pool pid page);
-          b_free = (fun pid -> File_pool.free pool pid);
-          b_exists = (fun pid -> File_pool.mem pool pid);
-          b_live = (fun () -> File_store.live_pages store);
-          b_drop = (fun () -> File_pool.drop_cache pool);
-          (* A durable flush must reach the platter, not just the kernel:
-             write back dirty pages, then fsync the page file. *)
-          b_flush =
-            (fun () ->
-              File_pool.flush pool;
-              File_store.sync store);
-        }
-      in
-      boot ~cfg ~key_space ~io_stats backend
+      let self = ref None in
+      let backend = make_backend ~path ~self pool store in
+      let t = boot ~cfg ~key_space ~io_stats backend in
+      self := Some t;
+      write_meta t ~path;
+      t
+
+    let reopen ?(pool_capacity = 64) ?stats ?(page_size = 4096) ~path () =
+      let cfg, key_space, now_, cur_root, height, roots = read_meta ~path in
+      let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+      let store = File_store.create ~stats:io_stats ~page_size ~mode:`Reopen ~path () in
+      if not (File_store.mem store cur_root) then
+        failwith "Mvsbt.Durable.reopen: meta names a root the page file does not hold";
+      let pool = File_pool.create ~capacity:pool_capacity store in
+      let self = ref None in
+      let backend = make_backend ~path ~self pool store in
+      let root_star = Root_star.create ~btree:cfg.root_star_btree ~stats:io_stats () in
+      List.iter (fun (ts, pid) -> Root_star.register root_star ~at:ts pid) roots;
+      let t = { backend; io_stats; cfg; key_space; root_star; cur_root; height; now_ } in
+      self := Some t;
+      t
   end
 
   (* --- Snapshot persistence --------------------------------------------------- *)

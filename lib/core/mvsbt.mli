@@ -139,8 +139,28 @@ module Make (G : Aggregate.Group.S) : sig
       unit ->
       t
     (** Creates (truncating) [path].  [page_size] defaults to 4096 bytes;
-        it must be able to hold [b] maximal records.
+        it must be able to hold [b] maximal records.  Alongside the page
+        file, a meta sidecar [path ^ ".meta"] records the handle state
+        (configuration, clock, current root, root* directory); it is
+        rewritten atomically on every {!flush}, making {!reopen} possible.
         @raise Invalid_argument when the configuration cannot fit. *)
+
+    val reopen :
+      ?pool_capacity:int ->
+      ?stats:Storage.Io_stats.t ->
+      ?page_size:int ->
+      path:string ->
+      unit ->
+      t
+    (** Reopen an existing durable index {e without} truncating it,
+        restoring the state committed by the last {!flush} (configuration
+        and geometry come from the sidecar and the page-file header).
+        This is a {e clean-shutdown} reopen: updates made after the last
+        flush are not recovered — pair the index with the WAL engine
+        ({!Durable} in [lib/core/durable.ml]) when crash recovery of the
+        update tail is required.
+        @raise Failure on a missing/corrupt sidecar or page file, or a
+        [page_size] mismatch. *)
 
     val min_page_size : config -> int
     (** The smallest page size accepted for a configuration. *)

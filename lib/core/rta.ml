@@ -23,6 +23,7 @@ type t = {
   max_key : int;
   mutable now_ : int;
   mutable n_updates : int;
+  durable : string option; (* path prefix when the MVSBTs are file-backed *)
 }
 
 let create ?config ?pool_capacity ?stats ~max_key () =
@@ -39,7 +40,95 @@ let create ?config ?pool_capacity ?stats ~max_key () =
     max_key;
     now_ = 0;
     n_updates = 0;
+    durable = None;
   }
+
+(* --- Durable (file-backed) warehouses ------------------------------------- *)
+
+(* The two page files persist tree pages and (via their sidecars) tree
+   handle state, but the warehouse adds state of its own: the base table
+   and the update counter.  A durable warehouse writes those to one more
+   CRC-framed sidecar on every [flush], making [reopen_durable] a
+   clean-shutdown restore of the last flushed state. *)
+
+let durable_meta_magic = "RTA-DURMETA-1"
+
+let durable_meta_path path = path ^ ".rta.meta"
+
+let write_file_atomic ~path buf ~len =
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let rec loop off =
+        if off < len then loop (off + Unix.write fd buf off (len - off))
+      in
+      loop 0;
+      Unix.fsync fd);
+  Sys.rename tmp path
+
+let encode_meta t w =
+  Storage.Codec.Writer.i64 w t.max_key;
+  Storage.Codec.Writer.i64 w t.now_;
+  Storage.Codec.Writer.i64 w t.n_updates;
+  Storage.Codec.Writer.i32 w (Hashtbl.length t.alive);
+  Hashtbl.iter
+    (fun key (value, started) ->
+      Storage.Codec.Writer.i64 w key;
+      Storage.Codec.Writer.i64 w value;
+      Storage.Codec.Writer.i64 w started)
+    t.alive
+
+let decode_meta rd =
+  let max_key = Storage.Codec.Reader.i64 rd in
+  let now_ = Storage.Codec.Reader.i64 rd in
+  let n_updates = Storage.Codec.Reader.i64 rd in
+  let n_alive = Storage.Codec.Reader.i32 rd in
+  let alive = Hashtbl.create (max 16 (2 * n_alive)) in
+  for _ = 1 to n_alive do
+    let key = Storage.Codec.Reader.i64 rd in
+    let value = Storage.Codec.Reader.i64 rd in
+    let started = Storage.Codec.Reader.i64 rd in
+    Hashtbl.replace alive key (value, started)
+  done;
+  (max_key, now_, n_updates, alive)
+
+let write_durable_meta t ~path =
+  let w =
+    Storage.Codec.Writer.create
+      (String.length durable_meta_magic + 64 + (Hashtbl.length t.alive * 24) + 4)
+  in
+  String.iter (fun ch -> Storage.Codec.Writer.u8 w (Char.code ch)) durable_meta_magic;
+  encode_meta t w;
+  let len = Storage.Codec.Writer.pos w in
+  let buf = Storage.Codec.Writer.contents w in
+  (* Unsigned 32-bit CRC: splice raw rather than through Writer.i32. *)
+  Bytes.set_int32_le buf len (Int32.of_int (Storage.Codec.crc32 buf ~pos:0 ~len));
+  write_file_atomic ~path:(durable_meta_path path) buf ~len:(len + 4)
+
+let read_durable_meta ~path =
+  let file = durable_meta_path path in
+  if not (Sys.file_exists file) then
+    failwith
+      (Printf.sprintf "Rta.reopen_durable: no meta sidecar %s (never flushed?)" file);
+  let ic = open_in_bin file in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let size = in_channel_length ic in
+  let buf = Bytes.create size in
+  really_input ic buf 0 size;
+  if size < String.length durable_meta_magic + 4 then
+    failwith "Rta.reopen_durable: truncated meta sidecar";
+  let crc = Int32.to_int (Bytes.get_int32_le buf (size - 4)) land 0xFFFFFFFF in
+  if Storage.Codec.crc32 buf ~pos:0 ~len:(size - 4) <> crc then
+    failwith "Rta.reopen_durable: meta sidecar checksum mismatch";
+  let rd = Storage.Codec.Reader.create buf in
+  let magic =
+    String.init (String.length durable_meta_magic) (fun _ ->
+        Char.chr (Storage.Codec.Reader.u8 rd))
+  in
+  if magic <> durable_meta_magic then failwith "Rta.reopen_durable: bad meta magic";
+  decode_meta rd
 
 let create_durable ?config ?pool_capacity ?stats ?page_size ~max_key ~path () =
   if max_key < 1 then invalid_arg "Rta.create_durable: max_key must be >= 1";
@@ -49,18 +138,33 @@ let create_durable ?config ?pool_capacity ?stats ?page_size ~max_key ~path () =
     Durable_index.create ?config ?pool_capacity ~stats ?page_size ~key_space
       ~path:(path ^ suffix) ()
   in
-  {
-    lkst = mk ".lkst.pages";
-    lklt = mk ".lklt.pages";
-    alive = Hashtbl.create 1024;
-    max_key;
-    now_ = 0;
-    n_updates = 0;
-  }
+  let t =
+    {
+      lkst = mk ".lkst.pages";
+      lklt = mk ".lklt.pages";
+      alive = Hashtbl.create 1024;
+      max_key;
+      now_ = 0;
+      n_updates = 0;
+      durable = Some path;
+    }
+  in
+  write_durable_meta t ~path;
+  t
+
+let reopen_durable ?pool_capacity ?stats ?page_size ~path () =
+  let max_key, now_, n_updates, alive = read_durable_meta ~path in
+  let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+  let mk suffix =
+    Durable_index.reopen ?pool_capacity ~stats ?page_size ~path:(path ^ suffix) ()
+  in
+  { lkst = mk ".lkst.pages"; lklt = mk ".lklt.pages"; alive; max_key; now_;
+    n_updates; durable = Some path }
 
 let flush t =
   Index.flush t.lkst;
-  Index.flush t.lklt
+  Index.flush t.lklt;
+  match t.durable with Some path -> write_durable_meta t ~path | None -> ()
 
 let max_key t = t.max_key
 let config t = Index.config t.lkst
@@ -165,16 +269,7 @@ let save t ~path =
   let w =
     Storage.Codec.Writer.create (64 + (Hashtbl.length t.alive * 24))
   in
-  Storage.Codec.Writer.i64 w t.max_key;
-  Storage.Codec.Writer.i64 w t.now_;
-  Storage.Codec.Writer.i64 w t.n_updates;
-  Storage.Codec.Writer.i32 w (Hashtbl.length t.alive);
-  Hashtbl.iter
-    (fun key (value, started) ->
-      Storage.Codec.Writer.i64 w key;
-      Storage.Codec.Writer.i64 w value;
-      Storage.Codec.Writer.i64 w started)
-    t.alive;
+  encode_meta t w;
   let len = Storage.Codec.Writer.pos w in
   output_bytes oc (Bytes.sub (Storage.Codec.Writer.contents w) 0 len)
 
@@ -190,15 +285,5 @@ let load ?pool_capacity ?stats ~path () =
   let buf = Bytes.create len in
   really_input ic buf 0 len;
   let rd = Storage.Codec.Reader.create buf in
-  let max_key = Storage.Codec.Reader.i64 rd in
-  let now_ = Storage.Codec.Reader.i64 rd in
-  let n_updates = Storage.Codec.Reader.i64 rd in
-  let n_alive = Storage.Codec.Reader.i32 rd in
-  let alive = Hashtbl.create (max 16 (2 * n_alive)) in
-  for _ = 1 to n_alive do
-    let key = Storage.Codec.Reader.i64 rd in
-    let value = Storage.Codec.Reader.i64 rd in
-    let started = Storage.Codec.Reader.i64 rd in
-    Hashtbl.replace alive key (value, started)
-  done;
-  { lkst; lklt; alive; max_key; now_; n_updates }
+  let max_key, now_, n_updates, alive = decode_meta rd in
+  { lkst; lklt; alive; max_key; now_; n_updates; durable = None }

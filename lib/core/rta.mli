@@ -47,8 +47,27 @@ val create_durable :
 (** Like {!create}, but both MVSBTs keep their pages in real files
     ([<path>.lkst.pages] and [<path>.lklt.pages], fixed-size blocks behind
     the LRU pools).  [page_size] defaults to 4096 and must hold [config.b]
-    records (~50 bytes each).
+    records (~50 bytes each).  Alongside the page files, meta sidecars
+    (one per index plus [<path>.rta.meta] for the base table and counters)
+    are committed atomically on every {!flush}, so an existing warehouse
+    can be {!reopen_durable}ed instead of destroyed.
     @raise Invalid_argument when the configuration cannot fit a page. *)
+
+val reopen_durable :
+  ?pool_capacity:int ->
+  ?stats:Storage.Io_stats.t ->
+  ?page_size:int ->
+  path:string ->
+  unit ->
+  t
+(** Reopen a warehouse previously built with {!create_durable} — which
+    truncates; this does not — restoring the state committed by its last
+    {!flush}.  Configuration and [max_key] come from the sidecars.  This
+    is a {e clean-shutdown} restore: updates made after the last flush
+    are lost, so pair the warehouse with the WAL engine ({!Durable}) when
+    the update tail must survive crashes.
+    @raise Failure on missing or corrupt sidecars/page files, or a
+    [page_size] mismatch. *)
 
 val flush : t -> unit
 (** Write dirty pages of both indices back to their stores. *)

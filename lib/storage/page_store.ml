@@ -75,9 +75,11 @@ module File (C : PAGE_CODEC) = struct
 
   type t = {
     fd : Unix.file_descr;
+    path : string;
     page_size : int;
     mutable next_id : int;
     written : unit Page_id.Tbl.t;
+    freed : unit Page_id.Tbl.t;
     mutable live : int;
     stats : Io_stats.t;
   }
@@ -130,13 +132,72 @@ module File (C : PAGE_CODEC) = struct
         (Printf.sprintf "Page_store.File: page size mismatch (file has %d, asked for %d)"
            stored page_size)
 
+  (* Freed page ids are persisted to a small sidecar ([path ^ ".free"],
+     CRC-framed, rewritten atomically on every [sync] and on [close]) so a
+     reopen does not resurrect pages freed before the restart.  The
+     sidecar is a hint, not a ledger: if it is stale (crash after frees
+     but before the next sync) or torn, reopen degrades {e conservatively}
+     — some freed pages come back as written and [live_pages] overcounts —
+     but a reopen after a clean [sync]/[close] restores liveness exactly. *)
+  let free_sidecar_magic = "PGSTFREE"
+
+  let free_sidecar_path path = path ^ ".free"
+
+  let save_freed ~path freed =
+    let n = Page_id.Tbl.length freed in
+    let len = String.length free_sidecar_magic + 4 + (n * 8) in
+    let w = Codec.Writer.create (len + 4) in
+    String.iter (fun ch -> Codec.Writer.u8 w (Char.code ch)) free_sidecar_magic;
+    Codec.Writer.i32 w n;
+    Page_id.Tbl.iter (fun id () -> Codec.Writer.i64 w (Page_id.to_int id)) freed;
+    let buf = Codec.Writer.contents w in
+    (* Unsigned 32-bit CRC: splice raw rather than through Writer.i32. *)
+    Bytes.set_int32_le buf len (Int32.of_int (Codec.crc32 buf ~pos:0 ~len));
+    let tmp = free_sidecar_path path ^ ".tmp" in
+    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> Unix.close fd)
+      (fun () ->
+        let rec loop off =
+          if off < Bytes.length buf then
+            loop (off + Unix.write fd buf off (Bytes.length buf - off))
+        in
+        loop 0;
+        Unix.fsync fd);
+    Sys.rename tmp (free_sidecar_path path)
+
+  let load_freed ~path =
+    let freed = Page_id.Tbl.create 64 in
+    let file = free_sidecar_path path in
+    (try
+       let ic = open_in_bin file in
+       Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+       let size = in_channel_length ic in
+       let buf = Bytes.create size in
+       really_input ic buf 0 size;
+       let rd = Codec.Reader.create buf in
+       let magic =
+         String.init (String.length free_sidecar_magic) (fun _ -> Char.chr (Codec.Reader.u8 rd))
+       in
+       let n = Codec.Reader.i32 rd in
+       let payload = String.length free_sidecar_magic + 4 + (n * 8) in
+       if magic <> free_sidecar_magic || n < 0 || size <> payload + 4 then raise Exit;
+       let ids = List.init n (fun _ -> Codec.Reader.i64 rd) in
+       let crc = Codec.Reader.i32 rd land 0xFFFFFFFF in
+       if Codec.crc32 buf ~pos:0 ~len:payload <> crc then raise Exit;
+       List.iter (fun id -> Page_id.Tbl.replace freed (Page_id.of_int id) ()) ids
+     with _ -> Page_id.Tbl.reset freed (* absent or torn: conservative *));
+    freed
+
   let create ?(stats = Io_stats.create ()) ?(page_size = 4096) ?(mode = `Create) ~path () =
     if page_size < 32 then invalid_arg "Page_store.File: page_size too small";
     match mode with
     | `Create ->
         let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
         write_header fd ~page_size;
-        { fd; page_size; next_id = 0; written = Page_id.Tbl.create 1024; live = 0; stats }
+        (try Sys.remove (free_sidecar_path path) with Sys_error _ -> ());
+        { fd; path; page_size; next_id = 0; written = Page_id.Tbl.create 1024;
+          freed = Page_id.Tbl.create 64; live = 0; stats }
     | `Reopen ->
         let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
         (try read_header fd ~page_size
@@ -147,11 +208,20 @@ module File (C : PAGE_CODEC) = struct
         (* Only complete page blocks count; a torn trailing page is ignored
            (its id will be rewritten by the recovery replay). *)
         let next_id = max 0 ((len / page_size) - 1) in
+        let freed = load_freed ~path in
+        (* Ids at or past next_id cannot be in the file; drop them so the
+           sidecar of a longer previous incarnation cannot mask new pages. *)
+        Page_id.Tbl.fold
+          (fun id () acc -> if Page_id.to_int id >= next_id then id :: acc else acc)
+          freed []
+        |> List.iter (Page_id.Tbl.remove freed);
         let written = Page_id.Tbl.create 1024 in
         for i = 0 to next_id - 1 do
-          Page_id.Tbl.replace written (Page_id.of_int i) ()
+          let id = Page_id.of_int i in
+          if not (Page_id.Tbl.mem freed id) then Page_id.Tbl.replace written id ()
         done;
-        { fd; page_size; next_id; written; live = next_id; stats }
+        { fd; path; page_size; next_id; written; freed;
+          live = Page_id.Tbl.length written; stats }
 
   let stats t = t.stats
   let page_size t = t.page_size
@@ -201,11 +271,13 @@ module File (C : PAGE_CODEC) = struct
     C.encode w payload;
     ignore (Unix.lseek t.fd (offset t id) Unix.SEEK_SET);
     really_write t.fd (Codec.Writer.contents w);
+    Page_id.Tbl.remove t.freed id;
     Page_id.Tbl.replace t.written id ()
 
   let free t id =
     Io_stats.record_free t.stats;
     Page_id.Tbl.remove t.written id;
+    Page_id.Tbl.replace t.freed id ();
     t.live <- t.live - 1
 
   let mem t id = Page_id.Tbl.mem t.written id
@@ -213,8 +285,11 @@ module File (C : PAGE_CODEC) = struct
 
   let sync t =
     Io_stats.record_sync t.stats;
-    Unix.fsync t.fd
+    Unix.fsync t.fd;
+    save_freed ~path:t.path t.freed
 
-  let close t = Unix.close t.fd
+  let close t =
+    (try save_freed ~path:t.path t.freed with _ -> ());
+    Unix.close t.fd
   let file_size_bytes t = (1 + t.next_id) * t.page_size
 end

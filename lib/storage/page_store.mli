@@ -85,18 +85,25 @@ module File (C : PAGE_CODEC) : sig
 
       With [`Create] (the default) the file is created or truncated.  With
       [`Reopen] an existing page file is opened in place: the header is
-      validated against [page_size] and [next_id]/the written set are
-      rebuilt from the file length (a torn trailing page is ignored).
+      validated against [page_size], [next_id] is rebuilt from the file
+      length (a torn trailing page is ignored), and the written set is
+      every complete block minus the freed ids persisted in the
+      [path ^ ".free"] sidecar ({!sync}/{!close} rewrite it atomically).
+      If the sidecar is stale or torn the reopen degrades conservatively:
+      pages freed after the last sync resurrect and {!live_pages}
+      overcounts; after a clean {!sync} or {!close} liveness is exact.
       @raise Failure on a missing, foreign, or geometry-mismatched file
       under [`Reopen]. *)
 
   val page_size : t -> int
 
   val sync : t -> unit
-  (** [fsync] the backing file: every completed {!write} is on the
-      platter when this returns.  Charged to {!Io_stats.syncs}. *)
+  (** [fsync] the backing file — every completed {!write} is on the
+      platter when this returns — then persist the freed-id sidecar.
+      Charged to {!Io_stats.syncs}. *)
 
   val close : t -> unit
+  (** Persist the freed-id sidecar (best-effort) and release the file. *)
 
   val file_size_bytes : t -> int
   (** Includes the header block: [(1 + next_id) * page_size]. *)

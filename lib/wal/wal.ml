@@ -59,7 +59,15 @@ type file = {
 }
 
 let os_file ~path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  (* O_APPEND makes every write land atomically at end-of-file, so two
+     writes can never interleave mid-frame; the advisory lock rejects a
+     second process opening the same log outright (locks are per-process,
+     so re-opening after an in-process simulated crash still works). *)
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  (try Unix.lockf fd Unix.F_TLOCK 0
+   with Unix.Unix_error _ ->
+     Unix.close fd;
+     failwith (Printf.sprintf "Wal: %s is locked by another process" path));
   let really_write buf pos len =
     let rec loop off =
       if off < len then loop (off + Unix.write fd buf (pos + off) (len - off))
@@ -67,10 +75,7 @@ let os_file ~path =
     loop 0
   in
   {
-    f_append =
-      (fun buf pos len ->
-        ignore (Unix.lseek fd 0 Unix.SEEK_END);
-        really_write buf pos len);
+    f_append = (fun buf pos len -> really_write buf pos len);
     f_pread =
       (fun off buf pos len ->
         ignore (Unix.lseek fd off Unix.SEEK_SET);
@@ -166,7 +171,9 @@ let header_buf () =
   Storage.Codec.Writer.i32 w version;
   let buf = Storage.Codec.Writer.contents w in
   let crc = Storage.Codec.crc32 buf ~pos:0 ~len:(header_bytes - 4) in
-  Storage.Codec.Writer.i32 w crc;
+  (* Unsigned 32-bit CRC: splice raw — Writer.i32 rejects the top half of
+     the unsigned range. *)
+  Bytes.set_int32_le buf (header_bytes - 4) (Int32.of_int crc);
   buf
 
 let header_valid file =

@@ -89,8 +89,13 @@ type file = {
 }
 
 val os_file : path:string -> file
-(** The real thing: [open(2)] with [O_RDWR|O_CREAT] (no truncation),
-    [fsync] for [f_sync]. *)
+(** The real thing: [open(2)] with [O_RDWR|O_CREAT|O_APPEND] (no
+    truncation; appends are atomic at end-of-file), [fsync] for
+    [f_sync].  Takes an advisory [lockf] lock on the whole file so two
+    {e processes} cannot append to the same log — the second opener
+    fails.  (POSIX locks do not conflict within one process, so
+    reopening after a simulated in-process crash still works.)
+    @raise Failure if another process holds the log. *)
 
 (** Fault injection: wrap a {!file} so that after a byte budget is
     exhausted the write in flight is cut short at exactly that boundary

@@ -203,7 +203,8 @@ let test_file_store () =
   Alcotest.check_raises "read freed" Not_found (fun () ->
       ignore (File_store.read s (List.nth ids 0)));
   File_store.close s;
-  Sys.remove path
+  Sys.remove path;
+  (try Sys.remove (path ^ ".free") with Sys_error _ -> ())
 
 let test_crc32 () =
   (* Known-answer vectors for CRC-32/IEEE (the zlib/PNG polynomial). *)
@@ -255,7 +256,42 @@ let test_file_store_reopen () =
        ignore (File_store.create ~page_size:64 ~mode:`Reopen ~path ());
        false
      with Failure _ -> true);
-  Sys.remove path
+  Sys.remove path;
+  (try Sys.remove (path ^ ".free") with Sys_error _ -> ())
+
+let test_file_store_reopen_freed () =
+  let path = Filename.temp_file "mvsbt_store" ".pages" in
+  let s = File_store.create ~page_size:64 ~path () in
+  let ids = List.init 6 (fun _ -> File_store.alloc s) in
+  List.iteri (fun i id -> File_store.write s id (Printf.sprintf "page-%d" i)) ids;
+  File_store.free s (List.nth ids 1);
+  File_store.free s (List.nth ids 4);
+  File_store.sync s;
+  File_store.close s;
+  (* Freed ids persist through the sidecar: a reopen must not resurrect
+     them, and live_pages must stay exact. *)
+  let s = File_store.create ~page_size:64 ~mode:`Reopen ~path () in
+  Alcotest.(check int) "live excludes freed" 4 (File_store.live_pages s);
+  Alcotest.(check bool) "freed not mem" false (File_store.mem s (List.nth ids 1));
+  Alcotest.check_raises "freed read raises" Not_found (fun () ->
+      ignore (File_store.read s (List.nth ids 4)));
+  Alcotest.(check string) "survivor intact" "page-2" (File_store.read s (List.nth ids 2));
+  (* Frees after the last sync are persisted by close too. *)
+  File_store.free s (List.nth ids 0);
+  File_store.close s;
+  let s = File_store.create ~page_size:64 ~mode:`Reopen ~path () in
+  Alcotest.(check bool) "close persisted the free" false (File_store.mem s (List.nth ids 0));
+  Alcotest.(check int) "live after second reopen" 3 (File_store.live_pages s);
+  File_store.close s;
+  (* A torn sidecar degrades conservatively instead of failing. *)
+  let oc = open_out_bin (path ^ ".free") in
+  output_string oc "garbage";
+  close_out oc;
+  let s = File_store.create ~page_size:64 ~mode:`Reopen ~path () in
+  Alcotest.(check int) "torn sidecar: conservative liveness" 6 (File_store.live_pages s);
+  File_store.close s;
+  Sys.remove path;
+  (try Sys.remove (path ^ ".free") with Sys_error _ -> ())
 
 let test_cost_model () =
   let est = Storage.Cost_model.estimate_s ~model:Storage.Cost_model.default ~ios:100 ~cpu_s:0.5 in
@@ -283,6 +319,7 @@ let () =
           Alcotest.test_case "mem store" `Quick test_mem_store;
           Alcotest.test_case "file store" `Quick test_file_store;
           Alcotest.test_case "file store reopen" `Quick test_file_store_reopen;
+          Alcotest.test_case "file store reopen freed" `Quick test_file_store_reopen_freed;
           Alcotest.test_case "cost model" `Quick test_cost_model;
         ] );
       ( "lru",

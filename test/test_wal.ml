@@ -7,13 +7,17 @@ let temp_prefix () =
   Sys.remove p;
   p
 
+(* Engine files live under [prefix ^ ".wal"], [prefix ^ ".ckpt"], and
+   generation-stamped [prefix ^ ".ckpt-<gen>.*"] snapshot names; sweep
+   everything with the prefix rather than enumerating generations. *)
 let cleanup prefix =
-  List.iter
-    (fun ext ->
-      let f = prefix ^ ext in
-      if Sys.file_exists f then Sys.remove f)
-    [ ".wal"; ".ckpt.lkst"; ".ckpt.lklt"; ".ckpt.meta"; ".ckpt-tmp.lkst";
-      ".ckpt-tmp.lklt"; ".ckpt-tmp.meta" ]
+  let dir = Filename.dirname prefix and base = Filename.basename prefix in
+  Array.iter
+    (fun name ->
+      if String.length name >= String.length base
+         && String.sub name 0 (String.length base) = base then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
 
 let payload s = Bytes.of_string s
 
@@ -270,6 +274,87 @@ let test_durable_auto_checkpoint () =
   Durable.close wh;
   cleanup prefix
 
+let copy_file src dst =
+  let ic = open_in_bin src and oc = open_out_bin dst in
+  Fun.protect
+    ~finally:(fun () ->
+      close_in ic;
+      close_out oc)
+    (fun () ->
+      let buf = Bytes.create 65536 in
+      let rec loop () =
+        let n = input ic buf 0 65536 in
+        if n > 0 then begin
+          output oc buf 0 n;
+          loop ()
+        end
+      in
+      loop ())
+
+let apply_event wh = function
+  | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
+  | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at
+
+let test_durable_checkpoint_atomicity () =
+  (* The crash windows of the checkpoint protocol itself. *)
+  let prefix = temp_prefix () in
+  let events = random_events ~n:100 ~seed:19 in
+  let n_total = List.length events in
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  List.iter (apply_event wh) events;
+  (* Window 1: pointer committed but the WAL truncation never reached the
+     disk — the log still holds every record the checkpoint covers.
+     Replay must skip them all (they carry sequence numbers at or below
+     the checkpoint's), not double-apply. *)
+  copy_file (prefix ^ ".wal") (prefix ^ ".walcopy");
+  Durable.checkpoint wh;
+  Durable.close wh;
+  Sys.rename (prefix ^ ".walcopy") (prefix ^ ".wal");
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Alcotest.(check int) "covered records replayed (skipped)" n_total
+    (Durable.replayed_on_open wh);
+  Alcotest.(check int) "no double-apply" n_total (Rta.n_updates (Durable.warehouse wh));
+  check_against_oracle ~what:"untruncated log after checkpoint" (Durable.warehouse wh)
+    (feed_reference events n_total);
+  Durable.close wh;
+  (* Window 2: a later checkpoint crashed after writing its snapshot
+     files but before the pointer swap.  The stale generation must be
+     ignored on open (the committed one wins) and swept away. *)
+  let stale ext = prefix ^ ".ckpt-9" ^ ext in
+  List.iter
+    (fun ext ->
+      let oc = open_out_bin (stale ext) in
+      output_string oc "half-written snapshot from a crashed checkpoint";
+      close_out oc)
+    [ ".lkst"; ".lklt"; ".meta" ];
+  let oc = open_out_bin (prefix ^ ".ckpt.tmp") in
+  output_string oc "torn pointer tmp";
+  close_out oc;
+  let wh = Durable.open_ ~max_key ~path:prefix () in
+  Alcotest.(check int) "stale generation ignored" n_total
+    (Rta.n_updates (Durable.warehouse wh));
+  Alcotest.(check bool) "stale snapshot files swept" false
+    (Sys.file_exists (stale ".lkst") || Sys.file_exists (stale ".lklt")
+    || Sys.file_exists (stale ".meta") || Sys.file_exists (prefix ^ ".ckpt.tmp"));
+  (* A second checkpoint retires the previous generation's files. *)
+  Durable.checkpoint wh;
+  Alcotest.(check bool) "old generation retired" false
+    (Sys.file_exists (prefix ^ ".ckpt-1.lkst"));
+  Alcotest.(check bool) "new generation committed" true
+    (Sys.file_exists (prefix ^ ".ckpt-2.lkst"));
+  Durable.close wh;
+  (* A corrupt pointer must fail loudly: the WAL alone no longer holds
+     the full history, so silently starting empty would lose data. *)
+  let oc = open_out_bin (prefix ^ ".ckpt") in
+  output_string oc "garbage-pointer";
+  close_out oc;
+  Alcotest.(check bool) "corrupt pointer rejected" true
+    (try
+       ignore (Durable.open_ ~max_key ~path:prefix ());
+       false
+     with Failure _ -> true);
+  cleanup prefix
+
 let test_durable_empty_and_garbage_log () =
   (* A fresh path: clean empty warehouse. *)
   let prefix = temp_prefix () in
@@ -385,6 +470,7 @@ let () =
         [
           Alcotest.test_case "checkpoint lifecycle" `Quick test_durable_checkpoint_lifecycle;
           Alcotest.test_case "auto checkpoint" `Quick test_durable_auto_checkpoint;
+          Alcotest.test_case "checkpoint atomicity" `Quick test_durable_checkpoint_atomicity;
           Alcotest.test_case "empty/garbage/truncated logs" `Quick
             test_durable_empty_and_garbage_log;
         ] );
