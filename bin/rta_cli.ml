@@ -7,7 +7,9 @@
      query      — build, then answer ad-hoc or random RTA queries
      compare    — build both 2-MVSBT and MVBT, run a query batch on each
      checkpoint — recover a durable warehouse, snapshot it, truncate its log
-     recover    — recover a durable warehouse and report what was replayed *)
+     recover    — recover a durable warehouse and report what was replayed
+     scrub      — verify per-page checksums, repair from a reference warehouse
+     crash-matrix — enumerate post-crash disk images and verify recovery on each *)
 
 let setup_logs verbosity =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -419,16 +421,10 @@ let checkpoint_cmd =
 
 let recover_impl verbosity max_key buffer wal sync_policy rect_opt =
   setup_logs verbosity;
-  let wal_stats = Wal.Stats.create () in
-  let eng =
-    Durable.open_ ~pool_capacity:buffer ~sync_policy ~wal_stats ~max_key ~path:wal ()
-  in
+  let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
   let rta = Durable.warehouse eng in
-  Printf.printf "recovered %s: checkpoint %s, %d WAL records replayed, %d torn bytes dropped\n"
-    wal
-    (if Sys.file_exists (wal ^ ".ckpt") then "loaded" else "absent")
-    (Durable.replayed_on_open eng)
-    (Wal.Stats.dropped_bytes wal_stats);
+  Format.printf "recovered %s: %a@." wal Durable.pp_recovery_report
+    (Durable.recovery_report eng);
   Rta.check_invariants rta;
   Printf.printf "  invariants: ok\n";
   report_durable eng;
@@ -451,6 +447,172 @@ let recover_cmd =
        ~doc:"Recover a durable warehouse from its checkpoint and log and report its state")
     Term.(const recover_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
           $ wal_req_term $ sync_policy_term $ rect)
+
+(* --- scrub ------------------------------------------------------------------------ *)
+
+(* A small deterministic workload for [--demo]: enough churn to spread
+   records over a few dozen pages of both MVSBTs. *)
+let demo_updates ~n ~seed =
+  let rng = Random.State.make [| seed; 0xdead |] in
+  let alive = Hashtbl.create 64 in
+  let now = ref 0 in
+  let max_key = 256 in
+  List.init n (fun _ ->
+      now := !now + Random.State.int rng 3;
+      let key = Random.State.int rng max_key in
+      if Hashtbl.length alive = max_key
+         || (Hashtbl.mem alive key && Random.State.bool rng) then begin
+        let key = ref key in
+        while not (Hashtbl.mem alive !key) do
+          key := (!key + 1) mod max_key
+        done;
+        Hashtbl.remove alive !key;
+        `Delete (!key, !now)
+      end
+      else begin
+        let key = ref key in
+        while Hashtbl.mem alive !key do
+          key := (!key + 1) mod max_key
+        done;
+        Hashtbl.add alive !key ();
+        `Insert (!key, 1 + Random.State.int rng 1000, !now)
+      end)
+
+let build_demo_warehouse ~page_size ~n ~seed ~path =
+  let rta = Rta.create_durable ~page_size ~max_key:256 ~path () in
+  List.iter
+    (function
+      | `Insert (key, value, at) -> Rta.insert rta ~key ~value ~at
+      | `Delete (key, at) -> Rta.delete rta ~key ~at)
+    (demo_updates ~n ~seed);
+  Rta.flush rta;
+  rta
+
+let run_scrub ~stats ~page_size ?repair_from ~path () =
+  let report = Rta.scrub ~stats ~page_size ?repair_from ~path () in
+  Format.printf "scrub %s: %a@." path Rta.pp_scrub_report report;
+  report
+
+let scrub_impl verbosity page_size wal inject seed repair_from demo =
+  setup_logs verbosity;
+  let stats = Storage.Io_stats.create () in
+  let repair_from =
+    match (repair_from, demo) with
+    | Some p, _ -> Some (Rta.reopen_durable ~page_size ~path:p ())
+    | None, Some n ->
+        (* Self-contained round trip: build the warehouse and a matching
+           reference, corrupt the former, repair from the latter. *)
+        let _target = build_demo_warehouse ~page_size ~n ~seed ~path:wal in
+        Printf.printf "demo: built %d-update warehouse at %s (+ reference at %s.ref)\n" n
+          wal wal;
+        Some (build_demo_warehouse ~page_size ~n ~seed ~path:(wal ^ ".ref"))
+    | None, None -> None
+  in
+  (match inject with
+  | Some flips when flips > 0 ->
+      let hits = Rta.inject_bit_flips ~page_size ~path:wal ~seed ~flips () in
+      Printf.printf "injected single-bit flips into %d pages\n" (List.length hits)
+  | _ -> ());
+  let report = run_scrub ~stats ~page_size ?repair_from ~path:wal () in
+  let final =
+    if report.Rta.repaired <> [] then run_scrub ~stats ~page_size ~path:wal ()
+    else report
+  in
+  Format.printf "  io: %a@." Storage.Io_stats.pp stats;
+  if not (Rta.scrub_clean final || final.Rta.corrupt = final.Rta.repaired) then exit 1
+
+let scrub_cmd =
+  let page_size =
+    let doc = "Page size of the warehouse's page files." in
+    Arg.(value & opt int 4096 & info [ "page-size" ] ~doc)
+  in
+  let path =
+    let doc =
+      "Durable warehouse path prefix (page files at PREFIX.lkst.pages / \
+       PREFIX.lklt.pages, sidecar at PREFIX.rta.meta)."
+    in
+    Arg.(required & opt (some string) None & info [ "path" ] ~doc ~docv:"PREFIX")
+  in
+  let inject =
+    let doc = "First flip one random bit in each of N distinct pages (testing/demo)." in
+    Arg.(value & opt (some int) None & info [ "inject-flips" ] ~doc ~docv:"N")
+  in
+  let seed =
+    let doc = "Random seed for --inject-flips." in
+    Arg.(value & opt int 7 & info [ "seed" ] ~doc)
+  in
+  let repair_from =
+    let doc =
+      "Reopen the durable warehouse at this prefix as the repair reference (it must \
+       have gone through the same update sequence)."
+    in
+    Arg.(value & opt (some string) None & info [ "repair-from" ] ~doc ~docv:"PREFIX")
+  in
+  let demo =
+    let doc =
+      "Build a fresh N-update demo warehouse at the prefix (plus a matching reference \
+       at PREFIX.ref) before scrubbing — a self-contained corruption round trip with \
+       --inject-flips."
+    in
+    Arg.(value & opt (some int) None & info [ "demo" ] ~doc ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "scrub"
+       ~doc:
+         "Verify the per-page checksums of a durable warehouse and repair corrupt pages \
+          from a reference (exits 1 if corruption remains)")
+    Term.(const scrub_impl $ verbosity $ page_size $ path $ inject $ seed $ repair_from
+          $ demo)
+
+(* --- crash-matrix ----------------------------------------------------------------- *)
+
+let crash_matrix_impl verbosity updates max_key checkpoint_every sync_policy seed limit
+    smoke =
+  setup_logs verbosity;
+  let updates, limit =
+    if smoke then (min updates 60, Some (match limit with Some l -> l | None -> 80))
+    else (updates, limit)
+  in
+  let trace =
+    Faultsim.Harness.run_trace ~sync_policy ~checkpoint_every ~seed ~updates ~max_key ()
+  in
+  let report = Faultsim.Harness.check ?limit trace in
+  Format.printf "crash matrix (%d updates, checkpoint every %d, %a): %a@." updates
+    checkpoint_every Wal.pp_sync_policy sync_policy Faultsim.Harness.pp_report report;
+  if report.Faultsim.Harness.violations <> [] then exit 1
+
+let crash_matrix_cmd =
+  let updates =
+    let doc = "Updates in the generated trace." in
+    Arg.(value & opt int 120 & info [ "updates" ] ~doc)
+  in
+  let max_key =
+    let doc = "Key space of the generated trace." in
+    Arg.(value & opt int 24 & info [ "max-key" ] ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Checkpoint automatically every N updates while generating the trace." in
+    Arg.(value & opt int 40 & info [ "checkpoint-every" ] ~doc)
+  in
+  let seed =
+    let doc = "Random seed for the trace." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let limit =
+    let doc = "Check at most N crash images (stride-sampled); default checks all." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~doc ~docv:"N")
+  in
+  let smoke =
+    let doc = "Bounded CI run: caps the trace at 60 updates and the matrix at 80 images." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "crash-matrix"
+       ~doc:
+         "Enumerate every legal post-crash disk image of a workload trace, run recovery \
+          on each, and verify the recovered state (exits 1 on any violation)")
+    Term.(const crash_matrix_impl $ verbosity $ updates $ max_key $ checkpoint_every
+          $ sync_policy_term $ seed $ limit $ smoke)
 
 (* --- dot ------------------------------------------------------------------------- *)
 
@@ -483,4 +645,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
-            dot_cmd ]))
+            scrub_cmd; crash_matrix_cmd; dot_cmd ]))

@@ -1,12 +1,24 @@
+type recovery_report = {
+  replayed : int;  (* WAL records replayed (applied or seq-skipped) *)
+  dropped_bytes : int;  (* torn/corrupt tail discarded by this recovery *)
+  checkpoint_gen : int option;  (* committed generation loaded, if any *)
+}
+
+let pp_recovery_report ppf r =
+  Format.fprintf ppf "checkpoint=%s replayed=%d dropped_bytes=%d"
+    (match r.checkpoint_gen with None -> "none" | Some g -> "gen " ^ string_of_int g)
+    r.replayed r.dropped_bytes
+
 type t = {
   rta : Rta.t;
   wal : Wal.t;
+  vfs : Storage.Vfs.t;
   path : string;
   checkpoint_every : int;
   mutable ckpt_gen : int; (* generation named by the committed pointer *)
   mutable since_ckpt : int;
   mutable n_ckpts : int;
-  n_replayed : int;
+  report : recovery_report;
 }
 
 (* --- WAL record payloads ------------------------------------------------------ *)
@@ -54,16 +66,9 @@ let gen_prefix path gen = Printf.sprintf "%s.ckpt-%d" path gen
 let snapshot_exts = [ ".lkst"; ".lklt"; ".meta" ]
 let wal_path path = path ^ ".wal"
 
-let fsync_path p =
-  let fd = Unix.openfile p [ Unix.O_RDONLY ] 0 in
-  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
+let fsync_dir_of vfs p = vfs.Storage.Vfs.v_sync_dir (Filename.dirname p)
 
-let fsync_dir_of p =
-  let dir = Filename.dirname p in
-  let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
-  Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)
-
-let write_pointer path gen =
+let write_pointer vfs path gen =
   let w = Storage.Codec.Writer.create (String.length ptr_magic + 8 + 4) in
   String.iter (fun ch -> Storage.Codec.Writer.u8 w (Char.code ch)) ptr_magic;
   Storage.Codec.Writer.i64 w gen;
@@ -71,34 +76,20 @@ let write_pointer path gen =
   let buf = Storage.Codec.Writer.contents w in
   (* Unsigned 32-bit CRC: splice raw rather than through Writer.i32. *)
   Bytes.set_int32_le buf len (Int32.of_int (Storage.Codec.crc32 buf ~pos:0 ~len));
-  let out_len = len + 4 in
-  let tmp = ptr_path path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let rec loop off =
-        if off < out_len then loop (off + Unix.write fd buf off (out_len - off))
-      in
-      loop 0;
-      Unix.fsync fd);
-  Sys.rename tmp (ptr_path path);
-  fsync_dir_of path
+  Storage.Vfs.write_file_atomic vfs ~path:(ptr_path path) buf ~len:(len + 4);
+  fsync_dir_of vfs path
 
 (* [None] when no checkpoint was ever committed; a present-but-corrupt
    pointer fails loudly rather than silently recovering from an empty
    state (the WAL alone no longer holds the full history). *)
-let read_pointer path =
+let read_pointer vfs path =
   let file = ptr_path path in
-  if not (Sys.file_exists file) then None
+  if not (vfs.Storage.Vfs.v_exists file) then None
   else begin
-    let ic = open_in_bin file in
-    Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-    let size = in_channel_length ic in
+    let buf = Storage.Vfs.read_file vfs file in
+    let size = Bytes.length buf in
     let expect = String.length ptr_magic + 8 + 4 in
     if size <> expect then failwith "Durable: corrupt checkpoint pointer (bad size)";
-    let buf = Bytes.create size in
-    really_input ic buf 0 size;
     let crc = Int32.to_int (Bytes.get_int32_le buf (size - 4)) land 0xFFFFFFFF in
     if Storage.Codec.crc32 buf ~pos:0 ~len:(size - 4) <> crc then
       failwith "Durable: corrupt checkpoint pointer (checksum mismatch)";
@@ -113,7 +104,7 @@ let read_pointer path =
 (* Snapshot files of any generation other than the committed one are
    leftovers of a checkpoint that crashed before (or was superseded
    after) its pointer swap. *)
-let remove_stale_generations path ~keep =
+let remove_stale_generations vfs path ~keep =
   let dir = Filename.dirname path in
   let base = Filename.basename path ^ ".ckpt-" in
   Array.iter
@@ -125,13 +116,15 @@ let remove_stale_generations path ~keep =
         | Some dot ->
             (match int_of_string_opt (String.sub rest 0 dot) with
             | Some gen when gen <> keep ->
-                (try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+                (try vfs.Storage.Vfs.v_remove (Filename.concat dir name)
+                 with Sys_error _ -> ())
             | _ -> ())
         | None -> ()
       end)
-    (try Sys.readdir dir with Sys_error _ -> [||]);
+    (try vfs.Storage.Vfs.v_readdir dir with Sys_error _ -> [||]);
   let tmp = ptr_path path ^ ".tmp" in
-  if Sys.file_exists tmp then try Sys.remove tmp with Sys_error _ -> ()
+  if vfs.Storage.Vfs.v_exists tmp then
+    try vfs.Storage.Vfs.v_remove tmp with Sys_error _ -> ()
 
 (* --- Recovery ----------------------------------------------------------------- *)
 
@@ -154,11 +147,13 @@ let apply_record rta rd =
     | x -> failwith (Printf.sprintf "Durable: unknown WAL opcode %d" x)
 
 let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
-    ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f) ~max_key ~path () =
+    ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f)
+    ?(vfs = Storage.Vfs.os) ~max_key ~path () =
+  let pointer = read_pointer vfs path in
   let ckpt_gen, rta =
-    match read_pointer path with
+    match pointer with
     | Some gen ->
-        let rta = Rta.load ?pool_capacity ?stats ~path:(gen_prefix path gen) () in
+        let rta = Rta.load ?pool_capacity ?stats ~vfs ~path:(gen_prefix path gen) () in
         if Rta.max_key rta <> max_key then
           failwith
             (Printf.sprintf "Durable.open_: checkpoint has max_key %d, asked for %d"
@@ -168,29 +163,37 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
   in
   (* Snapshot files of a checkpoint that crashed before its commit point
      are dead weight; clear them so they cannot be confused with state. *)
-  remove_stale_generations path ~keep:ckpt_gen;
+  remove_stale_generations vfs path ~keep:ckpt_gen;
   let wal =
-    Wal.open_log ~policy:sync_policy ?stats:wal_stats (wal_wrap (Wal.os_file ~path:(wal_path path)))
+    Wal.open_log ~policy:sync_policy ?stats:wal_stats
+      (wal_wrap (vfs.Storage.Vfs.v_open `Log (wal_path path)))
   in
+  let st = Wal.stats wal in
+  let dropped_before = Wal.Stats.dropped_bytes st in
   let n_replayed = Wal.replay wal (apply_record rta) in
+  let report =
+    { replayed = n_replayed;
+      dropped_bytes = Wal.Stats.dropped_bytes st - dropped_before;
+      checkpoint_gen = pointer }
+  in
   (* Replayed records are exactly the updates the last checkpoint missed,
      so they count toward the next automatic checkpoint. *)
-  { rta; wal; path; checkpoint_every; ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0;
-    n_replayed }
+  { rta; wal; vfs; path; checkpoint_every; ckpt_gen; since_ckpt = n_replayed;
+    n_ckpts = 0; report }
 
 (* --- Checkpointing ------------------------------------------------------------ *)
 
 let checkpoint t =
   let gen = t.ckpt_gen + 1 in
   let prefix = gen_prefix t.path gen in
-  Rta.save t.rta ~path:prefix;
-  (* The snapshot is written through buffered channels; force it (and the
-     new directory entries) to the platter before the pointer can name
-     it, and the pointer before the WAL — the log records may only be
-     discarded once the state they rebuild is durable without them. *)
-  List.iter (fun ext -> fsync_path (prefix ^ ext)) snapshot_exts;
-  fsync_dir_of t.path;
-  write_pointer t.path gen;
+  Rta.save ~vfs:t.vfs t.rta ~path:prefix;
+  (* Force the snapshot files (and the new directory entries) to the
+     platter before the pointer can name them, and the pointer before the
+     WAL — the log records may only be discarded once the state they
+     rebuild is durable without them. *)
+  List.iter (fun ext -> Storage.Vfs.sync_path t.vfs (prefix ^ ext)) snapshot_exts;
+  fsync_dir_of t.vfs t.path;
+  write_pointer t.vfs t.path gen;
   Wal.truncate t.wal;
   let old = t.ckpt_gen in
   t.ckpt_gen <- gen;
@@ -198,7 +201,9 @@ let checkpoint t =
   t.n_ckpts <- t.n_ckpts + 1;
   if old > 0 then
     List.iter
-      (fun ext -> try Sys.remove (gen_prefix t.path old ^ ext) with Sys_error _ -> ())
+      (fun ext ->
+        try t.vfs.Storage.Vfs.v_remove (gen_prefix t.path old ^ ext)
+        with Sys_error _ -> ())
       snapshot_exts
 
 let maybe_auto_checkpoint t =
@@ -237,7 +242,8 @@ let delete t ~key ~at =
 
 let warehouse t = t.rta
 let sum_count t ~klo ~khi ~tlo ~thi = Rta.sum_count t.rta ~klo ~khi ~tlo ~thi
-let replayed_on_open t = t.n_replayed
+let recovery_report t = t.report
+let replayed_on_open t = t.report.replayed
 let updates_since_checkpoint t = t.since_ckpt
 let checkpoints t = t.n_ckpts
 let wal_stats t = Wal.stats t.wal

@@ -33,6 +33,18 @@
 
 type t
 
+type recovery_report = {
+  replayed : int;
+      (** WAL records replayed during recovery (applied or seq-skipped). *)
+  dropped_bytes : int;
+      (** Bytes of torn/corrupt WAL tail discarded by this recovery. *)
+  checkpoint_gen : int option;
+      (** The committed checkpoint generation recovery started from;
+          [None] when the warehouse was rebuilt from the WAL alone. *)
+}
+
+val pp_recovery_report : Format.formatter -> recovery_report -> unit
+
 val open_ :
   ?config:Mvsbt.config ->
   ?pool_capacity:int ->
@@ -41,6 +53,7 @@ val open_ :
   ?checkpoint_every:int ->
   ?wal_stats:Wal.Stats.t ->
   ?wal_wrap:(Wal.file -> Wal.file) ->
+  ?vfs:Storage.Vfs.t ->
   max_key:int ->
   path:string ->
   unit ->
@@ -50,7 +63,11 @@ val open_ :
     [Every_n 32]; [checkpoint_every] (default 0 = manual only) triggers
     an automatic {!checkpoint} once that many updates have accumulated
     since the last one.  [wal_wrap] interposes on the log's byte layer —
-    the hook {!Wal.Faulty} plugs into for crash testing.
+    the hook {!Wal.Faulty} plugs into for crash testing.  Every file
+    operation (log, checkpoint snapshots, pointer, directory fsyncs)
+    goes through [vfs] (default {!Storage.Vfs.os}); passing
+    {!Storage.Vfs.Memory} is what lets the crash-state explorer
+    ([lib/faultsim]) journal and replay the engine's disk traffic.
     @raise Failure if an existing checkpoint disagrees with [max_key] or
     a snapshot file is malformed. *)
 
@@ -73,8 +90,11 @@ val warehouse : t -> Rta.t
 val sum_count : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int * int
 (** Convenience passthrough to {!Rta.sum_count}. *)
 
+val recovery_report : t -> recovery_report
+(** What the recovery that opened this handle found and did. *)
+
 val replayed_on_open : t -> int
-(** WAL records replayed (applied or skipped) during recovery. *)
+(** [= (recovery_report t).replayed]. *)
 
 val updates_since_checkpoint : t -> int
 

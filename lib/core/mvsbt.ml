@@ -703,7 +703,8 @@ module Make (G : Aggregate.Group.S) = struct
 
     module File_pool = Storage.Buffer_pool.Make (File_store)
 
-    let min_page_size cfg = RC.page_header_bytes + (cfg.b * RC.record_bytes)
+    let min_page_size cfg =
+      File_store.block_overhead + RC.page_header_bytes + (cfg.b * RC.record_bytes)
 
     (* The page file holds only pages; the handle state (configuration,
        clock, current root, root* directory) lives in a CRC-framed meta
@@ -714,20 +715,7 @@ module Make (G : Aggregate.Group.S) = struct
 
     let meta_path path = path ^ ".meta"
 
-    let write_file_atomic ~path buf ~len =
-      let tmp = path ^ ".tmp" in
-      let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-      Fun.protect
-        ~finally:(fun () -> Unix.close fd)
-        (fun () ->
-          let rec loop off =
-            if off < len then loop (off + Unix.write fd buf off (len - off))
-          in
-          loop 0;
-          Unix.fsync fd);
-      Sys.rename tmp path
-
-    let write_meta t ~path =
+    let write_meta t ~vfs ~path =
       let tenures = Root_star.tenures t.root_star in
       let cap = String.length meta_magic + 128 + (List.length tenures * 16) + 4 in
       let w = Storage.Codec.Writer.create cap in
@@ -753,18 +741,15 @@ module Make (G : Aggregate.Group.S) = struct
       (* The CRC is unsigned 32-bit; Writer.i32 would reject the top half
          of its range, so splice it in raw. *)
       Bytes.set_int32_le buf len (Int32.of_int (Storage.Codec.crc32 buf ~pos:0 ~len));
-      write_file_atomic ~path:(meta_path path) buf ~len:(len + 4)
+      Storage.Vfs.write_file_atomic vfs ~path:(meta_path path) buf ~len:(len + 4)
 
-    let read_meta ~path =
+    let read_meta ~vfs ~path =
       let file = meta_path path in
-      if not (Sys.file_exists file) then
+      if not (vfs.Storage.Vfs.v_exists file) then
         failwith
           (Printf.sprintf "Mvsbt.Durable.reopen: no meta sidecar %s (never flushed?)" file);
-      let ic = open_in_bin file in
-      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-      let size = in_channel_length ic in
-      let buf = Bytes.create size in
-      really_input ic buf 0 size;
+      let buf = Storage.Vfs.read_file vfs file in
+      let size = Bytes.length buf in
       if size < String.length meta_magic + 4 then
         failwith "Mvsbt.Durable.reopen: truncated meta sidecar";
       let crc = Int32.to_int (Bytes.get_int32_le buf (size - 4)) land 0xFFFFFFFF in
@@ -800,7 +785,7 @@ module Make (G : Aggregate.Group.S) = struct
       ( { b; f; variant; merging; disposal; root_star_btree },
         key_space, now_, cur_root, height, roots )
 
-    let make_backend ~path ~self pool store =
+    let make_backend ~vfs ~path ~self pool store =
       {
         b_alloc = (fun () -> File_pool.alloc pool);
         b_read = (fun pid -> File_pool.read pool pid);
@@ -816,11 +801,11 @@ module Make (G : Aggregate.Group.S) = struct
           (fun () ->
             File_pool.flush pool;
             File_store.sync store;
-            match !self with Some t -> write_meta t ~path | None -> ());
+            match !self with Some t -> write_meta t ~vfs ~path | None -> ());
       }
 
-    let create ?config ?(pool_capacity = 64) ?stats ?(page_size = 4096) ~key_space
-        ~path () =
+    let create ?config ?(pool_capacity = 64) ?stats ?(page_size = 4096)
+        ?(vfs = Storage.Vfs.os) ~key_space ~path () =
       let cfg = match config with Some c -> c | None -> default_config ~b:64 in
       validate_create cfg key_space;
       if min_page_size cfg > page_size then
@@ -829,29 +814,111 @@ module Make (G : Aggregate.Group.S) = struct
              "Mvsbt.Durable.create: %d-byte pages cannot hold b=%d records (need %d)"
              page_size cfg.b (min_page_size cfg));
       let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
-      let store = File_store.create ~stats:io_stats ~page_size ~path () in
+      let store = File_store.create ~stats:io_stats ~page_size ~vfs ~path () in
       let pool = File_pool.create ~capacity:pool_capacity store in
       let self = ref None in
-      let backend = make_backend ~path ~self pool store in
+      let backend = make_backend ~vfs ~path ~self pool store in
       let t = boot ~cfg ~key_space ~io_stats backend in
       self := Some t;
-      write_meta t ~path;
+      write_meta t ~vfs ~path;
       t
 
-    let reopen ?(pool_capacity = 64) ?stats ?(page_size = 4096) ~path () =
-      let cfg, key_space, now_, cur_root, height, roots = read_meta ~path in
+    let reopen ?(pool_capacity = 64) ?stats ?(page_size = 4096) ?(vfs = Storage.Vfs.os)
+        ~path () =
+      let cfg, key_space, now_, cur_root, height, roots = read_meta ~vfs ~path in
       let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
-      let store = File_store.create ~stats:io_stats ~page_size ~mode:`Reopen ~path () in
+      let store = File_store.create ~stats:io_stats ~page_size ~mode:`Reopen ~vfs ~path () in
       if not (File_store.mem store cur_root) then
         failwith "Mvsbt.Durable.reopen: meta names a root the page file does not hold";
       let pool = File_pool.create ~capacity:pool_capacity store in
       let self = ref None in
-      let backend = make_backend ~path ~self pool store in
+      let backend = make_backend ~vfs ~path ~self pool store in
       let root_star = Root_star.create ~btree:cfg.root_star_btree ~stats:io_stats () in
       List.iter (fun (ts, pid) -> Root_star.register root_star ~at:ts pid) roots;
       let t = { backend; io_stats; cfg; key_space; root_star; cur_root; height; now_ } in
       self := Some t;
       t
+
+    (* --- Scrub and repair ----------------------------------------------------- *)
+
+    type scrub_report = {
+      pages_checked : int;
+      corrupt : Storage.Page_id.t list;  (** Checksum failures found (ascending). *)
+      repaired : Storage.Page_id.t list;
+      irreparable : Storage.Page_id.t list;
+    }
+
+    (* Page ids are allocated deterministically, so a reference tree that
+       went through the same update sequence holds byte-for-byte the same
+       logical page under the same id — that is what makes repair-by-id
+       sound.  The caller is responsible for that precondition (see
+       [Rta.scrub], which checks the update counters); an id the reference
+       does not hold is reported irreparable. *)
+    let scrub ?stats ?(page_size = 4096) ?(vfs = Storage.Vfs.os) ?repair_from ~path () =
+      let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+      let store = File_store.create ~stats:io_stats ~page_size ~mode:`Reopen ~vfs ~path () in
+      Fun.protect ~finally:(fun () -> File_store.close store) @@ fun () ->
+      let ids = File_store.written_ids store in
+      let corrupt =
+        List.filter
+          (fun id ->
+            let ok = File_store.verify store id in
+            Storage.Io_stats.record_scrubbed io_stats;
+            not ok)
+          ids
+      in
+      let repaired, irreparable =
+        match repair_from with
+        | None -> ([], corrupt)
+        | Some src ->
+            List.partition
+              (fun id ->
+                if src.backend.b_exists id then begin
+                  File_store.write store id (src.backend.b_read id);
+                  Storage.Io_stats.record_repaired io_stats;
+                  true
+                end
+                else false)
+              corrupt
+      in
+      if repaired <> [] then File_store.sync store;
+      { pages_checked = List.length ids; corrupt; repaired; irreparable }
+
+    (* Fault injection for scrub tests: flip one random bit in each of
+       [flips] distinct written pages, inside the CRC-covered region of
+       the block ([len]+[crc]+payload — never the padding, which no
+       checksum covers), so every flip is detectable by construction.
+       Returns the ids hit, ascending. *)
+    let inject_bit_flips ?(page_size = 4096) ?(vfs = Storage.Vfs.os) ~path ~seed ~flips () =
+      let store =
+        File_store.create ~stats:(Storage.Io_stats.create ()) ~page_size ~mode:`Reopen
+          ~vfs ~path ()
+      in
+      Fun.protect ~finally:(fun () -> File_store.close store) @@ fun () ->
+      let ids = Array.of_list (File_store.written_ids store) in
+      let rng = Random.State.make [| seed |] in
+      let n = min flips (Array.length ids) in
+      (* Partial Fisher-Yates: the first [n] slots end up a uniform sample. *)
+      for i = 0 to n - 1 do
+        let j = i + Random.State.int rng (Array.length ids - i) in
+        let tmp = ids.(i) in
+        ids.(i) <- ids.(j);
+        ids.(j) <- tmp
+      done;
+      let hit = Array.sub ids 0 n in
+      Array.iter
+        (fun id ->
+          let block = File_store.read_block store id in
+          let len = Int32.to_int (Bytes.get_int32_le block 0) in
+          let covered = File_store.block_overhead + max 0 (min len (page_size - 8)) in
+          let bit = Random.State.int rng (covered * 8) in
+          let byte = bit / 8 in
+          Bytes.set block byte
+            (Char.chr (Char.code (Bytes.get block byte) lxor (1 lsl (bit mod 8))));
+          File_store.write_block store id block)
+        hit;
+      Array.to_list hit
+      |> List.sort (fun a b -> compare (Storage.Page_id.to_int a) (Storage.Page_id.to_int b))
   end
 
   (* --- Snapshot persistence --------------------------------------------------- *)
@@ -859,28 +926,32 @@ module Make (G : Aggregate.Group.S) = struct
   module Persist (V : VALUE_CODEC) = struct
     let magic = "MVSBT-SNAPSHOT-1"
 
-    let write_chunk oc (w : Storage.Codec.Writer.t) =
+    (* The snapshot is assembled in memory and written through the VFS in
+       one [f_append] per chunk, so snapshot writes are journalled by
+       [Vfs.Memory] like every other disk operation. *)
+    let write_chunk out (w : Storage.Codec.Writer.t) =
       let len = Storage.Codec.Writer.pos w in
       let hdr = Bytes.create 4 in
       Bytes.set_int32_le hdr 0 (Int32.of_int len);
-      output_bytes oc hdr;
-      output_bytes oc (Bytes.sub (Storage.Codec.Writer.contents w) 0 len)
+      out.Storage.Vfs.f_append hdr 0 4;
+      out.Storage.Vfs.f_append (Storage.Codec.Writer.contents w) 0 len
 
-    let read_chunk ic =
-      let hdr = Bytes.create 4 in
-      really_input ic hdr 0 4;
-      let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+    (* Sequential cursor over the loaded snapshot bytes. *)
+    let read_chunk buf pos =
+      if !pos + 4 > Bytes.length buf then failwith "Mvsbt.Persist: truncated snapshot";
+      let len = Int32.to_int (Bytes.get_int32_le buf !pos) in
       if len < 0 || len > 1 lsl 30 then failwith "Mvsbt.Persist: corrupt chunk length";
-      let buf = Bytes.create len in
-      really_input ic buf 0 len;
-      Storage.Codec.Reader.create buf
+      if !pos + 4 + len > Bytes.length buf then failwith "Mvsbt.Persist: truncated snapshot";
+      let chunk = Bytes.sub buf (!pos + 4) len in
+      pos := !pos + 4 + len;
+      Storage.Codec.Reader.create chunk
 
     include Record_codec (V)
 
-    let save t ~path =
-      let oc = open_out_bin path in
-      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
-      output_string oc magic;
+    let save ?(vfs = Storage.Vfs.os) t ~path =
+      let oc = vfs.Storage.Vfs.v_open `Create path in
+      Fun.protect ~finally:(fun () -> oc.Storage.Vfs.f_close ()) @@ fun () ->
+      oc.Storage.Vfs.f_append (Bytes.of_string magic) 0 (String.length magic);
       (* Header. *)
       let tenures = Root_star.tenures t.root_star in
       let w = Storage.Codec.Writer.create (128 + (List.length tenures * 16)) in
@@ -921,12 +992,14 @@ module Make (G : Aggregate.Group.S) = struct
           write_chunk oc w)
         !pages
 
-    let load ?(pool_capacity = 64) ?stats ~path () =
-      let ic = open_in_bin path in
-      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-      let m = really_input_string ic (String.length magic) in
+    let load ?(pool_capacity = 64) ?stats ?(vfs = Storage.Vfs.os) ~path () =
+      let all = Storage.Vfs.read_file vfs path in
+      if Bytes.length all < String.length magic then
+        failwith "Mvsbt.Persist.load: bad magic";
+      let m = Bytes.sub_string all 0 (String.length magic) in
       if m <> magic then failwith "Mvsbt.Persist.load: bad magic";
-      let rd = read_chunk ic in
+      let pos = ref (String.length magic) in
+      let rd = read_chunk all pos in
       let b = Storage.Codec.Reader.i32 rd in
       let f = Int64.float_of_bits (Int64.of_int (Storage.Codec.Reader.i64 rd)) in
       let variant =
@@ -967,10 +1040,10 @@ module Make (G : Aggregate.Group.S) = struct
       in
       let root_star = Root_star.create ~btree:root_star_btree ~stats:io_stats () in
       List.iter (fun (ts, pid) -> Root_star.register root_star ~at:ts pid) roots;
-      let rd = read_chunk ic in
+      let rd = read_chunk all pos in
       let n_pages = Storage.Codec.Reader.i32 rd in
       for _ = 1 to n_pages do
-        let rd = read_chunk ic in
+        let rd = read_chunk all pos in
         let pid = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
         let level = Storage.Codec.Reader.i32 rd in
         let lo = Storage.Codec.Reader.i64 rd in

@@ -134,21 +134,25 @@ module Make (G : Aggregate.Group.S) : sig
       ?pool_capacity:int ->
       ?stats:Storage.Io_stats.t ->
       ?page_size:int ->
+      ?vfs:Storage.Vfs.t ->
       key_space:int ->
       path:string ->
       unit ->
       t
     (** Creates (truncating) [path].  [page_size] defaults to 4096 bytes;
-        it must be able to hold [b] maximal records.  Alongside the page
-        file, a meta sidecar [path ^ ".meta"] records the handle state
-        (configuration, clock, current root, root* directory); it is
-        rewritten atomically on every {!flush}, making {!reopen} possible.
+        it must be able to hold [b] maximal records plus the per-page
+        integrity frame.  Alongside the page file, a meta sidecar
+        [path ^ ".meta"] records the handle state (configuration, clock,
+        current root, root* directory); it is rewritten atomically on
+        every {!flush}, making {!reopen} possible.  All I/O goes through
+        [vfs] (default {!Storage.Vfs.os}).
         @raise Invalid_argument when the configuration cannot fit. *)
 
     val reopen :
       ?pool_capacity:int ->
       ?stats:Storage.Io_stats.t ->
       ?page_size:int ->
+      ?vfs:Storage.Vfs.t ->
       path:string ->
       unit ->
       t
@@ -164,6 +168,46 @@ module Make (G : Aggregate.Group.S) : sig
 
     val min_page_size : config -> int
     (** The smallest page size accepted for a configuration. *)
+
+    type scrub_report = {
+      pages_checked : int;
+      corrupt : Storage.Page_id.t list;  (** Checksum failures found (ascending). *)
+      repaired : Storage.Page_id.t list;
+      irreparable : Storage.Page_id.t list;
+    }
+
+    val scrub :
+      ?stats:Storage.Io_stats.t ->
+      ?page_size:int ->
+      ?vfs:Storage.Vfs.t ->
+      ?repair_from:t ->
+      path:string ->
+      unit ->
+      scrub_report
+    (** Verify the stored CRC32 of every written page of the page file at
+        [path] ([corrupt = \[\]] iff the file is clean).  With
+        [repair_from], each corrupt page whose id the reference tree holds
+        is rewritten from the reference and counted in [repaired]; ids the
+        reference does not hold are [irreparable].  Repair-by-id is sound
+        only when the reference went through the {e same} update sequence
+        (page allocation is deterministic) — callers must ensure that;
+        {!Rta.scrub} checks the update counters.  The file must be
+        quiescent (no unflushed writer).  Verified, corrupt, and repaired
+        pages are counted in [stats] ([scrubbed] / [crc_failures] /
+        [repaired]). *)
+
+    val inject_bit_flips :
+      ?page_size:int ->
+      ?vfs:Storage.Vfs.t ->
+      path:string ->
+      seed:int ->
+      flips:int ->
+      unit ->
+      Storage.Page_id.t list
+    (** Corruption injection for scrub tests: flip one random bit in each
+        of [flips] distinct written pages (fewer if the file is smaller),
+        always inside the CRC-covered region so every flip is detectable.
+        Returns the page ids hit, ascending. *)
   end
 
   (** Snapshot persistence: serialise the whole page graph (every page
@@ -171,10 +215,16 @@ module Make (G : Aggregate.Group.S) : sig
       to a file and reload it later.  The caller supplies the binary codec
       for aggregate values. *)
   module Persist (V : VALUE_CODEC) : sig
-    val save : t -> path:string -> unit
+    val save : ?vfs:Storage.Vfs.t -> t -> path:string -> unit
     (** Write a snapshot.  The index remains usable. *)
 
-    val load : ?pool_capacity:int -> ?stats:Storage.Io_stats.t -> path:string -> unit -> t
+    val load :
+      ?pool_capacity:int ->
+      ?stats:Storage.Io_stats.t ->
+      ?vfs:Storage.Vfs.t ->
+      path:string ->
+      unit ->
+      t
     (** Reload a snapshot; queries and further (time-monotone) insertions
         behave exactly as on the saved index.
         @raise Failure on a malformed or incompatible file. *)

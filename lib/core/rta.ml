@@ -23,7 +23,8 @@ type t = {
   max_key : int;
   mutable now_ : int;
   mutable n_updates : int;
-  durable : string option; (* path prefix when the MVSBTs are file-backed *)
+  durable : (string * Storage.Vfs.t) option;
+      (* path prefix and filesystem when the MVSBTs are file-backed *)
 }
 
 let create ?config ?pool_capacity ?stats ~max_key () =
@@ -55,19 +56,6 @@ let durable_meta_magic = "RTA-DURMETA-1"
 
 let durable_meta_path path = path ^ ".rta.meta"
 
-let write_file_atomic ~path buf ~len =
-  let tmp = path ^ ".tmp" in
-  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-  Fun.protect
-    ~finally:(fun () -> Unix.close fd)
-    (fun () ->
-      let rec loop off =
-        if off < len then loop (off + Unix.write fd buf off (len - off))
-      in
-      loop 0;
-      Unix.fsync fd);
-  Sys.rename tmp path
-
 let encode_meta t w =
   Storage.Codec.Writer.i64 w t.max_key;
   Storage.Codec.Writer.i64 w t.now_;
@@ -94,7 +82,7 @@ let decode_meta rd =
   done;
   (max_key, now_, n_updates, alive)
 
-let write_durable_meta t ~path =
+let write_durable_meta t ~vfs ~path =
   let w =
     Storage.Codec.Writer.create
       (String.length durable_meta_magic + 64 + (Hashtbl.length t.alive * 24) + 4)
@@ -105,18 +93,15 @@ let write_durable_meta t ~path =
   let buf = Storage.Codec.Writer.contents w in
   (* Unsigned 32-bit CRC: splice raw rather than through Writer.i32. *)
   Bytes.set_int32_le buf len (Int32.of_int (Storage.Codec.crc32 buf ~pos:0 ~len));
-  write_file_atomic ~path:(durable_meta_path path) buf ~len:(len + 4)
+  Storage.Vfs.write_file_atomic vfs ~path:(durable_meta_path path) buf ~len:(len + 4)
 
-let read_durable_meta ~path =
+let read_durable_meta ~vfs ~path =
   let file = durable_meta_path path in
-  if not (Sys.file_exists file) then
+  if not (vfs.Storage.Vfs.v_exists file) then
     failwith
       (Printf.sprintf "Rta.reopen_durable: no meta sidecar %s (never flushed?)" file);
-  let ic = open_in_bin file in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-  let size = in_channel_length ic in
-  let buf = Bytes.create size in
-  really_input ic buf 0 size;
+  let buf = Storage.Vfs.read_file vfs file in
+  let size = Bytes.length buf in
   if size < String.length durable_meta_magic + 4 then
     failwith "Rta.reopen_durable: truncated meta sidecar";
   let crc = Int32.to_int (Bytes.get_int32_le buf (size - 4)) land 0xFFFFFFFF in
@@ -130,41 +115,45 @@ let read_durable_meta ~path =
   if magic <> durable_meta_magic then failwith "Rta.reopen_durable: bad meta magic";
   decode_meta rd
 
-let create_durable ?config ?pool_capacity ?stats ?page_size ~max_key ~path () =
+let lkst_suffix = ".lkst.pages"
+let lklt_suffix = ".lklt.pages"
+
+let create_durable ?config ?pool_capacity ?stats ?page_size ?(vfs = Storage.Vfs.os)
+    ~max_key ~path () =
   if max_key < 1 then invalid_arg "Rta.create_durable: max_key must be >= 1";
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   let key_space = max_key + 1 in
   let mk suffix =
-    Durable_index.create ?config ?pool_capacity ~stats ?page_size ~key_space
+    Durable_index.create ?config ?pool_capacity ~stats ?page_size ~vfs ~key_space
       ~path:(path ^ suffix) ()
   in
   let t =
     {
-      lkst = mk ".lkst.pages";
-      lklt = mk ".lklt.pages";
+      lkst = mk lkst_suffix;
+      lklt = mk lklt_suffix;
       alive = Hashtbl.create 1024;
       max_key;
       now_ = 0;
       n_updates = 0;
-      durable = Some path;
+      durable = Some (path, vfs);
     }
   in
-  write_durable_meta t ~path;
+  write_durable_meta t ~vfs ~path;
   t
 
-let reopen_durable ?pool_capacity ?stats ?page_size ~path () =
-  let max_key, now_, n_updates, alive = read_durable_meta ~path in
+let reopen_durable ?pool_capacity ?stats ?page_size ?(vfs = Storage.Vfs.os) ~path () =
+  let max_key, now_, n_updates, alive = read_durable_meta ~vfs ~path in
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   let mk suffix =
-    Durable_index.reopen ?pool_capacity ~stats ?page_size ~path:(path ^ suffix) ()
+    Durable_index.reopen ?pool_capacity ~stats ?page_size ~vfs ~path:(path ^ suffix) ()
   in
-  { lkst = mk ".lkst.pages"; lklt = mk ".lklt.pages"; alive; max_key; now_;
-    n_updates; durable = Some path }
+  { lkst = mk lkst_suffix; lklt = mk lklt_suffix; alive; max_key; now_;
+    n_updates; durable = Some (path, vfs) }
 
 let flush t =
   Index.flush t.lkst;
   Index.flush t.lklt;
-  match t.durable with Some path -> write_durable_meta t ~path | None -> ()
+  match t.durable with Some (path, vfs) -> write_durable_meta t ~vfs ~path | None -> ()
 
 let max_key t = t.max_key
 let config t = Index.config t.lkst
@@ -260,30 +249,101 @@ module Persist = Index.Persist (Value_codec)
 
 let meta_magic = "RTA-META-1"
 
-let save t ~path =
-  Persist.save t.lkst ~path:(path ^ ".lkst");
-  Persist.save t.lklt ~path:(path ^ ".lklt");
-  let oc = open_out_bin (path ^ ".meta") in
-  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
-  output_string oc meta_magic;
+let save ?(vfs = Storage.Vfs.os) t ~path =
+  Persist.save ~vfs t.lkst ~path:(path ^ ".lkst");
+  Persist.save ~vfs t.lklt ~path:(path ^ ".lklt");
+  let oc = vfs.Storage.Vfs.v_open `Create (path ^ ".meta") in
+  Fun.protect ~finally:(fun () -> oc.Storage.Vfs.f_close ()) @@ fun () ->
+  oc.Storage.Vfs.f_append (Bytes.of_string meta_magic) 0 (String.length meta_magic);
   let w =
     Storage.Codec.Writer.create (64 + (Hashtbl.length t.alive * 24))
   in
   encode_meta t w;
   let len = Storage.Codec.Writer.pos w in
-  output_bytes oc (Bytes.sub (Storage.Codec.Writer.contents w) 0 len)
+  oc.Storage.Vfs.f_append (Storage.Codec.Writer.contents w) 0 len
 
-let load ?pool_capacity ?stats ~path () =
+let load ?pool_capacity ?stats ?(vfs = Storage.Vfs.os) ~path () =
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
-  let lkst = Persist.load ?pool_capacity ~stats ~path:(path ^ ".lkst") () in
-  let lklt = Persist.load ?pool_capacity ~stats ~path:(path ^ ".lklt") () in
-  let ic = open_in_bin (path ^ ".meta") in
-  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-  let m = really_input_string ic (String.length meta_magic) in
+  let lkst = Persist.load ?pool_capacity ~stats ~vfs ~path:(path ^ ".lkst") () in
+  let lklt = Persist.load ?pool_capacity ~stats ~vfs ~path:(path ^ ".lklt") () in
+  let buf = Storage.Vfs.read_file vfs (path ^ ".meta") in
+  if Bytes.length buf < String.length meta_magic then failwith "Rta.load: bad meta magic";
+  let m = Bytes.sub_string buf 0 (String.length meta_magic) in
   if m <> meta_magic then failwith "Rta.load: bad meta magic";
-  let len = in_channel_length ic - String.length meta_magic in
-  let buf = Bytes.create len in
-  really_input ic buf 0 len;
-  let rd = Storage.Codec.Reader.create buf in
+  let rest =
+    Bytes.sub buf (String.length meta_magic)
+      (Bytes.length buf - String.length meta_magic)
+  in
+  let rd = Storage.Codec.Reader.create rest in
   let max_key, now_, n_updates, alive = decode_meta rd in
   { lkst; lklt; alive; max_key; now_; n_updates; durable = None }
+
+(* --- Scrub and repair ----------------------------------------------------- *)
+
+type scrub_side = Lkst | Lklt
+
+let pp_scrub_side ppf = function
+  | Lkst -> Format.pp_print_string ppf "lkst"
+  | Lklt -> Format.pp_print_string ppf "lklt"
+
+type scrub_report = {
+  pages_checked : int;
+  corrupt : (scrub_side * Storage.Page_id.t) list;
+  repaired : (scrub_side * Storage.Page_id.t) list;
+  irreparable : (scrub_side * Storage.Page_id.t) list;
+}
+
+let scrub_clean r = r.corrupt = []
+
+let pp_scrub_report ppf r =
+  let pp_list ppf l =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+      (fun ppf (side, pid) ->
+        Format.fprintf ppf "%a:%d" pp_scrub_side side (Storage.Page_id.to_int pid))
+      ppf l
+  in
+  if scrub_clean r then Format.fprintf ppf "clean (%d pages checked)" r.pages_checked
+  else
+    Format.fprintf ppf
+      "@[<v>%d pages checked, %d corrupt@,corrupt: @[%a@]@,repaired: @[%a@]@,irreparable: @[%a@]@]"
+      r.pages_checked (List.length r.corrupt) pp_list r.corrupt pp_list r.repaired
+      pp_list r.irreparable
+
+(* Repair-by-id re-derives a quarantined page from a reference warehouse
+   (typically one recovered from the last checkpoint + WAL by the
+   [Durable] engine).  Page allocation is deterministic, so the
+   reference holds byte-for-byte the same logical pages {e iff} it went
+   through the same update sequence — checked here by comparing its update
+   counter against the one in the scrubbed warehouse's flushed sidecar.
+   On a mismatch every corrupt page is reported irreparable rather than
+   "repaired" with stale content. *)
+let scrub ?stats ?page_size ?(vfs = Storage.Vfs.os) ?repair_from ~path () =
+  let _max_key, _now, n_updates, _alive = read_durable_meta ~vfs ~path in
+  let usable_reference =
+    match repair_from with
+    | Some src when src.n_updates = n_updates -> Some src
+    | _ -> None
+  in
+  let side_report side suffix tree =
+    let repair_from = Option.map tree usable_reference in
+    let r =
+      Durable_index.scrub ?stats ?page_size ~vfs ?repair_from ~path:(path ^ suffix) ()
+    in
+    let tag = List.map (fun pid -> (side, pid)) in
+    ( r.Durable_index.pages_checked,
+      tag r.Durable_index.corrupt,
+      tag r.Durable_index.repaired,
+      tag r.Durable_index.irreparable )
+  in
+  let n1, c1, r1, i1 = side_report Lkst lkst_suffix (fun t -> t.lkst) in
+  let n2, c2, r2, i2 = side_report Lklt lklt_suffix (fun t -> t.lklt) in
+  { pages_checked = n1 + n2; corrupt = c1 @ c2; repaired = r1 @ r2;
+    irreparable = i1 @ i2 }
+
+let inject_bit_flips ?page_size ?(vfs = Storage.Vfs.os) ~path ~seed ~flips () =
+  let side tag suffix ~seed ~flips =
+    Durable_index.inject_bit_flips ?page_size ~vfs ~path:(path ^ suffix) ~seed ~flips ()
+    |> List.map (fun pid -> (tag, pid))
+  in
+  side Lkst lkst_suffix ~seed ~flips:((flips + 1) / 2)
+  @ side Lklt lklt_suffix ~seed:(seed + 1) ~flips:(flips / 2)

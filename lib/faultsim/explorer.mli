@@ -1,0 +1,45 @@
+(** Deterministic enumeration of legal post-crash disk images.
+
+    Feed it the operation journal of a {!Storage.Vfs.Memory} run and it
+    replays the journal against the disk model documented in
+    {!Storage.Vfs}, emitting every distinct disk state a crash could
+    legally leave behind.  At each {e cut} [k] (a crash immediately after
+    journal operation [k-1]) up to four images are considered:
+
+    - {e durable} — only fsync-committed state survives (the volatile
+      page cache is lost wholesale);
+    - {e applied} — every issued operation survives (the crash lost
+      nothing; also what a clean shutdown at that point looks like);
+    - {e torn} — the durable image plus a {e prefix} of the last write,
+      when the last operation was a [Pwrite] to a durably-named file;
+    - {e reordered} — the durable image plus the {e whole} last write,
+      modelling a write that jumped the queue ahead of earlier unsynced
+      writes to the same file.
+
+    Images are deduplicated by content, so the result is the set of
+    distinct states recovery must cope with.  Everything is pure replay —
+    no randomness, no wall clock — so a given journal always yields the
+    same images in the same order. *)
+
+type kind = Durable | Applied | Torn | Reordered
+
+val pp_kind : Format.formatter -> kind -> unit
+
+type image = {
+  cut : int;  (** The crash point: ops [0..cut-1] were issued. *)
+  kind : kind;  (** Which survival scenario produced this image. *)
+  files : (string * string) list;  (** Path -> content, sorted by path. *)
+}
+
+val enumerate : Storage.Vfs.Memory.op list -> image list
+(** All distinct crash images of the journal, in cut order.  With [n]
+    journalled operations there are [n + 1] cuts and at most [4 (n + 1)]
+    candidate images before deduplication. *)
+
+val to_memory_fs : image -> Storage.Vfs.Memory.fs
+(** Load the image into a fresh in-memory filesystem, ready to hand to
+    recovery via {!Storage.Vfs.Memory.vfs}. *)
+
+val materialize : image -> dir:string -> unit
+(** Write the image's files under [dir] on the real filesystem (for
+    inspecting a failing state with ordinary tools). *)

@@ -1,4 +1,13 @@
-type snapshot = { reads : int; writes : int; allocs : int; frees : int; syncs : int }
+type snapshot = {
+  reads : int;
+  writes : int;
+  allocs : int;
+  frees : int;
+  syncs : int;
+  crc_failures : int;
+  scrubbed : int;
+  repaired : int;
+}
 
 type t = {
   mutable n_reads : int;
@@ -6,27 +15,50 @@ type t = {
   mutable n_allocs : int;
   mutable n_frees : int;
   mutable n_syncs : int;
+  mutable n_crc_failures : int;
+  mutable n_scrubbed : int;
+  mutable n_repaired : int;
 }
 
-let create () = { n_reads = 0; n_writes = 0; n_allocs = 0; n_frees = 0; n_syncs = 0 }
+let create () =
+  {
+    n_reads = 0;
+    n_writes = 0;
+    n_allocs = 0;
+    n_frees = 0;
+    n_syncs = 0;
+    n_crc_failures = 0;
+    n_scrubbed = 0;
+    n_repaired = 0;
+  }
+
 let reads t = t.n_reads
 let writes t = t.n_writes
 let allocs t = t.n_allocs
 let frees t = t.n_frees
 let syncs t = t.n_syncs
+let crc_failures t = t.n_crc_failures
+let scrubbed t = t.n_scrubbed
+let repaired t = t.n_repaired
 let total_io t = t.n_reads + t.n_writes
 let record_read t = t.n_reads <- t.n_reads + 1
 let record_write t = t.n_writes <- t.n_writes + 1
 let record_alloc t = t.n_allocs <- t.n_allocs + 1
 let record_free t = t.n_frees <- t.n_frees + 1
 let record_sync t = t.n_syncs <- t.n_syncs + 1
+let record_crc_failure t = t.n_crc_failures <- t.n_crc_failures + 1
+let record_scrubbed t = t.n_scrubbed <- t.n_scrubbed + 1
+let record_repaired t = t.n_repaired <- t.n_repaired + 1
 
 let reset t =
   t.n_reads <- 0;
   t.n_writes <- 0;
   t.n_allocs <- 0;
   t.n_frees <- 0;
-  t.n_syncs <- 0
+  t.n_syncs <- 0;
+  t.n_crc_failures <- 0;
+  t.n_scrubbed <- 0;
+  t.n_repaired <- 0
 
 let snapshot t : snapshot =
   {
@@ -35,6 +67,9 @@ let snapshot t : snapshot =
     allocs = t.n_allocs;
     frees = t.n_frees;
     syncs = t.n_syncs;
+    crc_failures = t.n_crc_failures;
+    scrubbed = t.n_scrubbed;
+    repaired = t.n_repaired;
   }
 
 let diff (a : snapshot) (b : snapshot) : snapshot =
@@ -44,12 +79,27 @@ let diff (a : snapshot) (b : snapshot) : snapshot =
     allocs = a.allocs - b.allocs;
     frees = a.frees - b.frees;
     syncs = a.syncs - b.syncs;
+    crc_failures = a.crc_failures - b.crc_failures;
+    scrubbed = a.scrubbed - b.scrubbed;
+    repaired = a.repaired - b.repaired;
   }
 
+(* The integrity counters are zero on most runs; keep the common output
+   stable and append them only when something happened. *)
+let pp_integrity ppf ~crc ~scrubbed ~repaired =
+  if crc > 0 || scrubbed > 0 || repaired > 0 then
+    Format.fprintf ppf " crc_failures=%d scrubbed=%d repaired=%d" crc scrubbed repaired
+
 let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d" t.n_reads
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d%a" t.n_reads
     t.n_writes t.n_allocs t.n_frees t.n_syncs
+    (fun ppf () ->
+      pp_integrity ppf ~crc:t.n_crc_failures ~scrubbed:t.n_scrubbed ~repaired:t.n_repaired)
+    ()
 
 let pp_snapshot ppf (s : snapshot) =
-  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d" s.reads s.writes
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d%a" s.reads s.writes
     s.allocs s.frees s.syncs
+    (fun ppf () ->
+      pp_integrity ppf ~crc:s.crc_failures ~scrubbed:s.scrubbed ~repaired:s.repaired)
+    ()

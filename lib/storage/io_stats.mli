@@ -25,6 +25,15 @@ val frees : t -> int
 val syncs : t -> int
 (** [fsync]s issued against the underlying file (durable stores only). *)
 
+val crc_failures : t -> int
+(** Page reads whose CRC32 did not match — detected bit-rot. *)
+
+val scrubbed : t -> int
+(** Pages whose checksum a scrub pass verified. *)
+
+val repaired : t -> int
+(** Quarantined pages a scrub pass rewrote from a reference state. *)
+
 val total_io : t -> int
 (** [reads + writes]. *)
 
@@ -33,11 +42,23 @@ val record_write : t -> unit
 val record_alloc : t -> unit
 val record_free : t -> unit
 val record_sync : t -> unit
+val record_crc_failure : t -> unit
+val record_scrubbed : t -> unit
+val record_repaired : t -> unit
 
 val reset : t -> unit
 (** Zero all counters. *)
 
-type snapshot = { reads : int; writes : int; allocs : int; frees : int; syncs : int }
+type snapshot = {
+  reads : int;
+  writes : int;
+  allocs : int;
+  frees : int;
+  syncs : int;
+  crc_failures : int;
+  scrubbed : int;
+  repaired : int;
+}
 
 val snapshot : t -> snapshot
 

@@ -1,3 +1,5 @@
+exception Corrupt_page of { path : string; page : Page_id.t }
+
 module type S = sig
   type payload
   type t
@@ -74,7 +76,8 @@ module File (C : PAGE_CODEC) = struct
   type payload = C.t
 
   type t = {
-    fd : Unix.file_descr;
+    file : Vfs.file;
+    vfs : Vfs.t;
     path : string;
     page_size : int;
     mutable next_id : int;
@@ -84,13 +87,25 @@ module File (C : PAGE_CODEC) = struct
     stats : Io_stats.t;
   }
 
+  (* Every page block carries its own CRC32 frame so bit-rot anywhere in
+     the file is detected at read time, not silently decoded:
+
+       offset 0        4        8                      page_size
+              | len 4B | crc 4B | payload (len bytes) | padding |
+
+     The CRC covers the payload only; [len] is validated against the block
+     geometry before the checksum runs, so a corrupt length cannot read
+     out of bounds. *)
+  let block_overhead = 8
+
   (* Block 0 of the file is a CRC-framed header; pages occupy blocks 1..
      The header lets a reopen verify it is looking at a page file of the
-     expected geometry rather than decoding arbitrary bytes. *)
-  let header_magic = "PGSTORE1"
+     expected geometry rather than decoding arbitrary bytes.  Version 2:
+     per-page checksummed blocks. *)
+  let header_magic = "PGSTORE2"
   let header_payload_bytes = String.length header_magic + 4
 
-  let write_header fd ~page_size =
+  let write_header file ~page_size =
     let w = Codec.Writer.create page_size in
     Codec.Writer.i32 w header_payload_bytes;
     Codec.Writer.i32 w 0 (* crc placeholder *);
@@ -99,24 +114,12 @@ module File (C : PAGE_CODEC) = struct
     let buf = Codec.Writer.contents w in
     let crc = Codec.crc32 buf ~pos:8 ~len:header_payload_bytes in
     Bytes.set_int32_le buf 4 (Int32.of_int crc);
-    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-    let len = Bytes.length buf in
-    let rec loop off =
-      if off < len then loop (off + Unix.write fd buf off (len - off))
-    in
-    loop 0
+    file.Vfs.f_pwrite 0 buf 0 (Bytes.length buf)
 
-  let read_header fd ~page_size =
+  let read_header file ~page_size =
     let buf = Bytes.create page_size in
-    ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-    let rec loop off =
-      if off < page_size then begin
-        let n = Unix.read fd buf off (page_size - off) in
-        if n = 0 then failwith "Page_store.File: truncated header";
-        loop (off + n)
-      end
-    in
-    loop 0;
+    let got = file.Vfs.f_pread 0 buf 0 page_size in
+    if got < page_size then failwith "Page_store.File: truncated header";
     let rd = Codec.Reader.create buf in
     let len = Codec.Reader.i32 rd in
     (* Reader.i32 sign-extends; the CRC is an unsigned 32-bit value. *)
@@ -143,7 +146,7 @@ module File (C : PAGE_CODEC) = struct
 
   let free_sidecar_path path = path ^ ".free"
 
-  let save_freed ~path freed =
+  let save_freed ~vfs ~path freed =
     let n = Page_id.Tbl.length freed in
     let len = String.length free_sidecar_magic + 4 + (n * 8) in
     let w = Codec.Writer.create (len + 4) in
@@ -153,28 +156,14 @@ module File (C : PAGE_CODEC) = struct
     let buf = Codec.Writer.contents w in
     (* Unsigned 32-bit CRC: splice raw rather than through Writer.i32. *)
     Bytes.set_int32_le buf len (Int32.of_int (Codec.crc32 buf ~pos:0 ~len));
-    let tmp = free_sidecar_path path ^ ".tmp" in
-    let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-    Fun.protect
-      ~finally:(fun () -> Unix.close fd)
-      (fun () ->
-        let rec loop off =
-          if off < Bytes.length buf then
-            loop (off + Unix.write fd buf off (Bytes.length buf - off))
-        in
-        loop 0;
-        Unix.fsync fd);
-    Sys.rename tmp (free_sidecar_path path)
+    Vfs.write_file_atomic vfs ~path:(free_sidecar_path path) buf ~len:(len + 4)
 
-  let load_freed ~path =
+  let load_freed ~vfs ~path =
     let freed = Page_id.Tbl.create 64 in
     let file = free_sidecar_path path in
     (try
-       let ic = open_in_bin file in
-       Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
-       let size = in_channel_length ic in
-       let buf = Bytes.create size in
-       really_input ic buf 0 size;
+       let buf = Vfs.read_file vfs file in
+       let size = Bytes.length buf in
        let rd = Codec.Reader.create buf in
        let magic =
          String.init (String.length free_sidecar_magic) (fun _ -> Char.chr (Codec.Reader.u8 rd))
@@ -189,26 +178,27 @@ module File (C : PAGE_CODEC) = struct
      with _ -> Page_id.Tbl.reset freed (* absent or torn: conservative *));
     freed
 
-  let create ?(stats = Io_stats.create ()) ?(page_size = 4096) ?(mode = `Create) ~path () =
-    if page_size < 32 then invalid_arg "Page_store.File: page_size too small";
+  let create ?(stats = Io_stats.create ()) ?(page_size = 4096) ?(mode = `Create)
+      ?(vfs = Vfs.os) ~path () =
+    if page_size < 32 + block_overhead then invalid_arg "Page_store.File: page_size too small";
     match mode with
     | `Create ->
-        let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
-        write_header fd ~page_size;
-        (try Sys.remove (free_sidecar_path path) with Sys_error _ -> ());
-        { fd; path; page_size; next_id = 0; written = Page_id.Tbl.create 1024;
+        let file = vfs.Vfs.v_open `Create path in
+        write_header file ~page_size;
+        (try vfs.Vfs.v_remove (free_sidecar_path path) with Sys_error _ -> ());
+        { file; vfs; path; page_size; next_id = 0; written = Page_id.Tbl.create 1024;
           freed = Page_id.Tbl.create 64; live = 0; stats }
     | `Reopen ->
-        let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-        (try read_header fd ~page_size
+        let file = vfs.Vfs.v_open `Reopen path in
+        (try read_header file ~page_size
          with e ->
-           Unix.close fd;
+           file.Vfs.f_close ();
            raise e);
-        let len = (Unix.fstat fd).Unix.st_size in
+        let len = file.Vfs.f_size () in
         (* Only complete page blocks count; a torn trailing page is ignored
            (its id will be rewritten by the recovery replay). *)
         let next_id = max 0 ((len / page_size) - 1) in
-        let freed = load_freed ~path in
+        let freed = load_freed ~vfs ~path in
         (* Ids at or past next_id cannot be in the file; drop them so the
            sidecar of a longer previous incarnation cannot mask new pages. *)
         Page_id.Tbl.fold
@@ -220,7 +210,7 @@ module File (C : PAGE_CODEC) = struct
           let id = Page_id.of_int i in
           if not (Page_id.Tbl.mem freed id) then Page_id.Tbl.replace written id ()
         done;
-        { fd; path; page_size; next_id; written; freed;
+        { file; vfs; path; page_size; next_id; written; freed;
           live = Page_id.Tbl.length written; stats }
 
   let stats t = t.stats
@@ -236,43 +226,56 @@ module File (C : PAGE_CODEC) = struct
 
   let offset t id = (1 + Page_id.to_int id) * t.page_size
 
-  let really_read fd buf =
-    let len = Bytes.length buf in
-    let rec loop off =
-      if off < len then begin
-        let n = Unix.read fd buf off (len - off) in
-        if n = 0 then failwith "Page_store.File: short read";
-        loop (off + n)
-      end
-    in
-    loop 0
+  let read_block t id =
+    let buf = Bytes.create t.page_size in
+    let got = t.file.Vfs.f_pread (offset t id) buf 0 t.page_size in
+    if got < t.page_size then failwith "Page_store.File: short read";
+    buf
 
-  let really_write fd buf =
-    let len = Bytes.length buf in
-    let rec loop off =
-      if off < len then begin
-        let n = Unix.write fd buf off (len - off) in
-        loop (off + n)
-      end
-    in
-    loop 0
+  let write_block t id buf =
+    if Bytes.length buf <> t.page_size then
+      invalid_arg "Page_store.File: write_block needs exactly one page";
+    t.file.Vfs.f_pwrite (offset t id) buf 0 t.page_size
+
+  let check_block t buf =
+    let len = Int32.to_int (Bytes.get_int32_le buf 0) in
+    if len < 0 || len > t.page_size - block_overhead then false
+    else begin
+      let crc = Int32.to_int (Bytes.get_int32_le buf 4) land 0xFFFFFFFF in
+      Codec.crc32 buf ~pos:block_overhead ~len = crc
+    end
 
   let read t id =
     if not (Page_id.Tbl.mem t.written id) then raise Not_found;
     Io_stats.record_read t.stats;
-    ignore (Unix.lseek t.fd (offset t id) Unix.SEEK_SET);
-    let buf = Bytes.create t.page_size in
-    really_read t.fd buf;
-    C.decode (Codec.Reader.create buf)
+    let buf = read_block t id in
+    if not (check_block t buf) then begin
+      Io_stats.record_crc_failure t.stats;
+      raise (Corrupt_page { path = t.path; page = id })
+    end;
+    let len = Int32.to_int (Bytes.get_int32_le buf 0) in
+    C.decode (Codec.Reader.create (Bytes.sub buf block_overhead len))
 
   let write t id payload =
     Io_stats.record_write t.stats;
     let w = Codec.Writer.create t.page_size in
+    Codec.Writer.i32 w 0 (* len placeholder *);
+    Codec.Writer.i32 w 0 (* crc placeholder *);
     C.encode w payload;
-    ignore (Unix.lseek t.fd (offset t id) Unix.SEEK_SET);
-    really_write t.fd (Codec.Writer.contents w);
+    let len = Codec.Writer.pos w - block_overhead in
+    let buf = Codec.Writer.contents w in
+    Bytes.set_int32_le buf 0 (Int32.of_int len);
+    (* Unsigned 32-bit CRC: splice raw rather than through Writer.i32. *)
+    Bytes.set_int32_le buf 4 (Int32.of_int (Codec.crc32 buf ~pos:block_overhead ~len));
+    t.file.Vfs.f_pwrite (offset t id) buf 0 (Bytes.length buf);
     Page_id.Tbl.remove t.freed id;
     Page_id.Tbl.replace t.written id ()
+
+  let verify t id =
+    if not (Page_id.Tbl.mem t.written id) then raise Not_found;
+    let ok = check_block t (read_block t id) in
+    if not ok then Io_stats.record_crc_failure t.stats;
+    ok
 
   let free t id =
     Io_stats.record_free t.stats;
@@ -283,13 +286,18 @@ module File (C : PAGE_CODEC) = struct
   let mem t id = Page_id.Tbl.mem t.written id
   let live_pages t = t.live
 
+  let written_ids t =
+    Page_id.Tbl.fold (fun id () acc -> id :: acc) t.written []
+    |> List.sort (fun a b -> compare (Page_id.to_int a) (Page_id.to_int b))
+
   let sync t =
     Io_stats.record_sync t.stats;
-    Unix.fsync t.fd;
-    save_freed ~path:t.path t.freed
+    t.file.Vfs.f_sync ();
+    save_freed ~vfs:t.vfs ~path:t.path t.freed
 
   let close t =
-    (try save_freed ~path:t.path t.freed with _ -> ());
-    Unix.close t.fd
+    (try save_freed ~vfs:t.vfs ~path:t.path t.freed with _ -> ());
+    t.file.Vfs.f_close ()
+
   let file_size_bytes t = (1 + t.next_id) * t.page_size
 end

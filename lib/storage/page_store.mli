@@ -7,11 +7,17 @@
       physical I/O is still charged to {!Io_stats} so experiments measure
       the same quantity the paper does.
     - {!File} serialises each page through a {!PAGE_CODEC} into a fixed-size
-      block of a real file, proving the structures are genuinely
-      disk-resident (every tree page round-trips through bytes).
+      block of a real file (through a {!Vfs.t}), proving the structures are
+      genuinely disk-resident.  Every block carries a CRC32 over its
+      payload, verified on every read, so bit-rot is detected loudly
+      ({!Corrupt_page}) instead of being decoded into garbage.
 
     Stores are deliberately dumb: no caching.  Layer {!Buffer_pool} on top
     for LRU buffering. *)
+
+exception Corrupt_page of { path : string; page : Page_id.t }
+(** A page block whose stored CRC32 does not match its payload (or whose
+    length field is out of range).  Counted in {!Io_stats.crc_failures}. *)
 
 module type S = sig
   type payload
@@ -72,16 +78,22 @@ end
 module File (C : PAGE_CODEC) : sig
   include S with type payload = C.t
 
+  val block_overhead : int
+  (** Bytes of each block spent on the integrity frame ([len] + [crc], 8);
+      the codec sees at most [page_size - block_overhead] bytes. *)
+
   val create :
     ?stats:Io_stats.t ->
     ?page_size:int ->
     ?mode:[ `Create | `Reopen ] ->
+    ?vfs:Vfs.t ->
     path:string ->
     unit ->
     t
   (** Every page occupies one fixed-size block of [page_size] bytes
       (default 4096, the paper's setting); block 0 holds a CRC32-framed
-      header recording the geometry.
+      header recording the geometry, and each page block is framed as
+      [len][crc32][payload].
 
       With [`Create] (the default) the file is created or truncated.  With
       [`Reopen] an existing page file is opened in place: the header is
@@ -92,10 +104,30 @@ module File (C : PAGE_CODEC) : sig
       If the sidecar is stale or torn the reopen degrades conservatively:
       pages freed after the last sync resurrect and {!live_pages}
       overcounts; after a clean {!sync} or {!close} liveness is exact.
+
+      All I/O goes through [vfs] (default {!Vfs.os}).
       @raise Failure on a missing, foreign, or geometry-mismatched file
       under [`Reopen]. *)
 
   val page_size : t -> int
+
+  val verify : t -> Page_id.t -> bool
+  (** Check the stored CRC of a written page without decoding it.  [false]
+      (a corrupt block) is also counted in {!Io_stats.crc_failures}.
+      @raise Not_found if the page was never written or was freed. *)
+
+  val read_block : t -> Page_id.t -> bytes
+  (** The raw [page_size]-byte block of a page, frame included — scrub and
+      explorer plumbing. *)
+
+  val write_block : t -> Page_id.t -> bytes -> unit
+  (** Overwrite a page's raw block verbatim (must be exactly [page_size]
+      bytes).  Bypasses the codec {e and the CRC framing} — the caller is
+      responsible for the frame's integrity.  Scrub/repair and
+      fault-injection plumbing; not charged as a logical write. *)
+
+  val written_ids : t -> Page_id.t list
+  (** Every currently written (allocated, not freed) page id, ascending. *)
 
   val sync : t -> unit
   (** [fsync] the backing file — every completed {!write} is on the

@@ -1,0 +1,368 @@
+exception Crashed
+
+type file = {
+  f_pread : int -> bytes -> int -> int -> int;
+  f_pwrite : int -> bytes -> int -> int -> unit;
+  f_append : bytes -> int -> int -> unit;
+  f_size : unit -> int;
+  f_sync : unit -> unit;
+  f_truncate : int -> unit;
+  f_close : unit -> unit;
+}
+
+type open_mode = [ `Create | `Reopen | `Log ]
+
+type t = {
+  v_open : open_mode -> string -> file;
+  v_rename : string -> string -> unit;
+  v_remove : string -> unit;
+  v_exists : string -> bool;
+  v_readdir : string -> string array;
+  v_sync_dir : string -> unit;
+}
+
+(* --- The real filesystem ------------------------------------------------------ *)
+
+let os_file_of_fd ?(append = false) fd =
+  let really_write_at seek buf pos len =
+    seek ();
+    let rec loop off =
+      if off < len then loop (off + Unix.write fd buf (pos + off) (len - off))
+    in
+    loop 0
+  in
+  {
+    f_pread =
+      (fun off buf pos len ->
+        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        let rec loop got =
+          if got >= len then got
+          else
+            let n = Unix.read fd buf (pos + got) (len - got) in
+            if n = 0 then got else loop (got + n)
+        in
+        loop 0);
+    f_pwrite =
+      (fun off buf pos len ->
+        really_write_at (fun () -> ignore (Unix.lseek fd off Unix.SEEK_SET)) buf pos len);
+    f_append =
+      (fun buf pos len ->
+        (* With O_APPEND the kernel positions atomically; otherwise seek
+           to the end explicitly. *)
+        really_write_at
+          (fun () -> if not append then ignore (Unix.lseek fd 0 Unix.SEEK_END))
+          buf pos len);
+    f_size = (fun () -> (Unix.fstat fd).Unix.st_size);
+    f_sync = (fun () -> Unix.fsync fd);
+    f_truncate = (fun len -> Unix.ftruncate fd len);
+    f_close = (fun () -> Unix.close fd);
+  }
+
+let os =
+  {
+    v_open =
+      (fun mode path ->
+        match mode with
+        | `Create ->
+            let fd =
+              Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+            in
+            os_file_of_fd fd
+        | `Reopen ->
+            let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+            os_file_of_fd fd
+        | `Log ->
+            (* O_APPEND makes every append land atomically at end-of-file;
+               the advisory lock rejects a second process opening the same
+               log outright (locks are per-process, so re-opening after an
+               in-process simulated crash still works). *)
+            let fd =
+              Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+            in
+            (try Unix.lockf fd Unix.F_TLOCK 0
+             with Unix.Unix_error _ ->
+               Unix.close fd;
+               failwith (Printf.sprintf "Vfs: %s is locked by another process" path));
+            os_file_of_fd ~append:true fd);
+    v_rename = Sys.rename;
+    v_remove = Sys.remove;
+    v_exists = Sys.file_exists;
+    v_readdir = Sys.readdir;
+    v_sync_dir =
+      (fun dir ->
+        let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd));
+  }
+
+(* --- Shared helpers ----------------------------------------------------------- *)
+
+let read_file vfs path =
+  let f = vfs.v_open `Reopen path in
+  Fun.protect ~finally:(fun () -> f.f_close ()) @@ fun () ->
+  let size = f.f_size () in
+  let buf = Bytes.create size in
+  let got = f.f_pread 0 buf 0 size in
+  if got < size then failwith (Printf.sprintf "Vfs.read_file: short read on %s" path);
+  buf
+
+let write_file_atomic vfs ~path buf ~len =
+  let tmp = path ^ ".tmp" in
+  let f = vfs.v_open `Create tmp in
+  Fun.protect
+    ~finally:(fun () -> f.f_close ())
+    (fun () ->
+      f.f_pwrite 0 buf 0 len;
+      f.f_sync ());
+  vfs.v_rename tmp path
+
+let sync_path vfs path =
+  let f = vfs.v_open `Reopen path in
+  Fun.protect ~finally:(fun () -> f.f_close ()) (fun () -> f.f_sync ())
+
+(* --- Fault injection ---------------------------------------------------------- *)
+
+module Fault = struct
+  type mode = Torn | Dropped | Duplicated
+
+  type handle = {
+    mutable budget : int;
+    mutable is_crashed : bool;
+    mutable n_written : int;
+    mode : mode;
+  }
+
+  let wrap ?(mode = Torn) ~fail_after inner =
+    if fail_after < 0 then invalid_arg "Vfs.Fault.wrap: negative budget";
+    let h = { budget = fail_after; is_crashed = false; n_written = 0; mode } in
+    let check () = if h.is_crashed then raise Crashed in
+    let guarded_write ~emit len =
+      check ();
+      if len < h.budget then begin
+        emit ~len;
+        h.budget <- h.budget - len;
+        h.n_written <- h.n_written + len
+      end
+      else begin
+        (* The crash point lies inside (or exactly at the end of) this
+           write: mangle it according to the disk model under test, then
+           die.  Torn emits the surviving prefix; Dropped loses the whole
+           write; Duplicated lands it twice (a retried write whose first
+           copy also reached the platter). *)
+        (match h.mode with
+        | Torn ->
+            emit ~len:h.budget;
+            h.n_written <- h.n_written + h.budget
+        | Dropped -> ()
+        | Duplicated ->
+            emit ~len;
+            emit ~len;
+            h.n_written <- h.n_written + (2 * len));
+        h.budget <- 0;
+        h.is_crashed <- true;
+        raise Crashed
+      end
+    in
+    let file =
+      {
+        f_append =
+          (fun buf pos len ->
+            guarded_write ~emit:(fun ~len -> inner.f_append buf pos len) len);
+        f_pwrite =
+          (fun off buf pos len ->
+            guarded_write ~emit:(fun ~len -> inner.f_pwrite off buf pos len) len);
+        f_pread =
+          (fun off buf pos len ->
+            check ();
+            inner.f_pread off buf pos len);
+        f_size =
+          (fun () ->
+            check ();
+            inner.f_size ());
+        f_sync =
+          (fun () ->
+            check ();
+            inner.f_sync ());
+        f_truncate =
+          (fun len ->
+            check ();
+            inner.f_truncate len);
+        f_close =
+          (fun () ->
+            check ();
+            inner.f_close ());
+      }
+    in
+    (h, file)
+
+  let crashed h = h.is_crashed
+  let written h = h.n_written
+end
+
+(* --- In-memory journaling filesystem ------------------------------------------ *)
+
+module Memory = struct
+  type op =
+    | Create of string
+    | Pwrite of { path : string; off : int; data : string }
+    | Truncate of string * int
+    | Sync of string
+    | Rename of string * string
+    | Remove of string
+    | Sync_dir of string
+
+  let pp_op ppf = function
+    | Create p -> Format.fprintf ppf "create %s" p
+    | Pwrite { path; off; data } ->
+        Format.fprintf ppf "pwrite %s @%d +%d" path off (String.length data)
+    | Truncate (p, n) -> Format.fprintf ppf "truncate %s to %d" p n
+    | Sync p -> Format.fprintf ppf "fsync %s" p
+    | Rename (a, b) -> Format.fprintf ppf "rename %s -> %s" a b
+    | Remove p -> Format.fprintf ppf "remove %s" p
+    | Sync_dir d -> Format.fprintf ppf "fsync-dir %s" d
+
+  type fs = {
+    files : (string, Buffer.t) Hashtbl.t;
+    mutable journal : op list; (* reversed *)
+    mutable n_ops : int;
+  }
+
+  let create () = { files = Hashtbl.create 32; journal = []; n_ops = 0 }
+
+  (* Paths are flat names; "./x" and "x" must alias (callers go through
+     [Filename.dirname]/[concat], which introduces "./"). *)
+  let norm path =
+    if String.length path > 2 && String.sub path 0 2 = "./" then
+      String.sub path 2 (String.length path - 2)
+    else path
+
+  let log fs op =
+    fs.journal <- op :: fs.journal;
+    fs.n_ops <- fs.n_ops + 1
+
+  let ops fs = List.rev fs.journal
+  let op_count fs = fs.n_ops
+
+  let contents fs =
+    Hashtbl.fold (fun path buf acc -> (path, Buffer.contents buf) :: acc) fs.files []
+    |> List.sort compare
+
+  let buffer_blit_sub src ~pos ~len = Bytes.sub src pos len |> Bytes.to_string
+
+  let pwrite_buffer buf ~off ~data =
+    let cur = Buffer.contents buf in
+    let cur_len = String.length cur in
+    let data_len = String.length data in
+    let new_len = max cur_len (off + data_len) in
+    let out = Bytes.make new_len '\000' in
+    Bytes.blit_string cur 0 out 0 cur_len;
+    Bytes.blit_string data 0 out off data_len;
+    Buffer.clear buf;
+    Buffer.add_bytes buf out
+
+  let file_of fs path =
+    let path = norm path in
+    let find () =
+      match Hashtbl.find_opt fs.files path with
+      | Some b -> b
+      | None -> raise (Sys_error (path ^ ": No such file or directory"))
+    in
+    {
+      f_pread =
+        (fun off buf pos len ->
+          let b = find () in
+          let size = Buffer.length b in
+          if off >= size then 0
+          else begin
+            let n = min len (size - off) in
+            Bytes.blit_string (Buffer.contents b) off buf pos n;
+            n
+          end);
+      f_pwrite =
+        (fun off buf pos len ->
+          let b = find () in
+          let data = buffer_blit_sub buf ~pos ~len in
+          pwrite_buffer b ~off ~data;
+          log fs (Pwrite { path; off; data }));
+      f_append =
+        (fun buf pos len ->
+          let b = find () in
+          let off = Buffer.length b in
+          let data = buffer_blit_sub buf ~pos ~len in
+          Buffer.add_string b data;
+          log fs (Pwrite { path; off; data }));
+      f_size = (fun () -> Buffer.length (find ()));
+      f_sync = (fun () -> log fs (Sync path));
+      f_truncate =
+        (fun len ->
+          let b = find () in
+          let cur = Buffer.contents b in
+          let cur_len = String.length cur in
+          Buffer.clear b;
+          if len <= cur_len then Buffer.add_string b (String.sub cur 0 len)
+          else begin
+            Buffer.add_string b cur;
+            Buffer.add_string b (String.make (len - cur_len) '\000')
+          end;
+          log fs (Truncate (path, len)));
+      f_close = (fun () -> ());
+    }
+
+  let dir_member dir name =
+    (* Flat namespace: everything lives in "." unless the caller used an
+       explicit directory prefix. *)
+    let dir = norm dir in
+    if dir = "." || dir = "" then not (String.contains name '/')
+    else
+      String.length name > String.length dir
+      && String.sub name 0 (String.length dir) = dir
+      && name.[String.length dir] = '/'
+
+  let strip_dir dir name =
+    let dir = norm dir in
+    if dir = "." || dir = "" then name
+    else String.sub name (String.length dir + 1) (String.length name - String.length dir - 1)
+
+  let vfs fs =
+    {
+      v_open =
+        (fun mode path ->
+          let path = norm path in
+          (match mode with
+          | `Create ->
+              Hashtbl.replace fs.files path (Buffer.create 256);
+              log fs (Create path)
+          | `Log ->
+              if not (Hashtbl.mem fs.files path) then begin
+                Hashtbl.replace fs.files path (Buffer.create 256);
+                log fs (Create path)
+              end
+          | `Reopen ->
+              if not (Hashtbl.mem fs.files path) then
+                failwith (Printf.sprintf "Vfs.Memory: no such file %s" path));
+          file_of fs path);
+      v_rename =
+        (fun src dst ->
+          let src = norm src and dst = norm dst in
+          match Hashtbl.find_opt fs.files src with
+          | None -> raise (Sys_error (src ^ ": No such file or directory"))
+          | Some b ->
+              Hashtbl.remove fs.files src;
+              Hashtbl.replace fs.files dst b;
+              log fs (Rename (src, dst)));
+      v_remove =
+        (fun path ->
+          let path = norm path in
+          if not (Hashtbl.mem fs.files path) then
+            raise (Sys_error (path ^ ": No such file or directory"));
+          Hashtbl.remove fs.files path;
+          log fs (Remove path));
+      v_exists = (fun path -> Hashtbl.mem fs.files (norm path));
+      v_readdir =
+        (fun dir ->
+          Hashtbl.fold
+            (fun name _ acc -> if dir_member dir name then strip_dir dir name :: acc else acc)
+            fs.files []
+          |> Array.of_list);
+      v_sync_dir = (fun dir -> log fs (Sync_dir (norm dir)));
+    }
+end

@@ -1,0 +1,131 @@
+(** The virtual file system all disk writers go through.
+
+    Every durable artifact in this code base — the WAL, {!Page_store.File}
+    page files and their free-list sidecars, the MVSBT and warehouse meta
+    sidecars, checkpoint snapshots, and the checkpoint pointer — performs
+    its byte-level I/O through a {!t}.  Three implementations share the
+    interface:
+
+    - {!os} is the real thing (Unix file descriptors, [fsync], atomic
+      [rename]);
+    - {!Memory} keeps files in memory {e and journals every state-changing
+      operation}, which is what the crash-state explorer
+      ([lib/faultsim]) replays to enumerate legal post-crash disk images;
+    - {!Fault} wraps any {!file} with a byte budget after which the write
+      in flight is torn, dropped, or duplicated and the "process" dies.
+
+    The disk model the journal encodes (and recovery is tested against):
+
+    - [pwrite]/[append]/[truncate] on a file are {e volatile} until the
+      next [fsync] of that file; a crash may lose, tear, or reorder them;
+    - [fsync] of a file makes all its prior data operations durable and —
+      as on ext4 — also persists the file's directory entry;
+    - [rename] is atomic (a crash sees the old name or the new name,
+      never a mix) but needs an [fsync] of the parent directory to be
+      guaranteed durable;
+    - [remove] likewise becomes durable at the next directory [fsync]. *)
+
+exception Crashed
+(** Raised by a {!Fault} file once its fault triggers; every later
+    operation on the crashed file raises it too (the process is "dead"). *)
+
+type file = {
+  f_pread : int -> bytes -> int -> int -> int;
+      (** [f_pread off buf pos len] reads up to [len] bytes at absolute
+          offset [off]; returns the number read (0 at EOF). *)
+  f_pwrite : int -> bytes -> int -> int -> unit;
+      (** [f_pwrite off buf pos len] writes at absolute offset [off],
+          zero-filling any gap past EOF. *)
+  f_append : bytes -> int -> int -> unit;
+      (** [f_append buf pos len] appends at end-of-file.  May raise
+          {!Crashed} after writing a prefix (torn write) under {!Fault}. *)
+  f_size : unit -> int;
+  f_sync : unit -> unit;
+  f_truncate : int -> unit;
+  f_close : unit -> unit;
+}
+
+type open_mode =
+  [ `Create  (** Create or truncate. *)
+  | `Reopen  (** Open an existing file; fails if absent. *)
+  | `Log
+    (** Create if absent, position appends at EOF ([O_APPEND] on the real
+        filesystem, where an advisory lock also rejects a second process
+        opening the same log). *) ]
+
+type t = {
+  v_open : open_mode -> string -> file;
+  v_rename : string -> string -> unit;  (** Atomic; see the disk model. *)
+  v_remove : string -> unit;
+  v_exists : string -> bool;
+  v_readdir : string -> string array;
+  v_sync_dir : string -> unit;
+}
+
+val os : t
+(** The real filesystem. *)
+
+val read_file : t -> string -> bytes
+(** Whole-file read. @raise Failure on a short read, [Sys_error]/[Failure]
+    if absent. *)
+
+val write_file_atomic : t -> path:string -> bytes -> len:int -> unit
+(** Write [len] bytes to [path ^ ".tmp"], [fsync], then atomically rename
+    over [path] — the shared commit idiom for sidecars and pointers.  The
+    caller adds {!t.v_sync_dir} when the rename itself must be durable. *)
+
+val sync_path : t -> string -> unit
+(** Open [path] and [fsync] it. *)
+
+(** Byte-budget fault injection over any {!file}. *)
+module Fault : sig
+  type mode =
+    | Torn  (** The crossing write lands as a prefix (default). *)
+    | Dropped  (** The crossing write is lost entirely. *)
+    | Duplicated  (** The crossing write lands twice (a retried write). *)
+
+  type handle
+
+  val wrap : ?mode:mode -> fail_after:int -> file -> handle * file
+  (** [wrap ~fail_after f] crashes once [fail_after] more bytes have been
+      written through the wrapper ([f_append] and [f_pwrite] both count).
+      Reads are unaffected until the crash; afterwards every operation
+      raises {!Crashed}. *)
+
+  val crashed : handle -> bool
+
+  val written : handle -> int
+  (** Bytes that reached the underlying file before (or at) the crash. *)
+end
+
+(** In-memory files plus an operation journal, the substrate of the
+    crash-state explorer. *)
+module Memory : sig
+  type op =
+    | Create of string
+    | Pwrite of { path : string; off : int; data : string }
+    | Truncate of string * int
+    | Sync of string
+    | Rename of string * string
+    | Remove of string
+    | Sync_dir of string
+
+  val pp_op : Format.formatter -> op -> unit
+
+  type fs
+
+  val create : unit -> fs
+  val vfs : fs -> t
+
+  val ops : fs -> op list
+  (** Every state-changing operation since {!create}, in program order.
+      Reads and closes are not journalled (they change no disk state). *)
+
+  val op_count : fs -> int
+
+  val contents : fs -> (string * string) list
+  (** Current (fully-applied) file contents, sorted by path. *)
+
+  val norm : string -> string
+  (** The path normalisation the journal uses ("./x" aliases "x"). *)
+end

@@ -5,7 +5,7 @@ let pp_sync_policy ppf = function
   | Every_n n -> Format.fprintf ppf "every:%d" n
   | Always -> Format.fprintf ppf "always"
 
-exception Crashed
+exception Crashed = Storage.Vfs.Crashed
 
 module Stats = struct
   type t = {
@@ -49,103 +49,24 @@ end
 
 (* --- File layer -------------------------------------------------------------- *)
 
-type file = {
-  f_append : bytes -> int -> int -> unit;
-  f_pread : int -> bytes -> int -> int -> int;
-  f_size : unit -> int;
-  f_sync : unit -> unit;
-  f_truncate : int -> unit;
-  f_close : unit -> unit;
-}
+(* The byte-level file abstraction now lives in {!Storage.Vfs}, shared by
+   every disk writer in the code base; the aliases below keep the original
+   Wal surface working. *)
 
-let os_file ~path =
-  (* O_APPEND makes every write land atomically at end-of-file, so two
-     writes can never interleave mid-frame; the advisory lock rejects a
-     second process opening the same log outright (locks are per-process,
-     so re-opening after an in-process simulated crash still works). *)
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
-  (try Unix.lockf fd Unix.F_TLOCK 0
-   with Unix.Unix_error _ ->
-     Unix.close fd;
-     failwith (Printf.sprintf "Wal: %s is locked by another process" path));
-  let really_write buf pos len =
-    let rec loop off =
-      if off < len then loop (off + Unix.write fd buf (pos + off) (len - off))
-    in
-    loop 0
-  in
-  {
-    f_append = (fun buf pos len -> really_write buf pos len);
-    f_pread =
-      (fun off buf pos len ->
-        ignore (Unix.lseek fd off Unix.SEEK_SET);
-        (* One read is enough for the small frames we use, but loop to be
-           correct on any filesystem. *)
-        let rec loop got =
-          if got >= len then got
-          else
-            let n = Unix.read fd buf (pos + got) (len - got) in
-            if n = 0 then got else loop (got + n)
-        in
-        loop 0);
-    f_size = (fun () -> (Unix.fstat fd).Unix.st_size);
-    f_sync = (fun () -> Unix.fsync fd);
-    f_truncate = (fun len -> Unix.ftruncate fd len);
-    f_close = (fun () -> Unix.close fd);
-  }
+type file = Storage.Vfs.file
+
+(* Brings the [f_*] record labels of {!Storage.Vfs.file} into scope for
+   the log implementation below. *)
+open Storage.Vfs
+
+let os_file ~path = os.v_open `Log path
 
 module Faulty = struct
-  type handle = { mutable budget : int; mutable is_crashed : bool; mutable n_written : int }
+  type handle = Storage.Vfs.Fault.handle
 
-  let wrap ~fail_after inner =
-    if fail_after < 0 then invalid_arg "Wal.Faulty.wrap: negative budget";
-    let h = { budget = fail_after; is_crashed = false; n_written = 0 } in
-    let check () = if h.is_crashed then raise Crashed in
-    let file =
-      {
-        f_append =
-          (fun buf pos len ->
-            check ();
-            if len < h.budget then begin
-              inner.f_append buf pos len;
-              h.budget <- h.budget - len;
-              h.n_written <- h.n_written + len
-            end
-            else begin
-              (* The crash point lies inside (or exactly at the end of)
-                 this write: emit the surviving prefix, then die. *)
-              inner.f_append buf pos h.budget;
-              h.n_written <- h.n_written + h.budget;
-              h.budget <- 0;
-              h.is_crashed <- true;
-              raise Crashed
-            end);
-        f_pread =
-          (fun off buf pos len ->
-            check ();
-            inner.f_pread off buf pos len);
-        f_size =
-          (fun () ->
-            check ();
-            inner.f_size ());
-        f_sync =
-          (fun () ->
-            check ();
-            inner.f_sync ());
-        f_truncate =
-          (fun len ->
-            check ();
-            inner.f_truncate len);
-        f_close =
-          (fun () ->
-            check ();
-            inner.f_close ());
-      }
-    in
-    (h, file)
-
-  let crashed h = h.is_crashed
-  let written h = h.n_written
+  let wrap ?mode ~fail_after inner = Storage.Vfs.Fault.wrap ?mode ~fail_after inner
+  let crashed = Storage.Vfs.Fault.crashed
+  let written = Storage.Vfs.Fault.written
 end
 
 (* --- The log ----------------------------------------------------------------- *)

@@ -30,9 +30,10 @@
     commit: one fsync per [n] appends), [Always] (classic WAL, one fsync
     per record).
 
-    All I/O goes through a {!file} record of closures so the {!Faulty}
-    layer can inject short writes and crashes at arbitrary byte offsets —
-    that is what makes recovery testable. *)
+    All I/O goes through a {!Storage.Vfs.file} record of closures so the
+    {!Faulty} layer can inject short, dropped, or duplicated writes and
+    crashes at arbitrary byte offsets — that is what makes recovery
+    testable. *)
 
 type sync_policy =
   | Never  (** Let the OS write back whenever it likes. *)
@@ -42,8 +43,9 @@ type sync_policy =
 val pp_sync_policy : Format.formatter -> sync_policy -> unit
 
 exception Crashed
-(** Raised by a {!Faulty} file once its fault triggers; every later
-    operation on the crashed file raises it too (the process is "dead"). *)
+(** Alias of {!Storage.Vfs.Crashed}: raised by a {!Faulty} file once its
+    fault triggers; every later operation on the crashed file raises it
+    too (the process is "dead"). *)
 
 (** Counters in the style of {!Storage.Io_stats}: every log charges its
     operations to a sink the caller can read, reset, and print. *)
@@ -75,38 +77,35 @@ end
 
 (** {1 The byte-level file layer} *)
 
-type file = {
-  f_append : bytes -> int -> int -> unit;
-      (** [f_append buf pos len] appends bytes at the end of the file.
-          May raise {!Crashed} after writing a prefix (torn write). *)
-  f_pread : int -> bytes -> int -> int -> int;
-      (** [f_pread off buf pos len] reads up to [len] bytes at absolute
-          offset [off]; returns the number read (0 at EOF). *)
-  f_size : unit -> int;
-  f_sync : unit -> unit;
-  f_truncate : int -> unit;
-  f_close : unit -> unit;
-}
+type file = Storage.Vfs.file
+(** The shared VFS file abstraction; see {!Storage.Vfs} for the record
+    fields and the documented disk model. *)
 
 val os_file : path:string -> file
-(** The real thing: [open(2)] with [O_RDWR|O_CREAT|O_APPEND] (no
-    truncation; appends are atomic at end-of-file), [fsync] for
-    [f_sync].  Takes an advisory [lockf] lock on the whole file so two
-    {e processes} cannot append to the same log — the second opener
-    fails.  (POSIX locks do not conflict within one process, so
-    reopening after a simulated in-process crash still works.)
+(** [Storage.Vfs.os] in [`Log] mode: [open(2)] with
+    [O_RDWR|O_CREAT|O_APPEND] (no truncation; appends are atomic at
+    end-of-file), [fsync] for [f_sync].  Takes an advisory [lockf] lock
+    on the whole file so two {e processes} cannot append to the same log
+    — the second opener fails.  (POSIX locks do not conflict within one
+    process, so reopening after a simulated in-process crash still
+    works.)
     @raise Failure if another process holds the log. *)
 
-(** Fault injection: wrap a {!file} so that after a byte budget is
-    exhausted the write in flight is cut short at exactly that boundary
-    and {!Crashed} is raised — simulating a kill at an arbitrary byte
-    offset of the log.  All subsequent operations raise {!Crashed}. *)
+(** Fault injection — a thin façade over {!Storage.Vfs.Fault}: wrap a
+    {!file} so that once a byte budget is exhausted the write in flight
+    is torn at exactly that boundary (or dropped, or duplicated,
+    depending on [mode]) and {!Crashed} is raised — simulating a kill at
+    an arbitrary byte offset of the log.  All subsequent operations raise
+    {!Crashed}. *)
 module Faulty : sig
-  type handle
+  type handle = Storage.Vfs.Fault.handle
 
-  val wrap : fail_after:int -> file -> handle * file
+  val wrap : ?mode:Storage.Vfs.Fault.mode -> fail_after:int -> file -> handle * file
   (** [wrap ~fail_after f] crashes once [fail_after] more bytes have been
-      appended through the wrapper.  Reads are unaffected until the crash
+      written through the wrapper ([f_append] and [f_pwrite] both count).
+      [mode] (default [Torn]) chooses what happens to the write that
+      crosses the budget: torn to a prefix, dropped entirely, or written
+      twice (a retried write).  Reads are unaffected until the crash
       (recovery reopens the {e underlying} file, as a restarted process
       would). *)
 

@@ -1,0 +1,364 @@
+(* Tests for the crash-state explorer, the crash-matrix harness, and the
+   checksum scrub/repair pipeline: the disk model replays correctly on
+   hand-built journals, every enumerated crash image of a real engine
+   trace recovers within bounds and matches the oracle, recovery is
+   idempotent (also as a QCheck property), and scrub detects 100% of
+   injected single-bit flips and repairs them from a matching reference. *)
+
+module E = Faultsim.Explorer
+module H = Faultsim.Harness
+module M = Storage.Vfs.Memory
+
+let temp_prefix () =
+  let p = Filename.temp_file "mvsbt_faultsim" "" in
+  Sys.remove p;
+  p
+
+let cleanup prefix =
+  let dir = Filename.dirname prefix and base = Filename.basename prefix in
+  Array.iter
+    (fun name ->
+      if String.length name >= String.length base
+         && String.sub name 0 (String.length base) = base then
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+    (Sys.readdir dir)
+
+(* --- Explorer: the disk model on hand-built journals -------------------------- *)
+
+let has_state images files = List.exists (fun (i : E.image) -> i.files = files) images
+
+let test_explorer_disk_model () =
+  let ops =
+    [
+      M.Create "f";
+      M.Pwrite { path = "f"; off = 0; data = "AAAA" };
+      M.Sync "f";
+      M.Pwrite { path = "f"; off = 4; data = "BBBB" };
+    ]
+  in
+  let images = E.enumerate ops in
+  Alcotest.(check bool) "empty disk (crash before anything)" true (has_state images []);
+  Alcotest.(check bool)
+    "unsynced create leaves no durable trace" true
+    (has_state images [ ("f", "AAAA") ]);
+  Alcotest.(check bool)
+    "everything applied" true
+    (has_state images [ ("f", "AAAABBBB") ]);
+  Alcotest.(check bool)
+    "second write torn to a prefix" true
+    (has_state images [ ("f", "AAAABB") ]);
+  (* Without any fsync, no non-applied image may carry data: enumerate
+     the journal prefix that stops before the [Sync] and check that
+     everything except the applied snapshots is empty-handed. *)
+  let unsynced =
+    E.enumerate [ M.Create "f"; M.Pwrite { path = "f"; off = 0; data = "AAAA" } ]
+  in
+  Alcotest.(check bool)
+    "pwrite volatile until fsync" true
+    (List.for_all
+       (fun (i : E.image) ->
+         i.kind = E.Applied || List.for_all (fun (_, c) -> c = "") i.files)
+       unsynced)
+
+let test_explorer_rename_and_dir_sync () =
+  let ops =
+    [
+      M.Create "a";
+      M.Pwrite { path = "a"; off = 0; data = "hello" };
+      M.Sync "a";
+      M.Rename ("a", "b");
+      M.Sync_dir ".";
+    ]
+  in
+  let images = E.enumerate ops in
+  (* Before the directory fsync the durable namespace still holds the old
+     name; after it, the new one (rename atomic: never both, never a mix). *)
+  let before_dir_sync =
+    E.enumerate [ M.Create "a"; M.Pwrite { path = "a"; off = 0; data = "hello" };
+                  M.Sync "a"; M.Rename ("a", "b") ]
+  in
+  Alcotest.(check bool)
+    "rename volatile until dir fsync: old name can survive" true
+    (has_state before_dir_sync [ ("a", "hello") ]);
+  Alcotest.(check bool)
+    "rename volatile until dir fsync: new name only as applied state" true
+    (List.for_all
+       (fun (i : E.image) -> i.kind = E.Applied || not (List.mem_assoc "b" i.files))
+       before_dir_sync);
+  Alcotest.(check bool)
+    "rename durable after dir fsync" true
+    (has_state images [ ("b", "hello") ]);
+  Alcotest.(check bool)
+    "no image holds both names" true
+    (not
+       (List.exists
+          (fun (i : E.image) ->
+            List.mem_assoc "a" i.files && List.mem_assoc "b" i.files)
+          images));
+  (* Metadata journalling without data: a dir fsync can commit the dentry
+     of a file whose data was never fsynced, leaving it empty. *)
+  let ops2 =
+    [ M.Create "g"; M.Pwrite { path = "g"; off = 0; data = "XX" }; M.Sync_dir "." ]
+  in
+  Alcotest.(check bool)
+    "dentry durable, data lost" true
+    (has_state (E.enumerate ops2) [ ("g", "") ])
+
+let test_explorer_deterministic () =
+  let trace = H.run_trace ~seed:9 ~updates:30 ~max_key:12 () in
+  let ops = Array.to_list trace.H.ops in
+  let a = E.enumerate ops and b = E.enumerate ops in
+  Alcotest.(check int) "same image count" (List.length a) (List.length b);
+  List.iter2
+    (fun (x : E.image) (y : E.image) ->
+      Alcotest.(check bool) "same image" true
+        (x.cut = y.cut && x.kind = y.kind && x.files = y.files))
+    a b
+
+(* --- The crash matrix: acceptance criterion ----------------------------------- *)
+
+let test_crash_matrix () =
+  let trace =
+    H.run_trace ~sync_policy:(Wal.Every_n 4) ~checkpoint_every:40 ~seed:1
+      ~updates:120 ~max_key:24 ()
+  in
+  let r = H.check trace in
+  Alcotest.(check bool)
+    (Format.asprintf "at least 200 distinct crash states (got %d)" r.H.distinct_images)
+    true (r.H.distinct_images >= 200);
+  Alcotest.(check int) "every image checked" r.H.distinct_images r.H.checked;
+  Alcotest.(check (list string))
+    "zero invariant violations" []
+    (List.map (Format.asprintf "%a" H.pp_violation) r.H.violations)
+
+let test_crash_matrix_policies () =
+  List.iter
+    (fun (policy, ck, seed, ups) ->
+      let trace =
+        H.run_trace ~sync_policy:policy ~checkpoint_every:ck ~seed ~updates:ups
+          ~max_key:16 ()
+      in
+      let r = H.check ~limit:80 trace in
+      Alcotest.(check (list string))
+        (Format.asprintf "no violations under %a" Wal.pp_sync_policy policy)
+        []
+        (List.map (Format.asprintf "%a" H.pp_violation) r.H.violations))
+    [
+      (Wal.Always, 25, 3, 60);
+      (Wal.Never, 30, 4, 60);
+      (Wal.Every_n 7, 0, 5, 60);
+    ]
+
+let test_floor_and_ceiling_monotone () =
+  let trace = H.run_trace ~checkpoint_every:20 ~seed:2 ~updates:60 ~max_key:16 () in
+  let n = Array.length trace.H.ops in
+  let prev_ceil = ref 0 in
+  for cut = 0 to n do
+    let floor = H.durable_floor trace ~cut in
+    let ceil = H.issued_ceiling trace ~cut in
+    if floor > ceil then
+      Alcotest.failf "cut %d: floor %d above ceiling %d" cut floor ceil;
+    if ceil < !prev_ceil then Alcotest.failf "cut %d: ceiling decreased" cut;
+    prev_ceil := ceil
+  done;
+  Alcotest.(check int) "final ceiling covers the whole trace"
+    (Array.length trace.H.updates)
+    (H.issued_ceiling trace ~cut:n)
+
+(* --- Recovery idempotence as a property --------------------------------------- *)
+
+let prop_recover_twice =
+  QCheck.Test.make ~count:12 ~name:"recovering twice equals recovering once"
+    QCheck.(pair (int_bound 1000) (int_bound 10_000))
+    (fun (seed, pick) ->
+      let trace =
+        H.run_trace ~sync_policy:(Wal.Every_n 3) ~checkpoint_every:11
+          ~seed:(seed + 1) ~updates:25 ~max_key:10 ()
+      in
+      let images = E.enumerate (Array.to_list trace.H.ops) in
+      let img = List.nth images (pick mod List.length images) in
+      let fs = E.to_memory_fs img in
+      let vfs = M.vfs fs in
+      let open_ () =
+        Durable.open_ ~sync_policy:trace.H.sync_policy
+          ~checkpoint_every:trace.H.checkpoint_every ~vfs
+          ~max_key:trace.H.max_key ~path:trace.H.prefix ()
+      in
+      let observe eng =
+        let rta = Durable.warehouse eng in
+        let n = Rta.n_updates rta in
+        let a = Rta.sum_count rta ~klo:0 ~khi:10 ~tlo:0 ~thi:trace.H.max_t in
+        let b = Rta.sum_count rta ~klo:2 ~khi:7 ~tlo:1 ~thi:(max 2 (trace.H.max_t / 2)) in
+        Durable.close eng;
+        (n, a, b)
+      in
+      observe (open_ ()) = observe (open_ ()))
+
+(* --- Scrub and repair --------------------------------------------------------- *)
+
+let fixed_updates n =
+  (* Deterministic insert/delete mix; [apply] replays it onto any sink. *)
+  let rng = Random.State.make [| 0xbeef |] in
+  let alive = Hashtbl.create 16 in
+  let now = ref 0 in
+  List.init n (fun _ ->
+      now := !now + Random.State.int rng 2;
+      let key = Random.State.int rng 16 in
+      if Hashtbl.length alive = 16
+         || (Hashtbl.mem alive key && Random.State.bool rng) then begin
+        let key = ref key in
+        while not (Hashtbl.mem alive !key) do
+          key := (!key + 1) mod 16
+        done;
+        Hashtbl.remove alive !key;
+        H.Delete { key = !key; at = !now }
+      end
+      else begin
+        let key = ref key in
+        while Hashtbl.mem alive !key do
+          key := (!key + 1) mod 16
+        done;
+        Hashtbl.add alive !key ();
+        H.Insert { key = !key; value = 1 + Random.State.int rng 50; at = !now }
+      end)
+
+let apply_updates rta ups =
+  List.iter
+    (fun u ->
+      match u with
+      | H.Insert { key; value; at } -> Rta.insert rta ~key ~value ~at
+      | H.Delete { key; at } -> Rta.delete rta ~key ~at)
+    ups
+
+let small_config = { (Mvsbt.default_config ~b:8) with f = 0.75 }
+
+let build_durable ups ~path =
+  let rta =
+    Rta.create_durable ~config:small_config ~page_size:1024 ~max_key:16 ~path ()
+  in
+  apply_updates rta ups;
+  Rta.flush rta;
+  rta
+
+let ids l = List.sort compare l
+
+let test_scrub_detects_all_flips () =
+  let prefix = temp_prefix () in
+  let ups = fixed_updates 150 in
+  let _w = build_durable ups ~path:prefix in
+  let clean = Rta.scrub ~page_size:1024 ~path:prefix () in
+  Alcotest.(check bool) "freshly built warehouse is clean" true (Rta.scrub_clean clean);
+  Alcotest.(check bool) "scrub walked pages" true (clean.Rta.pages_checked > 0);
+  (* Corrupt far more pages than exist: the injector caps at every written
+     page, and the scrubber must flag exactly the pages hit — 100%
+     detection, no false positives. *)
+  let stats = Storage.Io_stats.create () in
+  let hits = Rta.inject_bit_flips ~page_size:1024 ~path:prefix ~seed:7 ~flips:10_000 () in
+  Alcotest.(check bool) "injector hit pages" true (List.length hits > 0);
+  let r = Rta.scrub ~stats ~page_size:1024 ~path:prefix () in
+  Alcotest.(check (list (pair string int)))
+    "every flipped page detected, nothing else"
+    (ids (List.map (fun (s, p) -> (Format.asprintf "%a" Rta.pp_scrub_side s, Storage.Page_id.to_int p)) hits))
+    (ids (List.map (fun (s, p) -> (Format.asprintf "%a" Rta.pp_scrub_side s, Storage.Page_id.to_int p)) r.Rta.corrupt));
+  Alcotest.(check int) "no reference, nothing repaired" 0 (List.length r.Rta.repaired);
+  Alcotest.(check int) "all corrupt pages irreparable" (List.length r.Rta.corrupt)
+    (List.length r.Rta.irreparable);
+  let s = Storage.Io_stats.snapshot stats in
+  Alcotest.(check int) "scrubbed counter" r.Rta.pages_checked s.Storage.Io_stats.scrubbed;
+  Alcotest.(check int) "crc_failures counter" (List.length r.Rta.corrupt)
+    s.Storage.Io_stats.crc_failures;
+  (* A normal read path must refuse the rotten pages too. *)
+  let reads_corrupt =
+    try
+      let rta = Rta.reopen_durable ~page_size:1024 ~path:prefix () in
+      let _ = Rta.sum_count rta ~klo:0 ~khi:16 ~tlo:0 ~thi:1_000 in
+      false
+    with Storage.Page_store.Corrupt_page _ -> true
+  in
+  Alcotest.(check bool) "read path raises Corrupt_page" true reads_corrupt;
+  cleanup prefix
+
+let test_scrub_repairs_from_reference () =
+  let prefix = temp_prefix () and ref_prefix = temp_prefix () in
+  let ups = fixed_updates 150 in
+  let _w = build_durable ups ~path:prefix in
+  let reference = build_durable ups ~path:ref_prefix in
+  let oracle = Rta.create ~max_key:16 () in
+  apply_updates oracle ups;
+  let hits = Rta.inject_bit_flips ~page_size:1024 ~path:prefix ~seed:11 ~flips:10_000 () in
+  let stats = Storage.Io_stats.create () in
+  let r = Rta.scrub ~stats ~page_size:1024 ~path:prefix ~repair_from:reference () in
+  Alcotest.(check int) "all corrupt pages found" (List.length hits)
+    (List.length r.Rta.corrupt);
+  Alcotest.(check int) "all corrupt pages repaired" (List.length r.Rta.corrupt)
+    (List.length r.Rta.repaired);
+  Alcotest.(check int) "nothing irreparable" 0 (List.length r.Rta.irreparable);
+  Alcotest.(check int) "repaired counter"
+    (List.length r.Rta.repaired)
+    (Storage.Io_stats.snapshot stats).Storage.Io_stats.repaired;
+  let again = Rta.scrub ~page_size:1024 ~path:prefix () in
+  Alcotest.(check bool) "clean after repair" true (Rta.scrub_clean again);
+  (* The repaired warehouse must answer exactly like the oracle. *)
+  let rta = Rta.reopen_durable ~page_size:1024 ~path:prefix () in
+  Alcotest.(check int) "n_updates restored" (Rta.n_updates oracle) (Rta.n_updates rta);
+  List.iter
+    (fun (klo, khi, tlo, thi) ->
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "query [%d,%d)x[%d,%d)" klo khi tlo thi)
+        (Rta.sum_count oracle ~klo ~khi ~tlo ~thi)
+        (Rta.sum_count rta ~klo ~khi ~tlo ~thi))
+    [ (0, 16, 0, 1000); (2, 9, 3, 40); (5, 6, 0, 200); (0, 16, 90, 91) ];
+  cleanup prefix;
+  cleanup ref_prefix
+
+let test_scrub_rejects_stale_reference () =
+  let prefix = temp_prefix () and stale_prefix = temp_prefix () in
+  let ups = fixed_updates 120 in
+  let _w = build_durable ups ~path:prefix in
+  (* A reference that stopped 20 updates short holds different logical
+     pages under the same ids; repairing from it would plant stale bytes. *)
+  let stale =
+    build_durable (List.filteri (fun i _ -> i < 100) ups) ~path:stale_prefix
+  in
+  let hits = Rta.inject_bit_flips ~page_size:1024 ~path:prefix ~seed:3 ~flips:4 () in
+  let r = Rta.scrub ~page_size:1024 ~path:prefix ~repair_from:stale () in
+  Alcotest.(check int) "corruption still detected" (List.length hits)
+    (List.length r.Rta.corrupt);
+  Alcotest.(check int) "stale reference repairs nothing" 0 (List.length r.Rta.repaired);
+  Alcotest.(check int) "everything irreparable instead" (List.length r.Rta.corrupt)
+    (List.length r.Rta.irreparable);
+  cleanup prefix;
+  cleanup stale_prefix
+
+(* --- Suite -------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "faultsim"
+    [
+      ( "explorer",
+        [
+          Alcotest.test_case "disk model: volatile until fsync" `Quick
+            test_explorer_disk_model;
+          Alcotest.test_case "rename atomicity and dir fsync" `Quick
+            test_explorer_rename_and_dir_sync;
+          Alcotest.test_case "enumeration is deterministic" `Quick
+            test_explorer_deterministic;
+        ] );
+      ( "crash-matrix",
+        [
+          Alcotest.test_case "200+ states, zero violations" `Quick test_crash_matrix;
+          Alcotest.test_case "other sync policies" `Quick test_crash_matrix_policies;
+          Alcotest.test_case "floor below ceiling everywhere" `Quick
+            test_floor_and_ceiling_monotone;
+          QCheck_alcotest.to_alcotest prop_recover_twice;
+        ] );
+      ( "scrub",
+        [
+          Alcotest.test_case "detects 100% of injected flips" `Quick
+            test_scrub_detects_all_flips;
+          Alcotest.test_case "repairs from a matching reference" `Quick
+            test_scrub_repairs_from_reference;
+          Alcotest.test_case "refuses a stale reference" `Quick
+            test_scrub_rejects_stale_reference;
+        ] );
+    ]

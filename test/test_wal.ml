@@ -171,6 +171,79 @@ let test_faulty_crash () =
   Wal.close wal;
   cleanup prefix
 
+let test_faulty_dropped () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let h, file =
+    Wal.Faulty.wrap ~mode:Storage.Vfs.Fault.Dropped ~fail_after:(16 + 13 + 3)
+      (Wal.os_file ~path)
+  in
+  let wal = Wal.open_log ~policy:Wal.Never file in
+  Wal.append wal (payload "hello");
+  Alcotest.check_raises "crash on the crossing append" Wal.Crashed (fun () ->
+      Wal.append wal (payload "world"));
+  (* Dropped: the crossing write vanishes wholesale — no partial bytes. *)
+  Alcotest.(check int) "only pre-crash bytes landed" (16 + 13) (Wal.Faulty.written h);
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "clean prefix, no torn tail" 1 n;
+  Alcotest.(check (list string)) "first record survives" [ "hello" ] got;
+  Alcotest.(check int) "nothing to truncate on recovery" 0
+    (Wal.Stats.dropped_bytes (Wal.stats wal));
+  Wal.close wal;
+  cleanup prefix
+
+let test_faulty_duplicated () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let h, file =
+    Wal.Faulty.wrap ~mode:Storage.Vfs.Fault.Duplicated ~fail_after:(16 + 13 + 3)
+      (Wal.os_file ~path)
+  in
+  let wal = Wal.open_log ~policy:Wal.Never file in
+  Wal.append wal (payload "hello");
+  Alcotest.check_raises "crash on the crossing append" Wal.Crashed (fun () ->
+      Wal.append wal (payload "world"));
+  (* Duplicated: a retried write whose first copy also landed — the frame
+     appears twice, each copy a valid CRC frame. *)
+  Alcotest.(check int) "the crossing frame landed twice" (16 + 13 + 26)
+    (Wal.Faulty.written h);
+  let wal = Wal.open_path path in
+  let n, got = replay_strings wal in
+  Alcotest.(check int) "both copies replay at the byte layer" 3 n;
+  Alcotest.(check (list string)) "duplicate visible" [ "hello"; "world"; "world" ] got;
+  Wal.close wal;
+  cleanup prefix
+
+(* The engine's sequence numbers make a duplicated record harmless: the
+   second copy carries a seq the state already covers and is skipped. *)
+let test_engine_skips_duplicated_record () =
+  let prefix = temp_prefix () in
+  let wal_wrap file =
+    (* Header (16) + two insert frames (8 + 33 each): the second insert's
+       append crosses the budget and lands twice. *)
+    let _, f =
+      Wal.Faulty.wrap ~mode:Storage.Vfs.Fault.Duplicated ~fail_after:(16 + 41 + 1) file
+    in
+    f
+  in
+  let mk = 1000 in
+  (try
+     let wh = Durable.open_ ~wal_wrap ~max_key:mk ~path:prefix () in
+     Durable.insert wh ~key:1 ~value:10 ~at:1;
+     Durable.insert wh ~key:2 ~value:20 ~at:2;
+     Alcotest.fail "second insert should have crashed the WAL"
+   with Wal.Crashed -> ());
+  let wh = Durable.open_ ~max_key:mk ~path:prefix () in
+  let rta = Durable.warehouse wh in
+  Alcotest.(check int) "duplicate replayed once into state" 2 (Rta.n_updates rta);
+  Alcotest.(check int) "three frames seen by replay" 3 (Durable.replayed_on_open wh);
+  Alcotest.(check (pair int int)) "value counted once" (30, 2)
+    (Rta.sum_count rta ~klo:0 ~khi:mk ~tlo:0 ~thi:10);
+  Rta.check_invariants rta;
+  Durable.close wh;
+  cleanup prefix
+
 (* --- Durable engine ----------------------------------------------------------- *)
 
 let max_key = 1000
@@ -465,6 +538,10 @@ let () =
           Alcotest.test_case "corrupt record" `Quick test_wal_corrupt_record;
           Alcotest.test_case "garbage header" `Quick test_wal_garbage_header;
           Alcotest.test_case "fault injection" `Quick test_faulty_crash;
+          Alcotest.test_case "dropped write" `Quick test_faulty_dropped;
+          Alcotest.test_case "duplicated write" `Quick test_faulty_duplicated;
+          Alcotest.test_case "engine skips duplicated record" `Quick
+            test_engine_skips_duplicated_record;
         ] );
       ( "durable-engine",
         [
