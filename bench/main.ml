@@ -452,7 +452,11 @@ let wal_overhead () =
                   Durable.open_ ~config:mvsbt_config ~sync_policy:policy ~wal_stats
                     ~max_key:spec.max_key ~path ()
                 in
-                apply ~insert:(Durable.insert eng) ~delete:(Durable.delete eng) cap;
+                let ok = Storage.Storage_error.ok_exn in
+                apply
+                  ~insert:(fun ~key ~value ~at -> ok (Durable.insert eng ~key ~value ~at))
+                  ~delete:(fun ~key ~at -> ok (Durable.delete eng ~key ~at))
+                  cap;
                 Durable.close eng))
       in
       let slowdown = s /. float_of_int cap /. per_update_base in
@@ -468,6 +472,75 @@ let wal_overhead () =
       ("wal --sync always", Wal.Always, 2000) ];
   Printf.printf "  group commit within 5x of in-memory: %b\n" !budget_ok;
   if not !budget_ok then Printf.printf "!! WAL group commit exceeded the 5x overhead budget\n"
+
+(* --- Retry-wrapper overhead --------------------------------------------------------- *)
+
+(* Every engine file operation runs behind Vfs.with_retry closures whether
+   or not the disk ever misbehaves; this measures what that indirection
+   costs on the fault-free path.  Wall clock again: the wrapper's cost is
+   pure CPU overhead per syscall, invisible to the simulated-disk
+   counters. *)
+let retry_overhead () =
+  header "Retry overhead: fault-free durable build, retry wrapper on vs off";
+  let evs = Lazy.force events in
+  let cap = min (List.length evs) (if smoke then 2_000 else 10_000) in
+  let ok = Storage.Storage_error.ok_exn in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let with_tmp_prefix f =
+    let dir = Filename.temp_file "mvsbt_retry" ".bench" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Unix.rmdir dir)
+      (fun () -> f (Filename.concat dir "wh"))
+  in
+  let build ~retry =
+    with_tmp_prefix (fun path ->
+        let stats = Storage.Io_stats.create () in
+        let s, w =
+          wall (fun () ->
+              let eng =
+                Durable.open_ ~config:mvsbt_config ~stats ~sync_policy:(Wal.Every_n 32)
+                  ~retry ~max_key:spec.max_key ~path ()
+              in
+              let i = ref 0 in
+              List.iter
+                (fun ev ->
+                  incr i;
+                  if !i <= cap then
+                    match ev with
+                    | Workload.Generator.Insert { key; value; at } ->
+                        ok (Durable.insert eng ~key ~value ~at)
+                    | Workload.Generator.Delete { key; at } ->
+                        ok (Durable.delete eng ~key ~at))
+                evs;
+              Durable.close eng;
+              stats)
+        in
+        (s, w))
+  in
+  let stats_off, off_s = build ~retry:None in
+  let stats_on, on_s = build ~retry:(Some Storage.Retry.default) in
+  let rate s = float_of_int cap /. s in
+  Printf.printf "  %-24s %9d updates %9.3f s %11.0f upd/s\n" "retry wrapper off" cap off_s
+    (rate off_s);
+  Printf.printf "  %-24s %9d updates %9.3f s %11.0f upd/s\n" "retry wrapper on" cap on_s
+    (rate on_s);
+  Printf.printf "  wrapper cost: %.2fx on the fault-free path (%.2f µs/update)\n"
+    (on_s /. off_s)
+    ((on_s -. off_s) *. 1e6 /. float_of_int cap);
+  Format.printf "  io (wrapper on): %a@." Storage.Io_stats.pp stats_on;
+  if Storage.Io_stats.retries stats_on <> 0 || Storage.Io_stats.retries stats_off <> 0 then
+    Printf.printf "!! retries on a healthy disk: the retry loop misfired\n";
+  (* Wall clock on shared CI machines is noisy; flag only gross regressions. *)
+  if on_s > 2. *. off_s && on_s -. off_s > 0.5 then
+    Printf.printf "!! retry wrapper costs more than 2x on the fault-free path\n"
 
 (* --- Scrub & checksum overhead ------------------------------------------------------ *)
 
@@ -617,13 +690,15 @@ let experiments =
     ("ablation-root-star", ablation_root_star);
     ("scalar-baselines", scalar_baselines);
     ("wal-overhead", wal_overhead);
+    ("retry-overhead", retry_overhead);
     ("scrub-overhead", scrub_overhead);
     ("micro", micro);
   ]
 
 (* The quick subset --smoke runs when no experiment is named explicitly:
    one of each kind (space, queries, durability). *)
-let smoke_experiments = [ "fig4a"; "fig4b"; "wal-overhead"; "scrub-overhead" ]
+let smoke_experiments =
+  [ "fig4a"; "fig4b"; "wal-overhead"; "retry-overhead"; "scrub-overhead" ]
 
 let () =
   let requested =

@@ -9,7 +9,9 @@
      checkpoint — recover a durable warehouse, snapshot it, truncate its log
      recover    — recover a durable warehouse and report what was replayed
      scrub      — verify per-page checksums, repair from a reference warehouse
-     crash-matrix — enumerate post-crash disk images and verify recovery on each *)
+     crash-matrix — enumerate post-crash disk images and verify recovery on each
+     errsweep   — sweep single I/O-error injections over a trace and verify the
+                  typed-error / read-only degradation contract *)
 
 let setup_logs verbosity =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -160,7 +162,14 @@ let report_durable eng =
   Format.printf "  wal: %a@." Wal.Stats.pp (Durable.wal_stats eng);
   Format.printf "  sync policy: %a; checkpoints this run: %d (since last: %d updates)@."
     Wal.pp_sync_policy (Durable.sync_policy eng) (Durable.checkpoints eng)
-    (Durable.updates_since_checkpoint eng)
+    (Durable.updates_since_checkpoint eng);
+  Format.printf "  health: %a%a@." Durable.pp_health (Durable.health eng)
+    (fun ppf () ->
+      match Durable.last_error eng with
+      | Some e -> Format.fprintf ppf " (last error: %a)" Storage.Storage_error.pp e
+      | None -> ())
+    ();
+  Format.printf "  io: %a@." Storage.Io_stats.pp (Durable.io_stats eng)
 
 (* --- Helpers ------------------------------------------------------------------ *)
 
@@ -229,11 +238,12 @@ let build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_ev
     Printf.printf "recovered %d logged updates before building\n"
       (Durable.replayed_on_open eng);
   let events = events_of ~spec ~input in
+  let ok = Storage.Storage_error.ok_exn in
   let (), m =
     Storage.Cost_model.measure ~stats (fun () ->
         Workload.Trace.replay events
-          ~insert:(fun ~key ~value ~at -> Durable.insert eng ~key ~value ~at)
-          ~delete:(fun ~key ~at -> Durable.delete eng ~key ~at))
+          ~insert:(fun ~key ~value ~at -> ok (Durable.insert eng ~key ~value ~at))
+          ~delete:(fun ~key ~at -> ok (Durable.delete eng ~key ~at)))
   in
   let rta = Durable.warehouse eng in
   report_build ~label:"2-MVSBT (durable)" m ~pages:(Rta.page_count rta)
@@ -407,8 +417,16 @@ let checkpoint_impl verbosity max_key buffer wal sync_policy =
   setup_logs verbosity;
   let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
   Printf.printf "recovered: %d WAL records replayed on open\n" (Durable.replayed_on_open eng);
-  Durable.checkpoint eng;
-  Printf.printf "checkpoint committed under %s.ckpt-<gen>.{lkst,lklt,meta}; log truncated\n" wal;
+  (match Durable.checkpoint eng with
+  | Ok () ->
+      Printf.printf
+        "checkpoint committed under %s.ckpt-<gen>.{lkst,lklt,meta}; log truncated\n" wal
+  | Error e ->
+      Format.printf "checkpoint failed: %a (previous checkpoint and WAL intact)@."
+        Storage.Storage_error.pp e;
+      report_durable eng;
+      Durable.close eng;
+      exit 1);
   report_durable eng;
   Durable.close eng
 
@@ -614,6 +632,82 @@ let crash_matrix_cmd =
     Term.(const crash_matrix_impl $ verbosity $ updates $ max_key $ checkpoint_every
           $ sync_policy_term $ seed $ limit $ smoke)
 
+(* --- errsweep --------------------------------------------------------------------- *)
+
+let err_class_conv =
+  let parse s =
+    match Storage.Vfs.Inject.class_of_string s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown errno class %S (enospc|eio|eintr|short)" s))
+  in
+  Arg.conv (parse, Storage.Vfs.Inject.pp_class)
+
+let errsweep_impl verbosity updates max_key sync_policy checkpoint_at checkpoint_every seed
+    query_count classes limit smoke =
+  setup_logs verbosity;
+  let spec =
+    { Faultsim.Errsweep.updates; max_key; sync_policy; checkpoint_at; checkpoint_every;
+      seed; query_count }
+  in
+  let spec, limit =
+    if smoke then
+      ( { spec with Faultsim.Errsweep.updates = min updates 60; checkpoint_at = 30 },
+        Some (match limit with Some l -> l | None -> 60) )
+    else (spec, limit)
+  in
+  let classes = match classes with [] -> Storage.Vfs.Inject.all_classes | cs -> cs in
+  let report = Faultsim.Errsweep.run ~classes ?limit_per_class:limit spec in
+  Format.printf "error sweep (%d updates, checkpoint at %d, %a, classes:%a): %a@."
+    spec.Faultsim.Errsweep.updates spec.Faultsim.Errsweep.checkpoint_at Wal.pp_sync_policy
+    spec.Faultsim.Errsweep.sync_policy
+    (fun ppf cs ->
+      List.iter (fun c -> Format.fprintf ppf " %a" Storage.Vfs.Inject.pp_class c) cs)
+    classes Faultsim.Errsweep.pp_report report;
+  if not (Faultsim.Errsweep.clean report) then exit 1
+
+let errsweep_cmd =
+  let updates =
+    let doc = "Updates in the scripted trace." in
+    Arg.(value & opt int 120 & info [ "updates" ] ~doc)
+  in
+  let max_key =
+    let doc = "Key space of the scripted trace." in
+    Arg.(value & opt int 24 & info [ "max-key" ] ~doc)
+  in
+  let checkpoint_at =
+    let doc = "Take a manual checkpoint after N scripted updates (0 = never)." in
+    Arg.(value & opt int 60 & info [ "checkpoint-at" ] ~doc)
+  in
+  let seed =
+    let doc = "Random seed for the trace." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let query_count =
+    let doc = "Query panel size checked against the oracle after each run." in
+    Arg.(value & opt int 12 & info [ "queries" ] ~doc)
+  in
+  let classes =
+    let doc = "Errno class to sweep (repeatable); default sweeps all four." in
+    Arg.(value & opt_all err_class_conv [] & info [ "class" ] ~doc ~docv:"CLASS")
+  in
+  let limit =
+    let doc = "Sweep at most N evenly spaced fault points per class; default sweeps all." in
+    Arg.(value & opt (some int) None & info [ "limit-per-class" ] ~doc ~docv:"N")
+  in
+  let smoke =
+    let doc = "Bounded CI run: caps the trace at 60 updates and 60 points per class." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "errsweep"
+       ~doc:
+         "Sweep single I/O-error injections (ENOSPC/EIO/EINTR/short transfers) over every \
+          syscall of a workload trace and verify typed-error surfacing, oracle-equal \
+          answers, read-only degradation, and recovery (exits 1 on any violation)")
+    Term.(const errsweep_impl $ verbosity $ updates $ max_key $ sync_policy_term
+          $ checkpoint_at $ checkpoint_every_term $ seed $ query_count $ classes $ limit
+          $ smoke)
+
 (* --- dot ------------------------------------------------------------------------- *)
 
 let dot verbosity spec (config, buffer) input out =
@@ -645,4 +739,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
-            scrub_cmd; crash_matrix_cmd; dot_cmd ]))
+            scrub_cmd; crash_matrix_cmd; errsweep_cmd; dot_cmd ]))

@@ -13,6 +13,9 @@
 
 let day = 86_400
 
+(* No error injection here: unwrap the engine's typed error channel. *)
+let ok = Storage.Storage_error.ok_exn
+
 let () =
   let dir = Filename.temp_file "warehouse" ".d" in
   Sys.remove dir;
@@ -43,12 +46,12 @@ let () =
      16 updates), then checkpoint — snapshot on disk, log truncated. *)
   let eng = Durable.open_ ~sync_policy:(Wal.Every_n 16) ~max_key:spec.max_key ~path:prefix () in
   Workload.Trace.replay day1
-    ~insert:(fun ~key ~value ~at -> Durable.insert eng ~key ~value ~at)
-    ~delete:(fun ~key ~at -> Durable.delete eng ~key ~at);
+    ~insert:(fun ~key ~value ~at -> ok (Durable.insert eng ~key ~value ~at))
+    ~delete:(fun ~key ~at -> ok (Durable.delete eng ~key ~at));
   let eod1 = Durable.sum_count eng ~klo:0 ~khi:spec.max_key ~tlo:0 ~thi:day in
   Printf.printf "End of day 1: SUM=%d COUNT=%d across the whole space.\n" (fst eod1)
     (snd eod1);
-  Durable.checkpoint eng;
+  ok (Durable.checkpoint eng);
   Durable.close eng;
   Printf.printf "Checkpoint committed via pointer %s.ckpt; log truncated.\n\n" prefix;
 
@@ -73,8 +76,9 @@ let () =
      List.iter
        (fun ev ->
          (match ev with
-         | Workload.Generator.Insert { key; value; at } -> Durable.insert eng ~key ~value ~at
-         | Workload.Generator.Delete { key; at } -> Durable.delete eng ~key ~at);
+         | Workload.Generator.Insert { key; value; at } ->
+             ok (Durable.insert eng ~key ~value ~at)
+         | Workload.Generator.Delete { key; at } -> ok (Durable.delete eng ~key ~at));
          incr survived)
        day2
    with Wal.Crashed -> ());
@@ -113,8 +117,8 @@ let () =
   (* Finish day 2 on the recovered warehouse; the twin follows along. *)
   let rest = List.filteri (fun i _ -> i >= !survived) day2 in
   Workload.Trace.replay rest
-    ~insert:(fun ~key ~value ~at -> Durable.insert eng ~key ~value ~at)
-    ~delete:(fun ~key ~at -> Durable.delete eng ~key ~at);
+    ~insert:(fun ~key ~value ~at -> ok (Durable.insert eng ~key ~value ~at))
+    ~delete:(fun ~key ~at -> ok (Durable.delete eng ~key ~at));
   feed_twin rest;
   audit "end of day 2";
   let eod2 = Durable.sum_count eng ~klo:0 ~khi:spec.max_key ~tlo:day ~thi:(2 * day) in

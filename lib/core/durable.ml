@@ -1,3 +1,5 @@
+module E = Storage.Storage_error
+
 type recovery_report = {
   replayed : int;  (* WAL records replayed (applied or seq-skipped) *)
   dropped_bytes : int;  (* torn/corrupt tail discarded by this recovery *)
@@ -9,15 +11,28 @@ let pp_recovery_report ppf r =
     (match r.checkpoint_gen with None -> "none" | Some g -> "gen " ^ string_of_int g)
     r.replayed r.dropped_bytes
 
+type health = Healthy | Degraded | Read_only
+
+let pp_health ppf = function
+  | Healthy -> Format.pp_print_string ppf "healthy"
+  | Degraded -> Format.pp_print_string ppf "degraded"
+  | Read_only -> Format.pp_print_string ppf "read-only"
+
 type t = {
   rta : Rta.t;
   wal : Wal.t;
   vfs : Storage.Vfs.t;
+  stats : Storage.Io_stats.t;
   path : string;
   checkpoint_every : int;
   mutable ckpt_gen : int; (* generation named by the committed pointer *)
+  mutable ckpt_attempt : int; (* highest generation any attempt ever used *)
   mutable since_ckpt : int;
   mutable n_ckpts : int;
+  mutable health : health;
+  mutable last_error : E.t option;
+  mutable ckpt_failed : bool; (* the most recent checkpoint attempt failed *)
+  mutable retries_seen : int; (* Io_stats.retries at the last health update *)
   report : recovery_report;
 }
 
@@ -102,8 +117,8 @@ let read_pointer vfs path =
   end
 
 (* Snapshot files of any generation other than the committed one are
-   leftovers of a checkpoint that crashed before (or was superseded
-   after) its pointer swap. *)
+   leftovers of a checkpoint that crashed (or errored) before, or was
+   superseded after, its pointer swap. *)
 let remove_stale_generations vfs path ~keep =
   let dir = Filename.dirname path in
   let base = Filename.basename path ^ ".ckpt-" in
@@ -117,14 +132,14 @@ let remove_stale_generations vfs path ~keep =
             (match int_of_string_opt (String.sub rest 0 dot) with
             | Some gen when gen <> keep ->
                 (try vfs.Storage.Vfs.v_remove (Filename.concat dir name)
-                 with Sys_error _ -> ())
+                 with Sys_error _ | E.Io _ -> ())
             | _ -> ())
         | None -> ()
       end)
     (try vfs.Storage.Vfs.v_readdir dir with Sys_error _ -> [||]);
   let tmp = ptr_path path ^ ".tmp" in
   if vfs.Storage.Vfs.v_exists tmp then
-    try vfs.Storage.Vfs.v_remove tmp with Sys_error _ -> ()
+    try vfs.Storage.Vfs.v_remove tmp with Sys_error _ | E.Io _ -> ()
 
 (* --- Recovery ----------------------------------------------------------------- *)
 
@@ -148,24 +163,35 @@ let apply_record rta rd =
 
 let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
     ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f)
-    ?(vfs = Storage.Vfs.os) ~max_key ~path () =
+    ?(retry = Some Storage.Retry.default) ?(vfs = Storage.Vfs.os) ~max_key ~path () =
+  let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
+  (* Everything the engine does from here on — recovery reads, log
+     appends, checkpoint writes — goes through the retry layer, so
+     transient failures ([EINTR], [EIO], short transfers) are absorbed
+     with backoff whatever vfs the caller handed in. *)
+  let vfs =
+    match retry with
+    | None -> vfs
+    | Some policy -> Storage.Vfs.with_retry ~stats ~policy vfs
+  in
+  let retries_at_open = Storage.Io_stats.retries stats in
   let pointer = read_pointer vfs path in
   let ckpt_gen, rta =
     match pointer with
     | Some gen ->
-        let rta = Rta.load ?pool_capacity ?stats ~vfs ~path:(gen_prefix path gen) () in
+        let rta = Rta.load ?pool_capacity ~stats ~vfs ~path:(gen_prefix path gen) () in
         if Rta.max_key rta <> max_key then
           failwith
             (Printf.sprintf "Durable.open_: checkpoint has max_key %d, asked for %d"
                (Rta.max_key rta) max_key);
         (gen, rta)
-    | None -> (0, Rta.create ?config ?pool_capacity ?stats ~max_key ())
+    | None -> (0, Rta.create ?config ?pool_capacity ~stats ~max_key ())
   in
   (* Snapshot files of a checkpoint that crashed before its commit point
      are dead weight; clear them so they cannot be confused with state. *)
   remove_stale_generations vfs path ~keep:ckpt_gen;
   let wal =
-    Wal.open_log ~policy:sync_policy ?stats:wal_stats
+    Wal.open_log ~policy:sync_policy ?stats:wal_stats ~path:(wal_path path)
       (wal_wrap (vfs.Storage.Vfs.v_open `Log (wal_path path)))
   in
   let st = Wal.stats wal in
@@ -178,41 +204,142 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
   in
   (* Replayed records are exactly the updates the last checkpoint missed,
      so they count toward the next automatic checkpoint. *)
-  { rta; wal; vfs; path; checkpoint_every; ckpt_gen; since_ckpt = n_replayed;
-    n_ckpts = 0; report }
+  { rta; wal; vfs; stats; path; checkpoint_every; ckpt_gen; ckpt_attempt = ckpt_gen;
+    since_ckpt = n_replayed; n_ckpts = 0; health = Healthy; last_error = None;
+    ckpt_failed = false; retries_seen = retries_at_open; report }
+
+(* --- Health ------------------------------------------------------------------- *)
+
+(* Healthy / Degraded / Read_only.  Read_only is sticky for the life of
+   the handle: it is entered when an update's log append surfaces an
+   error (the retry budget is already spent by then, so the failure is
+   persistent for practical purposes — the canonical case being a full
+   disk), after which updates are rejected with [Read_only_store] and
+   queries keep serving from the consistent in-memory state.  Degraded
+   means "working, but something is off": retries were needed recently,
+   or the last checkpoint attempt failed.  A clean operation with no
+   outstanding checkpoint failure returns the engine to Healthy. *)
+
+let enter_read_only t e =
+  t.last_error <- Some e;
+  if t.health <> Read_only then begin
+    t.health <- Read_only;
+    Storage.Io_stats.record_read_only_transition t.stats
+  end
+
+let note_op_complete t =
+  if t.health <> Read_only then begin
+    let r = Storage.Io_stats.retries t.stats in
+    if r > t.retries_seen then begin
+      t.retries_seen <- r;
+      t.health <- Degraded
+    end
+    else if t.ckpt_failed then t.health <- Degraded
+    else begin
+      t.health <- Healthy;
+      t.last_error <- None
+    end
+  end
 
 (* --- Checkpointing ------------------------------------------------------------ *)
 
 let checkpoint t =
-  let gen = t.ckpt_gen + 1 in
-  let prefix = gen_prefix t.path gen in
-  Rta.save ~vfs:t.vfs t.rta ~path:prefix;
-  (* Force the snapshot files (and the new directory entries) to the
-     platter before the pointer can name them, and the pointer before the
-     WAL — the log records may only be discarded once the state they
-     rebuild is durable without them. *)
-  List.iter (fun ext -> Storage.Vfs.sync_path t.vfs (prefix ^ ext)) snapshot_exts;
-  fsync_dir_of t.vfs t.path;
-  write_pointer t.vfs t.path gen;
-  Wal.truncate t.wal;
-  let old = t.ckpt_gen in
-  t.ckpt_gen <- gen;
-  t.since_ckpt <- 0;
-  t.n_ckpts <- t.n_ckpts + 1;
-  if old > 0 then
-    List.iter
-      (fun ext ->
-        try t.vfs.Storage.Vfs.v_remove (gen_prefix t.path old ^ ext)
-        with Sys_error _ -> ())
-      snapshot_exts
+  match t.health with
+  | Read_only ->
+      Error
+        (E.v ~op:E.Pwrite ~path:t.path ~detail:"checkpoint refused" E.Read_only_store)
+  | Healthy | Degraded -> (
+      (* Never reuse the generation of a failed attempt: its files may
+         exist in any half-written state, and if an earlier attempt got as
+         far as the pointer rename, rewriting the files that committed
+         pointer names would race the atomicity argument. *)
+      let gen = 1 + max t.ckpt_gen t.ckpt_attempt in
+      t.ckpt_attempt <- gen;
+      let prefix = gen_prefix t.path gen in
+      match
+        E.protect (fun () ->
+            Rta.save ~vfs:t.vfs t.rta ~path:prefix;
+            (* Force the snapshot files (and the new directory entries) to
+               the platter before the pointer can name them, and the
+               pointer before the WAL — the log records may only be
+               discarded once the state they rebuild is durable without
+               them. *)
+            List.iter (fun ext -> Storage.Vfs.sync_path t.vfs (prefix ^ ext)) snapshot_exts;
+            fsync_dir_of t.vfs t.path;
+            write_pointer t.vfs t.path gen)
+      with
+      | Error e ->
+          (* The pointer still names the previous generation, which is
+             untouched; this attempt's files are stale leftovers swept on
+             the next open.  The WAL still holds every update, so the
+             engine keeps accepting writes — degraded, not read-only. *)
+          t.ckpt_failed <- true;
+          t.last_error <- Some e;
+          t.health <- Degraded;
+          Error e
+      | Ok () ->
+          let old = t.ckpt_gen in
+          t.ckpt_gen <- gen;
+          t.since_ckpt <- 0;
+          t.n_ckpts <- t.n_ckpts + 1;
+          t.ckpt_failed <- false;
+          (* Pointer durable: every log record is now redundant.  A failed
+             truncation costs space, not correctness — replay seq-skips
+             covered records — so the checkpoint still counts. *)
+          (match Wal.truncate t.wal with
+          | Ok () -> ()
+          | Error e ->
+              t.last_error <- Some e;
+              if t.health <> Read_only then t.health <- Degraded);
+          if old > 0 then
+            List.iter
+              (fun ext ->
+                try t.vfs.Storage.Vfs.v_remove (gen_prefix t.path old ^ ext)
+                with Sys_error _ | E.Io _ -> ())
+              snapshot_exts;
+          note_op_complete t;
+          Ok ())
 
 let maybe_auto_checkpoint t =
-  if t.checkpoint_every > 0 && t.since_ckpt >= t.checkpoint_every then checkpoint t
+  if t.checkpoint_every > 0 && t.since_ckpt >= t.checkpoint_every then
+    (* The update that tripped the threshold is already logged and
+       applied; a failed background checkpoint leaves it fully durable
+       via the WAL, so the failure degrades health instead of failing
+       the update.  [checkpoint] records error state itself. *)
+    match checkpoint t with Ok () -> () | Error _ -> ()
 
 (* --- Updates ------------------------------------------------------------------ *)
 
 (* Validation mirrors Rta's own checks and runs before anything is logged,
-   so applying a logged record cannot fail (neither here nor on replay). *)
+   so applying a logged record cannot fail (neither here nor on replay).
+   Precondition violations are caller bugs and still raise
+   [Invalid_argument]; the [result] channel is reserved for I/O. *)
+
+let reject_if_read_only t =
+  match t.health with
+  | Read_only ->
+      Error
+        (E.v ~op:E.Append ~path:(wal_path t.path) ~detail:"update rejected"
+           E.Read_only_store)
+  | Healthy | Degraded -> Ok ()
+
+let log_then_apply t ~append ~apply =
+  match reject_if_read_only t with
+  | Error _ as e -> e
+  | Ok () -> (
+      match append () with
+      | Error e ->
+          (* Nothing was logged (Wal.append rolls back) and nothing was
+             applied: the warehouse is exactly as before the call, and
+             every prior acknowledged update is still recoverable. *)
+          enter_read_only t e;
+          Error e
+      | Ok () ->
+          apply ();
+          t.since_ckpt <- t.since_ckpt + 1;
+          maybe_auto_checkpoint t;
+          note_op_complete t;
+          Ok ())
 
 let insert t ~key ~value ~at =
   if key < 0 || key >= Rta.max_key t.rta then
@@ -222,10 +349,9 @@ let insert t ~key ~value ~at =
   if at < Rta.now t.rta then
     invalid_arg "Durable: time went backwards (transaction time is monotone)";
   let buf, len = encode_insert ~seq:(Rta.n_updates t.rta + 1) ~key ~value ~at in
-  Wal.append t.wal ~len buf;
-  Rta.insert t.rta ~key ~value ~at;
-  t.since_ckpt <- t.since_ckpt + 1;
-  maybe_auto_checkpoint t
+  log_then_apply t
+    ~append:(fun () -> Wal.append t.wal ~len buf)
+    ~apply:(fun () -> Rta.insert t.rta ~key ~value ~at)
 
 let delete t ~key ~at =
   if not (Rta.is_alive t.rta ~key) then
@@ -233,10 +359,9 @@ let delete t ~key ~at =
   if at < Rta.now t.rta then
     invalid_arg "Durable: time went backwards (transaction time is monotone)";
   let buf, len = encode_delete ~seq:(Rta.n_updates t.rta + 1) ~key ~at in
-  Wal.append t.wal ~len buf;
-  Rta.delete t.rta ~key ~at;
-  t.since_ckpt <- t.since_ckpt + 1;
-  maybe_auto_checkpoint t
+  log_then_apply t
+    ~append:(fun () -> Wal.append t.wal ~len buf)
+    ~apply:(fun () -> Rta.delete t.rta ~key ~at)
 
 (* --- Accessors ---------------------------------------------------------------- *)
 
@@ -248,7 +373,12 @@ let updates_since_checkpoint t = t.since_ckpt
 let checkpoints t = t.n_ckpts
 let wal_stats t = Wal.stats t.wal
 let sync_policy t = Wal.policy t.wal
+let health t = t.health
+let last_error t = t.last_error
+let io_stats t = t.stats
 
 let close t =
-  Wal.sync t.wal;
+  (* Best effort: a failing final fsync must not prevent releasing the
+     file — whatever the log already holds is what recovery will see. *)
+  (match Wal.sync t.wal with Ok () -> () | Error _ -> ());
   Wal.close t.wal

@@ -29,7 +29,28 @@
       yet durable.
 
     Mutate the warehouse only through this module; going behind its back
-    via {!Rta.insert} on {!warehouse} would leave updates unlogged. *)
+    via {!Rta.insert} on {!warehouse} would leave updates unlogged.
+
+    {2 Error handling and health}
+
+    The mutating entry points ({!insert}, {!delete}, {!checkpoint})
+    return [(unit, Storage.Storage_error.t) result] instead of leaking
+    I/O exceptions; precondition violations (bad key, time going
+    backwards) are still [Invalid_argument] — those are caller bugs, not
+    disk weather.  All engine I/O runs behind {!Storage.Vfs.with_retry}
+    (configurable via [retry]), so transient failures are absorbed with
+    bounded exponential backoff before anything surfaces.
+
+    The engine tracks a {!health} state machine:
+    - [Healthy] — normal service;
+    - [Degraded] — serving, but retries were needed recently or the last
+      checkpoint attempt failed;
+    - [Read_only] — a log append surfaced an error even after retries
+      (canonically [ENOSPC]).  Entered sticky for the life of the
+      handle: updates are rejected with a typed [Read_only_store] error
+      while queries keep serving from the consistent in-memory state,
+      which contains exactly the acknowledged updates.  Reopening the
+      path recovers normally — nothing acknowledged is ever lost. *)
 
 type t
 
@@ -45,6 +66,14 @@ type recovery_report = {
 
 val pp_recovery_report : Format.formatter -> recovery_report -> unit
 
+type health =
+  | Healthy
+  | Degraded  (** Retries happening, or the last checkpoint attempt failed. *)
+  | Read_only
+      (** Persistent write failure: updates rejected, queries serving. *)
+
+val pp_health : Format.formatter -> health -> unit
+
 val open_ :
   ?config:Mvsbt.config ->
   ?pool_capacity:int ->
@@ -53,6 +82,7 @@ val open_ :
   ?checkpoint_every:int ->
   ?wal_stats:Wal.Stats.t ->
   ?wal_wrap:(Wal.file -> Wal.file) ->
+  ?retry:Storage.Retry.policy option ->
   ?vfs:Storage.Vfs.t ->
   max_key:int ->
   path:string ->
@@ -65,24 +95,40 @@ val open_ :
     since the last one.  [wal_wrap] interposes on the log's byte layer —
     the hook {!Wal.Faulty} plugs into for crash testing.  Every file
     operation (log, checkpoint snapshots, pointer, directory fsyncs)
-    goes through [vfs] (default {!Storage.Vfs.os}); passing
-    {!Storage.Vfs.Memory} is what lets the crash-state explorer
-    ([lib/faultsim]) journal and replay the engine's disk traffic.
+    goes through [vfs] (default {!Storage.Vfs.os}) wrapped in
+    {!Storage.Vfs.with_retry} under the [retry] policy (default
+    {!Storage.Retry.default}; pass [None] for no retries), charging
+    retries to [stats]; passing {!Storage.Vfs.Memory} is what lets the
+    crash-state explorer ([lib/faultsim]) journal and replay the
+    engine's disk traffic.
     @raise Failure if an existing checkpoint disagrees with [max_key] or
-    a snapshot file is malformed. *)
+    a snapshot file is malformed.
+    @raise Storage.Storage_error.Io if recovery I/O fails even after
+    retries (the handle is not created; nothing on disk is damaged
+    beyond what already was). *)
 
-val insert : t -> key:int -> value:int -> at:int -> unit
+val insert :
+  t -> key:int -> value:int -> at:int -> (unit, Storage.Storage_error.t) result
 (** Log, then apply.  Same contract as {!Rta.insert}; validation happens
     {e before} the record is logged, so a rejected update never pollutes
-    the log.  May raise {!Wal.Crashed} under fault injection, in which
-    case the update is not applied. *)
+    the log.  [Error] means the update is {e not} logged and {e not}
+    applied — the warehouse is exactly as before the call — and the
+    engine has entered [Read_only] (or was already there).  May raise
+    {!Wal.Crashed} under crash injection, in which case the update is
+    not applied.
+    @raise Invalid_argument on precondition violations (caller bugs). *)
 
-val delete : t -> key:int -> at:int -> unit
+val delete : t -> key:int -> at:int -> (unit, Storage.Storage_error.t) result
 (** Log, then apply; see {!insert}. *)
 
-val checkpoint : t -> unit
+val checkpoint : t -> (unit, Storage.Storage_error.t) result
 (** Snapshot the warehouse and truncate the log.  Durable once this
-    returns; crash-safe at every intermediate step. *)
+    returns [Ok]; crash-safe at every intermediate step.  On [Error] the
+    previously committed checkpoint and the full WAL are intact — no
+    acknowledged update is at risk — and the engine degrades to
+    [Degraded] but keeps accepting updates; a failed attempt's
+    generation number is never reused.  Refused with [Read_only_store]
+    when the engine is [Read_only]. *)
 
 val warehouse : t -> Rta.t
 (** The live warehouse, for queries ({!Rta.sum_count} and friends). *)
@@ -104,5 +150,18 @@ val checkpoints : t -> int
 val wal_stats : t -> Wal.Stats.t
 val sync_policy : t -> Wal.sync_policy
 
+val health : t -> health
+(** Current health; see the module preamble for the transitions. *)
+
+val last_error : t -> Storage.Storage_error.t option
+(** The most recent I/O error the engine absorbed or surfaced; [None]
+    after a clean operation returns the engine to [Healthy]. *)
+
+val io_stats : t -> Storage.Io_stats.t
+(** The stats sink the engine charges retries and page I/O to (the one
+    passed to {!open_}, or a private one). *)
+
 val close : t -> unit
-(** Fsync the log and release the file; no checkpoint is taken. *)
+(** Fsync the log (best effort) and release the file; no checkpoint is
+    taken.  Never raises a typed I/O error: whatever the log already
+    holds is what recovery will see. *)

@@ -129,6 +129,7 @@ module Make (G : Aggregate.Group.S) = struct
     Root_star.drop_cache t.root_star
 
   let flush t = t.backend.b_flush ()
+  let try_flush t = Storage.Storage_error.protect (fun () -> flush t)
   let read t pid = t.backend.b_read pid
   let touch t page = t.backend.b_write page.pid page
 

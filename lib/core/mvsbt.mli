@@ -104,6 +104,10 @@ module Make (G : Aggregate.Group.S) : sig
   (** Write dirty pages back to the underlying store (a real file for
       {!Durable} trees). *)
 
+  val try_flush : t -> (unit, Storage.Storage_error.t) result
+  (** {!flush} with the typed error channel: a [Storage_error.Io] from
+      the underlying store is returned as [Error] instead of raising. *)
+
   val check_invariants : t -> unit
   (** Structural validation over the whole graph: Property 1 (alive
       records partition the page rectangle at every instant of its

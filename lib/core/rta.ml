@@ -155,6 +155,8 @@ let flush t =
   Index.flush t.lklt;
   match t.durable with Some (path, vfs) -> write_durable_meta t ~vfs ~path | None -> ()
 
+let try_flush t = Storage.Storage_error.protect (fun () -> flush t)
+
 let max_key t = t.max_key
 let config t = Index.config t.lkst
 let stats t = Index.stats t.lkst
@@ -261,6 +263,9 @@ let save ?(vfs = Storage.Vfs.os) t ~path =
   encode_meta t w;
   let len = Storage.Codec.Writer.pos w in
   oc.Storage.Vfs.f_append (Storage.Codec.Writer.contents w) 0 len
+
+let try_save ?vfs t ~path =
+  Storage.Storage_error.protect (fun () -> save ?vfs t ~path)
 
 let load ?pool_capacity ?stats ?(vfs = Storage.Vfs.os) ~path () =
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in

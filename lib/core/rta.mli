@@ -74,6 +74,11 @@ val reopen_durable :
 val flush : t -> unit
 (** Write dirty pages of both indices back to their stores. *)
 
+val try_flush : t -> (unit, Storage.Storage_error.t) result
+(** {!flush} with the typed error channel: any [Storage_error.Io] the
+    underlying stores raise is returned as [Error] instead.  Other
+    exceptions (corruption [Failure]s, caller bugs) still raise. *)
+
 val max_key : t -> int
 val config : t -> Mvsbt.config
 val stats : t -> Storage.Io_stats.t
@@ -142,6 +147,10 @@ val pp_dot : Format.formatter -> t -> unit
 (** Graphviz rendering of both MVSBT page graphs (debugging / docs). *)
 
 val save : ?vfs:Storage.Vfs.t -> t -> path:string -> unit
+
+val try_save :
+  ?vfs:Storage.Vfs.t -> t -> path:string -> (unit, Storage.Storage_error.t) result
+(** {!save} with the typed error channel, as {!try_flush}. *)
 
 val load :
   ?pool_capacity:int ->

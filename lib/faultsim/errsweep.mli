@@ -1,0 +1,65 @@
+(** Single-fault I/O-error sweeps: fail the k-th syscall, for every k.
+
+    Sibling of {!Explorer}/{!Harness}, which enumerate post-{e crash}
+    disk images.  This driver instead sweeps {e live} I/O errors: it
+    replays one deterministic build → update → checkpoint → update →
+    query trace over the in-memory VFS, once per (errno class, syscall
+    index) pair, arming {!Storage.Vfs.Inject} to fail exactly that
+    syscall — persistently for [ENOSPC] (a full disk stays full), one
+    shot for [EIO]/[EINTR]/short transfers (glitches the retry layer
+    should absorb).
+
+    After each injected run it asserts the robustness contract:
+    failures surface only as typed errors; engine answers always equal
+    the brute-force oracle over exactly the {e acknowledged} updates; a
+    surfaced [ENOSPC] update failure leaves the engine [Read_only],
+    still answering queries and rejecting updates with a typed error;
+    and once the fault is disarmed, reopening recovers precisely the
+    acknowledged updates.  Any deviation is reported as a
+    {!violation} — the expected result of a sweep is zero. *)
+
+type spec = {
+  updates : int;  (** Scripted updates in the trace. *)
+  max_key : int;
+  sync_policy : Wal.sync_policy;
+  checkpoint_at : int;
+      (** Take a manual checkpoint after this many scripted updates
+          (0 = never), so the sweep crosses the checkpoint machinery. *)
+  checkpoint_every : int;  (** Auto-checkpoint threshold (0 = off). *)
+  seed : int;
+  query_count : int;  (** Query panel size checked against the oracle. *)
+}
+
+val default_spec : spec
+(** 120 updates over 24 keys, group commit every 4, one checkpoint at
+    update 60, 12 queries. *)
+
+type violation = {
+  cls : Storage.Vfs.Inject.err_class;
+  k : int;  (** The armed syscall index. *)
+  reason : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type report = {
+  syscalls : int;  (** Counted syscalls in the fault-free trace. *)
+  fault_points : int;  (** Injected runs performed. *)
+  triggered : int;  (** Runs whose fault actually fired. *)
+  surfaced : int;  (** Runs where a typed error reached a caller. *)
+  retried : int;  (** Runs where the retry layer absorbed failures. *)
+  read_only : int;  (** Runs that ended with the engine [Read_only]. *)
+  violations : violation list;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val clean : report -> bool
+(** [violations = []]. *)
+
+val run :
+  ?classes:Storage.Vfs.Inject.err_class list -> ?limit_per_class:int -> spec -> report
+(** Sweep every errno class in [classes] (default all four) over
+    k = 1..N where N is the trace's syscall count — or over
+    [limit_per_class] evenly spaced points when given (smoke mode).
+    Deterministic: same spec, same report. *)

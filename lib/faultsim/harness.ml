@@ -44,7 +44,7 @@ let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 0) ?(seed = 1)
         if Rta.is_alive rta ~key:k then k else find (i + 1)
       in
       let key = find 0 in
-      Durable.delete eng ~key ~at:!now;
+      Storage.Storage_error.ok_exn (Durable.delete eng ~key ~at:!now);
       ups := Delete { key; at = !now } :: !ups
     end
     else begin
@@ -54,7 +54,7 @@ let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 0) ?(seed = 1)
       in
       let key = find 0 in
       let value = 1 + Random.State.int rng 100 in
-      Durable.insert eng ~key ~value ~at:!now;
+      Storage.Storage_error.ok_exn (Durable.insert eng ~key ~value ~at:!now);
       ups := Insert { key; value; at = !now } :: !ups
     end;
     marks := (M.op_count fs, Rta.n_updates rta) :: !marks

@@ -34,6 +34,17 @@ val scrubbed : t -> int
 val repaired : t -> int
 (** Quarantined pages a scrub pass rewrote from a reference state. *)
 
+val errors_injected : t -> int
+(** Faults fired by {!Vfs.Inject} — nonzero only under error injection. *)
+
+val retries : t -> int
+(** Transient I/O errors absorbed by a retry loop ({!Retry.run} /
+    {!Vfs.with_retry}) instead of surfacing to the caller. *)
+
+val read_only_transitions : t -> int
+(** Times a [Durable] engine entered its [Read_only] health state after a
+    persistent write failure. *)
+
 val total_io : t -> int
 (** [reads + writes]. *)
 
@@ -45,6 +56,9 @@ val record_sync : t -> unit
 val record_crc_failure : t -> unit
 val record_scrubbed : t -> unit
 val record_repaired : t -> unit
+val record_error_injected : t -> unit
+val record_retry : t -> unit
+val record_read_only_transition : t -> unit
 
 val reset : t -> unit
 (** Zero all counters. *)
@@ -58,6 +72,9 @@ type snapshot = {
   crc_failures : int;
   scrubbed : int;
   repaired : int;
+  errors_injected : int;
+  retries : int;
+  read_only_transitions : int;
 }
 
 val snapshot : t -> snapshot

@@ -185,7 +185,8 @@ module File (C : PAGE_CODEC) = struct
     | `Create ->
         let file = vfs.Vfs.v_open `Create path in
         write_header file ~page_size;
-        (try vfs.Vfs.v_remove (free_sidecar_path path) with Sys_error _ -> ());
+        (try vfs.Vfs.v_remove (free_sidecar_path path)
+         with Sys_error _ | Storage_error.Io _ -> ());
         { file; vfs; path; page_size; next_id = 0; written = Page_id.Tbl.create 1024;
           freed = Page_id.Tbl.create 64; live = 0; stats }
     | `Reopen ->
@@ -229,7 +230,11 @@ module File (C : PAGE_CODEC) = struct
   let read_block t id =
     let buf = Bytes.create t.page_size in
     let got = t.file.Vfs.f_pread (offset t id) buf 0 t.page_size in
-    if got < t.page_size then failwith "Page_store.File: short read";
+    if got < t.page_size then
+      (* The file ends inside this page: data loss, not a transient
+         glitch — retrying the read cannot grow the file. *)
+      Storage_error.raise_io ~op:Storage_error.Pread ~path:t.path ~transient:false
+        (Storage_error.Short_read { expected = t.page_size; got });
     buf
 
   let write_block t id buf =

@@ -1,0 +1,36 @@
+type policy = {
+  max_attempts : int;
+  base_delay_s : float;
+  multiplier : float;
+  max_delay_s : float;
+  sleep : float -> unit;
+}
+
+let default =
+  {
+    max_attempts = 4;
+    base_delay_s = 0.001;
+    multiplier = 4.0;
+    max_delay_s = 0.1;
+    sleep = Unix.sleepf;
+  }
+
+let no_delay = { default with base_delay_s = 0.0; sleep = ignore }
+
+let pp_policy fmt p =
+  Format.fprintf fmt "attempts=%d base=%gs multiplier=%g max=%gs" p.max_attempts
+    p.base_delay_s p.multiplier p.max_delay_s
+
+let run ?stats ~policy f =
+  let record () =
+    match stats with Some s -> Io_stats.record_retry s | None -> ()
+  in
+  let rec go attempt delay =
+    try f ()
+    with Storage_error.Io e
+      when e.Storage_error.transient && attempt < policy.max_attempts ->
+      record ();
+      policy.sleep delay;
+      go (attempt + 1) (Float.min policy.max_delay_s (delay *. policy.multiplier))
+  in
+  go 1 policy.base_delay_s

@@ -1,0 +1,34 @@
+(** Bounded exponential backoff for transient storage errors.
+
+    A {!policy} caps the number of attempts and shapes the delay between
+    them; {!run} applies it to a thunk, retrying only errors whose
+    [Storage_error.transient] flag is set ([EINTR], [EIO], short
+    transfers).  Permanent errors ([ENOSPC], …) and non-storage
+    exceptions — including [Vfs.Crashed] — propagate immediately.
+
+    The [sleep] field makes the policy testable and deterministic:
+    {!no_delay} retries without waiting, which is what the fault-sweep
+    driver and the unit tests use. *)
+
+type policy = {
+  max_attempts : int;  (** Total tries, including the first. At least 1. *)
+  base_delay_s : float;  (** Delay before the first retry, in seconds. *)
+  multiplier : float;  (** Backoff factor between consecutive retries. *)
+  max_delay_s : float;  (** Ceiling on any single delay. *)
+  sleep : float -> unit;  (** How to wait; [Unix.sleepf] in production. *)
+}
+
+val default : policy
+(** 4 attempts, 1 ms → 4 ms → 16 ms (capped at 100 ms), [Unix.sleepf]. *)
+
+val no_delay : policy
+(** Same attempt budget as {!default} but never sleeps — for tests and
+    deterministic sweeps. *)
+
+val pp_policy : Format.formatter -> policy -> unit
+
+val run : ?stats:Io_stats.t -> policy:policy -> (unit -> 'a) -> 'a
+(** [run ~policy f] calls [f], retrying up to [policy.max_attempts] times
+    while it raises a transient [Storage_error.Io].  Each absorbed error
+    bumps [Io_stats.retries] on [stats].  The last error is re-raised
+    when the budget runs out. *)

@@ -23,75 +23,125 @@ type t = {
 
 (* --- The real filesystem ------------------------------------------------------ *)
 
-let os_file_of_fd ?(append = false) fd =
-  let really_write_at seek buf pos len =
-    seek ();
+(* Retry [EINTR] in place — an interrupted syscall never escapes the OS
+   layer — and convert every other Unix failure into a typed
+   [Storage_error.Io].  "No such file" stays a [Sys_error] where callers
+   probe for absence (open/rename/remove): a missing file is a visible
+   condition several recovery paths branch on, not an I/O fault. *)
+let rec eintr f = try f () with Unix.Unix_error (Unix.EINTR, _, _) -> eintr f
+
+let unix_guard ?(enoent_sys_error = false) ~op ~path f =
+  try eintr f with
+  | Unix.Unix_error (Unix.ENOENT, _, _) when enoent_sys_error ->
+      raise (Sys_error (path ^ ": No such file or directory"))
+  | Unix.Unix_error (e, _, _) ->
+      raise (Storage_error.Io (Storage_error.of_unix ~op ~path e))
+
+let os_file_of_fd ?(append = false) ~path fd =
+  let really_write_at ~op seek buf pos len =
+    unix_guard ~op ~path seek;
+    (* Loop until every byte is down: [Unix.write] may transfer a prefix
+       (short write) without raising.  A zero-progress write would spin,
+       so surface it as a permanent short write instead. *)
     let rec loop off =
-      if off < len then loop (off + Unix.write fd buf (pos + off) (len - off))
+      if off < len then begin
+        let n =
+          unix_guard ~op ~path (fun () -> Unix.write fd buf (pos + off) (len - off))
+        in
+        if n <= 0 then
+          Storage_error.raise_io ~op ~path ~transient:false
+            (Storage_error.Short_write { expected = len; got = off })
+        else loop (off + n)
+      end
     in
     loop 0
   in
   {
     f_pread =
       (fun off buf pos len ->
-        ignore (Unix.lseek fd off Unix.SEEK_SET);
+        unix_guard ~op:Storage_error.Pread ~path (fun () ->
+            ignore (Unix.lseek fd off Unix.SEEK_SET));
         let rec loop got =
           if got >= len then got
           else
-            let n = Unix.read fd buf (pos + got) (len - got) in
+            let n =
+              unix_guard ~op:Storage_error.Pread ~path (fun () ->
+                  Unix.read fd buf (pos + got) (len - got))
+            in
             if n = 0 then got else loop (got + n)
         in
         loop 0);
     f_pwrite =
       (fun off buf pos len ->
-        really_write_at (fun () -> ignore (Unix.lseek fd off Unix.SEEK_SET)) buf pos len);
+        really_write_at ~op:Storage_error.Pwrite
+          (fun () -> ignore (Unix.lseek fd off Unix.SEEK_SET))
+          buf pos len);
     f_append =
       (fun buf pos len ->
         (* With O_APPEND the kernel positions atomically; otherwise seek
            to the end explicitly. *)
-        really_write_at
+        really_write_at ~op:Storage_error.Append
           (fun () -> if not append then ignore (Unix.lseek fd 0 Unix.SEEK_END))
           buf pos len);
-    f_size = (fun () -> (Unix.fstat fd).Unix.st_size);
-    f_sync = (fun () -> Unix.fsync fd);
-    f_truncate = (fun len -> Unix.ftruncate fd len);
-    f_close = (fun () -> Unix.close fd);
+    f_size =
+      (fun () ->
+        unix_guard ~op:Storage_error.Pread ~path (fun () ->
+            (Unix.fstat fd).Unix.st_size));
+    f_sync =
+      (fun () -> unix_guard ~op:Storage_error.Fsync ~path (fun () -> Unix.fsync fd));
+    f_truncate =
+      (fun len ->
+        unix_guard ~op:Storage_error.Truncate ~path (fun () -> Unix.ftruncate fd len));
+    f_close =
+      (fun () ->
+        (* No EINTR retry on close: the fd may already be gone, and a
+           second close could hit a recycled descriptor. *)
+        try Unix.close fd
+        with Unix.Unix_error (e, _, _) ->
+          raise (Storage_error.Io (Storage_error.of_unix ~op:Storage_error.Close ~path e)));
   }
 
 let os =
   {
     v_open =
       (fun mode path ->
+        let openfile flags =
+          unix_guard ~enoent_sys_error:true ~op:Storage_error.Open ~path (fun () ->
+              Unix.openfile path flags 0o644)
+        in
         match mode with
         | `Create ->
-            let fd =
-              Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
-            in
-            os_file_of_fd fd
+            let fd = openfile [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] in
+            os_file_of_fd ~path fd
         | `Reopen ->
-            let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
-            os_file_of_fd fd
+            let fd = openfile [ Unix.O_RDWR ] in
+            os_file_of_fd ~path fd
         | `Log ->
             (* O_APPEND makes every append land atomically at end-of-file;
                the advisory lock rejects a second process opening the same
                log outright (locks are per-process, so re-opening after an
                in-process simulated crash still works). *)
-            let fd =
-              Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
-            in
+            let fd = openfile [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] in
             (try Unix.lockf fd Unix.F_TLOCK 0
              with Unix.Unix_error _ ->
                Unix.close fd;
                failwith (Printf.sprintf "Vfs: %s is locked by another process" path));
-            os_file_of_fd ~append:true fd);
-    v_rename = Sys.rename;
-    v_remove = Sys.remove;
+            os_file_of_fd ~append:true ~path fd);
+    v_rename =
+      (fun src dst ->
+        unix_guard ~enoent_sys_error:true ~op:Storage_error.Rename ~path:src
+          (fun () -> Unix.rename src dst));
+    v_remove =
+      (fun path ->
+        unix_guard ~enoent_sys_error:true ~op:Storage_error.Remove ~path (fun () ->
+            Unix.unlink path));
     v_exists = Sys.file_exists;
     v_readdir = Sys.readdir;
     v_sync_dir =
       (fun dir ->
-        let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
-        Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd));
+        unix_guard ~op:Storage_error.Fsync_dir ~path:dir (fun () ->
+            let fd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+            Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> Unix.fsync fd)));
   }
 
 (* --- Shared helpers ----------------------------------------------------------- *)
@@ -366,3 +416,159 @@ module Memory = struct
       v_sync_dir = (fun dir -> log fs (Sync_dir (norm dir)));
     }
 end
+
+(* --- Errno-class fault injection ---------------------------------------------- *)
+
+module Inject = struct
+  type err_class = Enospc | Eio | Eintr | Short
+
+  let class_name = function
+    | Enospc -> "enospc"
+    | Eio -> "eio"
+    | Eintr -> "eintr"
+    | Short -> "short"
+
+  let pp_class fmt c = Format.pp_print_string fmt (class_name c)
+
+  let class_of_string = function
+    | "enospc" -> Some Enospc
+    | "eio" -> Some Eio
+    | "eintr" -> Some Eintr
+    | "short" -> Some Short
+    | _ -> None
+
+  let all_classes = [ Enospc; Eio; Eintr; Short ]
+
+  type handle = {
+    mutable fail_at : int;
+    mutable n_syscalls : int;
+    mutable n_injected : int;
+    mutable fired : bool;
+    cls : err_class;
+    persistent : bool;
+    stats : Io_stats.t option;
+  }
+
+  let syscalls h = h.n_syscalls
+  let injected h = h.n_injected
+  let triggered h = h.n_injected > 0
+
+  let arm h ~fail_at =
+    h.fail_at <- fail_at;
+    h.fired <- false
+
+  (* Which counted syscalls a class can fail on.  EIO and EINTR can hit
+     anything; a short transfer needs a transfer; ENOSPC needs an
+     allocation — a data write, a file creation, or the rename's new
+     directory entry. *)
+  let applicable cls (op : Storage_error.op) ~alloc =
+    match cls with
+    | Eio | Eintr -> true
+    | Short -> ( match op with Pread | Pwrite | Append -> true | _ -> false)
+    | Enospc -> (
+        match op with Pwrite | Append | Rename -> true | Open -> alloc | _ -> false)
+
+  let errno_of cls (op : Storage_error.op) ~len : Storage_error.errno =
+    match cls with
+    | Enospc -> Storage_error.Enospc
+    | Eio -> Storage_error.Eio
+    | Eintr -> Storage_error.Eintr
+    | Short -> (
+        match op with
+        | Pread -> Storage_error.Short_read { expected = len; got = 0 }
+        | _ -> Storage_error.Short_write { expected = len; got = 0 })
+
+  let wrap ?stats ~persistent ~fail_at ~cls vfs =
+    if fail_at < 1 then invalid_arg "Vfs.Inject.wrap: fail_at must be >= 1";
+    let h =
+      { fail_at; n_syscalls = 0; n_injected = 0; fired = false; cls; persistent; stats }
+    in
+    (* Every counted syscall ticks [n_syscalls] — uniformly across
+       classes, so fault point k names the same syscall whatever class
+       is injected.  The fault fires on the first class-applicable
+       syscall at index >= fail_at (on every one from there on when
+       [persistent]).  A firing syscall performs NO side effect: the
+       failure happens "before" the kernel touched anything, so a retry
+       that re-issues the operation is exact. *)
+    let hook ~op ~path ?(alloc = true) ?(len = 0) inner =
+      h.n_syscalls <- h.n_syscalls + 1;
+      let fire =
+        h.n_syscalls >= h.fail_at
+        && applicable h.cls op ~alloc
+        && (h.persistent || not h.fired)
+      in
+      if fire then begin
+        h.fired <- true;
+        h.n_injected <- h.n_injected + 1;
+        (match h.stats with Some s -> Io_stats.record_error_injected s | None -> ());
+        raise
+          (Storage_error.Io
+             (Storage_error.v ~detail:"injected" ~op ~path (errno_of h.cls op ~len)))
+      end
+      else inner ()
+    in
+    let wrap_file path f =
+      {
+        f_pread =
+          (fun off buf pos len ->
+            hook ~op:Storage_error.Pread ~path ~len (fun () -> f.f_pread off buf pos len));
+        f_pwrite =
+          (fun off buf pos len ->
+            hook ~op:Storage_error.Pwrite ~path ~len (fun () ->
+                f.f_pwrite off buf pos len));
+        f_append =
+          (fun buf pos len ->
+            hook ~op:Storage_error.Append ~path ~len (fun () -> f.f_append buf pos len));
+        f_size = f.f_size;
+        f_sync = (fun () -> hook ~op:Storage_error.Fsync ~path (fun () -> f.f_sync ()));
+        f_truncate =
+          (fun len -> hook ~op:Storage_error.Truncate ~path (fun () -> f.f_truncate len));
+        f_close = f.f_close;
+      }
+    in
+    let vfs' =
+      {
+        v_open =
+          (fun mode path ->
+            let alloc = mode <> `Reopen in
+            let f = hook ~op:Storage_error.Open ~path ~alloc (fun () -> vfs.v_open mode path) in
+            wrap_file path f);
+        v_rename =
+          (fun src dst ->
+            hook ~op:Storage_error.Rename ~path:src (fun () -> vfs.v_rename src dst));
+        v_remove =
+          (fun path -> hook ~op:Storage_error.Remove ~path (fun () -> vfs.v_remove path));
+        v_exists = vfs.v_exists;
+        v_readdir = vfs.v_readdir;
+        v_sync_dir =
+          (fun dir -> hook ~op:Storage_error.Fsync_dir ~path:dir (fun () -> vfs.v_sync_dir dir));
+      }
+    in
+    (h, vfs')
+end
+
+(* --- Transparent retry --------------------------------------------------------- *)
+
+let with_retry ?stats ?(policy = Retry.default) vfs =
+  let r f = Retry.run ?stats ~policy f in
+  let wrap_file f =
+    {
+      f_pread = (fun off buf pos len -> r (fun () -> f.f_pread off buf pos len));
+      f_pwrite = (fun off buf pos len -> r (fun () -> f.f_pwrite off buf pos len));
+      f_append = (fun buf pos len -> r (fun () -> f.f_append buf pos len));
+      f_size = (fun () -> r (fun () -> f.f_size ()));
+      f_sync = (fun () -> r (fun () -> f.f_sync ()));
+      f_truncate = (fun len -> r (fun () -> f.f_truncate len));
+      (* Close is not retried: a failed close leaves the descriptor state
+         unspecified, and retrying could close a recycled fd. *)
+      f_close = f.f_close;
+    }
+  in
+  {
+    v_open = (fun mode path -> wrap_file (r (fun () -> vfs.v_open mode path)));
+    v_rename = (fun src dst -> r (fun () -> vfs.v_rename src dst));
+    v_remove = (fun path -> r (fun () -> vfs.v_remove path));
+    v_exists = vfs.v_exists;
+    v_readdir = vfs.v_readdir;
+    v_sync_dir = (fun dir -> r (fun () -> vfs.v_sync_dir dir));
+  }

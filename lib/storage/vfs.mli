@@ -63,7 +63,12 @@ type t = {
 }
 
 val os : t
-(** The real filesystem. *)
+(** The real filesystem.  Syscalls interrupted by [EINTR] are retried in
+    place and short [read]/[write] transfers are looped to completion;
+    any other Unix failure surfaces as a typed [Storage_error.Io] — with
+    the exception of "no such file" on open/rename/remove, which stays a
+    [Sys_error] because absence is a condition recovery paths branch on,
+    not an I/O fault. *)
 
 val read_file : t -> string -> bytes
 (** Whole-file read. @raise Failure on a short read, [Sys_error]/[Failure]
@@ -129,3 +134,56 @@ module Memory : sig
   val norm : string -> string
   (** The path normalisation the journal uses ("./x" aliases "x"). *)
 end
+
+(** Errno-class fault injection: fail the k-th syscall of a run.
+
+    Where {!Fault} models a {e crash} (the process dies mid-write), this
+    wrapper models the kernel {e returning an error} from a single
+    syscall while the process keeps running — the substrate of the
+    [Faultsim.Errsweep] driver, which sweeps k over a whole trace. *)
+module Inject : sig
+  type err_class =
+    | Enospc  (** Allocation failure — writes, creations, renames. *)
+    | Eio  (** Device error — any syscall. *)
+    | Eintr  (** Interruption — any syscall. *)
+    | Short  (** Short transfer — reads, writes, appends. *)
+
+  val pp_class : Format.formatter -> err_class -> unit
+  val class_name : err_class -> string
+  val class_of_string : string -> err_class option
+
+  val all_classes : err_class list
+  (** In declaration order: [Enospc; Eio; Eintr; Short]. *)
+
+  type handle
+
+  val wrap :
+    ?stats:Io_stats.t -> persistent:bool -> fail_at:int -> cls:err_class -> t -> handle * t
+  (** [wrap ~persistent ~fail_at ~cls vfs] counts every syscall issued
+      through the wrapper ([v_open]/[v_rename]/[v_remove]/[v_sync_dir]
+      and all file data operations except [f_size]/[f_close]) and raises
+      a typed [Storage_error.Io] from the first class-applicable syscall
+      whose index reaches [fail_at] — from every one thereafter when
+      [persistent] (how a full disk behaves, vs. a one-shot glitch).  A
+      firing syscall has {e no side effect}, so retrying it re-issues the
+      operation exactly.  Each fired fault bumps
+      [Io_stats.errors_injected] on [stats]. *)
+
+  val syscalls : handle -> int
+  (** Counted syscalls so far (including any that fired). *)
+
+  val injected : handle -> int
+  val triggered : handle -> bool
+
+  val arm : handle -> fail_at:int -> unit
+  (** Re-aim the fault at a later syscall index and re-arm a one-shot
+      wrapper — lets a test run a clean prefix, read {!syscalls}, and
+      target a precise phase of the trace. *)
+end
+
+val with_retry : ?stats:Io_stats.t -> ?policy:Retry.policy -> t -> t
+(** Wrap every operation of a vfs in {!Retry.run}: transient
+    [Storage_error.Io] failures ([EINTR], [EIO], short transfers) are
+    retried with bounded exponential backoff, bumping
+    [Io_stats.retries]; permanent errors and {!Crashed} propagate
+    untouched.  [f_close] is never retried. *)

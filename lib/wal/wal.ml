@@ -7,6 +7,8 @@ let pp_sync_policy ppf = function
 
 exception Crashed = Storage.Vfs.Crashed
 
+module E = Storage.Storage_error
+
 module Stats = struct
   type t = {
     mutable n_appends : int;
@@ -79,11 +81,13 @@ let max_record_bytes = 1 lsl 20
 
 type t = {
   file : file;
+  path : string; (* for error context only *)
   pol : sync_policy;
   st : Stats.t;
   mutable appended : bool; (* replay is only legal before the first append *)
   mutable unsynced : int; (* appends since the last fsync (group commit) *)
   mutable closed : bool;
+  mutable broken : bool; (* a failed append could not be rolled back *)
 }
 
 let header_buf () =
@@ -105,11 +109,14 @@ let header_valid file =
     got = header_bytes && Bytes.equal buf (header_buf ())
   end
 
-let open_log ?(policy = Every_n 32) ?(stats = Stats.create ()) file =
+let open_log ?(policy = Every_n 32) ?(stats = Stats.create ()) ?(path = "<wal>") file =
   (match policy with
   | Every_n n when n < 1 -> invalid_arg "Wal.open_log: Every_n needs n >= 1"
   | _ -> ());
-  let t = { file; pol = policy; st = stats; appended = false; unsynced = 0; closed = false } in
+  let t =
+    { file; path; pol = policy; st = stats; appended = false; unsynced = 0;
+      closed = false; broken = false }
+  in
   if file.f_size () = 0 then file.f_append (header_buf ()) 0 header_bytes
   else if not (header_valid file) then begin
     (* A torn or foreign header means nothing in the file can be trusted:
@@ -120,7 +127,7 @@ let open_log ?(policy = Every_n 32) ?(stats = Stats.create ()) file =
   end;
   t
 
-let open_path ?policy ?stats path = open_log ?policy ?stats (os_file ~path)
+let open_path ?policy ?stats path = open_log ?policy ?stats ~path (os_file ~path)
 
 let check_open t = if t.closed then invalid_arg "Wal: log is closed"
 
@@ -185,31 +192,64 @@ let append t ?(pos = 0) ?len buf =
   if len <= 0 then invalid_arg "Wal.append: empty payload";
   if len > max_record_bytes then invalid_arg "Wal.append: payload exceeds max_record_bytes";
   if pos < 0 || pos + len > Bytes.length buf then invalid_arg "Wal.append: range outside buffer";
-  let frame = Bytes.create (frame_header_bytes + len) in
-  Bytes.set_int32_le frame 0 (Int32.of_int len);
-  Bytes.set_int32_le frame 4 (Int32.of_int (Storage.Codec.crc32 buf ~pos ~len));
-  Bytes.blit buf pos frame frame_header_bytes len;
-  t.appended <- true;
-  t.unsynced <- t.unsynced + 1;
-  (* One write for the whole frame: a crash tears at most this record. *)
-  t.file.f_append frame 0 (Bytes.length frame);
-  t.st.Stats.n_appends <- t.st.Stats.n_appends + 1;
-  t.st.Stats.n_bytes <- t.st.Stats.n_bytes + Bytes.length frame;
-  maybe_sync t
+  if t.broken then Error (E.v ~op:E.Append ~path:t.path E.Wal_poisoned)
+  else begin
+    let frame = Bytes.create (frame_header_bytes + len) in
+    Bytes.set_int32_le frame 0 (Int32.of_int len);
+    Bytes.set_int32_le frame 4 (Int32.of_int (Storage.Codec.crc32 buf ~pos ~len));
+    Bytes.blit buf pos frame frame_header_bytes len;
+    t.appended <- true;
+    match
+      E.protect (fun () ->
+          let size0 = t.file.f_size () in
+          let counted = ref false in
+          try
+            (* One write for the whole frame: a crash tears at most this
+               record. *)
+            t.file.f_append frame 0 (Bytes.length frame);
+            t.unsynced <- t.unsynced + 1;
+            counted := true;
+            maybe_sync t
+          with E.Io _ as exn ->
+            (* Roll the log back to its pre-append length: [Error] must
+               always mean "not logged", or recovery would resurrect an
+               update the caller was told failed.  This also covers the
+               append-landed-but-fsync-failed case.  If even the rollback
+               fails the log is poisoned: every later append is refused
+               until a checkpoint truncation rewrites the file. *)
+            (try
+               t.file.f_truncate size0;
+               if !counted then t.unsynced <- t.unsynced - 1
+             with E.Io _ -> t.broken <- true);
+            raise exn)
+    with
+    | Ok () ->
+        t.st.Stats.n_appends <- t.st.Stats.n_appends + 1;
+        t.st.Stats.n_bytes <- t.st.Stats.n_bytes + Bytes.length frame;
+        Ok ()
+    | Error _ as e -> e
+  end
 
 let sync t =
   check_open t;
-  t.file.f_sync ();
-  t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
-  t.unsynced <- 0
+  E.protect (fun () ->
+      t.file.f_sync ();
+      t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
+      t.unsynced <- 0)
 
 let truncate t =
   check_open t;
-  t.file.f_truncate header_bytes;
-  t.file.f_sync ();
-  t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
-  t.st.Stats.n_truncations <- t.st.Stats.n_truncations + 1;
-  t.unsynced <- 0
+  E.protect (fun () ->
+      t.file.f_truncate header_bytes;
+      t.file.f_sync ();
+      t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
+      t.st.Stats.n_truncations <- t.st.Stats.n_truncations + 1;
+      t.unsynced <- 0;
+      (* The damaged tail (if any) is gone with the truncation: a
+         poisoned log is whole again. *)
+      t.broken <- false)
+
+let broken t = t.broken
 
 let size t =
   check_open t;
@@ -221,5 +261,6 @@ let stats t = t.st
 let close t =
   if not t.closed then begin
     t.closed <- true;
-    t.file.f_close ()
+    (* Best effort: the caller is done with the log either way. *)
+    try t.file.f_close () with E.Io _ -> ()
   end

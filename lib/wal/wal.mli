@@ -118,12 +118,14 @@ end
 
 type t
 
-val open_log : ?policy:sync_policy -> ?stats:Stats.t -> file -> t
+val open_log : ?policy:sync_policy -> ?stats:Stats.t -> ?path:string -> file -> t
 (** Open a log over [file].  An empty file gets a fresh header; a valid
     header is accepted in place (the tail is then available to
     {!replay}); a torn or foreign header resets the log to empty — a
     garbage log recovers as a clean empty one, by design.  [policy]
-    defaults to [Every_n 32]. *)
+    defaults to [Every_n 32].  [path] is used only as context in typed
+    errors.
+    @raise Storage.Storage_error.Io if (re)writing the header fails. *)
 
 val open_path : ?policy:sync_policy -> ?stats:Stats.t -> string -> t
 (** [open_log] over [os_file]. *)
@@ -135,17 +137,29 @@ val replay : t -> (Storage.Codec.Reader.t -> unit) -> int
     Must be called before the first {!append} (the log tracks this).
     @raise Invalid_argument if records were already appended. *)
 
-val append : t -> ?pos:int -> ?len:int -> bytes -> unit
+val append : t -> ?pos:int -> ?len:int -> bytes -> (unit, Storage.Storage_error.t) result
 (** Frame and append one record, then apply the sync policy.  [pos]/[len]
     default to the whole buffer.
+
+    [Error] always means {e not logged}: on any I/O failure — including
+    an append that landed but whose group-commit fsync failed — the log
+    is rolled back to its pre-append length before the error is
+    returned, so recovery can never resurrect a record the caller was
+    told failed.  If the rollback itself fails the log is {e poisoned}
+    ({!broken}) and every later append returns a [Wal_poisoned] error
+    until {!truncate} resets the file.  {!Crashed} still raises through
+    (the simulated process is dead; there is nobody to return to).
     @raise Invalid_argument on an empty or oversized payload. *)
 
-val sync : t -> unit
+val sync : t -> (unit, Storage.Storage_error.t) result
 (** Force an [fsync] now, regardless of policy. *)
 
-val truncate : t -> unit
+val truncate : t -> (unit, Storage.Storage_error.t) result
 (** Reset the log to just its header (checkpoint took over the prefix)
-    and fsync, so the truncation itself is durable. *)
+    and fsync, so the truncation itself is durable.  Clears {!broken}. *)
+
+val broken : t -> bool
+(** True after a failed append could not be rolled back; see {!append}. *)
 
 val size : t -> int
 (** Current file size in bytes, header included. *)

@@ -21,6 +21,10 @@ let cleanup prefix =
 
 let payload s = Bytes.of_string s
 
+(* These tests drive the log and engine without error injection, so the
+   typed error channel should never carry anything: unwrap it. *)
+let ok = Storage.Storage_error.ok_exn
+
 let replay_strings wal =
   let acc = ref [] in
   let n =
@@ -42,7 +46,7 @@ let test_wal_roundtrip () =
   let path = prefix ^ ".wal" in
   let wal = Wal.open_path ~policy:Wal.Always path in
   Alcotest.(check int) "empty log replays nothing" 0 (Wal.replay wal (fun _ -> ()));
-  List.iter (fun s -> Wal.append wal (payload s)) [ "alpha"; "bravo"; "charlie" ];
+  List.iter (fun s -> ok (Wal.append wal (payload s))) [ "alpha"; "bravo"; "charlie" ];
   let st = Wal.stats wal in
   Alcotest.(check int) "appends" 3 (Wal.Stats.appends st);
   Alcotest.(check int) "fsyncs under Always" 3 (Wal.Stats.fsyncs st);
@@ -52,7 +56,7 @@ let test_wal_roundtrip () =
   Alcotest.(check int) "replayed" 3 n;
   Alcotest.(check (list string)) "payloads" [ "alpha"; "bravo"; "charlie" ] got;
   (* Appending after replay extends the same log. *)
-  Wal.append wal (payload "delta");
+  ok (Wal.append wal (payload "delta"));
   Wal.close wal;
   let wal = Wal.open_path path in
   let n, got = replay_strings wal in
@@ -66,14 +70,14 @@ let test_wal_group_commit () =
   let path = prefix ^ ".wal" in
   let wal = Wal.open_path ~policy:(Wal.Every_n 4) path in
   for i = 1 to 10 do
-    Wal.append wal (payload (string_of_int i))
+    ok (Wal.append wal (payload (string_of_int i)))
   done;
   Alcotest.(check int) "two group commits for 10 appends" 2
     (Wal.Stats.fsyncs (Wal.stats wal));
   Wal.close wal;
   let wal = Wal.open_path ~policy:Wal.Never path in
   ignore (Wal.replay wal (fun _ -> ()));
-  Wal.append wal (payload "x");
+  ok (Wal.append wal (payload "x"));
   Alcotest.(check int) "Never policy: no fsync" 0 (Wal.Stats.fsyncs (Wal.stats wal));
   Wal.close wal;
   cleanup prefix
@@ -87,7 +91,7 @@ let test_wal_torn_tail () =
   let prefix = temp_prefix () in
   let path = prefix ^ ".wal" in
   let wal = Wal.open_path path in
-  List.iter (fun s -> Wal.append wal (payload s)) [ "one"; "two" ];
+  List.iter (fun s -> ok (Wal.append wal (payload s))) [ "one"; "two" ];
   Wal.close wal;
   (* A torn append: a frame header promising 100 bytes, then silence. *)
   let torn = Bytes.create 11 in
@@ -100,7 +104,7 @@ let test_wal_torn_tail () =
   Alcotest.(check bool) "tail bytes counted" true
     (Wal.Stats.dropped_bytes (Wal.stats wal) = 11);
   (* The log was truncated back to the valid prefix: extending works. *)
-  Wal.append wal (payload "three");
+  ok (Wal.append wal (payload "three"));
   Wal.close wal;
   let wal = Wal.open_path path in
   let n, got = replay_strings wal in
@@ -113,7 +117,7 @@ let test_wal_corrupt_record () =
   let prefix = temp_prefix () in
   let path = prefix ^ ".wal" in
   let wal = Wal.open_path path in
-  List.iter (fun s -> Wal.append wal (payload s)) [ "aaaa"; "bbbb"; "cccc" ];
+  List.iter (fun s -> ok (Wal.append wal (payload s))) [ "aaaa"; "bbbb"; "cccc" ];
   let size = Wal.size wal in
   Wal.close wal;
   (* Flip one payload byte of the middle record. *)
@@ -138,7 +142,7 @@ let test_wal_garbage_header () =
   let wal = Wal.open_path path in
   Alcotest.(check int) "garbage log resets to empty" 0 (Wal.replay wal (fun _ -> ()));
   Alcotest.(check int) "reset counted" 1 (Wal.Stats.truncations (Wal.stats wal));
-  Wal.append wal (payload "fresh");
+  ok (Wal.append wal (payload "fresh"));
   Wal.close wal;
   let wal = Wal.open_path path in
   let n, got = replay_strings wal in
@@ -154,14 +158,14 @@ let test_faulty_crash () =
      of the next frame: the second append must tear. *)
   let h, file = Wal.Faulty.wrap ~fail_after:(16 + 13 + 3) (Wal.os_file ~path) in
   let wal = Wal.open_log ~policy:Wal.Never file in
-  Wal.append wal (payload "hello");
+  ok (Wal.append wal (payload "hello"));
   Alcotest.(check bool) "alive before budget" false (Wal.Faulty.crashed h);
   Alcotest.check_raises "crash mid-append" Wal.Crashed (fun () ->
-      Wal.append wal (payload "world"));
+      ignore (Wal.append wal (payload "world")));
   Alcotest.(check bool) "crashed" true (Wal.Faulty.crashed h);
   Alcotest.(check int) "exact bytes reached the file" (16 + 13 + 3) (Wal.Faulty.written h);
   Alcotest.check_raises "dead after crash" Wal.Crashed (fun () ->
-      Wal.append wal (payload "zombie"));
+      ignore (Wal.append wal (payload "zombie")));
   (* A restarted process reopens the underlying file and sees the torn
      tail dropped. *)
   let wal = Wal.open_path path in
@@ -179,9 +183,9 @@ let test_faulty_dropped () =
       (Wal.os_file ~path)
   in
   let wal = Wal.open_log ~policy:Wal.Never file in
-  Wal.append wal (payload "hello");
+  ok (Wal.append wal (payload "hello"));
   Alcotest.check_raises "crash on the crossing append" Wal.Crashed (fun () ->
-      Wal.append wal (payload "world"));
+      ignore (Wal.append wal (payload "world")));
   (* Dropped: the crossing write vanishes wholesale — no partial bytes. *)
   Alcotest.(check int) "only pre-crash bytes landed" (16 + 13) (Wal.Faulty.written h);
   let wal = Wal.open_path path in
@@ -201,9 +205,9 @@ let test_faulty_duplicated () =
       (Wal.os_file ~path)
   in
   let wal = Wal.open_log ~policy:Wal.Never file in
-  Wal.append wal (payload "hello");
+  ok (Wal.append wal (payload "hello"));
   Alcotest.check_raises "crash on the crossing append" Wal.Crashed (fun () ->
-      Wal.append wal (payload "world"));
+      ignore (Wal.append wal (payload "world")));
   (* Duplicated: a retried write whose first copy also landed — the frame
      appears twice, each copy a valid CRC frame. *)
   Alcotest.(check int) "the crossing frame landed twice" (16 + 13 + 26)
@@ -230,8 +234,8 @@ let test_engine_skips_duplicated_record () =
   let mk = 1000 in
   (try
      let wh = Durable.open_ ~wal_wrap ~max_key:mk ~path:prefix () in
-     Durable.insert wh ~key:1 ~value:10 ~at:1;
-     Durable.insert wh ~key:2 ~value:20 ~at:2;
+     ok (Durable.insert wh ~key:1 ~value:10 ~at:1);
+     ok (Durable.insert wh ~key:2 ~value:20 ~at:2);
      Alcotest.fail "second insert should have crashed the WAL"
    with Wal.Crashed -> ());
   let wh = Durable.open_ ~max_key:mk ~path:prefix () in
@@ -301,11 +305,11 @@ let test_durable_checkpoint_lifecycle () =
   List.iteri
     (fun i ev ->
       (match ev with
-      | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
-      | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at);
+      | Workload.Generator.Insert { key; value; at } -> ok (Durable.insert wh ~key ~value ~at)
+      | Workload.Generator.Delete { key; at } -> ok (Durable.delete wh ~key ~at));
       incr applied;
       (* A manual checkpoint a third of the way in. *)
-      if i = n_total / 3 then Durable.checkpoint wh)
+      if i = n_total / 3 then ok (Durable.checkpoint wh))
     events;
   Alcotest.(check int) "one checkpoint" 1 (Durable.checkpoints wh);
   Alcotest.(check int) "post-checkpoint updates pending" (n_total - (n_total / 3) - 1)
@@ -319,7 +323,7 @@ let test_durable_checkpoint_lifecycle () =
   check_against_oracle ~what:"checkpoint+tail" (Durable.warehouse wh)
     (feed_reference events n_total);
   (* Checkpoint now, reopen again: nothing left to replay. *)
-  Durable.checkpoint wh;
+  ok (Durable.checkpoint wh);
   Durable.close wh;
   let wh = Durable.open_ ~max_key ~path:prefix () in
   Alcotest.(check int) "log empty after checkpoint" 0 (Durable.replayed_on_open wh);
@@ -334,8 +338,8 @@ let test_durable_auto_checkpoint () =
   List.iter
     (fun ev ->
       match ev with
-      | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
-      | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at)
+      | Workload.Generator.Insert { key; value; at } -> ok (Durable.insert wh ~key ~value ~at)
+      | Workload.Generator.Delete { key; at } -> ok (Durable.delete wh ~key ~at))
     events;
   let n_total = List.length events in
   Alcotest.(check int) "auto checkpoints fired" (n_total / 50) (Durable.checkpoints wh);
@@ -365,8 +369,8 @@ let copy_file src dst =
       loop ())
 
 let apply_event wh = function
-  | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
-  | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at
+  | Workload.Generator.Insert { key; value; at } -> ok (Durable.insert wh ~key ~value ~at)
+  | Workload.Generator.Delete { key; at } -> ok (Durable.delete wh ~key ~at)
 
 let test_durable_checkpoint_atomicity () =
   (* The crash windows of the checkpoint protocol itself. *)
@@ -380,7 +384,7 @@ let test_durable_checkpoint_atomicity () =
      Replay must skip them all (they carry sequence numbers at or below
      the checkpoint's), not double-apply. *)
   copy_file (prefix ^ ".wal") (prefix ^ ".walcopy");
-  Durable.checkpoint wh;
+  ok (Durable.checkpoint wh);
   Durable.close wh;
   Sys.rename (prefix ^ ".walcopy") (prefix ^ ".wal");
   let wh = Durable.open_ ~max_key ~path:prefix () in
@@ -410,7 +414,7 @@ let test_durable_checkpoint_atomicity () =
     (Sys.file_exists (stale ".lkst") || Sys.file_exists (stale ".lklt")
     || Sys.file_exists (stale ".meta") || Sys.file_exists (prefix ^ ".ckpt.tmp"));
   (* A second checkpoint retires the previous generation's files. *)
-  Durable.checkpoint wh;
+  ok (Durable.checkpoint wh);
   Alcotest.(check bool) "old generation retired" false
     (Sys.file_exists (prefix ^ ".ckpt-1.lkst"));
   Alcotest.(check bool) "new generation committed" true
@@ -450,8 +454,8 @@ let test_durable_empty_and_garbage_log () =
   (* A truncated-mid-record log: the valid prefix is recovered. *)
   let prefix = temp_prefix () in
   let wh = Durable.open_ ~max_key ~path:prefix () in
-  Durable.insert wh ~key:1 ~value:10 ~at:1;
-  Durable.insert wh ~key:2 ~value:20 ~at:2;
+  ok (Durable.insert wh ~key:1 ~value:10 ~at:1);
+  ok (Durable.insert wh ~key:2 ~value:20 ~at:2);
   Durable.close wh;
   let full = (Unix.stat (prefix ^ ".wal")).Unix.st_size in
   let fd = Unix.openfile (prefix ^ ".wal") [ Unix.O_RDWR ] 0o644 in
@@ -485,8 +489,8 @@ let crash_and_recover ~events ~checkpoint_every ~fail_after =
      List.iter
        (fun ev ->
          match ev with
-         | Workload.Generator.Insert { key; value; at } -> Durable.insert wh ~key ~value ~at
-         | Workload.Generator.Delete { key; at } -> Durable.delete wh ~key ~at)
+         | Workload.Generator.Insert { key; value; at } -> ok (Durable.insert wh ~key ~value ~at)
+         | Workload.Generator.Delete { key; at } -> ok (Durable.delete wh ~key ~at))
        events
      (* Budget large enough for the whole stream: no crash this run. *)
    with Wal.Crashed -> ());
