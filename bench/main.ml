@@ -621,6 +621,76 @@ let scrub_overhead () =
   if List.length repair.Rta.corrupt <> List.length hits || not (Rta.scrub_clean final)
   then Printf.printf "!! scrub failed to detect or repair injected corruption\n"
 
+(* --- Telemetry overhead -------------------------------------------------------------- *)
+
+(* Wall clock once more: the tracer's cost is clock reads, Io_stats
+   snapshots and sink pushes — pure CPU per operation, invisible to the
+   simulated-disk counters.  Three modes, per the acceptance criteria:
+   disabled (the Tracer.noop default: hot paths pay one branch), a noop
+   sink (tracer enabled, spans built and discarded), and a memory sink
+   (spans retained in the ring buffer, then folded into histograms). *)
+let telemetry_overhead () =
+  header "Telemetry overhead: disabled (noop tracer) vs null sink vs memory ring";
+  let module Tracer = Telemetry.Tracer in
+  let evs = Lazy.force events in
+  let n = List.length evs in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run name telemetry =
+    let (rta, _stats), build_s =
+      wall (fun () ->
+          let stats = Storage.Io_stats.create () in
+          let rta = Rta.create ~config:mvsbt_config ~stats ?telemetry ~max_key:spec.max_key () in
+          List.iter
+            (fun ev ->
+              match ev with
+              | Workload.Generator.Insert { key; value; at } -> Rta.insert rta ~key ~value ~at
+              | Workload.Generator.Delete { key; at } -> Rta.delete rta ~key ~at)
+            evs;
+          (rta, stats))
+    in
+    let rects = rects_for ~qrs:0.01 ~seed:77 in
+    let _, query_s =
+      wall (fun () ->
+          List.iter
+            (fun (r : Workload.Query_gen.rect) ->
+              ignore (Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi))
+            rects)
+    in
+    Printf.printf "  %-26s %9d upd %8.3f s %11.0f upd/s  %4d qry %9.2f µs/qry\n" name n
+      build_s
+      (float_of_int n /. build_s)
+      (List.length rects)
+      (query_s *. 1e6 /. float_of_int (List.length rects));
+    build_s
+  in
+  let base_s = run "disabled (Tracer.noop)" None in
+  let null_stats = Storage.Io_stats.create () in
+  let null_s =
+    run "enabled, null sink" (Some (Tracer.create ~stats:null_stats Tracer.null_sink))
+  in
+  let buffer = Tracer.Memory.create ~capacity:65_536 () in
+  let mem_stats = Storage.Io_stats.create () in
+  let mem_s =
+    run "enabled, memory ring" (Some (Tracer.create ~stats:mem_stats (Tracer.Memory.sink buffer)))
+  in
+  Printf.printf "  overhead vs disabled: null sink %.2fx, memory ring %.2fx\n"
+    (null_s /. base_s) (mem_s /. base_s);
+  Printf.printf "  ring: %d spans pushed, %d retained, %d dropped\n"
+    (Tracer.Memory.span_count buffer)
+    (List.length (Tracer.Memory.spans buffer))
+    (Tracer.Memory.dropped buffer);
+  let reg = Telemetry.Metrics.create () in
+  Telemetry.Metrics.observe_spans reg (Tracer.Memory.spans buffer);
+  Format.printf "%a" Telemetry.Metrics.pp_summary reg;
+  (* Wall clock on shared machines is noisy; flag only a gross blow-up of
+     the always-on (disabled-tracer) path relative to full tracing. *)
+  if null_s > 2. *. base_s && null_s -. base_s > 0.5 then
+    Printf.printf "!! null-sink tracing costs more than 2x the disabled path\n"
+
 (* --- Bechamel micro-benchmarks ----------------------------------------------------- *)
 
 let micro () =
@@ -692,13 +762,15 @@ let experiments =
     ("wal-overhead", wal_overhead);
     ("retry-overhead", retry_overhead);
     ("scrub-overhead", scrub_overhead);
+    ("telemetry-overhead", telemetry_overhead);
     ("micro", micro);
   ]
 
 (* The quick subset --smoke runs when no experiment is named explicitly:
    one of each kind (space, queries, durability). *)
 let smoke_experiments =
-  [ "fig4a"; "fig4b"; "wal-overhead"; "retry-overhead"; "scrub-overhead" ]
+  [ "fig4a"; "fig4b"; "wal-overhead"; "retry-overhead"; "scrub-overhead";
+    "telemetry-overhead" ]
 
 let () =
   let requested =

@@ -207,6 +207,41 @@ let report_build ~label (m : Storage.Cost_model.measurement) ~pages ~updates =
     (float_of_int (m.reads + m.writes) /. float_of_int updates)
     (m.estimated_s *. 1000. /. float_of_int updates)
 
+(* --- Machine-parseable reports (--stats-json) --------------------------------- *)
+
+let io_json (s : Telemetry.Io_stats.snapshot) =
+  Telemetry.Json.Obj
+    [ ("reads", Telemetry.Json.Int s.reads);
+      ("writes", Telemetry.Json.Int s.writes);
+      ("allocs", Telemetry.Json.Int s.allocs);
+      ("frees", Telemetry.Json.Int s.frees);
+      ("syncs", Telemetry.Json.Int s.syncs);
+      ("crc_failures", Telemetry.Json.Int s.crc_failures);
+      ("scrubbed", Telemetry.Json.Int s.scrubbed);
+      ("repaired", Telemetry.Json.Int s.repaired);
+      ("errors_injected", Telemetry.Json.Int s.errors_injected);
+      ("retries", Telemetry.Json.Int s.retries);
+      ("read_only_transitions", Telemetry.Json.Int s.read_only_transitions);
+      ("total_io", Telemetry.Json.Int (Telemetry.Io_stats.snapshot_total_io s)) ]
+
+let measurement_json (m : Storage.Cost_model.measurement) =
+  Telemetry.Json.Obj
+    [ ("reads", Telemetry.Json.Int m.reads);
+      ("writes", Telemetry.Json.Int m.writes);
+      ("cpu_s", Telemetry.Json.Float m.cpu_s);
+      ("estimated_s", Telemetry.Json.Float m.estimated_s) ]
+
+let health_string h = Format.asprintf "%a" Durable.pp_health h
+
+let print_json j = print_endline (Telemetry.Json.to_string j)
+
+let stats_json_term =
+  let doc =
+    "Emit the report as a single machine-parseable JSON object on stdout instead of the \
+     human-readable text (for CI and scripting)."
+  in
+  Arg.(value & flag & info [ "stats-json" ] ~doc)
+
 (* --- generate ------------------------------------------------------------------ *)
 
 let generate verbosity spec out =
@@ -228,13 +263,14 @@ let generate_cmd =
 
 (* --- build ----------------------------------------------------------------------- *)
 
-let build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_every =
+let build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_every
+    ~stats_json =
   let stats = Storage.Io_stats.create () in
   let eng =
     Durable.open_ ~config ~pool_capacity:buffer ~stats ~sync_policy ~checkpoint_every
       ~max_key:spec.Workload.Generator.max_key ~path ()
   in
-  if Durable.replayed_on_open eng > 0 then
+  if (not stats_json) && Durable.replayed_on_open eng > 0 then
     Printf.printf "recovered %d logged updates before building\n"
       (Durable.replayed_on_open eng);
   let events = events_of ~spec ~input in
@@ -246,29 +282,65 @@ let build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_ev
           ~delete:(fun ~key ~at -> ok (Durable.delete eng ~key ~at)))
   in
   let rta = Durable.warehouse eng in
-  report_build ~label:"2-MVSBT (durable)" m ~pages:(Rta.page_count rta)
-    ~updates:(Rta.n_updates rta);
   Rta.check_invariants rta;
-  Printf.printf "  invariants: ok\n";
-  report_durable eng;
+  if stats_json then begin
+    let wal_st = Durable.wal_stats eng in
+    print_json
+      (Telemetry.Json.Obj
+         [ ("mode", Telemetry.Json.Str "build-durable");
+           ("updates", Telemetry.Json.Int (Rta.n_updates rta));
+           ("pages", Telemetry.Json.Int (Rta.page_count rta));
+           ("replayed_on_open", Telemetry.Json.Int (Durable.replayed_on_open eng));
+           ("checkpoints", Telemetry.Json.Int (Durable.checkpoints eng));
+           ("health", Telemetry.Json.Str (health_string (Durable.health eng)));
+           ("build", measurement_json m);
+           ( "wal",
+             Telemetry.Json.Obj
+               [ ("appends", Telemetry.Json.Int (Wal.Stats.appends wal_st));
+                 ("bytes", Telemetry.Json.Int (Wal.Stats.bytes wal_st));
+                 ("fsyncs", Telemetry.Json.Int (Wal.Stats.fsyncs wal_st)) ] );
+           ("io", io_json (Storage.Io_stats.snapshot stats));
+           ("invariants", Telemetry.Json.Str "ok") ])
+  end
+  else begin
+    report_build ~label:"2-MVSBT (durable)" m ~pages:(Rta.page_count rta)
+      ~updates:(Rta.n_updates rta);
+    Printf.printf "  invariants: ok\n";
+    report_durable eng
+  end;
   Durable.close eng
 
-let build verbosity spec (config, buffer) input snapshot wal sync_policy checkpoint_every =
+let build verbosity spec (config, buffer) input snapshot wal sync_policy checkpoint_every
+    stats_json =
   setup_logs verbosity;
   match wal with
   | Some path ->
-      if snapshot <> None then
+      if snapshot <> None && not stats_json then
         Printf.printf "note: --save is ignored with --wal (use the checkpoint subcommand)\n";
       build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_every
+        ~stats_json
   | None -> (
-      let rta, _stats, m = build_rta ~spec ~config ~buffer ~input in
-      report_build ~label:"2-MVSBT" m ~pages:(Rta.page_count rta) ~updates:(Rta.n_updates rta);
+      let rta, stats, m = build_rta ~spec ~config ~buffer ~input in
       Rta.check_invariants rta;
-      Printf.printf "  invariants: ok\n";
+      if stats_json then
+        print_json
+          (Telemetry.Json.Obj
+             [ ("mode", Telemetry.Json.Str "build");
+               ("updates", Telemetry.Json.Int (Rta.n_updates rta));
+               ("pages", Telemetry.Json.Int (Rta.page_count rta));
+               ("build", measurement_json m);
+               ("io", io_json (Storage.Io_stats.snapshot stats));
+               ("invariants", Telemetry.Json.Str "ok") ])
+      else begin
+        report_build ~label:"2-MVSBT" m ~pages:(Rta.page_count rta)
+          ~updates:(Rta.n_updates rta);
+        Printf.printf "  invariants: ok\n"
+      end;
       match snapshot with
       | Some path ->
           Rta.save rta ~path;
-          Printf.printf "  snapshot saved to %s.{lkst,lklt,meta}\n" path
+          if not stats_json then
+            Printf.printf "  snapshot saved to %s.{lkst,lklt,meta}\n" path
       | None -> ())
 
 let snapshot_out_term =
@@ -279,7 +351,8 @@ let build_cmd =
   Cmd.v
     (Cmd.info "build" ~doc:"Build the two-MVSBT index from a generated or replayed workload")
     Term.(const build $ verbosity $ spec_term $ mvsbt_config_term $ input_term
-          $ snapshot_out_term $ wal_opt_term $ sync_policy_term $ checkpoint_every_term)
+          $ snapshot_out_term $ wal_opt_term $ sync_policy_term $ checkpoint_every_term
+          $ stats_json_term)
 
 (* --- query ----------------------------------------------------------------------- *)
 
@@ -437,21 +510,42 @@ let checkpoint_cmd =
     Term.(const checkpoint_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
           $ wal_req_term $ sync_policy_term)
 
-let recover_impl verbosity max_key buffer wal sync_policy rect_opt =
+let recover_impl verbosity max_key buffer wal sync_policy rect_opt stats_json =
   setup_logs verbosity;
   let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
   let rta = Durable.warehouse eng in
-  Format.printf "recovered %s: %a@." wal Durable.pp_recovery_report
-    (Durable.recovery_report eng);
   Rta.check_invariants rta;
-  Printf.printf "  invariants: ok\n";
-  report_durable eng;
+  if stats_json then begin
+    let r = Durable.recovery_report eng in
+    print_json
+      (Telemetry.Json.Obj
+         [ ("mode", Telemetry.Json.Str "recover");
+           ("replayed", Telemetry.Json.Int r.Durable.replayed);
+           ("dropped_bytes", Telemetry.Json.Int r.Durable.dropped_bytes);
+           ( "checkpoint_gen",
+             match r.Durable.checkpoint_gen with
+             | Some g -> Telemetry.Json.Int g
+             | None -> Telemetry.Json.Null );
+           ("updates", Telemetry.Json.Int (Rta.n_updates rta));
+           ("pages", Telemetry.Json.Int (Rta.page_count rta));
+           ("health", Telemetry.Json.Str (health_string (Durable.health eng)));
+           ("io", io_json (Storage.Io_stats.snapshot (Durable.io_stats eng)));
+           ("invariants", Telemetry.Json.Str "ok") ])
+  end
+  else begin
+    Format.printf "recovered %s: %a@." wal Durable.pp_recovery_report
+      (Durable.recovery_report eng);
+    Printf.printf "  invariants: ok\n";
+    report_durable eng
+  end;
   (match rect_opt with
   | Some (klo, khi, tlo, thi) ->
       let sum, count = Durable.sum_count eng ~klo ~khi ~tlo ~thi in
-      Printf.printf "[%d, %d) x [%d, %d): SUM=%d COUNT=%d AVG=%s\n" klo khi tlo thi sum count
-        (if count = 0 then "-"
-         else Printf.sprintf "%.3f" (float_of_int sum /. float_of_int count))
+      if not stats_json then
+        Printf.printf "[%d, %d) x [%d, %d): SUM=%d COUNT=%d AVG=%s\n" klo khi tlo thi sum
+          count
+          (if count = 0 then "-"
+           else Printf.sprintf "%.3f" (float_of_int sum /. float_of_int count))
   | None -> ());
   Durable.close eng
 
@@ -464,7 +558,7 @@ let recover_cmd =
     (Cmd.info "recover"
        ~doc:"Recover a durable warehouse from its checkpoint and log and report its state")
     Term.(const recover_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
-          $ wal_req_term $ sync_policy_term $ rect)
+          $ wal_req_term $ sync_policy_term $ rect $ stats_json_term)
 
 (* --- scrub ------------------------------------------------------------------------ *)
 
@@ -506,12 +600,21 @@ let build_demo_warehouse ~page_size ~n ~seed ~path =
   Rta.flush rta;
   rta
 
-let run_scrub ~stats ~page_size ?repair_from ~path () =
+let run_scrub ~quiet ~stats ~page_size ?repair_from ~path () =
   let report = Rta.scrub ~stats ~page_size ?repair_from ~path () in
-  Format.printf "scrub %s: %a@." path Rta.pp_scrub_report report;
+  if not quiet then Format.printf "scrub %s: %a@." path Rta.pp_scrub_report report;
   report
 
-let scrub_impl verbosity page_size wal inject seed repair_from demo =
+let scrub_pages_json pages =
+  Telemetry.Json.List
+    (List.map
+       (fun (side, pid) ->
+         Telemetry.Json.Obj
+           [ ("side", Telemetry.Json.Str (Format.asprintf "%a" Rta.pp_scrub_side side));
+             ("page", Telemetry.Json.Int (Storage.Page_id.to_int pid)) ])
+       pages)
+
+let scrub_impl verbosity page_size wal inject seed repair_from demo stats_json =
   setup_logs verbosity;
   let stats = Storage.Io_stats.create () in
   let repair_from =
@@ -521,23 +624,38 @@ let scrub_impl verbosity page_size wal inject seed repair_from demo =
         (* Self-contained round trip: build the warehouse and a matching
            reference, corrupt the former, repair from the latter. *)
         let _target = build_demo_warehouse ~page_size ~n ~seed ~path:wal in
-        Printf.printf "demo: built %d-update warehouse at %s (+ reference at %s.ref)\n" n
-          wal wal;
+        if not stats_json then
+          Printf.printf "demo: built %d-update warehouse at %s (+ reference at %s.ref)\n" n
+            wal wal;
         Some (build_demo_warehouse ~page_size ~n ~seed ~path:(wal ^ ".ref"))
     | None, None -> None
   in
   (match inject with
   | Some flips when flips > 0 ->
       let hits = Rta.inject_bit_flips ~page_size ~path:wal ~seed ~flips () in
-      Printf.printf "injected single-bit flips into %d pages\n" (List.length hits)
+      if not stats_json then
+        Printf.printf "injected single-bit flips into %d pages\n" (List.length hits)
   | _ -> ());
-  let report = run_scrub ~stats ~page_size ?repair_from ~path:wal () in
+  let report = run_scrub ~quiet:stats_json ~stats ~page_size ?repair_from ~path:wal () in
   let final =
-    if report.Rta.repaired <> [] then run_scrub ~stats ~page_size ~path:wal ()
+    if report.Rta.repaired <> [] then
+      run_scrub ~quiet:stats_json ~stats ~page_size ~path:wal ()
     else report
   in
-  Format.printf "  io: %a@." Storage.Io_stats.pp stats;
-  if not (Rta.scrub_clean final || final.Rta.corrupt = final.Rta.repaired) then exit 1
+  let ok = Rta.scrub_clean final || final.Rta.corrupt = final.Rta.repaired in
+  if stats_json then
+    print_json
+      (Telemetry.Json.Obj
+         [ ("mode", Telemetry.Json.Str "scrub");
+           ("pages_checked", Telemetry.Json.Int report.Rta.pages_checked);
+           ("corrupt", scrub_pages_json report.Rta.corrupt);
+           ("repaired", scrub_pages_json report.Rta.repaired);
+           ("irreparable", scrub_pages_json report.Rta.irreparable);
+           ("clean_after_repair", Telemetry.Json.Bool (Rta.scrub_clean final));
+           ("ok", Telemetry.Json.Bool ok);
+           ("io", io_json (Storage.Io_stats.snapshot stats)) ])
+  else Format.printf "  io: %a@." Storage.Io_stats.pp stats;
+  if not ok then exit 1
 
 let scrub_cmd =
   let page_size =
@@ -580,7 +698,7 @@ let scrub_cmd =
          "Verify the per-page checksums of a durable warehouse and repair corrupt pages \
           from a reference (exits 1 if corruption remains)")
     Term.(const scrub_impl $ verbosity $ page_size $ path $ inject $ seed $ repair_from
-          $ demo)
+          $ demo $ stats_json_term)
 
 (* --- crash-matrix ----------------------------------------------------------------- *)
 
@@ -708,6 +826,364 @@ let errsweep_cmd =
           $ checkpoint_at $ checkpoint_every_term $ seed $ query_count $ classes $ limit
           $ smoke)
 
+(* --- trace / metrics / profile (telemetry) ---------------------------------------- *)
+
+module Tracer = Telemetry.Tracer
+
+(* Build a warehouse with an enabled tracer wired through the whole stack
+   and the same Io_stats underneath, so spans carry real I/O deltas. *)
+let build_with_tracer ~spec ~config ~buffer ~input ~sink =
+  let stats = Storage.Io_stats.create () in
+  let tracer = Tracer.create ~stats sink in
+  let rta =
+    Rta.create ~config ~pool_capacity:buffer ~stats ~telemetry:tracer
+      ~max_key:spec.Workload.Generator.max_key ()
+  in
+  let events = events_of ~spec ~input in
+  Workload.Trace.replay events
+    ~insert:(fun ~key ~value ~at -> Rta.insert rta ~key ~value ~at)
+    ~delete:(fun ~key ~at -> Rta.delete rta ~key ~at);
+  (rta, stats)
+
+let query_rects ~spec ~n ~qrs =
+  let rng = Workload.Rng.create ~seed:(spec.Workload.Generator.seed + 11) in
+  Workload.Query_gen.batch rng ~n ~max_key:spec.Workload.Generator.max_key
+    ~max_time:spec.Workload.Generator.max_time ~qrs ~r_over_i:1.0
+
+let run_query_batch rta rects =
+  List.iter
+    (fun (r : Workload.Query_gen.rect) ->
+      ignore (Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi))
+    rects
+
+(* Ring capacity large enough that a full build + query sweep is retained. *)
+let ring_capacity ~spec ~n_queries =
+  max 65_536 (8 * (spec.Workload.Generator.n_records + n_queries))
+
+let queries_term =
+  let doc = "Number of random RTA queries to run after the build." in
+  Arg.(value & opt int 100 & info [ "queries" ] ~doc)
+
+let qrs_term =
+  let doc = "Query rectangle size as an area fraction." in
+  Arg.(value & opt float 0.01 & info [ "qrs" ] ~doc)
+
+let with_out_channel out f =
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () -> f oc
+  | None -> f stdout
+
+let trace_impl verbosity spec (config, buffer) input n_queries qrs chrome out =
+  setup_logs verbosity;
+  let rects = query_rects ~spec ~n:n_queries ~qrs in
+  if chrome then begin
+    (* Collect in memory, render the whole trace_event document at the end. *)
+    let mem = Tracer.Memory.create ~capacity:(ring_capacity ~spec ~n_queries) () in
+    let rta, _ = build_with_tracer ~spec ~config ~buffer ~input ~sink:(Tracer.Memory.sink mem) in
+    run_query_batch rta rects;
+    let doc = Tracer.chrome_trace ~events:(Tracer.Memory.events mem) (Tracer.Memory.spans mem) in
+    with_out_channel out (fun oc ->
+        output_string oc (Telemetry.Json.to_string doc);
+        output_char oc '\n');
+    Logs.app (fun l ->
+        l "chrome trace: %d spans, %d events%s — open in about://tracing or ui.perfetto.dev"
+          (List.length (Tracer.Memory.spans mem))
+          (List.length (Tracer.Memory.events mem))
+          (if Tracer.Memory.dropped mem > 0 then
+             Printf.sprintf " (%d dropped)" (Tracer.Memory.dropped mem)
+           else ""))
+  end
+  else
+    (* JSONL streams as spans complete — no ring, nothing dropped. *)
+    with_out_channel out @@ fun oc ->
+    let n = ref 0 in
+    let sink =
+      Tracer.jsonl_sink (fun line ->
+          incr n;
+          output_string oc line;
+          output_char oc '\n')
+    in
+    let rta, _ = build_with_tracer ~spec ~config ~buffer ~input ~sink in
+    run_query_batch rta rects;
+    Logs.app (fun l -> l "jsonl trace: %d lines" !n)
+
+let trace_cmd =
+  let chrome =
+    let doc =
+      "Emit one Chrome trace_event JSON document (load in about://tracing or \
+       https://ui.perfetto.dev) instead of streaming JSONL span lines."
+    in
+    Arg.(value & flag & info [ "chrome" ] ~doc)
+  in
+  let out =
+    let doc = "Output file (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Build a workload and a query sweep with tracing enabled and write the span \
+          stream (JSONL, or a Chrome trace with --chrome)")
+    Term.(const trace_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
+          $ queries_term $ qrs_term $ chrome $ out)
+
+let health_gauge_value = function
+  | Durable.Healthy -> 0.
+  | Durable.Degraded -> 1.
+  | Durable.Read_only -> 2.
+
+let populate_registry reg ~stats ~spans rta =
+  Telemetry.Metrics.absorb_io_stats reg (Storage.Io_stats.snapshot stats);
+  Telemetry.Metrics.observe_spans reg spans;
+  let gauge name help v =
+    Telemetry.Metrics.set_gauge (Telemetry.Metrics.gauge reg ~help name) v
+  in
+  gauge "rta_pages" "Live pages over both MVSBTs." (float_of_int (Rta.page_count rta));
+  gauge "rta_tree_height" "Height of the taller current SB-tree."
+    (float_of_int (Rta.height rta));
+  gauge "rta_version_chain_roots"
+    "SB-tree roots over both MVSBTs (length of the root* version chains)."
+    (float_of_int (Rta.root_count rta));
+  gauge "rta_alive_tuples" "Currently alive tuples in the base table."
+    (float_of_int (Rta.alive_count rta));
+  Telemetry.Metrics.set_counter
+    (Telemetry.Metrics.counter reg ~help:"Total inserts + deletes applied." "rta_updates_total")
+    (Rta.n_updates rta);
+  Telemetry.Metrics.set_counter
+    (Telemetry.Metrics.counter reg
+       ~help:"Cumulative logical page touches over both MVSBTs (cache hits included)."
+       "rta_page_touches_total")
+    (Rta.page_touches rta)
+
+let metrics_impl verbosity spec (config, buffer) input n_queries qrs wal sync_policy
+    as_json =
+  setup_logs verbosity;
+  let mem = Tracer.Memory.create ~capacity:(ring_capacity ~spec ~n_queries) () in
+  let reg = Telemetry.Metrics.create () in
+  let rects = query_rects ~spec ~n:n_queries ~qrs in
+  let touch_hist =
+    Telemetry.Metrics.histogram reg
+      ~help:"Logical page touches per RTA range query (six point queries)."
+      "query_page_touches"
+  in
+  let run_queries rta =
+    List.iter
+      (fun (r : Workload.Query_gen.rect) ->
+        let t0 = Rta.page_touches rta in
+        ignore (Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi);
+        Telemetry.Metrics.observe touch_hist (float_of_int (Rta.page_touches rta - t0)))
+      rects
+  in
+  (match wal with
+  | None ->
+      let rta, stats = build_with_tracer ~spec ~config ~buffer ~input ~sink:(Tracer.Memory.sink mem) in
+      run_queries rta;
+      populate_registry reg ~stats ~spans:(Tracer.Memory.spans mem) rta
+  | Some path ->
+      (* Through the durable engine: WAL and health metrics exist here. *)
+      let stats = Storage.Io_stats.create () in
+      let tracer = Tracer.create ~stats (Tracer.Memory.sink mem) in
+      let eng =
+        Durable.open_ ~config ~pool_capacity:buffer ~stats ~sync_policy ~telemetry:tracer
+          ~max_key:spec.Workload.Generator.max_key ~path ()
+      in
+      let ok = Storage.Storage_error.ok_exn in
+      Workload.Trace.replay (events_of ~spec ~input)
+        ~insert:(fun ~key ~value ~at -> ok (Durable.insert eng ~key ~value ~at))
+        ~delete:(fun ~key ~at -> ok (Durable.delete eng ~key ~at));
+      let rta = Durable.warehouse eng in
+      run_queries rta;
+      populate_registry reg ~stats ~spans:(Tracer.Memory.spans mem) rta;
+      let wal_st = Durable.wal_stats eng in
+      Telemetry.Metrics.set_counter
+        (Telemetry.Metrics.counter reg ~help:"Bytes appended to the write-ahead log."
+           "wal_bytes_total")
+        (Wal.Stats.bytes wal_st);
+      Telemetry.Metrics.set_counter
+        (Telemetry.Metrics.counter reg ~help:"Records appended to the write-ahead log."
+           "wal_appends_total")
+        (Wal.Stats.appends wal_st);
+      Telemetry.Metrics.set_gauge
+        (Telemetry.Metrics.gauge reg
+           ~help:"Durable-engine health (0 healthy, 1 degraded, 2 read-only)."
+           "durable_health_state")
+        (health_gauge_value (Durable.health eng));
+      Durable.close eng);
+  if as_json then print_json (Telemetry.Metrics.to_json reg)
+  else print_string (Telemetry.Metrics.to_prometheus reg)
+
+let metrics_cmd =
+  let as_json =
+    let doc = "Emit the registry as JSON instead of Prometheus text exposition." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Build a workload and a query sweep with telemetry enabled and dump the metrics \
+          registry (Prometheus text, or JSON with --json)")
+    Term.(const metrics_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
+          $ queries_term $ qrs_term $ wal_opt_term $ sync_policy_term $ as_json)
+
+(* Re-parse emitted trace artifacts with the library's own JSON parser, so
+   CI catches an encoder regression the moment it happens. *)
+let validate_jsonl path =
+  let ic = open_in path in
+  Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+  let rec go n =
+    match input_line ic with
+    | exception End_of_file -> Ok n
+    | "" -> go n
+    | line -> (
+        match Telemetry.Json.of_string line with
+        | Ok _ -> go (n + 1)
+        | Error e -> Error (Printf.sprintf "%s line %d: %s" path (n + 1) e))
+  in
+  go 0
+
+let validate_chrome path ~spans =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let buf = really_input_string ic len in
+  close_in ic;
+  match Telemetry.Json.of_string buf with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok doc -> (
+      match Telemetry.Json.member "traceEvents" doc with
+      | Some (Telemetry.Json.List evs) when List.length evs >= spans ->
+          Ok (List.length evs)
+      | Some (Telemetry.Json.List evs) ->
+          Error
+            (Printf.sprintf "%s: %d traceEvents for %d spans" path (List.length evs) spans)
+      | _ -> Error (Printf.sprintf "%s: no traceEvents array" path))
+
+let profile_impl verbosity spec (config, buffer) input n_queries qrs slack worst smoke
+    trace_out =
+  setup_logs verbosity;
+  (* Smoke mode is the bounded CI entry point: small warehouse, tracing
+     on, trace artifacts written and re-parsed, zero violations asserted. *)
+  let spec, n_queries =
+    if smoke then
+      ( { spec with Workload.Generator.n_records = min spec.Workload.Generator.n_records 2_000 },
+        min n_queries 200 )
+    else (spec, n_queries)
+  in
+  let trace_out =
+    match trace_out with
+    | Some _ -> trace_out
+    | None when smoke -> Some (Filename.temp_file "rta-profile" "")
+    | None -> None
+  in
+  let mem = Tracer.Memory.create ~capacity:(ring_capacity ~spec ~n_queries) () in
+  let stats = Storage.Io_stats.create () in
+  let tracer = Tracer.create ~stats (Tracer.Memory.sink mem) in
+  let rta =
+    Rta.create ~config ~pool_capacity:buffer ~stats ~telemetry:tracer
+      ~max_key:spec.Workload.Generator.max_key ()
+  in
+  let checker = Telemetry.Bound_check.create ~slack ~worst ~b:config.Mvsbt.b () in
+  (* K for the update envelope is the number of distinct keys ever seen
+     (the paper's key-space parameter); n for queries is the update count. *)
+  let distinct = Hashtbl.create 1024 in
+  let profiled op scale f =
+    let t0 = Rta.page_touches rta in
+    f ();
+    Telemetry.Bound_check.record checker ~op ~scale ~touches:(Rta.page_touches rta - t0)
+  in
+  Workload.Trace.replay (events_of ~spec ~input)
+    ~insert:(fun ~key ~value ~at ->
+      Hashtbl.replace distinct key ();
+      profiled Telemetry.Bound_check.Insert (Hashtbl.length distinct) (fun () ->
+          Rta.insert rta ~key ~value ~at))
+    ~delete:(fun ~key ~at ->
+      profiled Telemetry.Bound_check.Delete (Hashtbl.length distinct) (fun () ->
+          Rta.delete rta ~key ~at));
+  let n = Rta.n_updates rta in
+  List.iter
+    (fun (r : Workload.Query_gen.rect) ->
+      profiled Telemetry.Bound_check.Range_query n (fun () ->
+          ignore (Rta.sum_count rta ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi)))
+    (query_rects ~spec ~n:n_queries ~qrs);
+  let report = Telemetry.Bound_check.report checker in
+  Format.printf "%a@." Telemetry.Bound_check.pp_report report;
+  let reg = Telemetry.Metrics.create () in
+  Telemetry.Metrics.observe_spans reg (Tracer.Memory.spans mem);
+  Format.printf "%a@." Telemetry.Metrics.pp_summary reg;
+  let artifacts_ok =
+    match trace_out with
+    | None -> true
+    | Some prefix -> (
+        let spans = Tracer.Memory.spans mem in
+        let events = Tracer.Memory.events mem in
+        let jsonl_path = prefix ^ ".jsonl" in
+        let chrome_path = prefix ^ ".trace.json" in
+        let oc = open_out jsonl_path in
+        List.iter
+          (fun s ->
+            output_string oc (Telemetry.Json.to_string (Tracer.span_to_json s));
+            output_char oc '\n')
+          spans;
+        List.iter
+          (fun e ->
+            output_string oc (Telemetry.Json.to_string (Tracer.event_to_json e));
+            output_char oc '\n')
+          events;
+        close_out oc;
+        let oc = open_out chrome_path in
+        output_string oc (Telemetry.Json.to_string (Tracer.chrome_trace ~events spans));
+        output_char oc '\n';
+        close_out oc;
+        match (validate_jsonl jsonl_path, validate_chrome chrome_path ~spans:(List.length spans)) with
+        | Ok lines, Ok evs ->
+            Printf.printf "trace artifacts: %s (%d lines), %s (%d traceEvents) — both re-parse\n"
+              jsonl_path lines chrome_path evs;
+            true
+        | Error e, _ | _, Error e ->
+            prerr_endline ("trace artifact validation failed: " ^ e);
+            false)
+  in
+  if not (Telemetry.Bound_check.clean report) then begin
+    prerr_endline "bound check: VIOLATIONS (see report above)";
+    exit 1
+  end;
+  if not artifacts_ok then exit 1;
+  Printf.printf "bound check: clean (%d operations within the %g*(1+log_%d) envelope)\n"
+    report.Telemetry.Bound_check.checked slack config.Mvsbt.b
+
+let profile_cmd =
+  let slack =
+    let doc = "Constant factor c of the c*(1+log_b scale) envelope." in
+    Arg.(value & opt float 4.0 & info [ "slack" ] ~doc)
+  in
+  let worst =
+    let doc = "Number of worst offenders (by touches/bound ratio) to report." in
+    Arg.(value & opt int 10 & info [ "worst" ] ~doc)
+  in
+  let smoke =
+    let doc =
+      "Bounded CI run: caps the workload at 2000 updates and 200 queries, writes the \
+       JSONL and Chrome traces to a temp prefix, re-parses both, and exits 1 on any \
+       envelope violation or artifact mismatch."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  let trace_out =
+    let doc =
+      "Also write the collected spans to PREFIX.jsonl and PREFIX.trace.json and \
+       validate that both re-parse."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"PREFIX")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Profile per-operation page touches against the paper's O(log_b K) / O(log_b n) \
+          envelopes and report worst offenders (exits 1 on violations)")
+    Term.(const profile_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
+          $ queries_term $ qrs_term $ slack $ worst $ smoke $ trace_out)
+
 (* --- dot ------------------------------------------------------------------------- *)
 
 let dot verbosity spec (config, buffer) input out =
@@ -739,4 +1215,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
-            scrub_cmd; crash_matrix_cmd; errsweep_cmd; dot_cmd ]))
+            scrub_cmd; crash_matrix_cmd; errsweep_cmd; trace_cmd; metrics_cmd;
+            profile_cmd; dot_cmd ]))

@@ -23,6 +23,7 @@ type t = {
   wal : Wal.t;
   vfs : Storage.Vfs.t;
   stats : Storage.Io_stats.t;
+  tel : Telemetry.Tracer.t;
   path : string;
   checkpoint_every : int;
   mutable ckpt_gen : int; (* generation named by the committed pointer *)
@@ -163,50 +164,59 @@ let apply_record rta rd =
 
 let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
     ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f)
-    ?(retry = Some Storage.Retry.default) ?(vfs = Storage.Vfs.os) ~max_key ~path () =
+    ?(retry = Some Storage.Retry.default) ?(telemetry = Telemetry.Tracer.noop)
+    ?(vfs = Storage.Vfs.os) ~max_key ~path () =
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   (* Everything the engine does from here on — recovery reads, log
      appends, checkpoint writes — goes through the retry layer, so
      transient failures ([EINTR], [EIO], short transfers) are absorbed
-     with backoff whatever vfs the caller handed in. *)
+     with backoff whatever vfs the caller handed in.  The tracer wraps
+     outermost: a [vfs.*] span covers every retry of the syscall. *)
   let vfs =
     match retry with
     | None -> vfs
     | Some policy -> Storage.Vfs.with_retry ~stats ~policy vfs
   in
+  let vfs = Storage.Vfs.with_telemetry telemetry vfs in
   let retries_at_open = Storage.Io_stats.retries stats in
-  let pointer = read_pointer vfs path in
-  let ckpt_gen, rta =
-    match pointer with
-    | Some gen ->
-        let rta = Rta.load ?pool_capacity ~stats ~vfs ~path:(gen_prefix path gen) () in
-        if Rta.max_key rta <> max_key then
-          failwith
-            (Printf.sprintf "Durable.open_: checkpoint has max_key %d, asked for %d"
-               (Rta.max_key rta) max_key);
-        (gen, rta)
-    | None -> (0, Rta.create ?config ?pool_capacity ~stats ~max_key ())
+  let pointer, ckpt_gen, rta, wal, n_replayed, dropped_bytes =
+    Telemetry.Tracer.with_span telemetry "durable.recover"
+      ~attrs:(fun () -> [ ("path", Telemetry.Tracer.Str path) ])
+    @@ fun () ->
+    let pointer = read_pointer vfs path in
+    let ckpt_gen, rta =
+      match pointer with
+      | Some gen ->
+          let rta =
+            Rta.load ?pool_capacity ~stats ~telemetry ~vfs ~path:(gen_prefix path gen) ()
+          in
+          if Rta.max_key rta <> max_key then
+            failwith
+              (Printf.sprintf "Durable.open_: checkpoint has max_key %d, asked for %d"
+                 (Rta.max_key rta) max_key);
+          (gen, rta)
+      | None -> (0, Rta.create ?config ?pool_capacity ~stats ~telemetry ~max_key ())
+    in
+    (* Snapshot files of a checkpoint that crashed before its commit point
+       are dead weight; clear them so they cannot be confused with state. *)
+    remove_stale_generations vfs path ~keep:ckpt_gen;
+    let wal =
+      Wal.open_log ~policy:sync_policy ?stats:wal_stats ~telemetry
+        ~path:(wal_path path)
+        (wal_wrap (vfs.Storage.Vfs.v_open `Log (wal_path path)))
+    in
+    let st = Wal.stats wal in
+    let dropped_before = Wal.Stats.dropped_bytes st in
+    let n_replayed = Wal.replay wal (apply_record rta) in
+    (pointer, ckpt_gen, rta, wal, n_replayed,
+     Wal.Stats.dropped_bytes st - dropped_before)
   in
-  (* Snapshot files of a checkpoint that crashed before its commit point
-     are dead weight; clear them so they cannot be confused with state. *)
-  remove_stale_generations vfs path ~keep:ckpt_gen;
-  let wal =
-    Wal.open_log ~policy:sync_policy ?stats:wal_stats ~path:(wal_path path)
-      (wal_wrap (vfs.Storage.Vfs.v_open `Log (wal_path path)))
-  in
-  let st = Wal.stats wal in
-  let dropped_before = Wal.Stats.dropped_bytes st in
-  let n_replayed = Wal.replay wal (apply_record rta) in
-  let report =
-    { replayed = n_replayed;
-      dropped_bytes = Wal.Stats.dropped_bytes st - dropped_before;
-      checkpoint_gen = pointer }
-  in
+  let report = { replayed = n_replayed; dropped_bytes; checkpoint_gen = pointer } in
   (* Replayed records are exactly the updates the last checkpoint missed,
      so they count toward the next automatic checkpoint. *)
-  { rta; wal; vfs; stats; path; checkpoint_every; ckpt_gen; ckpt_attempt = ckpt_gen;
-    since_ckpt = n_replayed; n_ckpts = 0; health = Healthy; last_error = None;
-    ckpt_failed = false; retries_seen = retries_at_open; report }
+  { rta; wal; vfs; stats; tel = telemetry; path; checkpoint_every; ckpt_gen;
+    ckpt_attempt = ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0; health = Healthy;
+    last_error = None; ckpt_failed = false; retries_seen = retries_at_open; report }
 
 (* --- Health ------------------------------------------------------------------- *)
 
@@ -220,10 +230,27 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
    or the last checkpoint attempt failed.  A clean operation with no
    outstanding checkpoint failure returns the engine to Healthy. *)
 
+let health_name = function
+  | Healthy -> "healthy"
+  | Degraded -> "degraded"
+  | Read_only -> "read-only"
+
+(* Every actual transition (and only transitions, not the per-op
+   re-assertions of the current state) is an event on the trace. *)
+let set_health t h =
+  if t.health <> h then begin
+    let prev = t.health in
+    t.health <- h;
+    Telemetry.Tracer.event t.tel "durable.health"
+      ~attrs:
+        [ ("from", Telemetry.Tracer.Str (health_name prev));
+          ("to", Telemetry.Tracer.Str (health_name h)) ]
+  end
+
 let enter_read_only t e =
   t.last_error <- Some e;
   if t.health <> Read_only then begin
-    t.health <- Read_only;
+    set_health t Read_only;
     Storage.Io_stats.record_read_only_transition t.stats
   end
 
@@ -232,11 +259,11 @@ let note_op_complete t =
     let r = Storage.Io_stats.retries t.stats in
     if r > t.retries_seen then begin
       t.retries_seen <- r;
-      t.health <- Degraded
+      set_health t Degraded
     end
-    else if t.ckpt_failed then t.health <- Degraded
+    else if t.ckpt_failed then set_health t Degraded
     else begin
-      t.health <- Healthy;
+      set_health t Healthy;
       t.last_error <- None
     end
   end
@@ -255,6 +282,9 @@ let checkpoint t =
          pointer names would race the atomicity argument. *)
       let gen = 1 + max t.ckpt_gen t.ckpt_attempt in
       t.ckpt_attempt <- gen;
+      Telemetry.Tracer.with_span t.tel "durable.checkpoint"
+        ~attrs:(fun () -> [ ("gen", Telemetry.Tracer.Int gen) ])
+      @@ fun () ->
       let prefix = gen_prefix t.path gen in
       match
         E.protect (fun () ->
@@ -275,7 +305,7 @@ let checkpoint t =
              engine keeps accepting writes — degraded, not read-only. *)
           t.ckpt_failed <- true;
           t.last_error <- Some e;
-          t.health <- Degraded;
+          set_health t Degraded;
           Error e
       | Ok () ->
           let old = t.ckpt_gen in
@@ -290,7 +320,7 @@ let checkpoint t =
           | Ok () -> ()
           | Error e ->
               t.last_error <- Some e;
-              if t.health <> Read_only then t.health <- Degraded);
+              if t.health <> Read_only then set_health t Degraded);
           if old > 0 then
             List.iter
               (fun ext ->
@@ -349,6 +379,9 @@ let insert t ~key ~value ~at =
   if at < Rta.now t.rta then
     invalid_arg "Durable: time went backwards (transaction time is monotone)";
   let buf, len = encode_insert ~seq:(Rta.n_updates t.rta + 1) ~key ~value ~at in
+  Telemetry.Tracer.with_span t.tel "durable.insert"
+    ~attrs:(fun () -> [ ("key", Telemetry.Tracer.Int key) ])
+  @@ fun () ->
   log_then_apply t
     ~append:(fun () -> Wal.append t.wal ~len buf)
     ~apply:(fun () -> Rta.insert t.rta ~key ~value ~at)
@@ -359,6 +392,9 @@ let delete t ~key ~at =
   if at < Rta.now t.rta then
     invalid_arg "Durable: time went backwards (transaction time is monotone)";
   let buf, len = encode_delete ~seq:(Rta.n_updates t.rta + 1) ~key ~at in
+  Telemetry.Tracer.with_span t.tel "durable.delete"
+    ~attrs:(fun () -> [ ("key", Telemetry.Tracer.Int key) ])
+  @@ fun () ->
   log_then_apply t
     ~append:(fun () -> Wal.append t.wal ~len buf)
     ~apply:(fun () -> Rta.delete t.rta ~key ~at)
@@ -376,6 +412,7 @@ let sync_policy t = Wal.policy t.wal
 let health t = t.health
 let last_error t = t.last_error
 let io_stats t = t.stats
+let telemetry t = t.tel
 
 let close t =
   (* Best effort: a failing final fsync must not prevent releasing the

@@ -83,6 +83,7 @@ val open_ :
   ?wal_stats:Wal.Stats.t ->
   ?wal_wrap:(Wal.file -> Wal.file) ->
   ?retry:Storage.Retry.policy option ->
+  ?telemetry:Telemetry.Tracer.t ->
   ?vfs:Storage.Vfs.t ->
   max_key:int ->
   path:string ->
@@ -92,7 +93,13 @@ val open_ :
     it if nothing is on disk yet.  [sync_policy] defaults to
     [Every_n 32]; [checkpoint_every] (default 0 = manual only) triggers
     an automatic {!checkpoint} once that many updates have accumulated
-    since the last one.  [wal_wrap] interposes on the log's byte layer —
+    since the last one.  [telemetry] (default {!Telemetry.Tracer.noop})
+    attaches a tracer to the whole stack: the engine emits
+    [durable.recover] / [durable.insert] / [durable.delete] /
+    [durable.checkpoint] spans and [durable.health] transition events,
+    the warehouse and WAL their own [rta.*] / [mvsbt.*] / [wal.*] spans,
+    and the engine's vfs is wrapped with {!Storage.Vfs.with_telemetry}
+    so every syscall shows up as a [vfs.*] leaf span.  [wal_wrap] interposes on the log's byte layer —
     the hook {!Wal.Faulty} plugs into for crash testing.  Every file
     operation (log, checkpoint snapshots, pointer, directory fsyncs)
     goes through [vfs] (default {!Storage.Vfs.os}) wrapped in
@@ -160,6 +167,10 @@ val last_error : t -> Storage.Storage_error.t option
 val io_stats : t -> Storage.Io_stats.t
 (** The stats sink the engine charges retries and page I/O to (the one
     passed to {!open_}, or a private one). *)
+
+val telemetry : t -> Telemetry.Tracer.t
+(** The tracer the engine emits to (the one passed to {!open_}, or
+    {!Telemetry.Tracer.noop}). *)
 
 val close : t -> unit
 (** Fsync the log (best effort) and release the file; no checkpoint is

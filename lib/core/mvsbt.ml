@@ -77,6 +77,8 @@ module Make (G : Aggregate.Group.S) = struct
     mutable cur_root : Storage.Page_id.t;
     mutable height : int;
     mutable now_ : int;
+    mutable touches : int; (* logical page accesses; see [page_touches] *)
+    mutable tel : Telemetry.Tracer.t;
   }
 
   let strong_cap cfg = int_of_float (cfg.f *. float_of_int cfg.b)
@@ -107,7 +109,8 @@ module Make (G : Aggregate.Group.S) = struct
     in
     backend.b_write pid root;
     Root_star.register root_star ~at:0 pid;
-    { backend; io_stats; cfg; key_space; root_star; cur_root = pid; height = 1; now_ = 0 }
+    { backend; io_stats; cfg; key_space; root_star; cur_root = pid; height = 1;
+      now_ = 0; touches = 0; tel = Telemetry.Tracer.noop }
 
   let create ?config ?(pool_capacity = 64) ?stats ~key_space () =
     let cfg = match config with Some c -> c | None -> default_config ~b:64 in
@@ -128,10 +131,20 @@ module Make (G : Aggregate.Group.S) = struct
     t.backend.b_drop ();
     Root_star.drop_cache t.root_star
 
-  let flush t = t.backend.b_flush ()
+  let flush t = Telemetry.Tracer.with_span t.tel "mvsbt.flush" (fun () -> t.backend.b_flush ())
   let try_flush t = Storage.Storage_error.protect (fun () -> flush t)
-  let read t pid = t.backend.b_read pid
-  let touch t page = t.backend.b_write page.pid page
+
+  let read t pid =
+    t.touches <- t.touches + 1;
+    t.backend.b_read pid
+
+  let touch t page =
+    t.touches <- t.touches + 1;
+    t.backend.b_write page.pid page
+
+  let page_touches t = t.touches
+  let telemetry t = t.tel
+  let set_telemetry t tel = t.tel <- tel
 
   let alive r = r.rt_end = forever
   let alive_at tau r = r.rt_start <= tau && tau < r.rt_end
@@ -373,6 +386,19 @@ module Make (G : Aggregate.Group.S) = struct
       page.closed <- now;
       touch t page;
       let chunks = distribute t buffer in
+      Telemetry.Tracer.event t.tel "mvsbt.time_split"
+        ~attrs:
+          [
+            ("page", Telemetry.Tracer.Int (Storage.Page_id.to_int page.pid));
+            ("level", Telemetry.Tracer.Int page.level);
+          ];
+      if List.length chunks > 1 then
+        Telemetry.Tracer.event t.tel "mvsbt.key_split"
+          ~attrs:
+            [
+              ("page", Telemetry.Tracer.Int (Storage.Page_id.to_int page.pid));
+              ("chunks", Telemetry.Tracer.Int (List.length chunks));
+            ];
       (* Key-split value adjustment under logical splitting: queries in a
          higher chunk must still see the mass of the lower chunks, so the
          lowest record of chunk j gains the sum of chunks 1..j-1. *)
@@ -432,6 +458,8 @@ module Make (G : Aggregate.Group.S) = struct
         touch t root;
         t.cur_root <- pid;
         t.height <- t.height + 1;
+        Telemetry.Tracer.event t.tel "mvsbt.root_grow"
+          ~attrs:[ ("height", Telemetry.Tracer.Int t.height) ];
         Root_star.register t.root_star ~at:now pid
 
   let insert t ~key ~at v =
@@ -442,6 +470,7 @@ module Make (G : Aggregate.Group.S) = struct
         (Printf.sprintf
            "Mvsbt.insert: time %d precedes current time %d (transaction time is monotone)"
            at t.now_);
+    Telemetry.Tracer.with_span t.tel "mvsbt.insert" @@ fun () ->
     t.now_ <- at;
     (* Phase 1: descend along partly-covered records, keeping the chain of
        (page, partly-covered record), nearest ancestor first. *)
@@ -475,6 +504,7 @@ module Make (G : Aggregate.Group.S) = struct
     if key < 0 || key >= t.key_space then
       invalid_arg "Mvsbt.query: key outside key domain";
     if at < 0 then invalid_arg "Mvsbt.query: negative time";
+    Telemetry.Tracer.with_span t.tel "mvsbt.query" @@ fun () ->
     let root = if at >= t.now_ then t.cur_root else Root_star.find t.root_star ~at in
     let rec go pid acc =
       let page = read t pid in
@@ -836,7 +866,10 @@ module Make (G : Aggregate.Group.S) = struct
       let backend = make_backend ~vfs ~path ~self pool store in
       let root_star = Root_star.create ~btree:cfg.root_star_btree ~stats:io_stats () in
       List.iter (fun (ts, pid) -> Root_star.register root_star ~at:ts pid) roots;
-      let t = { backend; io_stats; cfg; key_space; root_star; cur_root; height; now_ } in
+      let t =
+        { backend; io_stats; cfg; key_space; root_star; cur_root; height; now_;
+          touches = 0; tel = Telemetry.Tracer.noop }
+      in
       self := Some t;
       t
 
@@ -1065,6 +1098,8 @@ module Make (G : Aggregate.Group.S) = struct
         cur_root;
         height;
         now_;
+        touches = 0;
+        tel = Telemetry.Tracer.noop;
       }
   end
 

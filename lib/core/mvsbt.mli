@@ -97,6 +97,21 @@ module Make (G : Aggregate.Group.S) : sig
   val root_count : t -> int
   (** Number of SB-tree roots in the graph. *)
 
+  val page_touches : t -> int
+  (** Cumulative logical page accesses (reads and writes through the
+      tree, cache hits included) — the quantity the paper's
+      [O(log_b K)] / [O(log_b n)] per-operation bounds count.  Snapshot
+      it around an operation and difference to get that operation's page
+      touches; {!Telemetry.Bound_check} consumes exactly that. *)
+
+  val telemetry : t -> Telemetry.Tracer.t
+
+  val set_telemetry : t -> Telemetry.Tracer.t -> unit
+  (** Attach a tracer (default {!Telemetry.Tracer.noop}): {!insert},
+      {!query} and {!flush} emit [mvsbt.insert]/[mvsbt.query]/
+      [mvsbt.flush] spans, and structural changes emit
+      [mvsbt.time_split]/[mvsbt.key_split]/[mvsbt.root_grow] events. *)
+
   val drop_cache : t -> unit
   (** Flush and empty the buffer pool (cold-cache measurements). *)
 

@@ -23,26 +23,42 @@ type t = {
   max_key : int;
   mutable now_ : int;
   mutable n_updates : int;
+  mutable tel : Telemetry.Tracer.t;
   durable : (string * Storage.Vfs.t) option;
       (* path prefix and filesystem when the MVSBTs are file-backed *)
 }
 
-let create ?config ?pool_capacity ?stats ~max_key () =
+let set_telemetry t tel =
+  t.tel <- tel;
+  Index.set_telemetry t.lkst tel;
+  Index.set_telemetry t.lklt tel
+
+let telemetry t = t.tel
+
+let apply_telemetry telemetry t =
+  (match telemetry with Some tel -> set_telemetry t tel | None -> ());
+  t
+
+let page_touches t = Index.page_touches t.lkst + Index.page_touches t.lklt
+
+let create ?config ?pool_capacity ?stats ?telemetry ~max_key () =
   if max_key < 1 then invalid_arg "Rta.create: max_key must be >= 1";
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   (* Key domain [0, max_key]: insertions land on k+1, queries on range
      bounds up to max_key. *)
   let key_space = max_key + 1 in
   let mk () = Index.create ?config ?pool_capacity ~stats ~key_space () in
-  {
-    lkst = mk ();
-    lklt = mk ();
-    alive = Hashtbl.create 1024;
-    max_key;
-    now_ = 0;
-    n_updates = 0;
-    durable = None;
-  }
+  apply_telemetry telemetry
+    {
+      lkst = mk ();
+      lklt = mk ();
+      alive = Hashtbl.create 1024;
+      max_key;
+      now_ = 0;
+      n_updates = 0;
+      tel = Telemetry.Tracer.noop;
+      durable = None;
+    }
 
 (* --- Durable (file-backed) warehouses ------------------------------------- *)
 
@@ -118,8 +134,8 @@ let read_durable_meta ~vfs ~path =
 let lkst_suffix = ".lkst.pages"
 let lklt_suffix = ".lklt.pages"
 
-let create_durable ?config ?pool_capacity ?stats ?page_size ?(vfs = Storage.Vfs.os)
-    ~max_key ~path () =
+let create_durable ?config ?pool_capacity ?stats ?telemetry ?page_size
+    ?(vfs = Storage.Vfs.os) ~max_key ~path () =
   if max_key < 1 then invalid_arg "Rta.create_durable: max_key must be >= 1";
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   let key_space = max_key + 1 in
@@ -128,29 +144,34 @@ let create_durable ?config ?pool_capacity ?stats ?page_size ?(vfs = Storage.Vfs.
       ~path:(path ^ suffix) ()
   in
   let t =
-    {
-      lkst = mk lkst_suffix;
-      lklt = mk lklt_suffix;
-      alive = Hashtbl.create 1024;
-      max_key;
-      now_ = 0;
-      n_updates = 0;
-      durable = Some (path, vfs);
-    }
+    apply_telemetry telemetry
+      {
+        lkst = mk lkst_suffix;
+        lklt = mk lklt_suffix;
+        alive = Hashtbl.create 1024;
+        max_key;
+        now_ = 0;
+        n_updates = 0;
+        tel = Telemetry.Tracer.noop;
+        durable = Some (path, vfs);
+      }
   in
   write_durable_meta t ~vfs ~path;
   t
 
-let reopen_durable ?pool_capacity ?stats ?page_size ?(vfs = Storage.Vfs.os) ~path () =
+let reopen_durable ?pool_capacity ?stats ?telemetry ?page_size
+    ?(vfs = Storage.Vfs.os) ~path () =
   let max_key, now_, n_updates, alive = read_durable_meta ~vfs ~path in
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   let mk suffix =
     Durable_index.reopen ?pool_capacity ~stats ?page_size ~vfs ~path:(path ^ suffix) ()
   in
-  { lkst = mk lkst_suffix; lklt = mk lklt_suffix; alive; max_key; now_;
-    n_updates; durable = Some (path, vfs) }
+  apply_telemetry telemetry
+    { lkst = mk lkst_suffix; lklt = mk lklt_suffix; alive; max_key; now_;
+      n_updates; tel = Telemetry.Tracer.noop; durable = Some (path, vfs) }
 
 let flush t =
+  Telemetry.Tracer.with_span t.tel "rta.flush" @@ fun () ->
   Index.flush t.lkst;
   Index.flush t.lklt;
   match t.durable with Some (path, vfs) -> write_durable_meta t ~vfs ~path | None -> ()
@@ -168,11 +189,16 @@ let advance t at =
   if at < t.now_ then invalid_arg "Rta: time went backwards (transaction time is monotone)";
   t.now_ <- at
 
+let update_attrs ~key ~at () =
+  [ ("key", Telemetry.Tracer.Int key); ("at", Telemetry.Tracer.Int at) ]
+
 let insert t ~key ~value ~at =
   if key < 0 || key >= t.max_key then invalid_arg "Rta.insert: key outside key space";
   if Hashtbl.mem t.alive key then
     invalid_arg (Printf.sprintf "Rta.insert: key %d is already alive (1TNF)" key);
   advance t at;
+  Telemetry.Tracer.with_span t.tel "rta.insert" ~attrs:(update_attrs ~key ~at)
+  @@ fun () ->
   Index.insert t.lkst ~key:(key + 1) ~at (value, 1);
   Hashtbl.replace t.alive key (value, at);
   t.n_updates <- t.n_updates + 1
@@ -182,6 +208,8 @@ let delete t ~key ~at =
   | None -> invalid_arg (Printf.sprintf "Rta.delete: key %d is not alive" key)
   | Some (value, started) ->
       advance t at;
+      Telemetry.Tracer.with_span t.tel "rta.delete" ~attrs:(update_attrs ~key ~at)
+      @@ fun () ->
       Index.insert t.lkst ~key:(key + 1) ~at (-value, -1);
       (* A version deleted at its own start instant never existed for any
          query, so it must not appear as "ended by" either. *)
@@ -196,11 +224,24 @@ let alive_value t ~key =
 
 let clamp_key t k = if k < 0 then 0 else if k > t.max_key then t.max_key else k
 
+let point_attrs index ~key ~at () =
+  [ ("index", Telemetry.Tracer.Str index);
+    ("key", Telemetry.Tracer.Int key);
+    ("at", Telemetry.Tracer.Int at) ]
+
 let lkst t ~key ~at =
-  if at < 0 then (0, 0) else Index.query t.lkst ~key:(clamp_key t key) ~at
+  if at < 0 then (0, 0)
+  else
+    Telemetry.Tracer.with_span t.tel "rta.point_query"
+      ~attrs:(point_attrs "lkst" ~key ~at)
+    @@ fun () -> Index.query t.lkst ~key:(clamp_key t key) ~at
 
 let lklt t ~key ~at =
-  if at < 0 then (0, 0) else Index.query t.lklt ~key:(clamp_key t key) ~at
+  if at < 0 then (0, 0)
+  else
+    Telemetry.Tracer.with_span t.tel "rta.point_query"
+      ~attrs:(point_attrs "lklt" ~key ~at)
+    @@ fun () -> Index.query t.lklt ~key:(clamp_key t key) ~at
 
 (* Theorem 1.  With half-open [tlo, thi), the last instant of the query
    interval is t3 = thi - 1, and:
@@ -213,6 +254,11 @@ let lklt t ~key ~at =
 let sum_count t ~klo ~khi ~tlo ~thi =
   if klo >= khi || tlo >= thi then (0, 0)
   else begin
+    Telemetry.Tracer.with_span t.tel "rta.range_query"
+      ~attrs:(fun () ->
+        [ ("klo", Telemetry.Tracer.Int klo); ("khi", Telemetry.Tracer.Int khi);
+          ("tlo", Telemetry.Tracer.Int tlo); ("thi", Telemetry.Tracer.Int thi) ])
+    @@ fun () ->
     let k1 = clamp_key t klo and k2 = clamp_key t khi in
     let t1 = max 0 tlo and t3 = thi - 1 in
     let ( -- ) (s1, c1) (s2, c2) = (s1 - s2, c1 - c2) in
@@ -232,6 +278,7 @@ let avg t ~klo ~khi ~tlo ~thi =
 let page_count t = Index.page_count t.lkst + Index.page_count t.lklt
 let record_count t = Index.record_count t.lkst + Index.record_count t.lklt
 let root_count t = Index.root_count t.lkst + Index.root_count t.lklt
+let height t = max (Index.height t.lkst) (Index.height t.lklt)
 
 let drop_cache t =
   Index.drop_cache t.lkst;
@@ -267,7 +314,7 @@ let save ?(vfs = Storage.Vfs.os) t ~path =
 let try_save ?vfs t ~path =
   Storage.Storage_error.protect (fun () -> save ?vfs t ~path)
 
-let load ?pool_capacity ?stats ?(vfs = Storage.Vfs.os) ~path () =
+let load ?pool_capacity ?stats ?telemetry ?(vfs = Storage.Vfs.os) ~path () =
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   let lkst = Persist.load ?pool_capacity ~stats ~vfs ~path:(path ^ ".lkst") () in
   let lklt = Persist.load ?pool_capacity ~stats ~vfs ~path:(path ^ ".lklt") () in
@@ -281,7 +328,9 @@ let load ?pool_capacity ?stats ?(vfs = Storage.Vfs.os) ~path () =
   in
   let rd = Storage.Codec.Reader.create rest in
   let max_key, now_, n_updates, alive = decode_meta rd in
-  { lkst; lklt; alive; max_key; now_; n_updates; durable = None }
+  apply_telemetry telemetry
+    { lkst; lklt; alive; max_key; now_; n_updates;
+      tel = Telemetry.Tracer.noop; durable = None }
 
 (* --- Scrub and repair ----------------------------------------------------- *)
 
@@ -322,7 +371,11 @@ let pp_scrub_report ppf r =
    counter against the one in the scrubbed warehouse's flushed sidecar.
    On a mismatch every corrupt page is reported irreparable rather than
    "repaired" with stale content. *)
-let scrub ?stats ?page_size ?(vfs = Storage.Vfs.os) ?repair_from ~path () =
+let scrub ?stats ?page_size ?(vfs = Storage.Vfs.os) ?repair_from
+    ?(telemetry = Telemetry.Tracer.noop) ~path () =
+  Telemetry.Tracer.with_span telemetry "rta.scrub"
+    ~attrs:(fun () -> [ ("path", Telemetry.Tracer.Str path) ])
+  @@ fun () ->
   let _max_key, _now, n_updates, _alive = read_durable_meta ~vfs ~path in
   let usable_reference =
     match repair_from with

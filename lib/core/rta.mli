@@ -29,16 +29,19 @@ val create :
   ?config:Mvsbt.config ->
   ?pool_capacity:int ->
   ?stats:Storage.Io_stats.t ->
+  ?telemetry:Telemetry.Tracer.t ->
   max_key:int ->
   unit ->
   t
 (** A warehouse over keys [\[0, max_key)].  Both MVSBTs share the [stats]
-    sink and the configuration. *)
+    sink and the configuration.  [telemetry] attaches a tracer to the
+    warehouse and both indices (see {!set_telemetry}). *)
 
 val create_durable :
   ?config:Mvsbt.config ->
   ?pool_capacity:int ->
   ?stats:Storage.Io_stats.t ->
+  ?telemetry:Telemetry.Tracer.t ->
   ?page_size:int ->
   ?vfs:Storage.Vfs.t ->
   max_key:int ->
@@ -57,6 +60,7 @@ val create_durable :
 val reopen_durable :
   ?pool_capacity:int ->
   ?stats:Storage.Io_stats.t ->
+  ?telemetry:Telemetry.Tracer.t ->
   ?page_size:int ->
   ?vfs:Storage.Vfs.t ->
   path:string ->
@@ -134,8 +138,29 @@ val record_count : t -> int
 val root_count : t -> int
 (** SB-tree roots over both MVSBTs (the [root*] directory sizes). *)
 
+val height : t -> int
+(** Height of the taller of the two current SB-trees. *)
+
 val drop_cache : t -> unit
 val check_invariants : t -> unit
+
+(** {1 Telemetry}
+
+    The warehouse emits [rta.insert] / [rta.delete] / [rta.point_query] /
+    [rta.range_query] / [rta.flush] spans (and its MVSBTs their own
+    [mvsbt.*] spans and events) to the attached tracer; with the default
+    {!Telemetry.Tracer.noop} the cost is one branch per operation. *)
+
+val telemetry : t -> Telemetry.Tracer.t
+
+val set_telemetry : t -> Telemetry.Tracer.t -> unit
+(** Attach a tracer to the warehouse and both of its MVSBT indices. *)
+
+val page_touches : t -> int
+(** Cumulative logical page accesses over both MVSBTs (cache hits
+    included) — the quantity the paper's I/O bounds count.  Snapshot and
+    difference around an operation to profile it; see
+    {!Telemetry.Bound_check}. *)
 
 (** {1 Persistence}
 
@@ -155,6 +180,7 @@ val try_save :
 val load :
   ?pool_capacity:int ->
   ?stats:Storage.Io_stats.t ->
+  ?telemetry:Telemetry.Tracer.t ->
   ?vfs:Storage.Vfs.t ->
   path:string ->
   unit ->
@@ -190,6 +216,7 @@ val scrub :
   ?page_size:int ->
   ?vfs:Storage.Vfs.t ->
   ?repair_from:t ->
+  ?telemetry:Telemetry.Tracer.t ->
   path:string ->
   unit ->
   scrub_report

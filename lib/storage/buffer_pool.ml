@@ -6,16 +6,18 @@ module Make (Store : Page_store.S) = struct
     cache : (Page_id.t, entry) Lru.t;
     mutable hits : int;
     mutable misses : int;
+    mutable touches : int;
   }
 
   let create ?(capacity = 64) store =
-    { store; cache = Lru.create ~capacity; hits = 0; misses = 0 }
+    { store; cache = Lru.create ~capacity; hits = 0; misses = 0; touches = 0 }
 
   let store t = t.store
   let capacity t = Lru.capacity t.cache
   let stats t = Store.stats t.store
   let hits t = t.hits
   let misses t = t.misses
+  let touches t = t.touches
   let alloc t = Store.alloc t.store
 
   let write_back t id (entry : entry) =
@@ -30,6 +32,7 @@ module Make (Store : Page_store.S) = struct
     | Some (evicted_id, evicted) -> write_back t evicted_id evicted
 
   let read t id =
+    t.touches <- t.touches + 1;
     match Lru.find t.cache id with
     | Some entry ->
         t.hits <- t.hits + 1;
@@ -40,7 +43,9 @@ module Make (Store : Page_store.S) = struct
         insert t id { payload; dirty = false };
         payload
 
-  let write t id payload = insert t id { payload; dirty = true }
+  let write t id payload =
+    t.touches <- t.touches + 1;
+    insert t id { payload; dirty = true }
 
   let mem t id = Lru.mem t.cache id || Store.mem t.store id
 

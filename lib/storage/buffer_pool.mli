@@ -22,6 +22,12 @@ module Make (Store : Page_store.S) : sig
   val hits : t -> int
   val misses : t -> int
 
+  val touches : t -> int
+  (** Logical page accesses ({!read} + {!write}), independent of whether
+      they hit the cache — the per-operation quantity the paper's
+      [O(log_b n)] bounds speak about, and what the telemetry bound
+      checker profiles. *)
+
   val alloc : t -> Page_id.t
   (** Allocate a page id from the store.  The caller must {!write} a
       payload before reading it back. *)

@@ -1,87 +1,11 @@
-(** Physical I/O counters.
+(** Physical I/O counters — re-exported from {!Telemetry.Io_stats}.
 
-    The paper's evaluation estimates running time as
-    [#I/O x average disk access time + measured CPU time] (section 5).
-    Every page store and buffer pool in this code base charges its physical
-    page operations to an [Io_stats.t], so experiments can report the same
-    quantity without real disks. *)
+    The implementation moved to [lib/telemetry] so tracing spans can
+    carry I/O deltas without a dependency cycle; see that module for the
+    documentation, including which counters count page I/Os versus
+    bookkeeping events.  [Storage.Io_stats.t] remains the same type as
+    [Telemetry.Io_stats.t]. *)
 
-type t
-
-val create : unit -> t
-
-val reads : t -> int
-(** Physical page reads (buffer-pool misses, or direct store reads). *)
-
-val writes : t -> int
-(** Physical page writes (dirty evictions, flushes, direct writes). *)
-
-val allocs : t -> int
-(** Pages allocated over the lifetime of the store. *)
-
-val frees : t -> int
-(** Pages returned to the store (page-disposal optimisation). *)
-
-val syncs : t -> int
-(** [fsync]s issued against the underlying file (durable stores only). *)
-
-val crc_failures : t -> int
-(** Page reads whose CRC32 did not match — detected bit-rot. *)
-
-val scrubbed : t -> int
-(** Pages whose checksum a scrub pass verified. *)
-
-val repaired : t -> int
-(** Quarantined pages a scrub pass rewrote from a reference state. *)
-
-val errors_injected : t -> int
-(** Faults fired by {!Vfs.Inject} — nonzero only under error injection. *)
-
-val retries : t -> int
-(** Transient I/O errors absorbed by a retry loop ({!Retry.run} /
-    {!Vfs.with_retry}) instead of surfacing to the caller. *)
-
-val read_only_transitions : t -> int
-(** Times a [Durable] engine entered its [Read_only] health state after a
-    persistent write failure. *)
-
-val total_io : t -> int
-(** [reads + writes]. *)
-
-val record_read : t -> unit
-val record_write : t -> unit
-val record_alloc : t -> unit
-val record_free : t -> unit
-val record_sync : t -> unit
-val record_crc_failure : t -> unit
-val record_scrubbed : t -> unit
-val record_repaired : t -> unit
-val record_error_injected : t -> unit
-val record_retry : t -> unit
-val record_read_only_transition : t -> unit
-
-val reset : t -> unit
-(** Zero all counters. *)
-
-type snapshot = {
-  reads : int;
-  writes : int;
-  allocs : int;
-  frees : int;
-  syncs : int;
-  crc_failures : int;
-  scrubbed : int;
-  repaired : int;
-  errors_injected : int;
-  retries : int;
-  read_only_transitions : int;
-}
-
-val snapshot : t -> snapshot
-
-val diff : snapshot -> snapshot -> snapshot
-(** [diff later earlier] is the per-field difference — the I/O incurred
-    between the two snapshots. *)
-
-val pp : Format.formatter -> t -> unit
-val pp_snapshot : Format.formatter -> snapshot -> unit
+include module type of struct
+  include Telemetry.Io_stats
+end

@@ -85,6 +85,7 @@ module File (C : PAGE_CODEC) = struct
     freed : unit Page_id.Tbl.t;
     mutable live : int;
     stats : Io_stats.t;
+    tracer : Telemetry.Tracer.t;
   }
 
   (* Every page block carries its own CRC32 frame so bit-rot anywhere in
@@ -179,7 +180,7 @@ module File (C : PAGE_CODEC) = struct
     freed
 
   let create ?(stats = Io_stats.create ()) ?(page_size = 4096) ?(mode = `Create)
-      ?(vfs = Vfs.os) ~path () =
+      ?(vfs = Vfs.os) ?(tracer = Telemetry.Tracer.noop) ~path () =
     if page_size < 32 + block_overhead then invalid_arg "Page_store.File: page_size too small";
     match mode with
     | `Create ->
@@ -188,7 +189,7 @@ module File (C : PAGE_CODEC) = struct
         (try vfs.Vfs.v_remove (free_sidecar_path path)
          with Sys_error _ | Storage_error.Io _ -> ());
         { file; vfs; path; page_size; next_id = 0; written = Page_id.Tbl.create 1024;
-          freed = Page_id.Tbl.create 64; live = 0; stats }
+          freed = Page_id.Tbl.create 64; live = 0; stats; tracer }
     | `Reopen ->
         let file = vfs.Vfs.v_open `Reopen path in
         (try read_header file ~page_size
@@ -212,7 +213,7 @@ module File (C : PAGE_CODEC) = struct
           if not (Page_id.Tbl.mem freed id) then Page_id.Tbl.replace written id ()
         done;
         { file; vfs; path; page_size; next_id; written; freed;
-          live = Page_id.Tbl.length written; stats }
+          live = Page_id.Tbl.length written; stats; tracer }
 
   let stats t = t.stats
   let page_size t = t.page_size
@@ -250,8 +251,11 @@ module File (C : PAGE_CODEC) = struct
       Codec.crc32 buf ~pos:block_overhead ~len = crc
     end
 
+  let page_attr id () = [ ("page", Telemetry.Tracer.Int (Page_id.to_int id)) ]
+
   let read t id =
     if not (Page_id.Tbl.mem t.written id) then raise Not_found;
+    Telemetry.Tracer.with_span t.tracer "page.read" ~attrs:(page_attr id) @@ fun () ->
     Io_stats.record_read t.stats;
     let buf = read_block t id in
     if not (check_block t buf) then begin
@@ -262,6 +266,7 @@ module File (C : PAGE_CODEC) = struct
     C.decode (Codec.Reader.create (Bytes.sub buf block_overhead len))
 
   let write t id payload =
+    Telemetry.Tracer.with_span t.tracer "page.write" ~attrs:(page_attr id) @@ fun () ->
     Io_stats.record_write t.stats;
     let w = Codec.Writer.create t.page_size in
     Codec.Writer.i32 w 0 (* len placeholder *);
@@ -296,6 +301,7 @@ module File (C : PAGE_CODEC) = struct
     |> List.sort (fun a b -> compare (Page_id.to_int a) (Page_id.to_int b))
 
   let sync t =
+    Telemetry.Tracer.with_span t.tracer "page.sync" @@ fun () ->
     Io_stats.record_sync t.stats;
     t.file.Vfs.f_sync ();
     save_freed ~vfs:t.vfs ~path:t.path t.freed

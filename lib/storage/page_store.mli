@@ -87,6 +87,7 @@ module File (C : PAGE_CODEC) : sig
     ?page_size:int ->
     ?mode:[ `Create | `Reopen ] ->
     ?vfs:Vfs.t ->
+    ?tracer:Telemetry.Tracer.t ->
     path:string ->
     unit ->
     t
@@ -105,7 +106,10 @@ module File (C : PAGE_CODEC) : sig
       pages freed after the last sync resurrect and {!live_pages}
       overcounts; after a clean {!sync} or {!close} liveness is exact.
 
-      All I/O goes through [vfs] (default {!Vfs.os}).
+      All I/O goes through [vfs] (default {!Vfs.os}).  When [tracer]
+      (default {!Telemetry.Tracer.noop}) is enabled, each {!read},
+      {!write} and {!sync} emits a [page.read]/[page.write]/[page.sync]
+      span carrying the page id.
       @raise Failure on a missing, foreign, or geometry-mismatched file
       under [`Reopen]. *)
 

@@ -572,3 +572,41 @@ let with_retry ?stats ?(policy = Retry.default) vfs =
     v_readdir = vfs.v_readdir;
     v_sync_dir = (fun dir -> r (fun () -> vfs.v_sync_dir dir));
   }
+
+(* --- Tracing --------------------------------------------------------------- *)
+
+let with_telemetry tracer vfs =
+  if not (Telemetry.Tracer.enabled tracer) then vfs
+  else begin
+    let span name ?(len = -1) path f =
+      Telemetry.Tracer.with_span tracer name f ~attrs:(fun () ->
+          let base = [ ("path", Telemetry.Tracer.Str path) ] in
+          if len < 0 then base else ("len", Telemetry.Tracer.Int len) :: base)
+    in
+    let wrap_file path f =
+      {
+        f_pread =
+          (fun off buf pos len ->
+            span "vfs.pread" ~len path (fun () -> f.f_pread off buf pos len));
+        f_pwrite =
+          (fun off buf pos len ->
+            span "vfs.pwrite" ~len path (fun () -> f.f_pwrite off buf pos len));
+        f_append =
+          (fun buf pos len ->
+            span "vfs.append" ~len path (fun () -> f.f_append buf pos len));
+        f_size = f.f_size;
+        f_sync = (fun () -> span "vfs.fsync" path (fun () -> f.f_sync ()));
+        f_truncate = (fun len -> span "vfs.truncate" path (fun () -> f.f_truncate len));
+        f_close = f.f_close;
+      }
+    in
+    {
+      v_open =
+        (fun mode path -> wrap_file path (span "vfs.open" path (fun () -> vfs.v_open mode path)));
+      v_rename = (fun src dst -> span "vfs.rename" src (fun () -> vfs.v_rename src dst));
+      v_remove = (fun path -> span "vfs.remove" path (fun () -> vfs.v_remove path));
+      v_exists = vfs.v_exists;
+      v_readdir = vfs.v_readdir;
+      v_sync_dir = (fun dir -> span "vfs.sync_dir" dir (fun () -> vfs.v_sync_dir dir));
+    }
+  end

@@ -187,3 +187,10 @@ val with_retry : ?stats:Io_stats.t -> ?policy:Retry.policy -> t -> t
     retried with bounded exponential backoff, bumping
     [Io_stats.retries]; permanent errors and {!Crashed} propagate
     untouched.  [f_close] is never retried. *)
+
+val with_telemetry : Telemetry.Tracer.t -> t -> t
+(** Emit a tracing span per syscall ([vfs.pread], [vfs.pwrite],
+    [vfs.append], [vfs.fsync], [vfs.truncate], [vfs.open], [vfs.rename],
+    [vfs.remove], [vfs.sync_dir]) carrying the path and, for data
+    operations, the byte length.  Returns [vfs] itself when the tracer is
+    disabled, so an uninstrumented stack pays nothing. *)

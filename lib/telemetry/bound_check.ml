@@ -1,0 +1,214 @@
+type op = Insert | Delete | Point_query | Range_query
+
+let op_name = function
+  | Insert -> "insert"
+  | Delete -> "delete"
+  | Point_query -> "point_query"
+  | Range_query -> "range_query"
+
+let all_ops = [ Insert; Delete; Point_query; Range_query ]
+
+type offender = {
+  o_op : op;
+  o_seq : int;
+  o_scale : int;
+  o_touches : int;
+  o_bound : float;
+  o_ratio : float;
+}
+
+type op_summary = {
+  ops : int;
+  max_touches : int;
+  mean_touches : float;
+  max_ratio : float;
+  violations : int;
+}
+
+type report = {
+  r_b : int;
+  r_slack : float;
+  checked : int;
+  total_violations : int;
+  max_ratio : float;
+  worst : offender list;
+  per_op : (op * op_summary) list;
+}
+
+type acc = {
+  mutable a_ops : int;
+  mutable a_touches : int;
+  mutable a_max_touches : int;
+  mutable a_max_ratio : float;
+  mutable a_violations : int;
+}
+
+type t = {
+  bc_b : int;
+  slack : float;
+  worst_n : int;
+  mutable seq : int;
+  accs : (op * acc) list;
+  mutable worst : offender list;  (* descending by ratio, length <= worst_n *)
+}
+
+let create ?(slack = 4.0) ?(worst = 10) ~b () =
+  if b < 2 then invalid_arg "Bound_check.create: b < 2";
+  if slack <= 0. then invalid_arg "Bound_check.create: slack <= 0";
+  {
+    bc_b = b;
+    slack;
+    worst_n = max 0 worst;
+    seq = 0;
+    accs =
+      List.map
+        (fun op ->
+          ( op,
+            {
+              a_ops = 0;
+              a_touches = 0;
+              a_max_touches = 0;
+              a_max_ratio = 0.;
+              a_violations = 0;
+            } ))
+        all_ops;
+    worst = [];
+  }
+
+(* A range query is six point queries (Theorem 1); a warehouse delete is
+   two MVSBT insertions (the LKST negation plus the LKLT end-time entry);
+   everything else is a single root-to-leaf pass, possibly with splits
+   along it. *)
+let ops_factor = function
+  | Range_query -> 6.
+  | Delete -> 2.
+  | Insert | Point_query -> 1.
+
+let envelope t ~op ~scale =
+  let logb =
+    Float.log (float_of_int (max 2 scale)) /. Float.log (float_of_int t.bc_b)
+  in
+  t.slack *. (1. +. logb) *. ops_factor op
+
+let insert_worst t o =
+  let rec go = function
+    | [] -> [ o ]
+    | x :: rest when o.o_ratio > x.o_ratio -> o :: x :: rest
+    | x :: rest -> x :: go rest
+  in
+  let merged = go t.worst in
+  t.worst <-
+    (if List.length merged > t.worst_n then List.filteri (fun i _ -> i < t.worst_n) merged
+     else merged)
+
+let record t ~op ~scale ~touches =
+  let bound = envelope t ~op ~scale in
+  let ratio = float_of_int touches /. bound in
+  let acc = List.assoc op t.accs in
+  acc.a_ops <- acc.a_ops + 1;
+  acc.a_touches <- acc.a_touches + touches;
+  acc.a_max_touches <- max acc.a_max_touches touches;
+  acc.a_max_ratio <- Float.max acc.a_max_ratio ratio;
+  if ratio > 1. then acc.a_violations <- acc.a_violations + 1;
+  if
+    t.worst_n > 0
+    && (List.length t.worst < t.worst_n
+       || ratio > (List.nth t.worst (List.length t.worst - 1)).o_ratio)
+  then
+    insert_worst t
+      {
+        o_op = op;
+        o_seq = t.seq;
+        o_scale = scale;
+        o_touches = touches;
+        o_bound = bound;
+        o_ratio = ratio;
+      };
+  t.seq <- t.seq + 1
+
+let report t =
+  let per_op =
+    List.filter_map
+      (fun (op, a) ->
+        if a.a_ops = 0 then None
+        else
+          Some
+            ( op,
+              {
+                ops = a.a_ops;
+                max_touches = a.a_max_touches;
+                mean_touches = float_of_int a.a_touches /. float_of_int a.a_ops;
+                max_ratio = a.a_max_ratio;
+                violations = a.a_violations;
+              } ))
+      t.accs
+  in
+  {
+    r_b = t.bc_b;
+    r_slack = t.slack;
+    checked = t.seq;
+    total_violations =
+      List.fold_left (fun n (_, (s : op_summary)) -> n + s.violations) 0 per_op;
+    max_ratio =
+      List.fold_left (fun m (_, (s : op_summary)) -> Float.max m s.max_ratio) 0. per_op;
+    worst = t.worst;
+    per_op;
+  }
+
+let clean r = r.total_violations = 0
+
+let pp_report ppf r =
+  Format.fprintf ppf "bound check: b=%d slack=%.1f ops=%d violations=%d max_ratio=%.3f@."
+    r.r_b r.r_slack r.checked r.total_violations r.max_ratio;
+  List.iter
+    (fun (op, s) ->
+      Format.fprintf ppf
+        "  %-12s ops=%-8d touches: mean=%.2f max=%d  max_ratio=%.3f violations=%d@."
+        (op_name op) s.ops s.mean_touches s.max_touches s.max_ratio s.violations)
+    r.per_op;
+  if r.worst <> [] then begin
+    Format.fprintf ppf "  worst offenders (touches / envelope):@.";
+    List.iter
+      (fun o ->
+        Format.fprintf ppf "    #%-8d %-12s scale=%-8d touches=%-4d bound=%.1f ratio=%.3f@."
+          o.o_seq (op_name o.o_op) o.o_scale o.o_touches o.o_bound o.o_ratio)
+      r.worst
+  end
+
+let report_to_json r =
+  Json.Obj
+    [
+      ("b", Json.Int r.r_b);
+      ("slack", Json.Float r.r_slack);
+      ("checked", Json.Int r.checked);
+      ("violations", Json.Int r.total_violations);
+      ("max_ratio", Json.Float r.max_ratio);
+      ( "per_op",
+        Json.Obj
+          (List.map
+             (fun (op, s) ->
+               ( op_name op,
+                 Json.Obj
+                   [
+                     ("ops", Json.Int s.ops);
+                     ("mean_touches", Json.Float s.mean_touches);
+                     ("max_touches", Json.Int s.max_touches);
+                     ("max_ratio", Json.Float s.max_ratio);
+                     ("violations", Json.Int s.violations);
+                   ] ))
+             r.per_op) );
+      ( "worst",
+        Json.List
+          (List.map
+             (fun o ->
+               Json.Obj
+                 [
+                   ("seq", Json.Int o.o_seq);
+                   ("op", Json.Str (op_name o.o_op));
+                   ("scale", Json.Int o.o_scale);
+                   ("touches", Json.Int o.o_touches);
+                   ("bound", Json.Float o.o_bound);
+                   ("ratio", Json.Float o.o_ratio);
+                 ])
+             r.worst) );
+    ]

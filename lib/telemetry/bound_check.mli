@@ -1,0 +1,69 @@
+(** Profiling the paper's analytic I/O bounds per operation.
+
+    The MVSBT costs [O(log_b K)] page touches per insertion (Lemma 1 /
+    Theorem 2) and [O(log_b n)] per point query; an RTA range query is a
+    constant six point queries (Theorem 1).  This module turns those
+    asymptotic statements into runtime assertions: the profiler records
+    the {e logical page touches} of every operation together with the
+    scale parameter it should be logarithmic in, checks it against the
+    envelope
+
+    {[ slack * (1 + log_b (max 2 scale)) * ops_factor ]}
+
+    and accumulates per-operation summaries plus the worst offenders by
+    ratio.  [ops_factor] is 1 for single tree passes, 2 for warehouse
+    deletes (two MVSBT insertions: the LKST negation plus the LKLT
+    end-time entry), and 6 for RTA range queries (the Theorem-1
+    constant).  A clean report — zero violations — is what CI's
+    [profile --smoke] asserts. *)
+
+type op = Insert | Delete | Point_query | Range_query
+
+val op_name : op -> string
+val all_ops : op list
+
+type offender = {
+  o_op : op;
+  o_seq : int;  (** 0-based global operation number when it was recorded. *)
+  o_scale : int;
+  o_touches : int;
+  o_bound : float;
+  o_ratio : float;  (** [touches / bound]; > 1 is a violation. *)
+}
+
+type op_summary = {
+  ops : int;
+  max_touches : int;
+  mean_touches : float;
+  max_ratio : float;
+  violations : int;
+}
+
+type report = {
+  r_b : int;
+  r_slack : float;
+  checked : int;
+  total_violations : int;
+  max_ratio : float;
+  worst : offender list;  (** Descending by ratio, at most [worst] many. *)
+  per_op : (op * op_summary) list;  (** Only ops that were recorded. *)
+}
+
+type t
+
+val create : ?slack:float -> ?worst:int -> b:int -> unit -> t
+(** [slack] (default 4.0) is the constant factor [c] of the envelope;
+    [worst] (default 10) bounds the offender list.  [b] is the tree's
+    page capacity — the logarithm base.
+    @raise Invalid_argument if [b < 2] or [slack <= 0]. *)
+
+val envelope : t -> op:op -> scale:int -> float
+(** The touch budget for one operation at the given scale ([K] for
+    updates, [n] for queries). *)
+
+val record : t -> op:op -> scale:int -> touches:int -> unit
+
+val report : t -> report
+val clean : report -> bool
+val pp_report : Format.formatter -> report -> unit
+val report_to_json : report -> Json.t

@@ -1,0 +1,170 @@
+type snapshot = {
+  reads : int;
+  writes : int;
+  allocs : int;
+  frees : int;
+  syncs : int;
+  crc_failures : int;
+  scrubbed : int;
+  repaired : int;
+  errors_injected : int;
+  retries : int;
+  read_only_transitions : int;
+}
+
+type t = {
+  mutable n_reads : int;
+  mutable n_writes : int;
+  mutable n_allocs : int;
+  mutable n_frees : int;
+  mutable n_syncs : int;
+  mutable n_crc_failures : int;
+  mutable n_scrubbed : int;
+  mutable n_repaired : int;
+  mutable n_errors_injected : int;
+  mutable n_retries : int;
+  mutable n_read_only_transitions : int;
+}
+
+let create () =
+  {
+    n_reads = 0;
+    n_writes = 0;
+    n_allocs = 0;
+    n_frees = 0;
+    n_syncs = 0;
+    n_crc_failures = 0;
+    n_scrubbed = 0;
+    n_repaired = 0;
+    n_errors_injected = 0;
+    n_retries = 0;
+    n_read_only_transitions = 0;
+  }
+
+let reads t = t.n_reads
+let writes t = t.n_writes
+let allocs t = t.n_allocs
+let frees t = t.n_frees
+let syncs t = t.n_syncs
+let crc_failures t = t.n_crc_failures
+let scrubbed t = t.n_scrubbed
+let repaired t = t.n_repaired
+let errors_injected t = t.n_errors_injected
+let retries t = t.n_retries
+let read_only_transitions t = t.n_read_only_transitions
+
+(* Frees are page disposals, charged as I/Os like reads and writes; see
+   the .mli preamble for the I/O-versus-event classification. *)
+let total_io t = t.n_reads + t.n_writes + t.n_frees
+let record_read t = t.n_reads <- t.n_reads + 1
+let record_write t = t.n_writes <- t.n_writes + 1
+let record_alloc t = t.n_allocs <- t.n_allocs + 1
+let record_free t = t.n_frees <- t.n_frees + 1
+let record_sync t = t.n_syncs <- t.n_syncs + 1
+let record_crc_failure t = t.n_crc_failures <- t.n_crc_failures + 1
+let record_scrubbed t = t.n_scrubbed <- t.n_scrubbed + 1
+let record_repaired t = t.n_repaired <- t.n_repaired + 1
+let record_error_injected t = t.n_errors_injected <- t.n_errors_injected + 1
+let record_retry t = t.n_retries <- t.n_retries + 1
+
+let record_read_only_transition t =
+  t.n_read_only_transitions <- t.n_read_only_transitions + 1
+
+let reset t =
+  t.n_reads <- 0;
+  t.n_writes <- 0;
+  t.n_allocs <- 0;
+  t.n_frees <- 0;
+  t.n_syncs <- 0;
+  t.n_crc_failures <- 0;
+  t.n_scrubbed <- 0;
+  t.n_repaired <- 0;
+  t.n_errors_injected <- 0;
+  t.n_retries <- 0;
+  t.n_read_only_transitions <- 0
+
+let snapshot t : snapshot =
+  {
+    reads = t.n_reads;
+    writes = t.n_writes;
+    allocs = t.n_allocs;
+    frees = t.n_frees;
+    syncs = t.n_syncs;
+    crc_failures = t.n_crc_failures;
+    scrubbed = t.n_scrubbed;
+    repaired = t.n_repaired;
+    errors_injected = t.n_errors_injected;
+    retries = t.n_retries;
+    read_only_transitions = t.n_read_only_transitions;
+  }
+
+(* [add] and [diff] share this combinator so a counter added to the
+   snapshot record cannot end up summed by one and forgotten by the
+   other: both stay total, and [diff (add a b) b = a]. *)
+let map2 f (a : snapshot) (b : snapshot) : snapshot =
+  {
+    reads = f a.reads b.reads;
+    writes = f a.writes b.writes;
+    allocs = f a.allocs b.allocs;
+    frees = f a.frees b.frees;
+    syncs = f a.syncs b.syncs;
+    crc_failures = f a.crc_failures b.crc_failures;
+    scrubbed = f a.scrubbed b.scrubbed;
+    repaired = f a.repaired b.repaired;
+    errors_injected = f a.errors_injected b.errors_injected;
+    retries = f a.retries b.retries;
+    read_only_transitions = f a.read_only_transitions b.read_only_transitions;
+  }
+
+let add = map2 ( + )
+let diff = map2 ( - )
+
+let zero =
+  {
+    reads = 0;
+    writes = 0;
+    allocs = 0;
+    frees = 0;
+    syncs = 0;
+    crc_failures = 0;
+    scrubbed = 0;
+    repaired = 0;
+    errors_injected = 0;
+    retries = 0;
+    read_only_transitions = 0;
+  }
+
+let snapshot_total_io (s : snapshot) = s.reads + s.writes + s.frees
+
+(* The integrity and robustness counters are zero on most runs; keep the
+   common output stable and append them only when something happened. *)
+let pp_integrity ppf ~crc ~scrubbed ~repaired =
+  if crc > 0 || scrubbed > 0 || repaired > 0 then
+    Format.fprintf ppf " crc_failures=%d scrubbed=%d repaired=%d" crc scrubbed repaired
+
+let pp_robustness ppf ~injected ~retries ~ro =
+  if injected > 0 || retries > 0 || ro > 0 then
+    Format.fprintf ppf " errors_injected=%d retries=%d read_only_transitions=%d"
+      injected retries ro
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d%a%a" t.n_reads
+    t.n_writes t.n_allocs t.n_frees t.n_syncs
+    (fun ppf () ->
+      pp_integrity ppf ~crc:t.n_crc_failures ~scrubbed:t.n_scrubbed ~repaired:t.n_repaired)
+    ()
+    (fun ppf () ->
+      pp_robustness ppf ~injected:t.n_errors_injected ~retries:t.n_retries
+        ~ro:t.n_read_only_transitions)
+    ()
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d%a%a" s.reads s.writes
+    s.allocs s.frees s.syncs
+    (fun ppf () ->
+      pp_integrity ppf ~crc:s.crc_failures ~scrubbed:s.scrubbed ~repaired:s.repaired)
+    ()
+    (fun ppf () ->
+      pp_robustness ppf ~injected:s.errors_injected ~retries:s.retries
+        ~ro:s.read_only_transitions)
+    ()

@@ -1,0 +1,122 @@
+(** Physical I/O counters.
+
+    The paper's evaluation estimates running time as
+    [#I/O x average disk access time + measured CPU time] (section 5).
+    Every page store and buffer pool in this code base charges its physical
+    page operations to an [Io_stats.t], so experiments can report the same
+    quantity without real disks.
+
+    {2 I/Os versus events}
+
+    Not every counter is a disk transfer; callers aggregating "I/O cost"
+    must know which is which.
+
+    {e Page I/Os} — each increment corresponds to one page the cost model
+    charges:
+    - [reads], [writes] — physical page transfers;
+    - [frees] — page disposals (section 4.2.3): handing a page back is
+      charged as one I/O by the paper's accounting even though the file
+      store defers the free-list write to the next sync.
+
+    {e Events} — bookkeeping with no per-increment transfer of their own:
+    - [allocs] — page-id allocation; the first write pays the I/O;
+    - [syncs] — [fsync] barriers (a durability cost, not a page transfer);
+    - [crc_failures], [scrubbed], [repaired] — integrity outcomes (the
+      underlying block reads/writes are charged separately where they
+      happen);
+    - [errors_injected], [retries], [read_only_transitions] — robustness
+      bookkeeping. *)
+
+type t
+
+val create : unit -> t
+
+val reads : t -> int
+(** I/O — physical page reads (buffer-pool misses, or direct store reads). *)
+
+val writes : t -> int
+(** I/O — physical page writes (dirty evictions, flushes, direct writes). *)
+
+val allocs : t -> int
+(** Event — pages allocated over the lifetime of the store. *)
+
+val frees : t -> int
+(** I/O — pages returned to the store (page-disposal optimisation). *)
+
+val syncs : t -> int
+(** Event — [fsync]s issued against the underlying file (durable stores
+    only). *)
+
+val crc_failures : t -> int
+(** Event — page reads whose CRC32 did not match — detected bit-rot. *)
+
+val scrubbed : t -> int
+(** Event — pages whose checksum a scrub pass verified. *)
+
+val repaired : t -> int
+(** Event — quarantined pages a scrub pass rewrote from a reference state. *)
+
+val errors_injected : t -> int
+(** Event — faults fired by [Vfs.Inject] — nonzero only under error
+    injection. *)
+
+val retries : t -> int
+(** Event — transient I/O errors absorbed by a retry loop ([Retry.run] /
+    [Vfs.with_retry]) instead of surfacing to the caller. *)
+
+val read_only_transitions : t -> int
+(** Event — times a [Durable] engine entered its [Read_only] health state
+    after a persistent write failure. *)
+
+val total_io : t -> int
+(** [reads + writes + frees] — every operation charged as a page I/O
+    (see the module preamble for the classification). *)
+
+val record_read : t -> unit
+val record_write : t -> unit
+val record_alloc : t -> unit
+val record_free : t -> unit
+val record_sync : t -> unit
+val record_crc_failure : t -> unit
+val record_scrubbed : t -> unit
+val record_repaired : t -> unit
+val record_error_injected : t -> unit
+val record_retry : t -> unit
+val record_read_only_transition : t -> unit
+
+val reset : t -> unit
+(** Zero all counters. *)
+
+type snapshot = {
+  reads : int;
+  writes : int;
+  allocs : int;
+  frees : int;
+  syncs : int;
+  crc_failures : int;
+  scrubbed : int;
+  repaired : int;
+  errors_injected : int;
+  retries : int;
+  read_only_transitions : int;
+}
+
+val zero : snapshot
+(** The all-zero snapshot — the identity of {!add}. *)
+
+val snapshot : t -> snapshot
+
+val add : snapshot -> snapshot -> snapshot
+(** Per-field sum.  [add] and {!diff} are defined from the same field
+    combinator, so they stay total inverses of each other as counters are
+    added: [diff (add a b) b = a] for all [a], [b]. *)
+
+val diff : snapshot -> snapshot -> snapshot
+(** [diff later earlier] is the per-field difference — the I/O incurred
+    between the two snapshots. *)
+
+val snapshot_total_io : snapshot -> int
+(** [reads + writes + frees] of a snapshot; see {!total_io}. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

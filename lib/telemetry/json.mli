@@ -1,0 +1,35 @@
+(** A minimal JSON tree, printer and parser.
+
+    The telemetry exporters (JSONL spans, Chrome [trace_event] files,
+    metrics dumps, [--stats-json] CLI reports) need to {e emit} JSON, and
+    the CI smoke checks need to {e re-parse} that output to prove it is
+    well-formed — with no JSON library in the dependency closure, both
+    directions live here.  This is not a general-purpose JSON codec: it
+    covers the JSON this repository produces (UTF-8 text, no duplicate-key
+    detection, integers within [int]). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float  (** Non-finite floats print as [null]. *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering with full string escaping. *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    byte offset of the failure.  Trailing whitespace is allowed, trailing
+    garbage is not. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the first binding of [k]; [None] on any other
+    constructor or a missing key. *)
+
+val pp : Format.formatter -> t -> unit
+(** Same compact form as {!to_string}. *)

@@ -1,0 +1,249 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+(* Geometric buckets at half-powers of two: bucket [i] covers values up
+   to [2^((i - origin) / 2)].  With [origin = 32] the range is
+   [2^-16 .. 2^47.5] — nanosecond observations from sub-ns to ~39 hours
+   land in a real bucket; anything beyond clamps to the edge buckets. *)
+let n_buckets = 160
+let origin = 32
+
+type histogram = {
+  buckets : int array;
+  mutable h_zeros : int;  (* observations <= 0 — kept exact, not bucketed *)
+  mutable h_n : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type kind = Counter of counter | Gauge of gauge | Histogram of histogram
+type metric = { m_name : string; m_help : string; m_kind : kind }
+
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable rev_order : metric list;
+}
+
+let create () = { tbl = Hashtbl.create 64; rev_order = [] }
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register t name help mk =
+  match Hashtbl.find_opt t.tbl name with
+  | Some m -> m
+  | None ->
+      let m = { m_name = name; m_help = help; m_kind = mk () } in
+      Hashtbl.add t.tbl name m;
+      t.rev_order <- m :: t.rev_order;
+      m
+
+let counter t ?(help = "") name =
+  match (register t name help (fun () -> Counter { c = 0 })).m_kind with
+  | Counter c -> c
+  | k ->
+      invalid_arg
+        (Printf.sprintf "Metrics.counter: %s already registered as a %s" name
+           (kind_name k))
+
+let inc ?(by = 1) c = c.c <- c.c + by
+let set_counter c v = c.c <- v
+let counter_value c = c.c
+
+let gauge t ?(help = "") name =
+  match (register t name help (fun () -> Gauge { g = 0. })).m_kind with
+  | Gauge g -> g
+  | k ->
+      invalid_arg
+        (Printf.sprintf "Metrics.gauge: %s already registered as a %s" name
+           (kind_name k))
+
+let histogram t ?(help = "") name =
+  let mk () =
+    Histogram
+      {
+        buckets = Array.make n_buckets 0;
+        h_zeros = 0;
+        h_n = 0;
+        h_sum = 0.;
+        h_min = infinity;
+        h_max = neg_infinity;
+      }
+  in
+  match (register t name help mk).m_kind with
+  | Histogram h -> h
+  | k ->
+      invalid_arg
+        (Printf.sprintf "Metrics.histogram: %s already registered as a %s" name
+           (kind_name k))
+
+let set_gauge g v = g.g <- v
+let gauge_value g = g.g
+
+let bucket_of v =
+  if v <= 0. then 0
+  else
+    let i = origin + int_of_float (Float.ceil (2. *. (Float.log v /. Float.log 2.))) in
+    if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+let bucket_upper i = Float.pow 2. (float_of_int (i - origin) /. 2.)
+
+let observe h v =
+  if v <= 0. then h.h_zeros <- h.h_zeros + 1
+  else begin
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1
+  end;
+  h.h_n <- h.h_n + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let hist_count h = h.h_n
+let hist_sum h = h.h_sum
+let hist_max h = if h.h_n = 0 then 0. else h.h_max
+let hist_min h = if h.h_n = 0 then 0. else h.h_min
+
+let quantile h q =
+  if h.h_n = 0 then 0.
+  else begin
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_n))) in
+    let upper =
+      if rank <= h.h_zeros then 0.
+      else begin
+        let i = ref 0 in
+        let cum = ref (h.h_zeros + h.buckets.(0)) in
+        while !cum < rank && !i < n_buckets - 1 do
+          incr i;
+          cum := !cum + h.buckets.(!i)
+        done;
+        bucket_upper !i
+      end
+    in
+    Float.min (hist_max h) (Float.max (hist_min h) upper)
+  end
+
+(* --- Absorbing other telemetry --------------------------------------------- *)
+
+let absorb_io_stats t ?(prefix = "io_") (s : Io_stats.snapshot) =
+  let set name v = set_counter (counter t (prefix ^ name ^ "_total")) v in
+  set "reads" s.reads;
+  set "writes" s.writes;
+  set "allocs" s.allocs;
+  set "frees" s.frees;
+  set "syncs" s.syncs;
+  set "crc_failures" s.crc_failures;
+  set "scrubbed" s.scrubbed;
+  set "repaired" s.repaired;
+  set "errors_injected" s.errors_injected;
+  set "retries" s.retries;
+  set "read_only_transitions" s.read_only_transitions
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let observe_spans t spans =
+  List.iter
+    (fun (s : Tracer.span) ->
+      let base = "span_" ^ sanitize s.name in
+      observe (histogram t (base ^ "_duration_ns")) (Int64.to_float s.dur_ns);
+      observe
+        (histogram t (base ^ "_io_pages"))
+        (float_of_int (Io_stats.snapshot_total_io s.io));
+      inc (counter t (base ^ "_total")))
+    spans
+
+(* --- Export ----------------------------------------------------------------- *)
+
+let in_order t = List.rev t.rev_order
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun m ->
+      let name = sanitize m.m_name in
+      if m.m_help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name m.m_help);
+      (match m.m_kind with
+      | Counter c ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.c)
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt_float g.g))
+      | Histogram h ->
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" name);
+          List.iter
+            (fun (label, q) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name label
+                   (fmt_float (quantile h q))))
+            [ ("0.5", 0.5); ("0.95", 0.95); ("0.99", 0.99); ("1", 1.) ];
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %s\n" name (fmt_float h.h_sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.h_n)))
+    (in_order t);
+  Buffer.contents buf
+
+let to_json t =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun m ->
+      match m.m_kind with
+      | Counter c -> counters := (m.m_name, Json.Int c.c) :: !counters
+      | Gauge g -> gauges := (m.m_name, Json.Float g.g) :: !gauges
+      | Histogram h ->
+          hists :=
+            ( m.m_name,
+              Json.Obj
+                [
+                  ("count", Json.Int h.h_n);
+                  ("sum", Json.Float h.h_sum);
+                  ("min", Json.Float (hist_min h));
+                  ("max", Json.Float (hist_max h));
+                  ("p50", Json.Float (quantile h 0.5));
+                  ("p95", Json.Float (quantile h 0.95));
+                  ("p99", Json.Float (quantile h 0.99));
+                ] )
+            :: !hists)
+    (in_order t);
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !hists));
+    ]
+
+let pp_summary ppf t =
+  let hists =
+    List.filter_map
+      (fun m -> match m.m_kind with Histogram h -> Some (m.m_name, h) | _ -> None)
+      (in_order t)
+  in
+  if hists <> [] then begin
+    let width =
+      List.fold_left (fun acc (n, _) -> max acc (String.length n)) 9 hists
+    in
+    Format.fprintf ppf "%-*s %10s %12s %12s %12s %12s@." width "histogram" "count"
+      "p50" "p95" "p99" "max";
+    List.iter
+      (fun (name, h) ->
+        Format.fprintf ppf "%-*s %10d %12s %12s %12s %12s@." width name h.h_n
+          (fmt_float (quantile h 0.5))
+          (fmt_float (quantile h 0.95))
+          (fmt_float (quantile h 0.99))
+          (fmt_float (hist_max h)))
+      hists
+  end

@@ -1,0 +1,76 @@
+(** A named-metric registry: counters, gauges, and log-scale histograms,
+    exported as Prometheus text or JSON.
+
+    Metric names use the usual [snake_case] / dotted style; the
+    Prometheus exporter sanitises whatever falls outside
+    [[a-zA-Z0-9_:]].  Registering the same name twice returns the same
+    metric (and raises [Invalid_argument] if the kinds disagree).
+
+    Histograms are log-scale: geometric buckets at half-powers of two
+    spanning roughly [2^-16 .. 2^47] (sub-nanosecond to ~39 hours when
+    observing nanoseconds), so p50/p95/p99 come back within ~41% of the
+    true value at any magnitude.  Observations [<= 0] are kept in an
+    exact zero class, so a mostly-zero histogram reports zero quantiles
+    rather than the edge of the smallest bucket.  Quantiles are reported
+    as the upper edge of the covering class, clamped to the observed min
+    and max. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(* --- Registration and updates -------------------------------------------- *)
+
+val counter : t -> ?help:string -> string -> counter
+val inc : ?by:int -> counter -> unit
+val set_counter : counter -> int -> unit
+(** Overwrite the absolute value — for absorbing an externally maintained
+    cumulative count (e.g. an {!Io_stats} snapshot). *)
+
+val counter_value : counter -> int
+
+val gauge : t -> ?help:string -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : t -> ?help:string -> string -> histogram
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_max : histogram -> float
+(** [0.] when empty. *)
+
+val hist_min : histogram -> float
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [[0, 1]]; [0.] when empty. *)
+
+(* --- Absorbing other telemetry ------------------------------------------- *)
+
+val absorb_io_stats : t -> ?prefix:string -> Io_stats.snapshot -> unit
+(** Publish every {!Io_stats} counter as [<prefix><name>_total] (default
+    prefix ["io_"]), overwriting previous absolute values. *)
+
+val observe_spans : t -> Tracer.span list -> unit
+(** For each span, feed [span_<name>_duration_ns] (histogram),
+    [span_<name>_io_pages] (histogram of the span's reads+writes+frees)
+    and [span_<name>_total] (counter). *)
+
+(* --- Export ---------------------------------------------------------------- *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format; histograms are rendered as
+    summaries with [quantile="0.5"|"0.95"|"0.99"|"1"] series plus
+    [_sum]/[_count]. *)
+
+val to_json : t -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+    sum, min, max, p50, p95, p99}}}]. *)
+
+val pp_summary : Format.formatter -> t -> unit
+(** Human-readable table of all histograms (count, p50, p95, p99, max) —
+    what the bench reports embed. *)

@@ -1,0 +1,221 @@
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  name : string;
+  start_ns : int64;
+  dur_ns : int64;
+  depth : int;
+  io : Io_stats.snapshot;
+  attrs : (string * value) list;
+}
+
+type event = {
+  ev_name : string;
+  ev_ns : int64;
+  ev_attrs : (string * value) list;
+}
+
+type sink = { on_span : span -> unit; on_event : event -> unit }
+
+type t = {
+  enabled : bool;
+  sink : sink;
+  io : Io_stats.t;
+  mutable depth : int;
+}
+
+let null_sink = { on_span = ignore; on_event = ignore }
+let noop = { enabled = false; sink = null_sink; io = Io_stats.create (); depth = 0 }
+
+let create ?stats sink =
+  let io = match stats with Some s -> s | None -> Io_stats.create () in
+  { enabled = true; sink; io; depth = 0 }
+
+let tee a b =
+  {
+    on_span =
+      (fun s ->
+        a.on_span s;
+        b.on_span s);
+    on_event =
+      (fun e ->
+        a.on_event e;
+        b.on_event e);
+  }
+
+let enabled t = t.enabled
+let stats t = t.io
+let now_ns () = Monotonic_clock.now ()
+
+let no_attrs () = []
+
+let with_span t ?(attrs = no_attrs) name f =
+  if not t.enabled then f ()
+  else begin
+    let depth = t.depth in
+    t.depth <- depth + 1;
+    let before = Io_stats.snapshot t.io in
+    let start_ns = now_ns () in
+    let finish () =
+      let dur_ns = Int64.sub (now_ns ()) start_ns in
+      t.depth <- depth;
+      let io = Io_stats.diff (Io_stats.snapshot t.io) before in
+      t.sink.on_span { name; start_ns; dur_ns; depth; io; attrs = attrs () }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let event t ?(attrs = []) name =
+  if t.enabled then
+    t.sink.on_event { ev_name = name; ev_ns = now_ns (); ev_attrs = attrs }
+
+(* --- In-memory ring buffer -------------------------------------------------- *)
+
+module Memory = struct
+  type buffer = {
+    cap : int;
+    mutable ring : span array;  (* slot [i mod cap] holds span number [i] *)
+    mutable n : int;
+    mutable ev_ring : event array;
+    mutable ev_n : int;
+  }
+
+  let create ?(capacity = 65536) () =
+    if capacity < 1 then invalid_arg "Tracer.Memory.create: capacity < 1";
+    { cap = capacity; ring = [||]; n = 0; ev_ring = [||]; ev_n = 0 }
+
+  let push b s =
+    if Array.length b.ring = 0 then b.ring <- Array.make b.cap s;
+    b.ring.(b.n mod b.cap) <- s;
+    b.n <- b.n + 1
+
+  let push_event b e =
+    if Array.length b.ev_ring = 0 then b.ev_ring <- Array.make b.cap e;
+    b.ev_ring.(b.ev_n mod b.cap) <- e;
+    b.ev_n <- b.ev_n + 1
+
+  let sink b = { on_span = push b; on_event = push_event b }
+
+  let oldest_first ring n cap =
+    if n = 0 then []
+    else
+      let retained = min n cap in
+      List.init retained (fun i -> ring.((n - retained + i) mod cap))
+
+  let spans b = oldest_first b.ring b.n b.cap
+  let events b = oldest_first b.ev_ring b.ev_n b.cap
+  let span_count b = b.n
+  let dropped b = max 0 (b.n - b.cap)
+
+  let clear b =
+    b.n <- 0;
+    b.ev_n <- 0;
+    b.ring <- [||];
+    b.ev_ring <- [||]
+end
+
+(* --- JSON rendering --------------------------------------------------------- *)
+
+let json_of_value : value -> Json.t = function
+  | Int i -> Json.Int i
+  | Float x -> Json.Float x
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let json_of_attrs attrs = Json.Obj (List.map (fun (k, v) -> (k, json_of_value v)) attrs)
+
+(* The five core counters always, the integrity/robustness ones only when
+   nonzero — same policy as [Io_stats.pp]. *)
+let json_of_io (io : Io_stats.snapshot) =
+  let opt name v rest = if v = 0 then rest else (name, Json.Int v) :: rest in
+  Json.Obj
+    (("reads", Json.Int io.reads)
+    :: ("writes", Json.Int io.writes)
+    :: ("allocs", Json.Int io.allocs)
+    :: ("frees", Json.Int io.frees)
+    :: ("syncs", Json.Int io.syncs)
+    :: opt "crc_failures" io.crc_failures
+         (opt "scrubbed" io.scrubbed
+            (opt "repaired" io.repaired
+               (opt "errors_injected" io.errors_injected
+                  (opt "retries" io.retries
+                     (opt "read_only_transitions" io.read_only_transitions []))))))
+
+let span_to_json (s : span) =
+  Json.Obj
+    [
+      ("type", Json.Str "span");
+      ("name", Json.Str s.name);
+      ("start_ns", Json.Int (Int64.to_int s.start_ns));
+      ("dur_ns", Json.Int (Int64.to_int s.dur_ns));
+      ("depth", Json.Int s.depth);
+      ("io", json_of_io s.io);
+      ("attrs", json_of_attrs s.attrs);
+    ]
+
+let event_to_json (e : event) =
+  Json.Obj
+    [
+      ("type", Json.Str "event");
+      ("name", Json.Str e.ev_name);
+      ("at_ns", Json.Int (Int64.to_int e.ev_ns));
+      ("attrs", json_of_attrs e.ev_attrs);
+    ]
+
+let jsonl_sink emit =
+  {
+    on_span = (fun s -> emit (Json.to_string (span_to_json s)));
+    on_event = (fun e -> emit (Json.to_string (event_to_json e)));
+  }
+
+(* --- Chrome trace_event format --------------------------------------------- *)
+
+let us_of_ns ns = Int64.to_float ns /. 1000.
+
+let chrome_span (s : span) =
+  let args =
+    ("io", json_of_io s.io)
+    :: List.map (fun (k, v) -> (k, json_of_value v)) s.attrs
+  in
+  Json.Obj
+    [
+      ("name", Json.Str s.name);
+      ("cat", Json.Str "mvsbt");
+      ("ph", Json.Str "X");
+      ("ts", Json.Float (us_of_ns s.start_ns));
+      ("dur", Json.Float (us_of_ns s.dur_ns));
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", Json.Obj args);
+    ]
+
+let chrome_event (e : event) =
+  Json.Obj
+    [
+      ("name", Json.Str e.ev_name);
+      ("cat", Json.Str "mvsbt");
+      ("ph", Json.Str "i");
+      ("ts", Json.Float (us_of_ns e.ev_ns));
+      ("s", Json.Str "t");
+      ("pid", Json.Int 1);
+      ("tid", Json.Int 1);
+      ("args", json_of_attrs e.ev_attrs);
+    ]
+
+let chrome_trace ?(events = []) spans =
+  let tagged =
+    List.map (fun s -> (s.start_ns, chrome_span s)) spans
+    @ List.map (fun e -> (e.ev_ns, chrome_event e)) events
+  in
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Int64.compare a b) tagged in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (List.map snd sorted));
+      ("displayTimeUnit", Json.Str "ns");
+    ]

@@ -1,0 +1,109 @@
+(** Tracing spans with monotonic-clock durations and per-span I/O deltas.
+
+    A {e span} covers one operation (an insert, a point query, a WAL
+    append, a VFS syscall…); spans nest, and each carries the wall time it
+    took (monotonic clock, nanoseconds) and the {!Io_stats} delta incurred
+    while it was open — so a query span reports exactly the page reads it
+    caused.  {e Events} are instantaneous marks (a health transition, a
+    page split).
+
+    Completed spans and events are pushed into a pluggable {!sink}: the
+    null sink, an in-memory ring buffer ({!Memory}), a streaming JSONL
+    writer ({!jsonl_sink}), or post-hoc Chrome [trace_event] rendering
+    ({!chrome_trace}) loadable in [about://tracing] / Perfetto.
+
+    {2 Zero cost when disabled}
+
+    The {!noop} tracer has [enabled = false]; every instrumentation site
+    goes through {!with_span}/{!event}, which check that flag first — a
+    disabled hot path pays a single branch, no clock read, no snapshot,
+    no allocation ([attrs] is a thunk for exactly that reason). *)
+
+type value = Int of int | Float of float | Str of string | Bool of bool
+
+type span = {
+  name : string;
+  start_ns : int64;  (** Monotonic clock at span open. *)
+  dur_ns : int64;
+  depth : int;  (** Nesting depth at open; 0 = top level. *)
+  io : Io_stats.snapshot;  (** I/O charged while the span was open. *)
+  attrs : (string * value) list;
+}
+
+type event = {
+  ev_name : string;
+  ev_ns : int64;
+  ev_attrs : (string * value) list;
+}
+
+type sink = { on_span : span -> unit; on_event : event -> unit }
+
+type t
+
+val noop : t
+(** The disabled tracer: {!with_span} runs its thunk directly, {!event}
+    does nothing.  This is the default everywhere instrumentation was
+    threaded through the stack. *)
+
+val null_sink : sink
+(** Accepts and discards everything (an {e enabled} tracer with this sink
+    still pays for clock reads and snapshots — use {!noop} to disable). *)
+
+val create : ?stats:Io_stats.t -> sink -> t
+(** An enabled tracer.  [stats] is the counter set whose deltas spans
+    carry; pass the same [Io_stats.t] the instrumented stores charge, or
+    omit it to trace durations only. *)
+
+val tee : sink -> sink -> sink
+(** Duplicate spans and events into both sinks, first argument first. *)
+
+val enabled : t -> bool
+val stats : t -> Io_stats.t
+
+val now_ns : unit -> int64
+(** The monotonic clock spans are stamped with. *)
+
+val with_span : t -> ?attrs:(unit -> (string * value) list) -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] runs [f] inside a span named [name].  The span
+    is emitted when [f] returns {e or raises} (the exception is
+    re-raised).  [attrs] is evaluated only when the tracer is enabled,
+    after [f] completes. *)
+
+val event : t -> ?attrs:(string * value) list -> string -> unit
+
+(** In-memory ring buffer of the most recent spans and events. *)
+module Memory : sig
+  type buffer
+
+  val create : ?capacity:int -> unit -> buffer
+  (** [capacity] (default 65536) bounds spans and events independently;
+      older entries are overwritten. *)
+
+  val sink : buffer -> sink
+
+  val spans : buffer -> span list
+  (** Retained spans, oldest first. *)
+
+  val events : buffer -> event list
+
+  val span_count : buffer -> int
+  (** Total spans ever pushed (retained or not). *)
+
+  val dropped : buffer -> int
+  (** [span_count - retained]. *)
+
+  val clear : buffer -> unit
+end
+
+val span_to_json : span -> Json.t
+val event_to_json : event -> Json.t
+
+val jsonl_sink : (string -> unit) -> sink
+(** Streams each completed span/event as one compact JSON line (without
+    the newline) through the given emit function. *)
+
+val chrome_trace : ?events:event list -> span list -> Json.t
+(** Render to the Chrome [trace_event] JSON format (complete ["ph":"X"]
+    events plus instants), loadable in [about://tracing] or
+    [https://ui.perfetto.dev].  Timestamps are microseconds from the
+    monotonic clock's arbitrary origin. *)

@@ -84,6 +84,7 @@ type t = {
   path : string; (* for error context only *)
   pol : sync_policy;
   st : Stats.t;
+  tel : Telemetry.Tracer.t;
   mutable appended : bool; (* replay is only legal before the first append *)
   mutable unsynced : int; (* appends since the last fsync (group commit) *)
   mutable closed : bool;
@@ -109,13 +110,14 @@ let header_valid file =
     got = header_bytes && Bytes.equal buf (header_buf ())
   end
 
-let open_log ?(policy = Every_n 32) ?(stats = Stats.create ()) ?(path = "<wal>") file =
+let open_log ?(policy = Every_n 32) ?(stats = Stats.create ())
+    ?(telemetry = Telemetry.Tracer.noop) ?(path = "<wal>") file =
   (match policy with
   | Every_n n when n < 1 -> invalid_arg "Wal.open_log: Every_n needs n >= 1"
   | _ -> ());
   let t =
-    { file; path; pol = policy; st = stats; appended = false; unsynced = 0;
-      closed = false; broken = false }
+    { file; path; pol = policy; st = stats; tel = telemetry; appended = false;
+      unsynced = 0; closed = false; broken = false }
   in
   if file.f_size () = 0 then file.f_append (header_buf ()) 0 header_bytes
   else if not (header_valid file) then begin
@@ -127,13 +129,15 @@ let open_log ?(policy = Every_n 32) ?(stats = Stats.create ()) ?(path = "<wal>")
   end;
   t
 
-let open_path ?policy ?stats path = open_log ?policy ?stats ~path (os_file ~path)
+let open_path ?policy ?stats ?telemetry path =
+  open_log ?policy ?stats ?telemetry ~path (os_file ~path)
 
 let check_open t = if t.closed then invalid_arg "Wal: log is closed"
 
 let replay t f =
   check_open t;
   if t.appended then invalid_arg "Wal.replay: records were already appended";
+  Telemetry.Tracer.with_span t.tel "wal.replay" @@ fun () ->
   let size = t.file.f_size () in
   let hdr = Bytes.create frame_header_bytes in
   let count = ref 0 in
@@ -172,19 +176,17 @@ let replay t f =
   end;
   !count
 
+let do_sync t =
+  Telemetry.Tracer.with_span t.tel "wal.sync" @@ fun () ->
+  t.file.f_sync ();
+  t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
+  t.unsynced <- 0
+
 let maybe_sync t =
   match t.pol with
   | Never -> ()
-  | Always ->
-      t.file.f_sync ();
-      t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
-      t.unsynced <- 0
-  | Every_n n ->
-      if t.unsynced >= n then begin
-        t.file.f_sync ();
-        t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
-        t.unsynced <- 0
-      end
+  | Always -> do_sync t
+  | Every_n n -> if t.unsynced >= n then do_sync t
 
 let append t ?(pos = 0) ?len buf =
   check_open t;
@@ -194,6 +196,9 @@ let append t ?(pos = 0) ?len buf =
   if pos < 0 || pos + len > Bytes.length buf then invalid_arg "Wal.append: range outside buffer";
   if t.broken then Error (E.v ~op:E.Append ~path:t.path E.Wal_poisoned)
   else begin
+    Telemetry.Tracer.with_span t.tel "wal.append"
+      ~attrs:(fun () -> [ ("bytes", Telemetry.Tracer.Int (frame_header_bytes + len)) ])
+    @@ fun () ->
     let frame = Bytes.create (frame_header_bytes + len) in
     Bytes.set_int32_le frame 0 (Int32.of_int len);
     Bytes.set_int32_le frame 4 (Int32.of_int (Storage.Codec.crc32 buf ~pos ~len));
@@ -232,14 +237,12 @@ let append t ?(pos = 0) ?len buf =
 
 let sync t =
   check_open t;
-  E.protect (fun () ->
-      t.file.f_sync ();
-      t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;
-      t.unsynced <- 0)
+  E.protect (fun () -> do_sync t)
 
 let truncate t =
   check_open t;
   E.protect (fun () ->
+      Telemetry.Tracer.with_span t.tel "wal.truncate" @@ fun () ->
       t.file.f_truncate header_bytes;
       t.file.f_sync ();
       t.st.Stats.n_fsyncs <- t.st.Stats.n_fsyncs + 1;

@@ -118,16 +118,25 @@ end
 
 type t
 
-val open_log : ?policy:sync_policy -> ?stats:Stats.t -> ?path:string -> file -> t
+val open_log :
+  ?policy:sync_policy ->
+  ?stats:Stats.t ->
+  ?telemetry:Telemetry.Tracer.t ->
+  ?path:string ->
+  file ->
+  t
 (** Open a log over [file].  An empty file gets a fresh header; a valid
     header is accepted in place (the tail is then available to
     {!replay}); a torn or foreign header resets the log to empty — a
     garbage log recovers as a clean empty one, by design.  [policy]
     defaults to [Every_n 32].  [path] is used only as context in typed
-    errors.
+    errors.  [telemetry] (default {!Telemetry.Tracer.noop}) receives a
+    span per {!append} (with the framed byte count), fsync ([wal.sync] —
+    explicit or group commit), {!replay} and {!truncate}.
     @raise Storage.Storage_error.Io if (re)writing the header fails. *)
 
-val open_path : ?policy:sync_policy -> ?stats:Stats.t -> string -> t
+val open_path :
+  ?policy:sync_policy -> ?stats:Stats.t -> ?telemetry:Telemetry.Tracer.t -> string -> t
 (** [open_log] over [os_file]. *)
 
 val replay : t -> (Storage.Codec.Reader.t -> unit) -> int

@@ -123,6 +123,60 @@ let test_avg_and_bad_args () =
     (try ignore (Rta_report.time_series rta ~klo:0 ~khi:20 ~tlo:0 ~thi:3 ~buckets:10); false
      with Invalid_argument _ -> true)
 
+let test_remainder_absorption () =
+  let rta, _, _ = build ~n:60 ~max_key:30 ~seed:6 in
+  (* Slices differ in length by at most one, and the leading buckets
+     absorb the remainder: 23 units over 5 buckets is 5,5,5,4,4. *)
+  let check_sizes ~lo ~hi ~n ivs =
+    let len = hi - lo in
+    let base = len / n and extra = len mod n in
+    List.iteri
+      (fun i iv ->
+        Alcotest.(check int)
+          (Printf.sprintf "bucket %d size" i)
+          (base + if i < extra then 1 else 0)
+          Interval.(iv.hi - iv.lo))
+      ivs
+  in
+  let series = Rta_report.time_series rta ~klo:0 ~khi:30 ~tlo:2 ~thi:25 ~buckets:5 in
+  let ivs = List.map (fun b -> b.Rta_report.interval) series in
+  check_partition ~lo:2 ~hi:25 ivs;
+  check_sizes ~lo:2 ~hi:25 ~n:5 ivs;
+  let hist = Rta_report.key_histogram rta ~klo:1 ~khi:30 ~tlo:0 ~thi:20 ~buckets:4 in
+  let ranges = List.map (fun b -> b.Rta_report.range) hist in
+  check_partition ~lo:1 ~hi:30 ranges;
+  check_sizes ~lo:1 ~hi:30 ~n:4 ranges;
+  (* Degenerate but legal: window length equals the bucket count, so every
+     slice is a single unit. *)
+  let tight = Rta_report.time_series rta ~klo:0 ~khi:30 ~tlo:3 ~thi:11 ~buckets:8 in
+  Alcotest.(check int) "unit buckets" 8 (List.length tight);
+  List.iter
+    (fun (b : Rta_report.bucket) ->
+      Alcotest.(check int) "unit bucket size" 1
+        Interval.(b.interval.hi - b.interval.lo))
+    tight
+
+let test_invalid_argument_edges () =
+  let rta, _, horizon = build ~n:40 ~max_key:16 ~seed:7 in
+  let raises f = try ignore (f ()); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "key_histogram zero buckets" true
+    (raises (fun () ->
+         Rta_report.key_histogram rta ~klo:0 ~khi:16 ~tlo:0 ~thi:horizon ~buckets:0));
+  Alcotest.(check bool) "key range smaller than buckets" true
+    (raises (fun () ->
+         Rta_report.key_histogram rta ~klo:0 ~khi:4 ~tlo:0 ~thi:horizon ~buckets:5));
+  Alcotest.(check bool) "empty time window" true
+    (raises (fun () ->
+         Rta_report.time_series rta ~klo:0 ~khi:16 ~tlo:5 ~thi:5 ~buckets:1));
+  Alcotest.(check bool) "heatmap zero key buckets" true
+    (raises (fun () ->
+         Rta_report.heatmap rta ~klo:0 ~khi:16 ~tlo:0 ~thi:horizon ~key_buckets:0
+           ~time_buckets:2));
+  Alcotest.(check bool) "heatmap time window too small" true
+    (raises (fun () ->
+         Rta_report.heatmap rta ~klo:0 ~khi:16 ~tlo:0 ~thi:2 ~key_buckets:2
+           ~time_buckets:5))
+
 let test_pp_series_renders () =
   let rta, _, horizon = build ~n:100 ~max_key:20 ~seed:5 in
   let series = Rta_report.time_series rta ~klo:0 ~khi:20 ~tlo:0 ~thi:horizon ~buckets:4 in
@@ -139,6 +193,8 @@ let () =
           Alcotest.test_case "key histogram" `Quick test_key_histogram;
           Alcotest.test_case "heatmap" `Quick test_heatmap_totals;
           Alcotest.test_case "avg + validation" `Quick test_avg_and_bad_args;
+          Alcotest.test_case "remainder absorption" `Quick test_remainder_absorption;
+          Alcotest.test_case "invalid-argument edges" `Quick test_invalid_argument_edges;
           Alcotest.test_case "ascii rendering" `Quick test_pp_series_renders;
         ] );
     ]

@@ -1,0 +1,338 @@
+(* Tests for the telemetry subsystem: tracer spans (nesting, ring buffer,
+   exception safety, I/O deltas), the metrics registry (log-scale
+   quantiles, the exact zero class, exporters), the bound checker, the
+   hand-rolled JSON codec, and the Io_stats add/diff algebra. *)
+
+module Tracer = Telemetry.Tracer
+module Metrics = Telemetry.Metrics
+module Bound_check = Telemetry.Bound_check
+module Json = Telemetry.Json
+module Io = Telemetry.Io_stats
+
+(* --- Tracer ----------------------------------------------------------------- *)
+
+let test_span_nesting () =
+  let buf = Tracer.Memory.create () in
+  let t = Tracer.create (Tracer.Memory.sink buf) in
+  let r =
+    Tracer.with_span t "outer" (fun () ->
+        Tracer.with_span t "inner" (fun () -> 21) * 2)
+  in
+  Alcotest.(check int) "thunk result" 42 r;
+  match Tracer.Memory.spans buf with
+  | [ inner; outer ] ->
+      (* Spans are emitted on close, so the inner one lands first. *)
+      Alcotest.(check string) "inner name" "inner" inner.Tracer.name;
+      Alcotest.(check string) "outer name" "outer" outer.Tracer.name;
+      Alcotest.(check int) "inner depth" 1 inner.Tracer.depth;
+      Alcotest.(check int) "outer depth" 0 outer.Tracer.depth;
+      Alcotest.(check bool) "inner within outer" true
+        (Int64.compare inner.Tracer.dur_ns outer.Tracer.dur_ns <= 0)
+  | spans -> Alcotest.failf "expected 2 spans, got %d" (List.length spans)
+
+let test_span_exception_safety () =
+  let buf = Tracer.Memory.create () in
+  let t = Tracer.create (Tracer.Memory.sink buf) in
+  let raised =
+    try Tracer.with_span t "boom" (fun () -> failwith "kaput")
+    with Failure _ -> true
+  in
+  Alcotest.(check bool) "exception propagates" true raised;
+  Alcotest.(check int) "span still emitted" 1
+    (List.length (Tracer.Memory.spans buf));
+  (* Depth must be restored: the next span is top-level again. *)
+  Tracer.with_span t "after" (fun () -> ());
+  let after = List.nth (Tracer.Memory.spans buf) 1 in
+  Alcotest.(check int) "depth restored after raise" 0 after.Tracer.depth
+
+let test_noop_tracer () =
+  Alcotest.(check bool) "noop disabled" false (Tracer.enabled Tracer.noop);
+  let ran = ref false in
+  let r = Tracer.with_span Tracer.noop "x" (fun () -> ran := true; 7) in
+  Alcotest.(check bool) "thunk ran" true !ran;
+  Alcotest.(check int) "result through" 7 r;
+  Tracer.event Tracer.noop "nothing happens"
+
+let test_ring_buffer_overwrite () =
+  let buf = Tracer.Memory.create ~capacity:4 () in
+  let t = Tracer.create (Tracer.Memory.sink buf) in
+  for i = 1 to 10 do
+    Tracer.with_span t (Printf.sprintf "s%d" i) (fun () -> ())
+  done;
+  Alcotest.(check int) "span_count" 10 (Tracer.Memory.span_count buf);
+  Alcotest.(check int) "dropped" 6 (Tracer.Memory.dropped buf);
+  Alcotest.(check (list string)) "newest retained, oldest first"
+    [ "s7"; "s8"; "s9"; "s10" ]
+    (List.map (fun (s : Tracer.span) -> s.Tracer.name) (Tracer.Memory.spans buf))
+
+let test_span_io_delta () =
+  let stats = Io.create () in
+  let buf = Tracer.Memory.create () in
+  let t = Tracer.create ~stats (Tracer.Memory.sink buf) in
+  Io.record_read stats;
+  (* charged before the span opens: must not leak in *)
+  Tracer.with_span t "io" (fun () ->
+      Io.record_read stats;
+      Io.record_read stats;
+      Io.record_write stats;
+      Io.record_free stats);
+  let span = List.hd (Tracer.Memory.spans buf) in
+  Alcotest.(check int) "reads delta" 2 span.Tracer.io.Io.reads;
+  Alcotest.(check int) "writes delta" 1 span.Tracer.io.Io.writes;
+  Alcotest.(check int) "frees delta" 1 span.Tracer.io.Io.frees;
+  Alcotest.(check int) "total io includes frees" 4
+    (Io.snapshot_total_io span.Tracer.io)
+
+let test_events_and_attrs () =
+  let buf = Tracer.Memory.create () in
+  let t = Tracer.create (Tracer.Memory.sink buf) in
+  Tracer.event t "health" ~attrs:[ ("to", Tracer.Str "read-only") ];
+  let evaluated = ref false in
+  Tracer.with_span t "q"
+    ~attrs:(fun () ->
+      evaluated := true;
+      [ ("key", Tracer.Int 3) ])
+    (fun () -> ());
+  Alcotest.(check bool) "attrs thunk evaluated when enabled" true !evaluated;
+  (match Tracer.Memory.events buf with
+  | [ ev ] ->
+      Alcotest.(check string) "event name" "health" ev.Tracer.ev_name;
+      Alcotest.(check int) "event attrs" 1 (List.length ev.Tracer.ev_attrs)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  let lazy_ran = ref false in
+  ignore
+    (Tracer.with_span Tracer.noop "q"
+       ~attrs:(fun () ->
+         lazy_ran := true;
+         [])
+       (fun () -> 0));
+  Alcotest.(check bool) "attrs thunk NOT evaluated when disabled" false !lazy_ran
+
+(* --- Metrics ----------------------------------------------------------------- *)
+
+let test_counters_and_gauges () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "ops_total" in
+  Metrics.inc c;
+  Metrics.inc ~by:4 c;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  let c' = Metrics.counter reg "ops_total" in
+  Metrics.inc c';
+  Alcotest.(check int) "same name, same counter" 6 (Metrics.counter_value c);
+  let g = Metrics.gauge reg "health" in
+  Metrics.set_gauge g 2.;
+  Alcotest.(check (float 0.)) "gauge" 2. (Metrics.gauge_value g);
+  Alcotest.(check bool) "kind clash rejected" true
+    (try ignore (Metrics.gauge reg "ops_total"); false
+     with Invalid_argument _ -> true)
+
+let test_histogram_quantiles () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "lat" in
+  for v = 1 to 1000 do
+    Metrics.observe h (float_of_int v)
+  done;
+  Alcotest.(check int) "count" 1000 (Metrics.hist_count h);
+  Alcotest.(check (float 0.)) "max exact" 1000. (Metrics.hist_max h);
+  Alcotest.(check (float 0.)) "min exact" 1. (Metrics.hist_min h);
+  (* Buckets are half-powers of two: quantiles within ~41% above truth. *)
+  List.iter
+    (fun (q, truth) ->
+      let est = Metrics.quantile h q in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f in [truth, 1.42*truth]" (q *. 100.))
+        true
+        (est >= truth && est <= 1.42 *. truth))
+    [ (0.5, 500.); (0.95, 950.); (0.99, 990.) ];
+  Alcotest.(check (float 0.)) "p100 clamps to max" 1000. (Metrics.quantile h 1.)
+
+let test_histogram_zero_class () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg "io" in
+  for _ = 1 to 97 do Metrics.observe h 0. done;
+  Metrics.observe h 6.;
+  Metrics.observe h 6.;
+  Metrics.observe h 6.;
+  Alcotest.(check (float 0.)) "p50 of mostly-zero histogram" 0.
+    (Metrics.quantile h 0.5);
+  Alcotest.(check (float 0.)) "p95 still zero" 0. (Metrics.quantile h 0.95);
+  Alcotest.(check bool) "p99 reaches the nonzero tail" true
+    (Metrics.quantile h 0.99 > 0.);
+  Alcotest.(check (float 0.)) "max" 6. (Metrics.hist_max h)
+
+let test_exporters () =
+  let reg = Metrics.create () in
+  Metrics.inc ~by:3 (Metrics.counter reg ~help:"how many" "n_total");
+  Metrics.set_gauge (Metrics.gauge reg "temp") 1.5;
+  let h = Metrics.histogram reg "lat.ns" in
+  Metrics.observe h 100.;
+  let prom = Metrics.to_prometheus reg in
+  let contains haystack needle =
+    let nh = String.length haystack and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "prometheus has %S" needle) true
+        (contains prom needle))
+    [ "# TYPE n_total counter"; "n_total 3"; "temp 1.5";
+      "lat_ns{quantile=\"0.5\"}"; "lat_ns_count 1"; "# HELP n_total how many" ];
+  (* The JSON export must survive a print/parse round trip. *)
+  match Json.of_string (Json.to_string (Metrics.to_json reg)) with
+  | Error e -> Alcotest.failf "metrics JSON does not re-parse: %s" e
+  | Ok j -> (
+      match Json.member "counters" j with
+      | Some (Json.Obj kvs) ->
+          Alcotest.(check bool) "counter in JSON" true
+            (List.mem_assoc "n_total" kvs)
+      | _ -> Alcotest.fail "no counters object")
+
+let test_observe_spans () =
+  let buf = Tracer.Memory.create () in
+  let stats = Io.create () in
+  let t = Tracer.create ~stats (Tracer.Memory.sink buf) in
+  Tracer.with_span t "rta.insert" (fun () -> Io.record_read stats);
+  Tracer.with_span t "rta.insert" (fun () -> ());
+  let reg = Metrics.create () in
+  Metrics.observe_spans reg (Tracer.Memory.spans buf);
+  Alcotest.(check int) "span counter" 2
+    (Metrics.counter_value (Metrics.counter reg "span_rta_insert_total"));
+  let pages = Metrics.histogram reg "span_rta_insert_io_pages" in
+  Alcotest.(check int) "io histogram count" 2 (Metrics.hist_count pages);
+  Alcotest.(check (float 0.)) "io histogram max" 1. (Metrics.hist_max pages)
+
+(* --- Bound checker ------------------------------------------------------------ *)
+
+let test_bound_check_clean_and_violation () =
+  let bc = Bound_check.create ~slack:2.0 ~b:16 () in
+  (* envelope(insert, 256) = 2 * (1 + log_16 256) = 6: 5 touches pass. *)
+  Bound_check.record bc ~op:Bound_check.Insert ~scale:256 ~touches:5;
+  let r = Bound_check.report bc in
+  Alcotest.(check bool) "clean" true (Bound_check.clean r);
+  Alcotest.(check int) "checked" 1 r.Bound_check.checked;
+  Bound_check.record bc ~op:Bound_check.Insert ~scale:256 ~touches:100;
+  let r = Bound_check.report bc in
+  Alcotest.(check bool) "violation detected" false (Bound_check.clean r);
+  Alcotest.(check int) "one violation" 1 r.Bound_check.total_violations;
+  Alcotest.(check bool) "max_ratio > 1" true (r.Bound_check.max_ratio > 1.);
+  (match r.Bound_check.worst with
+  | worst :: _ ->
+      Alcotest.(check int) "worst offender touches" 100 worst.Bound_check.o_touches;
+      Alcotest.(check int) "worst offender seq" 1 worst.Bound_check.o_seq
+  | [] -> Alcotest.fail "no worst offender recorded");
+  match Json.of_string (Json.to_string (Bound_check.report_to_json r)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "report JSON does not re-parse: %s" e
+
+let test_bound_check_ops_factor () =
+  let bc = Bound_check.create ~slack:1.0 ~b:8 () in
+  let env op = Bound_check.envelope bc ~op ~scale:4096 in
+  Alcotest.(check (float 1e-9)) "range query = 6 point queries"
+    (6. *. env Bound_check.Point_query)
+    (env Bound_check.Range_query);
+  Alcotest.(check (float 1e-9)) "delete = 2 insertions"
+    (2. *. env Bound_check.Insert)
+    (env Bound_check.Delete);
+  Alcotest.(check bool) "b < 2 rejected" true
+    (try ignore (Bound_check.create ~b:1 ()); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "slack <= 0 rejected" true
+    (try ignore (Bound_check.create ~slack:0. ~b:16 ()); false
+     with Invalid_argument _ -> true)
+
+(* --- JSON codec ---------------------------------------------------------------- *)
+
+let test_json_round_trip () =
+  let doc =
+    Json.Obj
+      [
+        ("s", Json.Str "quotes \" backslash \\ newline \n tab \t unicode \xc3\xa9");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.Str "x"; Json.Obj [] ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string doc) with
+  | Ok doc' -> Alcotest.(check bool) "round trip" true (doc = doc')
+  | Error e -> Alcotest.failf "round trip parse failed: %s" e);
+  List.iter
+    (fun bad ->
+      match Json.of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed JSON %S" bad
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* --- Io_stats algebra ----------------------------------------------------------- *)
+
+let test_io_stats_algebra () =
+  let mk () =
+    let s = Io.create () in
+    Io.record_read s;
+    Io.record_read s;
+    Io.record_write s;
+    Io.record_free s;
+    Io.record_sync s;
+    Io.snapshot s
+  in
+  let a = mk () in
+  let b = Io.snapshot (Io.create ()) in
+  Alcotest.(check bool) "zero is identity" true (Io.add a Io.zero = a);
+  Alcotest.(check bool) "diff (add a b) b = a" true (Io.diff (Io.add a b) b = a);
+  Alcotest.(check bool) "diff a a = zero" true (Io.diff a a = Io.zero);
+  Alcotest.(check int) "total_io counts frees, not syncs" 4
+    (Io.snapshot_total_io a)
+
+(* --- Page-touch accounting through the engine ------------------------------------ *)
+
+let test_rta_page_touches () =
+  let rta = Rta.create ~max_key:256 () in
+  for i = 1 to 200 do
+    Rta.insert rta ~key:(i - 1) ~value:1 ~at:i
+  done;
+  let before = Rta.page_touches rta in
+  Alcotest.(check bool) "touches accumulate during build" true (before > 0);
+  ignore (Rta.sum_count rta ~klo:10 ~khi:60 ~tlo:20 ~thi:150);
+  let per_query = Rta.page_touches rta - before in
+  Alcotest.(check bool) "a query touches pages" true (per_query > 0);
+  (* Theorem 1: six point queries, each a root-to-leaf pass. *)
+  let height = max 1 (Rta.height rta) in
+  Alcotest.(check bool) "per-query touches bounded by 6 passes" true
+    (per_query <= 6 * (height + 1));
+  Alcotest.(check bool) "height positive" true (Rta.height rta >= 1)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "tracer",
+        [
+          Alcotest.test_case "span nesting" `Quick test_span_nesting;
+          Alcotest.test_case "exception safety" `Quick test_span_exception_safety;
+          Alcotest.test_case "noop tracer" `Quick test_noop_tracer;
+          Alcotest.test_case "ring buffer overwrite" `Quick test_ring_buffer_overwrite;
+          Alcotest.test_case "span io delta" `Quick test_span_io_delta;
+          Alcotest.test_case "events and attrs" `Quick test_events_and_attrs;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "histogram zero class" `Quick test_histogram_zero_class;
+          Alcotest.test_case "exporters" `Quick test_exporters;
+          Alcotest.test_case "observe spans" `Quick test_observe_spans;
+        ] );
+      ( "bound check",
+        [
+          Alcotest.test_case "clean and violation" `Quick
+            test_bound_check_clean_and_violation;
+          Alcotest.test_case "ops factor" `Quick test_bound_check_ops_factor;
+        ] );
+      ( "json",
+        [ Alcotest.test_case "round trip + malformed" `Quick test_json_round_trip ] );
+      ( "io stats",
+        [ Alcotest.test_case "add/diff algebra" `Quick test_io_stats_algebra ] );
+      ( "engine",
+        [ Alcotest.test_case "rta page touches" `Quick test_rta_page_touches ] );
+    ]
