@@ -473,6 +473,130 @@ let wal_overhead () =
   Printf.printf "  group commit within 5x of in-memory: %b\n" !budget_ok;
   if not !budget_ok then Printf.printf "!! WAL group commit exceeded the 5x overhead budget\n"
 
+(* --- Group commit over the wire ----------------------------------------------------- *)
+
+(* Wall clock again: the quantity under study is fsync amortisation.  Each
+   configuration forks a real server process on a Unix socket and drives
+   it with the blocking client in a closed loop (pipeline window matched
+   to the batch size), so the numbers include the full wire round trip.
+   The baseline is the classic per-request contract: engine under
+   [Wal.Always], batch size 1 — one fsync before every ack. *)
+let group_commit () =
+  header "Group commit: req/s over the socket vs per-request fsync";
+  let evs = Lazy.force events in
+  let cap = min (List.length evs) (if smoke then 800 else 4_000) in
+  (* One fsync per request is slow by design; cap the baseline so the
+     suite stays fast while the per-request cost is measured honestly. *)
+  let always_cap = min cap (if smoke then 300 else 1_000) in
+  let with_tmp_dir f =
+    let dir = Filename.temp_file "mvsbt_net" ".bench" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+        Unix.rmdir dir)
+      (fun () -> f dir)
+  in
+  let connect_retry sock =
+    let rec go n =
+      match Client.connect_unix ~path:sock with
+      | cli -> cli
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 100 ->
+          Unix.sleepf 0.05;
+          go (n + 1)
+    in
+    go 0
+  in
+  let drive cli ~window ~cap =
+    let outstanding = ref 0 and acked = ref 0 in
+    let drain () =
+      decr outstanding;
+      match Client.recv cli with
+      | Wire.Ack -> incr acked
+      | r -> failwith (Format.asprintf "group_commit: unexpected %a" Wire.pp_response r)
+    in
+    let i = ref 0 in
+    List.iter
+      (fun ev ->
+        incr i;
+        if !i <= cap then begin
+          let req =
+            match ev with
+            | Workload.Generator.Insert { key; value; at } -> Wire.Insert { key; value; at }
+            | Workload.Generator.Delete { key; at } -> Wire.Delete { key; at }
+          in
+          while !outstanding >= window do
+            drain ()
+          done;
+          Client.send cli req;
+          incr outstanding
+        end)
+      evs;
+    while !outstanding > 0 do
+      drain ()
+    done;
+    !acked
+  in
+  let run_config ~label ~sync_policy ~max_batch ~window ~cap =
+    with_tmp_dir (fun dir ->
+        let sock = Filename.concat dir "s.sock" in
+        let listen = Server.listen_unix ~path:sock in
+        flush stdout;
+        match Unix.fork () with
+        | 0 ->
+            (* Child: the server owns the engine; [_exit] skips the
+               parent's buffered stdout inherited across the fork. *)
+            let eng =
+              Durable.open_ ~config:mvsbt_config ~sync_policy ~max_key:spec.max_key
+                ~path:(Filename.concat dir "wh") ()
+            in
+            let srv =
+              Server.create
+                ~config:{ Server.default_config with Server.max_batch }
+                ~engine:eng ~listen ()
+            in
+            Server.run srv;
+            Durable.close eng;
+            Unix._exit 0
+        | pid ->
+            Unix.close listen;
+            let cli = connect_retry sock in
+            let t0 = Unix.gettimeofday () in
+            let acked = drive cli ~window ~cap in
+            let wall = Unix.gettimeofday () -. t0 in
+            let syncs =
+              match Client.stats cli with Some s -> s.Wire.wal_syncs | None -> 0
+            in
+            ignore (Client.shutdown cli);
+            Client.close cli;
+            ignore (Unix.waitpid [] pid);
+            assert (acked = cap);
+            let rps = float_of_int cap /. wall in
+            Printf.printf "  %-26s %7d writes %9.3f s %11.0f req/s (%d fsyncs)\n" label cap
+              wall rps syncs;
+            rps)
+  in
+  let base =
+    run_config ~label:"always-fsync, window 1" ~sync_policy:Wal.Always ~max_batch:1
+      ~window:1 ~cap:always_cap
+  in
+  let speedup_64 = ref 0. in
+  List.iter
+    (fun b ->
+      let rps =
+        run_config
+          ~label:(Printf.sprintf "group commit, batch %d" b)
+          ~sync_policy:Wal.Never ~max_batch:b ~window:b ~cap
+      in
+      Printf.printf "  %-26s speedup over always-fsync: %.1fx\n" "" (rps /. base);
+      if b = 64 then speedup_64 := rps /. base)
+    [ 1; 8; 64 ];
+  Printf.printf "  group commit >= 5x over always-fsync at batch 64: %b\n"
+    (!speedup_64 >= 5.);
+  if !speedup_64 < 5. then
+    Printf.printf "!! group commit at batch 64 fell short of the 5x speedup budget\n"
+
 (* --- Retry-wrapper overhead --------------------------------------------------------- *)
 
 (* Every engine file operation runs behind Vfs.with_retry closures whether
@@ -760,6 +884,7 @@ let experiments =
     ("ablation-root-star", ablation_root_star);
     ("scalar-baselines", scalar_baselines);
     ("wal-overhead", wal_overhead);
+    ("group-commit", group_commit);
     ("retry-overhead", retry_overhead);
     ("scrub-overhead", scrub_overhead);
     ("telemetry-overhead", telemetry_overhead);
@@ -769,8 +894,8 @@ let experiments =
 (* The quick subset --smoke runs when no experiment is named explicitly:
    one of each kind (space, queries, durability). *)
 let smoke_experiments =
-  [ "fig4a"; "fig4b"; "wal-overhead"; "retry-overhead"; "scrub-overhead";
-    "telemetry-overhead" ]
+  [ "fig4a"; "fig4b"; "wal-overhead"; "group-commit"; "retry-overhead";
+    "scrub-overhead"; "telemetry-overhead" ]
 
 let () =
   let requested =

@@ -11,7 +11,10 @@
      scrub      — verify per-page checksums, repair from a reference warehouse
      crash-matrix — enumerate post-crash disk images and verify recovery on each
      errsweep   — sweep single I/O-error injections over a trace and verify the
-                  typed-error / read-only degradation contract *)
+                  typed-error / read-only degradation contract
+     serve      — serve the wire protocol over a durable warehouse (event loop,
+                  group commit, admission control)
+     netbench   — closed-loop load generator against a running serve instance *)
 
 let setup_logs verbosity =
   Logs.set_reporter (Logs_fmt.reporter ());
@@ -328,6 +331,7 @@ let build verbosity spec (config, buffer) input snapshot wal sync_policy checkpo
              [ ("mode", Telemetry.Json.Str "build");
                ("updates", Telemetry.Json.Int (Rta.n_updates rta));
                ("pages", Telemetry.Json.Int (Rta.page_count rta));
+               ("health", Telemetry.Json.Str (health_string Durable.Healthy));
                ("build", measurement_json m);
                ("io", io_json (Storage.Io_stats.snapshot stats));
                ("invariants", Telemetry.Json.Str "ok") ])
@@ -653,6 +657,9 @@ let scrub_impl verbosity page_size wal inject seed repair_from demo stats_json =
            ("irreparable", scrub_pages_json report.Rta.irreparable);
            ("clean_after_repair", Telemetry.Json.Bool (Rta.scrub_clean final));
            ("ok", Telemetry.Json.Bool ok);
+           ( "health",
+             Telemetry.Json.Str
+               (health_string (if ok then Durable.Healthy else Durable.Degraded)) );
            ("io", io_json (Storage.Io_stats.snapshot stats)) ])
   else Format.printf "  io: %a@." Storage.Io_stats.pp stats;
   if not ok then exit 1
@@ -1184,6 +1191,246 @@ let profile_cmd =
     Term.(const profile_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
           $ queries_term $ qrs_term $ slack $ worst $ smoke $ trace_out)
 
+(* --- serve / netbench (network query service) ------------------------------------- *)
+
+let socket_term =
+  let doc = "Unix-domain socket path to serve on (or connect to)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~doc ~docv:"PATH")
+
+let port_term =
+  let doc = "TCP port on 127.0.0.1 to serve on (or connect to) instead of a Unix socket." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~doc ~docv:"PORT")
+
+let need_endpoint who =
+  Printf.eprintf "%s: pass --socket PATH or --port PORT\n" who;
+  exit 2
+
+let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
+    max_queue_depth checkpoint_every =
+  setup_logs verbosity;
+  (* Group commit owns the fsync schedule: the engine logs every update
+     under [Wal.Never] and only the batcher's [Durable.sync_wal] — one
+     per batch, before any ack — makes them durable. *)
+  let eng =
+    Durable.open_ ~pool_capacity:buffer ~sync_policy:Wal.Never ~checkpoint_every ~max_key
+      ~path:wal ()
+  in
+  let listen, where =
+    match (socket, port) with
+    | Some path, _ -> (Server.listen_unix ~path, "unix:" ^ path)
+    | None, Some port ->
+        let fd, port = Server.listen_tcp ~port () in
+        (fd, Printf.sprintf "tcp:127.0.0.1:%d" port)
+    | None, None -> need_endpoint "serve"
+  in
+  let config = { Server.default_config with max_batch; max_in_flight; max_queue_depth } in
+  let srv = Server.create ~config ~engine:eng ~listen () in
+  let stop _ = Server.request_shutdown srv in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+  if Durable.replayed_on_open eng > 0 then
+    Printf.printf "recovered %d logged updates\n" (Durable.replayed_on_open eng);
+  Printf.printf "serving %s on %s (batch<=%d, in-flight<=%d, queue<=%d)\n%!" wal where
+    max_batch max_in_flight max_queue_depth;
+  Server.run srv;
+  let s = Server.stats srv in
+  Printf.printf "drained: %d requests, %d group commits covering %d writes, %d shed\n"
+    s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.shed;
+  Format.printf "final health: %a@." Durable.pp_health (Durable.health eng);
+  Durable.close eng
+
+let serve_cmd =
+  let max_batch =
+    let doc = "Writes per group commit (one WAL fsync each)." in
+    Arg.(value & opt int 64 & info [ "max-batch" ] ~doc)
+  in
+  let max_in_flight =
+    let doc = "Admission cap on admitted-but-unanswered requests." in
+    Arg.(value & opt int 1024 & info [ "max-in-flight" ] ~doc)
+  in
+  let max_queue_depth =
+    let doc = "Admission cap on writes queued for the next group commit." in
+    Arg.(value & opt int 256 & info [ "max-queue-depth" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve the wire protocol over a durable warehouse: select event loop, group \
+          commit, admission control; SIGTERM/SIGINT drain and exit 0")
+    Term.(const serve_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
+          $ wal_req_term $ socket_term $ port_term $ max_batch $ max_in_flight
+          $ max_queue_depth $ checkpoint_every_term)
+
+let connect_with_retry ~socket ~port =
+  let try_once () =
+    match (socket, port) with
+    | Some path, _ -> Client.connect_unix ~path
+    | None, Some port -> Client.connect_tcp ~port ()
+    | None, None -> need_endpoint "netbench"
+  in
+  let rec go n =
+    match try_once () with
+    | cli -> cli
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 50 ->
+        (* The server may still be opening its engine; CI starts it in the
+           background and relies on this grace window. *)
+        Unix.sleepf 0.1;
+        go (n + 1)
+  in
+  go 0
+
+let server_stats_json (s : Wire.stats) =
+  Telemetry.Json.Obj
+    [ ("updates", Telemetry.Json.Int s.Wire.updates);
+      ("alive", Telemetry.Json.Int s.Wire.alive);
+      ("pages", Telemetry.Json.Int s.Wire.pages);
+      ("now", Telemetry.Json.Int s.Wire.now);
+      ("health", Telemetry.Json.Str (health_string s.Wire.health));
+      ("queue_depth", Telemetry.Json.Int s.Wire.queue_depth);
+      ("in_flight", Telemetry.Json.Int s.Wire.in_flight);
+      ("conns", Telemetry.Json.Int s.Wire.conns);
+      ("requests", Telemetry.Json.Int s.Wire.requests);
+      ("shed", Telemetry.Json.Int s.Wire.shed);
+      ("batches", Telemetry.Json.Int s.Wire.batches);
+      ("batched_writes", Telemetry.Json.Int s.Wire.batched_writes);
+      ("wal_syncs", Telemetry.Json.Int s.Wire.wal_syncs) ]
+
+let netbench_impl verbosity spec input socket port window queries qrs do_shutdown smoke
+    stats_json =
+  setup_logs verbosity;
+  let spec, queries =
+    if smoke then
+      ( { spec with Workload.Generator.n_records = min spec.Workload.Generator.n_records 400 },
+        min queries 20 )
+    else (spec, queries)
+  in
+  if window < 1 then begin
+    prerr_endline "netbench: --window must be >= 1";
+    exit 2
+  end;
+  (* A trace file is replayed streaming (constant memory): the closed
+     loop below only ever needs one event in hand. *)
+  let iter_events f =
+    match input with
+    | Some path ->
+        let ic = open_in path in
+        Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+        Workload.Trace.fold_channel ic ~init:() ~f:(fun () ev -> f ev)
+    | None -> List.iter f (Workload.Generator.events spec)
+  in
+  let cli = connect_with_retry ~socket ~port in
+  if not (Client.ping cli) then begin
+    prerr_endline "netbench: server did not answer ping";
+    exit 1
+  end;
+  (* Closed loop with a pipeline window: at most [window] requests
+     outstanding, responses matched to requests by position. *)
+  let sent = ref 0 and acked = ref 0 and rejected = ref 0 and failed = ref 0 in
+  let outstanding = ref 0 in
+  let drain_one () =
+    decr outstanding;
+    match Client.recv cli with
+    | Wire.Ack -> incr acked
+    | Wire.Err { code = Wire.Invalid_request; _ } -> incr rejected
+    | _ -> incr failed
+  in
+  let t0 = Unix.gettimeofday () in
+  iter_events (fun (ev : Workload.Generator.event) ->
+      let req =
+        match ev with
+        | Workload.Generator.Insert { key; value; at } -> Wire.Insert { key; value; at }
+        | Workload.Generator.Delete { key; at } -> Wire.Delete { key; at }
+      in
+      while !outstanding >= window do
+        drain_one ()
+      done;
+      Client.send cli req;
+      incr sent;
+      incr outstanding);
+  while !outstanding > 0 do
+    drain_one ()
+  done;
+  let wall = Unix.gettimeofday () -. t0 in
+  let query_ok = ref 0 in
+  List.iter
+    (fun (r : Workload.Query_gen.rect) ->
+      match Client.query cli ~agg:Wire.Sum ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi with
+      | Wire.Agg _ -> incr query_ok
+      | _ -> ())
+    (query_rects ~spec ~n:queries ~qrs);
+  let srv_stats = Client.stats cli in
+  (if do_shutdown then
+     match Client.shutdown cli with
+     | Wire.Ack -> ()
+     | r -> Format.eprintf "netbench: shutdown answered %a@." Wire.pp_response r);
+  Client.close cli;
+  let rps = if wall > 0. then float_of_int !sent /. wall else 0. in
+  let health =
+    match srv_stats with Some s -> s.Wire.health | None -> Durable.Healthy
+  in
+  if stats_json then
+    print_json
+      (Telemetry.Json.Obj
+         ([ ("mode", Telemetry.Json.Str "netbench");
+            ("sent", Telemetry.Json.Int !sent);
+            ("acked", Telemetry.Json.Int !acked);
+            ("rejected", Telemetry.Json.Int !rejected);
+            ("failed", Telemetry.Json.Int !failed);
+            ("window", Telemetry.Json.Int window);
+            ("wall_s", Telemetry.Json.Float wall);
+            ("req_per_s", Telemetry.Json.Float rps);
+            ("queries_ok", Telemetry.Json.Int !query_ok);
+            ("health", Telemetry.Json.Str (health_string health)) ]
+         @
+         match srv_stats with
+         | Some s -> [ ("server", server_stats_json s) ]
+         | None -> []))
+  else begin
+    Printf.printf
+      "netbench: %d writes in %.3f s = %.0f req/s (window %d); %d acked, %d rejected, %d \
+       failed; %d/%d queries ok\n"
+      !sent wall rps window !acked !rejected !failed !query_ok queries;
+    match srv_stats with
+    | Some s ->
+        Format.printf
+          "  server: %d requests, %d batches covering %d writes, %d wal syncs, %d shed, \
+           health %a@."
+          s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.wal_syncs s.Wire.shed
+          Durable.pp_health s.Wire.health
+    | None -> ()
+  end;
+  if !failed > 0 then exit 1
+
+let netbench_cmd =
+  let window =
+    let doc = "Pipeline window: maximum requests outstanding on the connection." in
+    Arg.(value & opt int 64 & info [ "window" ] ~doc)
+  in
+  let queries =
+    let doc = "Random RTA queries to run over the socket after the write phase." in
+    Arg.(value & opt int 20 & info [ "queries" ] ~doc)
+  in
+  let qrs =
+    let doc = "Query rectangle size as an area fraction." in
+    Arg.(value & opt float 0.01 & info [ "qrs" ] ~doc)
+  in
+  let do_shutdown =
+    let doc = "Send a wire Shutdown at the end so the server drains and exits." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  let smoke =
+    let doc = "Bounded CI run: caps the workload at 400 events and 20 queries." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "netbench"
+       ~doc:
+         "Closed-loop load generator for a running serve instance: replay a workload as \
+          pipelined wire writes, then queries, and report req/s (exits 1 on any failed \
+          write)")
+    Term.(const netbench_impl $ verbosity $ spec_term $ input_term $ socket_term
+          $ port_term $ window $ queries $ qrs $ do_shutdown $ smoke $ stats_json_term)
+
 (* --- dot ------------------------------------------------------------------------- *)
 
 let dot verbosity spec (config, buffer) input out =
@@ -1216,4 +1463,4 @@ let () =
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
             scrub_cmd; crash_matrix_cmd; errsweep_cmd; trace_cmd; metrics_cmd;
-            profile_cmd; dot_cmd ]))
+            profile_cmd; serve_cmd; netbench_cmd; dot_cmd ]))

@@ -34,6 +34,7 @@ type t = {
   mutable last_error : E.t option;
   mutable ckpt_failed : bool; (* the most recent checkpoint attempt failed *)
   mutable retries_seen : int; (* Io_stats.retries at the last health update *)
+  mutable health_hooks : (health -> health -> unit) list; (* newest first *)
   report : recovery_report;
 }
 
@@ -216,7 +217,8 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
      so they count toward the next automatic checkpoint. *)
   { rta; wal; vfs; stats; tel = telemetry; path; checkpoint_every; ckpt_gen;
     ckpt_attempt = ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0; health = Healthy;
-    last_error = None; ckpt_failed = false; retries_seen = retries_at_open; report }
+    last_error = None; ckpt_failed = false; retries_seen = retries_at_open;
+    health_hooks = []; report }
 
 (* --- Health ------------------------------------------------------------------- *)
 
@@ -244,8 +246,14 @@ let set_health t h =
     Telemetry.Tracer.event t.tel "durable.health"
       ~attrs:
         [ ("from", Telemetry.Tracer.Str (health_name prev));
-          ("to", Telemetry.Tracer.Str (health_name h)) ]
+          ("to", Telemetry.Tracer.Str (health_name h)) ];
+    (* Hooks run after the state is committed, so a callback reading
+       [health t] sees the new state.  A raising hook would poison the
+       update path it fired from — swallow, the hook is best-effort. *)
+    List.iter (fun f -> try f prev h with _ -> ()) t.health_hooks
   end
+
+let on_health_change t f = t.health_hooks <- f :: t.health_hooks
 
 let enter_read_only t e =
   t.last_error <- Some e;
@@ -370,6 +378,27 @@ let log_then_apply t ~append ~apply =
           maybe_auto_checkpoint t;
           note_op_complete t;
           Ok ())
+
+(* Group commit's second half: the server batcher opens the engine with
+   [Wal.Never], appends a whole batch of updates without per-record
+   fsyncs, then forces one sync here before acknowledging any of them.
+   A failed fsync is treated exactly like a failed append — the device
+   refused durability, and quietly acknowledging later writes on top of a
+   maybe-lost tail would be fraud — so the engine goes read-only. *)
+let sync_wal t =
+  match t.health with
+  | Read_only ->
+      Error (E.v ~op:E.Fsync ~path:(wal_path t.path) ~detail:"sync refused" E.Read_only_store)
+  | Healthy | Degraded -> (
+      if Wal.unsynced t.wal = 0 then Ok ()
+      else
+        match Wal.sync t.wal with
+        | Ok () ->
+            note_op_complete t;
+            Ok ()
+        | Error e ->
+            enter_read_only t e;
+            Error e)
 
 let insert t ~key ~value ~at =
   if key < 0 || key >= Rta.max_key t.rta then

@@ -128,6 +128,18 @@ val insert :
 val delete : t -> key:int -> at:int -> (unit, Storage.Storage_error.t) result
 (** Log, then apply; see {!insert}. *)
 
+val sync_wal : t -> (unit, Storage.Storage_error.t) result
+(** Force the WAL to disk now, regardless of the engine's sync policy —
+    the commit half of group commit: a batcher opens the engine with
+    [Wal.Never], applies a batch of {!insert}/{!delete} calls (each
+    logged but not yet fsynced), then calls this once before
+    acknowledging any of them.  [Ok] means every update applied so far is
+    durable.  No-op ([Ok]) when nothing is unsynced.  On [Error] the
+    engine enters [Read_only] — an fsync the device refused means the
+    logged tail may or may not survive a crash, and later acknowledgments
+    would silently sit on top of it.  Refused with [Read_only_store] when
+    already [Read_only]. *)
+
 val checkpoint : t -> (unit, Storage.Storage_error.t) result
 (** Snapshot the warehouse and truncate the log.  Durable once this
     returns [Ok]; crash-safe at every intermediate step.  On [Error] the
@@ -159,6 +171,14 @@ val sync_policy : t -> Wal.sync_policy
 
 val health : t -> health
 (** Current health; see the module preamble for the transitions. *)
+
+val on_health_change : t -> (health -> health -> unit) -> unit
+(** Register [f] to run on every health {e transition} (not per-op
+    re-assertions) as [f previous next], after the new state is
+    committed — so [f] observing {!health} sees [next].  Lets a serving
+    layer flip write-rejection the instant the engine degrades instead of
+    polling.  Hooks run in registration order (newest first), may not
+    unregister, and exceptions they raise are swallowed. *)
 
 val last_error : t -> Storage.Storage_error.t option
 (** The most recent I/O error the engine absorbed or surfaced; [None]

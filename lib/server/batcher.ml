@@ -1,0 +1,70 @@
+module E = Storage.Storage_error
+
+type op =
+  | Insert of { key : int; value : int; at : int }
+  | Delete of { key : int; at : int }
+
+type outcome = Applied | Rejected of string | Failed of E.t
+
+type t = {
+  eng : Durable.t;
+  max_batch : int;
+  tel : Telemetry.Tracer.t;
+  on_batch : int -> unit;
+  q : (op * (outcome -> unit)) Queue.t;
+  mutable batches : int;
+  mutable acked : int;
+}
+
+let create ?(max_batch = 64) ?(telemetry = Telemetry.Tracer.noop)
+    ?(on_batch = fun _ -> ()) eng =
+  if max_batch < 1 then invalid_arg "Batcher: max_batch must be >= 1";
+  { eng; max_batch; tel = telemetry; on_batch; q = Queue.create (); batches = 0; acked = 0 }
+
+let enqueue t op k = Queue.add (op, k) t.q
+let pending t = Queue.length t.q
+
+let apply_one eng op =
+  let r =
+    match op with
+    | Insert { key; value; at } -> (
+        try Ok (Durable.insert eng ~key ~value ~at) with Invalid_argument m -> Error m)
+    | Delete { key; at } -> (
+        try Ok (Durable.delete eng ~key ~at) with Invalid_argument m -> Error m)
+  in
+  match r with
+  | Ok (Ok ()) -> Applied (* provisional: awaits the batch sync *)
+  | Ok (Error e) -> Failed e
+  | Error msg -> Rejected msg
+
+let flush_batch t =
+  let n = min t.max_batch (Queue.length t.q) in
+  Telemetry.Tracer.with_span t.tel "server.batch"
+    ~attrs:(fun () -> [ ("size", Telemetry.Tracer.Int n) ])
+  @@ fun () ->
+  let items = Array.init n (fun _ -> Queue.pop t.q) in
+  let outcomes = Array.map (fun (op, _) -> apply_one t.eng op) items in
+  (* One fsync covers every append the batch landed.  If it fails, every
+     provisionally applied op must fail too: the records are in the log
+     but their durability is unknown, and an ack is a durability claim. *)
+  let applied = Array.exists (function Applied -> true | _ -> false) outcomes in
+  (if applied then
+     match Durable.sync_wal t.eng with
+     | Ok () -> ()
+     | Error e ->
+         Array.iteri
+           (fun i o -> match o with Applied -> outcomes.(i) <- Failed e | _ -> ())
+           outcomes);
+  t.batches <- t.batches + 1;
+  Array.iter (function Applied -> t.acked <- t.acked + 1 | _ -> ()) outcomes;
+  t.on_batch n;
+  Array.iteri (fun i (_, k) -> k outcomes.(i)) items
+
+let flush t =
+  while not (Queue.is_empty t.q) do
+    flush_batch t
+  done
+
+let batches t = t.batches
+let acked t = t.acked
+let engine t = t.eng

@@ -1,0 +1,67 @@
+(** Group commit: turn per-request fsync cost into per-batch cost.
+
+    The classic WAL contract — fsync before acknowledging — makes the
+    fsync the unit cost of every write.  Group commit amortises it: the
+    server queues the writes that arrive close together, applies them to
+    the engine back to back (each one logged by {!Durable.insert}/
+    [delete] but {e not} individually fsynced — the engine runs under
+    [Wal.Never]), then issues {e one} {!Durable.sync_wal} for the whole
+    batch and only then completes every callback.
+
+    The durability contract is unchanged from per-request fsync: a
+    request whose callback sees {!Applied} is on disk — its batch's WAL
+    sync returned before the ack.  What a crash can lose is only work
+    that was never acknowledged.
+
+    Failure semantics inside a batch:
+    - a precondition violation ({!Rejected}) skips that one op, the rest
+      of the batch proceeds;
+    - a failed log append flips the engine read-only; that op {!Failed}
+      and every later write in the batch fails with [Read_only_store];
+    - a failed batch sync fails {e every} op the batch had applied (they
+      were logged but their durability is unknown — nothing is acked)
+      and the engine goes read-only. *)
+
+type op =
+  | Insert of { key : int; value : int; at : int }
+  | Delete of { key : int; at : int }
+
+type outcome =
+  | Applied  (** Logged, applied, and covered by a returned WAL sync. *)
+  | Rejected of string
+      (** Precondition violation — the engine state is untouched. *)
+  | Failed of Storage.Storage_error.t
+      (** I/O failure on the append or the batch sync; not acknowledged
+          (and if the append failed, not logged either). *)
+
+type t
+
+val create :
+  ?max_batch:int ->
+  ?telemetry:Telemetry.Tracer.t ->
+  ?on_batch:(int -> unit) ->
+  Durable.t ->
+  t
+(** [max_batch] (default 64) caps how many writes one sync covers; a
+    longer queue is drained as several batches.  [on_batch] is called
+    with each batch's size after its commit (the server feeds a
+    histogram).  The engine should be opened with [sync_policy:Wal.Never]
+    — under any other policy the batcher still works, the engine's own
+    policy just issues additional syncs inside the batch. *)
+
+val enqueue : t -> op -> (outcome -> unit) -> unit
+(** Queue one write.  The callback runs from {!flush}, after the batch
+    containing the op has committed (or failed). *)
+
+val pending : t -> int
+
+val flush : t -> unit
+(** Drain the whole queue as one or more batches.  Callbacks run in
+    enqueue order.  Emits a [server.batch] span per batch. *)
+
+val batches : t -> int
+
+val acked : t -> int
+(** Ops whose outcome was {!Applied}. *)
+
+val engine : t -> Durable.t

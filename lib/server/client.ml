@@ -1,0 +1,76 @@
+type t = { fd : Unix.file_descr; mutable buf : bytes; mutable len : int }
+
+exception Connection_closed
+exception Protocol_error of Wire.error
+
+let connect fd = { fd; buf = Bytes.create 8192; len = 0 }
+
+let connect_unix ~path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect fd
+
+let connect_tcp ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  connect fd
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fd t = t.fd
+
+let send t req =
+  let b = Wire.encode_request req in
+  let n = Bytes.length b in
+  let written = ref 0 in
+  while !written < n do
+    match Unix.write t.fd b !written (n - !written) with
+    | 0 -> raise Connection_closed
+    | k -> written := !written + k
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise Connection_closed
+  done
+
+let refill t =
+  let chunk = 8192 in
+  if Bytes.length t.buf - t.len < chunk then begin
+    let nb = Bytes.create (max (t.len + chunk) (2 * Bytes.length t.buf)) in
+    Bytes.blit t.buf 0 nb 0 t.len;
+    t.buf <- nb
+  end;
+  match Unix.read t.fd t.buf t.len chunk with
+  | 0 -> raise Connection_closed
+  | n -> t.len <- t.len + n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Connection_closed
+
+let rec recv t =
+  match Wire.decode_response ~buf:t.buf ~pos:0 ~avail:t.len with
+  | Wire.Complete (resp, used) ->
+      Bytes.blit t.buf used t.buf 0 (t.len - used);
+      t.len <- t.len - used;
+      resp
+  | Wire.Incomplete ->
+      refill t;
+      recv t
+  | Wire.Fail e -> raise (Protocol_error e)
+
+let call t req =
+  send t req;
+  recv t
+
+let ping t = match call t Wire.Ping with Wire.Pong -> true | _ -> false
+let insert t ~key ~value ~at = call t (Wire.Insert { key; value; at })
+let delete t ~key ~at = call t (Wire.Delete { key; at })
+let query t ~agg ~klo ~khi ~tlo ~thi = call t (Wire.Query { agg; klo; khi; tlo; thi })
+let checkpoint t = call t Wire.Checkpoint
+let stats t = match call t Wire.Stats with Wire.Stats_reply s -> Some s | _ -> None
+let health t = match call t Wire.Health with Wire.Health_reply h -> Some h | _ -> None
+let shutdown t = call t Wire.Shutdown

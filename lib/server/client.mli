@@ -1,0 +1,53 @@
+(** Blocking client for the {!Wire} protocol — used by the tests, the
+    bench harness, and [rta_cli netbench].
+
+    The client is deliberately simple: one connection, blocking writes
+    and reads, no timeouts.  {!send} and {!recv} are split so a caller
+    can pipeline — send a window of requests, then collect the window of
+    responses; the server answers strictly in request order, so matching
+    is positional.  {!call} is the one-shot convenience. *)
+
+type t
+
+exception Connection_closed
+(** The peer closed the stream while a response was still owed. *)
+
+exception Protocol_error of Wire.error
+(** The response stream failed to decode; the connection is unusable. *)
+
+val connect_unix : path:string -> t
+val connect_tcp : ?host:string -> port:int -> unit -> t
+(** Default host 127.0.0.1. *)
+
+val close : t -> unit
+
+val fd : t -> Unix.file_descr
+(** The underlying socket — for [select]-based callers and for tests
+    that need to write raw bytes past the codec. *)
+
+val send : t -> Wire.request -> unit
+(** Write one framed request (complete, blocking). *)
+
+val recv : t -> Wire.response
+(** Block until the next complete response frame.
+    @raise Connection_closed on EOF mid-stream.
+    @raise Protocol_error on an undecodable frame. *)
+
+val call : t -> Wire.request -> Wire.response
+(** [send] then [recv]. *)
+
+(** {1 Conveniences} — thin wrappers over {!call}. *)
+
+val ping : t -> bool
+(** [true] iff the server answered [Pong]. *)
+
+val insert : t -> key:int -> value:int -> at:int -> Wire.response
+val delete : t -> key:int -> at:int -> Wire.response
+
+val query :
+  t -> agg:Wire.agg -> klo:int -> khi:int -> tlo:int -> thi:int -> Wire.response
+
+val checkpoint : t -> Wire.response
+val stats : t -> Wire.stats option
+val health : t -> Durable.health option
+val shutdown : t -> Wire.response

@@ -1,0 +1,447 @@
+module E = Storage.Storage_error
+module Metrics = Telemetry.Metrics
+module Tracer = Telemetry.Tracer
+
+type config = {
+  max_in_flight : int;
+  max_queue_depth : int;
+  max_batch : int;
+  high_water : int;
+}
+
+let default_config =
+  { max_in_flight = 1024; max_queue_depth = 256; max_batch = 64; high_water = 256 * 1024 }
+
+(* --- Connection state machine -------------------------------------------------- *)
+
+(* Each connection accumulates raw bytes in [inbuf], owns an ordered queue
+   of response [slots] (reserved at decode time, filled whenever the
+   request completes — possibly out of completion order), and stages
+   filled-prefix response bytes in [out] for non-blocking writes. *)
+type conn = {
+  fd : Unix.file_descr;
+  id : int;
+  mutable inbuf : bytes;
+  mutable in_len : int;
+  slots : bytes option ref Queue.t;
+  mutable out : bytes;
+  mutable out_pos : int;  (* written prefix of [out] *)
+  mutable out_len : int;
+  mutable close_after_flush : bool;
+      (* EOF seen or protocol error: no more reads; close once every
+         reserved slot has been filled and flushed. *)
+  mutable dead : bool;
+}
+
+type state = Accepting | Draining | Stopped
+
+type t = {
+  cfg : config;
+  tel : Tracer.t;
+  reg : Metrics.t;
+  eng : Durable.t;
+  adm : Admission.t;
+  bat : Batcher.t;
+  listen_fd : Unix.file_descr;
+  mutable conns : conn list;
+  mutable state : state;
+  mutable next_id : int;
+  mutable requests : int;
+  m_requests : Metrics.counter;
+  m_shed : Metrics.counter;
+  m_ro_rejected : Metrics.counter;
+  m_batches : Metrics.counter;
+  m_acked : Metrics.counter;
+  m_queue_depth : Metrics.gauge;
+  m_in_flight : Metrics.gauge;
+  m_conns : Metrics.gauge;
+}
+
+(* --- Listening sockets --------------------------------------------------------- *)
+
+let listen_unix ~path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  fd
+
+let listen_tcp ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+  Unix.listen fd 128;
+  Unix.set_nonblock fd;
+  let port =
+    match Unix.getsockname fd with Unix.ADDR_INET (_, p) -> p | Unix.ADDR_UNIX _ -> port
+  in
+  (fd, port)
+
+(* --- Construction --------------------------------------------------------------- *)
+
+let create ?(config = default_config) ?(telemetry = Tracer.noop) ?metrics ~engine ~listen () =
+  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  let adm =
+    Admission.create
+      ~config:
+        { Admission.max_in_flight = config.max_in_flight;
+          max_queue_depth = config.max_queue_depth }
+      ()
+  in
+  let m_batch_size =
+    Metrics.histogram reg ~help:"Writes per group commit (one WAL sync each)."
+      "server_batch_size"
+  in
+  let bat =
+    Batcher.create ~max_batch:config.max_batch ~telemetry
+      ~on_batch:(fun n -> Metrics.observe m_batch_size (float_of_int n))
+      engine
+  in
+  (* Health-aware routing without polling: the engine tells us the moment
+     it degrades, and writes start bouncing at the admission gate. *)
+  Durable.on_health_change engine (fun _ next ->
+      Admission.set_read_only adm (next = Durable.Read_only));
+  Admission.set_read_only adm (Durable.health engine = Durable.Read_only);
+  (* A peer that disconnects mid-write must surface as EPIPE, not kill
+     the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  {
+    cfg = config;
+    tel = telemetry;
+    reg;
+    eng = engine;
+    adm;
+    bat;
+    listen_fd = listen;
+    conns = [];
+    state = Accepting;
+    next_id = 0;
+    requests = 0;
+    m_requests = Metrics.counter reg ~help:"Requests decoded." "server_requests_total";
+    m_shed =
+      Metrics.counter reg ~help:"Requests shed with Overloaded." "server_shed_total";
+    m_ro_rejected =
+      Metrics.counter reg ~help:"Writes rejected while the engine was read-only."
+        "server_read_only_rejected_total";
+    m_batches = Metrics.counter reg ~help:"Group commits flushed." "server_batches_total";
+    m_acked =
+      Metrics.counter reg ~help:"Writes acknowledged through group commit."
+        "server_acked_writes_total";
+    m_queue_depth =
+      Metrics.gauge reg ~help:"Writes queued for the next group commit."
+        "server_queue_depth";
+    m_in_flight =
+      Metrics.gauge reg ~help:"Admitted requests awaiting a response." "server_in_flight";
+    m_conns = Metrics.gauge reg ~help:"Open connections." "server_connections";
+  }
+
+(* --- Buffers -------------------------------------------------------------------- *)
+
+let read_chunk = 64 * 1024
+
+let ensure_in conn extra =
+  let need = conn.in_len + extra in
+  if Bytes.length conn.inbuf < need then begin
+    let nb = Bytes.create (max need (2 * Bytes.length conn.inbuf)) in
+    Bytes.blit conn.inbuf 0 nb 0 conn.in_len;
+    conn.inbuf <- nb
+  end
+
+let out_pending conn = conn.out_len - conn.out_pos
+
+let append_out conn b =
+  if conn.out_pos = conn.out_len then begin
+    conn.out_pos <- 0;
+    conn.out_len <- 0
+  end;
+  let blen = Bytes.length b in
+  if Bytes.length conn.out - conn.out_len < blen then begin
+    if conn.out_pos > 0 then begin
+      Bytes.blit conn.out conn.out_pos conn.out 0 (conn.out_len - conn.out_pos);
+      conn.out_len <- conn.out_len - conn.out_pos;
+      conn.out_pos <- 0
+    end;
+    let need = conn.out_len + blen in
+    if Bytes.length conn.out < need then begin
+      let nb = Bytes.create (max need (2 * Bytes.length conn.out)) in
+      Bytes.blit conn.out 0 nb 0 conn.out_len;
+      conn.out <- nb
+    end
+  end;
+  Bytes.blit b 0 conn.out conn.out_len blen;
+  conn.out_len <- conn.out_len + blen
+
+(* Move the filled prefix of the slot queue into the write staging
+   buffer — responses leave strictly in request order. *)
+let rec pump conn =
+  match Queue.peek_opt conn.slots with
+  | Some { contents = Some bytes } ->
+      ignore (Queue.pop conn.slots);
+      append_out conn bytes;
+      pump conn
+  | Some { contents = None } | None -> ()
+
+(* --- Request handling ----------------------------------------------------------- *)
+
+let reserve conn =
+  let slot = ref None in
+  Queue.add slot conn.slots;
+  slot
+
+let fill slot resp = slot := Some (Wire.encode_response resp)
+
+let err code detail = Wire.Err { code; detail }
+
+let err_of_storage (e : E.t) =
+  match e.errno with
+  | E.Read_only_store -> err Wire.Read_only (E.to_string e)
+  | _ -> err Wire.Write_failed (E.to_string e)
+
+let stats t =
+  {
+    Wire.updates = Rta.n_updates (Durable.warehouse t.eng);
+    alive = Rta.alive_count (Durable.warehouse t.eng);
+    pages = Rta.page_count (Durable.warehouse t.eng);
+    now = Rta.now (Durable.warehouse t.eng);
+    health = Durable.health t.eng;
+    queue_depth = Batcher.pending t.bat;
+    in_flight = Admission.in_flight t.adm;
+    conns = List.length t.conns;
+    requests = t.requests;
+    shed = Admission.shed t.adm;
+    batches = Batcher.batches t.bat;
+    batched_writes = Batcher.acked t.bat;
+    wal_syncs = Wal.Stats.fsyncs (Durable.wal_stats t.eng);
+  }
+
+let outcome_response = function
+  | Batcher.Applied -> Wire.Ack
+  | Batcher.Rejected m -> err Wire.Invalid_request m
+  | Batcher.Failed e -> err_of_storage e
+
+let handle_request t conn (req : Wire.request) =
+  t.requests <- t.requests + 1;
+  Metrics.inc t.m_requests;
+  let slot = reserve conn in
+  if t.state <> Accepting then fill slot (err Wire.Shutting_down "server is draining")
+  else
+    match req with
+    | Wire.Shutdown ->
+        t.state <- Draining;
+        fill slot Wire.Ack
+    | Wire.Ping -> fill slot Wire.Pong
+    | Wire.Health -> fill slot (Wire.Health_reply (Durable.health t.eng))
+    | Wire.Stats -> fill slot (Wire.Stats_reply (stats t))
+    | Wire.Query _ | Wire.Insert _ | Wire.Delete _ | Wire.Checkpoint -> (
+        match
+          Admission.admit t.adm ~queue_depth:(Batcher.pending t.bat)
+            ~write:(Wire.is_write req)
+        with
+        | Admission.Reject_read_only ->
+            Metrics.inc t.m_ro_rejected;
+            fill slot (err Wire.Read_only "engine is read-only; queries still serve")
+        | Admission.Shed ->
+            Metrics.inc t.m_shed;
+            fill slot (err Wire.Overloaded "admission limit reached; back off and retry")
+        | Admission.Admit -> (
+            match req with
+            | Wire.Query { agg = _; klo; khi; tlo; thi } ->
+                let resp =
+                  Tracer.with_span t.tel "server.request"
+                    ~attrs:(fun () -> [ ("kind", Tracer.Str "query") ])
+                  @@ fun () ->
+                  match Durable.sum_count t.eng ~klo ~khi ~tlo ~thi with
+                  | sum, count -> Wire.Agg { sum; count }
+                  | exception Invalid_argument m -> err Wire.Invalid_request m
+                  | exception E.Io e -> err_of_storage e
+                in
+                fill slot resp;
+                Admission.release t.adm
+            | Wire.Insert { key; value; at } ->
+                Batcher.enqueue t.bat
+                  (Batcher.Insert { key; value; at })
+                  (fun outcome ->
+                    fill slot (outcome_response outcome);
+                    Admission.release t.adm)
+            | Wire.Delete { key; at } ->
+                Batcher.enqueue t.bat
+                  (Batcher.Delete { key; at })
+                  (fun outcome ->
+                    fill slot (outcome_response outcome);
+                    Admission.release t.adm)
+            | Wire.Checkpoint ->
+                (* Order barrier: the snapshot must cover every write
+                   queued before the checkpoint request. *)
+                let resp =
+                  Tracer.with_span t.tel "server.request"
+                    ~attrs:(fun () -> [ ("kind", Tracer.Str "checkpoint") ])
+                  @@ fun () ->
+                  Batcher.flush t.bat;
+                  match Durable.checkpoint t.eng with
+                  | Ok () -> Wire.Ack
+                  | Error e -> err_of_storage e
+                in
+                fill slot resp;
+                Admission.release t.adm
+            | Wire.Stats | Wire.Health | Wire.Ping | Wire.Shutdown -> assert false))
+
+(* Decode every complete frame in the input buffer.  On a framing error
+   the byte stream can no longer be trusted: answer once, stop reading,
+   close after the answer flushes. *)
+let parse t conn =
+  let pos = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match Wire.decode_request ~buf:conn.inbuf ~pos:!pos ~avail:(conn.in_len - !pos) with
+    | Wire.Complete (req, used) ->
+        pos := !pos + used;
+        handle_request t conn req
+    | Wire.Incomplete -> continue := false
+    | Wire.Fail e ->
+        let slot = reserve conn in
+        fill slot (err Wire.Bad_request (Format.asprintf "%a" Wire.pp_error e));
+        conn.close_after_flush <- true;
+        conn.in_len <- 0;
+        pos := 0;
+        continue := false
+  done;
+  if !pos > 0 then begin
+    Bytes.blit conn.inbuf !pos conn.inbuf 0 (conn.in_len - !pos);
+    conn.in_len <- conn.in_len - !pos
+  end
+
+(* --- Socket I/O ------------------------------------------------------------------ *)
+
+let close_conn conn =
+  if not conn.dead then begin
+    conn.dead <- true;
+    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+  end
+
+let read_conn t conn =
+  ensure_in conn read_chunk;
+  match Unix.read conn.fd conn.inbuf conn.in_len read_chunk with
+  | 0 ->
+      (* EOF.  Any responses still owed are flushed before closing. *)
+      if Queue.is_empty conn.slots && out_pending conn = 0 then close_conn conn
+      else conn.close_after_flush <- true
+  | n ->
+      conn.in_len <- conn.in_len + n;
+      parse t conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> close_conn conn
+
+let write_conn conn =
+  if out_pending conn > 0 then
+    match Unix.write conn.fd conn.out conn.out_pos (out_pending conn) with
+    | n ->
+        conn.out_pos <- conn.out_pos + n;
+        if conn.out_pos = conn.out_len then begin
+          conn.out_pos <- 0;
+          conn.out_len <- 0
+        end
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error _ -> close_conn conn
+
+let rec accept_loop t =
+  match Unix.accept ~cloexec:true t.listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      let conn =
+        {
+          fd;
+          id = t.next_id;
+          inbuf = Bytes.create read_chunk;
+          in_len = 0;
+          slots = Queue.create ();
+          out = Bytes.create 4096;
+          out_pos = 0;
+          out_len = 0;
+          close_after_flush = false;
+          dead = false;
+        }
+      in
+      t.next_id <- t.next_id + 1;
+      t.conns <- t.conns @ [ conn ];
+      accept_loop t
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop t
+  | exception Unix.Unix_error _ -> ()
+
+(* --- The loop -------------------------------------------------------------------- *)
+
+let conn_busy c = (not (Queue.is_empty c.slots)) || out_pending c > 0
+
+let step t ~timeout =
+  match t.state with
+  | Stopped -> false
+  | _ ->
+      t.conns <- List.filter (fun c -> not c.dead) t.conns;
+      let read_fds =
+        (if t.state = Accepting then [ t.listen_fd ] else [])
+        @ List.filter_map
+            (fun c ->
+              (* Backpressure: a connection drowning in unread responses
+                 stops being read until the client drains them.  During a
+                 drain nothing new is read at all. *)
+              if
+                t.state <> Accepting || c.close_after_flush
+                || out_pending c >= t.cfg.high_water
+              then None
+              else Some c.fd)
+            t.conns
+      in
+      let write_fds = List.filter_map (fun c -> if conn_busy c then Some c.fd else None) t.conns in
+      let rs, _, _ =
+        try Unix.select read_fds write_fds [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if List.mem t.listen_fd rs then accept_loop t;
+      List.iter (fun c -> if (not c.dead) && List.mem c.fd rs then read_conn t c) t.conns;
+      (* The group commit: every write parsed this iteration (across all
+         connections) lands under one WAL sync per [max_batch] chunk. *)
+      Batcher.flush t.bat;
+      List.iter
+        (fun c ->
+          if not c.dead then begin
+            pump c;
+            write_conn c
+          end)
+        t.conns;
+      List.iter
+        (fun c ->
+          if (not c.dead) && c.close_after_flush && Queue.is_empty c.slots
+             && out_pending c = 0
+          then close_conn c)
+        t.conns;
+      t.conns <- List.filter (fun c -> not c.dead) t.conns;
+      Metrics.set_gauge t.m_queue_depth (float_of_int (Batcher.pending t.bat));
+      Metrics.set_gauge t.m_in_flight (float_of_int (Admission.in_flight t.adm));
+      Metrics.set_gauge t.m_conns (float_of_int (List.length t.conns));
+      Metrics.set_counter t.m_batches (Batcher.batches t.bat);
+      Metrics.set_counter t.m_acked (Batcher.acked t.bat);
+      (match t.state with
+      | Draining ->
+          if (not (List.exists conn_busy t.conns)) && Batcher.pending t.bat = 0 then begin
+            List.iter close_conn t.conns;
+            t.conns <- [];
+            (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+            t.state <- Stopped
+          end
+      | Accepting | Stopped -> ());
+      t.state <> Stopped
+
+let run t = while step t ~timeout:1.0 do () done
+
+let request_shutdown t = if t.state = Accepting then t.state <- Draining
+let shutting_down t = t.state <> Accepting
+let connections t = List.length t.conns
+let requests t = t.requests
+let engine t = t.eng
+let admission t = t.adm
+let batcher t = t.bat
+let metrics t = t.reg

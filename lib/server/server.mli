@@ -1,0 +1,107 @@
+(** The query service: a [Unix.select] event loop serving the {!Wire}
+    protocol over a durable RTA engine.
+
+    One single-threaded loop owns everything — the listening socket,
+    every connection's read/write state machine, the {!Admission} gate,
+    and the group-commit {!Batcher} — so no locks, and a natural batching
+    boundary: all the writes that arrive within one loop iteration
+    commit under one WAL sync.
+
+    Per iteration ({!step}):
+
+    + [select] on the listener (while accepting), every readable
+      connection that is not backpressured, and every connection with
+      pending output;
+    + accept new connections (non-blocking);
+    + read and decode frames; admitted queries execute immediately,
+      admitted writes queue in the batcher, everything refused gets its
+      typed error response at once.  A connection that sends an
+      undecodable frame is answered with [Bad_request] and closed after
+      the response flushes (framing can no longer be trusted);
+    + flush the batcher — the group commit — completing every write
+      response;
+    + write out response bytes (non-blocking, partial writes carried to
+      the next iteration).
+
+    {2 Ordering}
+
+    Responses go back to each connection strictly in request order, even
+    though a query answered mid-iteration completes before a write
+    waiting on the batch sync: each request reserves a response slot at
+    decode time and the writer only flushes the filled prefix.
+
+    {2 Backpressure}
+
+    A connection whose pending output exceeds [high_water] stops being
+    {e read} until the client drains it — a client that pipelines
+    without reading responses stalls itself, not the server.
+
+    {2 Shutdown}
+
+    {!request_shutdown} (or a wire [Shutdown] request) starts the drain:
+    stop accepting, answer requests already received, flush every
+    connection, then {!step} returns [false] and {!run} returns.  The
+    serve CLI maps SIGTERM/SIGINT to exactly this, so a deployed server
+    exits 0 with every acknowledged write durable. *)
+
+type config = {
+  max_in_flight : int;  (** {!Admission} in-flight cap (default 1024). *)
+  max_queue_depth : int;  (** {!Admission} write-queue cap (default 256). *)
+  max_batch : int;  (** {!Batcher} writes per WAL sync (default 64). *)
+  high_water : int;
+      (** Per-connection pending-output bytes beyond which reads pause
+          (default 256 KiB). *)
+}
+
+val default_config : config
+
+type t
+
+val listen_unix : path:string -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket, removing a stale socket
+    file at [path] first.  @raise Unix.Unix_error on bind failure. *)
+
+val listen_tcp : ?host:string -> port:int -> unit -> Unix.file_descr * int
+(** Bind and listen on TCP [host:port] (default host 127.0.0.1);
+    returns the bound port (useful with [port:0]). *)
+
+val create :
+  ?config:config ->
+  ?telemetry:Telemetry.Tracer.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  engine:Durable.t ->
+  listen:Unix.file_descr ->
+  unit ->
+  t
+(** Wrap a listening socket and an engine into a server.  The engine
+    should be opened with [sync_policy:Wal.Never] so the batcher's sync
+    is the only fsync per batch (see {!Batcher}).  Registers a
+    {!Durable.on_health_change} hook so a read-only transition flips
+    write rejection immediately.  [metrics] (default a private registry)
+    receives [server_*] counters, the queue-depth gauge, and the
+    batch-size histogram; [telemetry] emits [server.request] /
+    [server.batch] spans. *)
+
+val step : t -> timeout:float -> bool
+(** One event-loop iteration, blocking in [select] at most [timeout]
+    seconds.  Returns [false] once the server has fully drained after a
+    shutdown request — the loop is over, every socket closed.  Exposed
+    so tests can single-step the server deterministically against
+    in-process clients. *)
+
+val run : t -> unit
+(** [while step t ~timeout:1.0 do () done] — serve until shutdown. *)
+
+val request_shutdown : t -> unit
+(** Begin the drain; safe to call from a signal handler. *)
+
+val shutting_down : t -> bool
+val connections : t -> int
+val requests : t -> int
+val engine : t -> Durable.t
+val admission : t -> Admission.t
+val batcher : t -> Batcher.t
+val metrics : t -> Telemetry.Metrics.t
+
+val stats : t -> Wire.stats
+(** The snapshot served to wire [Stats] requests. *)

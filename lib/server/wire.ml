@@ -1,0 +1,347 @@
+module Codec = Storage.Codec
+
+let version = 1
+let frame_header_bytes = 8
+let max_payload_bytes = 1 lsl 16
+
+(* Tags.  Requests and responses live in disjoint ranges so a stream
+   accidentally decoded with the wrong direction fails loudly on the tag,
+   not silently as a different message. *)
+let tag_query = 1
+let tag_insert = 2
+let tag_delete = 3
+let tag_checkpoint = 4
+let tag_stats = 5
+let tag_health = 6
+let tag_ping = 7
+let tag_shutdown = 8
+let tag_agg = 65
+let tag_ack = 66
+let tag_err = 67
+let tag_stats_reply = 68
+let tag_health_reply = 69
+let tag_pong = 70
+
+type agg = Sum | Count | Avg
+
+type request =
+  | Query of { agg : agg; klo : int; khi : int; tlo : int; thi : int }
+  | Insert of { key : int; value : int; at : int }
+  | Delete of { key : int; at : int }
+  | Checkpoint
+  | Stats
+  | Health
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request
+  | Invalid_request
+  | Overloaded
+  | Read_only
+  | Write_failed
+  | Shutting_down
+
+let pp_error_code ppf c =
+  Format.pp_print_string ppf
+    (match c with
+    | Bad_request -> "bad-request"
+    | Invalid_request -> "invalid-request"
+    | Overloaded -> "overloaded"
+    | Read_only -> "read-only"
+    | Write_failed -> "write-failed"
+    | Shutting_down -> "shutting-down")
+
+type stats = {
+  updates : int;
+  alive : int;
+  pages : int;
+  now : int;
+  health : Durable.health;
+  queue_depth : int;
+  in_flight : int;
+  conns : int;
+  requests : int;
+  shed : int;
+  batches : int;
+  batched_writes : int;
+  wal_syncs : int;
+}
+
+type response =
+  | Agg of { sum : int; count : int }
+  | Ack
+  | Err of { code : error_code; detail : string }
+  | Stats_reply of stats
+  | Health_reply of Durable.health
+  | Pong
+
+let pp_agg ppf a =
+  Format.pp_print_string ppf (match a with Sum -> "sum" | Count -> "count" | Avg -> "avg")
+
+let pp_request ppf = function
+  | Query { agg; klo; khi; tlo; thi } ->
+      Format.fprintf ppf "query %a [%d,%d)x[%d,%d)" pp_agg agg klo khi tlo thi
+  | Insert { key; value; at } -> Format.fprintf ppf "insert key=%d value=%d at=%d" key value at
+  | Delete { key; at } -> Format.fprintf ppf "delete key=%d at=%d" key at
+  | Checkpoint -> Format.pp_print_string ppf "checkpoint"
+  | Stats -> Format.pp_print_string ppf "stats"
+  | Health -> Format.pp_print_string ppf "health"
+  | Ping -> Format.pp_print_string ppf "ping"
+  | Shutdown -> Format.pp_print_string ppf "shutdown"
+
+let pp_response ppf = function
+  | Agg { sum; count } -> Format.fprintf ppf "agg sum=%d count=%d" sum count
+  | Ack -> Format.pp_print_string ppf "ack"
+  | Err { code; detail } ->
+      Format.fprintf ppf "err %a%s" pp_error_code code
+        (if detail = "" then "" else " (" ^ detail ^ ")")
+  | Stats_reply s ->
+      Format.fprintf ppf "stats updates=%d alive=%d health=%a queue=%d shed=%d" s.updates
+        s.alive Durable.pp_health s.health s.queue_depth s.shed
+  | Health_reply h -> Format.fprintf ppf "health %a" Durable.pp_health h
+  | Pong -> Format.pp_print_string ppf "pong"
+
+let is_write = function Insert _ | Delete _ -> true | _ -> false
+
+(* --- Encoding ----------------------------------------------------------------- *)
+
+(* Error details travel over the network; cap them so a pathological
+   Storage_error cannot blow the frame bound. *)
+let max_detail_bytes = 512
+
+let agg_code = function Sum -> 0 | Count -> 1 | Avg -> 2
+let error_code_u8 = function
+  | Bad_request -> 0
+  | Invalid_request -> 1
+  | Overloaded -> 2
+  | Read_only -> 3
+  | Write_failed -> 4
+  | Shutting_down -> 5
+
+let health_u8 = function Durable.Healthy -> 0 | Durable.Degraded -> 1 | Durable.Read_only -> 2
+
+let frame payload =
+  let len = Bytes.length payload in
+  if len = 0 then invalid_arg "Wire.frame: empty payload";
+  if len > max_payload_bytes then invalid_arg "Wire.frame: payload exceeds max_payload_bytes";
+  let out = Bytes.create (frame_header_bytes + len) in
+  Bytes.set_int32_le out 0 (Int32.of_int len);
+  Bytes.set_int32_le out 4 (Int32.of_int (Codec.crc32 payload ~pos:0 ~len));
+  Bytes.blit payload 0 out frame_header_bytes len;
+  out
+
+(* One payload buffer, exactly sized: version, tag, then the body. *)
+let payload ~tag ~body_bytes fill =
+  let w = Codec.Writer.create (2 + body_bytes) in
+  Codec.Writer.u8 w version;
+  Codec.Writer.u8 w tag;
+  fill w;
+  frame (Codec.Writer.contents w)
+
+let write_string w s =
+  Codec.Writer.i32 w (String.length s);
+  String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) s
+
+let encode_request = function
+  | Query { agg; klo; khi; tlo; thi } ->
+      payload ~tag:tag_query ~body_bytes:(1 + (4 * 8)) (fun w ->
+          Codec.Writer.u8 w (agg_code agg);
+          Codec.Writer.i64 w klo;
+          Codec.Writer.i64 w khi;
+          Codec.Writer.i64 w tlo;
+          Codec.Writer.i64 w thi)
+  | Insert { key; value; at } ->
+      payload ~tag:tag_insert ~body_bytes:(3 * 8) (fun w ->
+          Codec.Writer.i64 w key;
+          Codec.Writer.i64 w value;
+          Codec.Writer.i64 w at)
+  | Delete { key; at } ->
+      payload ~tag:tag_delete ~body_bytes:(2 * 8) (fun w ->
+          Codec.Writer.i64 w key;
+          Codec.Writer.i64 w at)
+  | Checkpoint -> payload ~tag:tag_checkpoint ~body_bytes:0 ignore
+  | Stats -> payload ~tag:tag_stats ~body_bytes:0 ignore
+  | Health -> payload ~tag:tag_health ~body_bytes:0 ignore
+  | Ping -> payload ~tag:tag_ping ~body_bytes:0 ignore
+  | Shutdown -> payload ~tag:tag_shutdown ~body_bytes:0 ignore
+
+let encode_response = function
+  | Agg { sum; count } ->
+      payload ~tag:tag_agg ~body_bytes:(2 * 8) (fun w ->
+          Codec.Writer.i64 w sum;
+          Codec.Writer.i64 w count)
+  | Ack -> payload ~tag:tag_ack ~body_bytes:0 ignore
+  | Err { code; detail } ->
+      let detail =
+        if String.length detail <= max_detail_bytes then detail
+        else String.sub detail 0 max_detail_bytes
+      in
+      payload ~tag:tag_err ~body_bytes:(1 + 4 + String.length detail) (fun w ->
+          Codec.Writer.u8 w (error_code_u8 code);
+          write_string w detail)
+  | Stats_reply s ->
+      payload ~tag:tag_stats_reply ~body_bytes:((12 * 8) + 1) (fun w ->
+          Codec.Writer.i64 w s.updates;
+          Codec.Writer.i64 w s.alive;
+          Codec.Writer.i64 w s.pages;
+          Codec.Writer.i64 w s.now;
+          Codec.Writer.u8 w (health_u8 s.health);
+          Codec.Writer.i64 w s.queue_depth;
+          Codec.Writer.i64 w s.in_flight;
+          Codec.Writer.i64 w s.conns;
+          Codec.Writer.i64 w s.requests;
+          Codec.Writer.i64 w s.shed;
+          Codec.Writer.i64 w s.batches;
+          Codec.Writer.i64 w s.batched_writes;
+          Codec.Writer.i64 w s.wal_syncs)
+  | Health_reply h ->
+      payload ~tag:tag_health_reply ~body_bytes:1 (fun w -> Codec.Writer.u8 w (health_u8 h))
+  | Pong -> payload ~tag:tag_pong ~body_bytes:0 ignore
+
+(* --- Decoding ----------------------------------------------------------------- *)
+
+type error =
+  | Oversized of int
+  | Bad_length of int
+  | Bad_crc
+  | Unknown_version of int
+  | Unknown_tag of int
+  | Bad_payload of string
+
+let pp_error ppf = function
+  | Oversized n -> Format.fprintf ppf "oversized frame (%d bytes)" n
+  | Bad_length n -> Format.fprintf ppf "bad frame length (%d)" n
+  | Bad_crc -> Format.pp_print_string ppf "frame checksum mismatch"
+  | Unknown_version v -> Format.fprintf ppf "unknown protocol version %d" v
+  | Unknown_tag t -> Format.fprintf ppf "unknown message tag %d" t
+  | Bad_payload why -> Format.fprintf ppf "bad payload: %s" why
+
+type 'a decoded = Complete of 'a * int | Incomplete | Fail of error
+
+exception Reject of error
+
+let agg_of_code = function
+  | 0 -> Sum
+  | 1 -> Count
+  | 2 -> Avg
+  | n -> raise (Reject (Bad_payload (Printf.sprintf "unknown aggregate code %d" n)))
+
+let error_code_of_u8 = function
+  | 0 -> Bad_request
+  | 1 -> Invalid_request
+  | 2 -> Overloaded
+  | 3 -> Read_only
+  | 4 -> Write_failed
+  | 5 -> Shutting_down
+  | n -> raise (Reject (Bad_payload (Printf.sprintf "unknown error code %d" n)))
+
+let health_of_u8 = function
+  | 0 -> Durable.Healthy
+  | 1 -> Durable.Degraded
+  | 2 -> Durable.Read_only
+  | n -> raise (Reject (Bad_payload (Printf.sprintf "unknown health code %d" n)))
+
+let read_string rd ~remaining =
+  let len = Codec.Reader.i32 rd in
+  if len < 0 || len > remaining then
+    raise (Reject (Bad_payload (Printf.sprintf "string length %d out of range" len)));
+  String.init len (fun _ -> Char.chr (Codec.Reader.u8 rd))
+
+let decode_body_request rd ~len tag =
+  match tag with
+  | t when t = tag_query ->
+      let agg = agg_of_code (Codec.Reader.u8 rd) in
+      let klo = Codec.Reader.i64 rd in
+      let khi = Codec.Reader.i64 rd in
+      let tlo = Codec.Reader.i64 rd in
+      let thi = Codec.Reader.i64 rd in
+      Query { agg; klo; khi; tlo; thi }
+  | t when t = tag_insert ->
+      let key = Codec.Reader.i64 rd in
+      let value = Codec.Reader.i64 rd in
+      let at = Codec.Reader.i64 rd in
+      Insert { key; value; at }
+  | t when t = tag_delete ->
+      let key = Codec.Reader.i64 rd in
+      let at = Codec.Reader.i64 rd in
+      Delete { key; at }
+  | t when t = tag_checkpoint -> Checkpoint
+  | t when t = tag_stats -> Stats
+  | t when t = tag_health -> Health
+  | t when t = tag_ping -> Ping
+  | t when t = tag_shutdown -> Shutdown
+  | t ->
+      ignore len;
+      raise (Reject (Unknown_tag t))
+
+let decode_body_response rd ~len tag =
+  match tag with
+  | t when t = tag_agg ->
+      let sum = Codec.Reader.i64 rd in
+      let count = Codec.Reader.i64 rd in
+      Agg { sum; count }
+  | t when t = tag_ack -> Ack
+  | t when t = tag_err ->
+      let code = error_code_of_u8 (Codec.Reader.u8 rd) in
+      let detail = read_string rd ~remaining:(len - Codec.Reader.pos rd) in
+      Err { code; detail }
+  | t when t = tag_stats_reply ->
+      let updates = Codec.Reader.i64 rd in
+      let alive = Codec.Reader.i64 rd in
+      let pages = Codec.Reader.i64 rd in
+      let now = Codec.Reader.i64 rd in
+      let health = health_of_u8 (Codec.Reader.u8 rd) in
+      let queue_depth = Codec.Reader.i64 rd in
+      let in_flight = Codec.Reader.i64 rd in
+      let conns = Codec.Reader.i64 rd in
+      let requests = Codec.Reader.i64 rd in
+      let shed = Codec.Reader.i64 rd in
+      let batches = Codec.Reader.i64 rd in
+      let batched_writes = Codec.Reader.i64 rd in
+      let wal_syncs = Codec.Reader.i64 rd in
+      Stats_reply
+        { updates; alive; pages; now; health; queue_depth; in_flight; conns; requests;
+          shed; batches; batched_writes; wal_syncs }
+  | t when t = tag_health_reply -> Health_reply (health_of_u8 (Codec.Reader.u8 rd))
+  | t when t = tag_pong -> Pong
+  | t -> raise (Reject (Unknown_tag t))
+
+(* The shared total decoder: validate the length prefix before any
+   allocation, the checksum before any interpretation, the version before
+   the tag.  [Codec.Reader] bounds every field read to the copied payload,
+   so a lying body cannot reach bytes of the next frame; its [Overflow]
+   (and any Reject) surfaces as a typed failure. *)
+let decode decode_body ~buf ~pos ~avail =
+  if pos < 0 || avail < 0 || pos + avail > Bytes.length buf then
+    Fail (Bad_payload "window outside buffer")
+  else if avail < frame_header_bytes then Incomplete
+  else begin
+    let len = Int32.to_int (Bytes.get_int32_le buf pos) in
+    if len > max_payload_bytes then Fail (Oversized len)
+    else if len < 2 then Fail (Bad_length len)
+    else if avail < frame_header_bytes + len then Incomplete
+    else begin
+      let crc = Int32.to_int (Bytes.get_int32_le buf (pos + 4)) land 0xFFFFFFFF in
+      if Codec.crc32 buf ~pos:(pos + frame_header_bytes) ~len <> crc then Fail Bad_crc
+      else begin
+        let body = Bytes.sub buf (pos + frame_header_bytes) len in
+        let rd = Codec.Reader.create body in
+        match
+          let v = Codec.Reader.u8 rd in
+          if v <> version then raise (Reject (Unknown_version v));
+          let tag = Codec.Reader.u8 rd in
+          let msg = decode_body rd ~len tag in
+          if Codec.Reader.pos rd <> len then
+            raise (Reject (Bad_payload "trailing bytes after message"));
+          msg
+        with
+        | msg -> Complete (msg, frame_header_bytes + len)
+        | exception Reject e -> Fail e
+        | exception Codec.Overflow _ -> Fail (Bad_payload "payload ended early")
+      end
+    end
+  end
+
+let decode_request ~buf ~pos ~avail = decode decode_body_request ~buf ~pos ~avail
+let decode_response ~buf ~pos ~avail = decode decode_body_response ~buf ~pos ~avail

@@ -1,0 +1,145 @@
+(** The network wire protocol: versioned, length-prefixed, CRC32-framed
+    binary messages over a byte stream.
+
+    Every message travels as one frame:
+
+    {v
+    +----------+----------+----------------------+
+    | len  u32 | crc  u32 | payload (len bytes)  |
+    +----------+----------+----------------------+
+    payload = version u8 | tag u8 | body
+    v}
+
+    [len] counts the payload only and is validated against
+    {!max_payload_bytes} {e before} any allocation, so a hostile length
+    prefix cannot make the decoder over-read or over-allocate.  [crc] is
+    the {!Storage.Codec.crc32} of the payload, checked before the payload
+    is interpreted.  Integers are little-endian ({!Storage.Codec}); the
+    protocol [version] is the first payload byte so it is covered by the
+    checksum.
+
+    The decoder is total: any byte sequence yields either a decoded
+    message, {!decoded.Incomplete} (a well-formed prefix — read more
+    bytes), or a typed {!error} — never an exception, and it never reads
+    past [pos + avail].
+
+    Responses carry no request ids: the server answers each connection's
+    requests strictly in arrival order, so pipelined clients match
+    responses to requests by position. *)
+
+val version : int
+(** Current protocol version (1). *)
+
+val frame_header_bytes : int
+(** Bytes before the payload: 4 (length) + 4 (CRC). *)
+
+val max_payload_bytes : int
+(** Sanity bound on one payload; larger length prefixes are {!Oversized}. *)
+
+(** {1 Messages} *)
+
+type agg = Sum | Count | Avg
+
+type request =
+  | Query of { agg : agg; klo : int; khi : int; tlo : int; thi : int }
+      (** Range-temporal aggregate over [\[klo,khi) x \[tlo,thi)]. *)
+  | Insert of { key : int; value : int; at : int }
+  | Delete of { key : int; at : int }
+  | Checkpoint  (** Snapshot the warehouse and truncate its log. *)
+  | Stats  (** Server and engine counters; see {!stats}. *)
+  | Health  (** The engine's current {!Durable.health}. *)
+  | Ping
+  | Shutdown
+      (** Ask the server to drain — stop accepting, finish queued work,
+          flush every connection, exit its loop. *)
+
+type error_code =
+  | Bad_request  (** The frame decoded but the message made no sense. *)
+  | Invalid_request
+      (** Precondition violation (key out of range, 1TNF conflict, time
+          going backwards) — the engine state is untouched. *)
+  | Overloaded  (** Admission control shed the request; retry later. *)
+  | Read_only
+      (** The engine is in read-only degradation: writes are rejected,
+          queries keep serving. *)
+  | Write_failed  (** The update was not applied (typed storage error). *)
+  | Shutting_down  (** The server is draining and takes no new work. *)
+
+val pp_error_code : Format.formatter -> error_code -> unit
+
+type stats = {
+  updates : int;  (** Inserts + deletes applied over the engine's life. *)
+  alive : int;
+  pages : int;
+  now : int;
+  health : Durable.health;
+  queue_depth : int;  (** Writes queued for the next group commit. *)
+  in_flight : int;  (** Admitted requests not yet answered. *)
+  conns : int;
+  requests : int;  (** Requests decoded over the server's life. *)
+  shed : int;  (** Requests answered [Overloaded]. *)
+  batches : int;  (** Group commits flushed. *)
+  batched_writes : int;  (** Writes acknowledged through group commit. *)
+  wal_syncs : int;
+}
+
+type response =
+  | Agg of { sum : int; count : int }
+      (** Answer to any {!Query}: AVG is [sum/count], client-side. *)
+  | Ack  (** Insert / delete / checkpoint / shutdown succeeded. *)
+  | Err of { code : error_code; detail : string }
+  | Stats_reply of stats
+  | Health_reply of Durable.health
+  | Pong
+
+val pp_request : Format.formatter -> request -> unit
+val pp_response : Format.formatter -> response -> unit
+
+(** {1 Encoding} *)
+
+val encode_request : request -> bytes
+(** The complete frame, ready to write. *)
+
+val encode_response : response -> bytes
+
+val frame : bytes -> bytes
+(** Frame an arbitrary payload (length prefix + CRC + payload verbatim).
+    The payload must already start with its version and tag bytes —
+    {!encode_request}/{!encode_response} are built on this; tests use it
+    to craft adversarial frames (wrong version, unknown tag, junk body)
+    whose checksum is nevertheless valid.
+    @raise Invalid_argument if the payload is empty or exceeds
+    {!max_payload_bytes}. *)
+
+(** {1 Decoding} *)
+
+type error =
+  | Oversized of int  (** Length prefix beyond {!max_payload_bytes}. *)
+  | Bad_length of int  (** Length prefix too small to hold any message. *)
+  | Bad_crc  (** Checksum mismatch: the payload is corrupt. *)
+  | Unknown_version of int
+  | Unknown_tag of int
+  | Bad_payload of string
+      (** The payload ended early, held an out-of-range field, or had
+          trailing bytes after a complete message. *)
+
+val pp_error : Format.formatter -> error -> unit
+
+type 'a decoded =
+  | Complete of 'a * int
+      (** The message plus the total frame bytes consumed (header and
+          payload), so the caller can advance its buffer. *)
+  | Incomplete
+      (** A valid prefix of a frame — not an error, read more bytes.  A
+          stream that {e ends} here was truncated mid-frame. *)
+  | Fail of error
+
+val decode_request : buf:bytes -> pos:int -> avail:int -> request decoded
+(** Decode one frame from [buf.(pos .. pos+avail)].  Never raises, never
+    reads outside that window. *)
+
+val decode_response : buf:bytes -> pos:int -> avail:int -> response decoded
+
+val is_write : request -> bool
+(** [Insert] and [Delete] — the requests group commit batches and a
+    read-only engine rejects. *)

@@ -253,6 +253,7 @@ let truncate t =
       t.broken <- false)
 
 let broken t = t.broken
+let unsynced t = t.unsynced
 
 let size t =
   check_open t;

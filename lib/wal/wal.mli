@@ -170,6 +170,12 @@ val truncate : t -> (unit, Storage.Storage_error.t) result
 val broken : t -> bool
 (** True after a failed append could not be rolled back; see {!append}. *)
 
+val unsynced : t -> int
+(** Appends accepted since the last fsync — the records a crash right now
+    could lose.  Zero immediately after {!sync}, {!truncate}, or an
+    [Always]-policy append; what a group-commit batcher checks to skip a
+    redundant fsync. *)
+
 val size : t -> int
 (** Current file size in bytes, header included. *)
 

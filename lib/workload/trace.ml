@@ -10,8 +10,8 @@ let save events ~path =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () -> save_channel events oc
 
-let load_channel ic =
-  let events = ref [] in
+let fold_channel ic ~init ~f =
+  let acc = ref init in
   let last_time = ref min_int in
   let lineno = ref 0 in
   let fail fmt = Printf.ksprintf (fun msg -> failwith (Printf.sprintf "Trace: line %d: %s" !lineno msg)) fmt in
@@ -29,18 +29,21 @@ let load_channel ic =
              match (int_of_string_opt at, int_of_string_opt key, int_of_string_opt value) with
              | Some at, Some key, Some value ->
                  check_time at;
-                 events := Generator.Insert { key; value; at } :: !events
+                 acc := f !acc (Generator.Insert { key; value; at })
              | _ -> fail "malformed insert %S" line)
          | [ "D"; at; key ] -> (
              match (int_of_string_opt at, int_of_string_opt key) with
              | Some at, Some key ->
                  check_time at;
-                 events := Generator.Delete { key; at } :: !events
+                 acc := f !acc (Generator.Delete { key; at })
              | _ -> fail "malformed delete %S" line)
          | _ -> fail "unrecognised line %S" line
      done
    with End_of_file -> ());
-  List.rev !events
+  !acc
+
+let load_channel ic =
+  List.rev (fold_channel ic ~init:[] ~f:(fun acc ev -> ev :: acc))
 
 let load ~path =
   let ic = open_in path in

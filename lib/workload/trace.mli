@@ -20,6 +20,12 @@ val load : path:string -> Generator.event list
 
 val load_channel : in_channel -> Generator.event list
 
+val fold_channel : in_channel -> init:'a -> f:('a -> Generator.event -> 'a) -> 'a
+(** Streaming variant: fold [f] over the events of a trace without ever
+    materialising the list, so a serving process can replay a trace far
+    larger than memory.  Same validation (and the same [Failure]) as
+    {!load_channel}, which is itself implemented on top of this. *)
+
 val replay :
   Generator.event list ->
   insert:(key:int -> value:int -> at:int -> unit) ->

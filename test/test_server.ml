@@ -1,0 +1,624 @@
+(* The network query service: wire-codec round trips, adversarial frame
+   decoding, group-commit batching, response ordering, admission control,
+   read-only routing, graceful drain, and a kill -9 crash-recovery round
+   trip against a real serve process. *)
+
+module E = Storage.Storage_error
+
+let temp_dir () =
+  let d = Filename.temp_file "rta_server" ".test" in
+  Sys.remove d;
+  Unix.mkdir d 0o700;
+  d
+
+let rm_rf d =
+  Array.iter (fun f -> try Sys.remove (Filename.concat d f) with Sys_error _ -> ()) (Sys.readdir d);
+  Unix.rmdir d
+
+(* --- Wire codec: encode . decode = id ------------------------------------------ *)
+
+let gen_agg = QCheck.Gen.oneofl [ Wire.Sum; Wire.Count; Wire.Avg ]
+let gen_health = QCheck.Gen.oneofl [ Durable.Healthy; Durable.Degraded; Durable.Read_only ]
+
+let gen_i =
+  (* Mix small values with the full 63-bit range: the codec must carry both. *)
+  QCheck.Gen.(oneof [ small_signed_int; int; oneofl [ 0; 1; -1; max_int; min_int ] ])
+
+let gen_code =
+  QCheck.Gen.oneofl
+    [ Wire.Bad_request; Wire.Invalid_request; Wire.Overloaded; Wire.Read_only;
+      Wire.Write_failed; Wire.Shutting_down ]
+
+(* The encoder truncates details beyond 512 bytes, so stay within it to
+   keep the round trip exact. *)
+let gen_detail = QCheck.Gen.(string_size ~gen:char (int_bound 512))
+
+let gen_request =
+  let open QCheck.Gen in
+  oneof
+    [ (gen_agg >>= fun agg ->
+       gen_i >>= fun klo ->
+       gen_i >>= fun khi ->
+       gen_i >>= fun tlo ->
+       gen_i >>= fun thi -> return (Wire.Query { agg; klo; khi; tlo; thi }));
+      (gen_i >>= fun key ->
+       gen_i >>= fun value ->
+       gen_i >>= fun at -> return (Wire.Insert { key; value; at }));
+      (gen_i >>= fun key -> gen_i >>= fun at -> return (Wire.Delete { key; at }));
+      oneofl [ Wire.Checkpoint; Wire.Stats; Wire.Health; Wire.Ping; Wire.Shutdown ] ]
+
+let gen_stats =
+  let open QCheck.Gen in
+  gen_i >>= fun updates ->
+  gen_i >>= fun alive ->
+  gen_i >>= fun pages ->
+  gen_i >>= fun now ->
+  gen_health >>= fun health ->
+  gen_i >>= fun queue_depth ->
+  gen_i >>= fun in_flight ->
+  gen_i >>= fun conns ->
+  gen_i >>= fun requests ->
+  gen_i >>= fun shed ->
+  gen_i >>= fun batches ->
+  gen_i >>= fun batched_writes ->
+  gen_i >>= fun wal_syncs ->
+  return
+    { Wire.updates; alive; pages; now; health; queue_depth; in_flight; conns; requests;
+      shed; batches; batched_writes; wal_syncs }
+
+let gen_response =
+  let open QCheck.Gen in
+  oneof
+    [ (gen_i >>= fun sum -> gen_i >>= fun count -> return (Wire.Agg { sum; count }));
+      return Wire.Ack;
+      (gen_code >>= fun code ->
+       gen_detail >>= fun detail -> return (Wire.Err { code; detail }));
+      (gen_stats >>= fun s -> return (Wire.Stats_reply s));
+      (gen_health >>= fun h -> return (Wire.Health_reply h));
+      return Wire.Pong ]
+
+let arbitrary_request = QCheck.make ~print:(Format.asprintf "%a" Wire.pp_request) gen_request
+let arbitrary_response =
+  QCheck.make ~print:(Format.asprintf "%a" Wire.pp_response) gen_response
+
+(* Round trip plus framing discipline: every strict prefix is Incomplete
+   (never an error, never a short parse), and trailing bytes of a next
+   frame are left untouched. *)
+let roundtrip encode decode eq msg =
+  let b = encode msg in
+  let n = Bytes.length b in
+  (match decode ~buf:b ~pos:0 ~avail:n with
+  | Wire.Complete (got, used) -> eq got msg && used = n
+  | _ -> false)
+  && (let padded = Bytes.cat b (Bytes.make 7 '\xAA') in
+      match decode ~buf:padded ~pos:0 ~avail:(n + 7) with
+      | Wire.Complete (got, used) -> eq got msg && used = n
+      | _ -> false)
+  &&
+  let rec prefixes_ok avail =
+    avail >= n
+    || (match decode ~buf:b ~pos:0 ~avail with Wire.Incomplete -> true | _ -> false)
+       && prefixes_ok (avail + 1)
+  in
+  prefixes_ok 0
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~name:"request encode . decode = id (all prefixes Incomplete)"
+    ~count:500 arbitrary_request
+    (roundtrip Wire.encode_request Wire.decode_request ( = ))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~name:"response encode . decode = id (all prefixes Incomplete)"
+    ~count:500 arbitrary_response
+    (roundtrip Wire.encode_response Wire.decode_response ( = ))
+
+(* The decoder is total: arbitrary junk at arbitrary offsets never raises
+   and never reads outside the declared window. *)
+let prop_decoder_total =
+  QCheck.Test.make ~name:"decoder never raises on junk" ~count:500
+    QCheck.(pair (string_gen_of_size Gen.(int_bound 200) Gen.char) small_nat)
+    (fun (junk, pos) ->
+      let buf = Bytes.of_string junk in
+      let pos = if Bytes.length buf = 0 then 0 else pos mod Bytes.length buf in
+      (match Wire.decode_request ~buf ~pos ~avail:(Bytes.length buf - pos) with
+      | Wire.Complete _ | Wire.Incomplete | Wire.Fail _ -> true)
+      &&
+      match Wire.decode_response ~buf ~pos ~avail:(Bytes.length buf - pos) with
+      | Wire.Complete _ | Wire.Incomplete | Wire.Fail _ -> true)
+
+(* --- Wire codec: adversarial frames -------------------------------------------- *)
+
+let decode_fails name got expect =
+  match got with
+  | Wire.Fail e when expect e -> ()
+  | Wire.Fail e -> Alcotest.failf "%s: wrong error %a" name Wire.pp_error e
+  | Wire.Complete _ -> Alcotest.failf "%s: decoded" name
+  | Wire.Incomplete -> Alcotest.failf "%s: Incomplete" name
+
+let test_adversarial_frames () =
+  let b = Wire.encode_request (Wire.Insert { key = 7; value = 11; at = 13 }) in
+  let n = Bytes.length b in
+  (* Flip one payload byte: CRC catches it before interpretation. *)
+  let corrupt = Bytes.copy b in
+  Bytes.set corrupt (n - 1) (Char.chr (Char.code (Bytes.get corrupt (n - 1)) lxor 0x40));
+  decode_fails "payload bit flip" (Wire.decode_request ~buf:corrupt ~pos:0 ~avail:n)
+    (( = ) Wire.Bad_crc);
+  (* Flip a CRC byte. *)
+  let corrupt = Bytes.copy b in
+  Bytes.set corrupt 5 (Char.chr (Char.code (Bytes.get corrupt 5) lxor 0x01));
+  decode_fails "crc bit flip" (Wire.decode_request ~buf:corrupt ~pos:0 ~avail:n)
+    (( = ) Wire.Bad_crc);
+  (* A frame whose checksum is valid but whose version is from the future. *)
+  let payload = Bytes.of_string "\x63\x07" in
+  let framed = Wire.frame payload in
+  decode_fails "unknown version"
+    (Wire.decode_request ~buf:framed ~pos:0 ~avail:(Bytes.length framed))
+    (( = ) (Wire.Unknown_version 0x63));
+  (* Valid version, nonsense tag. *)
+  let framed = Wire.frame (Bytes.of_string "\x01\xC8") in
+  decode_fails "unknown tag"
+    (Wire.decode_request ~buf:framed ~pos:0 ~avail:(Bytes.length framed))
+    (( = ) (Wire.Unknown_tag 0xC8));
+  (* A hostile length prefix: rejected before any allocation or read. *)
+  let big = Bytes.create 8 in
+  Bytes.set_int32_le big 0 (Int32.of_int (Wire.max_payload_bytes + 1));
+  Bytes.set_int32_le big 4 0l;
+  decode_fails "oversized length" (Wire.decode_request ~buf:big ~pos:0 ~avail:8) (function
+    | Wire.Oversized _ -> true
+    | _ -> false);
+  let tiny = Bytes.create 8 in
+  Bytes.set_int32_le tiny 0 0l;
+  decode_fails "zero length" (Wire.decode_request ~buf:tiny ~pos:0 ~avail:8) (function
+    | Wire.Bad_length 0 -> true
+    | _ -> false);
+  (* Body shorter than its message: the bounded reader overflows into a
+     typed failure, never past the payload. *)
+  let short_insert =
+    Wire.frame (Bytes.of_string "\x01\x02\x01\x02\x03\x04\x05\x06\x07\x08")
+  in
+  decode_fails "truncated body"
+    (Wire.decode_request ~buf:short_insert ~pos:0 ~avail:(Bytes.length short_insert))
+    (function Wire.Bad_payload _ -> true | _ -> false);
+  (* Trailing bytes after a complete message inside one frame. *)
+  let padded_ping = Wire.frame (Bytes.of_string "\x01\x07\x00") in
+  decode_fails "trailing payload bytes"
+    (Wire.decode_request ~buf:padded_ping ~pos:0 ~avail:(Bytes.length padded_ping))
+    (function Wire.Bad_payload _ -> true | _ -> false)
+
+(* --- Batcher: group commit ------------------------------------------------------ *)
+
+let test_batcher_group_commit () =
+  let dir = temp_dir () in
+  let wal_stats = Wal.Stats.create () in
+  let eng =
+    Durable.open_ ~sync_policy:Wal.Never ~wal_stats ~max_key:1000
+      ~path:(Filename.concat dir "wh") ()
+  in
+  let bat = Batcher.create ~max_batch:4 eng in
+  let outcomes = Array.make 10 None in
+  for i = 0 to 9 do
+    Batcher.enqueue bat
+      (Batcher.Insert { key = i; value = i + 1; at = i + 1 })
+      (fun o -> outcomes.(i) <- Some o)
+  done;
+  Alcotest.(check int) "queued" 10 (Batcher.pending bat);
+  Alcotest.(check int) "no fsync before flush" 0 (Wal.Stats.fsyncs wal_stats);
+  Batcher.flush bat;
+  Array.iteri
+    (fun i o ->
+      match o with
+      | Some Batcher.Applied -> ()
+      | _ -> Alcotest.failf "op %d not applied" i)
+    outcomes;
+  (* 10 writes under max_batch 4 = 3 batches = 3 fsyncs, not 10. *)
+  Alcotest.(check int) "one fsync per batch" 3 (Wal.Stats.fsyncs wal_stats);
+  Alcotest.(check int) "batches" 3 (Batcher.batches bat);
+  Alcotest.(check int) "acked" 10 (Batcher.acked bat);
+  (* A precondition violation is rejected without poisoning its batch. *)
+  let r1 = ref None and r2 = ref None in
+  Batcher.enqueue bat (Batcher.Insert { key = 0; value = 5; at = 20 }) (fun o -> r1 := Some o);
+  Batcher.enqueue bat (Batcher.Insert { key = 100; value = 5; at = 21 }) (fun o -> r2 := Some o);
+  Batcher.flush bat;
+  (match !r1 with
+  | Some (Batcher.Rejected _) -> ()
+  | _ -> Alcotest.fail "duplicate key not rejected");
+  (match !r2 with
+  | Some Batcher.Applied -> ()
+  | _ -> Alcotest.fail "valid op after rejected one not applied");
+  Durable.close eng;
+  rm_rf dir
+
+(* --- In-process server over a real Unix socket ---------------------------------- *)
+
+let step_n srv n =
+  for _ = 1 to n do
+    ignore (Server.step srv ~timeout:0.05)
+  done
+
+let with_server ?config ?(wal_wrap = fun f -> f) k =
+  let dir = temp_dir () in
+  let sock = Filename.concat dir "s.sock" in
+  let eng =
+    Durable.open_ ~sync_policy:Wal.Never ~wal_wrap ~max_key:1000
+      ~path:(Filename.concat dir "wh") ()
+  in
+  let listen = Server.listen_unix ~path:sock in
+  let srv = Server.create ?config ~engine:eng ~listen () in
+  let cli = Client.connect_unix ~path:sock in
+  Fun.protect
+    ~finally:(fun () ->
+      Client.close cli;
+      Server.request_shutdown srv;
+      let i = ref 0 in
+      while Server.step srv ~timeout:0.01 && !i < 200 do
+        incr i
+      done;
+      Durable.close eng;
+      rm_rf dir)
+    (fun () -> k srv cli eng)
+
+let expect_ack name = function
+  | Wire.Ack -> ()
+  | r -> Alcotest.failf "%s: expected ack, got %a" name Wire.pp_response r
+
+let test_server_basic () =
+  with_server @@ fun srv cli eng ->
+  Client.send cli Wire.Ping;
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Pong -> ()
+  | r -> Alcotest.failf "ping answered %a" Wire.pp_response r);
+  Client.send cli (Wire.Insert { key = 1; value = 10; at = 1 });
+  Client.send cli (Wire.Insert { key = 2; value = 20; at = 2 });
+  step_n srv 3;
+  expect_ack "insert 1" (Client.recv cli);
+  expect_ack "insert 2" (Client.recv cli);
+  Client.send cli (Wire.Query { agg = Wire.Sum; klo = 0; khi = 1000; tlo = 0; thi = 100 });
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Agg { sum = 30; count = 2 } -> ()
+  | r -> Alcotest.failf "query answered %a" Wire.pp_response r);
+  Client.send cli Wire.Health;
+  Client.send cli Wire.Stats;
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Health_reply Durable.Healthy -> ()
+  | r -> Alcotest.failf "health answered %a" Wire.pp_response r);
+  (match Client.recv cli with
+  | Wire.Stats_reply s ->
+      Alcotest.(check int) "stats updates" 2 s.Wire.updates;
+      Alcotest.(check int) "stats queue drained" 0 s.Wire.queue_depth
+  | r -> Alcotest.failf "stats answered %a" Wire.pp_response r);
+  (* The engine never fsynced outside the batcher: group commit owns it. *)
+  Alcotest.(check bool) "writes acked after a batch sync" true
+    (Wal.Stats.fsyncs (Durable.wal_stats eng) >= 1);
+  Client.send cli Wire.Checkpoint;
+  step_n srv 3;
+  expect_ack "checkpoint" (Client.recv cli)
+
+(* Responses leave in request order even though queries complete
+   immediately and writes only complete at the batch sync. *)
+let test_server_response_order () =
+  with_server @@ fun srv cli _eng ->
+  for i = 0 to 4 do
+    Client.send cli (Wire.Insert { key = i; value = 100; at = i + 1 });
+    Client.send cli
+      (Wire.Query { agg = Wire.Sum; klo = 0; khi = 1000; tlo = 0; thi = 1000 })
+  done;
+  step_n srv 4;
+  (* Queries complete at decode time, writes only at the end-of-step
+     batch sync — yet the ten responses come back strictly in request
+     order.  A query can only observe writes flushed in earlier loop
+     iterations, so the counts are nondecreasing and never run ahead of
+     the writes decoded before it. *)
+  let last = ref 0 in
+  for i = 0 to 4 do
+    expect_ack (Printf.sprintf "write %d" i) (Client.recv cli);
+    (match Client.recv cli with
+    | Wire.Agg { count; _ } ->
+        if count < !last || count > i + 1 then
+          Alcotest.failf "query %d saw count %d (previous %d)" i count !last;
+        last := count
+    | r -> Alcotest.failf "query %d answered %a" i Wire.pp_response r)
+  done;
+  Client.send cli
+    (Wire.Query { agg = Wire.Count; klo = 0; khi = 1000; tlo = 0; thi = 1000 });
+  step_n srv 3;
+  match Client.recv cli with
+  | Wire.Agg { count = 5; _ } -> ()
+  | r -> Alcotest.failf "final query answered %a" Wire.pp_response r
+
+let test_server_bad_frame_closes () =
+  with_server @@ fun srv cli _eng ->
+  (* A valid frame, then garbage: the valid one is answered, the garbage
+     gets one Bad_request, the connection is closed after the flush. *)
+  Client.send cli Wire.Ping;
+  let junk = Bytes.make 16 '\xFF' in
+  (match Unix.write (Client.fd cli) junk 0 16 with
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  step_n srv 4;
+  (match Client.recv cli with
+  | Wire.Pong -> ()
+  | r -> Alcotest.failf "ping answered %a" Wire.pp_response r);
+  (match Client.recv cli with
+  | Wire.Err { code = Wire.Bad_request; _ } -> ()
+  | r -> Alcotest.failf "junk answered %a" Wire.pp_response r);
+  (match Client.recv cli with
+  | exception Client.Connection_closed -> ()
+  | r -> Alcotest.failf "connection stayed open, got %a" Wire.pp_response r);
+  Alcotest.(check int) "server dropped the connection" 0 (Server.connections srv)
+
+(* --- Admission control ----------------------------------------------------------- *)
+
+let test_admission_unit () =
+  let adm = Admission.create ~config:{ Admission.max_in_flight = 2; max_queue_depth = 8 } () in
+  Alcotest.(check bool) "admit 1" true (Admission.admit adm ~queue_depth:0 ~write:false = Admission.Admit);
+  Alcotest.(check bool) "admit 2" true (Admission.admit adm ~queue_depth:0 ~write:false = Admission.Admit);
+  Alcotest.(check bool) "shed at in-flight cap" true
+    (Admission.admit adm ~queue_depth:0 ~write:false = Admission.Shed);
+  Admission.release adm;
+  Alcotest.(check bool) "admit after release" true
+    (Admission.admit adm ~queue_depth:0 ~write:false = Admission.Admit);
+  Admission.set_read_only adm true;
+  Alcotest.(check bool) "write rejected read-only" true
+    (Admission.admit adm ~queue_depth:0 ~write:true = Admission.Reject_read_only);
+  Alcotest.(check bool) "read still admitted when read-only" true
+    (Admission.admit adm ~queue_depth:0 ~write:false = Admission.Shed);
+  (* in-flight is back at the cap, so the read sheds — but as load, not
+     as a read-only rejection. *)
+  Alcotest.(check int) "read-only rejections counted separately" 1
+    (Admission.rejected_read_only adm);
+  Alcotest.(check int) "shed counted" 2 (Admission.shed adm)
+
+(* A slow-drain server: many pipelined writes arrive in one loop iteration
+   with a tiny queue cap — the first [cap] are admitted, the rest get a
+   typed Overloaded, and the server keeps serving afterwards. *)
+let test_admission_queue_cap () =
+  let config = { Server.default_config with Server.max_queue_depth = 4 } in
+  with_server ~config @@ fun srv cli _eng ->
+  for i = 0 to 9 do
+    Client.send cli (Wire.Insert { key = i; value = 1; at = i + 1 })
+  done;
+  step_n srv 4;
+  let acks = ref 0 and overloaded = ref 0 in
+  for _ = 0 to 9 do
+    match Client.recv cli with
+    | Wire.Ack -> incr acks
+    | Wire.Err { code = Wire.Overloaded; _ } -> incr overloaded
+    | r -> Alcotest.failf "unexpected %a" Wire.pp_response r
+  done;
+  Alcotest.(check int) "queue cap admitted" 4 !acks;
+  Alcotest.(check int) "excess shed with Overloaded" 6 !overloaded;
+  Alcotest.(check int) "shed counter" 6 (Admission.shed (Server.admission srv));
+  (* Shedding is per-request, not a mode: the next write sails through. *)
+  Client.send cli (Wire.Insert { key = 100; value = 1; at = 50 });
+  step_n srv 3;
+  expect_ack "write after shed" (Client.recv cli)
+
+(* --- Read-only degradation over the wire ----------------------------------------- *)
+
+(* Fail every WAL append after the first [ok_appends] with a permanent
+   ENOSPC: the engine flips read-only mid-batch; writes are answered with
+   typed errors (engine-level first, admission-level after the health
+   hook fires) while queries on the same connection keep serving. *)
+let failing_appends ~ok_appends file =
+  let appends = ref 0 in
+  { file with
+    Storage.Vfs.f_append =
+      (fun buf pos len ->
+        incr appends;
+        if !appends > ok_appends then
+          raise
+            (E.Io (E.v ~op:E.Append ~path:"injected" ~detail:"disk full (injected)" E.Enospc))
+        else file.Storage.Vfs.f_append buf pos len);
+  }
+
+let test_read_only_over_wire () =
+  (* The WAL header is append #1; allow two record appends after it.
+     The first two inserts go in their own batch so they are synced and
+     acked before the injection trips — a failed append poisons its
+     whole batch (earlier un-synced ops in it can never be acked). *)
+  with_server ~wal_wrap:(failing_appends ~ok_appends:3) @@ fun srv cli _eng ->
+  Client.send cli (Wire.Insert { key = 1; value = 10; at = 1 });
+  Client.send cli (Wire.Insert { key = 2; value = 20; at = 2 });
+  step_n srv 3;
+  expect_ack "insert 1" (Client.recv cli);
+  expect_ack "insert 2" (Client.recv cli);
+  Client.send cli (Wire.Insert { key = 3; value = 30; at = 3 });
+  Client.send cli (Wire.Insert { key = 4; value = 40; at = 4 });
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Err { code = Wire.Write_failed; _ } -> ()
+  | r -> Alcotest.failf "failed append answered %a" Wire.pp_response r);
+  (* Insert 4 was already past admission when the batch ran; the engine
+     itself refuses it. *)
+  (match Client.recv cli with
+  | Wire.Err { code = Wire.Read_only; _ } -> ()
+  | r -> Alcotest.failf "post-failure write answered %a" Wire.pp_response r);
+  (* The health hook flipped the admission gate: a fresh write bounces
+     there without touching the engine, *)
+  Client.send cli (Wire.Insert { key = 5; value = 50; at = 5 });
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Err { code = Wire.Read_only; _ } -> ()
+  | r -> Alcotest.failf "gated write answered %a" Wire.pp_response r);
+  Alcotest.(check int) "rejected at the admission gate" 1
+    (Admission.rejected_read_only (Server.admission srv));
+  (* ...while queries and health keep serving the acknowledged state. *)
+  Client.send cli (Wire.Query { agg = Wire.Sum; klo = 0; khi = 1000; tlo = 0; thi = 100 });
+  Client.send cli Wire.Health;
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Agg { sum = 30; count = 2 } -> ()
+  | r -> Alcotest.failf "read-only query answered %a" Wire.pp_response r);
+  match Client.recv cli with
+  | Wire.Health_reply Durable.Read_only -> ()
+  | r -> Alcotest.failf "read-only health answered %a" Wire.pp_response r
+
+(* A failed batch sync must fail every op the batch applied: the records
+   are in the log but their durability is unknown, so nothing is acked. *)
+let failing_sync file =
+  { file with
+    Storage.Vfs.f_sync =
+      (fun () -> raise (E.Io (E.v ~op:E.Fsync ~path:"injected" ~detail:"fsync refused" E.Eio)));
+  }
+
+let test_sync_failure_acks_nothing () =
+  with_server ~wal_wrap:failing_sync @@ fun srv cli eng ->
+  Client.send cli (Wire.Insert { key = 1; value = 10; at = 1 });
+  Client.send cli (Wire.Insert { key = 2; value = 20; at = 2 });
+  step_n srv 4;
+  for i = 1 to 2 do
+    match Client.recv cli with
+    | Wire.Err { code = Wire.Write_failed; _ } -> ()
+    | r -> Alcotest.failf "unsynced insert %d answered %a" i Wire.pp_response r
+  done;
+  Alcotest.(check int) "nothing acked" 0 (Batcher.acked (Server.batcher srv));
+  Alcotest.(check bool) "engine read-only" true (Durable.health eng = Durable.Read_only)
+
+(* --- Graceful drain ---------------------------------------------------------------- *)
+
+let test_graceful_drain () =
+  with_server @@ fun srv cli eng ->
+  for i = 0 to 4 do
+    Client.send cli (Wire.Insert { key = i; value = 1; at = i + 1 })
+  done;
+  Client.send cli Wire.Shutdown;
+  Client.send cli Wire.Ping;
+  (* Drive to completion: step must eventually return false. *)
+  let steps = ref 0 in
+  while Server.step srv ~timeout:0.05 && !steps < 200 do
+    incr steps
+  done;
+  Alcotest.(check bool) "loop ended" true (!steps < 200);
+  for i = 0 to 4 do
+    expect_ack (Printf.sprintf "drained write %d" i) (Client.recv cli)
+  done;
+  expect_ack "shutdown" (Client.recv cli);
+  (* The ping was pipelined behind the shutdown: the server is draining
+     and answers with the typed refusal, then closes. *)
+  (match Client.recv cli with
+  | Wire.Err { code = Wire.Shutting_down; _ } -> ()
+  | r -> Alcotest.failf "post-shutdown request answered %a" Wire.pp_response r);
+  (match Client.recv cli with
+  | exception Client.Connection_closed -> ()
+  | r -> Alcotest.failf "connection survived drain with %a" Wire.pp_response r);
+  Alcotest.(check int) "all writes applied before exit" 5
+    (Rta.n_updates (Durable.warehouse eng))
+
+(* --- Kill -9 the serve process mid-burst ------------------------------------------- *)
+
+let exe = "../bin/rta_cli.exe"
+
+(* The zero-acked-but-lost contract, against a real process: pipeline a
+   write burst at a forked `rta_cli serve`, SIGKILL it mid-stream, then
+   recover the engine in-process and require
+       acked <= recovered <= issued
+   plus exact prefix semantics (the WAL replays a prefix of the issued
+   ops, so the recovered warehouse must equal that prefix's aggregates). *)
+let test_kill_server_recovers () =
+  if not (Sys.file_exists exe) then
+    Alcotest.skip ()
+  else begin
+    let dir = temp_dir () in
+    let sock = Filename.concat dir "s.sock" in
+    let prefix = Filename.concat dir "wh" in
+    let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    let pid =
+      Unix.create_process exe
+        [| exe; "serve"; "--wal"; prefix; "--socket"; sock; "--max-key"; "100000";
+           "--max-batch"; "8" |]
+        Unix.stdin null null
+    in
+    Unix.close null;
+    let rec connect n =
+      match Client.connect_unix ~path:sock with
+      | cli -> cli
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 100 ->
+          Unix.sleepf 0.05;
+          connect (n + 1)
+    in
+    let cli = connect 0 in
+    let n = 400 and window = 32 in
+    let issued = ref 0 and acked = ref 0 and killed = ref false in
+    (try
+       for i = 0 to n - 1 do
+         while !issued - !acked >= window do
+           match Client.recv cli with
+           | Wire.Ack -> incr acked
+           | r -> Alcotest.failf "burst write answered %a" Wire.pp_response r
+         done;
+         Client.send cli (Wire.Insert { key = i; value = i + 1; at = i + 1 });
+         incr issued;
+         if (not !killed) && !acked >= 50 then begin
+           Unix.kill pid Sys.sigkill;
+           killed := true
+         end
+       done;
+       while !acked < !issued do
+         match Client.recv cli with
+         | Wire.Ack -> incr acked
+         | r -> Alcotest.failf "burst write answered %a" Wire.pp_response r
+       done
+     with
+    | Client.Connection_closed | Client.Protocol_error _ -> ()
+    | Unix.Unix_error _ -> ());
+    if not !killed then Unix.kill pid Sys.sigkill;
+    ignore (Unix.waitpid [] pid);
+    Client.close cli;
+    Alcotest.(check bool) "the kill landed mid-burst" true (!acked < n);
+    (* Recover in-process and check the bounds. *)
+    let eng = Durable.open_ ~max_key:100000 ~path:prefix () in
+    let rta = Durable.warehouse eng in
+    Rta.check_invariants rta;
+    let recovered = Rta.n_updates rta in
+    if not (!acked <= recovered) then
+      Alcotest.failf "LOST ACKED WRITES: acked %d > recovered %d" !acked recovered;
+    if not (recovered <= !issued) then
+      Alcotest.failf "recovered %d ops but only %d were issued" recovered !issued;
+    (* Prefix semantics: op i inserted key i with value i+1 at time i+1,
+       so a recovery of r ops must hold exactly keys 0..r-1. *)
+    let sum, count = Rta.sum_count rta ~klo:0 ~khi:100000 ~tlo:0 ~thi:1000000 in
+    Alcotest.(check int) "recovered count is the prefix" recovered count;
+    Alcotest.(check int) "recovered sum is the prefix sum"
+      (recovered * (recovered + 1) / 2)
+      sum;
+    Durable.close eng;
+    rm_rf dir
+  end
+
+(* --- Suite ------------------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "wire",
+        [
+          QCheck_alcotest.to_alcotest prop_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_decoder_total;
+          Alcotest.test_case "adversarial frames" `Quick test_adversarial_frames;
+        ] );
+      ( "batcher",
+        [ Alcotest.test_case "group commit" `Quick test_batcher_group_commit ] );
+      ( "server",
+        [
+          Alcotest.test_case "basic requests" `Quick test_server_basic;
+          Alcotest.test_case "response order" `Quick test_server_response_order;
+          Alcotest.test_case "bad frame closes" `Quick test_server_bad_frame_closes;
+          Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "gate unit" `Quick test_admission_unit;
+          Alcotest.test_case "queue cap sheds" `Quick test_admission_queue_cap;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "read-only over the wire" `Quick test_read_only_over_wire;
+          Alcotest.test_case "sync failure acks nothing" `Quick test_sync_failure_acks_nothing;
+        ] );
+      ( "crash",
+        [ Alcotest.test_case "kill -9 and recover" `Quick test_kill_server_recovers ] );
+    ]
