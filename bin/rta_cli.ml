@@ -1206,15 +1206,16 @@ let need_endpoint who =
   exit 2
 
 let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
-    max_queue_depth checkpoint_every =
+    max_queue_depth checkpoint_every shards readers sim_io_us =
   setup_logs verbosity;
-  (* Group commit owns the fsync schedule: the engine logs every update
-     under [Wal.Never] and only the batcher's [Durable.sync_wal] — one
-     per batch, before any ack — makes them durable. *)
-  let eng =
-    Durable.open_ ~pool_capacity:buffer ~sync_policy:Wal.Never ~checkpoint_every ~max_key
-      ~path:wal ()
-  in
+  if shards < 1 then begin
+    prerr_endline "serve: --shards must be >= 1";
+    exit 2
+  end;
+  if readers < 0 then begin
+    prerr_endline "serve: --readers must be >= 0";
+    exit 2
+  end;
   let listen, where =
     match (socket, port) with
     | Some path, _ -> (Server.listen_unix ~path, "unix:" ^ path)
@@ -1224,20 +1225,76 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
     | None, None -> need_endpoint "serve"
   in
   let config = { Server.default_config with max_batch; max_in_flight; max_queue_depth } in
-  let srv = Server.create ~config ~engine:eng ~listen () in
-  let stop _ = Server.request_shutdown srv in
-  Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
-  Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
-  if Durable.replayed_on_open eng > 0 then
-    Printf.printf "recovered %d logged updates\n" (Durable.replayed_on_open eng);
-  Printf.printf "serving %s on %s (batch<=%d, in-flight<=%d, queue<=%d)\n%!" wal where
-    max_batch max_in_flight max_queue_depth;
-  Server.run srv;
-  let s = Server.stats srv in
-  Printf.printf "drained: %d requests, %d group commits covering %d writes, %d shed\n"
-    s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.shed;
-  Format.printf "final health: %a@." Durable.pp_health (Durable.health eng);
-  Durable.close eng
+  if shards = 1 && readers = 0 then begin
+    (* The PR-5 single-engine path, byte-for-byte the same on-disk
+       layout (<wal>, no shard suffix).  Group commit owns the fsync
+       schedule: the engine logs every update under [Wal.Never] and only
+       the batcher's [Durable.sync_wal] — one per batch, before any ack
+       — makes them durable. *)
+    let eng =
+      Durable.open_ ~pool_capacity:buffer ~sync_policy:Wal.Never ~checkpoint_every
+        ~max_key ~path:wal ()
+    in
+    let srv = Server.create ~config ~engine:eng ~listen () in
+    let stop _ = Server.request_shutdown srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    if Durable.replayed_on_open eng > 0 then
+      Printf.printf "recovered %d logged updates\n" (Durable.replayed_on_open eng);
+    Printf.printf "serving %s on %s (batch<=%d, in-flight<=%d, queue<=%d)\n%!" wal where
+      max_batch max_in_flight max_queue_depth;
+    Server.run srv;
+    let s = Server.stats srv in
+    Printf.printf "drained: %d requests, %d group commits covering %d writes, %d shed\n"
+      s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.shed;
+    Format.printf "final health: %a@." Durable.pp_health (Durable.health eng);
+    Durable.close eng
+  end
+  else begin
+    (* Sharded: one writer domain per key range under <wal>.s<i>, each
+       running its own group commit; reader domains serve snapshot
+       queries when requested. *)
+    let ccfg =
+      {
+        Shard.Cluster.default_config with
+        shards;
+        readers;
+        max_batch;
+        sim_io_ns = int_of_float (sim_io_us *. 1000.);
+      }
+    in
+    let cluster =
+      Shard.Cluster.create ~config:ccfg ~pool_capacity:buffer ~checkpoint_every ~max_key
+        ~path:wal ()
+    in
+    let srv = Server.create_sharded ~config ~cluster ~listen () in
+    let stop _ = Server.request_shutdown srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Array.iter
+      (fun (i, (r : Durable.recovery_report)) ->
+        if r.replayed > 0 then
+          Printf.printf "shard %d: recovered %d logged updates\n" i r.replayed)
+      (Shard.Cluster.recovery cluster);
+    Printf.printf
+      "serving %s on %s (%d shards, %d readers, batch<=%d, in-flight<=%d, queue<=%d)\n%!"
+      wal where shards readers max_batch max_in_flight max_queue_depth;
+    Server.run srv;
+    let s = Server.stats srv in
+    Printf.printf "drained: %d requests, %d group commits covering %d writes, %d shed\n"
+      s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.shed;
+    List.iter
+      (fun (ss : Wire.shard_stat) ->
+        Format.printf
+          "  shard %d [%d,%d): watermark %d (readers at %d), %d batches, %d acked, \
+           health %a@."
+          ss.Wire.shard ss.Wire.s_klo ss.Wire.s_khi ss.Wire.watermark
+          ss.Wire.reader_watermark ss.Wire.s_batches ss.Wire.s_acked Durable.pp_health
+          ss.Wire.s_health)
+      (Server.shard_stats srv);
+    Format.printf "final health: %a@." Durable.pp_health (Shard.Cluster.health cluster);
+    Shard.Cluster.shutdown cluster
+  end
 
 let serve_cmd =
   let max_batch =
@@ -1252,14 +1309,37 @@ let serve_cmd =
     let doc = "Admission cap on writes queued for the next group commit." in
     Arg.(value & opt int 256 & info [ "max-queue-depth" ] ~doc)
   in
+  let shards =
+    let doc =
+      "Key-range shards, each owned by a writer domain with its own WAL (<wal>.s<i>).  \
+       1 with --readers 0 keeps the single-engine layout."
+    in
+    Arg.(value & opt int 1 & info [ "shards" ] ~doc)
+  in
+  let readers =
+    let doc =
+      "Reader domains serving queries from lock-free snapshot replicas (0 = queries run \
+       on the writer domains)."
+    in
+    Arg.(value & opt int 0 & info [ "readers" ] ~doc)
+  in
+  let sim_io_us =
+    let doc =
+      "Simulated device latency in microseconds charged per logical page touch on the \
+       query path (sharded mode only) — makes reader scaling observable on a \
+       single-core host."
+    in
+    Arg.(value & opt float 0. & info [ "sim-io-us" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the wire protocol over a durable warehouse: select event loop, group \
-          commit, admission control; SIGTERM/SIGINT drain and exit 0")
+          commit, admission control, optional key-range shards on OCaml domains; \
+          SIGTERM/SIGINT drain and exit 0")
     Term.(const serve_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
           $ wal_req_term $ socket_term $ port_term $ max_batch $ max_in_flight
-          $ max_queue_depth $ checkpoint_every_term)
+          $ max_queue_depth $ checkpoint_every_term $ shards $ readers $ sim_io_us)
 
 let connect_with_retry ~socket ~port =
   let try_once () =
@@ -1295,8 +1375,26 @@ let server_stats_json (s : Wire.stats) =
       ("batched_writes", Telemetry.Json.Int s.Wire.batched_writes);
       ("wal_syncs", Telemetry.Json.Int s.Wire.wal_syncs) ]
 
+let shard_stat_json (ss : Wire.shard_stat) =
+  Telemetry.Json.Obj
+    [ ("shard", Telemetry.Json.Int ss.Wire.shard);
+      ("klo", Telemetry.Json.Int ss.Wire.s_klo);
+      ("khi", Telemetry.Json.Int ss.Wire.s_khi);
+      ("watermark", Telemetry.Json.Int ss.Wire.watermark);
+      ("reader_watermark", Telemetry.Json.Int ss.Wire.reader_watermark);
+      ("now", Telemetry.Json.Int ss.Wire.s_now);
+      ("alive", Telemetry.Json.Int ss.Wire.s_alive);
+      ("queue", Telemetry.Json.Int ss.Wire.s_queue);
+      ("batches", Telemetry.Json.Int ss.Wire.s_batches);
+      ("acked", Telemetry.Json.Int ss.Wire.s_acked);
+      ("wal_syncs", Telemetry.Json.Int ss.Wire.s_wal_syncs);
+      ("health", Telemetry.Json.Str (health_string ss.Wire.s_health));
+      ("io_reads", Telemetry.Json.Int ss.Wire.s_io_reads);
+      ("io_writes", Telemetry.Json.Int ss.Wire.s_io_writes);
+      ("io_syncs", Telemetry.Json.Int ss.Wire.s_io_syncs) ]
+
 let netbench_impl verbosity spec input socket port window queries qrs do_shutdown smoke
-    stats_json =
+    stats_json query_window want_shard_stats =
   setup_logs verbosity;
   let spec, queries =
     if smoke then
@@ -1351,14 +1449,34 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
     drain_one ()
   done;
   let wall = Unix.gettimeofday () -. t0 in
+  (* Query phase, pipelined like the write phase: against a sharded
+     server a window > 1 keeps several reader domains busy at once, so
+     the reported q/s reflects reader-scaling. *)
+  let rects = query_rects ~spec ~n:queries ~qrs in
+  let qwindow = max 1 query_window in
   let query_ok = ref 0 in
+  let q_outstanding = ref 0 in
+  let drain_query () =
+    decr q_outstanding;
+    match Client.recv cli with Wire.Agg _ -> incr query_ok | _ -> ()
+  in
+  let qt0 = Unix.gettimeofday () in
   List.iter
     (fun (r : Workload.Query_gen.rect) ->
-      match Client.query cli ~agg:Wire.Sum ~klo:r.klo ~khi:r.khi ~tlo:r.tlo ~thi:r.thi with
-      | Wire.Agg _ -> incr query_ok
-      | _ -> ())
-    (query_rects ~spec ~n:queries ~qrs);
+      while !q_outstanding >= qwindow do
+        drain_query ()
+      done;
+      Client.send cli
+        (Wire.Query { agg = Wire.Sum; klo = r.klo; khi = r.khi; tlo = r.tlo; thi = r.thi });
+      incr q_outstanding)
+    rects;
+  while !q_outstanding > 0 do
+    drain_query ()
+  done;
+  let qwall = Unix.gettimeofday () -. qt0 in
+  let qps = if qwall > 0. then float_of_int (List.length rects) /. qwall else 0. in
   let srv_stats = Client.stats cli in
+  let srv_shards = if want_shard_stats then Client.shard_stats cli else None in
   (if do_shutdown then
      match Client.shutdown cli with
      | Wire.Ack -> ()
@@ -1380,23 +1498,63 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
             ("wall_s", Telemetry.Json.Float wall);
             ("req_per_s", Telemetry.Json.Float rps);
             ("queries_ok", Telemetry.Json.Int !query_ok);
+            ("query_window", Telemetry.Json.Int qwindow);
+            ("query_wall_s", Telemetry.Json.Float qwall);
+            ("query_per_s", Telemetry.Json.Float qps);
             ("health", Telemetry.Json.Str (health_string health)) ]
+         @ (match srv_stats with
+           | Some s -> [ ("server", server_stats_json s) ]
+           | None -> [])
          @
-         match srv_stats with
-         | Some s -> [ ("server", server_stats_json s) ]
+         match srv_shards with
+         | Some shards ->
+             (* Per-shard counters plus the whole-system merge, so a
+                consumer gets both views from one report. *)
+             [ ("shards", Telemetry.Json.List (List.map shard_stat_json shards));
+               ( "io",
+                 Telemetry.Json.Obj
+                   [ ( "reads",
+                       Telemetry.Json.Int
+                         (List.fold_left (fun a s -> a + s.Wire.s_io_reads) 0 shards) );
+                     ( "writes",
+                       Telemetry.Json.Int
+                         (List.fold_left (fun a s -> a + s.Wire.s_io_writes) 0 shards) );
+                     ( "syncs",
+                       Telemetry.Json.Int
+                         (List.fold_left (fun a s -> a + s.Wire.s_io_syncs) 0 shards) )
+                   ] ) ]
          | None -> []))
   else begin
     Printf.printf
       "netbench: %d writes in %.3f s = %.0f req/s (window %d); %d acked, %d rejected, %d \
        failed; %d/%d queries ok\n"
       !sent wall rps window !acked !rejected !failed !query_ok queries;
-    match srv_stats with
+    Printf.printf "  queries: %.3f s = %.0f q/s (window %d)\n" qwall qps qwindow;
+    (match srv_stats with
     | Some s ->
         Format.printf
           "  server: %d requests, %d batches covering %d writes, %d wal syncs, %d shed, \
            health %a@."
           s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.wal_syncs s.Wire.shed
           Durable.pp_health s.Wire.health
+    | None -> ());
+    match srv_shards with
+    | Some shards ->
+        List.iter
+          (fun (ss : Wire.shard_stat) ->
+            Format.printf
+              "  shard %d [%d,%d): watermark %d (readers at %d), queue %d, %d batches, \
+               %d acked, io %d/%d/%d r/w/s, health %a@."
+              ss.Wire.shard ss.Wire.s_klo ss.Wire.s_khi ss.Wire.watermark
+              ss.Wire.reader_watermark ss.Wire.s_queue ss.Wire.s_batches ss.Wire.s_acked
+              ss.Wire.s_io_reads ss.Wire.s_io_writes ss.Wire.s_io_syncs Durable.pp_health
+              ss.Wire.s_health)
+          shards;
+        Printf.printf "  io total: %d reads, %d writes, %d syncs across %d shards\n"
+          (List.fold_left (fun a (s : Wire.shard_stat) -> a + s.Wire.s_io_reads) 0 shards)
+          (List.fold_left (fun a (s : Wire.shard_stat) -> a + s.Wire.s_io_writes) 0 shards)
+          (List.fold_left (fun a (s : Wire.shard_stat) -> a + s.Wire.s_io_syncs) 0 shards)
+          (List.length shards)
     | None -> ()
   end;
   if !failed > 0 then exit 1
@@ -1422,14 +1580,26 @@ let netbench_cmd =
     let doc = "Bounded CI run: caps the workload at 400 events and 20 queries." in
     Arg.(value & flag & info [ "smoke" ] ~doc)
   in
+  let query_window =
+    let doc =
+      "Pipeline window for the query phase (1 = sequential).  Against a sharded server \
+       a larger window keeps several reader domains busy at once."
+    in
+    Arg.(value & opt int 1 & info [ "query-window" ] ~doc)
+  in
+  let shard_stats =
+    let doc = "Fetch and report per-shard stats (watermarks, queues, per-shard I/O)." in
+    Arg.(value & flag & info [ "shard-stats" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "netbench"
        ~doc:
          "Closed-loop load generator for a running serve instance: replay a workload as \
-          pipelined wire writes, then queries, and report req/s (exits 1 on any failed \
-          write)")
+          pipelined wire writes, then pipelined queries, and report req/s and q/s (exits \
+          1 on any failed write)")
     Term.(const netbench_impl $ verbosity $ spec_term $ input_term $ socket_term
-          $ port_term $ window $ queries $ qrs $ do_shutdown $ smoke $ stats_json_term)
+          $ port_term $ window $ queries $ qrs $ do_shutdown $ smoke $ stats_json_term
+          $ query_window $ shard_stats)
 
 (* --- dot ------------------------------------------------------------------------- *)
 

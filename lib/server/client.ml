@@ -72,5 +72,8 @@ let delete t ~key ~at = call t (Wire.Delete { key; at })
 let query t ~agg ~klo ~khi ~tlo ~thi = call t (Wire.Query { agg; klo; khi; tlo; thi })
 let checkpoint t = call t Wire.Checkpoint
 let stats t = match call t Wire.Stats with Wire.Stats_reply s -> Some s | _ -> None
+
+let shard_stats t =
+  match call t Wire.Shard_stats with Wire.Shard_stats_reply s -> Some s | _ -> None
 let health t = match call t Wire.Health with Wire.Health_reply h -> Some h | _ -> None
 let shutdown t = call t Wire.Shutdown

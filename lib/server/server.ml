@@ -35,13 +35,20 @@ type conn = {
 
 type state = Accepting | Draining | Stopped
 
+(* The data plane behind the event loop: either the PR-5 single-engine
+   group-commit path, or the sharded cluster of writer/reader domains.
+   The connection state machine, admission gate, and wire handling are
+   identical for both. *)
+type backend =
+  | Single of { eng : Durable.t; bat : Batcher.t }
+  | Sharded of Shard.Cluster.t
+
 type t = {
   cfg : config;
   tel : Tracer.t;
   reg : Metrics.t;
-  eng : Durable.t;
+  backend : backend;
   adm : Admission.t;
-  bat : Batcher.t;
   listen_fd : Unix.file_descr;
   mutable conns : conn list;
   mutable state : state;
@@ -83,8 +90,7 @@ let listen_tcp ?(host = "127.0.0.1") ~port () =
 
 (* --- Construction --------------------------------------------------------------- *)
 
-let create ?(config = default_config) ?(telemetry = Tracer.noop) ?metrics ~engine ~listen () =
-  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+let make ~config ~telemetry ~reg ~backend ~listen () =
   let adm =
     Admission.create
       ~config:
@@ -92,20 +98,6 @@ let create ?(config = default_config) ?(telemetry = Tracer.noop) ?metrics ~engin
           max_queue_depth = config.max_queue_depth }
       ()
   in
-  let m_batch_size =
-    Metrics.histogram reg ~help:"Writes per group commit (one WAL sync each)."
-      "server_batch_size"
-  in
-  let bat =
-    Batcher.create ~max_batch:config.max_batch ~telemetry
-      ~on_batch:(fun n -> Metrics.observe m_batch_size (float_of_int n))
-      engine
-  in
-  (* Health-aware routing without polling: the engine tells us the moment
-     it degrades, and writes start bouncing at the admission gate. *)
-  Durable.on_health_change engine (fun _ next ->
-      Admission.set_read_only adm (next = Durable.Read_only));
-  Admission.set_read_only adm (Durable.health engine = Durable.Read_only);
   (* A peer that disconnects mid-write must surface as EPIPE, not kill
      the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -113,9 +105,8 @@ let create ?(config = default_config) ?(telemetry = Tracer.noop) ?metrics ~engin
     cfg = config;
     tel = telemetry;
     reg;
-    eng = engine;
+    backend;
     adm;
-    bat;
     listen_fd = listen;
     conns = [];
     state = Accepting;
@@ -138,6 +129,36 @@ let create ?(config = default_config) ?(telemetry = Tracer.noop) ?metrics ~engin
       Metrics.gauge reg ~help:"Admitted requests awaiting a response." "server_in_flight";
     m_conns = Metrics.gauge reg ~help:"Open connections." "server_connections";
   }
+
+let create ?(config = default_config) ?(telemetry = Tracer.noop) ?metrics ~engine ~listen
+    () =
+  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  let m_batch_size =
+    Metrics.histogram reg ~help:"Writes per group commit (one WAL sync each)."
+      "server_batch_size"
+  in
+  let bat =
+    Batcher.create ~max_batch:config.max_batch ~telemetry
+      ~on_batch:(fun n -> Metrics.observe m_batch_size (float_of_int n))
+      engine
+  in
+  let t =
+    make ~config ~telemetry ~reg ~backend:(Single { eng = engine; bat }) ~listen ()
+  in
+  (* Health-aware routing without polling: the engine tells us the moment
+     it degrades, and writes start bouncing at the admission gate. *)
+  Durable.on_health_change engine (fun _ next ->
+      Admission.set_read_only t.adm (next = Durable.Read_only));
+  Admission.set_read_only t.adm (Durable.health engine = Durable.Read_only);
+  t
+
+let create_sharded ?(config = default_config) ?(telemetry = Tracer.noop) ?metrics
+    ~cluster ~listen () =
+  let reg = match metrics with Some r -> r | None -> Metrics.create () in
+  (* No admission-level read-only gate here: health is per shard, so a
+     write to a degraded shard bounces with its typed error while the
+     healthy shards keep accepting. *)
+  make ~config ~telemetry ~reg ~backend:(Sharded cluster) ~listen ()
 
 (* --- Buffers -------------------------------------------------------------------- *)
 
@@ -201,27 +222,111 @@ let err_of_storage (e : E.t) =
   | E.Read_only_store -> err Wire.Read_only (E.to_string e)
   | _ -> err Wire.Write_failed (E.to_string e)
 
+let queue_depth t =
+  match t.backend with
+  | Single { bat; _ } -> Batcher.pending bat
+  | Sharded c -> Shard.Cluster.pending_writes c
+
+let backend_health t =
+  match t.backend with
+  | Single { eng; _ } -> Durable.health eng
+  | Sharded c -> Shard.Cluster.health c
+
 let stats t =
+  let updates, alive, pages, now, health, batches, acked, wal_syncs =
+    match t.backend with
+    | Single { eng; bat } ->
+        let w = Durable.warehouse eng in
+        ( Rta.n_updates w,
+          Rta.alive_count w,
+          Rta.page_count w,
+          Rta.now w,
+          Durable.health eng,
+          Batcher.batches bat,
+          Batcher.acked bat,
+          Wal.Stats.fsyncs (Durable.wal_stats eng) )
+    | Sharded c ->
+        let s = Shard.Cluster.totals c in
+        (s.watermark, s.alive, s.pages, s.now, s.health, s.batches, s.acked, s.wal_syncs)
+  in
   {
-    Wire.updates = Rta.n_updates (Durable.warehouse t.eng);
-    alive = Rta.alive_count (Durable.warehouse t.eng);
-    pages = Rta.page_count (Durable.warehouse t.eng);
-    now = Rta.now (Durable.warehouse t.eng);
-    health = Durable.health t.eng;
-    queue_depth = Batcher.pending t.bat;
+    Wire.updates;
+    alive;
+    pages;
+    now;
+    health;
+    queue_depth = queue_depth t;
     in_flight = Admission.in_flight t.adm;
     conns = List.length t.conns;
     requests = t.requests;
     shed = Admission.shed t.adm;
-    batches = Batcher.batches t.bat;
-    batched_writes = Batcher.acked t.bat;
-    wal_syncs = Wal.Stats.fsyncs (Durable.wal_stats t.eng);
+    batches;
+    batched_writes = acked;
+    wal_syncs;
   }
+
+let shard_stats t : Wire.shard_stat list =
+  match t.backend with
+  | Sharded c ->
+      List.map
+        (fun (i : Shard.Cluster.shard_info) ->
+          let s = i.stat in
+          {
+            Wire.shard = i.shard;
+            s_klo = i.klo;
+            s_khi = i.khi;
+            watermark = s.watermark;
+            reader_watermark = i.reader_watermark;
+            s_now = s.now;
+            s_alive = s.alive;
+            s_queue = i.queue;
+            s_batches = s.batches;
+            s_acked = s.acked;
+            s_wal_syncs = s.wal_syncs;
+            s_health = s.health;
+            s_io_reads = s.io.Telemetry.Io_stats.reads;
+            s_io_writes = s.io.Telemetry.Io_stats.writes;
+            s_io_syncs = s.io.Telemetry.Io_stats.syncs;
+          })
+        (Shard.Cluster.shard_infos c)
+  | Single { eng; bat } ->
+      (* A single-engine server is one shard covering the whole domain;
+         there is no reader lag because queries read the engine itself. *)
+      let w = Durable.warehouse eng in
+      let io = Telemetry.Io_stats.snapshot (Durable.io_stats eng) in
+      [
+        {
+          Wire.shard = 0;
+          s_klo = 0;
+          s_khi = Rta.max_key w;
+          watermark = Rta.n_updates w;
+          reader_watermark = Rta.n_updates w;
+          s_now = Rta.now w;
+          s_alive = Rta.alive_count w;
+          s_queue = Batcher.pending bat;
+          s_batches = Batcher.batches bat;
+          s_acked = Batcher.acked bat;
+          s_wal_syncs = Wal.Stats.fsyncs (Durable.wal_stats eng);
+          s_health = Durable.health eng;
+          s_io_reads = io.Telemetry.Io_stats.reads;
+          s_io_writes = io.Telemetry.Io_stats.writes;
+          s_io_syncs = io.Telemetry.Io_stats.syncs;
+        };
+      ]
 
 let outcome_response = function
   | Batcher.Applied -> Wire.Ack
   | Batcher.Rejected m -> err Wire.Invalid_request m
   | Batcher.Failed e -> err_of_storage e
+
+let cluster_outcome_response = function
+  | Shard.Cluster.Applied -> Wire.Ack
+  | Shard.Cluster.Rejected m -> err Wire.Invalid_request m
+  | Shard.Cluster.Failed e -> err_of_storage e
+
+let query_error_response = function
+  | Shard.Cluster.Bad_query m -> err Wire.Invalid_request m
+  | Shard.Cluster.Io e -> err_of_storage e
 
 let handle_request t conn (req : Wire.request) =
   t.requests <- t.requests + 1;
@@ -234,12 +339,12 @@ let handle_request t conn (req : Wire.request) =
         t.state <- Draining;
         fill slot Wire.Ack
     | Wire.Ping -> fill slot Wire.Pong
-    | Wire.Health -> fill slot (Wire.Health_reply (Durable.health t.eng))
+    | Wire.Health -> fill slot (Wire.Health_reply (backend_health t))
     | Wire.Stats -> fill slot (Wire.Stats_reply (stats t))
+    | Wire.Shard_stats -> fill slot (Wire.Shard_stats_reply (shard_stats t))
     | Wire.Query _ | Wire.Insert _ | Wire.Delete _ | Wire.Checkpoint -> (
         match
-          Admission.admit t.adm ~queue_depth:(Batcher.pending t.bat)
-            ~write:(Wire.is_write req)
+          Admission.admit t.adm ~queue_depth:(queue_depth t) ~write:(Wire.is_write req)
         with
         | Admission.Reject_read_only ->
             Metrics.inc t.m_ro_rejected;
@@ -248,46 +353,75 @@ let handle_request t conn (req : Wire.request) =
             Metrics.inc t.m_shed;
             fill slot (err Wire.Overloaded "admission limit reached; back off and retry")
         | Admission.Admit -> (
-            match req with
-            | Wire.Query { agg = _; klo; khi; tlo; thi } ->
+            match (req, t.backend) with
+            | Wire.Query { agg = _; klo; khi; tlo; thi }, Single { eng; _ } ->
                 let resp =
                   Tracer.with_span t.tel "server.request"
                     ~attrs:(fun () -> [ ("kind", Tracer.Str "query") ])
                   @@ fun () ->
-                  match Durable.sum_count t.eng ~klo ~khi ~tlo ~thi with
+                  match Durable.sum_count eng ~klo ~khi ~tlo ~thi with
                   | sum, count -> Wire.Agg { sum; count }
                   | exception Invalid_argument m -> err Wire.Invalid_request m
                   | exception E.Io e -> err_of_storage e
                 in
                 fill slot resp;
                 Admission.release t.adm
-            | Wire.Insert { key; value; at } ->
-                Batcher.enqueue t.bat
+            | Wire.Query { agg = _; klo; khi; tlo; thi }, Sharded c ->
+                Shard.Cluster.submit_query c ~klo ~khi ~tlo ~thi (fun res ->
+                    (match res with
+                    | Ok (sum, count) -> fill slot (Wire.Agg { sum; count })
+                    | Error e -> fill slot (query_error_response e));
+                    Admission.release t.adm)
+            | Wire.Insert { key; value; at }, Single { bat; _ } ->
+                Batcher.enqueue bat
                   (Batcher.Insert { key; value; at })
                   (fun outcome ->
                     fill slot (outcome_response outcome);
                     Admission.release t.adm)
-            | Wire.Delete { key; at } ->
-                Batcher.enqueue t.bat
+            | Wire.Insert { key; value; at }, Sharded c ->
+                Shard.Cluster.submit_write c
+                  (Shard.Op.Insert { key; value; at })
+                  (fun outcome ->
+                    fill slot (cluster_outcome_response outcome);
+                    Admission.release t.adm)
+            | Wire.Delete { key; at }, Single { bat; _ } ->
+                Batcher.enqueue bat
                   (Batcher.Delete { key; at })
                   (fun outcome ->
                     fill slot (outcome_response outcome);
                     Admission.release t.adm)
-            | Wire.Checkpoint ->
+            | Wire.Delete { key; at }, Sharded c ->
+                Shard.Cluster.submit_write c
+                  (Shard.Op.Delete { key; at })
+                  (fun outcome ->
+                    fill slot (cluster_outcome_response outcome);
+                    Admission.release t.adm)
+            | Wire.Checkpoint, Single { eng; bat } ->
                 (* Order barrier: the snapshot must cover every write
                    queued before the checkpoint request. *)
                 let resp =
                   Tracer.with_span t.tel "server.request"
                     ~attrs:(fun () -> [ ("kind", Tracer.Str "checkpoint") ])
                   @@ fun () ->
-                  Batcher.flush t.bat;
-                  match Durable.checkpoint t.eng with
+                  Batcher.flush bat;
+                  match Durable.checkpoint eng with
                   | Ok () -> Wire.Ack
                   | Error e -> err_of_storage e
                 in
                 fill slot resp;
                 Admission.release t.adm
-            | Wire.Stats | Wire.Health | Wire.Ping | Wire.Shutdown -> assert false))
+            | Wire.Checkpoint, Sharded c ->
+                (* Per-shard FIFO mailboxes are the order barrier: each
+                   writer checkpoints behind every write queued before
+                   this request. *)
+                Shard.Cluster.submit_checkpoint c (fun res ->
+                    (match res with
+                    | Ok () -> fill slot Wire.Ack
+                    | Error e -> fill slot (err_of_storage e));
+                    Admission.release t.adm)
+            | (Wire.Stats | Wire.Health | Wire.Ping | Wire.Shutdown | Wire.Shard_stats), _
+              ->
+                assert false))
 
 (* Decode every complete frame in the input buffer.  On a framing error
    the byte stream can no longer be trusted: answer once, stop reading,
@@ -383,6 +517,9 @@ let step t ~timeout =
       t.conns <- List.filter (fun c -> not c.dead) t.conns;
       let read_fds =
         (if t.state = Accepting then [ t.listen_fd ] else [])
+        @ (match t.backend with
+          | Single _ -> []
+          | Sharded c -> [ Shard.Cluster.wake_fd c ])
         @ List.filter_map
             (fun c ->
               (* Backpressure: a connection drowning in unread responses
@@ -402,9 +539,14 @@ let step t ~timeout =
       in
       if List.mem t.listen_fd rs then accept_loop t;
       List.iter (fun c -> if (not c.dead) && List.mem c.fd rs then read_conn t c) t.conns;
-      (* The group commit: every write parsed this iteration (across all
-         connections) lands under one WAL sync per [max_batch] chunk. *)
-      Batcher.flush t.bat;
+      (* Single: the group commit — every write parsed this iteration
+         (across all connections) lands under one WAL sync per
+         [max_batch] chunk.  Sharded: run completion callbacks posted by
+         the writer/reader domains (the shards group-commit on their own
+         clocks). *)
+      (match t.backend with
+      | Single { bat; _ } -> Batcher.flush bat
+      | Sharded c -> ignore (Shard.Cluster.drain c));
       List.iter
         (fun c ->
           if not c.dead then begin
@@ -419,14 +561,25 @@ let step t ~timeout =
           then close_conn c)
         t.conns;
       t.conns <- List.filter (fun c -> not c.dead) t.conns;
-      Metrics.set_gauge t.m_queue_depth (float_of_int (Batcher.pending t.bat));
+      Metrics.set_gauge t.m_queue_depth (float_of_int (queue_depth t));
       Metrics.set_gauge t.m_in_flight (float_of_int (Admission.in_flight t.adm));
       Metrics.set_gauge t.m_conns (float_of_int (List.length t.conns));
-      Metrics.set_counter t.m_batches (Batcher.batches t.bat);
-      Metrics.set_counter t.m_acked (Batcher.acked t.bat);
+      (match t.backend with
+      | Single { bat; _ } ->
+          Metrics.set_counter t.m_batches (Batcher.batches bat);
+          Metrics.set_counter t.m_acked (Batcher.acked bat)
+      | Sharded c ->
+          let s = Shard.Cluster.totals c in
+          Metrics.set_counter t.m_batches s.batches;
+          Metrics.set_counter t.m_acked s.acked);
       (match t.state with
       | Draining ->
-          if (not (List.exists conn_busy t.conns)) && Batcher.pending t.bat = 0 then begin
+          let backend_idle =
+            match t.backend with
+            | Single { bat; _ } -> Batcher.pending bat = 0
+            | Sharded c -> Shard.Cluster.outstanding c = 0
+          in
+          if (not (List.exists conn_busy t.conns)) && backend_idle then begin
             List.iter close_conn t.conns;
             t.conns <- [];
             (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
@@ -441,7 +594,17 @@ let request_shutdown t = if t.state = Accepting then t.state <- Draining
 let shutting_down t = t.state <> Accepting
 let connections t = List.length t.conns
 let requests t = t.requests
-let engine t = t.eng
+
+let engine t =
+  match t.backend with
+  | Single { eng; _ } -> eng
+  | Sharded _ -> invalid_arg "Server.engine: this server is sharded (use cluster)"
+
+let batcher t =
+  match t.backend with
+  | Single { bat; _ } -> bat
+  | Sharded _ -> invalid_arg "Server.batcher: this server is sharded (use cluster)"
+
+let cluster t = match t.backend with Sharded c -> Some c | Single _ -> None
 let admission t = t.adm
-let batcher t = t.bat
 let metrics t = t.reg

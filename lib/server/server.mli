@@ -1,11 +1,22 @@
 (** The query service: a [Unix.select] event loop serving the {!Wire}
-    protocol over a durable RTA engine.
+    protocol over a durable RTA engine — either a single engine or a
+    {!Shard.Cluster} of writer/reader domains.
 
-    One single-threaded loop owns everything — the listening socket,
-    every connection's read/write state machine, the {!Admission} gate,
-    and the group-commit {!Batcher} — so no locks, and a natural batching
+    One single-threaded loop owns the network: the listening socket,
+    every connection's read/write state machine, and the {!Admission}
+    gate — so no locks on connection state, and a natural batching
     boundary: all the writes that arrive within one loop iteration
     commit under one WAL sync.
+
+    With a {e single} engine ({!create}) the loop also owns the
+    group-commit {!Batcher} and executes queries inline.  With a
+    {e sharded} backend ({!create_sharded}) requests are submitted to the
+    cluster's writer/reader domains; their completion callbacks fill the
+    reserved response slots when the loop calls [Shard.Cluster.drain]
+    (the cluster's wake pipe sits in the [select] read set, so the loop
+    sleeps until either a socket or a completion is ready).  Response
+    ordering, backpressure, and drain semantics are identical in both
+    modes.
 
     Per iteration ({!step}):
 
@@ -82,6 +93,22 @@ val create :
     batch-size histogram; [telemetry] emits [server.request] /
     [server.batch] spans. *)
 
+val create_sharded :
+  ?config:config ->
+  ?telemetry:Telemetry.Tracer.t ->
+  ?metrics:Telemetry.Metrics.t ->
+  cluster:Shard.Cluster.t ->
+  listen:Unix.file_descr ->
+  unit ->
+  t
+(** Serve a {!Shard.Cluster} instead of a single engine.  The caller
+    owns the cluster's lifecycle: create it first, and call
+    [Shard.Cluster.shutdown] after {!run} returns.  [config.max_batch]
+    is ignored (each shard batches by its own [Cluster] config).  There
+    is no admission-level read-only gate — shard health is per shard, so
+    writes to a degraded shard bounce with its typed error while healthy
+    shards keep accepting. *)
+
 val step : t -> timeout:float -> bool
 (** One event-loop iteration, blocking in [select] at most [timeout]
     seconds.  Returns [false] once the server has fully drained after a
@@ -98,10 +125,26 @@ val request_shutdown : t -> unit
 val shutting_down : t -> bool
 val connections : t -> int
 val requests : t -> int
+
 val engine : t -> Durable.t
-val admission : t -> Admission.t
+(** The single backend engine.
+    @raise Invalid_argument on a sharded server. *)
+
 val batcher : t -> Batcher.t
+(** The single backend's group-commit batcher.
+    @raise Invalid_argument on a sharded server. *)
+
+val cluster : t -> Shard.Cluster.t option
+(** The sharded backend, if this server was built with
+    {!create_sharded}. *)
+
+val admission : t -> Admission.t
 val metrics : t -> Telemetry.Metrics.t
 
 val stats : t -> Wire.stats
-(** The snapshot served to wire [Stats] requests. *)
+(** The snapshot served to wire [Stats] requests; on a sharded server
+    the engine-level fields are the cluster totals. *)
+
+val shard_stats : t -> Wire.shard_stat list
+(** The per-shard rows served to wire [Shard_stats] requests; a single
+    backend reports itself as one shard covering the whole key domain. *)

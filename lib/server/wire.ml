@@ -15,12 +15,14 @@ let tag_stats = 5
 let tag_health = 6
 let tag_ping = 7
 let tag_shutdown = 8
+let tag_shard_stats = 9
 let tag_agg = 65
 let tag_ack = 66
 let tag_err = 67
 let tag_stats_reply = 68
 let tag_health_reply = 69
 let tag_pong = 70
+let tag_shard_stats_reply = 71
 
 type agg = Sum | Count | Avg
 
@@ -33,6 +35,7 @@ type request =
   | Health
   | Ping
   | Shutdown
+  | Shard_stats
 
 type error_code =
   | Bad_request
@@ -68,6 +71,26 @@ type stats = {
   wal_syncs : int;
 }
 
+(* Max shards is 64 ({!Shard.Cluster}), so the largest reply is ~6 KiB —
+   comfortably under [max_payload_bytes]. *)
+type shard_stat = {
+  shard : int;
+  s_klo : int;
+  s_khi : int;  (* the shard's half-open key range *)
+  watermark : int;  (* committed updates published by the writer *)
+  reader_watermark : int;  (* min applied across readers; = watermark if none *)
+  s_now : int;
+  s_alive : int;
+  s_queue : int;  (* writer mailbox depth *)
+  s_batches : int;
+  s_acked : int;
+  s_wal_syncs : int;
+  s_health : Durable.health;
+  s_io_reads : int;
+  s_io_writes : int;
+  s_io_syncs : int;
+}
+
 type response =
   | Agg of { sum : int; count : int }
   | Ack
@@ -75,6 +98,7 @@ type response =
   | Stats_reply of stats
   | Health_reply of Durable.health
   | Pong
+  | Shard_stats_reply of shard_stat list
 
 let pp_agg ppf a =
   Format.pp_print_string ppf (match a with Sum -> "sum" | Count -> "count" | Avg -> "avg")
@@ -89,6 +113,13 @@ let pp_request ppf = function
   | Health -> Format.pp_print_string ppf "health"
   | Ping -> Format.pp_print_string ppf "ping"
   | Shutdown -> Format.pp_print_string ppf "shutdown"
+  | Shard_stats -> Format.pp_print_string ppf "shard-stats"
+
+let pp_shard_stat ppf s =
+  Format.fprintf ppf
+    "shard %d [%d,%d) watermark=%d reader=%d queue=%d batches=%d acked=%d health=%a"
+    s.shard s.s_klo s.s_khi s.watermark s.reader_watermark s.s_queue s.s_batches
+    s.s_acked Durable.pp_health s.s_health
 
 let pp_response ppf = function
   | Agg { sum; count } -> Format.fprintf ppf "agg sum=%d count=%d" sum count
@@ -101,6 +132,7 @@ let pp_response ppf = function
         s.alive Durable.pp_health s.health s.queue_depth s.shed
   | Health_reply h -> Format.fprintf ppf "health %a" Durable.pp_health h
   | Pong -> Format.pp_print_string ppf "pong"
+  | Shard_stats_reply ss -> Format.fprintf ppf "shard-stats n=%d" (List.length ss)
 
 let is_write = function Insert _ | Delete _ -> true | _ -> false
 
@@ -165,6 +197,26 @@ let encode_request = function
   | Health -> payload ~tag:tag_health ~body_bytes:0 ignore
   | Ping -> payload ~tag:tag_ping ~body_bytes:0 ignore
   | Shutdown -> payload ~tag:tag_shutdown ~body_bytes:0 ignore
+  | Shard_stats -> payload ~tag:tag_shard_stats ~body_bytes:0 ignore
+
+let shard_stat_bytes = (14 * 8) + 1
+
+let write_shard_stat w s =
+  Codec.Writer.i64 w s.shard;
+  Codec.Writer.i64 w s.s_klo;
+  Codec.Writer.i64 w s.s_khi;
+  Codec.Writer.i64 w s.watermark;
+  Codec.Writer.i64 w s.reader_watermark;
+  Codec.Writer.i64 w s.s_now;
+  Codec.Writer.i64 w s.s_alive;
+  Codec.Writer.i64 w s.s_queue;
+  Codec.Writer.i64 w s.s_batches;
+  Codec.Writer.i64 w s.s_acked;
+  Codec.Writer.i64 w s.s_wal_syncs;
+  Codec.Writer.u8 w (health_u8 s.s_health);
+  Codec.Writer.i64 w s.s_io_reads;
+  Codec.Writer.i64 w s.s_io_writes;
+  Codec.Writer.i64 w s.s_io_syncs
 
 let encode_response = function
   | Agg { sum; count } ->
@@ -198,6 +250,13 @@ let encode_response = function
   | Health_reply h ->
       payload ~tag:tag_health_reply ~body_bytes:1 (fun w -> Codec.Writer.u8 w (health_u8 h))
   | Pong -> payload ~tag:tag_pong ~body_bytes:0 ignore
+  | Shard_stats_reply ss ->
+      let n = List.length ss in
+      payload ~tag:tag_shard_stats_reply
+        ~body_bytes:(4 + (n * shard_stat_bytes))
+        (fun w ->
+          Codec.Writer.i32 w n;
+          List.iter (write_shard_stat w) ss)
 
 (* --- Decoding ----------------------------------------------------------------- *)
 
@@ -271,6 +330,7 @@ let decode_body_request rd ~len tag =
   | t when t = tag_health -> Health
   | t when t = tag_ping -> Ping
   | t when t = tag_shutdown -> Shutdown
+  | t when t = tag_shard_stats -> Shard_stats
   | t ->
       ignore len;
       raise (Reject (Unknown_tag t))
@@ -305,6 +365,36 @@ let decode_body_response rd ~len tag =
           shed; batches; batched_writes; wal_syncs }
   | t when t = tag_health_reply -> Health_reply (health_of_u8 (Codec.Reader.u8 rd))
   | t when t = tag_pong -> Pong
+  | t when t = tag_shard_stats_reply ->
+      let n = Codec.Reader.i32 rd in
+      let remaining = len - Codec.Reader.pos rd in
+      if n < 0 || n * shard_stat_bytes <> remaining then
+        raise
+          (Reject
+             (Bad_payload
+                (Printf.sprintf "shard-stats count %d does not match body size" n)));
+      Shard_stats_reply
+        (List.init n (fun _ ->
+             let shard = Codec.Reader.i64 rd in
+             let s_klo = Codec.Reader.i64 rd in
+             let s_khi = Codec.Reader.i64 rd in
+             let watermark = Codec.Reader.i64 rd in
+             let reader_watermark = Codec.Reader.i64 rd in
+             let s_now = Codec.Reader.i64 rd in
+             let s_alive = Codec.Reader.i64 rd in
+             let s_queue = Codec.Reader.i64 rd in
+             let s_batches = Codec.Reader.i64 rd in
+             let s_acked = Codec.Reader.i64 rd in
+             let s_wal_syncs = Codec.Reader.i64 rd in
+             let s_health = health_of_u8 (Codec.Reader.u8 rd) in
+             let s_io_reads = Codec.Reader.i64 rd in
+             let s_io_writes = Codec.Reader.i64 rd in
+             let s_io_syncs = Codec.Reader.i64 rd in
+             {
+               shard; s_klo; s_khi; watermark; reader_watermark; s_now; s_alive;
+               s_queue; s_batches; s_acked; s_wal_syncs; s_health; s_io_reads;
+               s_io_writes; s_io_syncs;
+             }))
   | t -> raise (Reject (Unknown_tag t))
 
 (* The shared total decoder: validate the length prefix before any

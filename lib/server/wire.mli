@@ -52,6 +52,9 @@ type request =
   | Shutdown
       (** Ask the server to drain — stop accepting, finish queued work,
           flush every connection, exit its loop. *)
+  | Shard_stats
+      (** Per-shard counters and watermarks; a single-shard server
+          answers with one entry covering the whole key domain. *)
 
 type error_code =
   | Bad_request  (** The frame decoded but the message made no sense. *)
@@ -83,6 +86,28 @@ type stats = {
   wal_syncs : int;
 }
 
+(** One shard's row in a [Shard_stats] reply: its key range, the
+    writer's committed version watermark, the minimum watermark the
+    reader replicas have applied (their snapshot lag), queue depth, group
+    commit counters, health, and I/O — see {!Shard.Snapshot}. *)
+type shard_stat = {
+  shard : int;
+  s_klo : int;
+  s_khi : int;  (** Half-open key range [\[s_klo, s_khi)]. *)
+  watermark : int;
+  reader_watermark : int;
+  s_now : int;
+  s_alive : int;
+  s_queue : int;
+  s_batches : int;
+  s_acked : int;
+  s_wal_syncs : int;
+  s_health : Durable.health;
+  s_io_reads : int;
+  s_io_writes : int;
+  s_io_syncs : int;
+}
+
 type response =
   | Agg of { sum : int; count : int }
       (** Answer to any {!Query}: AVG is [sum/count], client-side. *)
@@ -91,9 +116,11 @@ type response =
   | Stats_reply of stats
   | Health_reply of Durable.health
   | Pong
+  | Shard_stats_reply of shard_stat list
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit
+val pp_shard_stat : Format.formatter -> shard_stat -> unit
 
 (** {1 Encoding} *)
 

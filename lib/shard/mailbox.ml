@@ -1,0 +1,75 @@
+type 'a t = {
+  m : Mutex.t;
+  not_empty : Condition.t;
+  not_full : Condition.t;
+  q : 'a Queue.t;
+  capacity : int;
+  len : int Atomic.t;
+  mutable closed : bool;
+}
+
+let create ~capacity () =
+  if capacity < 1 then invalid_arg "Mailbox.create: capacity must be >= 1";
+  {
+    m = Mutex.create ();
+    not_empty = Condition.create ();
+    not_full = Condition.create ();
+    q = Queue.create ();
+    capacity;
+    len = Atomic.make 0;
+    closed = false;
+  }
+
+let put t v =
+  Mutex.lock t.m;
+  while (not t.closed) && Queue.length t.q >= t.capacity do
+    Condition.wait t.not_full t.m
+  done;
+  let accepted = not t.closed in
+  if accepted then begin
+    Queue.add v t.q;
+    Atomic.incr t.len;
+    Condition.signal t.not_empty
+  end;
+  Mutex.unlock t.m;
+  accepted
+
+let take t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.not_empty t.m
+  done;
+  let v = Queue.take_opt t.q in
+  if Option.is_some v then begin
+    Atomic.decr t.len;
+    Condition.signal t.not_full
+  end;
+  Mutex.unlock t.m;
+  v
+
+let try_take t =
+  Mutex.lock t.m;
+  let v = Queue.take_opt t.q in
+  if Option.is_some v then begin
+    Atomic.decr t.len;
+    Condition.signal t.not_full
+  end;
+  Mutex.unlock t.m;
+  v
+
+let length t = Atomic.get t.len
+
+let close t =
+  Mutex.lock t.m;
+  if not t.closed then begin
+    t.closed <- true;
+    Condition.broadcast t.not_empty;
+    Condition.broadcast t.not_full
+  end;
+  Mutex.unlock t.m
+
+let is_closed t =
+  Mutex.lock t.m;
+  let c = t.closed in
+  Mutex.unlock t.m;
+  c

@@ -1,0 +1,35 @@
+(** Bounded multi-producer / multi-consumer mailbox on stdlib
+    [Mutex]/[Condition] — the hand-rolled channel the cluster uses
+    instead of Domainslib (which the toolchain does not ship).
+
+    FIFO.  [put] blocks while the mailbox is full, [take] blocks while
+    it is empty; {!close} wakes every waiter and turns the mailbox into
+    a drain: pending messages are still taken, then [take] returns
+    [None].  {!length} reads an [Atomic] counter so the event loop can
+    observe queue depth without taking the lock. *)
+
+type 'a t
+
+val create : capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val put : 'a t -> 'a -> bool
+(** Enqueue, blocking while full.  Returns [false] (message dropped) if
+    the mailbox is closed. *)
+
+val take : 'a t -> 'a option
+(** Dequeue, blocking while empty.  [None] once closed {e and}
+    drained. *)
+
+val try_take : 'a t -> 'a option
+(** Non-blocking dequeue; [None] when nothing is immediately ready
+    (empty or closed-and-drained). *)
+
+val length : 'a t -> int
+(** Current queue length, without taking the lock. *)
+
+val close : 'a t -> unit
+(** Idempotent.  Producers start getting [false]; consumers drain what
+    remains, then get [None]. *)
+
+val is_closed : 'a t -> bool

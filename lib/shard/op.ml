@@ -1,0 +1,11 @@
+type t =
+  | Insert of { key : int; value : int; at : int }
+  | Delete of { key : int; at : int }
+
+let key = function Insert { key; _ } | Delete { key; _ } -> key
+let at = function Insert { at; _ } | Delete { at; _ } -> at
+
+let pp ppf = function
+  | Insert { key; value; at } ->
+      Format.fprintf ppf "insert key=%d value=%d at=%d" key value at
+  | Delete { key; at } -> Format.fprintf ppf "delete key=%d at=%d" key at

@@ -1,0 +1,16 @@
+type part = { shard : int; klo : int; khi : int }
+
+let scatter router ~klo ~khi =
+  List.map (fun (shard, klo, khi) -> { shard; klo; khi }) (Router.parts router ~klo ~khi)
+
+let merge pairs =
+  List.fold_left (fun (s, c) (s', c') -> (s + s', c + c')) (0, 0) pairs
+
+let avg ~sum ~count =
+  if count = 0 then None else Some (float_of_int sum /. float_of_int count)
+
+let query router f ~klo ~khi =
+  merge
+    (List.map
+       (fun { shard; klo; khi } -> f ~shard ~klo ~khi)
+       (scatter router ~klo ~khi))

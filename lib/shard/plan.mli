@@ -1,0 +1,38 @@
+(** The scatter-gather query planner.
+
+    The paper's Theorem 1 reduces a range-temporal aggregate over
+    [\[klo, khi) x \[tlo, thi)] to six dominance-sum point queries; both
+    SUM and COUNT are therefore dominance sums, and a dominance sum over
+    a disjoint union of key ranges is the sum of the per-range sums.  So
+    a query against a sharded warehouse is planned as:
+
+    + {e scatter}: split the key interval at the {!Router} boundaries —
+      a point query touches exactly one shard, a range query the shards
+      it overlaps;
+    + per shard, answer the clipped rectangle from that shard's engine
+      or replica;
+    + {e gather}: add the per-shard [(sum, count)] pairs.  AVG is
+      [sum / count] of the {e merged} pair — never an average of
+      per-shard averages, which would weight shards wrongly. *)
+
+type part = { shard : int; klo : int; khi : int }
+
+val scatter : Router.t -> klo:int -> khi:int -> part list
+(** The per-shard sub-rectangles (key dimension only — the time interval
+    is common to all parts).  Empty for an empty key interval. *)
+
+val merge : (int * int) list -> int * int
+(** Sum the per-shard [(sum, count)] pairs. *)
+
+val avg : sum:int -> count:int -> float option
+(** [None] when [count = 0] — the rectangle is empty. *)
+
+val query :
+  Router.t ->
+  (shard:int -> klo:int -> khi:int -> int * int) ->
+  klo:int ->
+  khi:int ->
+  int * int
+(** [query router f ~klo ~khi] scatters, applies [f] to each part, and
+    merges — the whole plan for callers that can answer parts
+    synchronously (reader domains, the single-threaded {!Warehouse}). *)

@@ -1,0 +1,79 @@
+type t = {
+  max_key : int;
+  starts : int array;  (* starts.(0) = 0, strictly increasing, < max_key *)
+}
+
+let create ?boundaries ~shards ~max_key () =
+  if max_key < 1 then invalid_arg "Router.create: max_key must be >= 1";
+  if shards < 1 then invalid_arg "Router.create: shards must be >= 1";
+  if shards > max_key then
+    invalid_arg "Router.create: more shards than keys in the domain";
+  let starts =
+    match boundaries with
+    | None ->
+        (* Even split with the remainder spread over the first shards, so
+           ranges differ in size by at most one key. *)
+        let q = max_key / shards and r = max_key mod shards in
+        Array.init shards (fun i -> (i * q) + min i r)
+    | Some bs ->
+        if List.length bs <> shards - 1 then
+          invalid_arg
+            (Printf.sprintf
+               "Router.create: %d boundaries for %d shards (need shards - 1)"
+               (List.length bs) shards);
+        let starts = Array.of_list (0 :: bs) in
+        Array.iteri
+          (fun i b ->
+            if i > 0 && (b <= starts.(i - 1) || b >= max_key) then
+              invalid_arg
+                (Printf.sprintf
+                   "Router.create: boundary %d not strictly increasing inside (0, %d)"
+                   b max_key))
+          starts;
+        starts
+  in
+  { max_key; starts }
+
+let shards t = Array.length t.starts
+let max_key t = t.max_key
+let start t i = t.starts.(i)
+
+let range t i =
+  let n = Array.length t.starts in
+  (t.starts.(i), if i = n - 1 then t.max_key else t.starts.(i + 1))
+
+(* Greatest [i] with [starts.(i) <= key]. *)
+let shard_of_key t key =
+  if key <= 0 then 0
+  else begin
+    let lo = ref 0 and hi = ref (Array.length t.starts - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.starts.(mid) <= key then lo := mid else hi := mid - 1
+    done;
+    !lo
+  end
+
+let parts t ~klo ~khi =
+  let klo = max klo 0 and khi = min khi t.max_key in
+  if klo >= khi then []
+  else begin
+    let first = shard_of_key t klo and last = shard_of_key t (khi - 1) in
+    List.init
+      (last - first + 1)
+      (fun j ->
+        let i = first + j in
+        let lo, hi = range t i in
+        (i, max klo lo, min khi hi))
+  end
+
+let boundaries t = List.tl (Array.to_list t.starts)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%d shards over [0,%d):" (shards t) t.max_key;
+  Array.iteri
+    (fun i _ ->
+      let lo, hi = range t i in
+      Format.fprintf ppf " [%d,%d)" lo hi)
+    t.starts;
+  Format.fprintf ppf "@]"

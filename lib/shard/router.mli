@@ -1,0 +1,55 @@
+(** Key-range routing: the partition of the key domain into contiguous
+    shards.
+
+    The warehouse key domain is the half-open interval [\[0, max_key)]
+    (the keys {!Rta.insert} accepts).  A router splits it into [n]
+    contiguous, disjoint, covering ranges
+
+    {v
+    shard 0        shard 1              shard n-1
+    [0, b_1) , [b_1, b_2) , ... , [b_(n-1), max_key)
+    v}
+
+    so every key belongs to exactly one shard and a key-range query
+    decomposes into at most [n] sub-ranges whose union is the original
+    range.  Because the paper's Theorem-1 aggregates (SUM and COUNT) are
+    dominance sums, the per-shard answers compose by addition — see
+    {!Plan}.
+
+    Routers are immutable and safe to share across domains. *)
+
+type t
+
+val create : ?boundaries:int list -> shards:int -> max_key:int -> unit -> t
+(** [create ~shards ~max_key ()] splits [\[0, max_key)] into [shards]
+    near-equal ranges.  [boundaries], when given, lists the {e interior}
+    split points [b_1 < ... < b_(n-1)] explicitly (each in
+    [(0, max_key)]) and overrides the even split; it must have exactly
+    [shards - 1] elements.
+    @raise Invalid_argument if [shards < 1], [shards > max_key], or the
+    boundaries are not strictly increasing interior points. *)
+
+val shards : t -> int
+val max_key : t -> int
+
+val start : t -> int -> int
+(** First key of shard [i]. *)
+
+val range : t -> int -> int * int
+(** [range t i] is the half-open key range [(lo, hi)] of shard [i]:
+    keys [k] with [lo <= k < hi]. *)
+
+val shard_of_key : t -> int -> int
+(** The shard owning [key] (binary search; keys outside [\[0, max_key)]
+    clamp to the first / last shard). *)
+
+val parts : t -> klo:int -> khi:int -> (int * int * int) list
+(** Decompose the half-open key interval [\[klo, khi)] into per-shard
+    pieces [(shard, klo', khi')] with [klo' < khi'], in shard order.
+    The pieces are disjoint and their union is
+    [\[klo, khi) ∩ \[0, max_key)]; an empty interval yields []. *)
+
+val boundaries : t -> int list
+(** The interior split points, [shards - 1] of them. *)
+
+val pp : Format.formatter -> t -> unit

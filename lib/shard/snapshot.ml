@@ -1,0 +1,36 @@
+type stat = {
+  watermark : int;
+  now : int;
+  alive : int;
+  pages : int;
+  batches : int;
+  acked : int;
+  wal_syncs : int;
+  health : Durable.health;
+  io : Telemetry.Io_stats.snapshot;
+}
+
+let zero =
+  {
+    watermark = 0;
+    now = 0;
+    alive = 0;
+    pages = 0;
+    batches = 0;
+    acked = 0;
+    wal_syncs = 0;
+    health = Durable.Healthy;
+    io = Telemetry.Io_stats.zero;
+  }
+
+type t = stat Atomic.t
+
+let create s = Atomic.make s
+let publish t s = Atomic.set t s
+let read t = Atomic.get t
+
+let pp_stat ppf s =
+  Format.fprintf ppf
+    "watermark=%d now=%d alive=%d pages=%d batches=%d acked=%d wal_syncs=%d health=%a"
+    s.watermark s.now s.alive s.pages s.batches s.acked s.wal_syncs
+    Durable.pp_health s.health

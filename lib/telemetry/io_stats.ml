@@ -12,90 +12,93 @@ type snapshot = {
   read_only_transitions : int;
 }
 
+(* Atomic fields: one [t] may be charged from several domains at once
+   (the sharded cluster hands each shard engine its own counters, but
+   tracers and shared pools can still cross domains), and a plain
+   [mutable int] increment is a read-modify-write that silently loses
+   updates under that interleaving. *)
 type t = {
-  mutable n_reads : int;
-  mutable n_writes : int;
-  mutable n_allocs : int;
-  mutable n_frees : int;
-  mutable n_syncs : int;
-  mutable n_crc_failures : int;
-  mutable n_scrubbed : int;
-  mutable n_repaired : int;
-  mutable n_errors_injected : int;
-  mutable n_retries : int;
-  mutable n_read_only_transitions : int;
+  n_reads : int Atomic.t;
+  n_writes : int Atomic.t;
+  n_allocs : int Atomic.t;
+  n_frees : int Atomic.t;
+  n_syncs : int Atomic.t;
+  n_crc_failures : int Atomic.t;
+  n_scrubbed : int Atomic.t;
+  n_repaired : int Atomic.t;
+  n_errors_injected : int Atomic.t;
+  n_retries : int Atomic.t;
+  n_read_only_transitions : int Atomic.t;
 }
 
 let create () =
   {
-    n_reads = 0;
-    n_writes = 0;
-    n_allocs = 0;
-    n_frees = 0;
-    n_syncs = 0;
-    n_crc_failures = 0;
-    n_scrubbed = 0;
-    n_repaired = 0;
-    n_errors_injected = 0;
-    n_retries = 0;
-    n_read_only_transitions = 0;
+    n_reads = Atomic.make 0;
+    n_writes = Atomic.make 0;
+    n_allocs = Atomic.make 0;
+    n_frees = Atomic.make 0;
+    n_syncs = Atomic.make 0;
+    n_crc_failures = Atomic.make 0;
+    n_scrubbed = Atomic.make 0;
+    n_repaired = Atomic.make 0;
+    n_errors_injected = Atomic.make 0;
+    n_retries = Atomic.make 0;
+    n_read_only_transitions = Atomic.make 0;
   }
 
-let reads t = t.n_reads
-let writes t = t.n_writes
-let allocs t = t.n_allocs
-let frees t = t.n_frees
-let syncs t = t.n_syncs
-let crc_failures t = t.n_crc_failures
-let scrubbed t = t.n_scrubbed
-let repaired t = t.n_repaired
-let errors_injected t = t.n_errors_injected
-let retries t = t.n_retries
-let read_only_transitions t = t.n_read_only_transitions
+let reads t = Atomic.get t.n_reads
+let writes t = Atomic.get t.n_writes
+let allocs t = Atomic.get t.n_allocs
+let frees t = Atomic.get t.n_frees
+let syncs t = Atomic.get t.n_syncs
+let crc_failures t = Atomic.get t.n_crc_failures
+let scrubbed t = Atomic.get t.n_scrubbed
+let repaired t = Atomic.get t.n_repaired
+let errors_injected t = Atomic.get t.n_errors_injected
+let retries t = Atomic.get t.n_retries
+let read_only_transitions t = Atomic.get t.n_read_only_transitions
 
 (* Frees are page disposals, charged as I/Os like reads and writes; see
    the .mli preamble for the I/O-versus-event classification. *)
-let total_io t = t.n_reads + t.n_writes + t.n_frees
-let record_read t = t.n_reads <- t.n_reads + 1
-let record_write t = t.n_writes <- t.n_writes + 1
-let record_alloc t = t.n_allocs <- t.n_allocs + 1
-let record_free t = t.n_frees <- t.n_frees + 1
-let record_sync t = t.n_syncs <- t.n_syncs + 1
-let record_crc_failure t = t.n_crc_failures <- t.n_crc_failures + 1
-let record_scrubbed t = t.n_scrubbed <- t.n_scrubbed + 1
-let record_repaired t = t.n_repaired <- t.n_repaired + 1
-let record_error_injected t = t.n_errors_injected <- t.n_errors_injected + 1
-let record_retry t = t.n_retries <- t.n_retries + 1
-
-let record_read_only_transition t =
-  t.n_read_only_transitions <- t.n_read_only_transitions + 1
+let total_io t = reads t + writes t + frees t
+let record_read t = Atomic.incr t.n_reads
+let record_write t = Atomic.incr t.n_writes
+let record_alloc t = Atomic.incr t.n_allocs
+let record_free t = Atomic.incr t.n_frees
+let record_sync t = Atomic.incr t.n_syncs
+let record_crc_failure t = Atomic.incr t.n_crc_failures
+let record_scrubbed t = Atomic.incr t.n_scrubbed
+let record_repaired t = Atomic.incr t.n_repaired
+let record_error_injected t = Atomic.incr t.n_errors_injected
+let record_retry t = Atomic.incr t.n_retries
+let record_read_only_transition t = Atomic.incr t.n_read_only_transitions
 
 let reset t =
-  t.n_reads <- 0;
-  t.n_writes <- 0;
-  t.n_allocs <- 0;
-  t.n_frees <- 0;
-  t.n_syncs <- 0;
-  t.n_crc_failures <- 0;
-  t.n_scrubbed <- 0;
-  t.n_repaired <- 0;
-  t.n_errors_injected <- 0;
-  t.n_retries <- 0;
-  t.n_read_only_transitions <- 0
+  Atomic.set t.n_reads 0;
+  Atomic.set t.n_writes 0;
+  Atomic.set t.n_allocs 0;
+  Atomic.set t.n_frees 0;
+  Atomic.set t.n_syncs 0;
+  Atomic.set t.n_crc_failures 0;
+  Atomic.set t.n_scrubbed 0;
+  Atomic.set t.n_repaired 0;
+  Atomic.set t.n_errors_injected 0;
+  Atomic.set t.n_retries 0;
+  Atomic.set t.n_read_only_transitions 0
 
 let snapshot t : snapshot =
   {
-    reads = t.n_reads;
-    writes = t.n_writes;
-    allocs = t.n_allocs;
-    frees = t.n_frees;
-    syncs = t.n_syncs;
-    crc_failures = t.n_crc_failures;
-    scrubbed = t.n_scrubbed;
-    repaired = t.n_repaired;
-    errors_injected = t.n_errors_injected;
-    retries = t.n_retries;
-    read_only_transitions = t.n_read_only_transitions;
+    reads = reads t;
+    writes = writes t;
+    allocs = allocs t;
+    frees = frees t;
+    syncs = syncs t;
+    crc_failures = crc_failures t;
+    scrubbed = scrubbed t;
+    repaired = repaired t;
+    errors_injected = errors_injected t;
+    retries = retries t;
+    read_only_transitions = read_only_transitions t;
   }
 
 (* [add] and [diff] share this combinator so a counter added to the
@@ -134,6 +137,22 @@ let zero =
     read_only_transitions = 0;
   }
 
+let merge = List.fold_left add zero
+
+let absorb t (s : snapshot) =
+  let bump a by = if by <> 0 then ignore (Atomic.fetch_and_add a by) in
+  bump t.n_reads s.reads;
+  bump t.n_writes s.writes;
+  bump t.n_allocs s.allocs;
+  bump t.n_frees s.frees;
+  bump t.n_syncs s.syncs;
+  bump t.n_crc_failures s.crc_failures;
+  bump t.n_scrubbed s.scrubbed;
+  bump t.n_repaired s.repaired;
+  bump t.n_errors_injected s.errors_injected;
+  bump t.n_retries s.retries;
+  bump t.n_read_only_transitions s.read_only_transitions
+
 let snapshot_total_io (s : snapshot) = s.reads + s.writes + s.frees
 
 (* The integrity and robustness counters are zero on most runs; keep the
@@ -147,17 +166,6 @@ let pp_robustness ppf ~injected ~retries ~ro =
     Format.fprintf ppf " errors_injected=%d retries=%d read_only_transitions=%d"
       injected retries ro
 
-let pp ppf t =
-  Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d%a%a" t.n_reads
-    t.n_writes t.n_allocs t.n_frees t.n_syncs
-    (fun ppf () ->
-      pp_integrity ppf ~crc:t.n_crc_failures ~scrubbed:t.n_scrubbed ~repaired:t.n_repaired)
-    ()
-    (fun ppf () ->
-      pp_robustness ppf ~injected:t.n_errors_injected ~retries:t.n_retries
-        ~ro:t.n_read_only_transitions)
-    ()
-
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d%a%a" s.reads s.writes
     s.allocs s.frees s.syncs
@@ -168,3 +176,5 @@ let pp_snapshot ppf (s : snapshot) =
       pp_robustness ppf ~injected:s.errors_injected ~retries:s.retries
         ~ro:s.read_only_transitions)
     ()
+
+let pp ppf t = pp_snapshot ppf (snapshot t)

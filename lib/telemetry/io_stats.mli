@@ -25,7 +25,17 @@
       underlying block reads/writes are charged separately where they
       happen);
     - [errors_injected], [retries], [read_only_transitions] — robustness
-      bookkeeping. *)
+      bookkeeping.
+
+    {2 Domain safety}
+
+    Every counter is an [Atomic]: a [t] incremented from several domains
+    at once (shard engines behind one tracer, shared pools) never loses
+    updates, and {!snapshot} / {!merge} from another domain read
+    consistent per-counter values.  A {!snapshot} is not a cross-counter
+    atomic cut — individual counters may be captured a few increments
+    apart — but each counter's value is exact, so sums across shards
+    never undercount. *)
 
 type t
 
@@ -114,6 +124,15 @@ val add : snapshot -> snapshot -> snapshot
 val diff : snapshot -> snapshot -> snapshot
 (** [diff later earlier] is the per-field difference — the I/O incurred
     between the two snapshots. *)
+
+val merge : snapshot list -> snapshot
+(** Fold {!add} over per-shard (or per-domain) snapshots — the
+    whole-system view the shard aggregator and [--stats-json] report
+    next to the per-shard ones. *)
+
+val absorb : t -> snapshot -> unit
+(** Add a snapshot's counts into live counters (atomically per field) —
+    merging a finished worker's tally into a system-wide [t]. *)
 
 val snapshot_total_io : snapshot -> int
 (** [reads + writes + frees] of a snapshot; see {!total_io}. *)

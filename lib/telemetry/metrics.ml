@@ -1,5 +1,10 @@
-type counter = { mutable c : int }
-type gauge = { mutable g : float }
+(* Domain safety: counters and gauges are atomics, each histogram carries
+   its own mutex, and the registry guards its table with one more — the
+   sharded server observes metrics from several domains at once, and the
+   old single-threaded [mutable] fields lost updates under that
+   interleaving. *)
+type counter = { c : int Atomic.t }
+type gauge = { g : float Atomic.t }
 
 (* Geometric buckets at half-powers of two: bucket [i] covers values up
    to [2^((i - origin) / 2)].  With [origin = 32] the range is
@@ -9,6 +14,7 @@ let n_buckets = 160
 let origin = 32
 
 type histogram = {
+  h_m : Mutex.t;  (* guards every field below *)
   buckets : int array;
   mutable h_zeros : int;  (* observations <= 0 — kept exact, not bucketed *)
   mutable h_n : int;
@@ -17,15 +23,20 @@ type histogram = {
   mutable h_max : float;
 }
 
+let with_hist h f =
+  Mutex.lock h.h_m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock h.h_m) f
+
 type kind = Counter of counter | Gauge of gauge | Histogram of histogram
 type metric = { m_name : string; m_help : string; m_kind : kind }
 
 type t = {
+  r_m : Mutex.t;  (* guards [tbl] and [rev_order] *)
   tbl : (string, metric) Hashtbl.t;
   mutable rev_order : metric list;
 }
 
-let create () = { tbl = Hashtbl.create 64; rev_order = [] }
+let create () = { r_m = Mutex.create (); tbl = Hashtbl.create 64; rev_order = [] }
 
 let kind_name = function
   | Counter _ -> "counter"
@@ -33,28 +44,33 @@ let kind_name = function
   | Histogram _ -> "histogram"
 
 let register t name help mk =
-  match Hashtbl.find_opt t.tbl name with
-  | Some m -> m
-  | None ->
-      let m = { m_name = name; m_help = help; m_kind = mk () } in
-      Hashtbl.add t.tbl name m;
-      t.rev_order <- m :: t.rev_order;
-      m
+  Mutex.lock t.r_m;
+  let m =
+    match Hashtbl.find_opt t.tbl name with
+    | Some m -> m
+    | None ->
+        let m = { m_name = name; m_help = help; m_kind = mk () } in
+        Hashtbl.add t.tbl name m;
+        t.rev_order <- m :: t.rev_order;
+        m
+  in
+  Mutex.unlock t.r_m;
+  m
 
 let counter t ?(help = "") name =
-  match (register t name help (fun () -> Counter { c = 0 })).m_kind with
+  match (register t name help (fun () -> Counter { c = Atomic.make 0 })).m_kind with
   | Counter c -> c
   | k ->
       invalid_arg
         (Printf.sprintf "Metrics.counter: %s already registered as a %s" name
            (kind_name k))
 
-let inc ?(by = 1) c = c.c <- c.c + by
-let set_counter c v = c.c <- v
-let counter_value c = c.c
+let inc ?(by = 1) c = ignore (Atomic.fetch_and_add c.c by)
+let set_counter c v = Atomic.set c.c v
+let counter_value c = Atomic.get c.c
 
 let gauge t ?(help = "") name =
-  match (register t name help (fun () -> Gauge { g = 0. })).m_kind with
+  match (register t name help (fun () -> Gauge { g = Atomic.make 0. })).m_kind with
   | Gauge g -> g
   | k ->
       invalid_arg
@@ -65,6 +81,7 @@ let histogram t ?(help = "") name =
   let mk () =
     Histogram
       {
+        h_m = Mutex.create ();
         buckets = Array.make n_buckets 0;
         h_zeros = 0;
         h_n = 0;
@@ -80,8 +97,8 @@ let histogram t ?(help = "") name =
         (Printf.sprintf "Metrics.histogram: %s already registered as a %s" name
            (kind_name k))
 
-let set_gauge g v = g.g <- v
-let gauge_value g = g.g
+let set_gauge g v = Atomic.set g.g v
+let gauge_value g = Atomic.get g.g
 
 let bucket_of v =
   if v <= 0. then 0
@@ -92,6 +109,7 @@ let bucket_of v =
 let bucket_upper i = Float.pow 2. (float_of_int (i - origin) /. 2.)
 
 let observe h v =
+  with_hist h @@ fun () ->
   if v <= 0. then h.h_zeros <- h.h_zeros + 1
   else begin
     let b = bucket_of v in
@@ -102,12 +120,17 @@ let observe h v =
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v
 
-let hist_count h = h.h_n
-let hist_sum h = h.h_sum
-let hist_max h = if h.h_n = 0 then 0. else h.h_max
-let hist_min h = if h.h_n = 0 then 0. else h.h_min
+(* Unlocked readers, for use under [with_hist] (the mutex is not
+   reentrant). *)
+let hist_max_ h = if h.h_n = 0 then 0. else h.h_max
+let hist_min_ h = if h.h_n = 0 then 0. else h.h_min
 
-let quantile h q =
+let hist_count h = with_hist h (fun () -> h.h_n)
+let hist_sum h = with_hist h (fun () -> h.h_sum)
+let hist_max h = with_hist h (fun () -> hist_max_ h)
+let hist_min h = with_hist h (fun () -> hist_min_ h)
+
+let quantile_ h q =
   if h.h_n = 0 then 0.
   else begin
     let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_n))) in
@@ -123,8 +146,10 @@ let quantile h q =
         bucket_upper !i
       end
     in
-    Float.min (hist_max h) (Float.max (hist_min h) upper)
+    Float.min (hist_max_ h) (Float.max (hist_min_ h) upper)
   end
+
+let quantile h q = with_hist h (fun () -> quantile_ h q)
 
 (* --- Absorbing other telemetry --------------------------------------------- *)
 
@@ -163,7 +188,37 @@ let observe_spans t spans =
 
 (* --- Export ----------------------------------------------------------------- *)
 
-let in_order t = List.rev t.rev_order
+let in_order t =
+  Mutex.lock t.r_m;
+  let ms = List.rev t.rev_order in
+  Mutex.unlock t.r_m;
+  ms
+
+(* One locked capture per histogram, so exports see a consistent
+   (count, sum, quantiles) tuple even while other domains observe. *)
+type hist_view = {
+  v_n : int;
+  v_sum : float;
+  v_min : float;
+  v_max : float;
+  v_p50 : float;
+  v_p95 : float;
+  v_p99 : float;
+  v_p100 : float;
+}
+
+let hist_view h =
+  with_hist h @@ fun () ->
+  {
+    v_n = h.h_n;
+    v_sum = h.h_sum;
+    v_min = hist_min_ h;
+    v_max = hist_max_ h;
+    v_p50 = quantile_ h 0.5;
+    v_p95 = quantile_ h 0.95;
+    v_p99 = quantile_ h 0.99;
+    v_p100 = quantile_ h 1.;
+  }
 
 let fmt_float x =
   if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
@@ -179,21 +234,21 @@ let to_prometheus t =
       (match m.m_kind with
       | Counter c ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" name);
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" name c.c)
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" name (Atomic.get c.c))
       | Gauge g ->
           Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n" name);
-          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt_float g.g))
+          Buffer.add_string buf (Printf.sprintf "%s %s\n" name (fmt_float (Atomic.get g.g)))
       | Histogram h ->
+          let v = hist_view h in
           Buffer.add_string buf (Printf.sprintf "# TYPE %s summary\n" name);
           List.iter
             (fun (label, q) ->
               Buffer.add_string buf
-                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name label
-                   (fmt_float (quantile h q))))
-            [ ("0.5", 0.5); ("0.95", 0.95); ("0.99", 0.99); ("1", 1.) ];
+                (Printf.sprintf "%s{quantile=\"%s\"} %s\n" name label (fmt_float q)))
+            [ ("0.5", v.v_p50); ("0.95", v.v_p95); ("0.99", v.v_p99); ("1", v.v_p100) ];
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %s\n" name (fmt_float h.h_sum));
-          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name h.h_n)))
+            (Printf.sprintf "%s_sum %s\n" name (fmt_float v.v_sum));
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" name v.v_n)))
     (in_order t);
   Buffer.contents buf
 
@@ -202,20 +257,21 @@ let to_json t =
   List.iter
     (fun m ->
       match m.m_kind with
-      | Counter c -> counters := (m.m_name, Json.Int c.c) :: !counters
-      | Gauge g -> gauges := (m.m_name, Json.Float g.g) :: !gauges
+      | Counter c -> counters := (m.m_name, Json.Int (Atomic.get c.c)) :: !counters
+      | Gauge g -> gauges := (m.m_name, Json.Float (Atomic.get g.g)) :: !gauges
       | Histogram h ->
+          let v = hist_view h in
           hists :=
             ( m.m_name,
               Json.Obj
                 [
-                  ("count", Json.Int h.h_n);
-                  ("sum", Json.Float h.h_sum);
-                  ("min", Json.Float (hist_min h));
-                  ("max", Json.Float (hist_max h));
-                  ("p50", Json.Float (quantile h 0.5));
-                  ("p95", Json.Float (quantile h 0.95));
-                  ("p99", Json.Float (quantile h 0.99));
+                  ("count", Json.Int v.v_n);
+                  ("sum", Json.Float v.v_sum);
+                  ("min", Json.Float v.v_min);
+                  ("max", Json.Float v.v_max);
+                  ("p50", Json.Float v.v_p50);
+                  ("p95", Json.Float v.v_p95);
+                  ("p99", Json.Float v.v_p99);
                 ] )
             :: !hists)
     (in_order t);
@@ -240,10 +296,9 @@ let pp_summary ppf t =
       "p50" "p95" "p99" "max";
     List.iter
       (fun (name, h) ->
-        Format.fprintf ppf "%-*s %10d %12s %12s %12s %12s@." width name h.h_n
-          (fmt_float (quantile h 0.5))
-          (fmt_float (quantile h 0.95))
-          (fmt_float (quantile h 0.99))
-          (fmt_float (hist_max h)))
+        let v = hist_view h in
+        Format.fprintf ppf "%-*s %10d %12s %12s %12s %12s@." width name v.v_n
+          (fmt_float v.v_p50) (fmt_float v.v_p95) (fmt_float v.v_p99)
+          (fmt_float v.v_max))
       hists
   end

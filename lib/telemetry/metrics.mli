@@ -13,7 +13,13 @@
     exact zero class, so a mostly-zero histogram reports zero quantiles
     rather than the edge of the smallest bucket.  Quantiles are reported
     as the upper edge of the covering class, clamped to the observed min
-    and max. *)
+    and max.
+
+    Domain-safe: counters and gauges are atomics, histogram observation
+    and registry mutation are mutex-guarded, and the exporters capture
+    each histogram under its lock — so the sharded server's domains can
+    increment shared metrics without losing updates, and an export taken
+    mid-traffic is internally consistent per metric. *)
 
 type t
 type counter

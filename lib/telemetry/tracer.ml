@@ -21,15 +21,21 @@ type t = {
   enabled : bool;
   sink : sink;
   io : Io_stats.t;
-  mutable depth : int;
+  depth : int Atomic.t;
+      (* Span nesting level.  Atomic so a tracer shared across domains
+         never loses the balance; with concurrent spans the recorded
+         depth is the instantaneous global level, a best-effort
+         indentation hint rather than a per-domain stack. *)
 }
 
 let null_sink = { on_span = ignore; on_event = ignore }
-let noop = { enabled = false; sink = null_sink; io = Io_stats.create (); depth = 0 }
+
+let noop =
+  { enabled = false; sink = null_sink; io = Io_stats.create (); depth = Atomic.make 0 }
 
 let create ?stats sink =
   let io = match stats with Some s -> s | None -> Io_stats.create () in
-  { enabled = true; sink; io; depth = 0 }
+  { enabled = true; sink; io; depth = Atomic.make 0 }
 
 let tee a b =
   {
@@ -43,6 +49,17 @@ let tee a b =
         b.on_event e);
   }
 
+(* Serialise an arbitrary sink: file emitters and other stateful sinks
+   written single-threaded stay correct when spans arrive from several
+   domains at once. *)
+let synchronized sink =
+  let m = Mutex.create () in
+  let guarded f x =
+    Mutex.lock m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock m) (fun () -> f x)
+  in
+  { on_span = guarded sink.on_span; on_event = guarded sink.on_event }
+
 let enabled t = t.enabled
 let stats t = t.io
 let now_ns () = Monotonic_clock.now ()
@@ -52,13 +69,12 @@ let no_attrs () = []
 let with_span t ?(attrs = no_attrs) name f =
   if not t.enabled then f ()
   else begin
-    let depth = t.depth in
-    t.depth <- depth + 1;
+    let depth = Atomic.fetch_and_add t.depth 1 in
     let before = Io_stats.snapshot t.io in
     let start_ns = now_ns () in
     let finish () =
       let dur_ns = Int64.sub (now_ns ()) start_ns in
-      t.depth <- depth;
+      Atomic.decr t.depth;
       let io = Io_stats.diff (Io_stats.snapshot t.io) before in
       t.sink.on_span { name; start_ns; dur_ns; depth; io; attrs = attrs () }
     in
@@ -79,6 +95,7 @@ let event t ?(attrs = []) name =
 
 module Memory = struct
   type buffer = {
+    b_m : Mutex.t;  (* spans land from any domain; guards every field *)
     cap : int;
     mutable ring : span array;  (* slot [i mod cap] holds span number [i] *)
     mutable n : int;
@@ -88,14 +105,20 @@ module Memory = struct
 
   let create ?(capacity = 65536) () =
     if capacity < 1 then invalid_arg "Tracer.Memory.create: capacity < 1";
-    { cap = capacity; ring = [||]; n = 0; ev_ring = [||]; ev_n = 0 }
+    { b_m = Mutex.create (); cap = capacity; ring = [||]; n = 0; ev_ring = [||]; ev_n = 0 }
+
+  let locked b f =
+    Mutex.lock b.b_m;
+    Fun.protect ~finally:(fun () -> Mutex.unlock b.b_m) f
 
   let push b s =
+    locked b @@ fun () ->
     if Array.length b.ring = 0 then b.ring <- Array.make b.cap s;
     b.ring.(b.n mod b.cap) <- s;
     b.n <- b.n + 1
 
   let push_event b e =
+    locked b @@ fun () ->
     if Array.length b.ev_ring = 0 then b.ev_ring <- Array.make b.cap e;
     b.ev_ring.(b.ev_n mod b.cap) <- e;
     b.ev_n <- b.ev_n + 1
@@ -108,12 +131,13 @@ module Memory = struct
       let retained = min n cap in
       List.init retained (fun i -> ring.((n - retained + i) mod cap))
 
-  let spans b = oldest_first b.ring b.n b.cap
-  let events b = oldest_first b.ev_ring b.ev_n b.cap
-  let span_count b = b.n
-  let dropped b = max 0 (b.n - b.cap)
+  let spans b = locked b (fun () -> oldest_first b.ring b.n b.cap)
+  let events b = locked b (fun () -> oldest_first b.ev_ring b.ev_n b.cap)
+  let span_count b = locked b (fun () -> b.n)
+  let dropped b = locked b (fun () -> max 0 (b.n - b.cap))
 
   let clear b =
+    locked b @@ fun () ->
     b.n <- 0;
     b.ev_n <- 0;
     b.ring <- [||];

@@ -57,6 +57,12 @@ val create : ?stats:Io_stats.t -> sink -> t
 val tee : sink -> sink -> sink
 (** Duplicate spans and events into both sinks, first argument first. *)
 
+val synchronized : sink -> sink
+(** Serialise a sink behind a mutex, making a single-threaded sink (a
+    file emitter, a custom accumulator) safe for a tracer shared across
+    domains.  The {!Memory} buffer locks internally and does not need
+    this. *)
+
 val enabled : t -> bool
 val stats : t -> Io_stats.t
 

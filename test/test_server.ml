@@ -45,7 +45,9 @@ let gen_request =
        gen_i >>= fun value ->
        gen_i >>= fun at -> return (Wire.Insert { key; value; at }));
       (gen_i >>= fun key -> gen_i >>= fun at -> return (Wire.Delete { key; at }));
-      oneofl [ Wire.Checkpoint; Wire.Stats; Wire.Health; Wire.Ping; Wire.Shutdown ] ]
+      oneofl
+        [ Wire.Checkpoint; Wire.Stats; Wire.Health; Wire.Ping; Wire.Shutdown;
+          Wire.Shard_stats ] ]
 
 let gen_stats =
   let open QCheck.Gen in
@@ -66,6 +68,27 @@ let gen_stats =
     { Wire.updates; alive; pages; now; health; queue_depth; in_flight; conns; requests;
       shed; batches; batched_writes; wal_syncs }
 
+let gen_shard_stat =
+  let open QCheck.Gen in
+  int_bound 1000 >>= fun shard ->
+  gen_i >>= fun s_klo ->
+  gen_i >>= fun s_khi ->
+  gen_i >>= fun watermark ->
+  gen_i >>= fun reader_watermark ->
+  gen_i >>= fun s_now ->
+  gen_i >>= fun s_alive ->
+  gen_i >>= fun s_queue ->
+  gen_i >>= fun s_batches ->
+  gen_i >>= fun s_acked ->
+  gen_i >>= fun s_wal_syncs ->
+  gen_health >>= fun s_health ->
+  gen_i >>= fun s_io_reads ->
+  gen_i >>= fun s_io_writes ->
+  gen_i >>= fun s_io_syncs ->
+  return
+    { Wire.shard; s_klo; s_khi; watermark; reader_watermark; s_now; s_alive; s_queue;
+      s_batches; s_acked; s_wal_syncs; s_health; s_io_reads; s_io_writes; s_io_syncs }
+
 let gen_response =
   let open QCheck.Gen in
   oneof
@@ -75,7 +98,9 @@ let gen_response =
        gen_detail >>= fun detail -> return (Wire.Err { code; detail }));
       (gen_stats >>= fun s -> return (Wire.Stats_reply s));
       (gen_health >>= fun h -> return (Wire.Health_reply h));
-      return Wire.Pong ]
+      return Wire.Pong;
+      (list_size (int_bound 8) gen_shard_stat >>= fun l ->
+       return (Wire.Shard_stats_reply l)) ]
 
 let arbitrary_request = QCheck.make ~print:(Format.asprintf "%a" Wire.pp_request) gen_request
 let arbitrary_response =

@@ -285,6 +285,74 @@ let test_io_stats_algebra () =
   Alcotest.(check int) "total_io counts frees, not syncs" 4
     (Io.snapshot_total_io a)
 
+(* --- Domain safety ---------------------------------------------------------------- *)
+
+(* N domains hammering shared counters must lose no updates — the exact
+   property the sharded cluster relies on when its writer domains charge
+   one Io_stats / Metrics registry. *)
+let test_io_stats_domain_safety () =
+  let s = Io.create () in
+  let domains = 4 and per = 25_000 in
+  let spawn () =
+    Domain.spawn (fun () ->
+        for _ = 1 to per do
+          Io.record_read s;
+          Io.record_write s;
+          Io.record_sync s
+        done)
+  in
+  List.iter Domain.join (List.init domains (fun _ -> spawn ()));
+  Alcotest.(check int) "no lost reads" (domains * per) (Io.reads s);
+  Alcotest.(check int) "no lost writes" (domains * per) (Io.writes s);
+  Alcotest.(check int) "no lost syncs" (domains * per) (Io.syncs s)
+
+let test_io_stats_merge_absorb () =
+  let per_shard =
+    List.init 3 (fun i ->
+        let s = Io.create () in
+        for _ = 1 to i + 1 do
+          Io.record_read s
+        done;
+        Io.record_write s;
+        Io.snapshot s)
+  in
+  let merged = Io.merge per_shard in
+  Alcotest.(check int) "merge sums reads" 6 merged.Io.reads;
+  Alcotest.(check int) "merge sums writes" 3 merged.Io.writes;
+  Alcotest.(check bool) "merge [] is zero" true (Io.merge [] = Io.zero);
+  let live = Io.create () in
+  Io.record_read live;
+  Io.absorb live merged;
+  Alcotest.(check int) "absorb adds into live counters" 7 (Io.reads live);
+  Alcotest.(check int) "absorb adds writes" 3 (Io.writes live)
+
+let test_metrics_domain_safety () =
+  let reg = Metrics.create () in
+  let c = Metrics.counter reg "hammer_total" in
+  let h = Metrics.histogram reg "hammer_hist" in
+  let domains = 4 and per = 10_000 in
+  let spawn d =
+    Domain.spawn (fun () ->
+        for i = 1 to per do
+          Metrics.inc c;
+          Metrics.observe h (float_of_int ((d * per) + i))
+        done)
+  in
+  List.iter Domain.join (List.init domains spawn);
+  Alcotest.(check int) "counter exact" (domains * per) (Metrics.counter_value c);
+  Alcotest.(check int) "histogram count exact" (domains * per) (Metrics.hist_count h);
+  (* The exporters walk the registry under its lock while observations
+     may continue: just check they produce parseable output now. *)
+  let writer = Domain.spawn (fun () -> for _ = 1 to 20_000 do Metrics.observe h 7. done) in
+  let prom = Metrics.to_prometheus reg in
+  Alcotest.(check bool) "prometheus export non-empty" true (String.length prom > 0);
+  (match Json.of_string (Json.to_string (Metrics.to_json reg)) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "to_json not parseable mid-traffic: %s" e);
+  Domain.join writer;
+  Alcotest.(check int) "all observations landed" ((domains * per) + 20_000)
+    (Metrics.hist_count h)
+
 (* --- Page-touch accounting through the engine ------------------------------------ *)
 
 let test_rta_page_touches () =
@@ -333,6 +401,12 @@ let () =
         [ Alcotest.test_case "round trip + malformed" `Quick test_json_round_trip ] );
       ( "io stats",
         [ Alcotest.test_case "add/diff algebra" `Quick test_io_stats_algebra ] );
+      ( "domains",
+        [
+          Alcotest.test_case "io_stats loses no updates" `Quick test_io_stats_domain_safety;
+          Alcotest.test_case "io_stats merge/absorb" `Quick test_io_stats_merge_absorb;
+          Alcotest.test_case "metrics loses no updates" `Quick test_metrics_domain_safety;
+        ] );
       ( "engine",
         [ Alcotest.test_case "rta page touches" `Quick test_rta_page_touches ] );
     ]
