@@ -500,7 +500,7 @@ let group_commit () =
   in
   let connect_retry sock =
     let rec go n =
-      match Client.connect_unix ~path:sock with
+      match Client.connect_unix ~path:sock () with
       | cli -> cli
       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 100 ->
           Unix.sleepf 0.05;
@@ -991,6 +991,201 @@ let shard_scaling () =
     "  note: writer scaling on a single-core host measures coordination overhead;\n\
     \  reader speedup comes from overlapping the simulated per-page I/O waits.\n"
 
+(* --- Replication: follower read scaling and failover time ---------------------------- *)
+
+(* Real processes over unix sockets: one leader with a semi-sync quorum of
+   1 and two followers replaying its WAL.  The read phase drives the same
+   query load against one follower and then against both (one client
+   domain per server process), so the speedup is genuine multi-process
+   parallelism.  The failover phase SIGKILLs the leader mid-cluster and
+   times the follower's detector + retry budget + promotion, then the
+   first write accepted by the new leader. *)
+let replication () =
+  header "Replication: follower read scaling and failover time";
+  let exe =
+    Filename.concat
+      (Filename.dirname (Filename.dirname Sys.executable_name))
+      "bin/rta_cli.exe"
+  in
+  if not (Sys.file_exists exe) then
+    Printf.printf "  skipped: %s not built\n%!" exe
+  else begin
+    let dir = Filename.temp_file "mvsbt_repl" ".bench" in
+    Sys.remove dir;
+    Unix.mkdir dir 0o700;
+    let sock name = Filename.concat dir (name ^ ".sock") in
+    let spawn args =
+      let null = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+      let pid =
+        Unix.create_process exe (Array.of_list (exe :: args)) Unix.stdin null null
+      in
+      Unix.close null;
+      pid
+    in
+    let rec connect ?(n = 0) path =
+      match Client.connect_unix ~timeout:10.0 ~path () with
+      | cli -> cli
+      | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 200
+        ->
+          Unix.sleepf 0.05;
+          connect ~n:(n + 1) path
+    in
+    let rec await ?(tries = 500) what p =
+      if tries <= 0 then failwith ("replication bench: timed out waiting for " ^ what)
+      else if not (p ()) then begin
+        Unix.sleepf 0.02;
+        await ~tries:(tries - 1) what p
+      end
+    in
+    let stats cli = Client.replica_stats cli in
+    let max_key = 100_000 in
+    let lpid =
+      spawn
+        [ "serve"; "--wal"; Filename.concat dir "lead"; "--socket"; sock "l";
+          "--max-key"; string_of_int max_key; "--max-batch"; "16"; "--sync-replicas";
+          "1"; "--heartbeat-ms"; "20" ]
+    in
+    (* Followers charge 50 us of simulated device latency per page
+       touched on the query path (the same knob as the shard-scaling
+       experiment), so follower reads are I/O-bound and the 2-follower
+       speedup measures overlapped waits across processes rather than
+       raw core count.  Only f0 may promote itself when the leader dies;
+       f1 keeps serving reads (a real deployment elects one candidate
+       the same way). *)
+    (* The small buffer pool keeps queries touching the (simulated)
+       device even at smoke scale, where the whole tree would otherwise
+       fit in the default 64 pages and the latency knob would not bite. *)
+    let follower name extra =
+      spawn
+        ([ "serve"; "--wal"; Filename.concat dir name; "--socket"; sock name;
+           "--max-key"; string_of_int max_key; "--follower-of"; sock "l";
+           "--heartbeat-ms"; "20"; "--failover-ms"; "250"; "--sim-io-us"; "50";
+           "--buffer"; "8" ]
+        @ extra)
+    in
+    let f0pid = follower "f0" [] in
+    let f1pid = follower "f1" [ "--no-auto-promote" ] in
+    let lcli = connect (sock "l") in
+    await "both subscriptions" (fun () ->
+        match stats lcli with
+        | Some s -> List.length s.Wire.r_followers = 2
+        | None -> false);
+    (* Write phase: pipelined inserts, every ack certifies leader fsync
+       plus one follower replay+fsync. *)
+    let n = if smoke then 400 else 4_000 in
+    let window = 32 in
+    let acked = ref 0 and issued = ref 0 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to n do
+      while !issued - !acked >= window do
+        match Client.recv lcli with Wire.Ack -> incr acked | _ -> ()
+      done;
+      Client.send lcli (Wire.Insert { key = i mod max_key; value = i; at = i });
+      incr issued
+    done;
+    while !acked < !issued do
+      match Client.recv lcli with Wire.Ack -> incr acked | _ -> ()
+    done;
+    let wall = Unix.gettimeofday () -. t0 in
+    Printf.printf "  semi-sync writes (quorum 1): %7.0f req/s (%d acked, %.3f s)\n%!"
+      (float_of_int !acked /. wall)
+      !acked wall;
+    let caught_up path =
+      let cli = connect path in
+      let r =
+        match stats cli with Some s -> s.Wire.r_durable >= n | None -> false
+      in
+      Client.close cli;
+      r
+    in
+    await "follower catch-up" (fun () -> caught_up (sock "f0") && caught_up (sock "f1"));
+    (* Read phase: the same rectangle load, one client domain per target
+       follower process.  The 1-follower run uses two domains against the
+       same process so client-side parallelism is identical. *)
+    let n_queries = if smoke then 240 else 2_400 in
+    let rng = Workload.Rng.create ~seed:91 in
+    let rects =
+      Array.init n_queries (fun _ ->
+          Workload.Query_gen.rectangle rng ~max_key ~max_time:n ~qrs:0.05 ~r_over_i:1.0)
+    in
+    let read_run targets =
+      let d = 2 in
+      let per = n_queries / d in
+      let worker w =
+        Domain.spawn (fun () ->
+            let cli = connect (List.nth targets (w mod List.length targets)) in
+            let ok = ref 0 in
+            for i = w * per to ((w + 1) * per) - 1 do
+              let r : Workload.Query_gen.rect = rects.(i) in
+              match
+                Client.query cli ~agg:Wire.Sum ~klo:r.klo ~khi:r.khi ~tlo:r.tlo
+                  ~thi:r.thi
+              with
+              | Wire.Agg _ -> incr ok
+              | _ -> ()
+            done;
+            Client.close cli;
+            !ok)
+      in
+      let t0 = Unix.gettimeofday () in
+      let doms = List.init d worker in
+      let ok = List.fold_left (fun a dm -> a + Domain.join dm) 0 doms in
+      (ok, Unix.gettimeofday () -. t0)
+    in
+    let ok1, w1 = read_run [ sock "f0" ] in
+    let ok2, w2 = read_run [ sock "f0"; sock "f1" ] in
+    let qps1 = float_of_int ok1 /. w1 and qps2 = float_of_int ok2 /. w2 in
+    Printf.printf
+      "  follower reads (50 us simulated I/O per page touch):\n\
+      \    1 follower:  %7.0f q/s (%d ok, %.3f s)\n\
+      \    2 followers: %7.0f q/s (%d ok, %.3f s, %.2fx)\n%!"
+      qps1 ok1 w1 qps2 ok2 w2 (qps2 /. qps1);
+    (* Failover: kill the leader, time until f0 serves as leader, then
+       until it accepts its first write. *)
+    let t0 = Unix.gettimeofday () in
+    Unix.kill lpid Sys.sigkill;
+    ignore (Unix.waitpid [] lpid);
+    (try Client.close lcli with _ -> ());
+    let fcli = connect (sock "f0") in
+    await ~tries:2000 "promotion" (fun () ->
+        match stats fcli with
+        | Some s -> s.Wire.r_role = Wire.R_leader
+        | None -> false);
+    let t_promoted = Unix.gettimeofday () -. t0 in
+    let rec first_write ?(n = 0) () =
+      match Client.insert fcli ~key:0 ~value:1 ~at:(n + 1_000_000) with
+      | Wire.Ack -> ()
+      | _ when n < 200 ->
+          Unix.sleepf 0.01;
+          first_write ~n:(n + 1) ()
+      | r -> failwith (Format.asprintf "post-failover write: %a" Wire.pp_response r)
+    in
+    first_write ();
+    let t_write = Unix.gettimeofday () -. t0 in
+    Printf.printf
+      "  failover (kill -9, 250 ms detector): promoted in %.0f ms, first write acked \
+       in %.0f ms\n\
+       %!"
+      (t_promoted *. 1000.) (t_write *. 1000.);
+    (match stats fcli with
+    | Some s ->
+        Printf.printf "  promoted node: epoch %d, %d records durable, %d promotion(s)\n%!"
+          s.Wire.r_epoch s.Wire.r_durable s.Wire.r_promotions
+    | None -> ());
+    ignore (Client.shutdown fcli);
+    Client.close fcli;
+    let f1cli = connect (sock "f1") in
+    ignore (Client.shutdown f1cli);
+    Client.close f1cli;
+    ignore (Unix.waitpid [] f0pid);
+    ignore (Unix.waitpid [] f1pid);
+    ignore f1pid;
+    Array.iter
+      (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+      (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
 (* --- Driver -------------------------------------------------------------------------- *)
 
 let experiments =
@@ -1010,6 +1205,7 @@ let experiments =
     ("scrub-overhead", scrub_overhead);
     ("telemetry-overhead", telemetry_overhead);
     ("shard-scaling", shard_scaling);
+    ("replication", replication);
     ("micro", micro);
   ]
 
@@ -1017,7 +1213,7 @@ let experiments =
    one of each kind (space, queries, durability). *)
 let smoke_experiments =
   [ "fig4a"; "fig4b"; "wal-overhead"; "group-commit"; "retry-overhead";
-    "scrub-overhead"; "telemetry-overhead"; "shard-scaling" ]
+    "scrub-overhead"; "telemetry-overhead"; "shard-scaling"; "replication" ]
 
 let () =
   let requested =

@@ -1191,6 +1191,63 @@ let profile_cmd =
     Term.(const profile_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
           $ queries_term $ qrs_term $ slack $ worst $ smoke $ trace_out)
 
+(* --- replica-matrix ---------------------------------------------------------------- *)
+
+let replica_matrix_impl verbosity updates max_key batch sync_replicas seed limit smoke =
+  setup_logs verbosity;
+  let updates, limit =
+    if smoke then (min updates 48, Some (match limit with Some l -> l | None -> 36))
+    else (updates, limit)
+  in
+  let spec =
+    { Faultsim.Failover.default_spec with
+      Faultsim.Failover.seed; max_key; updates; batch; sync_replicas }
+  in
+  let report = Faultsim.Failover.run ?limit spec in
+  Format.printf "failover matrix (%d updates in batches of %d, sync_replicas %d): %a@."
+    updates batch sync_replicas Faultsim.Failover.pp_report report;
+  if report.Faultsim.Failover.violations <> [] then exit 1
+
+let replica_matrix_cmd =
+  let updates =
+    let doc = "Updates in the scripted replication workload." in
+    Arg.(value & opt int 96 & info [ "updates" ] ~doc)
+  in
+  let max_key =
+    let doc = "Key space of the scripted workload." in
+    Arg.(value & opt int 24 & info [ "max-key" ] ~doc)
+  in
+  let batch =
+    let doc = "Updates per replication round (rounds x 6 boundaries = kill points)." in
+    Arg.(value & opt int 4 & info [ "batch" ] ~doc)
+  in
+  let sync_replicas =
+    let doc = "Semi-sync ack quorum gating client acks (0 = leader fsync only)." in
+    Arg.(value & opt int 1 & info [ "sync-replicas" ] ~doc)
+  in
+  let seed =
+    let doc = "Random seed for the workload." in
+    Arg.(value & opt int 11 & info [ "seed" ] ~doc)
+  in
+  let limit =
+    let doc = "Check at most N kill points (stride-sampled); default checks all." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~doc ~docv:"N")
+  in
+  let smoke =
+    let doc = "Bounded CI run: caps the workload at 48 updates and 36 kill points." in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "replica-matrix"
+       ~doc:
+         "Kill a simulated leader at every replication boundary (logged, synced, shipped, \
+          received, replayed, acked), promote the most-advanced follower, and verify that \
+          no client-acked write is ever lost, that stale-epoch frames are fenced, and \
+          that every crash image of the deposed leader recovers oracle-equal (exits 1 on \
+          any violation)")
+    Term.(const replica_matrix_impl $ verbosity $ updates $ max_key $ batch
+          $ sync_replicas $ seed $ limit $ smoke)
+
 (* --- serve / netbench (network query service) ------------------------------------- *)
 
 let socket_term =
@@ -1205,8 +1262,21 @@ let need_endpoint who =
   Printf.eprintf "%s: pass --socket PATH or --port PORT\n" who;
   exit 2
 
+(* "host:port" (or just ":port") means TCP; anything else is a Unix
+   socket path. *)
+let parse_upstream s =
+  match String.rindex_opt s ':' with
+  | Some i -> (
+      match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some port ->
+          let host = if i = 0 then "127.0.0.1" else String.sub s 0 i in
+          Replica.Follower.Tcp (host, port)
+      | None -> Replica.Follower.Unix_sock s)
+  | None -> Replica.Follower.Unix_sock s
+
 let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
-    max_queue_depth checkpoint_every shards readers sim_io_us =
+    max_queue_depth checkpoint_every shards readers sim_io_us follower_of sync_replicas
+    heartbeat_ms failover_ms no_auto_promote =
   setup_logs verbosity;
   if shards < 1 then begin
     prerr_endline "serve: --shards must be >= 1";
@@ -1214,6 +1284,11 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
   end;
   if readers < 0 then begin
     prerr_endline "serve: --readers must be >= 0";
+    exit 2
+  end;
+  let replication = follower_of <> None || sync_replicas > 0 in
+  if replication && (shards > 1 || readers > 0) then begin
+    prerr_endline "serve: replication requires --shards 1 --readers 0";
     exit 2
   end;
   let listen, where =
@@ -1224,7 +1299,10 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
         (fd, Printf.sprintf "tcp:127.0.0.1:%d" port)
     | None, None -> need_endpoint "serve"
   in
-  let config = { Server.default_config with max_batch; max_in_flight; max_queue_depth } in
+  let config =
+    { Server.default_config with max_batch; max_in_flight; max_queue_depth;
+      sim_io_ns = int_of_float (sim_io_us *. 1000.) }
+  in
   if shards = 1 && readers = 0 then begin
     (* The PR-5 single-engine path, byte-for-byte the same on-disk
        layout (<wal>, no shard suffix).  Group commit owns the fsync
@@ -1241,12 +1319,61 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
     if Durable.replayed_on_open eng > 0 then
       Printf.printf "recovered %d logged updates\n" (Durable.replayed_on_open eng);
+    let repl =
+      if not replication then `None
+      else
+        match follower_of with
+        | None ->
+            let epoch = Replica.Epoch.load wal in
+            let hub =
+              Replica.Hub.create ~metrics:(Server.metrics srv) ~sync_replicas
+                ~heartbeat_s:(heartbeat_ms /. 1000.) ~epoch ~path:wal eng
+            in
+            Replica.Hub.attach hub srv;
+            Printf.printf "replication: leader, epoch %d, sync_replicas %d\n" epoch
+              sync_replicas;
+            `Hub hub
+        | Some upstream ->
+            let upstream = parse_upstream upstream in
+            let fcfg =
+              { (Replica.Follower.default_config upstream) with
+                Replica.Follower.failover_s = failover_ms /. 1000.;
+                heartbeat_s = heartbeat_ms /. 1000.;
+                auto_promote = not no_auto_promote;
+                sync_replicas }
+            in
+            let f = Replica.Follower.create ~config:fcfg ~path:wal ~server:srv eng in
+            Format.printf "replication: follower of %a, epoch %d%s@."
+              Replica.Follower.pp_upstream upstream (Replica.Follower.epoch f)
+              (if no_auto_promote then "" else ", auto-promote");
+            `Follower f
+    in
     Printf.printf "serving %s on %s (batch<=%d, in-flight<=%d, queue<=%d)\n%!" wal where
       max_batch max_in_flight max_queue_depth;
-    Server.run srv;
+    if repl = `None then Server.run srv
+    else
+      (* Replication needs finer ticks than [run]'s 1 s select timeout:
+         heartbeats, failure detection, and reconnect pacing all live in
+         the tick. *)
+      while Server.step srv ~timeout:0.05 do () done;
     let s = Server.stats srv in
     Printf.printf "drained: %d requests, %d group commits covering %d writes, %d shed\n"
       s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.shed;
+    (match repl with
+    | `Hub hub ->
+        let r = Replica.Hub.stats hub in
+        Printf.printf
+          "replication: leader epoch %d, durable %d, commit %d, %d frames shipped, %d \
+           stale acks\n"
+          r.Wire.r_epoch r.Wire.r_durable r.Wire.r_commit r.Wire.r_frames_shipped
+          (Replica.Hub.stale_acks hub)
+    | `Follower f ->
+        let r = Replica.Follower.stats f in
+        Format.printf
+          "replication: %a epoch %d, watermark %d, %d frames replayed, %d promotions@."
+          Wire.pp_role r.Wire.r_role r.Wire.r_epoch r.Wire.r_durable
+          r.Wire.r_frames_replayed r.Wire.r_promotions
+    | `None -> ());
     Format.printf "final health: %a@." Durable.pp_health (Durable.health eng);
     Durable.close eng
   end
@@ -1331,22 +1458,52 @@ let serve_cmd =
     in
     Arg.(value & opt float 0. & info [ "sim-io-us" ] ~doc)
   in
+  let follower_of =
+    let doc =
+      "Run as a read-only follower of the leader at this endpoint (a Unix socket path, \
+       or host:port / :port for TCP): subscribe to its WAL, replay, serve queries at \
+       the replayed watermark, and promote on leader silence unless --no-auto-promote."
+    in
+    Arg.(value & opt (some string) None & info [ "follower-of" ] ~doc ~docv:"ENDPOINT")
+  in
+  let sync_replicas =
+    let doc =
+      "Defer client write acks until this many followers have replayed and fsynced the \
+       batch (0 = ack on the leader's own fsync).  Any value, or --follower-of, enables \
+       replication."
+    in
+    Arg.(value & opt int 0 & info [ "sync-replicas" ] ~doc)
+  in
+  let heartbeat_ms =
+    let doc = "Leader heartbeat cadence in milliseconds." in
+    Arg.(value & opt float 200. & info [ "heartbeat-ms" ] ~doc)
+  in
+  let failover_ms =
+    let doc = "Leader-silence threshold in milliseconds before a follower reconnects." in
+    Arg.(value & opt float 1000. & info [ "failover-ms" ] ~doc)
+  in
+  let no_auto_promote =
+    let doc = "Never self-promote; wait for an explicit promote command." in
+    Arg.(value & flag & info [ "no-auto-promote" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the wire protocol over a durable warehouse: select event loop, group \
-          commit, admission control, optional key-range shards on OCaml domains; \
+          commit, admission control, optional key-range shards on OCaml domains, \
+          optional WAL-shipping replication (--sync-replicas / --follower-of); \
           SIGTERM/SIGINT drain and exit 0")
     Term.(const serve_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
           $ wal_req_term $ socket_term $ port_term $ max_batch $ max_in_flight
-          $ max_queue_depth $ checkpoint_every_term $ shards $ readers $ sim_io_us)
+          $ max_queue_depth $ checkpoint_every_term $ shards $ readers $ sim_io_us
+          $ follower_of $ sync_replicas $ heartbeat_ms $ failover_ms $ no_auto_promote)
 
 let connect_with_retry ~socket ~port =
   let try_once () =
     match (socket, port) with
-    | Some path, _ -> Client.connect_unix ~path
+    | Some path, _ -> Client.connect_unix ~path ()
     | None, Some port -> Client.connect_tcp ~port ()
-    | None, None -> need_endpoint "netbench"
+    | None, None -> need_endpoint "connect"
   in
   let rec go n =
     match try_once () with
@@ -1358,6 +1515,79 @@ let connect_with_retry ~socket ~port =
         go (n + 1)
   in
   go 0
+
+(* --- promote / replica-stats ------------------------------------------------------- *)
+
+let promote_impl verbosity socket port =
+  setup_logs verbosity;
+  let cli = connect_with_retry ~socket ~port in
+  let r = Client.promote cli in
+  Client.close cli;
+  match r with
+  | Wire.Ack ->
+      print_endline "promoted";
+      ()
+  | r ->
+      Format.eprintf "promote: %a@." Wire.pp_response r;
+      exit 1
+
+let promote_cmd =
+  Cmd.v
+    (Cmd.info "promote"
+       ~doc:
+         "Tell a follower to promote itself now: bump the fencing epoch durably, open \
+          the write path, and start serving its own WAL to subscribers")
+    Term.(const promote_impl $ verbosity $ socket_term $ port_term)
+
+let replica_stats_impl verbosity socket port stats_json =
+  setup_logs verbosity;
+  let cli = connect_with_retry ~socket ~port in
+  let r = Client.replica_stats cli in
+  Client.close cli;
+  match r with
+  | None ->
+      prerr_endline "replica-stats: replication is not enabled on this server";
+      exit 1
+  | Some (s : Wire.replica_stats) ->
+      if stats_json then
+        print_json
+          (Telemetry.Json.Obj
+             [ ("role", Telemetry.Json.Str (Format.asprintf "%a" Wire.pp_role s.Wire.r_role));
+               ("epoch", Telemetry.Json.Int s.Wire.r_epoch);
+               ("durable", Telemetry.Json.Int s.Wire.r_durable);
+               ("commit", Telemetry.Json.Int s.Wire.r_commit);
+               ("leader_durable", Telemetry.Json.Int s.Wire.r_leader_durable);
+               ("lag", Telemetry.Json.Int s.Wire.r_lag);
+               ("frames_shipped", Telemetry.Json.Int s.Wire.r_frames_shipped);
+               ("frames_replayed", Telemetry.Json.Int s.Wire.r_frames_replayed);
+               ("failover_promotions", Telemetry.Json.Int s.Wire.r_promotions);
+               ( "followers",
+                 Telemetry.Json.List
+                   (List.map
+                      (fun (id, acked) ->
+                        Telemetry.Json.Obj
+                          [ ("conn", Telemetry.Json.Int id);
+                            ("acked", Telemetry.Json.Int acked) ])
+                      s.Wire.r_followers) ) ])
+      else begin
+        Format.printf
+          "%a: epoch %d, durable %d, commit %d, leader durable %d, lag %d@." Wire.pp_role
+          s.Wire.r_role s.Wire.r_epoch s.Wire.r_durable s.Wire.r_commit
+          s.Wire.r_leader_durable s.Wire.r_lag;
+        Format.printf "  %d frames shipped, %d replayed, %d promotions@."
+          s.Wire.r_frames_shipped s.Wire.r_frames_replayed s.Wire.r_promotions;
+        List.iter
+          (fun (id, acked) -> Format.printf "  follower on conn %d acked %d@." id acked)
+          s.Wire.r_followers
+      end
+
+let replica_stats_cmd =
+  Cmd.v
+    (Cmd.info "replica-stats"
+       ~doc:
+         "Report a node's replication state: role, fencing epoch, durable/commit \
+          watermarks, lag, frame counters, failover promotions, per-follower acks")
+    Term.(const replica_stats_impl $ verbosity $ socket_term $ port_term $ stats_json_term)
 
 let server_stats_json (s : Wire.stats) =
   Telemetry.Json.Obj
@@ -1394,7 +1624,7 @@ let shard_stat_json (ss : Wire.shard_stat) =
       ("io_syncs", Telemetry.Json.Int ss.Wire.s_io_syncs) ]
 
 let netbench_impl verbosity spec input socket port window queries qrs do_shutdown smoke
-    stats_json query_window want_shard_stats =
+    stats_json query_window want_shard_stats no_writes =
   setup_logs verbosity;
   let spec, queries =
     if smoke then
@@ -1433,6 +1663,7 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
     | _ -> incr failed
   in
   let t0 = Unix.gettimeofday () in
+  if not no_writes then
   iter_events (fun (ev : Workload.Generator.event) ->
       let req =
         match ev with
@@ -1591,6 +1822,13 @@ let netbench_cmd =
     let doc = "Fetch and report per-shard stats (watermarks, queues, per-shard I/O)." in
     Arg.(value & flag & info [ "shard-stats" ] ~doc)
   in
+  let no_writes =
+    let doc =
+      "Skip the write phase and go straight to queries — the read-only load shape for \
+       benchmarking followers, whose write path is closed."
+    in
+    Arg.(value & flag & info [ "no-writes" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "netbench"
        ~doc:
@@ -1599,7 +1837,7 @@ let netbench_cmd =
           1 on any failed write)")
     Term.(const netbench_impl $ verbosity $ spec_term $ input_term $ socket_term
           $ port_term $ window $ queries $ qrs $ do_shutdown $ smoke $ stats_json_term
-          $ query_window $ shard_stats)
+          $ query_window $ shard_stats $ no_writes)
 
 (* --- dot ------------------------------------------------------------------------- *)
 
@@ -1632,5 +1870,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
-            scrub_cmd; crash_matrix_cmd; errsweep_cmd; trace_cmd; metrics_cmd;
-            profile_cmd; serve_cmd; netbench_cmd; dot_cmd ]))
+            scrub_cmd; crash_matrix_cmd; errsweep_cmd; replica_matrix_cmd; trace_cmd;
+            metrics_cmd; profile_cmd; serve_cmd; netbench_cmd; promote_cmd;
+            replica_stats_cmd; dot_cmd ]))

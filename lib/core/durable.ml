@@ -437,6 +437,7 @@ let replayed_on_open t = t.report.replayed
 let updates_since_checkpoint t = t.since_ckpt
 let checkpoints t = t.n_ckpts
 let wal_stats t = Wal.stats t.wal
+let wal_unsynced t = Wal.unsynced t.wal
 let sync_policy t = Wal.policy t.wal
 let health t = t.health
 let last_error t = t.last_error

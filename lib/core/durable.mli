@@ -167,6 +167,18 @@ val checkpoints : t -> int
 (** Checkpoints taken by this handle (manual + automatic). *)
 
 val wal_stats : t -> Wal.Stats.t
+
+val wal_unsynced : t -> int
+(** Records appended to the WAL but not yet covered by an fsync — zero
+    exactly when everything logged is durable.  A log shipper polls its
+    tail only at zero, so it never ships a record a crash could still
+    lose (followers must not get ahead of the leader's durable
+    watermark). *)
+
+val wal_path : string -> string
+(** The WAL file path for an engine opened at [path] ([path ^ ".wal"]) —
+    where a replication tailer opens its second read handle. *)
+
 val sync_policy : t -> Wal.sync_policy
 
 val health : t -> health

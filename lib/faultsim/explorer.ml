@@ -135,6 +135,39 @@ let enumerate ops =
   done;
   List.rev !out
 
+let enumerate_at ops =
+  let ops = Array.of_list ops in
+  let n = Array.length ops in
+  let st = ref empty in
+  for k = 0 to n - 1 do
+    st := apply !st ops.(k)
+  done;
+  let seen = Hashtbl.create 7 in
+  let out = ref [] in
+  let emit kind files =
+    let d = digest files in
+    if not (Hashtbl.mem seen d) then begin
+      Hashtbl.add seen d ();
+      out := { cut = n; kind; files } :: !out
+    end
+  in
+  emit Durable (durable_files !st);
+  emit Applied (applied_files !st);
+  (if n > 0 then
+     match ops.(n - 1) with
+     | M.Pwrite { path; off; data } -> (
+         match SM.find_opt path !st.dur with
+         | None -> ()
+         | Some base ->
+             let dlen = String.length data in
+             if dlen >= 2 then begin
+               let half = String.sub data 0 (dlen / 2) in
+               emit Torn (SM.bindings (SM.add path (splice base ~off ~data:half) !st.dur))
+             end;
+             emit Reordered (SM.bindings (SM.add path (splice base ~off ~data) !st.dur)))
+     | _ -> ());
+  List.rev !out
+
 (* --- Loading an image back into a filesystem ---------------------------------- *)
 
 let to_memory_fs img =

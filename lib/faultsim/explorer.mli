@@ -36,6 +36,12 @@ val enumerate : Storage.Vfs.Memory.op list -> image list
     journalled operations there are [n + 1] cuts and at most [4 (n + 1)]
     candidate images before deduplication. *)
 
+val enumerate_at : Storage.Vfs.Memory.op list -> image list
+(** The distinct crash images of the {e final} cut only — a crash
+    immediately after the last journalled operation.  What the failover
+    matrix uses to audit the deposed leader's disk at the kill point
+    without paying for every intermediate cut. *)
+
 val to_memory_fs : image -> Storage.Vfs.Memory.fs
 (** Load the image into a fresh in-memory filesystem, ready to hand to
     recovery via {!Storage.Vfs.Memory.vfs}. *)

@@ -1,0 +1,397 @@
+module M = Storage.Vfs.Memory
+module Backlog = Replica.Backlog
+module Apply = Replica.Apply
+module Epoch = Replica.Epoch
+
+type boundary = Logged | Synced | Shipped | Received | Replayed | Acked
+
+let boundaries = [ Logged; Synced; Shipped; Received; Replayed; Acked ]
+
+let pp_boundary ppf b =
+  Format.pp_print_string ppf
+    (match b with
+    | Logged -> "logged"
+    | Synced -> "synced"
+    | Shipped -> "shipped"
+    | Received -> "received"
+    | Replayed -> "replayed"
+    | Acked -> "acked")
+
+type spec = {
+  seed : int;
+  max_key : int;
+  updates : int;
+  batch : int;
+  sync_replicas : int;
+  query_count : int;
+}
+
+let default_spec =
+  { seed = 11; max_key = 24; updates = 96; batch = 4; sync_replicas = 1; query_count = 12 }
+
+type point = { p_boundary : boundary; p_batch : int }
+
+let pp_point ppf p =
+  Format.fprintf ppf "batch %d, killed after %a" p.p_batch pp_boundary p.p_boundary
+
+type report = {
+  points : int;
+  images : int;
+  fenced : int;
+  max_acked : int;
+  violations : (point * string) list;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%d leader-kill states, %d deposed-leader images audited, %d stale-epoch frames \
+     fenced, max acked %d, %d violation%s"
+    r.points r.images r.fenced r.max_acked
+    (List.length r.violations)
+    (if List.length r.violations = 1 then "" else "s");
+  List.iter
+    (fun (p, reason) -> Format.fprintf ppf "@\n  [%a] %s" pp_point p reason)
+    r.violations
+
+(* --- One simulated cluster ---------------------------------------------------- *)
+
+(* A shipped frame: the record payload plus the leadership term it was
+   shipped under.  The epoch is what makes a deposed leader's late frames
+   recognizably stale. *)
+type frame = { f_epoch : int; f_payload : bytes }
+
+type fnode = {
+  f_path : string;
+  f_vfs : Storage.Vfs.t;
+  f_eng : Durable.t;
+  mutable f_sent : int;  (* leader's ship cursor for this follower *)
+  mutable f_net : frame list;  (* in flight, oldest first *)
+  mutable f_inbox : frame list;  (* received, not yet applied *)
+  mutable f_acked : int;  (* watermark as last acked to the leader *)
+}
+
+let panel eng qs =
+  List.map (fun (klo, khi, tlo, thi) -> Durable.sum_count eng ~klo ~khi ~tlo ~thi) qs
+
+let apply_update eng (u : Harness.update) =
+  match u with
+  | Harness.Insert { key; value; at } ->
+      Storage.Storage_error.ok_exn (Durable.insert eng ~key ~value ~at)
+  | Harness.Delete { key; at } -> Storage.Storage_error.ok_exn (Durable.delete eng ~key ~at)
+
+(* The offline schedule: follower 0 hiccups every fifth batch, follower 1
+   receives only every other batch.  Skew is the point — promotion must
+   pick the right node, and in-flight frames must pile up and die. *)
+let online idx b = if idx = 0 then b mod 5 <> 3 else b mod 2 = 1
+
+exception Killed
+
+type sim_result = { s_images : int; s_fenced : int; s_acked : int; s_violations : string list }
+
+let run_point spec (trace : Harness.trace) qs expect ~boundary ~kill_batch =
+  let n = Array.length trace.Harness.updates in
+  let nb = (n + spec.batch - 1) / spec.batch in
+  assert (kill_batch < nb);
+  let violations = ref [] in
+  let viol fmt = Format.kasprintf (fun s -> violations := s :: !violations) fmt in
+  (* The leader: engine + the real tail/backlog pair a hub would run. *)
+  let lfs = M.create () in
+  let lvfs = M.vfs lfs in
+  let leng =
+    Durable.open_ ~sync_policy:Wal.Never ~vfs:lvfs ~max_key:trace.Harness.max_key
+      ~path:"lead" ()
+  in
+  let tail = Wal.Tail.create (lvfs.Storage.Vfs.v_open `Log (Durable.wal_path "lead")) in
+  let backlog = Backlog.create ~floor:0 () in
+  let epoch = 1 in
+  let followers =
+    Array.init 2 (fun i ->
+        let fs = M.create () in
+        let vfs = M.vfs fs in
+        let path = "f" ^ string_of_int i in
+        let eng =
+          Durable.open_ ~sync_policy:Wal.Never ~vfs ~max_key:trace.Harness.max_key ~path ()
+        in
+        { f_path = path; f_vfs = vfs; f_eng = eng; f_sent = 0; f_net = []; f_inbox = [];
+          f_acked = 0 })
+  in
+  let issued = ref 0 in
+  let leader_durable = ref 0 in
+  let acked = ref 0 in
+  let poll_tail () =
+    let continue = ref true in
+    while !continue do
+      match Wal.Tail.poll tail with
+      | Wal.Tail.Frame payload -> Backlog.add backlog payload
+      | Wal.Tail.Need_more -> continue := false
+      | Wal.Tail.Corrupt msg ->
+          viol "leader tail corrupt: %s" msg;
+          continue := false
+    done;
+    leader_durable := Apply.watermark leng
+  in
+  let check_watermarks stage =
+    Array.iter
+      (fun f ->
+        let w = Apply.watermark f.f_eng in
+        if w > !leader_durable then
+          viol "follower %s watermark %d exceeds leader durable %d at %s" f.f_path w
+            !leader_durable stage)
+      followers
+  in
+  let commit () =
+    if spec.sync_replicas <= 0 then !leader_durable
+    else
+      let acks =
+        List.sort (fun a b -> compare b a)
+          (Array.to_list (Array.map (fun f -> f.f_acked) followers))
+      in
+      match List.nth_opt acks (spec.sync_replicas - 1) with
+      | Some k -> min k !leader_durable
+      | None -> 0
+  in
+  (* The pipeline, killed mid-stage at the chosen boundary. *)
+  (try
+     for b = 0 to nb - 1 do
+       let kill bd = if b = kill_batch && bd = boundary then raise Killed in
+       let lo = b * spec.batch and hi = min n ((b + 1) * spec.batch) in
+       for i = lo to hi - 1 do
+         apply_update leng trace.Harness.updates.(i)
+       done;
+       issued := hi;
+       kill Logged;
+       Storage.Storage_error.ok_exn (Durable.sync_wal leng);
+       poll_tail ();
+       kill Synced;
+       Array.iter
+         (fun f ->
+           if f.f_sent < Backlog.hi backlog then begin
+             match
+               Backlog.from backlog ~after:f.f_sent ~max_frames:(n + 1) ~max_bytes:max_int
+             with
+             | None -> viol "follower %s fell behind the backlog floor" f.f_path
+             | Some frames ->
+                 List.iter
+                   (fun payload ->
+                     f.f_net <- f.f_net @ [ { f_epoch = epoch; f_payload = payload } ];
+                     f.f_sent <- Backlog.seq_of payload)
+                   frames
+           end)
+         followers;
+       kill Shipped;
+       Array.iter
+         (fun f ->
+           if online (if f.f_path = "f0" then 0 else 1) b then begin
+             f.f_inbox <- f.f_inbox @ f.f_net;
+             f.f_net <- []
+           end)
+         followers;
+       kill Received;
+       Array.iter
+         (fun f ->
+           if f.f_inbox <> [] then begin
+             List.iter
+               (fun fr ->
+                 if fr.f_epoch = epoch then
+                   match Apply.replay f.f_eng fr.f_payload with
+                   | Apply.Applied _ | Apply.Skipped -> ()
+                   | o -> viol "follower %s replay: %a" f.f_path Apply.pp_outcome o)
+               f.f_inbox;
+             f.f_inbox <- [];
+             Storage.Storage_error.ok_exn (Durable.sync_wal f.f_eng)
+           end)
+         followers;
+       check_watermarks "replayed";
+       kill Replayed;
+       Array.iter
+         (fun f ->
+           let w = Apply.watermark f.f_eng in
+           (* The hub's clamp: no follower vouches past leader durable. *)
+           f.f_acked <- max f.f_acked (min w !leader_durable))
+         followers;
+       acked := max !acked (min (commit ()) !leader_durable);
+       kill Acked
+     done;
+     viol "kill point never reached (batch %d of %d)" kill_batch nb
+   with Killed -> ());
+  (* --- The kill: promote the most-advanced follower. ------------------------- *)
+  let promoted =
+    Array.fold_left
+      (fun best f ->
+        if Apply.watermark f.f_eng > Apply.watermark best.f_eng then f else best)
+      followers.(0) followers
+  in
+  let other = if promoted == followers.(0) then followers.(1) else followers.(0) in
+  (* Frames of the deposed term still buffered anywhere die unapplied —
+     none were ever acked, so no client ack depends on them. *)
+  let stale = promoted.f_net @ promoted.f_inbox @ other.f_net @ other.f_inbox in
+  promoted.f_net <- [];
+  promoted.f_inbox <- [];
+  other.f_net <- [];
+  other.f_inbox <- [];
+  let new_epoch = epoch + 1 in
+  Epoch.store ~vfs:promoted.f_vfs promoted.f_path new_epoch;
+  if Epoch.load ~vfs:promoted.f_vfs promoted.f_path <> new_epoch then
+    viol "promoted epoch did not persist";
+  let promoted_n = Apply.watermark promoted.f_eng in
+  (* The no-lost-acks guarantee is the semi-sync quorum's promise.  With
+     [sync_replicas = 0] an ack certifies only the leader's own fsync, so
+     failing over can lose acked writes — the matrix demonstrates it by
+     failing if this check is enabled there. *)
+  if spec.sync_replicas >= 1 && !acked > promoted_n then
+    viol "acked write lost: acked %d, promoted watermark %d" !acked promoted_n;
+  if promoted_n > !issued then
+    viol "promoted watermark %d beyond the %d issued updates" promoted_n !issued;
+  if panel promoted.f_eng qs <> expect promoted_n then
+    viol "promoted state diverges from the oracle prefix of %d updates" promoted_n;
+  (* Fencing: deliver every stale frame to the promoted node.  Each must
+     be refused on its epoch alone, moving nothing. *)
+  let fenced = ref 0 in
+  List.iter
+    (fun fr ->
+      if fr.f_epoch < new_epoch then incr fenced
+      else begin
+        viol "frame shipped under epoch %d not fenced by epoch %d" fr.f_epoch new_epoch;
+        ignore (Apply.replay promoted.f_eng fr.f_payload)
+      end)
+    stale;
+  if Apply.watermark promoted.f_eng <> promoted_n then
+    viol "stale frames moved the promoted watermark";
+  (* --- The deposed leader's disk, under every legal crash image. ------------- *)
+  let images = Explorer.enumerate_at (M.ops lfs) in
+  List.iter
+    (fun img ->
+      let vfs = M.vfs (Explorer.to_memory_fs img) in
+      match
+        Durable.open_ ~sync_policy:Wal.Never ~vfs ~max_key:trace.Harness.max_key
+          ~path:"lead" ()
+      with
+      | exception e ->
+          viol "deposed-leader recovery (%a image) raised %s" Explorer.pp_kind img.kind
+            (Printexc.to_string e)
+      | eng ->
+          let rec_n = Apply.watermark eng in
+          if !acked > rec_n then
+            viol "deposed leader (%a image) recovered %d updates, %d were acked"
+              Explorer.pp_kind img.kind rec_n !acked;
+          if rec_n > !issued then
+            viol "deposed leader (%a image) recovered %d updates, only %d issued"
+              Explorer.pp_kind img.kind rec_n !issued;
+          if panel eng qs <> expect rec_n then
+            viol "deposed leader (%a image) diverges from the oracle prefix of %d"
+              Explorer.pp_kind img.kind rec_n;
+          Durable.close eng)
+    images;
+  (* --- Life after promotion. ------------------------------------------------- *)
+  (* Clients retry everything unacked: the script suffix replays onto the
+     new leader verbatim (each update was generated against exactly the
+     oracle state the new leader now holds). *)
+  for i = promoted_n to n - 1 do
+    apply_update promoted.f_eng trace.Harness.updates.(i)
+  done;
+  Storage.Storage_error.ok_exn (Durable.sync_wal promoted.f_eng);
+  if Apply.watermark promoted.f_eng <> n then
+    viol "promoted leader finished at %d updates, script has %d"
+      (Apply.watermark promoted.f_eng) n;
+  if panel promoted.f_eng qs <> expect n then
+    viol "promoted leader diverges from the oracle after the retried suffix";
+  (* The surviving follower resubscribes — a fresh tail + backlog over
+     the promoted node's own WAL, exactly what its hub would serve. *)
+  let ptail =
+    Wal.Tail.create
+      (promoted.f_vfs.Storage.Vfs.v_open `Log (Durable.wal_path promoted.f_path))
+  in
+  let pbacklog = Backlog.create ~floor:0 () in
+  let continue = ref true in
+  while !continue do
+    match Wal.Tail.poll ptail with
+    | Wal.Tail.Frame payload -> Backlog.add pbacklog payload
+    | Wal.Tail.Need_more -> continue := false
+    | Wal.Tail.Corrupt msg ->
+        viol "promoted-leader tail corrupt: %s" msg;
+        continue := false
+  done;
+  (match
+     Backlog.from pbacklog ~after:(Apply.watermark other.f_eng) ~max_frames:(n + 1)
+       ~max_bytes:max_int
+   with
+  | None -> viol "surviving follower refused by the promoted backlog floor"
+  | Some frames ->
+      List.iter
+        (fun payload ->
+          match Apply.replay other.f_eng payload with
+          | Apply.Applied _ | Apply.Skipped -> ()
+          | o -> viol "surviving follower resync: %a" Apply.pp_outcome o)
+        frames;
+      Storage.Storage_error.ok_exn (Durable.sync_wal other.f_eng);
+      if Apply.watermark other.f_eng <> n then
+        viol "surviving follower resynced to %d updates, script has %d"
+          (Apply.watermark other.f_eng) n;
+      if panel other.f_eng qs <> expect n then
+        viol "surviving follower diverges from the oracle after resync");
+  Wal.Tail.close ptail;
+  Wal.Tail.close tail;
+  Durable.close leng;
+  Array.iter (fun f -> Durable.close f.f_eng) followers;
+  {
+    s_images = List.length images;
+    s_fenced = !fenced;
+    s_acked = !acked;
+    s_violations = List.rev !violations;
+  }
+
+(* --- The matrix ---------------------------------------------------------------- *)
+
+let run ?limit spec =
+  if spec.batch <= 0 then invalid_arg "Faultsim.Failover: batch must be positive";
+  let trace =
+    Harness.run_trace ~sync_policy:Wal.Never ~seed:spec.seed ~updates:spec.updates
+      ~max_key:spec.max_key ()
+  in
+  let n = Array.length trace.Harness.updates in
+  let nb = (n + spec.batch - 1) / spec.batch in
+  let qs =
+    Harness.queries ~max_key:trace.Harness.max_key ~max_t:trace.Harness.max_t ~seed:42
+      ~count:spec.query_count
+  in
+  let memo = Hashtbl.create 64 in
+  let expect n =
+    match Hashtbl.find_opt memo n with
+    | Some a -> a
+    | None ->
+        let a = Harness.oracle_answers trace qs n in
+        Hashtbl.add memo n a;
+        a
+  in
+  let points =
+    List.concat_map
+      (fun b -> List.map (fun bd -> { p_boundary = bd; p_batch = b }) boundaries)
+      (List.init nb Fun.id)
+  in
+  let points =
+    match limit with
+    | Some l when List.length points > l && l > 0 ->
+        let arr = Array.of_list points in
+        let total = Array.length arr in
+        List.init l (fun i -> arr.(i * total / l))
+    | _ -> points
+  in
+  let images = ref 0 and fenced = ref 0 and max_acked = ref 0 in
+  let violations = ref [] in
+  List.iter
+    (fun p ->
+      let r =
+        run_point spec trace qs expect ~boundary:p.p_boundary ~kill_batch:p.p_batch
+      in
+      images := !images + r.s_images;
+      fenced := !fenced + r.s_fenced;
+      max_acked := max !max_acked r.s_acked;
+      List.iter (fun reason -> violations := (p, reason) :: !violations) r.s_violations)
+    points;
+  {
+    points = List.length points;
+    images = !images;
+    fenced = !fenced;
+    max_acked = !max_acked;
+    violations = List.rev !violations;
+  }

@@ -56,6 +56,13 @@ val durable_floor : trace -> cut:int -> int
 (** Updates that {e must} be recovered at [cut]: the better of the last
     committed checkpoint and the last fsync-covered log prefix. *)
 
+val queries : max_key:int -> max_t:int -> seed:int -> count:int -> (int * int * int * int) list
+(** A deterministic panel of [(klo, khi, tlo, thi)] query rectangles. *)
+
+val oracle_answers : trace -> (int * int * int * int) list -> int -> (int * int) list
+(** [(sum, count)] per rectangle from a {!Reference.Warehouse} replaying
+    the first [n] updates of the trace. *)
+
 type violation = { cut : int; kind : Explorer.kind; reason : string }
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,61 @@
+module Codec = Storage.Codec
+module E = Storage.Storage_error
+
+(* Wire-format constants of the Durable WAL record payload
+   (seq i64 | op u8 | at i64 | key i64 | value i64 for inserts) —
+   documented in lib/core/durable.ml. *)
+let op_insert = 1
+let op_delete = 2
+
+type outcome =
+  | Applied of int
+  | Skipped
+  | Gap of { expect : int; got : int }
+  | Rejected of string
+  | Failed of E.t
+
+let watermark eng = Rta.n_updates (Durable.warehouse eng)
+
+let replay eng payload =
+  match
+    let rd = Codec.Reader.create payload in
+    let seq = Codec.Reader.i64 rd in
+    let op = Codec.Reader.u8 rd in
+    let at = Codec.Reader.i64 rd in
+    let key = Codec.Reader.i64 rd in
+    (seq, op, at, key, rd)
+  with
+  | exception Codec.Overflow _ -> Rejected "truncated WAL record payload"
+  | seq, op, at, key, rd -> (
+      let applied = watermark eng in
+      if seq <= applied then Skipped
+      else if seq > applied + 1 then Gap { expect = applied + 1; got = seq }
+      else
+        (* Re-applying through the engine's own write path logs the
+           record to the follower's WAL with the {e same} sequence number
+           (seq is n_updates after applying), so the follower is itself
+           recoverable — and promotable, and cascadable — with no
+           second format. *)
+        let res =
+          if op = op_insert then (
+            match Codec.Reader.i64 rd with
+            | value -> (
+                try `Io (Durable.insert eng ~key ~value ~at)
+                with Invalid_argument m -> `Precondition m)
+            | exception Codec.Overflow _ -> `Precondition "truncated insert payload")
+          else if op = op_delete then (
+            try `Io (Durable.delete eng ~key ~at)
+            with Invalid_argument m -> `Precondition m)
+          else `Precondition (Printf.sprintf "unknown WAL opcode %d" op)
+        in
+        match res with
+        | `Io (Ok ()) -> Applied (watermark eng)
+        | `Io (Error e) -> Failed e
+        | `Precondition m -> Rejected m)
+
+let pp_outcome ppf = function
+  | Applied w -> Format.fprintf ppf "applied (watermark %d)" w
+  | Skipped -> Format.fprintf ppf "skipped"
+  | Gap { expect; got } -> Format.fprintf ppf "gap (expected %d, got %d)" expect got
+  | Rejected m -> Format.fprintf ppf "rejected: %s" m
+  | Failed e -> Format.fprintf ppf "failed: %s" (E.to_string e)

@@ -1,0 +1,93 @@
+(** The follower half of WAL shipping, and the failover controller.
+
+    A follower is a full serving node — its own {!Durable} engine behind
+    its own {!Server} loop — whose write path is closed by the
+    {!Admission} standby gate (writes bounce with the [Read_only]
+    taxonomy; queries serve at the replayed watermark).  It keeps one
+    extra nonblocking socket to its leader inside the same [select] loop
+    (via [Server.add_watch]): subscribe from the current watermark,
+    replay each pushed [Wal_frames] message through {!Apply}, fsync, ack.
+
+    {2 Failover}
+
+    The leader's heartbeats are the failure detector.  Silence beyond
+    [failover_s] (or a broken socket) tears the link down and starts
+    reconnecting on the bounded {!Storage.Retry} schedule — non-blocking,
+    paced by the serve loop's ticks.  When the retry budget is exhausted
+    and [auto_promote] is set (and this node has synced with the leader
+    at least once and never observed divergence), the follower promotes
+    itself: discard buffered-but-unapplied frames (never acked, so no
+    client ack depends on them), fsync what was applied, durably bump the
+    fencing epoch ({!Epoch}), open the write path, and become a leader
+    {!Hub} — late frames and acks from the deposed leader now carry a
+    stale epoch and bounce off everyone ([Err Fenced]).
+
+    Which follower to promote is the orchestrator's choice (the CLI's
+    [promote] command, or the CI script comparing watermarks): promoting
+    the most-advanced follower is what makes the semi-sync gate's
+    no-lost-acks guarantee hold end to end. *)
+
+type upstream = Unix_sock of string | Tcp of string * int
+
+val pp_upstream : Format.formatter -> upstream -> unit
+
+type config = {
+  upstream : upstream;
+  connect_timeout : float;  (** Handshake bound, seconds. *)
+  failover_s : float;  (** Leader-silence threshold before reconnecting. *)
+  retry : Storage.Retry.policy;
+      (** Reconnect schedule: [max_attempts] tries with exponential
+          backoff ([base_delay_s], [multiplier], [max_delay_s]); the
+          [sleep] field is unused — pacing is event-loop time, never a
+          blocking sleep. *)
+  auto_promote : bool;
+  heartbeat_s : float;  (** Heartbeat cadence of the hub after promotion. *)
+  sync_replicas : int;  (** Ack quorum of the hub after promotion. *)
+}
+
+val default_config : upstream -> config
+(** 1 s connect timeout and failover threshold, 5 reconnect attempts
+    backing off 0.1 s → 2 s, auto-promotion on. *)
+
+type t
+
+val create :
+  ?vfs:Storage.Vfs.t -> config:config -> path:string -> server:Server.t -> Durable.t -> t
+(** Attach follower behaviour to [server] (extension, tick, close hook)
+    and flip its admission gate to standby.  [path] is the engine's base
+    path — the fencing epoch persists beside it, and after promotion the
+    hub tails [Durable.wal_path path].  The first connection attempt
+    happens on the first tick of the serve loop. *)
+
+val tick : t -> unit
+(** Drive the state machine once (normally via the server's tick):
+    flush pending acks and check the failure detector while following;
+    pace reconnects and trigger auto-promotion while connecting; run the
+    hub once leading. *)
+
+val promote : t -> reason:string -> unit
+(** Promote now (idempotent once leading) — see the module doc. *)
+
+val force_promote : t -> unit
+(** [promote] for callers without a reason to give. *)
+
+val stats : t -> Wire.replica_stats
+val is_leader : t -> bool
+
+val mode_name : t -> string
+(** ["following"], ["connecting"], or ["leading"]. *)
+
+val epoch : t -> int
+val replayed : t -> int
+(** Frames replayed over this process's life. *)
+
+val promotions : t -> int
+val leader_durable : t -> int
+(** The leader's durable watermark as last heard. *)
+
+val watermark_of : t -> int
+(** This node's own replayed-and-logged sequence. *)
+
+val diverged : t -> string option
+(** A record the leader applied but this replica could not — replication
+    stops and auto-promotion is disabled; the reason sticks. *)

@@ -52,6 +52,15 @@ val set_read_only : t -> bool -> unit
 
 val read_only : t -> bool
 
+val set_standby : t -> bool -> unit
+(** Follower mode: reject writes with [Read_only] even though the engine
+    is healthy — the node serves replicated reads and must not diverge
+    from its leader.  Independent of {!set_read_only} (health), so a
+    promotion (standby off) does not accidentally clear a genuine
+    degradation, and recovery does not re-enable writes on a follower. *)
+
+val standby : t -> bool
+
 val in_flight : t -> int
 
 val shed : t -> int

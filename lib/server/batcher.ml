@@ -14,12 +14,14 @@ type t = {
   q : (op * (outcome -> unit)) Queue.t;
   mutable batches : int;
   mutable acked : int;
+  mutable gate : (max_seq:int -> fire:(unit -> unit) -> unit) option;
 }
 
 let create ?(max_batch = 64) ?(telemetry = Telemetry.Tracer.noop)
     ?(on_batch = fun _ -> ()) eng =
   if max_batch < 1 then invalid_arg "Batcher: max_batch must be >= 1";
-  { eng; max_batch; tel = telemetry; on_batch; q = Queue.create (); batches = 0; acked = 0 }
+  { eng; max_batch; tel = telemetry; on_batch; q = Queue.create (); batches = 0;
+    acked = 0; gate = None }
 
 let enqueue t op k = Queue.add (op, k) t.q
 let pending t = Queue.length t.q
@@ -58,7 +60,15 @@ let flush_batch t =
   t.batches <- t.batches + 1;
   Array.iter (function Applied -> t.acked <- t.acked + 1 | _ -> ()) outcomes;
   t.on_batch n;
-  Array.iteri (fun i (_, k) -> k outcomes.(i)) items
+  let fire () = Array.iteri (fun i (_, k) -> k outcomes.(i)) items in
+  (* Re-tested after the sync: a failed sync downgraded every Applied to
+     Failed, and a batch with nothing durably applied has nothing for a
+     replication gate to wait on. *)
+  let durably_applied = Array.exists (function Applied -> true | _ -> false) outcomes in
+  match t.gate with
+  | Some gate when durably_applied ->
+      gate ~max_seq:(Rta.n_updates (Durable.warehouse t.eng)) ~fire
+  | _ -> fire ()
 
 let flush t =
   while not (Queue.is_empty t.q) do
@@ -68,3 +78,4 @@ let flush t =
 let batches t = t.batches
 let acked t = t.acked
 let engine t = t.eng
+let set_gate t g = t.gate <- g

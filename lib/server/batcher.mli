@@ -65,3 +65,14 @@ val acked : t -> int
 (** Ops whose outcome was {!Applied}. *)
 
 val engine : t -> Durable.t
+
+val set_gate : t -> (max_seq:int -> fire:(unit -> unit) -> unit) option -> unit
+(** Replication ack gate.  With a gate installed, a batch that durably
+    applied at least one write does {e not} run its callbacks from
+    {!flush}; instead the gate receives the engine's post-batch update
+    count ([max_seq]) and a [fire] thunk that runs them.  A semi-sync
+    replication hub holds [fire] until enough followers have acknowledged
+    [max_seq], so a client ack then certifies durability on leader {e
+    and} replicas.  Batches with no durable write (all rejected or
+    failed) bypass the gate — there is nothing to replicate.  [fire] must
+    be called exactly once, from the same event-loop thread. *)

@@ -1,42 +1,100 @@
-type t = { fd : Unix.file_descr; mutable buf : bytes; mutable len : int }
+type endpoint = Unix_sock of string | Tcp of string * int
+
+type t = {
+  mutable fd : Unix.file_descr;
+  mutable buf : bytes;
+  mutable len : int;
+  endpoint : endpoint option;  (* None: wrapped a caller-owned fd *)
+  timeout : float option;
+  backoff : float;
+  mutable reconnects : int;
+}
 
 exception Connection_closed
 exception Protocol_error of Wire.error
+exception Timeout of string
 
-let connect fd = { fd; buf = Bytes.create 8192; len = 0 }
-
-let connect_unix ~path =
-  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_UNIX path)
+let connect_fd ?timeout ep =
+  let domain, addr =
+    match ep with
+    | Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+        (Unix.PF_INET, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try
+     (match timeout with
+     | None -> Unix.connect fd addr
+     | Some tmo ->
+         (* Non-blocking connect + select: a black-holed peer fails in
+            [tmo] seconds instead of the kernel's minutes-long default. *)
+         Unix.set_nonblock fd;
+         (try Unix.connect fd addr
+          with Unix.Unix_error ((Unix.EINPROGRESS | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+            -> (
+            match Unix.select [] [ fd ] [] tmo with
+            | _, _ :: _, _ -> (
+                match Unix.getsockopt_error fd with
+                | None -> ()
+                | Some e -> raise (Unix.Unix_error (e, "connect", "")))
+            | _ -> raise (Timeout "connect")));
+         Unix.clear_nonblock fd;
+         (* Every subsequent blocking read/write inherits the bound. *)
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO tmo;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO tmo)
    with e ->
      (try Unix.close fd with Unix.Unix_error _ -> ());
      raise e);
-  connect fd
+  fd
 
-let connect_tcp ?(host = "127.0.0.1") ~port () =
-  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
-  (try Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
-   with e ->
-     (try Unix.close fd with Unix.Unix_error _ -> ());
-     raise e);
-  connect fd
+let make ?timeout ?(backoff = 0.05) ?endpoint fd =
+  { fd; buf = Bytes.create 8192; len = 0; endpoint; timeout; backoff; reconnects = 0 }
+
+let connect_unix ?timeout ?backoff ~path () =
+  let ep = Unix_sock path in
+  make ?timeout ?backoff ~endpoint:ep (connect_fd ?timeout ep)
+
+let connect_tcp ?timeout ?backoff ?(host = "127.0.0.1") ~port () =
+  let ep = Tcp (host, port) in
+  make ?timeout ?backoff ~endpoint:ep (connect_fd ?timeout ep)
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
-
 let fd t = t.fd
+let reconnects t = t.reconnects
+
+let reconnect t =
+  match t.endpoint with
+  | None -> raise Connection_closed
+  | Some ep ->
+      close t;
+      Unix.sleepf t.backoff;
+      t.fd <- connect_fd ?timeout:t.timeout ep;
+      t.len <- 0;
+      t.reconnects <- t.reconnects + 1
 
 let send t req =
   let b = Wire.encode_request req in
   let n = Bytes.length b in
-  let written = ref 0 in
-  while !written < n do
-    match Unix.write t.fd b !written (n - !written) with
-    | 0 -> raise Connection_closed
-    | k -> written := !written + k
-    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
-        raise Connection_closed
-  done
+  let rec go ~retried written =
+    if written < n then
+      match Unix.write t.fd b written (n - written) with
+      | 0 -> raise Connection_closed
+      | k -> go ~retried (written + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ~retried written
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          (* SO_SNDTIMEO expired: the peer stopped draining. *)
+          raise (Timeout "send")
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+          (* Reconnect-with-backoff, once, and only when nothing of this
+             request reached the old socket and no response is owed —
+             re-sending anything else could double-apply a write. *)
+          if written = 0 && t.len = 0 && (not retried) && t.endpoint <> None then begin
+            reconnect t;
+            go ~retried:true 0
+          end
+          else raise Connection_closed
+  in
+  go ~retried:false 0
 
 let refill t =
   let chunk = 8192 in
@@ -49,6 +107,9 @@ let refill t =
   | 0 -> raise Connection_closed
   | n -> t.len <- t.len + n
   | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      (* SO_RCVTIMEO expired with a response still owed. *)
+      raise (Timeout "receive")
   | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> raise Connection_closed
 
 let rec recv t =
@@ -77,3 +138,8 @@ let shard_stats t =
   match call t Wire.Shard_stats with Wire.Shard_stats_reply s -> Some s | _ -> None
 let health t = match call t Wire.Health with Wire.Health_reply h -> Some h | _ -> None
 let shutdown t = call t Wire.Shutdown
+
+let replica_stats t =
+  match call t Wire.Replica_stats with Wire.Replica_stats_reply s -> Some s | _ -> None
+
+let promote t = call t Wire.Promote

@@ -2,10 +2,26 @@
     bench harness, and [rta_cli netbench].
 
     The client is deliberately simple: one connection, blocking writes
-    and reads, no timeouts.  {!send} and {!recv} are split so a caller
-    can pipeline — send a window of requests, then collect the window of
-    responses; the server answers strictly in request order, so matching
-    is positional.  {!call} is the one-shot convenience. *)
+    and reads.  {!send} and {!recv} are split so a caller can pipeline —
+    send a window of requests, then collect the window of responses; the
+    server answers strictly in request order, so matching is positional.
+    {!call} is the one-shot convenience.
+
+    {2 Timeouts and reconnection}
+
+    Without [timeout], every operation blocks indefinitely — a dead or
+    wedged peer blocks the client forever.  With [timeout], connecting
+    (non-blocking connect + [select]) and each blocking read or write
+    ([SO_RCVTIMEO]/[SO_SNDTIMEO]) is bounded and raises the typed
+    {!Timeout} instead.
+
+    A client built from an endpoint ({!connect_unix}/{!connect_tcp})
+    additionally retries {e once}, after [backoff] seconds, when a
+    {!send} hits a closed peer before any byte of the request reached
+    the socket and no response is owed — the stale-pooled-connection
+    case, where retrying cannot double-apply anything.  Failures past
+    that single attempt, or at any less safe point, surface as
+    {!Connection_closed}. *)
 
 type t
 
@@ -15,9 +31,24 @@ exception Connection_closed
 exception Protocol_error of Wire.error
 (** The response stream failed to decode; the connection is unusable. *)
 
-val connect_unix : path:string -> t
-val connect_tcp : ?host:string -> port:int -> unit -> t
-(** Default host 127.0.0.1. *)
+exception Timeout of string
+(** An operation exceeded the configured [timeout]; the argument names
+    it ("connect", "send", "receive").  The connection may have a partial
+    frame in flight and should be closed. *)
+
+val connect_unix : ?timeout:float -> ?backoff:float -> path:string -> unit -> t
+val connect_tcp : ?timeout:float -> ?backoff:float -> ?host:string -> port:int -> unit -> t
+(** Default host 127.0.0.1; [timeout] in seconds bounds connect and each
+    subsequent blocking operation (default: block forever); [backoff]
+    (default 0.05 s) is the delay before the single reconnect attempt. *)
+
+val reconnect : t -> unit
+(** Close and re-establish the connection to the original endpoint after
+    [backoff] seconds, discarding any buffered response bytes.
+    @raise Connection_closed on a client wrapping a raw fd. *)
+
+val reconnects : t -> int
+(** Reconnections performed over this client's life. *)
 
 val close : t -> unit
 
@@ -55,3 +86,6 @@ val stats : t -> Wire.stats option
 val shard_stats : t -> Wire.shard_stat list option
 val health : t -> Durable.health option
 val shutdown : t -> Wire.response
+
+val replica_stats : t -> Wire.replica_stats option
+val promote : t -> Wire.response

@@ -7,10 +7,12 @@ type config = {
   max_queue_depth : int;
   max_batch : int;
   high_water : int;
+  sim_io_ns : int;
 }
 
 let default_config =
-  { max_in_flight = 1024; max_queue_depth = 256; max_batch = 64; high_water = 256 * 1024 }
+  { max_in_flight = 1024; max_queue_depth = 256; max_batch = 64; high_water = 256 * 1024;
+    sim_io_ns = 0 }
 
 (* --- Connection state machine -------------------------------------------------- *)
 
@@ -31,9 +33,35 @@ type conn = {
       (* EOF seen or protocol error: no more reads; close once every
          reserved slot has been filled and flushed. *)
   mutable dead : bool;
+  mutable subscriber : bool;
+      (* A replication subscription: the extension pushes frames to this
+         connection out of band, and the backpressure read-pause does not
+         apply (pausing reads would also pause the follower's acks). *)
 }
 
 type state = Accepting | Draining | Stopped
+
+(* --- Extension hook -------------------------------------------------------------- *)
+
+(* Replication (lib/replica) plugs into the loop without the server
+   knowing its semantics: an extension claims the replication opcodes,
+   a tick runs once per iteration (between group commit and response
+   pump, so anything it fills is flushed the same step), watched fds
+   join the select read set, and a close hook reclaims subscriber
+   state.  A server with no extension answers the replication opcodes
+   with a typed error. *)
+
+type ext_ctx = {
+  ext_conn : int;  (* connection id, stable for the connection's life *)
+  ext_push : bytes -> unit;  (* stage pre-encoded frames out of band *)
+  ext_pending : unit -> int;  (* unflushed output bytes (flow control) *)
+}
+
+type ext_outcome =
+  | Ext_reply of Wire.response
+  | Ext_subscribe of Wire.response
+  | Ext_silent
+  | Ext_pass
 
 (* The data plane behind the event loop: either the PR-5 single-engine
    group-commit path, or the sharded cluster of writer/reader domains.
@@ -54,6 +82,10 @@ type t = {
   mutable state : state;
   mutable next_id : int;
   mutable requests : int;
+  mutable extension : (ext_ctx -> Wire.request -> ext_outcome) option;
+  mutable tick : unit -> unit;
+  mutable on_close : int -> unit;
+  mutable watches : (Unix.file_descr * (unit -> unit)) list;
   m_requests : Metrics.counter;
   m_shed : Metrics.counter;
   m_ro_rejected : Metrics.counter;
@@ -112,6 +144,10 @@ let make ~config ~telemetry ~reg ~backend ~listen () =
     state = Accepting;
     next_id = 0;
     requests = 0;
+    extension = None;
+    tick = (fun () -> ());
+    on_close = (fun _ -> ());
+    watches = [];
     m_requests = Metrics.counter reg ~help:"Requests decoded." "server_requests_total";
     m_shed =
       Metrics.counter reg ~help:"Requests shed with Overloaded." "server_shed_total";
@@ -328,9 +364,49 @@ let query_error_response = function
   | Shard.Cluster.Bad_query m -> err Wire.Invalid_request m
   | Shard.Cluster.Io e -> err_of_storage e
 
+(* Replication opcodes route to the extension.  [Wal_ack] is
+   fire-and-forget by protocol, so it never reserves a response slot —
+   with or without an extension installed. *)
+let handle_ext t conn (req : Wire.request) =
+  let silent = match req with Wire.Wal_ack _ -> true | _ -> false in
+  let reply resp = if not silent then fill (reserve conn) resp in
+  if t.state <> Accepting then reply (err Wire.Shutting_down "server is draining")
+  else
+    match t.extension with
+    | None -> reply (err Wire.Invalid_request "replication is not enabled on this server")
+    | Some f -> (
+        let ctx =
+          {
+            ext_conn = conn.id;
+            ext_push = (fun b -> if not conn.dead then append_out conn b);
+            ext_pending = (fun () -> out_pending conn);
+          }
+        in
+        match f ctx req with
+        | Ext_silent -> ()
+        | Ext_pass -> reply (err Wire.Invalid_request "unsupported replication request")
+        | Ext_reply resp -> reply resp
+        | Ext_subscribe resp ->
+            (* Stage the handshake reply *now*: frames the extension
+               pushes from later ticks bypass the slot queue, and the
+               subscriber must decode its [Sub_ok] before any of them. *)
+            fill (reserve conn) resp;
+            pump conn;
+            conn.subscriber <- true)
+
 let handle_request t conn (req : Wire.request) =
   t.requests <- t.requests + 1;
   Metrics.inc t.m_requests;
+  match req with
+  | Wire.Wal_subscribe _ | Wire.Wal_ack _ | Wire.Replica_stats | Wire.Promote ->
+      handle_ext t conn req
+  | _ when conn.subscriber ->
+      (* The out stream belongs to pushed frames now; interleaving
+         ordinary responses would corrupt the follower's positional
+         request/response matching. *)
+      fill (reserve conn)
+        (err Wire.Invalid_request "connection is a replication subscription")
+  | _ -> (
   let slot = reserve conn in
   if t.state <> Accepting then fill slot (err Wire.Shutting_down "server is draining")
   else
@@ -359,8 +435,23 @@ let handle_request t conn (req : Wire.request) =
                   Tracer.with_span t.tel "server.request"
                     ~attrs:(fun () -> [ ("kind", Tracer.Str "query") ])
                   @@ fun () ->
+                  let reads_before =
+                    if t.cfg.sim_io_ns > 0 then
+                      (Telemetry.Io_stats.snapshot (Durable.io_stats eng))
+                        .Telemetry.Io_stats.reads
+                    else 0
+                  in
                   match Durable.sum_count eng ~klo ~khi ~tlo ~thi with
-                  | sum, count -> Wire.Agg { sum; count }
+                  | sum, count ->
+                      if t.cfg.sim_io_ns > 0 then begin
+                        let touches =
+                          (Telemetry.Io_stats.snapshot (Durable.io_stats eng))
+                            .Telemetry.Io_stats.reads - reads_before
+                        in
+                        if touches > 0 then
+                          Unix.sleepf (float_of_int (t.cfg.sim_io_ns * touches) /. 1e9)
+                      end;
+                      Wire.Agg { sum; count }
                   | exception Invalid_argument m -> err Wire.Invalid_request m
                   | exception E.Io e -> err_of_storage e
                 in
@@ -419,9 +510,13 @@ let handle_request t conn (req : Wire.request) =
                     | Ok () -> fill slot Wire.Ack
                     | Error e -> fill slot (err_of_storage e));
                     Admission.release t.adm)
-            | (Wire.Stats | Wire.Health | Wire.Ping | Wire.Shutdown | Wire.Shard_stats), _
-              ->
+            | ( ( Wire.Stats | Wire.Health | Wire.Ping | Wire.Shutdown
+                | Wire.Shard_stats | Wire.Wal_subscribe _ | Wire.Wal_ack _
+                | Wire.Replica_stats | Wire.Promote ),
+                _ ) ->
                 assert false))
+    | Wire.Wal_subscribe _ | Wire.Wal_ack _ | Wire.Replica_stats | Wire.Promote ->
+        assert false (* dispatched to the extension above *))
 
 (* Decode every complete frame in the input buffer.  On a framing error
    the byte stream can no longer be trusted: answer once, stop reading,
@@ -450,10 +545,13 @@ let parse t conn =
 
 (* --- Socket I/O ------------------------------------------------------------------ *)
 
-let close_conn conn =
+let close_conn t conn =
   if not conn.dead then begin
     conn.dead <- true;
-    try Unix.close conn.fd with Unix.Unix_error _ -> ()
+    (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+    (* After the fd is gone: the hook may push to other connections but
+       must see this one already dead. *)
+    t.on_close conn.id
   end
 
 let read_conn t conn =
@@ -461,15 +559,15 @@ let read_conn t conn =
   match Unix.read conn.fd conn.inbuf conn.in_len read_chunk with
   | 0 ->
       (* EOF.  Any responses still owed are flushed before closing. *)
-      if Queue.is_empty conn.slots && out_pending conn = 0 then close_conn conn
+      if Queue.is_empty conn.slots && out_pending conn = 0 then close_conn t conn
       else conn.close_after_flush <- true
   | n ->
       conn.in_len <- conn.in_len + n;
       parse t conn
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-  | exception Unix.Unix_error _ -> close_conn conn
+  | exception Unix.Unix_error _ -> close_conn t conn
 
-let write_conn conn =
+let write_conn t conn =
   if out_pending conn > 0 then
     match Unix.write conn.fd conn.out conn.out_pos (out_pending conn) with
     | n ->
@@ -479,7 +577,7 @@ let write_conn conn =
           conn.out_len <- 0
         end
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
-    | exception Unix.Unix_error _ -> close_conn conn
+    | exception Unix.Unix_error _ -> close_conn t conn
 
 let rec accept_loop t =
   match Unix.accept ~cloexec:true t.listen_fd with
@@ -497,6 +595,7 @@ let rec accept_loop t =
           out_len = 0;
           close_after_flush = false;
           dead = false;
+          subscriber = false;
         }
       in
       t.next_id <- t.next_id + 1;
@@ -520,14 +619,18 @@ let step t ~timeout =
         @ (match t.backend with
           | Single _ -> []
           | Sharded c -> [ Shard.Cluster.wake_fd c ])
+        @ List.map fst t.watches
         @ List.filter_map
             (fun c ->
               (* Backpressure: a connection drowning in unread responses
                  stops being read until the client drains them.  During a
-                 drain nothing new is read at all. *)
+                 drain nothing new is read at all.  Subscribers are
+                 exempt from the high-water pause: a shipping backlog can
+                 dwarf the limit, and pausing reads would also pause the
+                 very acks that let the backlog shrink. *)
               if
                 t.state <> Accepting || c.close_after_flush
-                || out_pending c >= t.cfg.high_water
+                || (out_pending c >= t.cfg.high_water && not c.subscriber)
               then None
               else Some c.fd)
             t.conns
@@ -538,6 +641,10 @@ let step t ~timeout =
         with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
       in
       if List.mem t.listen_fd rs then accept_loop t;
+      (* Snapshot: a watch callback may add or remove watches. *)
+      List.iter
+        (fun (fd, k) -> if List.mem fd rs && List.mem_assoc fd t.watches then k ())
+        t.watches;
       List.iter (fun c -> if (not c.dead) && List.mem c.fd rs then read_conn t c) t.conns;
       (* Single: the group commit — every write parsed this iteration
          (across all connections) lands under one WAL sync per
@@ -547,18 +654,22 @@ let step t ~timeout =
       (match t.backend with
       | Single { bat; _ } -> Batcher.flush bat
       | Sharded c -> ignore (Shard.Cluster.drain c));
+      (* Extension tick after group commit (the gate callbacks have run,
+         new WAL records are durable and shippable) and before the pump
+         (anything the tick fills or pushes flushes this same step). *)
+      t.tick ();
       List.iter
         (fun c ->
           if not c.dead then begin
             pump c;
-            write_conn c
+            write_conn t c
           end)
         t.conns;
       List.iter
         (fun c ->
           if (not c.dead) && c.close_after_flush && Queue.is_empty c.slots
              && out_pending c = 0
-          then close_conn c)
+          then close_conn t c)
         t.conns;
       t.conns <- List.filter (fun c -> not c.dead) t.conns;
       Metrics.set_gauge t.m_queue_depth (float_of_int (queue_depth t));
@@ -580,7 +691,7 @@ let step t ~timeout =
             | Sharded c -> Shard.Cluster.outstanding c = 0
           in
           if (not (List.exists conn_busy t.conns)) && backend_idle then begin
-            List.iter close_conn t.conns;
+            List.iter (close_conn t) t.conns;
             t.conns <- [];
             (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
             t.state <- Stopped
@@ -608,3 +719,9 @@ let batcher t =
 let cluster t = match t.backend with Sharded c -> Some c | Single _ -> None
 let admission t = t.adm
 let metrics t = t.reg
+let set_extension t f = t.extension <- Some f
+let set_tick t f = t.tick <- f
+let on_conn_close t f = t.on_close <- f
+let add_watch t fd k = t.watches <- (fd, k) :: List.remove_assoc fd t.watches
+let remove_watch t fd = t.watches <- List.remove_assoc fd t.watches
+let telemetry t = t.tel

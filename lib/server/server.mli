@@ -62,6 +62,11 @@ type config = {
   high_water : int;
       (** Per-connection pending-output bytes beyond which reads pause
           (default 256 KiB). *)
+  sim_io_ns : int;
+      (** Simulated device latency charged per page touched on the
+          single-engine query path (default 0 = off) — the same knob as
+          {!Shard.Cluster.config.sim_io_ns}, for benchmarking read
+          scaling across follower replicas under an I/O-bound load. *)
 }
 
 val default_config : config
@@ -140,6 +145,66 @@ val cluster : t -> Shard.Cluster.t option
 
 val admission : t -> Admission.t
 val metrics : t -> Telemetry.Metrics.t
+
+val telemetry : t -> Telemetry.Tracer.t
+
+(** {2 Loop extension}
+
+    How {!Replica} plugs replication into the event loop without the
+    server knowing its semantics: an extension claims the replication
+    opcodes ([Wal_subscribe] / [Wal_ack] / [Replica_stats] / [Promote]),
+    a per-iteration tick ships WAL frames, watched fds put a follower's
+    upstream socket into the [select] read set, and a close hook
+    reclaims subscriber state.  Without an extension the replication
+    opcodes are answered with [Err Invalid_request]. *)
+
+(** The extension's view of the connection a replication request arrived
+    on. *)
+type ext_ctx = {
+  ext_conn : int;
+      (** Connection id — stable for the connection's life, never
+          reused by this server. *)
+  ext_push : bytes -> unit;
+      (** Stage pre-encoded frame bytes on this connection, out of band
+          of the request/response slot queue.  No-op once the connection
+          is dead. *)
+  ext_pending : unit -> int;
+      (** Unflushed output bytes on this connection — the flow-control
+          signal for pacing pushed frames. *)
+}
+
+(** What the extension did with a replication request. *)
+type ext_outcome =
+  | Ext_reply of Wire.response  (** Answer in order, like any request. *)
+  | Ext_subscribe of Wire.response
+      (** Answer {e and} mark the connection a subscription: the reply is
+          staged immediately (ahead of any pushed frame), the high-water
+          read pause no longer applies, and subsequent non-replication
+          requests on it are rejected. *)
+  | Ext_silent  (** No response ([Wal_ack] is fire-and-forget). *)
+  | Ext_pass  (** Not handled — the server answers [Err Invalid_request]. *)
+
+val set_extension : t -> (ext_ctx -> Wire.request -> ext_outcome) -> unit
+(** Install the replication request handler.  Called from the event loop
+    for every replication opcode while the server is accepting (during a
+    drain they are answered [Shutting_down] without consulting it). *)
+
+val set_tick : t -> (unit -> unit) -> unit
+(** Called once per {!step}, after the group commit (new WAL records are
+    durable and shippable, gate callbacks have run) and before responses
+    are pumped and written — anything the tick fills or pushes flushes
+    within the same step. *)
+
+val on_conn_close : t -> (int -> unit) -> unit
+(** Called with the connection id whenever a connection dies, however it
+    dies — the extension drops the matching subscriber. *)
+
+val add_watch : t -> Unix.file_descr -> (unit -> unit) -> unit
+(** Put [fd] in the loop's [select] read set and run the callback when
+    it is readable — how a follower's upstream socket shares the loop
+    with served connections.  Re-adding an fd replaces its callback. *)
+
+val remove_watch : t -> Unix.file_descr -> unit
 
 val stats : t -> Wire.stats
 (** The snapshot served to wire [Stats] requests; on a sharded server

@@ -16,6 +16,10 @@ let tag_health = 6
 let tag_ping = 7
 let tag_shutdown = 8
 let tag_shard_stats = 9
+let tag_wal_subscribe = 10
+let tag_wal_ack = 11
+let tag_replica_stats = 12
+let tag_promote = 13
 let tag_agg = 65
 let tag_ack = 66
 let tag_err = 67
@@ -23,6 +27,9 @@ let tag_stats_reply = 68
 let tag_health_reply = 69
 let tag_pong = 70
 let tag_shard_stats_reply = 71
+let tag_sub_ok = 72
+let tag_wal_frames = 73
+let tag_replica_stats_reply = 74
 
 type agg = Sum | Count | Avg
 
@@ -36,6 +43,10 @@ type request =
   | Ping
   | Shutdown
   | Shard_stats
+  | Wal_subscribe of { epoch : int; from_seq : int }
+  | Wal_ack of { epoch : int; seq : int }
+  | Replica_stats
+  | Promote
 
 type error_code =
   | Bad_request
@@ -44,6 +55,7 @@ type error_code =
   | Read_only
   | Write_failed
   | Shutting_down
+  | Fenced
 
 let pp_error_code ppf c =
   Format.pp_print_string ppf
@@ -53,7 +65,8 @@ let pp_error_code ppf c =
     | Overloaded -> "overloaded"
     | Read_only -> "read-only"
     | Write_failed -> "write-failed"
-    | Shutting_down -> "shutting-down")
+    | Shutting_down -> "shutting-down"
+    | Fenced -> "fenced")
 
 type stats = {
   updates : int;
@@ -91,6 +104,25 @@ type shard_stat = {
   s_io_syncs : int;
 }
 
+type role = R_single | R_leader | R_follower
+
+(* Replication counters and watermarks; on a leader [r_durable] is the
+   fsync-covered log prefix and [r_followers] the per-subscriber acked
+   sequences; on a follower [r_durable] is its own replayed watermark and
+   [r_leader_durable] the last watermark heard from upstream. *)
+type replica_stats = {
+  r_role : role;
+  r_epoch : int;
+  r_durable : int;
+  r_commit : int;  (* replication-acknowledged (client-ackable) watermark *)
+  r_leader_durable : int;
+  r_lag : int;
+  r_frames_shipped : int;
+  r_frames_replayed : int;
+  r_promotions : int;
+  r_followers : (int * int) list;  (* subscriber id, acked seq *)
+}
+
 type response =
   | Agg of { sum : int; count : int }
   | Ack
@@ -99,6 +131,9 @@ type response =
   | Health_reply of Durable.health
   | Pong
   | Shard_stats_reply of shard_stat list
+  | Sub_ok of { epoch : int; floor : int; durable : int }
+  | Wal_frames of { epoch : int; durable : int; commit : int; frames : bytes list }
+  | Replica_stats_reply of replica_stats
 
 let pp_agg ppf a =
   Format.pp_print_string ppf (match a with Sum -> "sum" | Count -> "count" | Avg -> "avg")
@@ -114,6 +149,15 @@ let pp_request ppf = function
   | Ping -> Format.pp_print_string ppf "ping"
   | Shutdown -> Format.pp_print_string ppf "shutdown"
   | Shard_stats -> Format.pp_print_string ppf "shard-stats"
+  | Wal_subscribe { epoch; from_seq } ->
+      Format.fprintf ppf "wal-subscribe epoch=%d from=%d" epoch from_seq
+  | Wal_ack { epoch; seq } -> Format.fprintf ppf "wal-ack epoch=%d seq=%d" epoch seq
+  | Replica_stats -> Format.pp_print_string ppf "replica-stats"
+  | Promote -> Format.pp_print_string ppf "promote"
+
+let pp_role ppf r =
+  Format.pp_print_string ppf
+    (match r with R_single -> "single" | R_leader -> "leader" | R_follower -> "follower")
 
 let pp_shard_stat ppf s =
   Format.fprintf ppf
@@ -133,6 +177,14 @@ let pp_response ppf = function
   | Health_reply h -> Format.fprintf ppf "health %a" Durable.pp_health h
   | Pong -> Format.pp_print_string ppf "pong"
   | Shard_stats_reply ss -> Format.fprintf ppf "shard-stats n=%d" (List.length ss)
+  | Sub_ok { epoch; floor; durable } ->
+      Format.fprintf ppf "sub-ok epoch=%d floor=%d durable=%d" epoch floor durable
+  | Wal_frames { epoch; durable; commit; frames } ->
+      Format.fprintf ppf "wal-frames epoch=%d durable=%d commit=%d n=%d" epoch durable
+        commit (List.length frames)
+  | Replica_stats_reply r ->
+      Format.fprintf ppf "replica-stats role=%a epoch=%d durable=%d commit=%d lag=%d"
+        pp_role r.r_role r.r_epoch r.r_durable r.r_commit r.r_lag
 
 let is_write = function Insert _ | Delete _ -> true | _ -> false
 
@@ -150,8 +202,10 @@ let error_code_u8 = function
   | Read_only -> 3
   | Write_failed -> 4
   | Shutting_down -> 5
+  | Fenced -> 6
 
 let health_u8 = function Durable.Healthy -> 0 | Durable.Degraded -> 1 | Durable.Read_only -> 2
+let role_u8 = function R_single -> 0 | R_leader -> 1 | R_follower -> 2
 
 let frame payload =
   let len = Bytes.length payload in
@@ -174,6 +228,8 @@ let payload ~tag ~body_bytes fill =
 let write_string w s =
   Codec.Writer.i32 w (String.length s);
   String.iter (fun c -> Codec.Writer.u8 w (Char.code c)) s
+
+let write_bytes_raw w b = Bytes.iter (fun c -> Codec.Writer.u8 w (Char.code c)) b
 
 let encode_request = function
   | Query { agg; klo; khi; tlo; thi } ->
@@ -198,6 +254,16 @@ let encode_request = function
   | Ping -> payload ~tag:tag_ping ~body_bytes:0 ignore
   | Shutdown -> payload ~tag:tag_shutdown ~body_bytes:0 ignore
   | Shard_stats -> payload ~tag:tag_shard_stats ~body_bytes:0 ignore
+  | Wal_subscribe { epoch; from_seq } ->
+      payload ~tag:tag_wal_subscribe ~body_bytes:(2 * 8) (fun w ->
+          Codec.Writer.i64 w epoch;
+          Codec.Writer.i64 w from_seq)
+  | Wal_ack { epoch; seq } ->
+      payload ~tag:tag_wal_ack ~body_bytes:(2 * 8) (fun w ->
+          Codec.Writer.i64 w epoch;
+          Codec.Writer.i64 w seq)
+  | Replica_stats -> payload ~tag:tag_replica_stats ~body_bytes:0 ignore
+  | Promote -> payload ~tag:tag_promote ~body_bytes:0 ignore
 
 let shard_stat_bytes = (14 * 8) + 1
 
@@ -257,6 +323,52 @@ let encode_response = function
         (fun w ->
           Codec.Writer.i32 w n;
           List.iter (write_shard_stat w) ss)
+  | Sub_ok { epoch; floor; durable } ->
+      payload ~tag:tag_sub_ok ~body_bytes:(3 * 8) (fun w ->
+          Codec.Writer.i64 w epoch;
+          Codec.Writer.i64 w floor;
+          Codec.Writer.i64 w durable)
+  | Wal_frames { epoch; durable; commit; frames } ->
+      (* Each shipped record keeps the WAL's own CRC framing (len, crc,
+         payload) inside the message, on top of the message-level frame
+         CRC — a follower re-checks every record before replaying it. *)
+      let body =
+        (3 * 8) + 4 + List.fold_left (fun a f -> a + 8 + Bytes.length f) 0 frames
+      in
+      payload ~tag:tag_wal_frames ~body_bytes:body (fun w ->
+          Codec.Writer.i64 w epoch;
+          Codec.Writer.i64 w durable;
+          Codec.Writer.i64 w commit;
+          Codec.Writer.i32 w (List.length frames);
+          List.iter
+            (fun f ->
+              let len = Bytes.length f in
+              Codec.Writer.i32 w len;
+              (* Store the unsigned CRC through its signed 32-bit image;
+                 the decoder masks it back. *)
+              Codec.Writer.i32 w (Int32.to_int (Int32.of_int (Codec.crc32 f ~pos:0 ~len)));
+              write_bytes_raw w f)
+            frames)
+  | Replica_stats_reply r ->
+      let n = List.length r.r_followers in
+      payload ~tag:tag_replica_stats_reply
+        ~body_bytes:(1 + (8 * 8) + 4 + (n * 16))
+        (fun w ->
+          Codec.Writer.u8 w (role_u8 r.r_role);
+          Codec.Writer.i64 w r.r_epoch;
+          Codec.Writer.i64 w r.r_durable;
+          Codec.Writer.i64 w r.r_commit;
+          Codec.Writer.i64 w r.r_leader_durable;
+          Codec.Writer.i64 w r.r_lag;
+          Codec.Writer.i64 w r.r_frames_shipped;
+          Codec.Writer.i64 w r.r_frames_replayed;
+          Codec.Writer.i64 w r.r_promotions;
+          Codec.Writer.i32 w n;
+          List.iter
+            (fun (id, acked) ->
+              Codec.Writer.i64 w id;
+              Codec.Writer.i64 w acked)
+            r.r_followers)
 
 (* --- Decoding ----------------------------------------------------------------- *)
 
@@ -293,7 +405,14 @@ let error_code_of_u8 = function
   | 3 -> Read_only
   | 4 -> Write_failed
   | 5 -> Shutting_down
+  | 6 -> Fenced
   | n -> raise (Reject (Bad_payload (Printf.sprintf "unknown error code %d" n)))
+
+let role_of_u8 = function
+  | 0 -> R_single
+  | 1 -> R_leader
+  | 2 -> R_follower
+  | n -> raise (Reject (Bad_payload (Printf.sprintf "unknown role code %d" n)))
 
 let health_of_u8 = function
   | 0 -> Durable.Healthy
@@ -331,6 +450,16 @@ let decode_body_request rd ~len tag =
   | t when t = tag_ping -> Ping
   | t when t = tag_shutdown -> Shutdown
   | t when t = tag_shard_stats -> Shard_stats
+  | t when t = tag_wal_subscribe ->
+      let epoch = Codec.Reader.i64 rd in
+      let from_seq = Codec.Reader.i64 rd in
+      Wal_subscribe { epoch; from_seq }
+  | t when t = tag_wal_ack ->
+      let epoch = Codec.Reader.i64 rd in
+      let seq = Codec.Reader.i64 rd in
+      Wal_ack { epoch; seq }
+  | t when t = tag_replica_stats -> Replica_stats
+  | t when t = tag_promote -> Promote
   | t ->
       ignore len;
       raise (Reject (Unknown_tag t))
@@ -395,6 +524,57 @@ let decode_body_response rd ~len tag =
                s_queue; s_batches; s_acked; s_wal_syncs; s_health; s_io_reads;
                s_io_writes; s_io_syncs;
              }))
+  | t when t = tag_sub_ok ->
+      let epoch = Codec.Reader.i64 rd in
+      let floor = Codec.Reader.i64 rd in
+      let durable = Codec.Reader.i64 rd in
+      Sub_ok { epoch; floor; durable }
+  | t when t = tag_wal_frames ->
+      let epoch = Codec.Reader.i64 rd in
+      let durable = Codec.Reader.i64 rd in
+      let commit = Codec.Reader.i64 rd in
+      let n = Codec.Reader.i32 rd in
+      if n < 0 || n > len then
+        raise (Reject (Bad_payload (Printf.sprintf "frame count %d out of range" n)));
+      let frames =
+        List.init n (fun _ ->
+            let flen = Codec.Reader.i32 rd in
+            if flen <= 0 || flen > len - Codec.Reader.pos rd then
+              raise
+                (Reject (Bad_payload (Printf.sprintf "record length %d out of range" flen)));
+            let crc = Codec.Reader.i32 rd land 0xFFFFFFFF in
+            let b = Bytes.init flen (fun _ -> Char.chr (Codec.Reader.u8 rd)) in
+            if Codec.crc32 b ~pos:0 ~len:flen <> crc then
+              raise (Reject (Bad_payload "record checksum mismatch inside wal-frames"));
+            b)
+      in
+      Wal_frames { epoch; durable; commit; frames }
+  | t when t = tag_replica_stats_reply ->
+      let r_role = role_of_u8 (Codec.Reader.u8 rd) in
+      let r_epoch = Codec.Reader.i64 rd in
+      let r_durable = Codec.Reader.i64 rd in
+      let r_commit = Codec.Reader.i64 rd in
+      let r_leader_durable = Codec.Reader.i64 rd in
+      let r_lag = Codec.Reader.i64 rd in
+      let r_frames_shipped = Codec.Reader.i64 rd in
+      let r_frames_replayed = Codec.Reader.i64 rd in
+      let r_promotions = Codec.Reader.i64 rd in
+      let n = Codec.Reader.i32 rd in
+      let remaining = len - Codec.Reader.pos rd in
+      if n < 0 || n * 16 <> remaining then
+        raise
+          (Reject
+             (Bad_payload
+                (Printf.sprintf "follower count %d does not match body size" n)));
+      let r_followers =
+        List.init n (fun _ ->
+            let id = Codec.Reader.i64 rd in
+            let acked = Codec.Reader.i64 rd in
+            (id, acked))
+      in
+      Replica_stats_reply
+        { r_role; r_epoch; r_durable; r_commit; r_leader_durable; r_lag;
+          r_frames_shipped; r_frames_replayed; r_promotions; r_followers }
   | t -> raise (Reject (Unknown_tag t))
 
 (* The shared total decoder: validate the length prefix before any

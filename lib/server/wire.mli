@@ -55,6 +55,18 @@ type request =
   | Shard_stats
       (** Per-shard counters and watermarks; a single-shard server
           answers with one entry covering the whole key domain. *)
+  | Wal_subscribe of { epoch : int; from_seq : int }
+      (** Replication handshake: stream WAL records with sequence numbers
+          above [from_seq].  [epoch] is the highest fencing epoch the
+          follower has seen; a leader with a lower epoch has been deposed
+          and must answer [Err Fenced]. *)
+  | Wal_ack of { epoch : int; seq : int }
+      (** Follower → leader: every record up to [seq] is replayed {e and
+          fsynced} on the follower.  Fire-and-forget: no response. *)
+  | Replica_stats  (** Replication role, watermarks, and counters. *)
+  | Promote
+      (** Ask a follower to promote itself to leader now (manual
+          failover).  A leader answers [Err Invalid_request]. *)
 
 type error_code =
   | Bad_request  (** The frame decoded but the message made no sense. *)
@@ -67,6 +79,9 @@ type error_code =
           queries keep serving. *)
   | Write_failed  (** The update was not applied (typed storage error). *)
   | Shutting_down  (** The server is draining and takes no new work. *)
+  | Fenced
+      (** The sender's fencing epoch is stale: a newer leader exists.
+          Deposed leaders and lagging followers must stop and re-sync. *)
 
 val pp_error_code : Format.formatter -> error_code -> unit
 
@@ -108,6 +123,33 @@ type shard_stat = {
   s_io_syncs : int;
 }
 
+(** A node's replication role: [R_single] (no replication attached),
+    [R_leader] (ships WAL frames, gates acks), [R_follower] (replays
+    frames, serves read-only queries). *)
+type role = R_single | R_leader | R_follower
+
+type replica_stats = {
+  r_role : role;
+  r_epoch : int;  (** Current fencing epoch. *)
+  r_durable : int;
+      (** Leader: fsync-covered WAL prefix (what may be shipped).
+          Follower: its own replayed-and-fsynced watermark. *)
+  r_commit : int;
+      (** Leader: replication-acknowledged watermark — with
+          [sync_replicas >= 1] the prefix whose client acks may be
+          released.  Follower: equals [r_durable]. *)
+  r_leader_durable : int;
+      (** Follower: the leader's durable watermark as last heard;
+          leader: [= r_durable]. *)
+  r_lag : int;
+      (** Leader: durable − min subscriber ack (0 with no subscribers);
+          follower: leader durable − own replayed watermark. *)
+  r_frames_shipped : int;
+  r_frames_replayed : int;
+  r_promotions : int;  (** Failover promotions performed by this process. *)
+  r_followers : (int * int) list;  (** Leader: (subscriber id, acked seq). *)
+}
+
 type response =
   | Agg of { sum : int; count : int }
       (** Answer to any {!Query}: AVG is [sum/count], client-side. *)
@@ -117,10 +159,21 @@ type response =
   | Health_reply of Durable.health
   | Pong
   | Shard_stats_reply of shard_stat list
+  | Sub_ok of { epoch : int; floor : int; durable : int }
+      (** Subscription accepted at [epoch]; the leader's backlog reaches
+          back to sequence [floor] (exclusive) and its durable watermark
+          is [durable].  A follower below [floor] needs a snapshot
+          transfer and is refused instead. *)
+  | Wal_frames of { epoch : int; durable : int; commit : int; frames : bytes list }
+      (** A batch of WAL record payloads in sequence order, each
+          CRC-framed inside the message exactly like the on-disk log.  An
+          empty [frames] list is a heartbeat carrying watermarks only. *)
+  | Replica_stats_reply of replica_stats
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit
 val pp_shard_stat : Format.formatter -> shard_stat -> unit
+val pp_role : Format.formatter -> role -> unit
 
 (** {1 Encoding} *)
 

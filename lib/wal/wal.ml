@@ -255,6 +255,75 @@ let truncate t =
 let broken t = t.broken
 let unsynced t = t.unsynced
 
+(* --- Live tailing ------------------------------------------------------------- *)
+
+(* [replay] is a recovery primitive: at the first frame it cannot finish
+   it declares the tail torn and truncates.  A {e live} reader cannot do
+   that — a frame whose bytes have not all landed yet is indistinguishable
+   from one whose writer died mid-append, and only time tells them apart.
+   The tailer therefore never judges: an incomplete frame is [Need_more]
+   (poll again once the file has grown), and only a frame that is fully
+   present but fails its checksum — bytes that can never become valid by
+   appending more — is [Corrupt]. *)
+module Tail = struct
+  type event = Frame of bytes | Need_more | Corrupt of string
+
+  type t = {
+    file : file;
+    mutable off : int;  (* byte offset of the next unread frame *)
+    mutable closed : bool;
+  }
+
+  let create ?from file =
+    let off = match from with Some o -> max o header_bytes | None -> header_bytes in
+    { file; off; closed = false }
+
+  let open_path path = create (os_file ~path)
+  let offset t = t.off
+
+  let poll t =
+    if t.closed then invalid_arg "Wal.Tail: tailer is closed";
+    let size = t.file.f_size () in
+    (* A size below our offset means the log was reset under us (a
+       checkpoint truncation): everything we read is already covered by
+       the checkpoint, so restart after the header. *)
+    if size < t.off then t.off <- header_bytes;
+    let remaining = size - t.off in
+    if remaining < frame_header_bytes then Need_more
+    else begin
+      let hdr = Bytes.create frame_header_bytes in
+      let got = t.file.f_pread t.off hdr 0 frame_header_bytes in
+      if got < frame_header_bytes then Need_more
+      else begin
+        let len = Int32.to_int (Bytes.get_int32_le hdr 0) in
+        let crc = Int32.to_int (Bytes.get_int32_le hdr 4) land 0xFFFFFFFF in
+        if len <= 0 || len > max_record_bytes then
+          Corrupt (Printf.sprintf "bad record length %d at offset %d" len t.off)
+        else if remaining < frame_header_bytes + len then
+          (* The frame header is down but the payload is still (or was
+             being) written: not an error yet. *)
+          Need_more
+        else begin
+          let payload = Bytes.create len in
+          let got = t.file.f_pread (t.off + frame_header_bytes) payload 0 len in
+          if got < len then Need_more
+          else if Storage.Codec.crc32 payload ~pos:0 ~len <> crc then
+            Corrupt (Printf.sprintf "record checksum mismatch at offset %d" t.off)
+          else begin
+            t.off <- t.off + frame_header_bytes + len;
+            Frame payload
+          end
+        end
+      end
+    end
+
+  let close t =
+    if not t.closed then begin
+      t.closed <- true;
+      try t.file.f_close () with E.Io _ -> ()
+    end
+end
+
 let size t =
   check_open t;
   t.file.f_size ()

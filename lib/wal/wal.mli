@@ -186,3 +186,50 @@ val close : t -> unit
 val max_record_bytes : int
 (** Sanity bound on one payload; {!replay} treats larger length prefixes
     as corruption. *)
+
+(** {1 Live tailing}
+
+    {!replay} is a recovery primitive: the first frame it cannot finish
+    is declared a torn tail and truncated away.  A {e live} reader — a
+    replication shipper following a log that is still being appended —
+    must not do that: a frame whose last bytes have not landed yet looks
+    exactly like one whose writer died mid-append, and only the passage
+    of time distinguishes them.  {!Tail.poll} therefore never truncates
+    and never errors at end-of-file: an incomplete frame is
+    {!Tail.Need_more} (poll again once the file has grown), and only a
+    frame that is {e fully present} but fails its checksum — bytes no
+    future append can make valid — is {!Tail.Corrupt}. *)
+module Tail : sig
+  type event =
+    | Frame of bytes  (** One complete record payload, CRC-verified. *)
+    | Need_more
+        (** Clean end-of-file, or a frame whose bytes have not all landed
+            yet — poll again later.  A tailer that sees [Need_more]
+            forever past known-durable data is looking at a torn tail;
+            deciding when to give up is the caller's policy. *)
+    | Corrupt of string
+        (** A fully-present frame failed its checksum, or a length prefix
+            is impossible: real corruption, no amount of waiting helps. *)
+
+  type t
+
+  val create : ?from:int -> file -> t
+  (** Tail [file] starting at byte offset [from] (clamped to skip the
+      log header; default: just past the header).  The file should be a
+      second read handle on a live log (POSIX locks do not conflict
+      within one process) or the log's own {!Storage.Vfs} file. *)
+
+  val open_path : string -> t
+  (** [create] over {!os_file}. *)
+
+  val poll : t -> event
+  (** Read the next complete record, if one is fully on disk.  Detects a
+      checkpoint truncation (file shrank below the read offset) and
+      restarts after the header — records read before the truncation were
+      covered by the checkpoint by construction. *)
+
+  val offset : t -> int
+  (** Byte offset of the next unread frame. *)
+
+  val close : t -> unit
+end

@@ -27,7 +27,7 @@ let gen_i =
 let gen_code =
   QCheck.Gen.oneofl
     [ Wire.Bad_request; Wire.Invalid_request; Wire.Overloaded; Wire.Read_only;
-      Wire.Write_failed; Wire.Shutting_down ]
+      Wire.Write_failed; Wire.Shutting_down; Wire.Fenced ]
 
 (* The encoder truncates details beyond 512 bytes, so stay within it to
    keep the round trip exact. *)
@@ -45,9 +45,12 @@ let gen_request =
        gen_i >>= fun value ->
        gen_i >>= fun at -> return (Wire.Insert { key; value; at }));
       (gen_i >>= fun key -> gen_i >>= fun at -> return (Wire.Delete { key; at }));
+      (gen_i >>= fun epoch ->
+       gen_i >>= fun from_seq -> return (Wire.Wal_subscribe { epoch; from_seq }));
+      (gen_i >>= fun epoch -> gen_i >>= fun seq -> return (Wire.Wal_ack { epoch; seq }));
       oneofl
         [ Wire.Checkpoint; Wire.Stats; Wire.Health; Wire.Ping; Wire.Shutdown;
-          Wire.Shard_stats ] ]
+          Wire.Shard_stats; Wire.Replica_stats; Wire.Promote ] ]
 
 let gen_stats =
   let open QCheck.Gen in
@@ -89,6 +92,31 @@ let gen_shard_stat =
     { Wire.shard; s_klo; s_khi; watermark; reader_watermark; s_now; s_alive; s_queue;
       s_batches; s_acked; s_wal_syncs; s_health; s_io_reads; s_io_writes; s_io_syncs }
 
+let gen_role = QCheck.Gen.oneofl [ Wire.R_single; Wire.R_leader; Wire.R_follower ]
+
+let gen_replica_stats =
+  let open QCheck.Gen in
+  gen_role >>= fun r_role ->
+  gen_i >>= fun r_epoch ->
+  gen_i >>= fun r_durable ->
+  gen_i >>= fun r_commit ->
+  gen_i >>= fun r_leader_durable ->
+  gen_i >>= fun r_lag ->
+  gen_i >>= fun r_frames_shipped ->
+  gen_i >>= fun r_frames_replayed ->
+  gen_i >>= fun r_promotions ->
+  list_size (int_bound 6) (pair gen_i gen_i) >>= fun r_followers ->
+  return
+    { Wire.r_role; r_epoch; r_durable; r_commit; r_leader_durable; r_lag;
+      r_frames_shipped; r_frames_replayed; r_promotions; r_followers }
+
+(* Shipped frames are opaque byte strings to the codec — including bytes
+   that look like CRC framing, but never empty: a real WAL record always
+   carries its header, and the decoder rejects zero-length records. *)
+let gen_frame =
+  QCheck.Gen.(
+    string_size ~gen:char (int_range 1 80) >>= fun s -> return (Bytes.of_string s))
+
 let gen_response =
   let open QCheck.Gen in
   oneof
@@ -100,7 +128,16 @@ let gen_response =
       (gen_health >>= fun h -> return (Wire.Health_reply h));
       return Wire.Pong;
       (list_size (int_bound 8) gen_shard_stat >>= fun l ->
-       return (Wire.Shard_stats_reply l)) ]
+       return (Wire.Shard_stats_reply l));
+      (gen_i >>= fun epoch ->
+       gen_i >>= fun floor ->
+       gen_i >>= fun durable -> return (Wire.Sub_ok { epoch; floor; durable }));
+      (gen_i >>= fun epoch ->
+       gen_i >>= fun durable ->
+       gen_i >>= fun commit ->
+       list_size (int_bound 8) gen_frame >>= fun frames ->
+       return (Wire.Wal_frames { epoch; durable; commit; frames }));
+      (gen_replica_stats >>= fun r -> return (Wire.Replica_stats_reply r)) ]
 
 let arbitrary_request = QCheck.make ~print:(Format.asprintf "%a" Wire.pp_request) gen_request
 let arbitrary_response =
@@ -269,7 +306,7 @@ let with_server ?config ?(wal_wrap = fun f -> f) k =
   in
   let listen = Server.listen_unix ~path:sock in
   let srv = Server.create ?config ~engine:eng ~listen () in
-  let cli = Client.connect_unix ~path:sock in
+  let cli = Client.connect_unix ~path:sock () in
   Fun.protect
     ~finally:(fun () ->
       Client.close cli;
@@ -558,7 +595,7 @@ let test_kill_server_recovers () =
     in
     Unix.close null;
     let rec connect n =
-      match Client.connect_unix ~path:sock with
+      match Client.connect_unix ~path:sock () with
       | cli -> cli
       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 100 ->
           Unix.sleepf 0.05;

@@ -470,7 +470,7 @@ let test_kill_sharded_server_recovers () =
     in
     Unix.close null;
     let rec connect n =
-      match Client.connect_unix ~path:sock with
+      match Client.connect_unix ~path:sock () with
       | cli -> cli
       | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) when n < 100 ->
           Unix.sleepf 0.05;

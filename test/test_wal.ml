@@ -531,6 +531,110 @@ let test_crash_recovery_fixed_offsets () =
       ignore (crash_and_recover ~events ~checkpoint_every:50 ~fail_after))
     [ 0; 1; 15; 16; 17; 16 + 8 + 33; 500; 1000; 2500 ]
 
+(* --- Live tailing ------------------------------------------------------------- *)
+
+let wal_header_bytes = 16
+
+let write_file path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  Bytes.of_string (Bytes.to_string b)
+
+let poll_frame tail =
+  match Wal.Tail.poll tail with
+  | Wal.Tail.Frame p -> Bytes.to_string p
+  | Wal.Tail.Need_more -> Alcotest.fail "expected a frame, got Need_more"
+  | Wal.Tail.Corrupt m -> Alcotest.fail ("expected a frame, got Corrupt: " ^ m)
+
+let check_need_more msg tail =
+  match Wal.Tail.poll tail with
+  | Wal.Tail.Need_more -> ()
+  | Wal.Tail.Frame p -> Alcotest.fail (msg ^ ": unexpected frame " ^ Bytes.to_string p)
+  | Wal.Tail.Corrupt m -> Alcotest.fail (msg ^ ": unexpected Corrupt: " ^ m)
+
+(* The satellite case: a record whose bytes land in two installments must
+   read as Need_more, then the complete frame — byte-exact. *)
+let test_tail_split_frame () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let wal = Wal.open_path ~policy:Wal.Always path in
+  List.iter (fun s -> ok (Wal.append wal (payload s))) [ "one"; "two"; "three" ];
+  Wal.close wal;
+  let full = read_file path in
+  let split = Bytes.length full - 6 in
+  let part = prefix ^ ".part.wal" in
+  write_file part (Bytes.sub full 0 split);
+  let tail = Wal.Tail.open_path part in
+  Alcotest.(check string) "first frame" "one" (poll_frame tail);
+  Alcotest.(check string) "second frame" "two" (poll_frame tail);
+  check_need_more "third record half-landed" tail;
+  check_need_more "still half-landed" tail;
+  append_raw part (Bytes.sub full split (Bytes.length full - split));
+  Alcotest.(check string) "completed across two polls" "three" (poll_frame tail);
+  check_need_more "clean EOF" tail;
+  (* New appends after the tail already hit EOF are picked up. *)
+  let wal = Wal.open_path ~policy:Wal.Always part in
+  ok (Wal.append wal (payload "four"));
+  Wal.close wal;
+  Alcotest.(check string) "append after EOF" "four" (poll_frame tail);
+  Wal.Tail.close tail;
+  cleanup prefix
+
+let test_tail_truncation_reset () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let wal = Wal.open_path ~policy:Wal.Always path in
+  List.iter (fun s -> ok (Wal.append wal (payload s))) [ "a"; "b"; "c" ];
+  Wal.close wal;
+  let tail = Wal.Tail.open_path path in
+  let g1 = poll_frame tail in
+  let g2 = poll_frame tail in
+  let g3 = poll_frame tail in
+  Alcotest.(check (list string)) "history read" [ "a"; "b"; "c" ] [ g1; g2; g3 ];
+  (* A checkpoint truncates the log back to its header; the tail must
+     notice the shrink and restart after the header, not misparse. *)
+  Unix.truncate path wal_header_bytes;
+  let wal = Wal.open_path ~policy:Wal.Always path in
+  List.iter (fun s -> ok (Wal.append wal (payload s))) [ "post-ckpt" ];
+  Wal.close wal;
+  Alcotest.(check string) "restarted after the header" "post-ckpt" (poll_frame tail);
+  check_need_more "EOF after reset" tail;
+  Wal.Tail.close tail;
+  cleanup prefix
+
+let test_tail_corrupt_record () =
+  let prefix = temp_prefix () in
+  let path = prefix ^ ".wal" in
+  let wal = Wal.open_path ~policy:Wal.Always path in
+  List.iter (fun s -> ok (Wal.append wal (payload s))) [ "aaaa"; "bbbb" ];
+  let size = Wal.size wal in
+  Wal.close wal;
+  (* Flip one payload byte of the second, fully-present record. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  ignore (Unix.lseek fd (size - 2) Unix.SEEK_SET);
+  ignore (Unix.write fd (Bytes.of_string "X") 0 1);
+  Unix.close fd;
+  let tail = Wal.Tail.open_path path in
+  Alcotest.(check string) "intact prefix" "aaaa" (poll_frame tail);
+  (match Wal.Tail.poll tail with
+  | Wal.Tail.Corrupt _ -> ()
+  | e ->
+      Alcotest.failf "expected Corrupt, got %s"
+        (match e with
+        | Wal.Tail.Frame p -> "Frame " ^ Bytes.to_string p
+        | Wal.Tail.Need_more -> "Need_more"
+        | Wal.Tail.Corrupt _ -> assert false));
+  Wal.Tail.close tail;
+  cleanup prefix
+
 let () =
   Alcotest.run "wal"
     [
@@ -559,5 +663,12 @@ let () =
         [
           Alcotest.test_case "fixed offsets" `Quick test_crash_recovery_fixed_offsets;
           QCheck_alcotest.to_alcotest prop_crash_recovery;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "frame split across two polls" `Quick test_tail_split_frame;
+          Alcotest.test_case "truncation resets to the header" `Quick
+            test_tail_truncation_reset;
+          Alcotest.test_case "corrupt record surfaces" `Quick test_tail_corrupt_record;
         ] );
     ]
