@@ -53,7 +53,11 @@ let from t ~after ~max_frames ~max_bytes =
          (fun f ->
            if !i >= skip then begin
              let cost = 8 + Bytes.length f in
-             if !taken >= max_frames || !bytes + cost > max_bytes then raise Exit;
+             (* The byte budget never blocks the first frame: a single
+                oversized record must still make progress (alone, in its
+                own message) rather than stall the subscriber forever. *)
+             if !taken >= max_frames || (!taken > 0 && !bytes + cost > max_bytes) then
+               raise Exit;
              acc := f :: !acc;
              incr taken;
              bytes := !bytes + cost

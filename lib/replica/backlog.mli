@@ -31,6 +31,8 @@ val from : t -> after:int -> max_frames:int -> max_bytes:int -> bytes list optio
 (** Frames for sequences [after + 1 .. hi], oldest first, cut off at
     [max_frames] or at the first frame that would push the summed cost
     ([8 + length], the wire encoding's per-frame bytes) past [max_bytes].
+    The byte budget never blocks the {e first} frame: an oversized record
+    is returned alone so the caller always makes progress.
     [None] when [after < floor]: the subscriber fell behind the window. *)
 
 val floor : t -> int

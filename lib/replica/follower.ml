@@ -61,6 +61,9 @@ type t = {
   mutable stale_frames : int;
   mutable promotions : int;
   mutable diverged : string option;
+  mutable parked : string option;
+      (* refused by a live upstream (fenced / re-bootstrap): auto
+         promotion is off until an operator intervenes *)
   m_replayed : Metrics.counter;
   m_lag : Metrics.gauge;
   m_promotions : Metrics.counter;
@@ -243,7 +246,10 @@ let replay_frames t link frames =
   | None -> (
       if frames <> [] then
         match Durable.sync_wal t.eng with
-        | Ok () -> ack t link
+        | Ok () -> (
+            (* The replay itself is durable; a dead socket under the ack
+               only costs this link, never the process. *)
+            try ack t link with Link_failed reason -> drop_link t link reason)
         | Error _ -> (* unacked; the records will be re-shipped after recovery *) ())
 
 let handle_frames t link ~epoch ~durable ~commit frames =
@@ -280,26 +286,30 @@ let process_input t link =
     | _ -> continue := false
   done
 
+let read_input t link =
+  let cap = Bytes.length link.inbuf in
+  if cap - link.in_len < 4096 then begin
+    let nb = Bytes.create (2 * cap) in
+    Bytes.blit link.inbuf 0 nb 0 link.in_len;
+    link.inbuf <- nb
+  end;
+  match Unix.read link.fd link.inbuf link.in_len (Bytes.length link.inbuf - link.in_len)
+  with
+  | 0 -> drop_link t link "leader closed the stream"
+  | n ->
+      link.in_len <- link.in_len + n;
+      process_input t link
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> drop_link t link "read error on upstream"
+
 let on_readable t link () =
   match t.mode with
   | Following l when l == link -> (
       (try flush_out link with Link_failed reason -> drop_link t link reason);
-      let cap = Bytes.length link.inbuf in
-      if cap - link.in_len < 4096 then begin
-        let nb = Bytes.create (2 * cap) in
-        Bytes.blit link.inbuf 0 nb 0 link.in_len;
-        link.inbuf <- nb
-      end;
-      match Unix.read link.fd link.inbuf link.in_len (Bytes.length link.inbuf - link.in_len)
-      with
-      | 0 -> drop_link t link "leader closed the stream"
-      | n ->
-          link.in_len <- link.in_len + n;
-          process_input t link
-      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
-        ->
-          ()
-      | exception Unix.Unix_error _ -> drop_link t link "read error on upstream")
+      (* A failed flush drops the link and closes its fd — never read it. *)
+      match t.mode with
+      | Following l when l == link -> read_input t link
+      | _ -> ())
   | _ -> Server.remove_watch t.srv link.fd
 
 let try_connect t =
@@ -322,20 +332,35 @@ let try_connect t =
       t.leader_durable <- max t.leader_durable durable;
       t.last_heard <- Unix.gettimeofday ();
       t.ever_connected <- true;
+      t.parked <- None;
       t.mode <- Following link;
       Server.add_watch t.srv link.fd (on_readable t link);
       (* The handshake read may have pulled the first frames along. *)
       process_input t link;
-      true
-  | link, Wire.Err { code; detail } ->
+      `Connected
+  | link, Wire.Err { code; detail } -> (
       (try Unix.close link.fd with Unix.Unix_error _ -> ());
-      ignore code;
-      ignore detail;
-      false
+      (* A decoded refusal is proof of a live upstream — it must never
+         count toward the "leader unreachable" promotion budget. *)
+      match code with
+      | Wire.Fenced ->
+          (* The upstream has positive evidence the leadership moved (or
+             our own epoch outranks it).  Promoting on top of that risks
+             two writers; park until an operator sorts it out. *)
+          `Refused ("fenced by upstream: " ^ detail)
+      | Wire.Rebootstrap ->
+          (* Behind the backlog floor or holding a divergent suffix:
+             retrying can never succeed, and our local history is not a
+             safe base to promote from. *)
+          `Refused detail
+      | _ ->
+          (* Transient (overloaded, draining, a peer that is itself a
+             follower and may yet promote): keep probing. *)
+          `Alive)
   | link, _ ->
       (try Unix.close link.fd with Unix.Unix_error _ -> ());
-      false
-  | exception (Link_failed _ | Unix.Unix_error _) -> false
+      `Alive (* it answered, however strangely: not an unreachable leader *)
+  | exception (Link_failed _ | Unix.Unix_error _) -> `Down
 
 (* --- Promotion ------------------------------------------------------------------- *)
 
@@ -351,6 +376,7 @@ let promote t ~reason:_ =
       let epoch = t.epoch + 1 in
       Epoch.store ~vfs:t.vfs t.path epoch;
       t.epoch <- epoch;
+      t.parked <- None;
       t.promotions <- t.promotions + 1;
       Metrics.inc t.m_promotions;
       let hub =
@@ -358,6 +384,9 @@ let promote t ~reason:_ =
           ~sync_replicas:t.cfg.sync_replicas ~heartbeat_s:t.cfg.heartbeat_s ~epoch
           ~promotions:t.promotions ~path:t.path t.eng
       in
+      Hub.set_step_down hub (fun () ->
+          Admission.set_standby (Server.admission t.srv) true;
+          Batcher.set_gate (Server.batcher t.srv) None);
       Batcher.set_gate (Server.batcher t.srv) (Some (Hub.gate hub));
       (* Open the write path: standby off.  Health-driven read-only (a
          genuinely degraded engine) is independent and stays. *)
@@ -377,23 +406,34 @@ let tick t =
       (try flush_out link with Link_failed reason -> drop_link t link reason);
       if Unix.gettimeofday () -. t.last_heard > t.cfg.failover_s then
         drop_link t link "leader heartbeat timeout"
-  | Connecting c ->
+  | Connecting c -> (
       let now = Unix.gettimeofday () in
       if now >= c.next_try then
-        if try_connect t then ()
-        else begin
-          c.attempt <- c.attempt + 1;
-          if c.attempt >= t.cfg.retry.max_attempts then
-            if t.cfg.auto_promote && t.ever_connected && t.diverged = None then
-              promote t ~reason:"leader unreachable after retry budget"
-            else begin
-              (* Keep probing at the backoff ceiling: without auto
-                 promotion (or without ever having synced) there is
-                 nothing safe to do but wait for the leader. *)
-              c.next_try <- now +. t.cfg.retry.max_delay_s
-            end
-          else c.next_try <- now +. retry_delay t.cfg.retry c.attempt
-        end
+        match try_connect t with
+        | `Connected -> ()
+        | `Alive ->
+            (* The upstream answered: it is alive, whatever it said.
+               Promotion is for a dead leader only — reset the budget. *)
+            c.attempt <- 0;
+            c.next_try <- now +. retry_delay t.cfg.retry 1
+        | `Refused reason ->
+            if t.parked = None then t.parked <- Some reason;
+            c.attempt <- 0;
+            c.next_try <- now +. t.cfg.retry.max_delay_s
+        | `Down ->
+            c.attempt <- c.attempt + 1;
+            if c.attempt >= t.cfg.retry.max_attempts then
+              if
+                t.cfg.auto_promote && t.ever_connected && t.diverged = None
+                && t.parked = None
+              then promote t ~reason:"leader unreachable after retry budget"
+              else begin
+                (* Keep probing at the backoff ceiling: parked, diverged,
+                   never synced, or auto promotion off — nothing safe to
+                   do but wait for the leader or an operator. *)
+                c.next_try <- now +. t.cfg.retry.max_delay_s
+              end
+            else c.next_try <- now +. retry_delay t.cfg.retry c.attempt)
 
 (* --- Wire surface ---------------------------------------------------------------- *)
 
@@ -460,6 +500,7 @@ let create ?(vfs = Storage.Vfs.os) ~config ~path ~server eng =
       stale_frames = 0;
       promotions = 0;
       diverged = None;
+      parked = None;
       m_replayed =
         Metrics.counter reg ~help:"WAL frames replayed from the leader."
           "replica_frames_replayed_total";
@@ -492,4 +533,5 @@ let promotions t = t.promotions
 let leader_durable t = t.leader_durable
 let watermark_of t = watermark t
 let diverged t = t.diverged
+let parked t = t.parked
 let force_promote t = promote t ~reason:"caller request"

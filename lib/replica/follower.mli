@@ -13,10 +13,15 @@
     The leader's heartbeats are the failure detector.  Silence beyond
     [failover_s] (or a broken socket) tears the link down and starts
     reconnecting on the bounded {!Storage.Retry} schedule — non-blocking,
-    paced by the serve loop's ticks.  When the retry budget is exhausted
-    and [auto_promote] is set (and this node has synced with the leader
-    at least once and never observed divergence), the follower promotes
-    itself: discard buffered-but-unapplied frames (never acked, so no
+    paced by the serve loop's ticks.  Only a {e dead} peer spends the
+    retry budget: any decoded refusal proves a live upstream and resets
+    it, and a [Fenced] or [Rebootstrap] refusal (leadership moved, or
+    this node needs a checkpoint re-seed) {e parks} the node — auto
+    promotion stays off until a resubscription succeeds or an operator
+    promotes ({!parked}).  When the budget is exhausted against an
+    unreachable leader and [auto_promote] is set (and this node has
+    synced with the leader at least once, never observed divergence, and
+    is not parked), the follower promotes itself: discard buffered-but-unapplied frames (never acked, so no
     client ack depends on them), fsync what was applied, durably bump the
     fencing epoch ({!Epoch}), open the write path, and become a leader
     {!Hub} — late frames and acks from the deposed leader now carry a
@@ -91,3 +96,8 @@ val watermark_of : t -> int
 val diverged : t -> string option
 (** A record the leader applied but this replica could not — replication
     stops and auto-promotion is disabled; the reason sticks. *)
+
+val parked : t -> string option
+(** Refused by a live upstream with [Fenced] or [Rebootstrap]: auto
+    promotion is off (the refusal text is kept) until a later
+    resubscription succeeds or an operator promotes. *)

@@ -18,6 +18,8 @@ type t = {
   max_msg_bytes : int;
   flow_limit : int;
   mutable epoch : int;
+  mutable fenced : bool;  (* saw proof of a newer leader: write path closed *)
+  mutable step_down : unit -> unit;
   mutable subs : sub list;
   mutable gates : (int * (unit -> unit)) list;  (* ascending max_seq *)
   mutable durable : int;
@@ -42,7 +44,17 @@ let poll_tail t =
     let continue = ref true in
     while !continue do
       match Wal.Tail.poll t.tail with
-      | Wal.Tail.Frame payload -> Backlog.add t.backlog payload
+      | Wal.Tail.Frame payload ->
+          (* A record that cannot fit one wire message can never be
+             shipped; silently stalling replication forever would be far
+             worse than refusing here, at the record's origin. *)
+          if 8 + Bytes.length payload > t.max_msg_bytes then
+            failwith
+              (Printf.sprintf
+                 "Replica.Hub: WAL record of %d bytes exceeds the shippable \
+                  message budget of %d; replication cannot proceed"
+                 (Bytes.length payload) t.max_msg_bytes);
+          Backlog.add t.backlog payload
       | Wal.Tail.Need_more -> continue := false
       | Wal.Tail.Corrupt msg ->
           failwith ("Replica.Hub: corrupt record under the live tail: " ^ msg)
@@ -167,12 +179,25 @@ let stats t =
     r_followers = List.map (fun s -> (s.sub_id, s.acked)) live;
   }
 
+(* Positive evidence of a newer leadership term: we are the deposed one.
+   Close the write path (admission standby, no more commit gating) so no
+   client is acked for a write the cluster will never see; queries keep
+   serving.  Recovery is the operator's (or a re-seeded follower's). *)
+let fence t =
+  if not t.fenced then begin
+    t.fenced <- true;
+    (* Cut the subscribers loose: our silence trips their failure
+       detectors, and their resubscription is refused below — they must
+       find the new leader (or an operator). *)
+    List.iter (fun s -> s.lost <- true) t.subs;
+    t.step_down ()
+  end
+
 let handle t (ctx : Server.ext_ctx) (req : Wire.request) : Server.ext_outcome =
   match req with
   | Wire.Wal_subscribe { epoch; from_seq } ->
-      if epoch > t.epoch then
-        (* The subscriber has seen a newer leadership term than ours: we
-           are the deposed one.  Refuse — and tell the truth. *)
+      if epoch > t.epoch then begin
+        fence t;
         Server.Ext_reply
           (Wire.Err
              {
@@ -181,35 +206,62 @@ let handle t (ctx : Server.ext_ctx) (req : Wire.request) : Server.ext_outcome =
                  Printf.sprintf "leader epoch %d is behind subscriber epoch %d" t.epoch
                    epoch;
              })
-      else if from_seq < Backlog.floor t.backlog then
+      end
+      else if t.fenced then
+        (* Deposed: feeding a follower our history could steer it away
+           from the real leader's.  Send it looking elsewhere. *)
         Server.Ext_reply
           (Wire.Err
-             {
-               code = Wire.Invalid_request;
-               detail =
-                 Printf.sprintf
-                   "subscriber watermark %d is behind the backlog floor %d; bootstrap \
-                    from a checkpoint copy"
-                   from_seq (Backlog.floor t.backlog);
-             })
+             { code = Wire.Fenced; detail = "this leader has been deposed" })
       else begin
         poll_tail t;
-        t.subs <-
-          {
-            sub_id = ctx.Server.ext_conn;
-            push = ctx.Server.ext_push;
-            pending = ctx.Server.ext_pending;
-            acked = from_seq;
-            sent = from_seq;
-            lost = false;
-          }
-          :: List.filter (fun s -> s.sub_id <> ctx.Server.ext_conn) t.subs;
-        Server.Ext_subscribe
-          (Wire.Sub_ok
-             { epoch = t.epoch; floor = Backlog.floor t.backlog; durable = t.durable })
+        if from_seq < Backlog.floor t.backlog then
+          Server.Ext_reply
+            (Wire.Err
+               {
+                 code = Wire.Rebootstrap;
+                 detail =
+                   Printf.sprintf
+                     "subscriber watermark %d is behind the backlog floor %d; bootstrap \
+                      from a checkpoint copy"
+                     from_seq (Backlog.floor t.backlog);
+               })
+        else if from_seq > t.durable then
+          (* Ahead of everything we ever durably wrote: the subscriber
+             holds history we never shipped (a deposed leader's unshipped
+             tail).  Accepting it would let it vouch for records it does
+             not have — and silently keep a divergent suffix. *)
+          Server.Ext_reply
+            (Wire.Err
+               {
+                 code = Wire.Rebootstrap;
+                 detail =
+                   Printf.sprintf
+                     "subscriber watermark %d is ahead of the leader durable watermark \
+                      %d: divergent history; bootstrap from a checkpoint copy"
+                     from_seq t.durable;
+               })
+        else begin
+          t.subs <-
+            {
+              sub_id = ctx.Server.ext_conn;
+              push = ctx.Server.ext_push;
+              pending = ctx.Server.ext_pending;
+              acked = from_seq;
+              sent = from_seq;
+              lost = false;
+            }
+            :: List.filter (fun s -> s.sub_id <> ctx.Server.ext_conn) t.subs;
+          Server.Ext_subscribe
+            (Wire.Sub_ok
+               { epoch = t.epoch; floor = Backlog.floor t.backlog; durable = t.durable })
+        end
       end
   | Wire.Wal_ack { epoch; seq } ->
       if epoch <> t.epoch then begin
+        (* A newer-epoch ack is deposition evidence just like a
+           newer-epoch subscribe; an older one is deposed-leader residue. *)
+        if epoch > t.epoch then fence t;
         t.stale_acks <- t.stale_acks + 1;
         Server.Ext_silent
       end
@@ -247,6 +299,8 @@ let create ?(vfs = Storage.Vfs.os) ?metrics ?(cap = 1 lsl 16) ?(sync_replicas = 
       max_msg_bytes = Wire.max_payload_bytes - 128;
       flow_limit;
       epoch;
+      fenced = false;
+      step_down = (fun () -> ());
       subs = [];
       gates = [];
       durable = 0;
@@ -271,11 +325,17 @@ let create ?(vfs = Storage.Vfs.os) ?metrics ?(cap = 1 lsl 16) ?(sync_replicas = 
   poll_tail t;
   t
 
+let set_step_down t f = t.step_down <- f
+let fenced t = t.fenced
+
 let attach t srv =
   Server.set_extension srv (handle t);
   Server.set_tick srv (fun () -> tick t);
   Server.on_conn_close srv (conn_closed t);
-  Batcher.set_gate (Server.batcher srv) (Some (gate t))
+  Batcher.set_gate (Server.batcher srv) (Some (gate t));
+  set_step_down t (fun () ->
+      Admission.set_standby (Server.admission srv) true;
+      Batcher.set_gate (Server.batcher srv) None)
 
 let epoch t = t.epoch
 let set_epoch t e = t.epoch <- max t.epoch e

@@ -24,7 +24,22 @@
 
     The tail is only polled while [Durable.wal_unsynced = 0], so a
     follower can never hold a record the leader could still lose, and
-    follower watermarks never exceed the leader's durable watermark. *)
+    follower watermarks never exceed the leader's durable watermark.
+
+    {2 Fencing}
+
+    Positive evidence of a newer leadership term — a [Wal_subscribe] or
+    [Wal_ack] carrying [epoch > epoch t] — deposes this leader: the hub
+    invokes its step-down hook exactly once ({!attach} wires it to put
+    admission in standby and remove the batcher gate, so no further
+    client write is accepted or acked), drops its subscribers (silence
+    trips their failure detectors; their resubscription is refused with
+    [Fenced], sending them after the real leader), and keeps serving
+    queries.  Recovery is the operator's, or a re-seeded follower's.
+
+    A WAL record must fit one wire message ([Wire.max_payload_bytes]);
+    the tail poll fails loudly on an unshippable record rather than let
+    replication stall silently. *)
 
 type t
 
@@ -57,9 +72,18 @@ val attach : t -> Server.t -> unit
 (** {1 The pieces, for callers that own the dispatch} *)
 
 val handle : t -> Server.ext_ctx -> Wire.request -> Server.ext_outcome
-(** [Wal_subscribe] (fencing + floor check, then attach), [Wal_ack]
-    (advance, release gates), [Replica_stats], [Promote] (refused — this
-    node already leads). *)
+(** [Wal_subscribe] (fencing, then window checks — behind the backlog
+    floor {e or ahead of the durable watermark} answers [Rebootstrap] —
+    then attach), [Wal_ack] (advance, release gates), [Replica_stats],
+    [Promote] (refused — this node already leads). *)
+
+val set_step_down : t -> (unit -> unit) -> unit
+(** Hook run exactly once on the first fencing evidence (see module
+    doc).  {!attach} installs the standard one; callers owning the
+    dispatch themselves must install their own. *)
+
+val fenced : t -> bool
+(** Whether deposition evidence has been seen (sticky). *)
 
 val tick : t -> unit
 (** Poll the tail, release satisfied gates, ship backlog to every

@@ -56,6 +56,7 @@ type error_code =
   | Write_failed
   | Shutting_down
   | Fenced
+  | Rebootstrap
 
 let pp_error_code ppf c =
   Format.pp_print_string ppf
@@ -66,7 +67,8 @@ let pp_error_code ppf c =
     | Read_only -> "read-only"
     | Write_failed -> "write-failed"
     | Shutting_down -> "shutting-down"
-    | Fenced -> "fenced")
+    | Fenced -> "fenced"
+    | Rebootstrap -> "rebootstrap")
 
 type stats = {
   updates : int;
@@ -203,6 +205,7 @@ let error_code_u8 = function
   | Write_failed -> 4
   | Shutting_down -> 5
   | Fenced -> 6
+  | Rebootstrap -> 7
 
 let health_u8 = function Durable.Healthy -> 0 | Durable.Degraded -> 1 | Durable.Read_only -> 2
 let role_u8 = function R_single -> 0 | R_leader -> 1 | R_follower -> 2
@@ -406,6 +409,7 @@ let error_code_of_u8 = function
   | 4 -> Write_failed
   | 5 -> Shutting_down
   | 6 -> Fenced
+  | 7 -> Rebootstrap
   | n -> raise (Reject (Bad_payload (Printf.sprintf "unknown error code %d" n)))
 
 let role_of_u8 = function

@@ -82,6 +82,12 @@ type error_code =
   | Fenced
       (** The sender's fencing epoch is stale: a newer leader exists.
           Deposed leaders and lagging followers must stop and re-sync. *)
+  | Rebootstrap
+      (** A replication subscriber cannot be served from the in-memory
+          backlog — behind the evicted floor, or ahead of the leader's
+          durable watermark (divergent history).  Retrying is useless:
+          the node must be re-seeded from a checkpoint copy, or an
+          operator must promote it. *)
 
 val pp_error_code : Format.formatter -> error_code -> unit
 

@@ -86,7 +86,20 @@ let test_backlog_window () =
   Alcotest.(check int) "evicted count" 2 (Replica.Backlog.evicted small);
   (match Replica.Backlog.from small ~after:1 ~max_frames:10 ~max_bytes:max_int with
   | None -> ()
-  | Some _ -> Alcotest.fail "subscriber behind the floor must be refused")
+  | Some _ -> Alcotest.fail "subscriber behind the floor must be refused");
+  (* The byte budget never starves the head: a frame bigger than
+     max_bytes is served alone, so the subscriber always progresses. *)
+  let wide = Replica.Backlog.create ~floor:10 () in
+  let big = Bytes.make 64 '\xab' in
+  Bytes.set_int64_le big 0 11L;
+  Replica.Backlog.add wide big;
+  Replica.Backlog.add wide (frame 12);
+  (match Replica.Backlog.from wide ~after:10 ~max_frames:10 ~max_bytes:16 with
+  | Some [ a ] -> Alcotest.(check int) "oversized head served alone" 11 (Replica.Backlog.seq_of a)
+  | _ -> Alcotest.fail "an oversized head frame must be served alone");
+  (match Replica.Backlog.from wide ~after:11 ~max_frames:10 ~max_bytes:16 with
+  | Some [ a ] -> Alcotest.(check int) "next frame after the big one" 12 (Replica.Backlog.seq_of a)
+  | _ -> Alcotest.fail "the frame after an oversized one must still be served")
 
 (* --- Apply: tail-to-engine replay over Memory vfs ------------------------------- *)
 
@@ -231,6 +244,14 @@ let test_live_pair () =
       Alcotest.(check bool) "frames replayed" true (s.Wire.r_frames_replayed >= 20);
       Alcotest.(check int) "no promotions yet" 0 s.Wire.r_promotions
   | None -> Alcotest.fail "follower replica stats");
+  (* A subscriber claiming history ahead of the leader's durable
+     watermark holds a divergent suffix: refused for re-bootstrap, never
+     attached (it must not vouch for records it does not have). *)
+  let dcli = Client.connect_unix ~timeout:10.0 ~path:lsock () in
+  (match Client.call dcli (Wire.Wal_subscribe { epoch = 0; from_seq = 999 }) with
+  | Wire.Err { code = Wire.Rebootstrap; _ } -> ()
+  | r -> Alcotest.failf "divergent subscriber answered %a" Wire.pp_response r);
+  Client.close dcli;
   (* A fenced subscription: a subscriber claiming a newer term exposes
      this leader as deposed. *)
   let xcli = Client.connect_unix ~timeout:10.0 ~path:lsock () in
@@ -238,6 +259,14 @@ let test_live_pair () =
   | Wire.Err { code = Wire.Fenced; _ } -> ()
   | r -> Alcotest.failf "stale leader not fenced: %a" Wire.pp_response r);
   Client.close xcli;
+  (* The deposed leader steps down on that evidence: writes bounce with
+     the read-only taxonomy while queries keep serving. *)
+  (match Client.insert lcli ~key:998 ~value:1 ~at:98 with
+  | Wire.Err { code = Wire.Read_only; _ } -> ()
+  | r -> Alcotest.failf "deposed leader write answered %a" Wire.pp_response r);
+  (match Client.query lcli ~agg:Wire.Count ~klo:0 ~khi:1000 ~tlo:0 ~thi:1000 with
+  | Wire.Agg { count; _ } -> Alcotest.(check int) "deposed leader still serves reads" 20 count
+  | r -> Alcotest.failf "deposed leader query answered %a" Wire.pp_response r);
   (* Explicit promotion opens the follower's write path under a new
      durably-stored epoch. *)
   expect_ack "promote" (Client.promote fcli);
@@ -317,6 +346,84 @@ let test_auto_promotion () =
   ignore (Client.shutdown fcli);
   Client.close fcli;
   Domain.join fdom;
+  Durable.close leng;
+  Durable.close feng;
+  rm_rf dir
+
+(* A live, refusing upstream must never be mistaken for a dead one: a
+   refusal resets the retry budget, and a Fenced refusal parks the
+   follower instead of letting it self-promote next to a live leader
+   (split brain).  Only an operator promotes it out of the park. *)
+let test_park_on_refusal () =
+  let dir = temp_dir () in
+  let lsock = Filename.concat dir "l.sock" in
+  let fsock = Filename.concat dir "f.sock" in
+  let lead = Filename.concat dir "lead" in
+  let fol = Filename.concat dir "fol" in
+  let leng = Durable.open_ ~sync_policy:Wal.Never ~max_key:1000 ~path:lead () in
+  let lsrv = Server.create ~engine:leng ~listen:(Server.listen_unix ~path:lsock) () in
+  let hub =
+    Replica.Hub.create ~metrics:(Server.metrics lsrv) ~sync_replicas:0 ~heartbeat_s:0.01
+      ~path:lead leng
+  in
+  Replica.Hub.attach hub lsrv;
+  let ldom = spawn_loop lsrv in
+  let lcli = Client.connect_unix ~timeout:10.0 ~path:lsock () in
+  expect_ack "leader write" (Client.insert lcli ~key:1 ~value:1 ~at:1);
+  (* A follower with a hair-trigger failure detector and a tiny retry
+     budget: were refusals still counted as unreachability, it would
+     self-promote almost immediately. *)
+  let feng = Durable.open_ ~sync_policy:Wal.Never ~max_key:1000 ~path:fol () in
+  let fsrv = Server.create ~engine:feng ~listen:(Server.listen_unix ~path:fsock) () in
+  let fcfg =
+    { (Replica.Follower.default_config (Replica.Follower.Unix_sock lsock)) with
+      Replica.Follower.heartbeat_s = 0.01;
+      failover_s = 0.05;
+      retry =
+        { Storage.Retry.default with max_attempts = 2; base_delay_s = 0.01;
+          max_delay_s = 0.02 } }
+  in
+  let f = Replica.Follower.create ~config:fcfg ~path:fol ~server:fsrv feng in
+  let fdom = spawn_loop fsrv in
+  let fcli = Client.connect_unix ~timeout:10.0 ~path:fsock () in
+  await ~what:"follower sync" (fun () ->
+      match Client.replica_stats fcli with
+      | Some s -> s.Wire.r_durable = 1
+      | None -> false);
+  (* Depose the leader: it steps down and cuts the follower loose. *)
+  let xcli = Client.connect_unix ~timeout:10.0 ~path:lsock () in
+  (match Client.call xcli (Wire.Wal_subscribe { epoch = 9; from_seq = 1 }) with
+  | Wire.Err { code = Wire.Fenced; _ } -> ()
+  | r -> Alcotest.failf "fencing subscribe answered %a" Wire.pp_response r);
+  Client.close xcli;
+  (* The follower's failure detector fires, it resubscribes, and the
+     live (deposed) leader refuses it: parked. *)
+  await ~what:"the refusal to park the follower" (fun () ->
+      Replica.Follower.parked f <> None);
+  (* Many failover thresholds and retry budgets later: still a follower. *)
+  Unix.sleepf 0.5;
+  (match Client.replica_stats fcli with
+  | Some s ->
+      Alcotest.(check bool) "refused follower stays a follower" true
+        (s.Wire.r_role = Wire.R_follower);
+      Alcotest.(check int) "no self-promotion against a live upstream" 0
+        s.Wire.r_promotions
+  | None -> Alcotest.fail "follower stats");
+  (* The operator overrides the park. *)
+  expect_ack "operator promote" (Client.promote fcli);
+  await ~what:"operator promotion" (fun () ->
+      match Client.replica_stats fcli with
+      | Some s -> s.Wire.r_role = Wire.R_leader
+      | None -> false);
+  expect_ack "write after operator promote" (Client.insert fcli ~key:2 ~value:2 ~at:2);
+  ignore (Client.shutdown fcli);
+  ignore (Client.shutdown lcli);
+  Client.close fcli;
+  Client.close lcli;
+  Domain.join ldom;
+  Domain.join fdom;
+  Alcotest.(check bool) "promotion cleared the park" true
+    (Replica.Follower.parked f = None);
   Durable.close leng;
   Durable.close feng;
   rm_rf dir
@@ -470,6 +577,8 @@ let () =
         [
           Alcotest.test_case "leader/follower pair over sockets" `Quick test_live_pair;
           Alcotest.test_case "auto-promotion on leader death" `Quick test_auto_promotion;
+          Alcotest.test_case "refusal by a live upstream parks, never promotes" `Quick
+            test_park_on_refusal;
         ] );
       ( "matrix",
         [

@@ -27,7 +27,7 @@ let gen_i =
 let gen_code =
   QCheck.Gen.oneofl
     [ Wire.Bad_request; Wire.Invalid_request; Wire.Overloaded; Wire.Read_only;
-      Wire.Write_failed; Wire.Shutting_down; Wire.Fenced ]
+      Wire.Write_failed; Wire.Shutting_down; Wire.Fenced; Wire.Rebootstrap ]
 
 (* The encoder truncates details beyond 512 bytes, so stay within it to
    keep the round trip exact. *)
