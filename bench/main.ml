@@ -1186,6 +1186,120 @@ let replication () =
     Unix.rmdir dir
   end
 
+(* --- Retention / vacuum --------------------------------------------------------------- *)
+
+(* On-disk bytes reclaimed by online vacuum under a churn workload, and
+   what vacuuming costs the query path.  The store checkpoints before
+   each measurement so the bytes compared are the snapshot's — the WAL is
+   truncated on both sides — and the vacuum itself runs in small chunks
+   with the query panel interleaved between chunks, which is exactly how
+   an online system would run it. *)
+let vacuum_churn () =
+  header "Retention: on-disk bytes reclaimed by online vacuum under churn";
+  let n = if smoke then 2_000 else 12_000 in
+  let max_key = 256 in
+  let dir = Filename.temp_file "mvsbt_vacuum" ".bench" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+        (Sys.readdir dir);
+      Unix.rmdir dir)
+  @@ fun () ->
+  let du () =
+    Array.fold_left
+      (fun a f -> a + (Unix.stat (Filename.concat dir f)).Unix.st_size)
+      0 (Sys.readdir dir)
+  in
+  let eng =
+    Durable.open_ ~config:mvsbt_config ~sync_policy:(Wal.Every_n 64) ~max_key
+      ~path:(Filename.concat dir "wh") ()
+  in
+  (* Bounded live set: every displaced tuple leaves a dead version behind,
+     which is the garbage retention exists to reclaim. *)
+  let rng = Random.State.make [| 0x7e7e; n |] in
+  let alive = Hashtbl.create 64 in
+  let ok_exn = function Ok () -> () | Error e ->
+    failwith (Format.asprintf "vacuum_churn: %a" Storage.Storage_error.pp e)
+  in
+  for i = 0 to n - 1 do
+    let at = 2 * i in
+    let key = Random.State.int rng max_key in
+    if Hashtbl.mem alive key && (Random.State.int rng 3 > 0 || Hashtbl.length alive = max_key)
+    then begin
+      Hashtbl.remove alive key;
+      ok_exn (Durable.delete eng ~key ~at)
+    end
+    else begin
+      let key = ref key in
+      while Hashtbl.mem alive !key do
+        key := (!key + 1) mod max_key
+      done;
+      Hashtbl.add alive !key ();
+      ok_exn (Durable.insert eng ~key:!key ~value:(1 + Random.State.int rng 1000) ~at)
+    end
+  done;
+  ok_exn (Durable.checkpoint eng);
+  let before = du () in
+  let now = Rta.now (Durable.warehouse eng) in
+  (* The query panel stays above the deepest horizon so it is answerable
+     at every stage; it runs between every pair of vacuum chunks. *)
+  let qlo = (3 * now / 4) + 1 in
+  let panel () =
+    let acc = ref 0 in
+    for k = 0 to 15 do
+      let klo = k * (max_key / 16) in
+      let sum, count =
+        Durable.sum_count eng ~klo ~khi:(klo + (max_key / 16)) ~tlo:qlo ~thi:(now + 1)
+      in
+      acc := !acc + sum + count
+    done;
+    !acc
+  in
+  let baseline = panel () in
+  let t0 = Unix.gettimeofday () in
+  let reps = if smoke then 20 else 100 in
+  for _ = 1 to reps do ignore (panel ()) done;
+  let q_before = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+  Printf.printf "  churn: %d updates over %d keys; checkpointed store: %d bytes on disk\n%!"
+    n max_key before;
+  List.iter
+    (fun (label, h) ->
+      let rta = Durable.warehouse eng in
+      ok_exn (Durable.vacuum_begin eng ~horizon:h);
+      let chunks = Rta.vacuum_plan ~max_pages:16 rta in
+      let dropped = ref 0 and freed = ref 0 in
+      let q_during = ref 0.0 and q_reps = ref 0 in
+      let t0 = Unix.gettimeofday () in
+      List.iter
+        (fun chunk ->
+          (match Durable.vacuum_chunk eng chunk with
+          | Ok p ->
+              dropped := !dropped + p.Rta.records_dropped;
+              freed := !freed + p.Rta.pages_freed
+          | Error e ->
+              failwith (Format.asprintf "vacuum chunk: %a" Storage.Storage_error.pp e));
+          let tq = Unix.gettimeofday () in
+          if panel () <> baseline then failwith "query drifted during vacuum";
+          q_during := !q_during +. (Unix.gettimeofday () -. tq);
+          incr q_reps)
+        chunks;
+      let wall = Unix.gettimeofday () -. t0 in
+      ok_exn (Durable.checkpoint eng);
+      let after = du () in
+      Printf.printf
+        "    horizon=%s: %d -> %d bytes (%.1f%% reclaimed); %d chunks in %.3f s, %d \
+         pages freed, %d records dropped; query during vacuum %.1f us (%.1f us idle)\n\
+         %!"
+        label before after
+        (100. *. float_of_int (before - after) /. float_of_int (max 1 before))
+        (List.length chunks) wall !freed !dropped
+        (1e6 *. !q_during /. float_of_int (max 1 !q_reps))
+        (1e6 *. q_before))
+    [ ("25%", now / 4); ("50%", now / 2); ("75%", 3 * now / 4) ];
+  Durable.close eng
+
 (* --- Driver -------------------------------------------------------------------------- *)
 
 let experiments =
@@ -1206,6 +1320,7 @@ let experiments =
     ("telemetry-overhead", telemetry_overhead);
     ("shard-scaling", shard_scaling);
     ("replication", replication);
+    ("vacuum-churn", vacuum_churn);
     ("micro", micro);
   ]
 
@@ -1213,7 +1328,8 @@ let experiments =
    one of each kind (space, queries, durability). *)
 let smoke_experiments =
   [ "fig4a"; "fig4b"; "wal-overhead"; "group-commit"; "retry-overhead";
-    "scrub-overhead"; "telemetry-overhead"; "shard-scaling"; "replication" ]
+    "scrub-overhead"; "telemetry-overhead"; "shard-scaling"; "replication";
+    "vacuum-churn" ]
 
 let () =
   let requested =

@@ -160,8 +160,8 @@ let wal_req_term =
 
 let report_durable eng =
   let rta = Durable.warehouse eng in
-  Printf.printf "  warehouse: %d updates, %d pages, now=%d\n" (Rta.n_updates rta)
-    (Rta.page_count rta) (Rta.now rta);
+  Printf.printf "  warehouse: %d updates, %d pages, now=%d, horizon=%d\n"
+    (Rta.n_updates rta) (Rta.page_count rta) (Rta.now rta) (Durable.horizon eng);
   Format.printf "  wal: %a@." Wal.Stats.pp (Durable.wal_stats eng);
   Format.printf "  sync policy: %a; checkpoints this run: %d (since last: %d updates)@."
     Wal.pp_sync_policy (Durable.sync_policy eng) (Durable.checkpoints eng)
@@ -225,6 +225,8 @@ let io_json (s : Telemetry.Io_stats.snapshot) =
       ("errors_injected", Telemetry.Json.Int s.errors_injected);
       ("retries", Telemetry.Json.Int s.retries);
       ("read_only_transitions", Telemetry.Json.Int s.read_only_transitions);
+      ("pages_reclaimed", Telemetry.Json.Int s.pages_reclaimed);
+      ("vacuum_steps", Telemetry.Json.Int s.vacuum_steps);
       ("total_io", Telemetry.Json.Int (Telemetry.Io_stats.snapshot_total_io s)) ]
 
 let measurement_json (m : Storage.Cost_model.measurement) =
@@ -564,6 +566,103 @@ let recover_cmd =
     Term.(const recover_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
           $ wal_req_term $ sync_policy_term $ rect $ stats_json_term)
 
+(* --- vacuum ----------------------------------------------------------------------- *)
+
+let vacuum_impl verbosity max_key buffer wal sync_policy horizon max_pages_per_step
+    crash_after_steps stats_json =
+  setup_logs verbosity;
+  let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
+  let rta = Durable.warehouse eng in
+  let horizon =
+    match horizon with Some h -> h | None -> max (Durable.horizon eng) (Rta.now rta / 2)
+  in
+  (match crash_after_steps with
+  | None -> ()
+  | Some n -> (
+      (* Test hook for the CI kill drill: log the horizon and the first
+         [n] chunks, then die without closing or truncating anything —
+         the moral equivalent of kill -9 mid-vacuum.  A later [recover]
+         or [vacuum] must converge from whatever the WAL holds. *)
+      match Durable.vacuum_begin eng ~horizon with
+      | Error e ->
+          Format.eprintf "vacuum-begin failed: %a@." Storage.Storage_error.pp e;
+          exit 1
+      | Ok () ->
+          let chunks = Rta.vacuum_plan ~max_pages:max_pages_per_step rta in
+          let applied = ref 0 in
+          (try
+             List.iter
+               (fun chunk ->
+                 if !applied >= n then raise Exit;
+                 match Durable.vacuum_chunk eng chunk with
+                 | Ok _ -> incr applied
+                 | Error e ->
+                     Format.eprintf "vacuum chunk failed: %a@." Storage.Storage_error.pp e;
+                     raise Exit)
+               chunks
+           with Exit -> ());
+          Printf.eprintf "crash-after-steps: dying after %d of %d chunks\n%!" !applied
+            (List.length chunks);
+          Unix._exit 137));
+  (match Durable.vacuum ~max_pages_per_step eng ~horizon with
+  | Error e ->
+      Format.eprintf "vacuum failed: %a@." Storage.Storage_error.pp e;
+      Durable.close eng;
+      exit 1
+  | Ok r ->
+      let p = r.Rta.v_progress in
+      if stats_json then
+        print_json
+          (Telemetry.Json.Obj
+             [ ("mode", Telemetry.Json.Str "vacuum");
+               ("horizon", Telemetry.Json.Int r.Rta.v_horizon);
+               ("steps", Telemetry.Json.Int r.Rta.v_steps);
+               ("pages_freed", Telemetry.Json.Int p.Rta.pages_freed);
+               ("pages_pruned", Telemetry.Json.Int p.Rta.pages_pruned);
+               ("records_dropped", Telemetry.Json.Int p.Rta.records_dropped);
+               ("updates", Telemetry.Json.Int (Rta.n_updates rta));
+               ("pages", Telemetry.Json.Int (Rta.page_count rta));
+               ("health", Telemetry.Json.Str (health_string (Durable.health eng)));
+               ("io", io_json (Storage.Io_stats.snapshot (Durable.io_stats eng))) ])
+      else begin
+        Printf.printf
+          "vacuumed %s to horizon %d: %d chunks, %d pages freed, %d pruned, %d records \
+           dropped\n"
+          wal r.Rta.v_horizon r.Rta.v_steps p.Rta.pages_freed p.Rta.pages_pruned
+          p.Rta.records_dropped;
+        report_durable eng
+      end);
+  Durable.close eng
+
+let vacuum_cmd =
+  let horizon =
+    let doc =
+      "Retention horizon: versions whose lifetime ended at or before this instant are \
+       reclaimed, and queries reaching below it are refused.  Defaults to half the \
+       store's current time."
+    in
+    Arg.(value & opt (some int) None & info [ "horizon" ] ~doc ~docv:"T")
+  in
+  let max_pages_per_step =
+    let doc = "Pages reclaimed per WAL-logged vacuum chunk (bounds pause length)." in
+    Arg.(value & opt int 128 & info [ "max-pages-per-step" ] ~doc ~docv:"N")
+  in
+  let crash_after_steps =
+    let doc =
+      "Fault-injection hook: apply N vacuum chunks, then exit abruptly (137) without \
+       closing the store, simulating kill -9 mid-vacuum."
+    in
+    Arg.(value & opt (some int) None & info [ "crash-after-steps" ] ~doc ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "vacuum"
+       ~doc:
+         "Recover a durable warehouse, raise its retention horizon, and reclaim dead \
+          pages (crash-safe: every step is WAL-logged before it is applied)")
+    Term.(const vacuum_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
+          $ wal_req_term $ sync_policy_term $ horizon $ max_pages_per_step
+          $ crash_after_steps $ stats_json_term)
+
 (* --- scrub ------------------------------------------------------------------------ *)
 
 (* A small deterministic workload for [--demo]: enough churn to spread
@@ -756,6 +855,65 @@ let crash_matrix_cmd =
           on each, and verify the recovered state (exits 1 on any violation)")
     Term.(const crash_matrix_impl $ verbosity $ updates $ max_key $ checkpoint_every
           $ sync_policy_term $ seed $ limit $ smoke)
+
+(* --- vacuum-matrix ---------------------------------------------------------------- *)
+
+let vacuum_matrix_impl verbosity updates max_key checkpoint_every sync_policy seed
+    vacuum_step_pages limit smoke =
+  setup_logs verbosity;
+  let updates, limit =
+    if smoke then (min updates 80, Some (match limit with Some l -> l | None -> 120))
+    else (updates, limit)
+  in
+  let trace =
+    Faultsim.Vacuum_matrix.run_trace ~sync_policy ~checkpoint_every ~seed ~updates
+      ~vacuum_step_pages ~max_key ()
+  in
+  let report = Faultsim.Vacuum_matrix.check ?limit trace in
+  Format.printf "vacuum matrix (%d updates, %d-page chunks, checkpoint every %d, %a): %a@."
+    updates vacuum_step_pages checkpoint_every Wal.pp_sync_policy sync_policy
+    Faultsim.Vacuum_matrix.pp_report report;
+  if report.Faultsim.Vacuum_matrix.violations <> [] then exit 1
+
+let vacuum_matrix_cmd =
+  let updates =
+    let doc = "Updates in the generated churn trace." in
+    Arg.(value & opt int 110 & info [ "updates" ] ~doc)
+  in
+  let max_key =
+    let doc = "Key space of the generated trace." in
+    Arg.(value & opt int 24 & info [ "max-key" ] ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Checkpoint automatically every N records while generating the trace." in
+    Arg.(value & opt int 40 & info [ "checkpoint-every" ] ~doc)
+  in
+  let seed =
+    let doc = "Random seed for the trace." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc)
+  in
+  let vacuum_step_pages =
+    let doc = "Pages per vacuum chunk in the trace (smaller = more kill boundaries)." in
+    Arg.(value & opt int 4 & info [ "vacuum-step-pages" ] ~doc ~docv:"N")
+  in
+  let limit =
+    let doc = "Check at most N crash images (stride-sampled); default checks all." in
+    Arg.(value & opt (some int) None & info [ "limit" ] ~doc ~docv:"N")
+  in
+  let smoke =
+    let doc =
+      "Bounded CI run: caps the trace at 80 updates and the matrix at 120 images."
+    in
+    Arg.(value & flag & info [ "smoke" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "vacuum-matrix"
+       ~doc:
+         "Kill a churn-plus-vacuum trace at every compaction boundary, run recovery on \
+          each distinct post-crash image, and verify horizon exactness, invariants, \
+          oracle queries, and vacuum convergence (exits 1 on any violation)")
+    Term.(const vacuum_matrix_impl $ verbosity $ updates $ max_key $ checkpoint_every
+          $ sync_policy_term $ seed $ vacuum_step_pages $ limit $ smoke)
 
 (* --- errsweep --------------------------------------------------------------------- *)
 
@@ -1603,7 +1761,10 @@ let server_stats_json (s : Wire.stats) =
       ("shed", Telemetry.Json.Int s.Wire.shed);
       ("batches", Telemetry.Json.Int s.Wire.batches);
       ("batched_writes", Telemetry.Json.Int s.Wire.batched_writes);
-      ("wal_syncs", Telemetry.Json.Int s.Wire.wal_syncs) ]
+      ("wal_syncs", Telemetry.Json.Int s.Wire.wal_syncs);
+      ("horizon", Telemetry.Json.Int s.Wire.horizon);
+      ("pages_reclaimed", Telemetry.Json.Int s.Wire.pages_reclaimed);
+      ("vacuum_steps", Telemetry.Json.Int s.Wire.vacuum_steps) ]
 
 let shard_stat_json (ss : Wire.shard_stat) =
   Telemetry.Json.Obj
@@ -1767,7 +1928,9 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
           "  server: %d requests, %d batches covering %d writes, %d wal syncs, %d shed, \
            health %a@."
           s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.wal_syncs s.Wire.shed
-          Durable.pp_health s.Wire.health
+          Durable.pp_health s.Wire.health;
+        Printf.printf "  retention: horizon %d, %d pages reclaimed over %d vacuum steps\n"
+          s.Wire.horizon s.Wire.pages_reclaimed s.Wire.vacuum_steps
     | None -> ());
     match srv_shards with
     | Some shards ->
@@ -1870,6 +2033,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
-            scrub_cmd; crash_matrix_cmd; errsweep_cmd; replica_matrix_cmd; trace_cmd;
-            metrics_cmd; profile_cmd; serve_cmd; netbench_cmd; promote_cmd;
-            replica_stats_cmd; dot_cmd ]))
+            vacuum_cmd; scrub_cmd; crash_matrix_cmd; vacuum_matrix_cmd; errsweep_cmd;
+            replica_matrix_cmd; trace_cmd; metrics_cmd; profile_cmd; serve_cmd;
+            netbench_cmd; promote_cmd; replica_stats_cmd; dot_cmd ]))

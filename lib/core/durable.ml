@@ -18,6 +18,15 @@ let pp_health ppf = function
   | Degraded -> Format.pp_print_string ppf "degraded"
   | Read_only -> Format.pp_print_string ppf "read-only"
 
+type pressure = Normal | Soft | Hard
+
+let pp_pressure ppf = function
+  | Normal -> Format.pp_print_string ppf "normal"
+  | Soft -> Format.pp_print_string ppf "soft"
+  | Hard -> Format.pp_print_string ppf "hard"
+
+type retention = Keep_all | Keep_last of int
+
 type t = {
   rta : Rta.t;
   wal : Wal.t;
@@ -26,26 +35,44 @@ type t = {
   tel : Telemetry.Tracer.t;
   path : string;
   checkpoint_every : int;
+  watermarks : (int * int) option; (* (soft, hard) disk-usage bytes *)
+  disk_used : unit -> int;
+  retention : retention;
   mutable ckpt_gen : int; (* generation named by the committed pointer *)
   mutable ckpt_attempt : int; (* highest generation any attempt ever used *)
   mutable since_ckpt : int;
   mutable n_ckpts : int;
-  mutable health : health;
+  mutable health : health; (* published: what callers and hooks observe *)
+  mutable io_health : health; (* the sticky I/O machine, pressure excluded *)
+  mutable pressure : pressure;
   mutable last_error : E.t option;
   mutable ckpt_failed : bool; (* the most recent checkpoint attempt failed *)
   mutable retries_seen : int; (* Io_stats.retries at the last health update *)
   mutable health_hooks : (health -> health -> unit) list; (* newest first *)
+  mutable in_vacuum : bool; (* guards auto-vacuum against re-entrance *)
+  mutable n_vacuums : int;
   report : recovery_report;
 }
 
 (* --- WAL record payloads ------------------------------------------------------ *)
 
-(* seq i64 | op u8 | at i64 | key i64 | value i64 (inserts only).  [seq] is
-   the warehouse's n_updates after applying the record, so recovery can
-   tell which records a checkpoint already covers. *)
+(* seq i64 | op u8 | payload.  [seq] is the warehouse's n_updates after
+   applying the record, so recovery can tell which records a checkpoint
+   already covers.  Payloads:
+   - insert:       at i64 | key i64 | value i64
+   - delete:       at i64 | key i64
+   - vacuum_begin: horizon i64
+   - vacuum_chunk: horizon i64 | n i32 | n x (side u8 | free u8 | pid i64)
+   Vacuum records carry the {e explicit} page actions rather than "rescan
+   at horizon h": replay is then deterministic whatever order the
+   original scan visited the stores in, and a chunk interrupted by a
+   crash re-applies exactly the same frees and prunes (each tolerant of
+   already-done work). *)
 
 let op_insert = 1
 let op_delete = 2
+let op_vacuum_begin = 3
+let op_vacuum_chunk = 4
 let record_max_bytes = 8 + 1 + 8 + 8 + 8
 
 let encode_insert ~seq ~key ~value ~at =
@@ -64,6 +91,39 @@ let encode_delete ~seq ~key ~at =
   Storage.Codec.Writer.i64 w at;
   Storage.Codec.Writer.i64 w key;
   (Storage.Codec.Writer.contents w, Storage.Codec.Writer.pos w)
+
+let encode_vacuum_begin ~seq ~horizon =
+  let w = Storage.Codec.Writer.create (8 + 1 + 8) in
+  Storage.Codec.Writer.i64 w seq;
+  Storage.Codec.Writer.u8 w op_vacuum_begin;
+  Storage.Codec.Writer.i64 w horizon;
+  (Storage.Codec.Writer.contents w, Storage.Codec.Writer.pos w)
+
+let side_u8 = function Rta.Lkst -> 0 | Rta.Lklt -> 1
+let side_of_u8 = function 0 -> Rta.Lkst | 1 -> Rta.Lklt | x -> failwith (Printf.sprintf "Durable: unknown vacuum side %d" x)
+
+let encode_vacuum_chunk ~seq ~horizon actions =
+  let n = List.length actions in
+  let w = Storage.Codec.Writer.create (8 + 1 + 8 + 4 + (10 * n)) in
+  Storage.Codec.Writer.i64 w seq;
+  Storage.Codec.Writer.u8 w op_vacuum_chunk;
+  Storage.Codec.Writer.i64 w horizon;
+  Storage.Codec.Writer.i32 w n;
+  List.iter
+    (fun a ->
+      Storage.Codec.Writer.u8 w (side_u8 a.Rta.va_side);
+      Storage.Codec.Writer.u8 w (if a.Rta.va_free then 1 else 0);
+      Storage.Codec.Writer.i64 w a.Rta.va_pid)
+    actions;
+  (Storage.Codec.Writer.contents w, Storage.Codec.Writer.pos w)
+
+let decode_vacuum_actions rd =
+  let n = Storage.Codec.Reader.i32 rd in
+  List.init n (fun _ ->
+      let side = side_of_u8 (Storage.Codec.Reader.u8 rd) in
+      let free = Storage.Codec.Reader.u8 rd <> 0 in
+      let pid = Storage.Codec.Reader.i64 rd in
+      { Rta.va_side = side; va_free = free; va_pid = pid })
 
 (* --- Checkpoint files --------------------------------------------------------- *)
 
@@ -148,8 +208,6 @@ let remove_stale_generations vfs path ~keep =
 let apply_record rta rd =
   let seq = Storage.Codec.Reader.i64 rd in
   let op = Storage.Codec.Reader.u8 rd in
-  let at = Storage.Codec.Reader.i64 rd in
-  let key = Storage.Codec.Reader.i64 rd in
   let applied = Rta.n_updates rta in
   if seq <= applied then () (* already inside the checkpoint *)
   else if seq > applied + 1 then
@@ -158,15 +216,38 @@ let apply_record rta rd =
   else
     match op with
     | x when x = op_insert ->
+        let at = Storage.Codec.Reader.i64 rd in
+        let key = Storage.Codec.Reader.i64 rd in
         let value = Storage.Codec.Reader.i64 rd in
         Rta.insert rta ~key ~value ~at
-    | x when x = op_delete -> Rta.delete rta ~key ~at
+    | x when x = op_delete ->
+        let at = Storage.Codec.Reader.i64 rd in
+        let key = Storage.Codec.Reader.i64 rd in
+        Rta.delete rta ~key ~at
+    | x when x = op_vacuum_begin ->
+        let horizon = Storage.Codec.Reader.i64 rd in
+        Rta.vacuum_begin rta ~horizon
+    | x when x = op_vacuum_chunk ->
+        (* A checkpoint taken mid-vacuum snapshots only reachable pages,
+           so a replayed chunk may name pages the snapshot never held;
+           the appliers tolerate pages already gone or already clean. *)
+        let _horizon = Storage.Codec.Reader.i64 rd in
+        ignore (Rta.vacuum_apply rta (decode_vacuum_actions rd))
     | x -> failwith (Printf.sprintf "Durable: unknown WAL opcode %d" x)
 
 let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
     ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f)
     ?(retry = Some Storage.Retry.default) ?(telemetry = Telemetry.Tracer.noop)
-    ?(vfs = Storage.Vfs.os) ~max_key ~path () =
+    ?(vfs = Storage.Vfs.os) ?watermarks ?disk_used ?(retention = Keep_all)
+    ~max_key ~path () =
+  (match watermarks with
+  | Some (soft, hard) when soft <= 0 || hard < soft ->
+      invalid_arg "Durable.open_: watermarks must satisfy 0 < soft <= hard"
+  | _ -> ());
+  (match retention with
+  | Keep_last span when span < 0 ->
+      invalid_arg "Durable.open_: negative retention span"
+  | _ -> ());
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   (* Everything the engine does from here on — recovery reads, log
      appends, checkpoint writes — goes through the retry layer, so
@@ -213,29 +294,63 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
      Wal.Stats.dropped_bytes st - dropped_before)
   in
   let report = { replayed = n_replayed; dropped_bytes; checkpoint_gen = pointer } in
+  (* The default disk-usage probe is the WAL's size: between checkpoints
+     it is the engine's one unboundedly growing file, and it is the one
+     thing vacuum + checkpoint can actually shrink.  Deployments with a
+     fuller picture (statvfs, quota APIs) pass their own thunk. *)
+  let disk_used =
+    match disk_used with Some f -> f | None -> fun () -> Wal.size wal
+  in
+  (* An engine can open already past a watermark (the disk filled while
+     it was down); no hooks are registered yet, so the initial published
+     health is computed directly. *)
+  let pressure =
+    match watermarks with
+    | None -> Normal
+    | Some (soft, hard) ->
+        let used = disk_used () in
+        if used >= hard then Hard else if used >= soft then Soft else Normal
+  in
+  let health =
+    match pressure with Hard -> Read_only | Soft -> Degraded | Normal -> Healthy
+  in
   (* Replayed records are exactly the updates the last checkpoint missed,
      so they count toward the next automatic checkpoint. *)
-  { rta; wal; vfs; stats; tel = telemetry; path; checkpoint_every; ckpt_gen;
-    ckpt_attempt = ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0; health = Healthy;
+  { rta; wal; vfs; stats; tel = telemetry; path; checkpoint_every;
+    watermarks; disk_used; retention; ckpt_gen;
+    ckpt_attempt = ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0; health;
+    io_health = Healthy; pressure;
     last_error = None; ckpt_failed = false; retries_seen = retries_at_open;
-    health_hooks = []; report }
+    health_hooks = []; in_vacuum = false; n_vacuums = 0; report }
 
 (* --- Health ------------------------------------------------------------------- *)
 
-(* Healthy / Degraded / Read_only.  Read_only is sticky for the life of
-   the handle: it is entered when an update's log append surfaces an
-   error (the retry budget is already spent by then, so the failure is
-   persistent for practical purposes — the canonical case being a full
-   disk), after which updates are rejected with [Read_only_store] and
-   queries keep serving from the consistent in-memory state.  Degraded
-   means "working, but something is off": retries were needed recently,
-   or the last checkpoint attempt failed.  A clean operation with no
-   outstanding checkpoint failure returns the engine to Healthy. *)
+(* Two machines feed one published state.  [io_health] is the sticky
+   I/O machine of the original design: Read_only is entered when an
+   update's log append surfaces an error (the retry budget is already
+   spent by then, so the failure is persistent for practical purposes —
+   the canonical case being a full disk) and never left for the life of
+   the handle; Degraded means retries were needed recently or the last
+   checkpoint attempt failed.  [pressure] is the disk-space watermark
+   machine: Soft above the soft watermark (keep serving, vacuum
+   aggressively), Hard above the hard one (stop accepting updates before
+   the disk actually fills).  The published [health] — what {!health}
+   returns and hooks observe — is their join:
+
+     io Read_only or pressure Hard  ->  Read_only
+     io Degraded  or pressure Soft  ->  Degraded
+     otherwise                      ->  Healthy
+
+   Unlike io Read_only, pressure is {e not} sticky: vacuum + checkpoint
+   shrink the disk footprint, the next refresh drops the watermark, and
+   the published state recovers. *)
 
 let health_name = function
   | Healthy -> "healthy"
   | Degraded -> "degraded"
   | Read_only -> "read-only"
+
+let pressure_name = function Normal -> "normal" | Soft -> "soft" | Hard -> "hard"
 
 (* Every actual transition (and only transitions, not the per-op
    re-assertions of the current state) is an event on the trace. *)
@@ -253,33 +368,73 @@ let set_health t h =
     List.iter (fun f -> try f prev h with _ -> ()) t.health_hooks
   end
 
+let publish t =
+  set_health t
+    (match (t.io_health, t.pressure) with
+    | Read_only, _ | _, Hard -> Read_only
+    | Degraded, _ | _, Soft -> Degraded
+    | Healthy, Normal -> Healthy)
+
 let on_health_change t f = t.health_hooks <- f :: t.health_hooks
 
 let enter_read_only t e =
   t.last_error <- Some e;
-  if t.health <> Read_only then begin
-    set_health t Read_only;
+  if t.io_health <> Read_only then begin
+    t.io_health <- Read_only;
     Storage.Io_stats.record_read_only_transition t.stats
-  end
+  end;
+  publish t
 
 let note_op_complete t =
-  if t.health <> Read_only then begin
+  if t.io_health <> Read_only then begin
     let r = Storage.Io_stats.retries t.stats in
     if r > t.retries_seen then begin
       t.retries_seen <- r;
-      set_health t Degraded
+      t.io_health <- Degraded
     end
-    else if t.ckpt_failed then set_health t Degraded
+    else if t.ckpt_failed then t.io_health <- Degraded
     else begin
-      set_health t Healthy;
-      t.last_error <- None
+      t.io_health <- Healthy;
+      if t.pressure = Normal then t.last_error <- None
     end
-  end
+  end;
+  publish t
+
+(* Re-read the disk-usage probe against the watermarks.  Called after
+   every mutation, checkpoint and vacuum step — the points where usage
+   changes — and exposed for callers with external probes. *)
+let refresh_pressure t =
+  (match t.watermarks with
+  | None -> ()
+  | Some (soft, hard) ->
+      let used = t.disk_used () in
+      let p = if used >= hard then Hard else if used >= soft then Soft else Normal in
+      if p <> t.pressure then begin
+        let prev = t.pressure in
+        t.pressure <- p;
+        Telemetry.Tracer.event t.tel "durable.pressure"
+          ~attrs:
+            [ ("from", Telemetry.Tracer.Str (pressure_name prev));
+              ("to", Telemetry.Tracer.Str (pressure_name p));
+              ("used", Telemetry.Tracer.Int used) ];
+        if p = Hard then
+          t.last_error <-
+            Some
+              (E.v ~op:E.Append ~path:(wal_path t.path)
+                 ~detail:(Printf.sprintf "disk hard watermark (%d >= %d bytes)" used hard)
+                 E.Read_only_store);
+        publish t
+      end);
+  t.pressure
 
 (* --- Checkpointing ------------------------------------------------------------ *)
 
 let checkpoint t =
-  match t.health with
+  (* Gates on [io_health], not the published state: a checkpoint under
+     Hard watermark pressure is exactly the maintenance that frees disk
+     (the WAL truncates once the snapshot commits), so pressure must not
+     be able to lock the engine out of its own escape hatch. *)
+  match t.io_health with
   | Read_only ->
       Error
         (E.v ~op:E.Pwrite ~path:t.path ~detail:"checkpoint refused" E.Read_only_store)
@@ -313,7 +468,8 @@ let checkpoint t =
              engine keeps accepting writes — degraded, not read-only. *)
           t.ckpt_failed <- true;
           t.last_error <- Some e;
-          set_health t Degraded;
+          if t.io_health <> Read_only then t.io_health <- Degraded;
+          publish t;
           Error e
       | Ok () ->
           let old = t.ckpt_gen in
@@ -328,7 +484,11 @@ let checkpoint t =
           | Ok () -> ()
           | Error e ->
               t.last_error <- Some e;
-              if t.health <> Read_only then set_health t Degraded);
+              if t.io_health <> Read_only then begin
+                t.io_health <- Degraded;
+                publish t
+              end);
+          ignore (refresh_pressure t);
           if old > 0 then
             List.iter
               (fun ext ->
@@ -353,16 +513,46 @@ let maybe_auto_checkpoint t =
    Precondition violations are caller bugs and still raise
    [Invalid_argument]; the [result] channel is reserved for I/O. *)
 
-let reject_if_read_only t =
-  match t.health with
+(* Group commit's second half: the server batcher opens the engine with
+   [Wal.Never], appends a whole batch of updates without per-record
+   fsyncs, then forces one sync here before acknowledging any of them.
+   A failed fsync is treated exactly like a failed append — the device
+   refused durability, and quietly acknowledging later writes on top of a
+   maybe-lost tail would be fraud — so the engine goes read-only.  Gates
+   on [io_health]: records already appended under a watermark that has
+   since turned Hard must still be syncable — they were accepted. *)
+let sync_wal t =
+  match t.io_health with
   | Read_only ->
-      Error
-        (E.v ~op:E.Append ~path:(wal_path t.path) ~detail:"update rejected"
-           E.Read_only_store)
+      Error (E.v ~op:E.Fsync ~path:(wal_path t.path) ~detail:"sync refused" E.Read_only_store)
+  | Healthy | Degraded -> (
+      if Wal.unsynced t.wal = 0 then Ok ()
+      else
+        match Wal.sync t.wal with
+        | Ok () ->
+            note_op_complete t;
+            Ok ()
+        | Error e ->
+            enter_read_only t e;
+            Error e)
+
+(* Normal updates gate on the {e published} health — so a Hard watermark
+   rejects them — while maintenance records (vacuum) gate only on the
+   sticky [io_health], for the same reason {!checkpoint} does: retention
+   work is how the engine gets back {e under} the watermark. *)
+let reject_if_read_only ?(maintenance = false) t =
+  let effective = if maintenance then t.io_health else t.health in
+  match effective with
+  | Read_only ->
+      let detail =
+        if t.io_health = Read_only then "update rejected"
+        else "update rejected (disk hard watermark)"
+      in
+      Error (E.v ~op:E.Append ~path:(wal_path t.path) ~detail E.Read_only_store)
   | Healthy | Degraded -> Ok ()
 
-let log_then_apply t ~append ~apply =
-  match reject_if_read_only t with
+let rec log_then_apply ?maintenance t ~append ~apply =
+  match reject_if_read_only ?maintenance t with
   | Error _ as e -> e
   | Ok () -> (
       match append () with
@@ -376,29 +566,87 @@ let log_then_apply t ~append ~apply =
           apply ();
           t.since_ckpt <- t.since_ckpt + 1;
           maybe_auto_checkpoint t;
+          ignore (refresh_pressure t);
+          maybe_auto_vacuum t;
           note_op_complete t;
           Ok ())
 
-(* Group commit's second half: the server batcher opens the engine with
-   [Wal.Never], appends a whole batch of updates without per-record
-   fsyncs, then forces one sync here before acknowledging any of them.
-   A failed fsync is treated exactly like a failed append — the device
-   refused durability, and quietly acknowledging later writes on top of a
-   maybe-lost tail would be fraud — so the engine goes read-only. *)
-let sync_wal t =
-  match t.health with
-  | Read_only ->
-      Error (E.v ~op:E.Fsync ~path:(wal_path t.path) ~detail:"sync refused" E.Read_only_store)
-  | Healthy | Degraded -> (
-      if Wal.unsynced t.wal = 0 then Ok ()
-      else
-        match Wal.sync t.wal with
-        | Ok () ->
-            note_op_complete t;
-            Ok ()
-        | Error e ->
-            enter_read_only t e;
-            Error e)
+(* Watermark pressure with a retention policy configured: vacuum down to
+   the policy's horizon, then checkpoint so the WAL (the growing file)
+   actually shrinks, then re-probe.  Guarded by [in_vacuum] because the
+   vacuum's own WAL records come back through [log_then_apply]. *)
+and maybe_auto_vacuum t =
+  if (not t.in_vacuum) && t.pressure <> Normal then
+    match t.retention with
+    | Keep_all -> ()
+    | Keep_last span ->
+        let target = Rta.now t.rta - span in
+        if target > Rta.horizon t.rta && target >= 0 then begin
+          (match vacuum t ~horizon:target with Ok _ | Error _ -> ());
+          (match checkpoint t with Ok () | Error _ -> ());
+          ignore (refresh_pressure t)
+        end
+
+and vacuum_begin t ~horizon =
+  (* Validation mirrors Rta.vacuum_begin and runs before anything is
+     logged, so applying (and replaying) the record cannot fail. *)
+  if horizon < 0 then invalid_arg "Durable.vacuum_begin: negative horizon";
+  if horizon < Rta.horizon t.rta then
+    invalid_arg
+      (Printf.sprintf "Durable.vacuum_begin: horizon moves backwards (%d < %d)" horizon
+         (Rta.horizon t.rta));
+  if horizon > Rta.now t.rta then
+    invalid_arg
+      (Printf.sprintf "Durable.vacuum_begin: horizon %d beyond current time %d" horizon
+         (Rta.now t.rta));
+  let buf, len = encode_vacuum_begin ~seq:(Rta.n_updates t.rta + 1) ~horizon in
+  log_then_apply ~maintenance:true t
+    ~append:(fun () -> Wal.append t.wal ~len buf)
+    ~apply:(fun () -> Rta.vacuum_begin t.rta ~horizon)
+
+and vacuum_chunk t actions =
+  let buf, len =
+    encode_vacuum_chunk ~seq:(Rta.n_updates t.rta + 1) ~horizon:(Rta.horizon t.rta)
+      actions
+  in
+  let progress = ref Rta.vacuum_progress_zero in
+  match
+    log_then_apply ~maintenance:true t
+      ~append:(fun () -> Wal.append t.wal ~len buf)
+      ~apply:(fun () -> progress := Rta.vacuum_apply t.rta actions)
+  with
+  | Ok () -> Ok !progress
+  | Error e -> Error e
+
+and vacuum ?(max_pages_per_step = 128) t ~horizon =
+  if max_pages_per_step < 1 || max_pages_per_step > 65536 then
+    invalid_arg "Durable.vacuum: max_pages_per_step out of range";
+  Telemetry.Tracer.with_span t.tel "durable.vacuum"
+    ~attrs:(fun () -> [ ("horizon", Telemetry.Tracer.Int horizon) ])
+  @@ fun () ->
+  let was_in_vacuum = t.in_vacuum in
+  t.in_vacuum <- true;
+  Fun.protect ~finally:(fun () -> t.in_vacuum <- was_in_vacuum) @@ fun () ->
+  match vacuum_begin t ~horizon with
+  | Error _ as e -> e
+  | Ok () ->
+      let chunks = Rta.vacuum_plan ~max_pages:max_pages_per_step t.rta in
+      let rec go acc steps = function
+        | [] -> (
+            (* The vacuum's WAL records must be durable before the report
+               claims the retention work happened. *)
+            match sync_wal t with
+            | Error _ as e -> e
+            | Ok () ->
+                t.n_vacuums <- t.n_vacuums + 1;
+                ignore (refresh_pressure t);
+                Ok { Rta.v_horizon = horizon; v_steps = steps; v_progress = acc })
+        | c :: rest -> (
+            match vacuum_chunk t c with
+            | Error _ as e -> e
+            | Ok p -> go (Rta.vacuum_progress_add acc p) (steps + 1) rest)
+      in
+      go Rta.vacuum_progress_zero 0 chunks
 
 let insert t ~key ~value ~at =
   if key < 0 || key >= Rta.max_key t.rta then
@@ -440,6 +688,12 @@ let wal_stats t = Wal.stats t.wal
 let wal_unsynced t = Wal.unsynced t.wal
 let sync_policy t = Wal.policy t.wal
 let health t = t.health
+let io_health t = t.io_health
+let pressure t = t.pressure
+let horizon t = Rta.horizon t.rta
+let vacuums t = t.n_vacuums
+let disk_used t = t.disk_used ()
+let retention t = t.retention
 let last_error t = t.last_error
 let io_stats t = t.stats
 let telemetry t = t.tel

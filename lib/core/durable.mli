@@ -74,6 +74,19 @@ type health =
 
 val pp_health : Format.formatter -> health -> unit
 
+type pressure =
+  | Normal
+  | Soft  (** Above the soft watermark: serving, vacuuming aggressively. *)
+  | Hard  (** Above the hard watermark: updates rejected, maintenance allowed. *)
+
+val pp_pressure : Format.formatter -> pressure -> unit
+
+type retention =
+  | Keep_all
+  | Keep_last of int
+      (** Auto-vacuum target: keep the last [span] time units; under
+          watermark pressure the engine vacuums to [now - span]. *)
+
 val open_ :
   ?config:Mvsbt.config ->
   ?pool_capacity:int ->
@@ -85,6 +98,9 @@ val open_ :
   ?retry:Storage.Retry.policy option ->
   ?telemetry:Telemetry.Tracer.t ->
   ?vfs:Storage.Vfs.t ->
+  ?watermarks:int * int ->
+  ?disk_used:(unit -> int) ->
+  ?retention:retention ->
   max_key:int ->
   path:string ->
   unit ->
@@ -108,6 +124,20 @@ val open_ :
     retries to [stats]; passing {!Storage.Vfs.Memory} is what lets the
     crash-state explorer ([lib/faultsim]) journal and replay the
     engine's disk traffic.
+
+    [watermarks = (soft, hard)] (default: none) arms the disk-pressure
+    machine: after every mutation, checkpoint and vacuum step the engine
+    probes [disk_used] (default: the WAL's current size — the one file
+    that grows without bound between checkpoints) and compares it to the
+    watermarks.  At or above [soft] the published health degrades and,
+    with a [retention] policy other than [Keep_all], the engine
+    auto-vacuums to [now - span] and checkpoints; at or above [hard]
+    normal updates are rejected ([Read_only_store] with a watermark
+    detail) while vacuum and checkpoint — the operations that reclaim
+    space — remain allowed.  Pressure is not sticky: once maintenance
+    shrinks usage below the watermarks, service resumes.  Configure
+    retention on leaders only; followers receive the leader's vacuum
+    through the shipped WAL and must not invent their own.
     @raise Failure if an existing checkpoint disagrees with [max_key] or
     a snapshot file is malformed.
     @raise Storage.Storage_error.Io if recovery I/O fails even after
@@ -148,6 +178,67 @@ val checkpoint : t -> (unit, Storage.Storage_error.t) result
     [Degraded] but keeps accepting updates; a failed attempt's
     generation number is never reused.  Refused with [Read_only_store]
     when the engine is [Read_only]. *)
+
+(** {2 Vacuum (crash-safe retention)}
+
+    The WAL-logged face of {!Rta.vacuum_begin}/{!Rta.vacuum_apply}: the
+    horizon and each chunk's explicit page actions are logged {e before}
+    they touch the trees, so a crash at any point mid-vacuum replays to a
+    consistent state — the horizon is re-established first, then each
+    logged chunk re-frees/re-prunes exactly the pages it named (the
+    appliers tolerate already-done work).  Vacuum records consume update
+    sequence numbers like inserts, so checkpoint cut-offs and replica
+    watermarks stay exact; followers fed by a WAL shipper replay the
+    leader's vacuum with no extra machinery. *)
+
+val vacuum_begin : t -> horizon:int -> (unit, Storage.Storage_error.t) result
+(** Log, then raise the retention horizon on the warehouse.  Allowed
+    while the engine is pressure-degraded (gates on the I/O machine
+    only).
+    @raise Invalid_argument if the horizon is negative, moves backwards,
+    or exceeds the warehouse clock (caller bugs, checked before
+    logging). *)
+
+val vacuum_chunk :
+  t -> Rta.vacuum_action list -> (Rta.vacuum_progress, Storage.Storage_error.t) result
+(** Log one chunk of planned actions (see {!Rta.vacuum_plan}), then
+    apply it. *)
+
+val vacuum :
+  ?max_pages_per_step:int ->
+  t ->
+  horizon:int ->
+  (Rta.vacuum_report, Storage.Storage_error.t) result
+(** [vacuum_begin] + plan + one [vacuum_chunk] per [max_pages_per_step]
+    (default 128, max 65536 — a chunk must fit one WAL record) actions,
+    then a WAL sync so the retention work is durable before the report
+    says it happened.  Queries keep serving between chunks.  On [Error]
+    the logged prefix is applied and consistent; re-running the same
+    vacuum after the cause clears (or after recovery) finishes the
+    remainder idempotently. *)
+
+val horizon : t -> int
+(** The warehouse's retention horizon ([= Rta.horizon (warehouse t)]). *)
+
+val vacuums : t -> int
+(** Completed [vacuum] runs by this handle (manual + watermark-driven). *)
+
+val pressure : t -> pressure
+(** Current disk-pressure state ([Normal] when no watermarks are set). *)
+
+val refresh_pressure : t -> pressure
+(** Re-probe disk usage against the watermarks now (normally done after
+    every mutation) and return the resulting state — for callers whose
+    [disk_used] can change without the engine mutating anything. *)
+
+val disk_used : t -> int
+(** What the engine's disk-usage probe currently reads. *)
+
+val retention : t -> retention
+
+val io_health : t -> health
+(** The sticky I/O half of the published {!health}, pressure excluded —
+    [Read_only] here means a real write failure, not a full-ish disk. *)
 
 val warehouse : t -> Rta.t
 (** The live warehouse, for queries ({!Rta.sum_count} and friends). *)

@@ -1,5 +1,10 @@
 let forever = max_int
 
+(* Raised (not returned) so the refusal propagates through every query
+   entry point — point query, dominance sum, wire handler — without
+   widening each return type; callers that can answer it catch it. *)
+exception Below_horizon of { at : int; horizon : int }
+
 type variant = Plain | Logical
 
 type config = {
@@ -48,6 +53,7 @@ module Make (G : Aggregate.Group.S) = struct
     b_write : Storage.Page_id.t -> page -> unit;
     b_free : Storage.Page_id.t -> unit;
     b_exists : Storage.Page_id.t -> bool;
+    b_list : unit -> Storage.Page_id.t list;
     b_live : unit -> int;
     b_drop : unit -> unit;
     b_flush : unit -> unit;
@@ -63,6 +69,8 @@ module Make (G : Aggregate.Group.S) = struct
         b_write = (fun pid page -> Pool.write pool pid page);
         b_free = (fun pid -> Pool.free pool pid);
         b_exists = (fun pid -> Pool.mem pool pid);
+        (* Flush first: ids must reflect pages still sitting in the pool. *)
+        b_list = (fun () -> Pool.flush pool; Store.ids store);
         b_live = (fun () -> Store.live_pages store);
         b_drop = (fun () -> Pool.drop_cache pool);
         b_flush = (fun () -> Pool.flush pool);
@@ -77,6 +85,7 @@ module Make (G : Aggregate.Group.S) = struct
     mutable cur_root : Storage.Page_id.t;
     mutable height : int;
     mutable now_ : int;
+    mutable horizon : int; (* queries below this time are refused *)
     mutable touches : int; (* logical page accesses; see [page_touches] *)
     mutable tel : Telemetry.Tracer.t;
   }
@@ -110,7 +119,7 @@ module Make (G : Aggregate.Group.S) = struct
     backend.b_write pid root;
     Root_star.register root_star ~at:0 pid;
     { backend; io_stats; cfg; key_space; root_star; cur_root = pid; height = 1;
-      now_ = 0; touches = 0; tel = Telemetry.Tracer.noop }
+      now_ = 0; horizon = 0; touches = 0; tel = Telemetry.Tracer.noop }
 
   let create ?config ?(pool_capacity = 64) ?stats ~key_space () =
     let cfg = match config with Some c -> c | None -> default_config ~b:64 in
@@ -123,6 +132,7 @@ module Make (G : Aggregate.Group.S) = struct
   let key_space t = t.key_space
   let stats t = t.io_stats
   let now t = t.now_
+  let horizon t = t.horizon
   let page_count t = t.backend.b_live ()
   let height t = t.height
   let root_count t = Root_star.count t.root_star
@@ -504,6 +514,7 @@ module Make (G : Aggregate.Group.S) = struct
     if key < 0 || key >= t.key_space then
       invalid_arg "Mvsbt.query: key outside key domain";
     if at < 0 then invalid_arg "Mvsbt.query: negative time";
+    if at < t.horizon then raise (Below_horizon { at; horizon = t.horizon });
     Telemetry.Tracer.with_span t.tel "mvsbt.query" @@ fun () ->
     let root = if at >= t.now_ then t.cur_root else Root_star.find t.root_star ~at in
     let rec go pid acc =
@@ -535,6 +546,77 @@ module Make (G : Aggregate.Group.S) = struct
       match r.child with None -> acc | Some c -> go c acc
     in
     go root G.zero
+
+  (* --- Vacuum (retention) ---------------------------------------------------- *)
+
+  (* Partial persistence gives vacuum its correctness argument for free:
+     a page with [closed <= h] is invisible to every query at a time
+     [>= h] (nothing in it is alive there), and inside a still-visible
+     page a record with [rt_end <= h] is equally invisible, so it can be
+     dropped *in place* — no copying into fresh pages, no parent-pointer
+     rewrites.  Conversely any page with [closed > h] stays reachable at
+     some time in [h, now], so pruning can never orphan a live page. *)
+
+  let set_horizon t h =
+    if h < 0 then invalid_arg "Mvsbt.set_horizon: negative horizon";
+    if h < t.horizon then
+      invalid_arg
+        (Printf.sprintf "Mvsbt.set_horizon: horizon moves backwards (%d < %d)" h t.horizon);
+    (* A horizon past [now] is legal here — alive records ([rt_end =
+       forever]) survive any horizon, so the tree stays well-formed; it
+       just refuses more queries.  The warehouse ([Rta]) bounds the
+       horizon by its own clock, which can run ahead of either tree's
+       (the LKLT side only ticks on deletes). *)
+    t.horizon <- h;
+    (* Tenures wholly below the horizon would keep traversals anchored on
+       root pages vacuum is about to free. *)
+    ignore (Root_star.prune t.root_star ~below:h)
+
+  type vacuum_action = Free_page | Prune_records
+
+  (* Deterministic scan of the whole store (not just the reachable graph:
+     a crash between tenure pruning and page freeing leaves dead pages
+     that are no longer reachable, and re-vacuum must still find them). *)
+  let vacuum_scan t =
+    let h = t.horizon in
+    t.backend.b_list ()
+    |> List.filter_map (fun pid ->
+           match t.backend.b_read pid with
+           | exception Not_found -> None
+           | page ->
+               if page.closed <= h then Some (pid, Free_page)
+               else if List.exists (fun r -> r.rt_end <= h) page.records then
+                 Some (pid, Prune_records)
+               else None)
+    |> List.sort (fun (a, _) (b, _) ->
+           Int.compare (Storage.Page_id.to_int a) (Storage.Page_id.to_int b))
+
+  (* Appliers are tolerant of already-done work (missing page, nothing to
+     drop): WAL replay after a crash re-applies actions idempotently, and
+     a checkpoint taken mid-vacuum may already omit the dead pages. *)
+  let vacuum_free t pid =
+    if t.backend.b_exists pid then begin
+      t.backend.b_free pid;
+      Storage.Io_stats.record_pages_reclaimed t.io_stats 1;
+      true
+    end
+    else false
+
+  let vacuum_prune t pid =
+    if not (t.backend.b_exists pid) then 0
+    else begin
+      let page = read t pid in
+      let h = t.horizon in
+      let keep, drop = List.partition (fun r -> r.rt_end > h) page.records in
+      (* [keep] is never empty: a page with [closed > h] had records alive
+         just below its close time, and their [rt_end >= closed > h]. *)
+      if drop = [] then 0
+      else begin
+        page.records <- keep;
+        touch t page;
+        List.length drop
+      end
+    end
 
   (* --- Whole-graph traversal ------------------------------------------------ *)
 
@@ -599,11 +681,16 @@ module Make (G : Aggregate.Group.S) = struct
                     (Interval.make r.rt_start (min r.rt_end lifetime_hi))
                     (Interval.make page.created lifetime_hi)
                 in
+                let visible =
+                  (* Queries below the horizon are refused, so only the
+                     part of the slice at or above it must stay sound. *)
+                  Interval.inter slice (Interval.make t.horizon lifetime_hi)
+                in
                 match read t c with
                 | exception Not_found ->
                     (* A reference to a disposed page is legal only when no
                        query can follow it. *)
-                    if not (Interval.is_empty slice) then
+                    if not (Interval.is_empty visible) then
                       fail "Mvsbt: reachable record references a disposed page"
                 | child ->
                     if child.level <> page.level - 1 then fail "Mvsbt: level mismatch";
@@ -611,15 +698,18 @@ module Make (G : Aggregate.Group.S) = struct
                       fail "Mvsbt: record range differs from child page range";
                     if
                       not
-                        (Interval.subset slice
+                        (Interval.subset visible
                            (Interval.make child.created (min child.closed (t.now_ + 1))))
                     then fail "Mvsbt: record refers to child page outside its lifetime"))
           page.records;
         (* Property 1 at every interesting instant of the page lifetime. *)
+        (* Property 1 is only promised at queryable instants: vacuum
+           prunes records dead below the horizon, so coverage below it is
+           deliberately full of holes. *)
         let times =
-          page.created
+          page.created :: t.horizon
           :: List.concat_map (fun r -> [ r.rt_start; r.rt_end ]) page.records
-          |> List.filter (fun x -> page.created <= x && x < lifetime_hi)
+          |> List.filter (fun x -> page.created <= x && t.horizon <= x && x < lifetime_hi)
           |> List.sort_uniq Int.compare
         in
         List.iter
@@ -651,14 +741,21 @@ module Make (G : Aggregate.Group.S) = struct
               fail "Mvsbt: page %d below Lemma-3 density at time %d (%d alive)" pid tau
                 (List.length alive_recs))
           times);
-    (* Root tenures partition the time axis from 0. *)
+    (* Root tenures partition the time axis from the horizon up (vacuum
+       prunes tenures that end at or below it). *)
     let rec tenure_chain pos = function
       | [] -> if pos <> forever then fail "Mvsbt: root tenures do not reach maxtime"
       | (iv, _) :: rest ->
           if iv.Interval.lo <> pos then fail "Mvsbt: root tenure gap at %d" pos;
           tenure_chain iv.Interval.hi rest
     in
-    tenure_chain 0 (Root_star.tenures t.root_star)
+    (match Root_star.tenures t.root_star with
+    | [] -> fail "Mvsbt: no root tenures"
+    | (iv0, _) :: _ as ts ->
+        if iv0.Interval.lo > t.horizon then
+          fail "Mvsbt: root tenures start at %d, above the horizon %d" iv0.Interval.lo
+            t.horizon;
+        tenure_chain iv0.Interval.lo ts)
 
   (* --- On-disk formats ---------------------------------------------------------- *)
 
@@ -742,7 +839,7 @@ module Make (G : Aggregate.Group.S) = struct
        sidecar rewritten atomically on every flush — flush order is pages,
        fsync, then meta, so the meta never points at pages that have not
        reached the disk.  [reopen] restores the state of the last flush. *)
-    let meta_magic = "MVSBT-DURMETA-1!"
+    let meta_magic = "MVSBT-DURMETA-2!"
 
     let meta_path path = path ^ ".meta"
 
@@ -759,6 +856,7 @@ module Make (G : Aggregate.Group.S) = struct
       Storage.Codec.Writer.bool w t.cfg.root_star_btree;
       Storage.Codec.Writer.i64 w t.key_space;
       Storage.Codec.Writer.i64 w t.now_;
+      Storage.Codec.Writer.i64 w t.horizon;
       Storage.Codec.Writer.i64 w (Storage.Page_id.to_int t.cur_root);
       Storage.Codec.Writer.i32 w t.height;
       Storage.Codec.Writer.i32 w (List.length tenures);
@@ -804,6 +902,7 @@ module Make (G : Aggregate.Group.S) = struct
       let root_star_btree = Storage.Codec.Reader.bool rd in
       let key_space = Storage.Codec.Reader.i64 rd in
       let now_ = Storage.Codec.Reader.i64 rd in
+      let horizon = Storage.Codec.Reader.i64 rd in
       let cur_root = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
       let height = Storage.Codec.Reader.i32 rd in
       let n_roots = Storage.Codec.Reader.i32 rd in
@@ -814,7 +913,7 @@ module Make (G : Aggregate.Group.S) = struct
             (ts, pid))
       in
       ( { b; f; variant; merging; disposal; root_star_btree },
-        key_space, now_, cur_root, height, roots )
+        key_space, now_, horizon, cur_root, height, roots )
 
     let make_backend ~vfs ~path ~self pool store =
       {
@@ -823,6 +922,10 @@ module Make (G : Aggregate.Group.S) = struct
         b_write = (fun pid page -> File_pool.write pool pid page);
         b_free = (fun pid -> File_pool.free pool pid);
         b_exists = (fun pid -> File_pool.mem pool pid);
+        b_list =
+          (fun () ->
+            File_pool.flush pool;
+            File_store.written_ids store);
         b_live = (fun () -> File_store.live_pages store);
         b_drop = (fun () -> File_pool.drop_cache pool);
         (* A durable flush must reach the platter, not just the kernel:
@@ -856,7 +959,7 @@ module Make (G : Aggregate.Group.S) = struct
 
     let reopen ?(pool_capacity = 64) ?stats ?(page_size = 4096) ?(vfs = Storage.Vfs.os)
         ~path () =
-      let cfg, key_space, now_, cur_root, height, roots = read_meta ~vfs ~path in
+      let cfg, key_space, now_, horizon, cur_root, height, roots = read_meta ~vfs ~path in
       let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
       let store = File_store.create ~stats:io_stats ~page_size ~mode:`Reopen ~vfs ~path () in
       if not (File_store.mem store cur_root) then
@@ -867,7 +970,7 @@ module Make (G : Aggregate.Group.S) = struct
       let root_star = Root_star.create ~btree:cfg.root_star_btree ~stats:io_stats () in
       List.iter (fun (ts, pid) -> Root_star.register root_star ~at:ts pid) roots;
       let t =
-        { backend; io_stats; cfg; key_space; root_star; cur_root; height; now_;
+        { backend; io_stats; cfg; key_space; root_star; cur_root; height; now_; horizon;
           touches = 0; tel = Telemetry.Tracer.noop }
       in
       self := Some t;
@@ -958,7 +1061,7 @@ module Make (G : Aggregate.Group.S) = struct
   (* --- Snapshot persistence --------------------------------------------------- *)
 
   module Persist (V : VALUE_CODEC) = struct
-    let magic = "MVSBT-SNAPSHOT-1"
+    let magic = "MVSBT-SNAPSHOT-2"
 
     (* The snapshot is assembled in memory and written through the VFS in
        one [f_append] per chunk, so snapshot writes are journalled by
@@ -997,6 +1100,7 @@ module Make (G : Aggregate.Group.S) = struct
       Storage.Codec.Writer.bool w t.cfg.root_star_btree;
       Storage.Codec.Writer.i64 w t.key_space;
       Storage.Codec.Writer.i64 w t.now_;
+      Storage.Codec.Writer.i64 w t.horizon;
       Storage.Codec.Writer.i64 w (Storage.Page_id.to_int t.cur_root);
       Storage.Codec.Writer.i32 w t.height;
       Storage.Codec.Writer.i32 w (List.length tenures);
@@ -1047,6 +1151,7 @@ module Make (G : Aggregate.Group.S) = struct
       let root_star_btree = Storage.Codec.Reader.bool rd in
       let key_space = Storage.Codec.Reader.i64 rd in
       let now_ = Storage.Codec.Reader.i64 rd in
+      let horizon = Storage.Codec.Reader.i64 rd in
       let cur_root = Storage.Page_id.of_int (Storage.Codec.Reader.i64 rd) in
       let height = Storage.Codec.Reader.i32 rd in
       let n_roots = Storage.Codec.Reader.i32 rd in
@@ -1067,6 +1172,7 @@ module Make (G : Aggregate.Group.S) = struct
           b_write = (fun pid page -> Pool.write pool pid page);
           b_free = (fun pid -> Pool.free pool pid);
           b_exists = (fun pid -> Pool.mem pool pid);
+          b_list = (fun () -> Pool.flush pool; Store.ids store);
           b_live = (fun () -> Store.live_pages store);
           b_drop = (fun () -> Pool.drop_cache pool);
           b_flush = (fun () -> Pool.flush pool);
@@ -1098,6 +1204,7 @@ module Make (G : Aggregate.Group.S) = struct
         cur_root;
         height;
         now_;
+        horizon;
         touches = 0;
         tel = Telemetry.Tracer.noop;
       }

@@ -35,6 +35,11 @@
     The record-merging (4.2.2) and page-disposal (4.2.3) optimisations are
     independent switches. *)
 
+exception Below_horizon of { at : int; horizon : int }
+(** A query asked about a time below the retention horizon: the versions
+    that would answer it have been (or are being) vacuumed away, so the
+    engine refuses instead of silently returning a wrong sum. *)
+
 type variant =
   | Plain  (** Section 4.1: split all fully-covered records. *)
   | Logical  (** Section 4.2.1: logical splitting (the default). *)
@@ -75,6 +80,10 @@ module Make (G : Aggregate.Group.S) : sig
   val now : t -> int
   (** Largest insertion time seen so far (0 initially). *)
 
+  val horizon : t -> int
+  (** Retention horizon (0 initially): queries at times below it raise
+      {!Below_horizon}; versions below it are fair game for vacuum. *)
+
   val insert : t -> key:int -> at:int -> G.t -> unit
   (** Add [v] to every point of [\[key, key_space) × \[at, infinity)].
       @raise Invalid_argument if [key] is outside [\[0, key_space)] or
@@ -83,7 +92,48 @@ module Make (G : Aggregate.Group.S) : sig
   val query : t -> key:int -> at:int -> G.t
   (** The value at point [(key, at)] — for any [at >= 0], including times
       in the future of {!now} (which see the current state).
-      @raise Invalid_argument if [key] is outside the key domain. *)
+      @raise Invalid_argument if [key] is outside the key domain.
+      @raise Below_horizon if [at] is below the retention {!horizon}. *)
+
+  (** {2 Vacuum (retention)}
+
+      Partial persistence makes retention structurally simple: a page
+      whose lifetime ended at or below the horizon is invisible to every
+      query the engine still answers, and so is a record whose interval
+      ended there.  Vacuum therefore {e frees} dead pages outright and
+      {e prunes} dead records in place — no page copying, no parent
+      rewrites, and pruning can never orphan a still-visible page.
+
+      The three primitives below are deliberately split so a WAL layer
+      can log the planned actions before applying them ({!Rta.vacuum} /
+      [Durable.vacuum] do exactly that); each applier is idempotent and
+      tolerant of already-done work, which is what makes crash-replay
+      sound. *)
+
+  val set_horizon : t -> int -> unit
+  (** Raise the retention horizon (also prunes [root*] tenures that end
+      at or below it).  A horizon past {!now} is accepted — alive records
+      survive any horizon — it just refuses more queries.  Monotone:
+      @raise Invalid_argument if the horizon would move backwards. *)
+
+  type vacuum_action =
+    | Free_page  (** The page's whole lifetime is below the horizon. *)
+    | Prune_records  (** Alive page holding records dead below the horizon. *)
+
+  val vacuum_scan : t -> (Storage.Page_id.t * vacuum_action) list
+  (** Deterministic plan (ascending by page id) of everything the current
+      horizon allows reclaiming.  Scans the whole store, not just the
+      reachable graph, so dead pages stranded by an earlier crash are
+      still found. *)
+
+  val vacuum_free : t -> Storage.Page_id.t -> bool
+  (** Free one dead page; [false] if it is already gone.  Counted in
+      [Io_stats.pages_reclaimed]. *)
+
+  val vacuum_prune : t -> Storage.Page_id.t -> int
+  (** Drop records dead below the horizon from one page, in place.
+      Returns the number of records dropped (0 if the page is gone or
+      already clean). *)
 
   val page_count : t -> int
   (** Live pages — the space metric of figure 4a. *)

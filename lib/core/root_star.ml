@@ -58,6 +58,28 @@ let count t = t.n
 let drop_cache t =
   match t.backing with Array_backed _ -> () | Btree_backed dir -> Dir.drop_cache dir
 
+let prune t ~below =
+  let entries =
+    match t.backing with
+    | Array_backed cell -> List.rev !cell
+    | Btree_backed dir -> Dir.to_list dir
+  in
+  (* Entry i's tenure ends where entry i+1 begins; droppable iff that end
+     is at or below the horizon (no query at time >= below can reach it).
+     The last entry's tenure is open-ended, so it always survives. *)
+  let rec classify = function
+    | (ts, _) :: ((ts', _) :: _ as rest) when ts' <= below ->
+        let dropped, kept = classify rest in
+        (ts :: dropped, kept)
+    | kept -> ([], kept)
+  in
+  let dropped, kept = classify entries in
+  (match t.backing with
+  | Array_backed cell -> cell := List.rev kept
+  | Btree_backed dir -> List.iter (fun ts -> ignore (Dir.remove dir ts)) dropped);
+  t.n <- t.n - List.length dropped;
+  List.length dropped
+
 let tenures t =
   let entries =
     match t.backing with

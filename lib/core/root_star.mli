@@ -33,6 +33,13 @@ val latest : t -> Storage.Page_id.t
 val count : t -> int
 (** Number of registered roots. *)
 
+val prune : t -> below:int -> int
+(** Drop entries whose whole tenure ends at or below [below] — no query at
+    a time [>= below] can reach them.  The entry whose tenure contains
+    [below] (and everything newer) survives, so {!find} keeps working for
+    every time at or above the horizon.  Returns the number of entries
+    dropped; freeing the root pages themselves is the caller's business. *)
+
 val tenures : t -> (Interval.t * Storage.Page_id.t) list
 (** Root pages with their tenure intervals, oldest first; the last tenure
     extends to [max_int]. *)

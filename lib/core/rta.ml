@@ -184,6 +184,7 @@ let stats t = Index.stats t.lkst
 let now t = t.now_
 let n_updates t = t.n_updates
 let alive_count t = Hashtbl.length t.alive
+let horizon t = Index.horizon t.lkst
 
 let advance t at =
   if at < t.now_ then invalid_arg "Rta: time went backwards (transaction time is monotone)";
@@ -261,6 +262,11 @@ let sum_count t ~klo ~khi ~tlo ~thi =
     @@ fun () ->
     let k1 = clamp_key t klo and k2 = clamp_key t khi in
     let t1 = max 0 tlo and t3 = thi - 1 in
+    (* The window reaches below the retention horizon: the versions that
+       would be subtracted at [t1] may have been vacuumed, so refuse
+       loudly here (with the window's first instant) rather than letting
+       whichever point query runs first raise with a confusing time. *)
+    if t1 < horizon t then raise (Mvsbt.Below_horizon { at = t1; horizon = horizon t });
     let ( -- ) (s1, c1) (s2, c2) = (s1 - s2, c1 - c2) in
     let ( ++ ) (s1, c1) (s2, c2) = (s1 + s2, c1 + c2) in
     lkst t ~key:k2 ~at:t3 -- lkst t ~key:k1 ~at:t3
@@ -405,3 +411,107 @@ let inject_bit_flips ?page_size ?(vfs = Storage.Vfs.os) ~path ~seed ~flips () =
   in
   side Lkst lkst_suffix ~seed ~flips:((flips + 1) / 2)
   @ side Lklt lklt_suffix ~seed:(seed + 1) ~flips:(flips / 2)
+
+(* --- Vacuum (retention) ---------------------------------------------------- *)
+
+(* The warehouse-level vacuum is split into [begin]/[plan]/[apply] so the
+   WAL engine can log each piece before applying it: [vacuum_begin]
+   corresponds to one WAL record (the horizon), each applied chunk of the
+   plan to another (the explicit page actions, so replay is deterministic
+   regardless of scan order).  Both mutators consume one update sequence
+   number — that keeps checkpoint cut-offs, replica watermarks and the
+   scrub reference check ([n_updates] equality) honest about vacuums. *)
+
+type vacuum_action = { va_side : scrub_side; va_free : bool; va_pid : int }
+
+type vacuum_progress = {
+  pages_freed : int;
+  pages_pruned : int;
+  records_dropped : int;
+}
+
+let vacuum_progress_zero = { pages_freed = 0; pages_pruned = 0; records_dropped = 0 }
+
+let vacuum_progress_add a b =
+  {
+    pages_freed = a.pages_freed + b.pages_freed;
+    pages_pruned = a.pages_pruned + b.pages_pruned;
+    records_dropped = a.records_dropped + b.records_dropped;
+  }
+
+let side_tree t = function Lkst -> t.lkst | Lklt -> t.lklt
+
+let vacuum_begin t ~horizon:h =
+  if h < 0 then invalid_arg "Rta.vacuum_begin: negative horizon";
+  if h < horizon t then
+    invalid_arg
+      (Printf.sprintf "Rta.vacuum_begin: horizon moves backwards (%d < %d)" h (horizon t));
+  if h > t.now_ then
+    invalid_arg
+      (Printf.sprintf "Rta.vacuum_begin: horizon %d beyond current time %d" h t.now_);
+  Index.set_horizon t.lkst h;
+  Index.set_horizon t.lklt h;
+  t.n_updates <- t.n_updates + 1
+
+let vacuum_plan ?(max_pages = 128) t =
+  if max_pages < 1 then invalid_arg "Rta.vacuum_plan: max_pages must be >= 1";
+  let acts side tree =
+    Index.vacuum_scan tree
+    |> List.map (fun (pid, a) ->
+           { va_side = side;
+             va_free = (a = Index.Free_page);
+             va_pid = Storage.Page_id.to_int pid })
+  in
+  let all = acts Lkst t.lkst @ acts Lklt t.lklt in
+  let rec chunk = function
+    | [] -> []
+    | l ->
+        let rec take n = function
+          | x :: rest when n > 0 ->
+              let taken, left = take (n - 1) rest in
+              (x :: taken, left)
+          | rest -> ([], rest)
+        in
+        let c, rest = take max_pages l in
+        c :: chunk rest
+  in
+  chunk all
+
+let vacuum_apply t actions =
+  Telemetry.Tracer.with_span t.tel "rta.vacuum_step" @@ fun () ->
+  let progress =
+    List.fold_left
+      (fun acc a ->
+        let tree = side_tree t a.va_side in
+        let pid = Storage.Page_id.of_int a.va_pid in
+        if a.va_free then
+          if Index.vacuum_free tree pid then
+            { acc with pages_freed = acc.pages_freed + 1 }
+          else acc
+        else
+          let n = Index.vacuum_prune tree pid in
+          if n > 0 then
+            { acc with pages_pruned = acc.pages_pruned + 1;
+              records_dropped = acc.records_dropped + n }
+          else acc)
+      vacuum_progress_zero actions
+  in
+  Storage.Io_stats.record_vacuum_step (stats t);
+  t.n_updates <- t.n_updates + 1;
+  progress
+
+type vacuum_report = {
+  v_horizon : int;
+  v_steps : int;
+  v_progress : vacuum_progress;
+}
+
+let vacuum ?max_pages t ~horizon:h =
+  vacuum_begin t ~horizon:h;
+  let chunks = vacuum_plan ?max_pages t in
+  let progress =
+    List.fold_left
+      (fun acc chunk -> vacuum_progress_add acc (vacuum_apply t chunk))
+      vacuum_progress_zero chunks
+  in
+  { v_horizon = h; v_steps = List.length chunks; v_progress = progress }

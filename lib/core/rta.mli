@@ -89,7 +89,14 @@ val stats : t -> Storage.Io_stats.t
 val now : t -> int
 
 val n_updates : t -> int
-(** Total inserts + deletes applied. *)
+(** Total mutations applied: inserts + deletes + vacuum records (a
+    {!vacuum_begin} and each {!vacuum_apply} step consume one sequence
+    number each, so checkpoint cut-offs and replica watermarks stay
+    exact across retention work). *)
+
+val horizon : t -> int
+(** Retention horizon (0 until a vacuum ran): query windows reaching
+    below it raise {!Mvsbt.Below_horizon}. *)
 
 val alive_count : t -> int
 
@@ -113,7 +120,9 @@ val alive_value : t -> key:int -> int option
 
 val sum_count : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int * int
 (** [(SUM, COUNT)] over the query rectangle, via the Theorem-1 reduction:
-    six MVSBT point queries, [O(log_b n)] I/Os total. *)
+    six MVSBT point queries, [O(log_b n)] I/Os total.
+    @raise Mvsbt.Below_horizon when the (non-degenerate) window's first
+    instant [max 0 tlo] lies below the retention {!horizon}. *)
 
 val sum : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int
 val count : t -> klo:int -> khi:int -> tlo:int -> thi:int -> int
@@ -251,3 +260,65 @@ val inject_bit_flips :
     if the files are smaller), always inside the CRC-covered region of the
     block so every flip is detectable by {!scrub}.  Returns the pages
     hit. *)
+
+(** {1 Vacuum (retention)}
+
+    The MVSBT is partially persistent — every update allocates pages that
+    are never reclaimed — so a long-running warehouse needs a retention
+    horizon: versions below it are compacted away, and query windows
+    reaching below it are refused with {!Mvsbt.Below_horizon} instead of
+    silently wrong sums.
+
+    The machinery is split so a WAL layer can make it crash-safe by
+    logging before applying: {!vacuum_begin} (one WAL record: the
+    horizon), then {!vacuum_plan} and one {!vacuum_apply} per chunk (one
+    WAL record each: the explicit page actions, making replay
+    deterministic regardless of scan order).  Appliers tolerate
+    already-done work, so replaying a prefix after a crash and then
+    re-vacuuming is idempotent.  {!vacuum} composes the three for
+    callers without a WAL. *)
+
+type vacuum_action = {
+  va_side : scrub_side;  (** Which of the two MVSBTs the page lives in. *)
+  va_free : bool;  (** [true]: free the dead page; [false]: prune records. *)
+  va_pid : int;
+}
+
+type vacuum_progress = {
+  pages_freed : int;
+  pages_pruned : int;  (** Pages that had dead records dropped in place. *)
+  records_dropped : int;
+}
+
+val vacuum_progress_zero : vacuum_progress
+val vacuum_progress_add : vacuum_progress -> vacuum_progress -> vacuum_progress
+
+val vacuum_begin : t -> horizon:int -> unit
+(** Raise the retention horizon on both MVSBTs (pruning [root*] tenures
+    that ended below it) and consume one update sequence number.
+    Idempotent at the same horizon.
+    @raise Invalid_argument if the horizon is negative, moves backwards,
+    or exceeds {!now}. *)
+
+val vacuum_plan : ?max_pages:int -> t -> vacuum_action list list
+(** Everything the current horizon allows reclaiming, as chunks of at
+    most [max_pages] (default 128) actions, deterministic (ascending page
+    id per side, LKST first).  Planning scans the stores but mutates
+    nothing. *)
+
+val vacuum_apply : t -> vacuum_action list -> vacuum_progress
+(** Apply one chunk: free dead pages, prune dead records in place.
+    Tolerant of pages already gone or already clean (replay/idempotence).
+    Consumes one update sequence number and bumps
+    [Io_stats.vacuum_steps]/[pages_reclaimed]. *)
+
+type vacuum_report = {
+  v_horizon : int;
+  v_steps : int;  (** Chunks applied. *)
+  v_progress : vacuum_progress;
+}
+
+val vacuum : ?max_pages:int -> t -> horizon:int -> vacuum_report
+(** [vacuum_begin] + [vacuum_plan] + every [vacuum_apply], for callers
+    without a WAL (the CLI on a flushed store, tests).  Durable engines
+    should use [Durable.vacuum], which logs each piece first. *)

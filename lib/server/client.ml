@@ -143,3 +143,6 @@ let replica_stats t =
   match call t Wire.Replica_stats with Wire.Replica_stats_reply s -> Some s | _ -> None
 
 let promote t = call t Wire.Promote
+
+let vacuum ?(max_pages_per_step = 0) t ~horizon =
+  call t (Wire.Vacuum { horizon; max_pages_per_step })

@@ -89,3 +89,7 @@ val shutdown : t -> Wire.response
 
 val replica_stats : t -> Wire.replica_stats option
 val promote : t -> Wire.response
+
+val vacuum : ?max_pages_per_step:int -> t -> horizon:int -> Wire.response
+(** Raise the retention horizon and reclaim dead pages online.
+    [max_pages_per_step] 0 (the default) lets the server pick. *)

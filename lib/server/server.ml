@@ -269,10 +269,12 @@ let backend_health t =
   | Sharded c -> Shard.Cluster.health c
 
 let stats t =
-  let updates, alive, pages, now, health, batches, acked, wal_syncs =
+  let ( updates, alive, pages, now, health, batches, acked, wal_syncs, horizon,
+        pages_reclaimed, vacuum_steps ) =
     match t.backend with
     | Single { eng; bat } ->
         let w = Durable.warehouse eng in
+        let io = Telemetry.Io_stats.snapshot (Durable.io_stats eng) in
         ( Rta.n_updates w,
           Rta.alive_count w,
           Rta.page_count w,
@@ -280,10 +282,18 @@ let stats t =
           Durable.health eng,
           Batcher.batches bat,
           Batcher.acked bat,
-          Wal.Stats.fsyncs (Durable.wal_stats eng) )
+          Wal.Stats.fsyncs (Durable.wal_stats eng),
+          Durable.horizon eng,
+          io.Telemetry.Io_stats.pages_reclaimed,
+          io.Telemetry.Io_stats.vacuum_steps )
     | Sharded c ->
+        (* Shards never vacuum (retention is a single-engine leader
+           concern), so the horizon is always the floor. *)
         let s = Shard.Cluster.totals c in
-        (s.watermark, s.alive, s.pages, s.now, s.health, s.batches, s.acked, s.wal_syncs)
+        let io = Shard.Cluster.io_totals c in
+        ( s.watermark, s.alive, s.pages, s.now, s.health, s.batches, s.acked,
+          s.wal_syncs, 0, io.Telemetry.Io_stats.pages_reclaimed,
+          io.Telemetry.Io_stats.vacuum_steps )
   in
   {
     Wire.updates;
@@ -299,6 +309,9 @@ let stats t =
     batches;
     batched_writes = acked;
     wal_syncs;
+    horizon;
+    pages_reclaimed;
+    vacuum_steps;
   }
 
 let shard_stats t : Wire.shard_stat list =
@@ -418,7 +431,7 @@ let handle_request t conn (req : Wire.request) =
     | Wire.Health -> fill slot (Wire.Health_reply (backend_health t))
     | Wire.Stats -> fill slot (Wire.Stats_reply (stats t))
     | Wire.Shard_stats -> fill slot (Wire.Shard_stats_reply (shard_stats t))
-    | Wire.Query _ | Wire.Insert _ | Wire.Delete _ | Wire.Checkpoint -> (
+    | Wire.Query _ | Wire.Insert _ | Wire.Delete _ | Wire.Checkpoint | Wire.Vacuum _ -> (
         match
           Admission.admit t.adm ~queue_depth:(queue_depth t) ~write:(Wire.is_write req)
         with
@@ -453,6 +466,11 @@ let handle_request t conn (req : Wire.request) =
                       end;
                       Wire.Agg { sum; count }
                   | exception Invalid_argument m -> err Wire.Invalid_request m
+                  | exception Mvsbt.Below_horizon { at; horizon } ->
+                      err Wire.Below_horizon
+                        (Printf.sprintf
+                           "time %d is below the retention horizon %d (vacuumed)" at
+                           horizon)
                   | exception E.Io e -> err_of_storage e
                 in
                 fill slot resp;
@@ -500,6 +518,42 @@ let handle_request t conn (req : Wire.request) =
                   | Error e -> err_of_storage e
                 in
                 fill slot resp;
+                Admission.release t.adm
+            | Wire.Vacuum { horizon; max_pages_per_step }, Single { eng; bat } ->
+                let resp =
+                  Tracer.with_span t.tel "server.request"
+                    ~attrs:(fun () -> [ ("kind", Tracer.Str "vacuum") ])
+                  @@ fun () ->
+                  if Admission.standby t.adm then
+                    err Wire.Invalid_request
+                      "this node is a follower; vacuum the leader (retention ships \
+                       through the WAL)"
+                  else begin
+                    (* Same order barrier as checkpoint: the horizon must
+                       land after every write queued before this request. *)
+                    Batcher.flush bat;
+                    let max_pages_per_step =
+                      if max_pages_per_step <= 0 then 128 else max_pages_per_step
+                    in
+                    match Durable.vacuum eng ~max_pages_per_step ~horizon with
+                    | Ok r ->
+                        Wire.Vacuum_reply
+                          {
+                            v_horizon = r.Rta.v_horizon;
+                            v_steps = r.Rta.v_steps;
+                            v_pages_freed = r.Rta.v_progress.Rta.pages_freed;
+                            v_pages_pruned = r.Rta.v_progress.Rta.pages_pruned;
+                            v_records_dropped = r.Rta.v_progress.Rta.records_dropped;
+                          }
+                    | Error e -> err_of_storage e
+                    | exception Invalid_argument m -> err Wire.Invalid_request m
+                  end
+                in
+                fill slot resp;
+                Admission.release t.adm
+            | Wire.Vacuum _, Sharded _ ->
+                fill slot
+                  (err Wire.Invalid_request "vacuum is not supported on a sharded server");
                 Admission.release t.adm
             | Wire.Checkpoint, Sharded c ->
                 (* Per-shard FIFO mailboxes are the order barrier: each

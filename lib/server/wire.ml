@@ -20,6 +20,7 @@ let tag_wal_subscribe = 10
 let tag_wal_ack = 11
 let tag_replica_stats = 12
 let tag_promote = 13
+let tag_vacuum = 14
 let tag_agg = 65
 let tag_ack = 66
 let tag_err = 67
@@ -30,6 +31,7 @@ let tag_shard_stats_reply = 71
 let tag_sub_ok = 72
 let tag_wal_frames = 73
 let tag_replica_stats_reply = 74
+let tag_vacuum_reply = 75
 
 type agg = Sum | Count | Avg
 
@@ -47,6 +49,7 @@ type request =
   | Wal_ack of { epoch : int; seq : int }
   | Replica_stats
   | Promote
+  | Vacuum of { horizon : int; max_pages_per_step : int }
 
 type error_code =
   | Bad_request
@@ -57,6 +60,7 @@ type error_code =
   | Shutting_down
   | Fenced
   | Rebootstrap
+  | Below_horizon
 
 let pp_error_code ppf c =
   Format.pp_print_string ppf
@@ -68,7 +72,8 @@ let pp_error_code ppf c =
     | Write_failed -> "write-failed"
     | Shutting_down -> "shutting-down"
     | Fenced -> "fenced"
-    | Rebootstrap -> "rebootstrap")
+    | Rebootstrap -> "rebootstrap"
+    | Below_horizon -> "below-horizon")
 
 type stats = {
   updates : int;
@@ -84,6 +89,9 @@ type stats = {
   batches : int;
   batched_writes : int;
   wal_syncs : int;
+  horizon : int;
+  pages_reclaimed : int;
+  vacuum_steps : int;
 }
 
 (* Max shards is 64 ({!Shard.Cluster}), so the largest reply is ~6 KiB —
@@ -136,6 +144,13 @@ type response =
   | Sub_ok of { epoch : int; floor : int; durable : int }
   | Wal_frames of { epoch : int; durable : int; commit : int; frames : bytes list }
   | Replica_stats_reply of replica_stats
+  | Vacuum_reply of {
+      v_horizon : int;
+      v_steps : int;
+      v_pages_freed : int;
+      v_pages_pruned : int;
+      v_records_dropped : int;
+    }
 
 let pp_agg ppf a =
   Format.pp_print_string ppf (match a with Sum -> "sum" | Count -> "count" | Avg -> "avg")
@@ -156,6 +171,8 @@ let pp_request ppf = function
   | Wal_ack { epoch; seq } -> Format.fprintf ppf "wal-ack epoch=%d seq=%d" epoch seq
   | Replica_stats -> Format.pp_print_string ppf "replica-stats"
   | Promote -> Format.pp_print_string ppf "promote"
+  | Vacuum { horizon; max_pages_per_step } ->
+      Format.fprintf ppf "vacuum horizon=%d step=%d" horizon max_pages_per_step
 
 let pp_role ppf r =
   Format.pp_print_string ppf
@@ -187,6 +204,9 @@ let pp_response ppf = function
   | Replica_stats_reply r ->
       Format.fprintf ppf "replica-stats role=%a epoch=%d durable=%d commit=%d lag=%d"
         pp_role r.r_role r.r_epoch r.r_durable r.r_commit r.r_lag
+  | Vacuum_reply v ->
+      Format.fprintf ppf "vacuumed horizon=%d steps=%d freed=%d pruned=%d dropped=%d"
+        v.v_horizon v.v_steps v.v_pages_freed v.v_pages_pruned v.v_records_dropped
 
 let is_write = function Insert _ | Delete _ -> true | _ -> false
 
@@ -206,6 +226,7 @@ let error_code_u8 = function
   | Shutting_down -> 5
   | Fenced -> 6
   | Rebootstrap -> 7
+  | Below_horizon -> 8
 
 let health_u8 = function Durable.Healthy -> 0 | Durable.Degraded -> 1 | Durable.Read_only -> 2
 let role_u8 = function R_single -> 0 | R_leader -> 1 | R_follower -> 2
@@ -267,6 +288,10 @@ let encode_request = function
           Codec.Writer.i64 w seq)
   | Replica_stats -> payload ~tag:tag_replica_stats ~body_bytes:0 ignore
   | Promote -> payload ~tag:tag_promote ~body_bytes:0 ignore
+  | Vacuum { horizon; max_pages_per_step } ->
+      payload ~tag:tag_vacuum ~body_bytes:(2 * 8) (fun w ->
+          Codec.Writer.i64 w horizon;
+          Codec.Writer.i64 w max_pages_per_step)
 
 let shard_stat_bytes = (14 * 8) + 1
 
@@ -302,7 +327,7 @@ let encode_response = function
           Codec.Writer.u8 w (error_code_u8 code);
           write_string w detail)
   | Stats_reply s ->
-      payload ~tag:tag_stats_reply ~body_bytes:((12 * 8) + 1) (fun w ->
+      payload ~tag:tag_stats_reply ~body_bytes:((15 * 8) + 1) (fun w ->
           Codec.Writer.i64 w s.updates;
           Codec.Writer.i64 w s.alive;
           Codec.Writer.i64 w s.pages;
@@ -315,7 +340,10 @@ let encode_response = function
           Codec.Writer.i64 w s.shed;
           Codec.Writer.i64 w s.batches;
           Codec.Writer.i64 w s.batched_writes;
-          Codec.Writer.i64 w s.wal_syncs)
+          Codec.Writer.i64 w s.wal_syncs;
+          Codec.Writer.i64 w s.horizon;
+          Codec.Writer.i64 w s.pages_reclaimed;
+          Codec.Writer.i64 w s.vacuum_steps)
   | Health_reply h ->
       payload ~tag:tag_health_reply ~body_bytes:1 (fun w -> Codec.Writer.u8 w (health_u8 h))
   | Pong -> payload ~tag:tag_pong ~body_bytes:0 ignore
@@ -372,6 +400,13 @@ let encode_response = function
               Codec.Writer.i64 w id;
               Codec.Writer.i64 w acked)
             r.r_followers)
+  | Vacuum_reply v ->
+      payload ~tag:tag_vacuum_reply ~body_bytes:(5 * 8) (fun w ->
+          Codec.Writer.i64 w v.v_horizon;
+          Codec.Writer.i64 w v.v_steps;
+          Codec.Writer.i64 w v.v_pages_freed;
+          Codec.Writer.i64 w v.v_pages_pruned;
+          Codec.Writer.i64 w v.v_records_dropped)
 
 (* --- Decoding ----------------------------------------------------------------- *)
 
@@ -410,6 +445,7 @@ let error_code_of_u8 = function
   | 5 -> Shutting_down
   | 6 -> Fenced
   | 7 -> Rebootstrap
+  | 8 -> Below_horizon
   | n -> raise (Reject (Bad_payload (Printf.sprintf "unknown error code %d" n)))
 
 let role_of_u8 = function
@@ -464,6 +500,10 @@ let decode_body_request rd ~len tag =
       Wal_ack { epoch; seq }
   | t when t = tag_replica_stats -> Replica_stats
   | t when t = tag_promote -> Promote
+  | t when t = tag_vacuum ->
+      let horizon = Codec.Reader.i64 rd in
+      let max_pages_per_step = Codec.Reader.i64 rd in
+      Vacuum { horizon; max_pages_per_step }
   | t ->
       ignore len;
       raise (Reject (Unknown_tag t))
@@ -493,9 +533,13 @@ let decode_body_response rd ~len tag =
       let batches = Codec.Reader.i64 rd in
       let batched_writes = Codec.Reader.i64 rd in
       let wal_syncs = Codec.Reader.i64 rd in
+      let horizon = Codec.Reader.i64 rd in
+      let pages_reclaimed = Codec.Reader.i64 rd in
+      let vacuum_steps = Codec.Reader.i64 rd in
       Stats_reply
         { updates; alive; pages; now; health; queue_depth; in_flight; conns; requests;
-          shed; batches; batched_writes; wal_syncs }
+          shed; batches; batched_writes; wal_syncs; horizon; pages_reclaimed;
+          vacuum_steps }
   | t when t = tag_health_reply -> Health_reply (health_of_u8 (Codec.Reader.u8 rd))
   | t when t = tag_pong -> Pong
   | t when t = tag_shard_stats_reply ->
@@ -579,6 +623,13 @@ let decode_body_response rd ~len tag =
       Replica_stats_reply
         { r_role; r_epoch; r_durable; r_commit; r_leader_durable; r_lag;
           r_frames_shipped; r_frames_replayed; r_promotions; r_followers }
+  | t when t = tag_vacuum_reply ->
+      let v_horizon = Codec.Reader.i64 rd in
+      let v_steps = Codec.Reader.i64 rd in
+      let v_pages_freed = Codec.Reader.i64 rd in
+      let v_pages_pruned = Codec.Reader.i64 rd in
+      let v_records_dropped = Codec.Reader.i64 rd in
+      Vacuum_reply { v_horizon; v_steps; v_pages_freed; v_pages_pruned; v_records_dropped }
   | t -> raise (Reject (Unknown_tag t))
 
 (* The shared total decoder: validate the length prefix before any

@@ -67,6 +67,13 @@ type request =
   | Promote
       (** Ask a follower to promote itself to leader now (manual
           failover).  A leader answers [Err Invalid_request]. *)
+  | Vacuum of { horizon : int; max_pages_per_step : int }
+      (** Raise the retention horizon to [horizon] and reclaim dead pages
+          online, [max_pages_per_step] pages per WAL-logged chunk (0
+          means the server default).  Answered with {!Vacuum_reply}.
+          Sharded servers and followers answer [Err Invalid_request]:
+          retention is driven on a single-engine leader and reaches
+          followers through the shipped WAL. *)
 
 type error_code =
   | Bad_request  (** The frame decoded but the message made no sense. *)
@@ -88,6 +95,11 @@ type error_code =
           durable watermark (divergent history).  Retrying is useless:
           the node must be re-seeded from a checkpoint copy, or an
           operator must promote it. *)
+  | Below_horizon
+      (** The query's time range dips below the engine's retention
+          horizon: the versions it would read have been vacuumed.  The
+          engine state is untouched; narrow the range or query another
+          replica with a longer retention. *)
 
 val pp_error_code : Format.formatter -> error_code -> unit
 
@@ -105,6 +117,9 @@ type stats = {
   batches : int;  (** Group commits flushed. *)
   batched_writes : int;  (** Writes acknowledged through group commit. *)
   wal_syncs : int;
+  horizon : int;  (** Retention horizon; versions below it are vacuumed. *)
+  pages_reclaimed : int;  (** Pages freed or pruned by vacuum, engine life. *)
+  vacuum_steps : int;  (** Vacuum chunks applied, engine life. *)
 }
 
 (** One shard's row in a [Shard_stats] reply: its key range, the
@@ -175,6 +190,13 @@ type response =
           CRC-framed inside the message exactly like the on-disk log.  An
           empty [frames] list is a heartbeat carrying watermarks only. *)
   | Replica_stats_reply of replica_stats
+  | Vacuum_reply of {
+      v_horizon : int;  (** The horizon the store now enforces. *)
+      v_steps : int;  (** WAL-logged chunks the vacuum ran as. *)
+      v_pages_freed : int;
+      v_pages_pruned : int;  (** Pages with dead records dropped in place. *)
+      v_records_dropped : int;
+    }  (** Answer to {!request.Vacuum}. *)
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit

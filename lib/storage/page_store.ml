@@ -57,6 +57,10 @@ struct
   let mem t id = Page_id.Tbl.mem t.pages id
   let live_pages t = t.live
 
+  let ids t =
+    Page_id.Tbl.fold (fun id _ acc -> id :: acc) t.pages []
+    |> List.sort (fun a b -> Int.compare (Page_id.to_int a) (Page_id.to_int b))
+
   let reserve t ~next = if next > t.next_id then t.next_id <- next
 
   let install t id payload =

@@ -64,6 +64,10 @@ end) : sig
   val install : t -> Page_id.t -> payload -> unit
   (** Install a page under an explicit id without charging I/O — snapshot
       loading only. *)
+
+  val ids : t -> Page_id.t list
+  (** Live page ids, ascending.  Charges nothing — enumeration for
+      maintenance passes (vacuum), not a page transfer. *)
 end
 
 module type PAGE_CODEC = sig

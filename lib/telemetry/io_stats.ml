@@ -10,6 +10,8 @@ type snapshot = {
   errors_injected : int;
   retries : int;
   read_only_transitions : int;
+  pages_reclaimed : int;
+  vacuum_steps : int;
 }
 
 (* Atomic fields: one [t] may be charged from several domains at once
@@ -29,6 +31,8 @@ type t = {
   n_errors_injected : int Atomic.t;
   n_retries : int Atomic.t;
   n_read_only_transitions : int Atomic.t;
+  n_pages_reclaimed : int Atomic.t;
+  n_vacuum_steps : int Atomic.t;
 }
 
 let create () =
@@ -44,6 +48,8 @@ let create () =
     n_errors_injected = Atomic.make 0;
     n_retries = Atomic.make 0;
     n_read_only_transitions = Atomic.make 0;
+    n_pages_reclaimed = Atomic.make 0;
+    n_vacuum_steps = Atomic.make 0;
   }
 
 let reads t = Atomic.get t.n_reads
@@ -57,6 +63,8 @@ let repaired t = Atomic.get t.n_repaired
 let errors_injected t = Atomic.get t.n_errors_injected
 let retries t = Atomic.get t.n_retries
 let read_only_transitions t = Atomic.get t.n_read_only_transitions
+let pages_reclaimed t = Atomic.get t.n_pages_reclaimed
+let vacuum_steps t = Atomic.get t.n_vacuum_steps
 
 (* Frees are page disposals, charged as I/Os like reads and writes; see
    the .mli preamble for the I/O-versus-event classification. *)
@@ -72,6 +80,8 @@ let record_repaired t = Atomic.incr t.n_repaired
 let record_error_injected t = Atomic.incr t.n_errors_injected
 let record_retry t = Atomic.incr t.n_retries
 let record_read_only_transition t = Atomic.incr t.n_read_only_transitions
+let record_pages_reclaimed t n = if n <> 0 then ignore (Atomic.fetch_and_add t.n_pages_reclaimed n)
+let record_vacuum_step t = Atomic.incr t.n_vacuum_steps
 
 let reset t =
   Atomic.set t.n_reads 0;
@@ -84,7 +94,9 @@ let reset t =
   Atomic.set t.n_repaired 0;
   Atomic.set t.n_errors_injected 0;
   Atomic.set t.n_retries 0;
-  Atomic.set t.n_read_only_transitions 0
+  Atomic.set t.n_read_only_transitions 0;
+  Atomic.set t.n_pages_reclaimed 0;
+  Atomic.set t.n_vacuum_steps 0
 
 let snapshot t : snapshot =
   {
@@ -99,6 +111,8 @@ let snapshot t : snapshot =
     errors_injected = errors_injected t;
     retries = retries t;
     read_only_transitions = read_only_transitions t;
+    pages_reclaimed = pages_reclaimed t;
+    vacuum_steps = vacuum_steps t;
   }
 
 (* [add] and [diff] share this combinator so a counter added to the
@@ -117,6 +131,8 @@ let map2 f (a : snapshot) (b : snapshot) : snapshot =
     errors_injected = f a.errors_injected b.errors_injected;
     retries = f a.retries b.retries;
     read_only_transitions = f a.read_only_transitions b.read_only_transitions;
+    pages_reclaimed = f a.pages_reclaimed b.pages_reclaimed;
+    vacuum_steps = f a.vacuum_steps b.vacuum_steps;
   }
 
 let add = map2 ( + )
@@ -135,6 +151,8 @@ let zero =
     errors_injected = 0;
     retries = 0;
     read_only_transitions = 0;
+    pages_reclaimed = 0;
+    vacuum_steps = 0;
   }
 
 let merge = List.fold_left add zero
@@ -151,7 +169,9 @@ let absorb t (s : snapshot) =
   bump t.n_repaired s.repaired;
   bump t.n_errors_injected s.errors_injected;
   bump t.n_retries s.retries;
-  bump t.n_read_only_transitions s.read_only_transitions
+  bump t.n_read_only_transitions s.read_only_transitions;
+  bump t.n_pages_reclaimed s.pages_reclaimed;
+  bump t.n_vacuum_steps s.vacuum_steps
 
 let snapshot_total_io (s : snapshot) = s.reads + s.writes + s.frees
 
@@ -160,6 +180,10 @@ let snapshot_total_io (s : snapshot) = s.reads + s.writes + s.frees
 let pp_integrity ppf ~crc ~scrubbed ~repaired =
   if crc > 0 || scrubbed > 0 || repaired > 0 then
     Format.fprintf ppf " crc_failures=%d scrubbed=%d repaired=%d" crc scrubbed repaired
+
+let pp_vacuum ppf ~reclaimed ~steps =
+  if reclaimed > 0 || steps > 0 then
+    Format.fprintf ppf " pages_reclaimed=%d vacuum_steps=%d" reclaimed steps
 
 let pp_robustness ppf ~injected ~retries ~ro =
   if injected > 0 || retries > 0 || ro > 0 then
@@ -175,6 +199,7 @@ let pp_snapshot ppf (s : snapshot) =
     (fun ppf () ->
       pp_robustness ppf ~injected:s.errors_injected ~retries:s.retries
         ~ro:s.read_only_transitions)
-    ()
+    ();
+  pp_vacuum ppf ~reclaimed:s.pages_reclaimed ~steps:s.vacuum_steps
 
 let pp ppf t = pp_snapshot ppf (snapshot t)

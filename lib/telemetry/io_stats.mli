@@ -78,6 +78,13 @@ val read_only_transitions : t -> int
 (** Event — times a [Durable] engine entered its [Read_only] health state
     after a persistent write failure. *)
 
+val pages_reclaimed : t -> int
+(** Event — dead pages reclaimed by vacuum (each is also charged as a
+    [free]; this counter isolates retention work from ordinary merges). *)
+
+val vacuum_steps : t -> int
+(** Event — bounded compaction steps executed by vacuum. *)
+
 val total_io : t -> int
 (** [reads + writes + frees] — every operation charged as a page I/O
     (see the module preamble for the classification). *)
@@ -94,6 +101,12 @@ val record_error_injected : t -> unit
 val record_retry : t -> unit
 val record_read_only_transition : t -> unit
 
+val record_pages_reclaimed : t -> int -> unit
+(** [record_pages_reclaimed t n] adds [n] reclaimed pages in one atomic
+    bump (vacuum reclaims in batches). *)
+
+val record_vacuum_step : t -> unit
+
 val reset : t -> unit
 (** Zero all counters. *)
 
@@ -109,6 +122,8 @@ type snapshot = {
   errors_injected : int;
   retries : int;
   read_only_transitions : int;
+  pages_reclaimed : int;
+  vacuum_steps : int;
 }
 
 val zero : snapshot

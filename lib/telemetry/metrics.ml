@@ -165,7 +165,9 @@ let absorb_io_stats t ?(prefix = "io_") (s : Io_stats.snapshot) =
   set "repaired" s.repaired;
   set "errors_injected" s.errors_injected;
   set "retries" s.retries;
-  set "read_only_transitions" s.read_only_transitions
+  set "read_only_transitions" s.read_only_transitions;
+  set "pages_reclaimed" s.pages_reclaimed;
+  set "vacuum_steps" s.vacuum_steps
 
 let sanitize name =
   String.map

@@ -27,7 +27,8 @@ let gen_i =
 let gen_code =
   QCheck.Gen.oneofl
     [ Wire.Bad_request; Wire.Invalid_request; Wire.Overloaded; Wire.Read_only;
-      Wire.Write_failed; Wire.Shutting_down; Wire.Fenced; Wire.Rebootstrap ]
+      Wire.Write_failed; Wire.Shutting_down; Wire.Fenced; Wire.Rebootstrap;
+      Wire.Below_horizon ]
 
 (* The encoder truncates details beyond 512 bytes, so stay within it to
    keep the round trip exact. *)
@@ -48,6 +49,9 @@ let gen_request =
       (gen_i >>= fun epoch ->
        gen_i >>= fun from_seq -> return (Wire.Wal_subscribe { epoch; from_seq }));
       (gen_i >>= fun epoch -> gen_i >>= fun seq -> return (Wire.Wal_ack { epoch; seq }));
+      (gen_i >>= fun horizon ->
+       gen_i >>= fun max_pages_per_step ->
+       return (Wire.Vacuum { horizon; max_pages_per_step }));
       oneofl
         [ Wire.Checkpoint; Wire.Stats; Wire.Health; Wire.Ping; Wire.Shutdown;
           Wire.Shard_stats; Wire.Replica_stats; Wire.Promote ] ]
@@ -67,9 +71,12 @@ let gen_stats =
   gen_i >>= fun batches ->
   gen_i >>= fun batched_writes ->
   gen_i >>= fun wal_syncs ->
+  gen_i >>= fun horizon ->
+  gen_i >>= fun pages_reclaimed ->
+  gen_i >>= fun vacuum_steps ->
   return
     { Wire.updates; alive; pages; now; health; queue_depth; in_flight; conns; requests;
-      shed; batches; batched_writes; wal_syncs }
+      shed; batches; batched_writes; wal_syncs; horizon; pages_reclaimed; vacuum_steps }
 
 let gen_shard_stat =
   let open QCheck.Gen in
@@ -137,7 +144,15 @@ let gen_response =
        gen_i >>= fun commit ->
        list_size (int_bound 8) gen_frame >>= fun frames ->
        return (Wire.Wal_frames { epoch; durable; commit; frames }));
-      (gen_replica_stats >>= fun r -> return (Wire.Replica_stats_reply r)) ]
+      (gen_replica_stats >>= fun r -> return (Wire.Replica_stats_reply r));
+      (gen_i >>= fun v_horizon ->
+       gen_i >>= fun v_steps ->
+       gen_i >>= fun v_pages_freed ->
+       gen_i >>= fun v_pages_pruned ->
+       gen_i >>= fun v_records_dropped ->
+       return
+         (Wire.Vacuum_reply
+            { v_horizon; v_steps; v_pages_freed; v_pages_pruned; v_records_dropped })) ]
 
 let arbitrary_request = QCheck.make ~print:(Format.asprintf "%a" Wire.pp_request) gen_request
 let arbitrary_response =
@@ -357,6 +372,59 @@ let test_server_basic () =
   Client.send cli Wire.Checkpoint;
   step_n srv 3;
   expect_ack "checkpoint" (Client.recv cli)
+
+(* Retention over the wire: vacuum reclaims, queries above the horizon
+   keep answering, queries dipping below it get the typed refusal, and
+   the horizon shows up in stats. *)
+let test_vacuum_over_wire () =
+  with_server @@ fun srv cli eng ->
+  for i = 0 to 29 do
+    Client.send cli (Wire.Insert { key = i; value = i; at = i })
+  done;
+  for i = 0 to 19 do
+    Client.send cli (Wire.Delete { key = i; at = 40 + i })
+  done;
+  step_n srv 5;
+  for i = 1 to 50 do
+    expect_ack (Printf.sprintf "update %d" i) (Client.recv cli)
+  done;
+  Client.send cli (Wire.Vacuum { horizon = 50; max_pages_per_step = 4 });
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Vacuum_reply { v_horizon; v_steps; v_pages_freed; v_records_dropped; _ } ->
+      Alcotest.(check int) "horizon took" 50 v_horizon;
+      Alcotest.(check bool) "vacuum dropped dead versions" true
+        (v_records_dropped > 0 || v_pages_freed > 0);
+      Alcotest.(check bool) "chunked" true (v_steps >= 1)
+  | r -> Alcotest.failf "vacuum answered %a" Wire.pp_response r);
+  Alcotest.(check int) "engine horizon" 50 (Durable.horizon eng);
+  Client.send cli (Wire.Query { agg = Wire.Sum; klo = 0; khi = 1000; tlo = 55; thi = 100 });
+  Client.send cli (Wire.Query { agg = Wire.Sum; klo = 0; khi = 1000; tlo = 0; thi = 100 });
+  Client.send cli Wire.Stats;
+  step_n srv 3;
+  (match Client.recv cli with
+  | Wire.Agg { sum; count } ->
+      (* Tuples whose lifetime meets [55,100): keys 16..19 (deleted at
+         56..59) and the never-deleted 20..29. *)
+      Alcotest.(check int) "count above horizon" 14 count;
+      Alcotest.(check int) "sum above horizon" (16 + 17 + 18 + 19 + 245) sum
+  | r -> Alcotest.failf "query above horizon answered %a" Wire.pp_response r);
+  (match Client.recv cli with
+  | Wire.Err { code = Wire.Below_horizon; _ } -> ()
+  | r -> Alcotest.failf "query below horizon answered %a" Wire.pp_response r);
+  (match Client.recv cli with
+  | Wire.Stats_reply s ->
+      Alcotest.(check int) "stats horizon" 50 s.Wire.horizon;
+      Alcotest.(check bool) "stats vacuum counters" true
+        (s.Wire.vacuum_steps >= 1 && s.Wire.pages_reclaimed >= 0)
+  | r -> Alcotest.failf "stats answered %a" Wire.pp_response r);
+  (* A vacuum that moves the horizon backwards is a typed precondition
+     error, not a crash or a silent no-op. *)
+  Client.send cli (Wire.Vacuum { horizon = 10; max_pages_per_step = 0 });
+  step_n srv 3;
+  match Client.recv cli with
+  | Wire.Err { code = Wire.Invalid_request; _ } -> ()
+  | r -> Alcotest.failf "backwards vacuum answered %a" Wire.pp_response r
 
 (* Responses leave in request order even though queries complete
    immediately and writes only complete at the batch sync. *)
@@ -670,6 +738,7 @@ let () =
           Alcotest.test_case "response order" `Quick test_server_response_order;
           Alcotest.test_case "bad frame closes" `Quick test_server_bad_frame_closes;
           Alcotest.test_case "graceful drain" `Quick test_graceful_drain;
+          Alcotest.test_case "vacuum over the wire" `Quick test_vacuum_over_wire;
         ] );
       ( "admission",
         [
