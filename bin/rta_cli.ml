@@ -999,7 +999,7 @@ module Tracer = Telemetry.Tracer
    and the same Io_stats underneath, so spans carry real I/O deltas. *)
 let build_with_tracer ~spec ~config ~buffer ~input ~sink =
   let stats = Storage.Io_stats.create () in
-  let tracer = Tracer.create ~stats sink in
+  let tracer = Tracer.create ~stats ~debug:true sink in
   let rta =
     Rta.create ~config ~pool_capacity:buffer ~stats ~telemetry:tracer
       ~max_key:spec.Workload.Generator.max_key ()
@@ -1149,7 +1149,7 @@ let metrics_impl verbosity spec (config, buffer) input n_queries qrs wal sync_po
   | Some path ->
       (* Through the durable engine: WAL and health metrics exist here. *)
       let stats = Storage.Io_stats.create () in
-      let tracer = Tracer.create ~stats (Tracer.Memory.sink mem) in
+      let tracer = Tracer.create ~stats ~debug:true (Tracer.Memory.sink mem) in
       let eng =
         Durable.open_ ~config ~pool_capacity:buffer ~stats ~sync_policy ~telemetry:tracer
           ~max_key:spec.Workload.Generator.max_key ~path ()
@@ -1243,7 +1243,7 @@ let profile_impl verbosity spec (config, buffer) input n_queries qrs slack worst
   in
   let mem = Tracer.Memory.create ~capacity:(ring_capacity ~spec ~n_queries) () in
   let stats = Storage.Io_stats.create () in
-  let tracer = Tracer.create ~stats (Tracer.Memory.sink mem) in
+  let tracer = Tracer.create ~stats ~debug:true (Tracer.Memory.sink mem) in
   let rta =
     Rta.create ~config ~pool_capacity:buffer ~stats ~telemetry:tracer
       ~max_key:spec.Workload.Generator.max_key ()
@@ -1434,7 +1434,8 @@ let parse_upstream s =
 
 let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
     max_queue_depth checkpoint_every shards readers sim_io_us follower_of sync_replicas
-    heartbeat_ms failover_ms no_auto_promote =
+    heartbeat_ms failover_ms no_auto_promote trace_out trace_verbose trace_sample
+    slow_ms slow_log metrics_port no_flight =
   setup_logs verbosity;
   if shards < 1 then begin
     prerr_endline "serve: --shards must be >= 1";
@@ -1461,6 +1462,153 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
     { Server.default_config with max_batch; max_in_flight; max_queue_depth;
       sim_io_ns = int_of_float (sim_io_us *. 1000.) }
   in
+  (* Observability plane.  The flight recorder (memory span ring) is on
+     by default; --trace-out adds a streaming JSONL span file.  Either,
+     or --slow-ms / --metrics-port, enables the per-request phase
+     recorder.  --no-flight with no other flag leaves the tracer a noop
+     and allocates nothing per request — the zero-overhead baseline. *)
+  let flight =
+    if no_flight then None
+    else Some (Telemetry.Flight.create ~prefix:(wal ^ ".flight") ())
+  in
+  let trace_chan = Option.map open_out trace_out in
+  (* Closed only at process exit: engine/cluster teardown still emits
+     spans (final checkpoint, WAL close) after the serve loop returns,
+     and they belong in the file. *)
+  Option.iter (fun oc -> at_exit (fun () -> close_out_noerr oc)) trace_chan;
+  let jsonl_of oc =
+    Tracer.jsonl_sink (fun line ->
+        output_string oc line;
+        output_char oc '\n')
+  in
+  (* JSON serialisation costs two orders of magnitude more than recording
+     a span, so the JSONL sink runs behind [Tracer.Async]: emitters (the
+     server loop, shard writers/readers) enqueue raw records and a drain
+     domain does the rendering and channel writes.  The flight ring needs
+     no wrapper — [Memory.push] takes its own mutex and stores a record,
+     cheap enough for the hot path. *)
+  let trace_async = Option.map (fun oc -> Tracer.Async.create (jsonl_of oc)) trace_chan in
+  let tracer =
+    let debug = trace_verbose and sample = max 1 trace_sample in
+    match (flight, trace_async) with
+    | None, None -> Tracer.noop
+    | Some f, None -> Tracer.create ~debug ~sample (Telemetry.Flight.sink f)
+    | None, Some a -> Tracer.create ~debug ~sample (Tracer.Async.sink a)
+    | Some f, Some a ->
+        Tracer.create ~debug ~sample
+          (Tracer.tee (Telemetry.Flight.sink f) (Tracer.Async.sink a))
+  in
+  (* Process-exit ordering (at_exit is LIFO, channel close registered
+     first): drain+join the async sink, append thread-name metadata rows
+     for whoever merges this file into a Chrome trace, then close the
+     channel.  Engine/cluster teardown spans emitted before exit are
+     still drained; the join guarantees no concurrent channel writes. *)
+  Option.iter
+    (fun a ->
+      at_exit (fun () ->
+          Tracer.Async.close a;
+          match trace_chan with
+          | None -> ()
+          | Some oc ->
+              (try
+                 List.iter
+                   (fun (pid, tid, name) ->
+                     output_string oc
+                       (Telemetry.Json.to_string
+                          (Telemetry.Json.Obj
+                             [ ("type", Telemetry.Json.Str "thread_name");
+                               ("pid", Telemetry.Json.Int pid);
+                               ("tid", Telemetry.Json.Int tid);
+                               ("name", Telemetry.Json.Str name) ]));
+                     output_char oc '\n')
+                   (Tracer.thread_names ());
+                 flush oc
+               with Sys_error _ -> ())))
+    trace_async;
+  let observing =
+    Option.is_some flight || Option.is_some trace_chan || Option.is_some slow_ms
+    || Option.is_some metrics_port
+  in
+  Tracer.set_thread_name "server-loop";
+  (* Post-[Server.create] wiring shared by the single-engine and sharded
+     branches; returns the flight-dump poll hook and the shutdown hook. *)
+  let setup_observe srv =
+    if observing then begin
+      let r = Telemetry.Phases.create (Server.metrics srv) in
+      (match slow_ms with
+      | None -> ()
+      | Some ms ->
+          let slow_path =
+            match slow_log with Some p -> p | None -> wal ^ ".slow.jsonl"
+          in
+          let oc = open_out slow_path in
+          (* Every offender is logged, but ring dumps are rate-limited:
+             a burst of slow requests must not carpet the disk with
+             near-identical flight files. *)
+          let last_dump = ref neg_infinity in
+          Telemetry.Phases.set_slow r ~slow_ms:ms (fun j ->
+              output_string oc (Telemetry.Json.to_string j);
+              output_char oc '\n';
+              flush oc;
+              match flight with
+              | Some f ->
+                  let now = Unix.gettimeofday () in
+                  if now -. !last_dump >= 1. then begin
+                    last_dump := now;
+                    Telemetry.Flight.request_dump f ~reason:"slow_request"
+                  end
+              | None -> ());
+          at_exit (fun () -> close_out_noerr oc);
+          Printf.printf "slow log: %s (threshold %.1f ms)\n%!" slow_path ms);
+      Server.enable_phases srv r
+    end;
+    (match flight with
+    | Some f ->
+        Server.set_flight srv f;
+        Telemetry.Flight.install_sigusr1 f
+    | None -> ());
+    let http =
+      Option.map
+        (fun port ->
+          let h = Metrics_http.attach srv ~port in
+          Printf.printf "metrics: http://127.0.0.1:%d/metrics (also /observe)\n%!"
+            (Metrics_http.port h);
+          h)
+        metrics_port
+    in
+    let poll () =
+      match flight with
+      | None -> ()
+      | Some f -> (
+          match Telemetry.Flight.poll f with
+          | Some path -> Printf.printf "flight: dumped %s\n%!" path
+          | None -> ())
+    in
+    let finish () =
+      poll ();
+      Option.iter Metrics_http.close http
+    in
+    (poll, finish)
+  in
+  (* Crash-exit flight dump: if serving dies on an exception, persist the
+     ring before the process unwinds — the black box survives the crash. *)
+  let guard f =
+    try f ()
+    with e ->
+      let bt = Printexc.get_raw_backtrace () in
+      (match flight with
+      | Some fl -> ( try ignore (Telemetry.Flight.dump fl ~reason:"crash") with _ -> ())
+      | None -> ());
+      (* Drain what the async sink holds so the spans leading up to the
+         crash reach the file; the at_exit hook's close is then a noop. *)
+      (match trace_async with
+      | Some a -> ( try Tracer.Async.close a with _ -> ())
+      | None -> ());
+      (match trace_chan with
+      | Some oc -> ( try flush oc with Sys_error _ -> ())
+      | None -> ());
+      Printexc.raise_with_backtrace e bt
+  in
   if shards = 1 && readers = 0 then begin
     (* The PR-5 single-engine path, byte-for-byte the same on-disk
        layout (<wal>, no shard suffix).  Group commit owns the fsync
@@ -1469,9 +1617,9 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
        — makes them durable. *)
     let eng =
       Durable.open_ ~pool_capacity:buffer ~sync_policy:Wal.Never ~checkpoint_every
-        ~max_key ~path:wal ()
+        ~max_key ~telemetry:tracer ~path:wal ()
     in
-    let srv = Server.create ~config ~engine:eng ~listen () in
+    let srv = Server.create ~config ~telemetry:tracer ~engine:eng ~listen () in
     let stop _ = Server.request_shutdown srv in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -1506,14 +1654,20 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
               (if no_auto_promote then "" else ", auto-promote");
             `Follower f
     in
+    let poll_flight, finish_observe = setup_observe srv in
     Printf.printf "serving %s on %s (batch<=%d, in-flight<=%d, queue<=%d)\n%!" wal where
       max_batch max_in_flight max_queue_depth;
-    if repl = `None then Server.run srv
-    else
-      (* Replication needs finer ticks than [run]'s 1 s select timeout:
-         heartbeats, failure detection, and reconnect pacing all live in
-         the tick. *)
-      while Server.step srv ~timeout:0.05 do () done;
+    guard (fun () ->
+        if repl = `None && flight = None then Server.run srv
+        else
+          (* Replication needs finer ticks than [run]'s 1 s select
+             timeout (heartbeats, failure detection, reconnect pacing);
+             the flight recorder needs them to honor SIGUSR1 promptly. *)
+          let timeout = if repl = `None then 0.25 else 0.05 in
+          while Server.step srv ~timeout do
+            poll_flight ()
+          done);
+    finish_observe ();
     let s = Server.stats srv in
     Printf.printf "drained: %d requests, %d group commits covering %d writes, %d shed\n"
       s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.shed;
@@ -1550,9 +1704,9 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
     in
     let cluster =
       Shard.Cluster.create ~config:ccfg ~pool_capacity:buffer ~checkpoint_every ~max_key
-        ~path:wal ()
+        ~telemetry:tracer ~path:wal ()
     in
-    let srv = Server.create_sharded ~config ~cluster ~listen () in
+    let srv = Server.create_sharded ~config ~telemetry:tracer ~cluster ~listen () in
     let stop _ = Server.request_shutdown srv in
     Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
     Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
@@ -1561,10 +1715,17 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
         if r.replayed > 0 then
           Printf.printf "shard %d: recovered %d logged updates\n" i r.replayed)
       (Shard.Cluster.recovery cluster);
+    let poll_flight, finish_observe = setup_observe srv in
     Printf.printf
       "serving %s on %s (%d shards, %d readers, batch<=%d, in-flight<=%d, queue<=%d)\n%!"
       wal where shards readers max_batch max_in_flight max_queue_depth;
-    Server.run srv;
+    guard (fun () ->
+        if flight = None then Server.run srv
+        else
+          while Server.step srv ~timeout:0.25 do
+            poll_flight ()
+          done);
+    finish_observe ();
     let s = Server.stats srv in
     Printf.printf "drained: %d requests, %d group commits covering %d writes, %d shed\n"
       s.Wire.requests s.Wire.batches s.Wire.batched_writes s.Wire.shed;
@@ -1644,17 +1805,74 @@ let serve_cmd =
     let doc = "Never self-promote; wait for an explicit promote command." in
     Arg.(value & flag & info [ "no-auto-promote" ] ~doc)
   in
+  let trace_out =
+    let doc =
+      "Stream every span (all domains, JSONL, one JSON document per line) to this \
+       file.  Each line carries trace_id/span_id/pid/tid, so files from several \
+       processes merge into one Chrome/Perfetto artifact with $(b,trace-merge)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~doc ~docv:"PATH")
+  in
+  let slow_ms =
+    let doc =
+      "Slow-request threshold in milliseconds: a request whose wall time reaches it \
+       has its full phase vector appended to the slow log and triggers a \
+       flight-recorder dump."
+    in
+    Arg.(value & opt (some float) None & info [ "slow-ms" ] ~doc ~docv:"MS")
+  in
+  let slow_log =
+    let doc = "Slow-request JSONL path (default <wal>.slow.jsonl)." in
+    Arg.(value & opt (some string) None & info [ "slow-log" ] ~doc ~docv:"PATH")
+  in
+  let metrics_port =
+    let doc =
+      "Serve HTTP GET /metrics (Prometheus text) and /observe (JSON) on this \
+       127.0.0.1 port from the same event loop (0 picks a free port, printed at \
+       startup)."
+    in
+    Arg.(value & opt (some int) None & info [ "metrics-port" ] ~doc ~docv:"PORT")
+  in
+  let trace_verbose =
+    let doc =
+      "Also record debug-level micro-spans (per-page IO, per-record WAL \
+       appends, per-key tree operations).  Multiplies span volume roughly 4x and \
+       puts their recording cost on the request path; default records request-level \
+       spans only."
+    in
+    Arg.(value & flag & info [ "trace-verbose" ] ~doc)
+  in
+  let trace_sample =
+    let doc =
+      "Head-sampling rate for untagged work: record 1-in-N span trees rooted in \
+       requests that carry no trace id (tagged requests always record fully).  \
+       1 records everything.  The default keeps tracing's cost on the request \
+       path negligible while every explicitly traced request keeps its story."
+    in
+    Arg.(value & opt int 16 & info [ "trace-sample" ] ~doc ~docv:"N")
+  in
+  let no_flight =
+    let doc =
+      "Disable the flight recorder — the always-on in-memory span ring dumped to \
+       JSONL on SIGUSR1, crash exits, and slow requests.  With no other \
+       observability flag this leaves tracing a complete no-op."
+    in
+    Arg.(value & flag & info [ "no-flight" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Serve the wire protocol over a durable warehouse: select event loop, group \
           commit, admission control, optional key-range shards on OCaml domains, \
-          optional WAL-shipping replication (--sync-replicas / --follower-of); \
-          SIGTERM/SIGINT drain and exit 0")
+          optional WAL-shipping replication (--sync-replicas / --follower-of), \
+          distributed tracing and live observability (--trace-out / --slow-ms / \
+          --metrics-port / SIGUSR1 flight dump); SIGTERM/SIGINT drain and exit 0")
     Term.(const serve_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
           $ wal_req_term $ socket_term $ port_term $ max_batch $ max_in_flight
           $ max_queue_depth $ checkpoint_every_term $ shards $ readers $ sim_io_us
-          $ follower_of $ sync_replicas $ heartbeat_ms $ failover_ms $ no_auto_promote)
+          $ follower_of $ sync_replicas $ heartbeat_ms $ failover_ms $ no_auto_promote
+          $ trace_out $ trace_verbose $ trace_sample $ slow_ms $ slow_log $ metrics_port
+          $ no_flight)
 
 let connect_with_retry ~socket ~port =
   let try_once () =
@@ -1688,6 +1906,131 @@ let promote_impl verbosity socket port =
   | r ->
       Format.eprintf "promote: %a@." Wire.pp_response r;
       exit 1
+
+let observe_impl verbosity socket port =
+  setup_logs verbosity;
+  let cli = connect_with_retry ~socket ~port in
+  let r = Client.observe cli in
+  Client.close cli;
+  match r with
+  | Some doc -> print_endline doc
+  | None ->
+      prerr_endline "observe: server did not answer (pre-observability build?)";
+      exit 1
+
+let observe_cmd =
+  Cmd.v
+    (Cmd.info "observe"
+       ~doc:
+         "Fetch a serving node's live observability document (JSON): health, \
+          admission state, per-shard watermark lag and snapshot age, vacuum horizon \
+          distance, disk pressure, per-follower replication lag, request phase \
+          quantiles, flight-recorder state")
+    Term.(const observe_impl $ verbosity $ socket_term $ port_term)
+
+(* --- trace-merge ------------------------------------------------------------------- *)
+
+let trace_merge_impl verbosity out require_correlated inputs =
+  setup_logs verbosity;
+  if inputs = [] then begin
+    prerr_endline "trace-merge: pass at least one JSONL span file";
+    exit 2
+  end;
+  let spans = ref [] and events = ref [] and threads = ref [] in
+  List.iter
+    (fun path ->
+      let ic = open_in path in
+      Fun.protect ~finally:(fun () -> close_in ic) @@ fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          if String.length line > 0 then
+            match Telemetry.Json.of_string line with
+            | Error e ->
+                Printf.eprintf "trace-merge: %s: skipping bad line (%s)\n" path e
+            | Ok j -> (
+                match Tracer.span_of_json j with
+                | Some s -> spans := s :: !spans
+                | None -> (
+                    match Tracer.event_of_json j with
+                    | Some e -> events := e :: !events
+                    | None -> (
+                        (* Flight-dump headers and anything else ride
+                           along silently; thread_name lines label rows. *)
+                        match
+                          ( Telemetry.Json.member "type" j,
+                            Telemetry.Json.member "pid" j,
+                            Telemetry.Json.member "tid" j,
+                            Telemetry.Json.member "name" j )
+                        with
+                        | ( Some (Telemetry.Json.Str "thread_name"),
+                            Some (Telemetry.Json.Int pid),
+                            Some (Telemetry.Json.Int tid),
+                            Some (Telemetry.Json.Str name) ) ->
+                            threads := (pid, tid, name) :: !threads
+                        | _ -> ())))
+        done
+      with End_of_file -> ())
+    inputs;
+  let spans = List.rev !spans and events = List.rev !events in
+  (* Correlation census: how many trace ids have spans in more than one
+     process — the cross-process stitching the plane exists to provide. *)
+  let module M = Map.Make (Int64) in
+  let by_trace =
+    List.fold_left
+      (fun m (s : Tracer.span) ->
+        match s.Tracer.trace_id with
+        | None -> m
+        | Some id ->
+            let pids = match M.find_opt id m with Some l -> l | None -> [] in
+            M.add id (s.Tracer.pid :: pids) m)
+      M.empty spans
+  in
+  let correlated =
+    M.fold
+      (fun _ pids acc ->
+        if List.length (List.sort_uniq compare pids) > 1 then acc + 1 else acc)
+      by_trace 0
+  in
+  let doc = Tracer.chrome_trace ~events ~threads:(List.rev !threads) spans in
+  (match out with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+      output_string oc (Telemetry.Json.to_string doc)
+  | None -> print_endline (Telemetry.Json.to_string doc));
+  Printf.eprintf
+    "trace-merge: %d spans, %d events from %d files; %d trace ids, %d cross-process\n"
+    (List.length spans) (List.length events) (List.length inputs) (M.cardinal by_trace)
+    correlated;
+  if require_correlated && correlated = 0 then begin
+    prerr_endline "trace-merge: no trace id spans more than one process";
+    exit 1
+  end
+
+let trace_merge_cmd =
+  let out =
+    let doc = "Output file for the Chrome trace_event JSON (defaults to stdout)." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc ~docv:"PATH")
+  in
+  let require_correlated =
+    let doc =
+      "Exit 1 unless at least one trace id has spans in two or more processes — the \
+       CI assertion that distributed propagation actually happened."
+    in
+    Arg.(value & flag & info [ "require-correlated" ] ~doc)
+  in
+  let inputs =
+    let doc = "JSONL span files (serve --trace-out output, flight-recorder dumps)." in
+    Arg.(value & pos_all file [] & info [] ~doc ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "trace-merge"
+       ~doc:
+         "Merge per-process JSONL span files into one Chrome/Perfetto trace_event \
+          artifact, labelling rows by pid/domain thread names and reporting how many \
+          trace ids correlate across processes")
+    Term.(const trace_merge_impl $ verbosity $ out $ require_correlated $ inputs)
 
 let promote_cmd =
   Cmd.v
@@ -1784,9 +2127,28 @@ let shard_stat_json (ss : Wire.shard_stat) =
       ("io_writes", Telemetry.Json.Int ss.Wire.s_io_writes);
       ("io_syncs", Telemetry.Json.Int ss.Wire.s_io_syncs) ]
 
+(* Client-observed latency quantiles (seconds in, milliseconds out).
+   Under a pipeline window this includes time queued behind the window —
+   exactly what a pipelining client experiences. *)
+let latency_json samples =
+  let a = Array.of_list samples in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then None
+  else
+    let pct q = a.(min (n - 1) (int_of_float ((q *. float_of_int (n - 1)) +. 0.5))) in
+    Some
+      (Telemetry.Json.Obj
+         [ ("count", Telemetry.Json.Int n);
+           ("p50_ms", Telemetry.Json.Float (1e3 *. pct 0.5));
+           ("p95_ms", Telemetry.Json.Float (1e3 *. pct 0.95));
+           ("p99_ms", Telemetry.Json.Float (1e3 *. pct 0.99));
+           ("max_ms", Telemetry.Json.Float (1e3 *. a.(n - 1))) ])
+
 let netbench_impl verbosity spec input socket port window queries qrs do_shutdown smoke
-    stats_json query_window want_shard_stats no_writes =
+    stats_json query_window want_shard_stats no_writes trace_requests =
   setup_logs verbosity;
+  let tag () = if trace_requests then Some (Tracer.new_trace_id ()) else None in
   let spec, queries =
     if smoke then
       ( { spec with Workload.Generator.n_records = min spec.Workload.Generator.n_records 400 },
@@ -1816,12 +2178,16 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
      outstanding, responses matched to requests by position. *)
   let sent = ref 0 and acked = ref 0 and rejected = ref 0 and failed = ref 0 in
   let outstanding = ref 0 in
+  let send_times = Queue.create () in
+  let write_lats = ref [] in
   let drain_one () =
     decr outstanding;
-    match Client.recv cli with
+    let t_send = Queue.pop send_times in
+    (match Client.recv cli with
     | Wire.Ack -> incr acked
     | Wire.Err { code = Wire.Invalid_request; _ } -> incr rejected
-    | _ -> incr failed
+    | _ -> incr failed);
+    write_lats := (Unix.gettimeofday () -. t_send) :: !write_lats
   in
   let t0 = Unix.gettimeofday () in
   if not no_writes then
@@ -1834,7 +2200,8 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
       while !outstanding >= window do
         drain_one ()
       done;
-      Client.send cli req;
+      Queue.add (Unix.gettimeofday ()) send_times;
+      Client.send ?trace:(tag ()) cli req;
       incr sent;
       incr outstanding);
   while !outstanding > 0 do
@@ -1848,9 +2215,12 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
   let qwindow = max 1 query_window in
   let query_ok = ref 0 in
   let q_outstanding = ref 0 in
+  let query_lats = ref [] in
   let drain_query () =
     decr q_outstanding;
-    match Client.recv cli with Wire.Agg _ -> incr query_ok | _ -> ()
+    let t_send = Queue.pop send_times in
+    (match Client.recv cli with Wire.Agg _ -> incr query_ok | _ -> ());
+    query_lats := (Unix.gettimeofday () -. t_send) :: !query_lats
   in
   let qt0 = Unix.gettimeofday () in
   List.iter
@@ -1858,7 +2228,8 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
       while !q_outstanding >= qwindow do
         drain_query ()
       done;
-      Client.send cli
+      Queue.add (Unix.gettimeofday ()) send_times;
+      Client.send ?trace:(tag ()) cli
         (Wire.Query { agg = Wire.Sum; klo = r.klo; khi = r.khi; tlo = r.tlo; thi = r.thi });
       incr q_outstanding)
     rects;
@@ -1869,6 +2240,19 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
   let qps = if qwall > 0. then float_of_int (List.length rects) /. qwall else 0. in
   let srv_stats = Client.stats cli in
   let srv_shards = if want_shard_stats then Client.shard_stats cli else None in
+  (* Server-side phase breakdown (the request_phase_* histograms), via
+     Observe — absent when the server runs without the phase recorder. *)
+  let srv_phases =
+    match Client.observe cli with
+    | None -> None
+    | Some doc -> (
+        match Telemetry.Json.of_string doc with
+        | Ok j -> (
+            match Telemetry.Json.member "phases" j with
+            | Some (Telemetry.Json.Obj _ as p) -> Some p
+            | _ -> None)
+        | Error _ -> None)
+  in
   (if do_shutdown then
      match Client.shutdown cli with
      | Wire.Ack -> ()
@@ -1894,6 +2278,13 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
             ("query_wall_s", Telemetry.Json.Float qwall);
             ("query_per_s", Telemetry.Json.Float qps);
             ("health", Telemetry.Json.Str (health_string health)) ]
+         @ (match latency_json !write_lats with
+           | Some j -> [ ("write_latency", j) ]
+           | None -> [])
+         @ (match latency_json !query_lats with
+           | Some j -> [ ("query_latency", j) ]
+           | None -> [])
+         @ (match srv_phases with Some p -> [ ("phases", p) ] | None -> [])
          @ (match srv_stats with
            | Some s -> [ ("server", server_stats_json s) ]
            | None -> [])
@@ -1922,6 +2313,20 @@ let netbench_impl verbosity spec input socket port window queries qrs do_shutdow
        failed; %d/%d queries ok\n"
       !sent wall rps window !acked !rejected !failed !query_ok queries;
     Printf.printf "  queries: %.3f s = %.0f q/s (window %d)\n" qwall qps qwindow;
+    (let show name lats =
+       match latency_json lats with
+       | Some (Telemetry.Json.Obj kvs) ->
+           let f k =
+             match List.assoc_opt k kvs with
+             | Some (Telemetry.Json.Float v) -> v
+             | _ -> 0.
+           in
+           Printf.printf "  %s latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n" name
+             (f "p50_ms") (f "p95_ms") (f "p99_ms")
+       | _ -> ()
+     in
+     show "write" !write_lats;
+     show "query" !query_lats);
     (match srv_stats with
     | Some s ->
         Format.printf
@@ -1992,15 +2397,23 @@ let netbench_cmd =
     in
     Arg.(value & flag & info [ "no-writes" ] ~doc)
   in
+  let trace_requests =
+    let doc =
+      "Stamp every request with a fresh trace id (v2 frames), so a traced server \
+       attributes each span and phase sample to the request that caused it."
+    in
+    Arg.(value & flag & info [ "trace-requests" ] ~doc)
+  in
   Cmd.v
     (Cmd.info "netbench"
        ~doc:
          "Closed-loop load generator for a running serve instance: replay a workload as \
-          pipelined wire writes, then pipelined queries, and report req/s and q/s (exits \
-          1 on any failed write)")
+          pipelined wire writes, then pipelined queries, and report req/s, q/s, and \
+          client-observed latency quantiles plus the server's per-phase breakdown \
+          (exits 1 on any failed write)")
     Term.(const netbench_impl $ verbosity $ spec_term $ input_term $ socket_term
           $ port_term $ window $ queries $ qrs $ do_shutdown $ smoke $ stats_json_term
-          $ query_window $ shard_stats $ no_writes)
+          $ query_window $ shard_stats $ no_writes $ trace_requests)
 
 (* --- dot ------------------------------------------------------------------------- *)
 
@@ -2035,4 +2448,5 @@ let () =
           [ generate_cmd; build_cmd; query_cmd; compare_cmd; checkpoint_cmd; recover_cmd;
             vacuum_cmd; scrub_cmd; crash_matrix_cmd; vacuum_matrix_cmd; errsweep_cmd;
             replica_matrix_cmd; trace_cmd; metrics_cmd; profile_cmd; serve_cmd;
-            netbench_cmd; promote_cmd; replica_stats_cmd; dot_cmd ]))
+            netbench_cmd; observe_cmd; trace_merge_cmd; promote_cmd; replica_stats_cmd;
+            dot_cmd ]))

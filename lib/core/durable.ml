@@ -51,6 +51,9 @@ type t = {
   mutable health_hooks : (health -> health -> unit) list; (* newest first *)
   mutable in_vacuum : bool; (* guards auto-vacuum against re-entrance *)
   mutable n_vacuums : int;
+  mutable phase_cell : Telemetry.Phases.cell option;
+      (* where the in-flight update charges its wal-append/apply time;
+         set around each op by the group-commit layer, [None] otherwise *)
   report : recovery_report;
 }
 
@@ -321,7 +324,7 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
     ckpt_attempt = ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0; health;
     io_health = Healthy; pressure;
     last_error = None; ckpt_failed = false; retries_seen = retries_at_open;
-    health_hooks = []; in_vacuum = false; n_vacuums = 0; report }
+    health_hooks = []; in_vacuum = false; n_vacuums = 0; phase_cell = None; report }
 
 (* --- Health ------------------------------------------------------------------- *)
 
@@ -555,6 +558,20 @@ let rec log_then_apply ?maintenance t ~append ~apply =
   match reject_if_read_only ?maintenance t with
   | Error _ as e -> e
   | Ok () -> (
+      (* Phase accounting piggybacks here because this is the one place
+         that sees the append and the tree apply as separate steps. *)
+      let append, apply =
+        match t.phase_cell with
+        | None -> (append, apply)
+        | Some c ->
+            let timed phase f () =
+              let t0 = Telemetry.Phases.now_ns () in
+              let r = f () in
+              Telemetry.Phases.charge c phase ~since:t0;
+              r
+            in
+            (timed Telemetry.Phases.Wal_append append, timed Telemetry.Phases.Apply apply)
+      in
       match append () with
       | Error e ->
           (* Nothing was logged (Wal.append rolls back) and nothing was
@@ -697,6 +714,7 @@ let retention t = t.retention
 let last_error t = t.last_error
 let io_stats t = t.stats
 let telemetry t = t.tel
+let set_phase_cell t c = t.phase_cell <- c
 
 let close t =
   (* Best effort: a failing final fsync must not prevent releasing the

@@ -295,6 +295,12 @@ val telemetry : t -> Telemetry.Tracer.t
 (** The tracer the engine emits to (the one passed to {!open_}, or
     {!Telemetry.Tracer.noop}). *)
 
+val set_phase_cell : t -> Telemetry.Phases.cell option -> unit
+(** Phase-breakdown hook: while a cell is installed, each update's WAL
+    append and tree apply charge their time to it ({!Telemetry.Phases}).
+    The group-commit layer installs the op's cell just around the op and
+    clears it after; [None] (the default) costs one comparison. *)
+
 val close : t -> unit
 (** Fsync the log (best effort) and release the file; no checkpoint is
     taken.  Never raises a typed I/O error: whatever the log already

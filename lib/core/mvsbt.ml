@@ -480,7 +480,7 @@ module Make (G : Aggregate.Group.S) = struct
         (Printf.sprintf
            "Mvsbt.insert: time %d precedes current time %d (transaction time is monotone)"
            at t.now_);
-    Telemetry.Tracer.with_span t.tel "mvsbt.insert" @@ fun () ->
+    Telemetry.Tracer.with_span t.tel ~level:`Debug "mvsbt.insert" @@ fun () ->
     t.now_ <- at;
     (* Phase 1: descend along partly-covered records, keeping the chain of
        (page, partly-covered record), nearest ancestor first. *)
@@ -515,7 +515,7 @@ module Make (G : Aggregate.Group.S) = struct
       invalid_arg "Mvsbt.query: key outside key domain";
     if at < 0 then invalid_arg "Mvsbt.query: negative time";
     if at < t.horizon then raise (Below_horizon { at; horizon = t.horizon });
-    Telemetry.Tracer.with_span t.tel "mvsbt.query" @@ fun () ->
+    Telemetry.Tracer.with_span t.tel ~level:`Debug "mvsbt.query" @@ fun () ->
     let root = if at >= t.now_ then t.cur_root else Root_star.find t.root_star ~at in
     let rec go pid acc =
       let page = read t pid in

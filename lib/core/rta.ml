@@ -198,7 +198,7 @@ let insert t ~key ~value ~at =
   if Hashtbl.mem t.alive key then
     invalid_arg (Printf.sprintf "Rta.insert: key %d is already alive (1TNF)" key);
   advance t at;
-  Telemetry.Tracer.with_span t.tel "rta.insert" ~attrs:(update_attrs ~key ~at)
+  Telemetry.Tracer.with_span t.tel ~level:`Debug "rta.insert" ~attrs:(update_attrs ~key ~at)
   @@ fun () ->
   Index.insert t.lkst ~key:(key + 1) ~at (value, 1);
   Hashtbl.replace t.alive key (value, at);
@@ -209,7 +209,7 @@ let delete t ~key ~at =
   | None -> invalid_arg (Printf.sprintf "Rta.delete: key %d is not alive" key)
   | Some (value, started) ->
       advance t at;
-      Telemetry.Tracer.with_span t.tel "rta.delete" ~attrs:(update_attrs ~key ~at)
+      Telemetry.Tracer.with_span t.tel ~level:`Debug "rta.delete" ~attrs:(update_attrs ~key ~at)
       @@ fun () ->
       Index.insert t.lkst ~key:(key + 1) ~at (-value, -1);
       (* A version deleted at its own start instant never existed for any
@@ -233,14 +233,14 @@ let point_attrs index ~key ~at () =
 let lkst t ~key ~at =
   if at < 0 then (0, 0)
   else
-    Telemetry.Tracer.with_span t.tel "rta.point_query"
+    Telemetry.Tracer.with_span t.tel ~level:`Debug "rta.point_query"
       ~attrs:(point_attrs "lkst" ~key ~at)
     @@ fun () -> Index.query t.lkst ~key:(clamp_key t key) ~at
 
 let lklt t ~key ~at =
   if at < 0 then (0, 0)
   else
-    Telemetry.Tracer.with_span t.tel "rta.point_query"
+    Telemetry.Tracer.with_span t.tel ~level:`Debug "rta.point_query"
       ~attrs:(point_attrs "lklt" ~key ~at)
     @@ fun () -> Index.query t.lklt ~key:(clamp_key t key) ~at
 
@@ -255,7 +255,7 @@ let lklt t ~key ~at =
 let sum_count t ~klo ~khi ~tlo ~thi =
   if klo >= khi || tlo >= thi then (0, 0)
   else begin
-    Telemetry.Tracer.with_span t.tel "rta.range_query"
+    Telemetry.Tracer.with_span t.tel ~level:`Debug "rta.range_query"
       ~attrs:(fun () ->
         [ ("klo", Telemetry.Tracer.Int klo); ("khi", Telemetry.Tracer.Int khi);
           ("tlo", Telemetry.Tracer.Int tlo); ("thi", Telemetry.Tracer.Int thi) ])

@@ -1,4 +1,6 @@
 module Metrics = Telemetry.Metrics
+module Json = Telemetry.Json
+module Tracer = Telemetry.Tracer
 
 type upstream = Unix_sock of string | Tcp of string * int
 
@@ -268,12 +270,17 @@ let process_input t link =
   while !continue do
     match t.mode with
     | Following l when l == link -> (
-        match Wire.decode_response ~buf:link.inbuf ~pos:0 ~avail:link.in_len with
-        | Wire.Complete (resp, used) -> (
+        match Wire.decode_response_traced ~buf:link.inbuf ~pos:0 ~avail:link.in_len with
+        | Wire.Complete ((resp, trace), used) -> (
             consume link used;
             match resp with
             | Wire.Wal_frames { epoch; durable; commit; frames } ->
-                handle_frames t link ~epoch ~durable ~commit frames
+                (* The leader stamps frame pushes with the originating
+                   write's trace id; installing it here threads the
+                   follower's replay spans (Durable.insert and the WAL
+                   append under it) into the same trace. *)
+                Tracer.with_trace ~trace (fun () ->
+                    handle_frames t link ~epoch ~durable ~commit frames)
             | Wire.Err { code = Wire.Fenced; _ } ->
                 (* A new leader exists that we have not met yet; drop the
                    link and resubscribe — the handshake will learn the
@@ -387,6 +394,7 @@ let promote t ~reason:_ =
       Hub.set_step_down hub (fun () ->
           Admission.set_standby (Server.admission t.srv) true;
           Batcher.set_gate (Server.batcher t.srv) None);
+      Hub.set_frame_trace hub (fun () -> Server.last_write_trace t.srv);
       Batcher.set_gate (Server.batcher t.srv) (Some (Hub.gate hub));
       (* Open the write path: standby off.  Health-driven read-only (a
          genuinely degraded engine) is independent and stays. *)
@@ -455,6 +463,36 @@ let stats t =
         r_followers = [];
       }
 
+(* The node's [Observe] contribution — as a follower: its replay lag
+   against the leader's durable watermark; once promoted: the hub's
+   leader-side fields. *)
+let observe_extra t () =
+  match t.mode with
+  | Leading hub -> Hub.observe_extra hub ()
+  | _ ->
+      let w = watermark t in
+      [
+        ( "replication",
+          Json.Obj
+            [
+              ("role", Json.Str "follower");
+              ("mode", Json.Str (match t.mode with
+                                 | Following _ -> "following"
+                                 | Connecting _ -> "connecting"
+                                 | Leading _ -> assert false));
+              ("epoch", Json.Int t.epoch);
+              ("watermark", Json.Int w);
+              ("leader_durable", Json.Int t.leader_durable);
+              ("leader_commit", Json.Int t.leader_commit);
+              ("lag", Json.Int (max 0 (t.leader_durable - w)));
+              ("replayed", Json.Int t.replayed);
+              ( "parked",
+                match t.parked with None -> Json.Null | Some r -> Json.Str r );
+              ( "diverged",
+                match t.diverged with None -> Json.Null | Some r -> Json.Str r );
+            ] );
+      ]
+
 let handle t ctx (req : Wire.request) : Server.ext_outcome =
   match t.mode with
   | Leading hub -> (
@@ -515,6 +553,7 @@ let create ?(vfs = Storage.Vfs.os) ~config ~path ~server eng =
   Admission.set_standby (Server.admission server) true;
   Server.set_extension server (handle t);
   Server.set_tick server (fun () -> tick t);
+  Server.set_observe_extra server (observe_extra t);
   Server.on_conn_close server (fun id ->
       match t.mode with Leading hub -> Hub.conn_closed hub id | _ -> ());
   t

@@ -1,4 +1,5 @@
 module Metrics = Telemetry.Metrics
+module Json = Telemetry.Json
 
 type sub = {
   sub_id : int;
@@ -27,6 +28,10 @@ type t = {
   mutable stale_acks : int;
   mutable promotions : int;
   mutable last_beat : float;
+  mutable frame_trace : unit -> int64 option;
+      (* Trace id to stamp on outgoing [Wal_frames] pushes — wired to the
+         server's last traced write, so a tagged write's shipping and the
+         follower's replay join its trace. *)
   m_shipped : Metrics.counter;
   m_lag : Metrics.gauge;
   m_followers : Metrics.gauge;
@@ -122,7 +127,7 @@ let ship t sub =
         | Some frames ->
             let last = Backlog.seq_of (List.nth frames (List.length frames - 1)) in
             sub.push
-              (Wire.encode_response
+              (Wire.encode_response ?trace:(t.frame_trace ())
                  (Wire.Wal_frames
                     { epoch = t.epoch; durable = t.durable; commit = commit t; frames }));
             sub.sent <- last;
@@ -308,6 +313,7 @@ let create ?(vfs = Storage.Vfs.os) ?metrics ?(cap = 1 lsl 16) ?(sync_replicas = 
       stale_acks = 0;
       promotions;
       last_beat = 0.0;
+      frame_trace = (fun () -> None);
       m_shipped =
         Metrics.counter reg ~help:"WAL frames shipped to followers."
           "replica_frames_shipped_total";
@@ -326,12 +332,46 @@ let create ?(vfs = Storage.Vfs.os) ?metrics ?(cap = 1 lsl 16) ?(sync_replicas = 
   t
 
 let set_step_down t f = t.step_down <- f
+let set_frame_trace t f = t.frame_trace <- f
 let fenced t = t.fenced
+
+(* The leader's contribution to the server's [Observe] document:
+   per-follower acked watermark and lag, plus the commit watermark the
+   quorum certifies. *)
+let observe_extra t () =
+  let live = List.filter (fun s -> not s.lost) t.subs in
+  [
+    ( "replication",
+      Json.Obj
+        [
+          ("role", Json.Str "leader");
+          ("epoch", Json.Int t.epoch);
+          ("durable", Json.Int t.durable);
+          ("commit", Json.Int (commit t));
+          ( "lag",
+            Json.Int
+              (List.fold_left (fun m s -> max m (t.durable - s.acked)) 0 live) );
+          ("pending_gates", Json.Int (List.length t.gates));
+          ( "followers",
+            Json.List
+              (List.map
+                 (fun s ->
+                   Json.Obj
+                     [
+                       ("id", Json.Int s.sub_id);
+                       ("acked", Json.Int s.acked);
+                       ("lag", Json.Int (max 0 (t.durable - s.acked)));
+                     ])
+                 live) );
+        ] );
+  ]
 
 let attach t srv =
   Server.set_extension srv (handle t);
   Server.set_tick srv (fun () -> tick t);
   Server.on_conn_close srv (conn_closed t);
+  Server.set_observe_extra srv (observe_extra t);
+  set_frame_trace t (fun () -> Server.last_write_trace srv);
   Batcher.set_gate (Server.batcher srv) (Some (gate t));
   set_step_down t (fun () ->
       Admission.set_standby (Server.admission srv) true;

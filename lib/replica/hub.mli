@@ -82,6 +82,17 @@ val set_step_down : t -> (unit -> unit) -> unit
     doc).  {!attach} installs the standard one; callers owning the
     dispatch themselves must install their own. *)
 
+val set_frame_trace : t -> (unit -> int64 option) -> unit
+(** Supplier of the trace id stamped on outgoing [Wal_frames] pushes —
+    {!attach} wires it to {!Server.last_write_trace}, so a tagged
+    write's shipping and the follower's replay join its trace.  Callers
+    owning the dispatch (a promoted follower) install their own. *)
+
+val observe_extra : t -> unit -> (string * Telemetry.Json.t) list
+(** The leader's [Observe] contribution: role, watermarks, per-follower
+    acked sequence and lag.  {!attach} installs it via
+    {!Server.set_observe_extra}. *)
+
 val fenced : t -> bool
 (** Whether deposition evidence has been seen (sticky). *)
 

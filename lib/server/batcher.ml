@@ -1,4 +1,5 @@
 module E = Storage.Storage_error
+module Phases = Telemetry.Phases
 
 type op =
   | Insert of { key : int; value : int; at : int }
@@ -11,7 +12,8 @@ type t = {
   max_batch : int;
   tel : Telemetry.Tracer.t;
   on_batch : int -> unit;
-  q : (op * (outcome -> unit)) Queue.t;
+  q : (op * Phases.cell option * int64 option * (outcome -> unit)) Queue.t;
+      (* op, phase vector, trace id, completion *)
   mutable batches : int;
   mutable acked : int;
   mutable gate : (max_seq:int -> fire:(unit -> unit) -> unit) option;
@@ -23,7 +25,10 @@ let create ?(max_batch = 64) ?(telemetry = Telemetry.Tracer.noop)
   { eng; max_batch; tel = telemetry; on_batch; q = Queue.create (); batches = 0;
     acked = 0; gate = None }
 
-let enqueue t op k = Queue.add (op, k) t.q
+let enqueue t ?cell ?trace op k =
+  (match cell with Some c -> Phases.mark c | None -> ());
+  Queue.add (op, cell, trace, k) t.q
+
 let pending t = Queue.length t.q
 
 let apply_one eng op =
@@ -45,28 +50,87 @@ let flush_batch t =
     ~attrs:(fun () -> [ ("size", Telemetry.Tracer.Int n) ])
   @@ fun () ->
   let items = Array.init n (fun _ -> Queue.pop t.q) in
-  let outcomes = Array.map (fun (op, _) -> apply_one t.eng op) items in
+  let any_cell = Array.exists (fun (_, c, _, _) -> c <> None) items in
+  (* Queue wait ends here: the batch has picked the op up.  Everything
+     from now to the post-apply timestamp that is not the op's own WAL
+     append or tree apply (charged inside the engine) is batch build —
+     including time spent applying the op's batch-mates, which the op
+     does wait for before its sync. *)
+  let t_loop0 = if any_cell then Phases.now_ns () else 0L in
+  if any_cell then
+    Array.iter
+      (fun (_, c, _, _) ->
+        match c with Some c -> Phases.charge_mark c Phases.Queue_wait | None -> ())
+      items;
+  let outcomes =
+    Array.map
+      (fun (op, cell, trace, _) ->
+        Durable.set_phase_cell t.eng cell;
+        let o =
+          Telemetry.Tracer.with_trace ~trace (fun () -> apply_one t.eng op)
+        in
+        Durable.set_phase_cell t.eng None;
+        o)
+      items
+  in
+  if any_cell then begin
+    let loop_ns = Int64.sub (Phases.now_ns ()) t_loop0 in
+    Array.iter
+      (fun (_, c, _, _) ->
+        match c with
+        | None -> ()
+        | Some c ->
+            let own =
+              Phases.phase_ns c Phases.Wal_append +. Phases.phase_ns c Phases.Apply
+            in
+            Phases.add c Phases.Batch_build
+              ~ns:(Int64.of_float (max 0. (Int64.to_float loop_ns -. own))))
+      items
+  end;
   (* One fsync covers every append the batch landed.  If it fails, every
      provisionally applied op must fail too: the records are in the log
      but their durability is unknown, and an ack is a durability claim. *)
   let applied = Array.exists (function Applied -> true | _ -> false) outcomes in
-  (if applied then
-     match Durable.sync_wal t.eng with
+  (if applied then begin
+     let t_sync0 = if any_cell then Phases.now_ns () else 0L in
+     (match Durable.sync_wal t.eng with
      | Ok () -> ()
      | Error e ->
          Array.iteri
            (fun i o -> match o with Applied -> outcomes.(i) <- Failed e | _ -> ())
            outcomes);
+     if any_cell then
+       Array.iter
+         (fun (_, c, _, _) ->
+           match c with Some c -> Phases.charge c Phases.Fsync ~since:t_sync0 | None -> ())
+         items
+   end);
   t.batches <- t.batches + 1;
   Array.iter (function Applied -> t.acked <- t.acked + 1 | _ -> ()) outcomes;
   t.on_batch n;
-  let fire () = Array.iteri (fun i (_, k) -> k outcomes.(i)) items in
+  let fire () = Array.iteri (fun i (_, _, _, k) -> k outcomes.(i)) items in
   (* Re-tested after the sync: a failed sync downgraded every Applied to
      Failed, and a batch with nothing durably applied has nothing for a
      replication gate to wait on. *)
   let durably_applied = Array.exists (function Applied -> true | _ -> false) outcomes in
   match t.gate with
   | Some gate when durably_applied ->
+      let fire =
+        if not any_cell then fire
+        else begin
+          (* The gap between handing the batch to the replication gate
+             and the gate releasing it is the quorum wait. *)
+          let t_gate0 = Phases.now_ns () in
+          fun () ->
+            Array.iter
+              (fun (_, c, _, _) ->
+                match c with
+                | Some c -> Phases.charge c Phases.Quorum_wait ~since:t_gate0
+                | None -> ())
+              items;
+            fire ()
+        end
+      in
       gate ~max_seq:(Rta.n_updates (Durable.warehouse t.eng)) ~fire
   | _ -> fire ()
 

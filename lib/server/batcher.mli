@@ -49,9 +49,14 @@ val create :
     — under any other policy the batcher still works, the engine's own
     policy just issues additional syncs inside the batch. *)
 
-val enqueue : t -> op -> (outcome -> unit) -> unit
+val enqueue :
+  t -> ?cell:Telemetry.Phases.cell -> ?trace:int64 -> op -> (outcome -> unit) -> unit
 (** Queue one write.  The callback runs from {!flush}, after the batch
-    containing the op has committed (or failed). *)
+    containing the op has committed (or failed).  [cell] is the request's
+    phase vector: the batcher charges its queue wait, batch build, WAL
+    append, fsync share, and replication-quorum wait to it.  [trace] is
+    re-installed as the ambient trace id around the op's engine apply, so
+    [durable.insert] spans carry the originating request's id. *)
 
 val pending : t -> int
 

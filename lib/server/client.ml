@@ -72,8 +72,13 @@ let reconnect t =
       t.len <- 0;
       t.reconnects <- t.reconnects + 1
 
-let send t req =
-  let b = Wire.encode_request req in
+let send ?trace t req =
+  (* Explicit [?trace] wins; otherwise inherit the ambient id (so a
+     client used inside a [with_trace] extent propagates it for free). *)
+  let trace =
+    match trace with Some _ -> trace | None -> Telemetry.Tracer.current_trace ()
+  in
+  let b = Wire.encode_request ?trace req in
   let n = Bytes.length b in
   let rec go ~retried written =
     if written < n then
@@ -123,8 +128,8 @@ let rec recv t =
       recv t
   | Wire.Fail e -> raise (Protocol_error e)
 
-let call t req =
-  send t req;
+let call ?trace t req =
+  send ?trace t req;
   recv t
 
 let ping t = match call t Wire.Ping with Wire.Pong -> true | _ -> false
@@ -146,3 +151,6 @@ let promote t = call t Wire.Promote
 
 let vacuum ?(max_pages_per_step = 0) t ~horizon =
   call t (Wire.Vacuum { horizon; max_pages_per_step })
+
+let observe t =
+  match call t Wire.Observe with Wire.Observe_reply s -> Some s | _ -> None

@@ -56,15 +56,18 @@ val fd : t -> Unix.file_descr
 (** The underlying socket — for [select]-based callers and for tests
     that need to write raw bytes past the codec. *)
 
-val send : t -> Wire.request -> unit
-(** Write one framed request (complete, blocking). *)
+val send : ?trace:int64 -> t -> Wire.request -> unit
+(** Write one framed request (complete, blocking).  With [trace] — or,
+    absent that, an ambient {!Telemetry.Tracer.with_trace} id — the
+    request goes out as a v2 traced frame and the server tags every span
+    and phase sample it causes, across processes, with that id. *)
 
 val recv : t -> Wire.response
 (** Block until the next complete response frame.
     @raise Connection_closed on EOF mid-stream.
     @raise Protocol_error on an undecodable frame. *)
 
-val call : t -> Wire.request -> Wire.response
+val call : ?trace:int64 -> t -> Wire.request -> Wire.response
 (** [send] then [recv]. *)
 
 (** {1 Conveniences} — thin wrappers over {!call}. *)
@@ -93,3 +96,8 @@ val promote : t -> Wire.response
 val vacuum : ?max_pages_per_step:int -> t -> horizon:int -> Wire.response
 (** Raise the retention horizon and reclaim dead pages online.
     [max_pages_per_step] 0 (the default) lets the server pick. *)
+
+val observe : t -> string option
+(** The server's live observability document (JSON): health, per-shard
+    watermark lag and snapshot age, replication lag per follower, phase
+    summaries, flight-recorder state. *)

@@ -1,0 +1,97 @@
+(* A plain-text HTTP/1.0 GET responder riding the server's event loop:
+   enough for a Prometheus scrape or a curl, with no HTTP library and no
+   extra thread.  The listener and every accepted client fd go into the
+   loop's watch set; a client gets one request, one response, close. *)
+
+type page = string -> string option
+
+type t = {
+  srv : Server.t;
+  listen : Unix.file_descr;
+  port : int;
+  pages : page;
+}
+
+let http_response ~status ~content_type body =
+  Printf.sprintf
+    "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type (String.length body) body
+
+let respond fd body =
+  (* The response is small (a metrics dump); a blocking write with the
+     socket's default buffer is fine, and EPIPE just means the scraper
+     gave up. *)
+  (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+  (try
+     let b = Bytes.of_string body in
+     let n = Bytes.length b in
+     let written = ref 0 in
+     while !written < n do
+       match Unix.write fd b !written (n - !written) with
+       | 0 -> written := n
+       | k -> written := !written + k
+     done
+   with Unix.Unix_error _ -> ())
+
+let request_path buf len =
+  (* "GET <path> HTTP/1.x" — the first line is all we route on. *)
+  let line =
+    match Bytes.index_opt buf '\r' with
+    | Some i when i < len -> Bytes.sub_string buf 0 i
+    | _ -> Bytes.sub_string buf 0 len
+  in
+  match String.split_on_char ' ' line with
+  | "GET" :: path :: _ -> Some path
+  | _ -> None
+
+let handle_client t fd () =
+  Server.remove_watch t.srv fd;
+  let buf = Bytes.create 4096 in
+  let len = try Unix.read fd buf 0 4096 with Unix.Unix_error _ -> 0 in
+  (if len > 0 then
+     match request_path buf len with
+     | None -> respond fd (http_response ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n")
+     | Some path -> (
+         match t.pages path with
+         | Some body ->
+             let content_type =
+               if String.length body > 0 && (body.[0] = '{' || body.[0] = '[') then
+                 "application/json"
+               else "text/plain; version=0.0.4"
+             in
+             respond fd (http_response ~status:"200 OK" ~content_type body)
+         | None ->
+             respond fd
+               (http_response ~status:"404 Not Found" ~content_type:"text/plain"
+                  "not found\n")));
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let rec accept_clients t () =
+  match Unix.accept ~cloexec:true t.listen with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      (* Wait for the request bytes in the loop rather than blocking the
+         accept path on a slow client. *)
+      Server.add_watch t.srv fd (fun () -> handle_client t fd ());
+      accept_clients t ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_clients t ()
+  | exception Unix.Unix_error _ -> ()
+
+let default_pages srv path =
+  match path with
+  | "/" | "/metrics" -> Some (Telemetry.Metrics.to_prometheus (Server.metrics srv))
+  | "/observe" -> Some (Server.observe_json srv)
+  | _ -> None
+
+let attach ?host ?pages srv ~port =
+  let listen, port = Server.listen_tcp ?host ~port () in
+  let pages = match pages with Some p -> p | None -> default_pages srv in
+  let t = { srv; listen; port; pages } in
+  Server.add_watch srv listen (accept_clients t);
+  t
+
+let port t = t.port
+let close t =
+  Server.remove_watch t.srv t.listen;
+  try Unix.close t.listen with Unix.Unix_error _ -> ()

@@ -1,0 +1,28 @@
+(** A minimal plain-text HTTP GET endpoint riding the server's event
+    loop — the live observability plane's scrape surface.
+
+    [GET /metrics] (or [/]) answers the Prometheus text exposition of
+    the server's registry; [GET /observe] answers the same JSON document
+    as the wire [Observe] request.  One request per connection
+    (HTTP/1.0, [Connection: close]); no HTTP library, no extra thread —
+    the listener and each accepted client share the serving loop's
+    [select] through {!Server.add_watch}. *)
+
+type t
+
+type page = string -> string option
+(** Router: request path → response body ([None] = 404).  A JSON body
+    (starting with ['{'] or ['[']) is served as [application/json],
+    anything else as Prometheus text. *)
+
+val attach : ?host:string -> ?pages:page -> Server.t -> port:int -> t
+(** Bind [host:port] (default 127.0.0.1; [port:0] picks a free one — see
+    {!port}) and register with the server loop.  The default [pages]
+    serves [/metrics], [/], and [/observe] as described above. *)
+
+val port : t -> int
+(** The bound port. *)
+
+val close : t -> unit
+(** Unregister and close the listener (accepted in-flight clients finish
+    their one response). *)

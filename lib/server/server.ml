@@ -1,6 +1,8 @@
 module E = Storage.Storage_error
 module Metrics = Telemetry.Metrics
 module Tracer = Telemetry.Tracer
+module Phases = Telemetry.Phases
+module Json = Telemetry.Json
 
 type config = {
   max_in_flight : int;
@@ -20,15 +22,32 @@ let default_config =
    of response [slots] (reserved at decode time, filled whenever the
    request completes — possibly out of completion order), and stages
    filled-prefix response bytes in [out] for non-blocking writes. *)
+
+(* One reserved response.  [s_trace] echoes the request's v2 trace id on
+   the response frame; [s_cell] is the request's phase vector, finished
+   when the response bytes have actually reached the socket. *)
+type slot = {
+  mutable resp : bytes option;
+  s_cell : Phases.cell option;
+  s_trace : int64 option;
+  mutable fill_ns : int64;  (* clock at fill, for the reply-flush phase *)
+}
+
 type conn = {
   fd : Unix.file_descr;
   id : int;
   mutable inbuf : bytes;
   mutable in_len : int;
-  slots : bytes option ref Queue.t;
+  slots : slot Queue.t;
   mutable out : bytes;
   mutable out_pos : int;  (* written prefix of [out] *)
   mutable out_len : int;
+  mutable staged_total : int;  (* bytes ever staged into [out] *)
+  mutable sent_total : int;  (* bytes ever written to the socket *)
+  flushes : (Phases.cell * int64 * int) Queue.t;
+      (* (cell, fill_ns, staged_total watermark): the cell's response is
+         fully on the socket once [sent_total] reaches the watermark —
+         targets are recorded in staging order, so this stays FIFO. *)
   mutable close_after_flush : bool;
       (* EOF seen or protocol error: no more reads; close once every
          reserved slot has been filled and flushed. *)
@@ -86,6 +105,15 @@ type t = {
   mutable tick : unit -> unit;
   mutable on_close : int -> unit;
   mutable watches : (Unix.file_descr * (unit -> unit)) list;
+  mutable phases : Phases.recorder option;
+      (* When set, Query/Insert/Delete requests carry a phase cell. *)
+  mutable flight : Telemetry.Flight.t option;  (* reported by Observe *)
+  mutable observe_extra : unit -> (string * Json.t) list;
+      (* Extension-owned Observe fields (replication lag, role). *)
+  mutable last_write_trace_ : int64 option;
+      (* Trace id of the most recent traced write — the replication hub
+         stamps outgoing WAL frames with it so a tagged write's shipping
+         and follower replay join its trace. *)
   m_requests : Metrics.counter;
   m_shed : Metrics.counter;
   m_ro_rejected : Metrics.counter;
@@ -148,6 +176,10 @@ let make ~config ~telemetry ~reg ~backend ~listen () =
     tick = (fun () -> ());
     on_close = (fun _ -> ());
     watches = [];
+    phases = None;
+    flight = None;
+    observe_extra = (fun () -> []);
+    last_write_trace_ = None;
     m_requests = Metrics.counter reg ~help:"Requests decoded." "server_requests_total";
     m_shed =
       Metrics.counter reg ~help:"Requests shed with Overloaded." "server_shed_total";
@@ -230,26 +262,32 @@ let append_out conn b =
     end
   end;
   Bytes.blit b 0 conn.out conn.out_len blen;
-  conn.out_len <- conn.out_len + blen
+  conn.out_len <- conn.out_len + blen;
+  conn.staged_total <- conn.staged_total + blen
 
 (* Move the filled prefix of the slot queue into the write staging
    buffer — responses leave strictly in request order. *)
 let rec pump conn =
   match Queue.peek_opt conn.slots with
-  | Some { contents = Some bytes } ->
+  | Some ({ resp = Some bytes; _ } as slot) ->
       ignore (Queue.pop conn.slots);
       append_out conn bytes;
+      (match slot.s_cell with
+      | Some c -> Queue.add (c, slot.fill_ns, conn.staged_total) conn.flushes
+      | None -> ());
       pump conn
-  | Some { contents = None } | None -> ()
+  | Some { resp = None; _ } | None -> ()
 
 (* --- Request handling ----------------------------------------------------------- *)
 
-let reserve conn =
-  let slot = ref None in
+let reserve ?cell ?trace conn =
+  let slot = { resp = None; s_cell = cell; s_trace = trace; fill_ns = 0L } in
   Queue.add slot conn.slots;
   slot
 
-let fill slot resp = slot := Some (Wire.encode_response resp)
+let fill slot resp =
+  slot.resp <- Some (Wire.encode_response ?trace:slot.s_trace resp);
+  if slot.s_cell <> None then slot.fill_ns <- Phases.now_ns ()
 
 let err code detail = Wire.Err { code; detail }
 
@@ -363,6 +401,102 @@ let shard_stats t : Wire.shard_stat list =
         };
       ]
 
+(* The Observe reply: one JSON document with every liveness gauge the
+   paper-plane exposes — per-shard watermark/reader lag and snapshot
+   age, backlog depth, retention-horizon distance, disk pressure, the
+   phase-histogram summary, flight-recorder state, plus whatever the
+   replication extension contributes through [observe_extra]. *)
+let observe_json t =
+  let s = stats t in
+  let health_str h = Format.asprintf "%a" Durable.pp_health h in
+  let now = Phases.now_ns () in
+  let age_ms published =
+    if published = 0L then Json.Null
+    else Json.Float (Int64.to_float (Int64.sub now published) /. 1e6)
+  in
+  let shards =
+    match t.backend with
+    | Sharded c ->
+        List.map
+          (fun (i : Shard.Cluster.shard_info) ->
+            let st = i.stat in
+            Json.Obj
+              [
+                ("shard", Json.Int i.shard);
+                ("klo", Json.Int i.klo);
+                ("khi", Json.Int i.khi);
+                ("watermark", Json.Int st.Shard.Snapshot.watermark);
+                ("reader_watermark", Json.Int i.reader_watermark);
+                ( "reader_lag",
+                  Json.Int (st.Shard.Snapshot.watermark - i.reader_watermark) );
+                ("queue", Json.Int i.queue);
+                ("snapshot_age_ms", age_ms st.Shard.Snapshot.published_ns);
+                ("health", Json.Str (health_str st.Shard.Snapshot.health));
+              ])
+          (Shard.Cluster.shard_infos c)
+    | Single { eng; bat } ->
+        let w = Durable.warehouse eng in
+        [
+          Json.Obj
+            [
+              ("shard", Json.Int 0);
+              ("klo", Json.Int 0);
+              ("khi", Json.Int (Rta.max_key w));
+              ("watermark", Json.Int (Rta.n_updates w));
+              ("reader_watermark", Json.Int (Rta.n_updates w));
+              ("reader_lag", Json.Int 0);
+              ("queue", Json.Int (Batcher.pending bat));
+              ("snapshot_age_ms", Json.Float 0.);
+              ("health", Json.Str (health_str (Durable.health eng)));
+            ];
+        ]
+  in
+  let engine_fields =
+    match t.backend with
+    | Single { eng; _ } ->
+        [
+          ( "pressure",
+            Json.Str (Format.asprintf "%a" Durable.pp_pressure (Durable.pressure eng))
+          );
+          ("disk_used", Json.Int (Durable.disk_used eng));
+          ("wal_unsynced", Json.Int (Durable.wal_unsynced eng));
+          ("horizon_distance", Json.Int (max 0 (s.Wire.now - s.Wire.horizon)));
+        ]
+    | Sharded _ -> []
+  in
+  let phases = match t.phases with Some r -> Phases.summary_json r | None -> Json.Null in
+  let flight =
+    match t.flight with
+    | None -> Json.Obj [ ("enabled", Json.Bool false) ]
+    | Some f ->
+        let buf = Telemetry.Flight.buffer f in
+        Json.Obj
+          [
+            ("enabled", Json.Bool true);
+            ("dumps", Json.Int (Telemetry.Flight.dumps f));
+            ("spans_recorded", Json.Int (Tracer.Memory.span_count buf));
+            ("spans_dropped", Json.Int (Tracer.Memory.dropped buf));
+          ]
+  in
+  Json.to_string
+    (Json.Obj
+       ([
+          ("type", Json.Str "observe");
+          ("pid", Json.Int (Tracer.self_pid ()));
+          ("health", Json.Str (health_str s.Wire.health));
+          ("updates", Json.Int s.Wire.updates);
+          ("now", Json.Int s.Wire.now);
+          ("queue_depth", Json.Int s.Wire.queue_depth);
+          ("in_flight", Json.Int s.Wire.in_flight);
+          ("conns", Json.Int s.Wire.conns);
+          ("requests", Json.Int s.Wire.requests);
+          ("shed", Json.Int s.Wire.shed);
+          ("horizon", Json.Int s.Wire.horizon);
+        ]
+       @ engine_fields
+       @ [ ("shards", Json.List shards); ("phases", phases); ("flight", flight) ]
+       @ t.observe_extra ()))
+
 let outcome_response = function
   | Batcher.Applied -> Wire.Ack
   | Batcher.Rejected m -> err Wire.Invalid_request m
@@ -407,7 +541,7 @@ let handle_ext t conn (req : Wire.request) =
             pump conn;
             conn.subscriber <- true)
 
-let handle_request t conn (req : Wire.request) =
+let handle_request t conn ~trace ~t0 (req : Wire.request) =
   t.requests <- t.requests + 1;
   Metrics.inc t.m_requests;
   match req with
@@ -420,7 +554,18 @@ let handle_request t conn (req : Wire.request) =
       fill (reserve conn)
         (err Wire.Invalid_request "connection is a replication subscription")
   | _ -> (
-  let slot = reserve conn in
+  (* Phase accounting rides the data-plane requests only; [t0] is the
+     clock just before this frame's decode started. *)
+  let cell =
+    match (t.phases, req) with
+    | None, _ -> None
+    | Some _, Wire.Query _ -> Some (Phases.cell ~kind:"query" ~trace)
+    | Some _, Wire.Insert _ -> Some (Phases.cell ~kind:"insert" ~trace)
+    | Some _, Wire.Delete _ -> Some (Phases.cell ~kind:"delete" ~trace)
+    | Some _, _ -> None
+  in
+  (match cell with Some c -> Phases.charge c Phases.Decode ~since:t0 | None -> ());
+  let slot = reserve ?cell ?trace conn in
   if t.state <> Accepting then fill slot (err Wire.Shutting_down "server is draining")
   else
     match req with
@@ -431,10 +576,16 @@ let handle_request t conn (req : Wire.request) =
     | Wire.Health -> fill slot (Wire.Health_reply (backend_health t))
     | Wire.Stats -> fill slot (Wire.Stats_reply (stats t))
     | Wire.Shard_stats -> fill slot (Wire.Shard_stats_reply (shard_stats t))
+    | Wire.Observe -> fill slot (Wire.Observe_reply (observe_json t))
     | Wire.Query _ | Wire.Insert _ | Wire.Delete _ | Wire.Checkpoint | Wire.Vacuum _ -> (
-        match
+        let t_adm0 = match cell with Some _ -> Phases.now_ns () | None -> 0L in
+        let decision =
           Admission.admit t.adm ~queue_depth:(queue_depth t) ~write:(Wire.is_write req)
-        with
+        in
+        (match cell with
+        | Some c -> Phases.charge c Phases.Admission_wait ~since:t_adm0
+        | None -> ());
+        match decision with
         | Admission.Reject_read_only ->
             Metrics.inc t.m_ro_rejected;
             fill slot (err Wire.Read_only "engine is read-only; queries still serve")
@@ -442,8 +593,10 @@ let handle_request t conn (req : Wire.request) =
             Metrics.inc t.m_shed;
             fill slot (err Wire.Overloaded "admission limit reached; back off and retry")
         | Admission.Admit -> (
+            if Wire.is_write req && trace <> None then t.last_write_trace_ <- trace;
             match (req, t.backend) with
             | Wire.Query { agg = _; klo; khi; tlo; thi }, Single { eng; _ } ->
+                let t_q0 = match cell with Some _ -> Phases.now_ns () | None -> 0L in
                 let resp =
                   Tracer.with_span t.tel "server.request"
                     ~attrs:(fun () -> [ ("kind", Tracer.Str "query") ])
@@ -473,34 +626,38 @@ let handle_request t conn (req : Wire.request) =
                            horizon)
                   | exception E.Io e -> err_of_storage e
                 in
+                (match cell with
+                | Some c -> Phases.charge c Phases.Apply ~since:t_q0
+                | None -> ());
                 fill slot resp;
                 Admission.release t.adm
             | Wire.Query { agg = _; klo; khi; tlo; thi }, Sharded c ->
-                Shard.Cluster.submit_query c ~klo ~khi ~tlo ~thi (fun res ->
+                Shard.Cluster.submit_query c ?cell ?trace ~klo ~khi ~tlo ~thi
+                  (fun res ->
                     (match res with
                     | Ok (sum, count) -> fill slot (Wire.Agg { sum; count })
                     | Error e -> fill slot (query_error_response e));
                     Admission.release t.adm)
             | Wire.Insert { key; value; at }, Single { bat; _ } ->
-                Batcher.enqueue bat
+                Batcher.enqueue bat ?cell ?trace
                   (Batcher.Insert { key; value; at })
                   (fun outcome ->
                     fill slot (outcome_response outcome);
                     Admission.release t.adm)
             | Wire.Insert { key; value; at }, Sharded c ->
-                Shard.Cluster.submit_write c
+                Shard.Cluster.submit_write c ?cell ?trace
                   (Shard.Op.Insert { key; value; at })
                   (fun outcome ->
                     fill slot (cluster_outcome_response outcome);
                     Admission.release t.adm)
             | Wire.Delete { key; at }, Single { bat; _ } ->
-                Batcher.enqueue bat
+                Batcher.enqueue bat ?cell ?trace
                   (Batcher.Delete { key; at })
                   (fun outcome ->
                     fill slot (outcome_response outcome);
                     Admission.release t.adm)
             | Wire.Delete { key; at }, Sharded c ->
-                Shard.Cluster.submit_write c
+                Shard.Cluster.submit_write c ?cell ?trace
                   (Shard.Op.Delete { key; at })
                   (fun outcome ->
                     fill slot (cluster_outcome_response outcome);
@@ -565,8 +722,8 @@ let handle_request t conn (req : Wire.request) =
                     | Error e -> fill slot (err_of_storage e));
                     Admission.release t.adm)
             | ( ( Wire.Stats | Wire.Health | Wire.Ping | Wire.Shutdown
-                | Wire.Shard_stats | Wire.Wal_subscribe _ | Wire.Wal_ack _
-                | Wire.Replica_stats | Wire.Promote ),
+                | Wire.Shard_stats | Wire.Observe | Wire.Wal_subscribe _
+                | Wire.Wal_ack _ | Wire.Replica_stats | Wire.Promote ),
                 _ ) ->
                 assert false))
     | Wire.Wal_subscribe _ | Wire.Wal_ack _ | Wire.Replica_stats | Wire.Promote ->
@@ -579,10 +736,16 @@ let parse t conn =
   let pos = ref 0 in
   let continue = ref true in
   while !continue do
-    match Wire.decode_request ~buf:conn.inbuf ~pos:!pos ~avail:(conn.in_len - !pos) with
-    | Wire.Complete (req, used) ->
+    let t0 = if t.phases <> None then Phases.now_ns () else 0L in
+    match
+      Wire.decode_request_traced ~buf:conn.inbuf ~pos:!pos ~avail:(conn.in_len - !pos)
+    with
+    | Wire.Complete ((req, trace), used) ->
         pos := !pos + used;
-        handle_request t conn req
+        (* The trace id is ambient for the whole handling extent, so
+           every span below — engine apply, batcher, extension — joins
+           the request's trace without threading it by hand. *)
+        Tracer.with_trace ~trace (fun () -> handle_request t conn ~trace ~t0 req)
     | Wire.Incomplete -> continue := false
     | Wire.Fail e ->
         let slot = reserve conn in
@@ -621,15 +784,31 @@ let read_conn t conn =
   | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
   | exception Unix.Unix_error _ -> close_conn t conn
 
+(* Finish every phase cell whose response bytes are now fully on the
+   socket: the reply-flush phase runs from fill to here. *)
+let rec complete_flushes t conn =
+  match Queue.peek_opt conn.flushes with
+  | Some (c, fill_ns, target) when target <= conn.sent_total ->
+      ignore (Queue.pop conn.flushes);
+      (match t.phases with
+      | Some r ->
+          Phases.charge c Phases.Reply_flush ~since:fill_ns;
+          Phases.finish r c
+      | None -> ());
+      complete_flushes t conn
+  | _ -> ()
+
 let write_conn t conn =
   if out_pending conn > 0 then
     match Unix.write conn.fd conn.out conn.out_pos (out_pending conn) with
     | n ->
         conn.out_pos <- conn.out_pos + n;
+        conn.sent_total <- conn.sent_total + n;
         if conn.out_pos = conn.out_len then begin
           conn.out_pos <- 0;
           conn.out_len <- 0
-        end
+        end;
+        complete_flushes t conn
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
     | exception Unix.Unix_error _ -> close_conn t conn
 
@@ -647,6 +826,9 @@ let rec accept_loop t =
           out = Bytes.create 4096;
           out_pos = 0;
           out_len = 0;
+          staged_total = 0;
+          sent_total = 0;
+          flushes = Queue.create ();
           close_after_flush = false;
           dead = false;
           subscriber = false;
@@ -779,3 +961,9 @@ let on_conn_close t f = t.on_close <- f
 let add_watch t fd k = t.watches <- (fd, k) :: List.remove_assoc fd t.watches
 let remove_watch t fd = t.watches <- List.remove_assoc fd t.watches
 let telemetry t = t.tel
+let enable_phases t r = t.phases <- Some r
+let phase_recorder t = t.phases
+let set_flight t f = t.flight <- Some f
+let flight t = t.flight
+let set_observe_extra t f = t.observe_extra <- f
+let last_write_trace t = t.last_write_trace_

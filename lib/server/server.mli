@@ -148,6 +148,42 @@ val metrics : t -> Telemetry.Metrics.t
 
 val telemetry : t -> Telemetry.Tracer.t
 
+(** {2 Observability}
+
+    {!enable_phases} turns on per-request phase accounting: every
+    admitted Query/Insert/Delete carries a {!Telemetry.Phases.cell}
+    charged stage by stage (decode, admission wait, queue wait, batch
+    build, WAL append, fsync share, replication-quorum wait, engine
+    apply, reply flush) and finished into the recorder's histograms when
+    its response bytes reach the socket.  The wire [Observe] request —
+    and {!observe_json} for in-process consumers like the metrics HTTP
+    endpoint — answers with one JSON document of live gauges: per-shard
+    watermark/reader lag and snapshot age, queue depths, retention
+    horizon distance, disk pressure, the phase summary, flight-recorder
+    state, and extension-contributed fields. *)
+
+val enable_phases : t -> Telemetry.Phases.recorder -> unit
+
+val phase_recorder : t -> Telemetry.Phases.recorder option
+
+val set_flight : t -> Telemetry.Flight.t -> unit
+(** Register the process flight recorder so [Observe] reports its dump
+    count and ring occupancy. *)
+
+val flight : t -> Telemetry.Flight.t option
+
+val set_observe_extra : t -> (unit -> (string * Telemetry.Json.t) list) -> unit
+(** Extra top-level fields merged into the [Observe] document — the
+    replication extension reports its role and follower lag here. *)
+
+val last_write_trace : t -> int64 option
+(** Trace id of the most recent traced write accepted by this server.
+    The replication hub stamps outgoing WAL-frame pushes with it so a
+    tagged write's shipping and follower replay join its trace. *)
+
+val observe_json : t -> string
+(** The [Observe] reply document (also served to wire requests). *)
+
 (** {2 Loop extension}
 
     How {!Replica} plugs replication into the event loop without the

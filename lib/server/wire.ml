@@ -1,6 +1,7 @@
 module Codec = Storage.Codec
 
 let version = 1
+let version_traced = 2
 let frame_header_bytes = 8
 let max_payload_bytes = 1 lsl 16
 
@@ -21,6 +22,7 @@ let tag_wal_ack = 11
 let tag_replica_stats = 12
 let tag_promote = 13
 let tag_vacuum = 14
+let tag_observe = 15
 let tag_agg = 65
 let tag_ack = 66
 let tag_err = 67
@@ -32,6 +34,7 @@ let tag_sub_ok = 72
 let tag_wal_frames = 73
 let tag_replica_stats_reply = 74
 let tag_vacuum_reply = 75
+let tag_observe_reply = 76
 
 type agg = Sum | Count | Avg
 
@@ -50,6 +53,7 @@ type request =
   | Replica_stats
   | Promote
   | Vacuum of { horizon : int; max_pages_per_step : int }
+  | Observe
 
 type error_code =
   | Bad_request
@@ -151,6 +155,7 @@ type response =
       v_pages_pruned : int;
       v_records_dropped : int;
     }
+  | Observe_reply of string  (* JSON text; schema owned by the server *)
 
 let pp_agg ppf a =
   Format.pp_print_string ppf (match a with Sum -> "sum" | Count -> "count" | Avg -> "avg")
@@ -173,6 +178,7 @@ let pp_request ppf = function
   | Promote -> Format.pp_print_string ppf "promote"
   | Vacuum { horizon; max_pages_per_step } ->
       Format.fprintf ppf "vacuum horizon=%d step=%d" horizon max_pages_per_step
+  | Observe -> Format.pp_print_string ppf "observe"
 
 let pp_role ppf r =
   Format.pp_print_string ppf
@@ -207,6 +213,7 @@ let pp_response ppf = function
   | Vacuum_reply v ->
       Format.fprintf ppf "vacuumed horizon=%d steps=%d freed=%d pruned=%d dropped=%d"
         v.v_horizon v.v_steps v.v_pages_freed v.v_pages_pruned v.v_records_dropped
+  | Observe_reply body -> Format.fprintf ppf "observe-reply %d bytes" (String.length body)
 
 let is_write = function Insert _ | Delete _ -> true | _ -> false
 
@@ -241,13 +248,28 @@ let frame payload =
   Bytes.blit payload 0 out frame_header_bytes len;
   out
 
-(* One payload buffer, exactly sized: version, tag, then the body. *)
-let payload ~tag ~body_bytes fill =
-  let w = Codec.Writer.create (2 + body_bytes) in
-  Codec.Writer.u8 w version;
-  Codec.Writer.u8 w tag;
-  fill w;
-  frame (Codec.Writer.contents w)
+(* One payload buffer, exactly sized.  An untraced message is the
+   version-1 layout byte for byte ([version, tag, body]); a trace id
+   switches the frame to version 2, which interposes the id between the
+   version and the tag ([version_traced, trace i64, tag, body]).  Version
+   negotiation is per-frame: a v1-only peer simply never sends or
+   receives v2 frames, and a traced server answers v1 requests with v1
+   responses. *)
+let payload ?trace ~tag ~body_bytes fill =
+  match trace with
+  | None ->
+      let w = Codec.Writer.create (2 + body_bytes) in
+      Codec.Writer.u8 w version;
+      Codec.Writer.u8 w tag;
+      fill w;
+      frame (Codec.Writer.contents w)
+  | Some id ->
+      let w = Codec.Writer.create (10 + body_bytes) in
+      Codec.Writer.u8 w version_traced;
+      Codec.Writer.i64 w (Int64.to_int id);
+      Codec.Writer.u8 w tag;
+      fill w;
+      frame (Codec.Writer.contents w)
 
 let write_string w s =
   Codec.Writer.i32 w (String.length s);
@@ -255,7 +277,9 @@ let write_string w s =
 
 let write_bytes_raw w b = Bytes.iter (fun c -> Codec.Writer.u8 w (Char.code c)) b
 
-let encode_request = function
+let encode_request ?trace req =
+  let payload ~tag ~body_bytes fill = payload ?trace ~tag ~body_bytes fill in
+  match req with
   | Query { agg; klo; khi; tlo; thi } ->
       payload ~tag:tag_query ~body_bytes:(1 + (4 * 8)) (fun w ->
           Codec.Writer.u8 w (agg_code agg);
@@ -292,6 +316,7 @@ let encode_request = function
       payload ~tag:tag_vacuum ~body_bytes:(2 * 8) (fun w ->
           Codec.Writer.i64 w horizon;
           Codec.Writer.i64 w max_pages_per_step)
+  | Observe -> payload ~tag:tag_observe ~body_bytes:0 ignore
 
 let shard_stat_bytes = (14 * 8) + 1
 
@@ -312,7 +337,13 @@ let write_shard_stat w s =
   Codec.Writer.i64 w s.s_io_writes;
   Codec.Writer.i64 w s.s_io_syncs
 
-let encode_response = function
+(* Observe replies carry free-form JSON; leave headroom for the header
+   and trace id when capping. *)
+let max_observe_bytes = max_payload_bytes - 64
+
+let encode_response ?trace resp =
+  let payload ~tag ~body_bytes fill = payload ?trace ~tag ~body_bytes fill in
+  match resp with
   | Agg { sum; count } ->
       payload ~tag:tag_agg ~body_bytes:(2 * 8) (fun w ->
           Codec.Writer.i64 w sum;
@@ -407,6 +438,13 @@ let encode_response = function
           Codec.Writer.i64 w v.v_pages_freed;
           Codec.Writer.i64 w v.v_pages_pruned;
           Codec.Writer.i64 w v.v_records_dropped)
+  | Observe_reply body ->
+      let body =
+        if String.length body <= max_observe_bytes then body
+        else String.sub body 0 max_observe_bytes
+      in
+      payload ~tag:tag_observe_reply ~body_bytes:(4 + String.length body) (fun w ->
+          write_string w body)
 
 (* --- Decoding ----------------------------------------------------------------- *)
 
@@ -504,6 +542,7 @@ let decode_body_request rd ~len tag =
       let horizon = Codec.Reader.i64 rd in
       let max_pages_per_step = Codec.Reader.i64 rd in
       Vacuum { horizon; max_pages_per_step }
+  | t when t = tag_observe -> Observe
   | t ->
       ignore len;
       raise (Reject (Unknown_tag t))
@@ -630,6 +669,8 @@ let decode_body_response rd ~len tag =
       let v_pages_pruned = Codec.Reader.i64 rd in
       let v_records_dropped = Codec.Reader.i64 rd in
       Vacuum_reply { v_horizon; v_steps; v_pages_freed; v_pages_pruned; v_records_dropped }
+  | t when t = tag_observe_reply ->
+      Observe_reply (read_string rd ~remaining:(len - Codec.Reader.pos rd - 4))
   | t -> raise (Reject (Unknown_tag t))
 
 (* The shared total decoder: validate the length prefix before any
@@ -654,12 +695,16 @@ let decode decode_body ~buf ~pos ~avail =
         let rd = Codec.Reader.create body in
         match
           let v = Codec.Reader.u8 rd in
-          if v <> version then raise (Reject (Unknown_version v));
+          let trace =
+            if v = version then None
+            else if v = version_traced then Some (Int64.of_int (Codec.Reader.i64 rd))
+            else raise (Reject (Unknown_version v))
+          in
           let tag = Codec.Reader.u8 rd in
           let msg = decode_body rd ~len tag in
           if Codec.Reader.pos rd <> len then
             raise (Reject (Bad_payload "trailing bytes after message"));
-          msg
+          (msg, trace)
         with
         | msg -> Complete (msg, frame_header_bytes + len)
         | exception Reject e -> Fail e
@@ -668,5 +713,13 @@ let decode decode_body ~buf ~pos ~avail =
     end
   end
 
-let decode_request ~buf ~pos ~avail = decode decode_body_request ~buf ~pos ~avail
-let decode_response ~buf ~pos ~avail = decode decode_body_response ~buf ~pos ~avail
+let decode_request_traced ~buf ~pos ~avail = decode decode_body_request ~buf ~pos ~avail
+let decode_response_traced ~buf ~pos ~avail = decode decode_body_response ~buf ~pos ~avail
+
+let drop_trace = function
+  | Complete ((msg, _trace), used) -> Complete (msg, used)
+  | Incomplete -> Incomplete
+  | Fail e -> Fail e
+
+let decode_request ~buf ~pos ~avail = drop_trace (decode_request_traced ~buf ~pos ~avail)
+let decode_response ~buf ~pos ~avail = drop_trace (decode_response_traced ~buf ~pos ~avail)

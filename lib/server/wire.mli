@@ -7,8 +7,17 @@
     +----------+----------+----------------------+
     | len  u32 | crc  u32 | payload (len bytes)  |
     +----------+----------+----------------------+
-    payload = version u8 | tag u8 | body
+    payload (v1) = 1 u8 | tag u8 | body
+    payload (v2) = 2 u8 | trace i64 | tag u8 | body
     v}
+
+    Version 2 differs from version 1 only by the trace id interposed
+    between the version and the tag — the distributed-tracing request id
+    that stitches spans across processes.  Negotiation is per-frame: an
+    encoder without [?trace] emits version 1 byte for byte as before, so
+    old clients interoperate with new servers (and vice versa for every
+    v1 message); the decoder accepts both versions and the [*_traced]
+    variants surface the id.
 
     [len] counts the payload only and is validated against
     {!max_payload_bytes} {e before} any allocation, so a hostile length
@@ -28,7 +37,11 @@
     responses to requests by position. *)
 
 val version : int
-(** Current protocol version (1). *)
+(** Baseline protocol version (1): untraced frames. *)
+
+val version_traced : int
+(** Protocol version 2: identical to v1 plus a trace id after the
+    version byte. *)
 
 val frame_header_bytes : int
 (** Bytes before the payload: 4 (length) + 4 (CRC). *)
@@ -74,6 +87,11 @@ type request =
           Sharded servers and followers answer [Err Invalid_request]:
           retention is driven on a single-engine leader and reaches
           followers through the shipped WAL. *)
+  | Observe
+      (** Live observability snapshot: per-shard and per-follower lag
+          gauges, snapshot age, backlog depth, vacuum horizon distance,
+          disk pressure, flight-recorder state.  Answered with
+          {!Observe_reply}. *)
 
 type error_code =
   | Bad_request  (** The frame decoded but the message made no sense. *)
@@ -197,6 +215,10 @@ type response =
       v_pages_pruned : int;  (** Pages with dead records dropped in place. *)
       v_records_dropped : int;
     }  (** Answer to {!request.Vacuum}. *)
+  | Observe_reply of string
+      (** JSON text (parse with {!Telemetry.Json.of_string}); the schema
+          is owned by the server so gauges can grow without wire
+          changes. *)
 
 val pp_request : Format.formatter -> request -> unit
 val pp_response : Format.formatter -> response -> unit
@@ -205,10 +227,12 @@ val pp_role : Format.formatter -> role -> unit
 
 (** {1 Encoding} *)
 
-val encode_request : request -> bytes
-(** The complete frame, ready to write. *)
+val encode_request : ?trace:int64 -> request -> bytes
+(** The complete frame, ready to write.  Without [?trace] this is the
+    version-1 encoding, byte for byte; with it, the version-2 encoding
+    carrying the trace id. *)
 
-val encode_response : response -> bytes
+val encode_response : ?trace:int64 -> response -> bytes
 
 val frame : bytes -> bytes
 (** Frame an arbitrary payload (length prefix + CRC + payload verbatim).
@@ -244,9 +268,18 @@ type 'a decoded =
 
 val decode_request : buf:bytes -> pos:int -> avail:int -> request decoded
 (** Decode one frame from [buf.(pos .. pos+avail)].  Never raises, never
-    reads outside that window. *)
+    reads outside that window.  Accepts v1 and v2 frames; any trace id
+    is dropped — use {!decode_request_traced} to see it. *)
 
 val decode_response : buf:bytes -> pos:int -> avail:int -> response decoded
+
+val decode_request_traced :
+  buf:bytes -> pos:int -> avail:int -> (request * int64 option) decoded
+(** Like {!decode_request} but surfacing the v2 trace id ([None] on v1
+    frames). *)
+
+val decode_response_traced :
+  buf:bytes -> pos:int -> avail:int -> (response * int64 option) decoded
 
 val is_write : request -> bool
 (** [Insert] and [Delete] — the requests group commit batches and a

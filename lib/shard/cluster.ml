@@ -1,5 +1,7 @@
 module E = Storage.Storage_error
 module Io_stats = Telemetry.Io_stats
+module Phases = Telemetry.Phases
+module Tracer = Telemetry.Tracer
 
 type config = {
   shards : int;
@@ -15,13 +17,20 @@ let default_config =
 type outcome = Applied | Rejected of string | Failed of E.t
 type query_error = Bad_query of string | Io of E.t
 
+(* Writes carry the request's phase cell across the domain hop: exactly
+   one writer domain touches it, sequenced by the mailbox on the way in
+   and the completion queue on the way out, so there is no concurrent
+   mutation.  Scatter queries may fan one request out to several writer
+   domains at once, so they carry only the trace id (for span
+   correlation); their phase charging stays on the main domain. *)
 type wmsg =
-  | W_write of Op.t * (outcome -> unit)
+  | W_write of Op.t * Phases.cell option * int64 option * (outcome -> unit)
   | W_query of {
       klo : int;
       khi : int;
       tlo : int;
       thi : int;
+      trace : int64 option;
       reply : (int * int, query_error) result -> unit;
     }
   | W_checkpoint of ((unit, E.t) result -> unit)
@@ -33,6 +42,8 @@ type rmsg =
       khi : int;
       tlo : int;
       thi : int;
+      cell : Phases.cell option;
+      trace : int64 option;
       reply : (int * int, query_error) result -> unit;
     }
 
@@ -96,6 +107,7 @@ type shard_info = {
 
 type t = {
   cfg : config;
+  tel : Tracer.t;
   router : Router.t;
   writers : wmsg Mailbox.t array;
   readers : rmsg Mailbox.t array;
@@ -134,6 +146,7 @@ let stat_of_engine eng io =
     wal_syncs = Wal.Stats.fsyncs (Durable.wal_stats eng);
     health = Durable.health eng;
     io = Io_stats.snapshot io;
+    published_ns = 0L;  (* Snapshot.publish stamps the real clock *)
   }
 
 (* --- Writer domain --------------------------------------------------------------- *)
@@ -152,6 +165,7 @@ let apply_one eng op =
   | Error msg -> Rejected msg
 
 let writer_loop t i eng =
+  Tracer.set_thread_name (Printf.sprintf "shard-%d-writer" i);
   let mb = t.writers.(i) in
   let batches = ref 0 and acked = ref 0 in
   let publish () =
@@ -162,9 +176,13 @@ let writer_loop t i eng =
         acked = !acked;
       }
   in
-  let handle_query ~klo ~khi ~tlo ~thi reply =
+  let handle_query ~klo ~khi ~tlo ~thi ~trace reply =
     let before = Rta.page_touches (Durable.warehouse eng) in
     let res =
+      Tracer.with_trace ~trace @@ fun () ->
+      Tracer.with_span t.tel "shard.query"
+        ~attrs:(fun () -> [ ("shard", Tracer.Int i) ])
+      @@ fun () ->
       match Durable.sum_count eng ~klo ~khi ~tlo ~thi with
       | sc -> Ok sc
       | exception Invalid_argument m -> Error (Bad_query m)
@@ -178,14 +196,14 @@ let writer_loop t i eng =
      WAL sync covers them all.  A failed sync fails every provisionally
      applied op: they are in the log but their durability is unknown, and
      an ack is a durability claim. *)
-  let commit_batch first_op first_k =
-    let items = ref [ (first_op, first_k) ] and n = ref 1 in
+  let commit_batch first_op first_cell first_trace first_k =
+    let items = ref [ (first_op, first_cell, first_trace, first_k) ] and n = ref 1 in
     let stash = ref None in
     let continue = ref true in
     while !continue && !n < t.cfg.max_batch do
       match Mailbox.try_take mb with
-      | Some (W_write (op, k)) ->
-          items := (op, k) :: !items;
+      | Some (W_write (op, cell, trace, k)) ->
+          items := (op, cell, trace, k) :: !items;
           incr n
       | Some other ->
           stash := Some other;
@@ -193,19 +211,64 @@ let writer_loop t i eng =
       | None -> continue := false
     done;
     let items = Array.of_list (List.rev !items) in
-    let outcomes = Array.map (fun (op, _) -> apply_one eng op) items in
+    Tracer.with_span t.tel "shard.batch"
+      ~attrs:(fun () ->
+        [ ("shard", Tracer.Int i); ("size", Tracer.Int (Array.length items)) ])
+    @@ fun () ->
+    let any_cell = Array.exists (fun (_, c, _, _) -> c <> None) items in
+    (* Phase charging mirrors the single-engine batcher: queue wait ends
+       at pickup; the batch loop minus the op's own engine-charged append
+       and apply is batch build; one fsync is charged to every rider. *)
+    let t_loop0 = if any_cell then Phases.now_ns () else 0L in
+    if any_cell then
+      Array.iter
+        (fun (_, c, _, _) ->
+          match c with Some c -> Phases.charge_mark c Phases.Queue_wait | None -> ())
+        items;
+    let outcomes =
+      Array.map
+        (fun (op, cell, trace, _) ->
+          Durable.set_phase_cell eng cell;
+          let o = Tracer.with_trace ~trace (fun () -> apply_one eng op) in
+          Durable.set_phase_cell eng None;
+          o)
+        items
+    in
+    if any_cell then begin
+      let loop_ns = Int64.sub (Phases.now_ns ()) t_loop0 in
+      Array.iter
+        (fun (_, c, _, _) ->
+          match c with
+          | None -> ()
+          | Some c ->
+              let own =
+                Phases.phase_ns c Phases.Wal_append +. Phases.phase_ns c Phases.Apply
+              in
+              Phases.add c Phases.Batch_build
+                ~ns:(Int64.of_float (max 0. (Int64.to_float loop_ns -. own))))
+        items
+    end;
     let applied = Array.exists (function Applied -> true | _ -> false) outcomes in
-    (if applied then
-       match Durable.sync_wal eng with
+    (if applied then begin
+       let t_sync0 = if any_cell then Phases.now_ns () else 0L in
+       (match Durable.sync_wal eng with
        | Ok () -> ()
        | Error e ->
            Array.iteri
              (fun j o -> match o with Applied -> outcomes.(j) <- Failed e | _ -> ())
              outcomes);
+       if any_cell then
+         Array.iter
+           (fun (_, c, _, _) ->
+             match c with
+             | Some c -> Phases.charge c Phases.Fsync ~since:t_sync0
+             | None -> ())
+           items
+     end);
     incr batches;
     let applied_ops = ref [] in
     Array.iteri
-      (fun j (op, _) ->
+      (fun j (op, _, _, _) ->
         match outcomes.(j) with
         | Applied ->
             incr acked;
@@ -221,7 +284,7 @@ let writer_loop t i eng =
         t.readers;
     publish ();
     Array.iteri
-      (fun j (_, k) ->
+      (fun j (_, _, _, k) ->
         let o = outcomes.(j) in
         post t.comp (fun () -> k o))
       items;
@@ -230,9 +293,9 @@ let writer_loop t i eng =
   let rec loop next =
     match next with
     | None -> ()
-    | Some (W_write (op, k)) -> loop_step (commit_batch op k)
-    | Some (W_query { klo; khi; tlo; thi; reply }) ->
-        handle_query ~klo ~khi ~tlo ~thi reply;
+    | Some (W_write (op, cell, trace, k)) -> loop_step (commit_batch op cell trace k)
+    | Some (W_query { klo; khi; tlo; thi; trace; reply }) ->
+        handle_query ~klo ~khi ~tlo ~thi ~trace reply;
         loop_step None
     | Some (W_checkpoint k) ->
         let res = Durable.checkpoint eng in
@@ -249,6 +312,7 @@ let writer_loop t i eng =
 (* --- Reader domain --------------------------------------------------------------- *)
 
 let reader_loop t r wh =
+  Tracer.set_thread_name (Printf.sprintf "reader-%d" r);
   let mb = t.readers.(r) in
   let rec go () =
     match Mailbox.take mb with
@@ -257,13 +321,27 @@ let reader_loop t r wh =
         List.iter (fun op -> Warehouse.apply_to wh ~shard op) ops;
         Atomic.set t.reader_marks.(r).(shard) (Warehouse.watermark wh shard);
         go ()
-    | Some (R_query { klo; khi; tlo; thi; reply }) ->
+    | Some (R_query { klo; khi; tlo; thi; cell; trace; reply }) ->
+        (* The whole query runs on this one reader domain, so its phase
+           cell crosses exactly one domain hop — same safety argument as
+           a write's cell in the writer loop. *)
+        (match cell with
+        | Some c -> Phases.charge_mark c Phases.Queue_wait
+        | None -> ());
         let before = Warehouse.page_touches wh in
+        let t0 = match cell with Some _ -> Phases.now_ns () | None -> 0L in
         let res =
+          Tracer.with_trace ~trace @@ fun () ->
+          Tracer.with_span t.tel "reader.query"
+            ~attrs:(fun () -> [ ("reader", Tracer.Int r) ])
+          @@ fun () ->
           match Warehouse.sum_count wh ~klo ~khi ~tlo ~thi with
           | sc -> Ok sc
           | exception Invalid_argument m -> Error (Bad_query m)
         in
+        (match cell with
+        | Some c -> Phases.charge c Phases.Apply ~since:t0
+        | None -> ());
         sim_sleep t (Warehouse.page_touches wh - before);
         post t.comp (fun () -> reply res);
         go ()
@@ -281,8 +359,8 @@ let copy_warehouse ?pool_capacity rta =
   Rta.save ~vfs rta ~path:"replica";
   Rta.load ?pool_capacity ~vfs ~path:"replica" ()
 
-let create ?(config = default_config) ?engine_config ?pool_capacity ?checkpoint_every
-    ?boundaries ~max_key ~path () =
+let create ?(config = default_config) ?(telemetry = Tracer.noop) ?engine_config
+    ?pool_capacity ?checkpoint_every ?boundaries ~max_key ~path () =
   if config.shards < 1 || config.shards > 64 then
     invalid_arg "Cluster.create: shards must be in [1, 64]";
   if config.readers < 0 || config.readers > 64 then
@@ -293,8 +371,8 @@ let create ?(config = default_config) ?engine_config ?pool_capacity ?checkpoint_
   let engines =
     Array.init config.shards (fun i ->
         Durable.open_ ?config:engine_config ?pool_capacity ?checkpoint_every
-          ~stats:shard_io.(i) ~sync_policy:Wal.Never ~max_key ~path:(shard_path path i)
-          ())
+          ~stats:shard_io.(i) ~sync_policy:Wal.Never ~max_key ~telemetry
+          ~path:(shard_path path i) ())
   in
   let recovery_ =
     Array.mapi (fun i eng -> (i, Durable.recovery_report eng)) engines
@@ -310,6 +388,7 @@ let create ?(config = default_config) ?engine_config ?pool_capacity ?checkpoint_
   let t =
     {
       cfg = config;
+      tel = telemetry;
       router;
       writers =
         Array.init config.shards (fun _ ->
@@ -356,7 +435,7 @@ let pending_writes t = t.pending_writes_
 
 (* --- Submission (main domain) ----------------------------------------------------- *)
 
-let submit_write t op k =
+let submit_write t ?cell ?trace op k =
   t.outstanding_ <- t.outstanding_ + 1;
   t.pending_writes_ <- t.pending_writes_ + 1;
   let k' o =
@@ -364,22 +443,27 @@ let submit_write t op k =
     t.pending_writes_ <- t.pending_writes_ - 1;
     k o
   in
+  (match cell with Some c -> Phases.mark c | None -> ());
   let s = Router.shard_of_key t.router (Op.key op) in
-  if not (Mailbox.put t.writers.(s) (W_write (op, k'))) then
+  if not (Mailbox.put t.writers.(s) (W_write (op, cell, trace, k'))) then
     k' (Rejected "cluster is shut down")
 
 let closed_query_reply reply = reply (Error (Bad_query "cluster is shut down"))
 
-let submit_query t ~klo ~khi ~tlo ~thi reply =
+let submit_query t ?cell ?trace ~klo ~khi ~tlo ~thi reply =
   if Array.length t.readers > 0 then begin
     t.outstanding_ <- t.outstanding_ + 1;
     let reply' res =
       t.outstanding_ <- t.outstanding_ - 1;
       reply res
     in
+    (match cell with Some c -> Phases.mark c | None -> ());
     let r = t.next_reader in
     t.next_reader <- (r + 1) mod Array.length t.readers;
-    if not (Mailbox.put t.readers.(r) (R_query { klo; khi; tlo; thi; reply = reply' }))
+    if
+      not
+        (Mailbox.put t.readers.(r)
+           (R_query { klo; khi; tlo; thi; cell; trace; reply = reply' }))
     then closed_query_reply reply'
   end
   else begin
@@ -388,7 +472,11 @@ let submit_query t ~klo ~khi ~tlo ~thi reply =
     | parts ->
         t.outstanding_ <- t.outstanding_ + 1;
         (* The part replies all run on the main domain (from [drain]), so
-           the gather state needs no lock. *)
+           the gather state needs no lock.  Several writer domains may
+           serve parts of this one query concurrently, so the phase cell
+           stays here: the whole scatter-gather round trip is charged as
+           the query's apply phase from the main domain. *)
+        (match cell with Some c -> Phases.mark c | None -> ());
         let remaining = ref (List.length parts) in
         let sum = ref 0 and count = ref 0 in
         let first_err = ref None in
@@ -401,6 +489,9 @@ let submit_query t ~klo ~khi ~tlo ~thi reply =
           decr remaining;
           if !remaining = 0 then begin
             t.outstanding_ <- t.outstanding_ - 1;
+            (match cell with
+            | Some c -> Phases.charge_mark c Phases.Apply
+            | None -> ());
             match !first_err with
             | None -> reply (Ok (!sum, !count))
             | Some e -> reply (Error e)
@@ -411,7 +502,7 @@ let submit_query t ~klo ~khi ~tlo ~thi reply =
             if
               not
                 (Mailbox.put t.writers.(shard)
-                   (W_query { klo; khi; tlo; thi; reply = finish_part }))
+                   (W_query { klo; khi; tlo; thi; trace; reply = finish_part }))
             then closed_query_reply finish_part)
           parts
   end
@@ -476,6 +567,12 @@ let totals t =
         wal_syncs = acc.Snapshot.wal_syncs + s.Snapshot.wal_syncs;
         health = worst_health acc.Snapshot.health s.Snapshot.health;
         io = Io_stats.add acc.Snapshot.io s.Snapshot.io;
+        (* Oldest publication across shards: the age of the staleest
+           snapshot bounds the whole cluster's. *)
+        published_ns =
+          (if acc.Snapshot.published_ns = 0L then s.Snapshot.published_ns
+           else if s.Snapshot.published_ns = 0L then acc.Snapshot.published_ns
+           else Int64.min acc.Snapshot.published_ns s.Snapshot.published_ns);
       })
     Snapshot.zero t.published
 

@@ -86,6 +86,7 @@ type t
 
 val create :
   ?config:config ->
+  ?telemetry:Telemetry.Tracer.t ->
   ?engine_config:Mvsbt.config ->
   ?pool_capacity:int ->
   ?checkpoint_every:int ->
@@ -97,7 +98,11 @@ val create :
 (** Open (recovering) one {!Durable} engine per shard under
     [<path>.s<i>], seed each reader's replicas from the recovered
     state, and spawn the domains.  Engines run under [Wal.Never] — the
-    per-shard group commit owns the sync, as in {!Batcher}.
+    per-shard group commit owns the sync, as in {!Batcher}.  [telemetry]
+    receives [shard.batch] / [shard.query] / [reader.query] spans from
+    the worker domains; each domain registers a thread name with
+    {!Telemetry.Tracer.set_thread_name} so Chrome exports label its
+    lane.
     @raise Invalid_argument on a bad shard/reader count. *)
 
 val router : t -> Router.t
@@ -108,12 +113,24 @@ val recovery : t -> (int * Durable.recovery_report) array
 
 (** {1 Submission — main domain only} *)
 
-val submit_write : t -> Op.t -> (outcome -> unit) -> unit
+val submit_write :
+  t ->
+  ?cell:Telemetry.Phases.cell ->
+  ?trace:int64 ->
+  Op.t ->
+  (outcome -> unit) ->
+  unit
 (** Route to the owning shard's writer.  The callback runs from a later
-    {!drain}. *)
+    {!drain}.  [cell] rides to the owning writer domain, which charges
+    the request's queue wait, batch build, WAL append, fsync share, and
+    tree apply to it; [trace] is re-installed as the ambient trace id
+    around the engine apply so the shard's spans join the request's
+    trace. *)
 
 val submit_query :
   t ->
+  ?cell:Telemetry.Phases.cell ->
+  ?trace:int64 ->
   klo:int ->
   khi:int ->
   tlo:int ->
@@ -121,7 +138,11 @@ val submit_query :
   ((int * int, query_error) result -> unit) ->
   unit
 (** Scatter-gather SUM/COUNT over the rectangle; the callback receives
-    the merged pair (AVG is sum/count client-side, as on the wire). *)
+    the merged pair (AVG is sum/count client-side, as on the wire).
+    With readers the cell rides to the one serving reader (queue wait +
+    apply charged there); on the scatter path the whole round trip is
+    charged as the apply phase from the main domain, because several
+    writer domains may hold parts of one query concurrently. *)
 
 val submit_checkpoint : t -> ((unit, E.t) result -> unit) -> unit
 (** Checkpoint every shard; first error wins. *)

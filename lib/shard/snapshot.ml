@@ -8,6 +8,7 @@ type stat = {
   wal_syncs : int;
   health : Durable.health;
   io : Telemetry.Io_stats.snapshot;
+  published_ns : int64;
 }
 
 let zero =
@@ -21,12 +22,16 @@ let zero =
     wal_syncs = 0;
     health = Durable.Healthy;
     io = Telemetry.Io_stats.zero;
+    published_ns = 0L;
   }
 
 type t = stat Atomic.t
 
-let create s = Atomic.make s
-let publish t s = Atomic.set t s
+(* Publication stamps the monotonic clock itself, so snapshot age (now −
+   published_ns) is measured at a single site and cannot be forgotten by
+   a caller assembling the stat. *)
+let create s = Atomic.make { s with published_ns = Telemetry.Tracer.now_ns () }
+let publish t s = Atomic.set t { s with published_ns = Telemetry.Tracer.now_ns () }
 let read t = Atomic.get t
 
 let pp_stat ppf s =

@@ -25,6 +25,10 @@ type stat = {
   wal_syncs : int;
   health : Durable.health;
   io : Telemetry.Io_stats.snapshot;
+  published_ns : int64;
+      (** Monotonic clock at publication — stamped by {!create}/
+          {!publish} themselves, so [now_ns () - published_ns] is the
+          snapshot's age. *)
 }
 
 val zero : stat

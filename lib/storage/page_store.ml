@@ -259,7 +259,7 @@ module File (C : PAGE_CODEC) = struct
 
   let read t id =
     if not (Page_id.Tbl.mem t.written id) then raise Not_found;
-    Telemetry.Tracer.with_span t.tracer "page.read" ~attrs:(page_attr id) @@ fun () ->
+    Telemetry.Tracer.with_span t.tracer ~level:`Debug "page.read" ~attrs:(page_attr id) @@ fun () ->
     Io_stats.record_read t.stats;
     let buf = read_block t id in
     if not (check_block t buf) then begin
@@ -270,7 +270,7 @@ module File (C : PAGE_CODEC) = struct
     C.decode (Codec.Reader.create (Bytes.sub buf block_overhead len))
 
   let write t id payload =
-    Telemetry.Tracer.with_span t.tracer "page.write" ~attrs:(page_attr id) @@ fun () ->
+    Telemetry.Tracer.with_span t.tracer ~level:`Debug "page.write" ~attrs:(page_attr id) @@ fun () ->
     Io_stats.record_write t.stats;
     let w = Codec.Writer.create t.page_size in
     Codec.Writer.i32 w 0 (* len placeholder *);
@@ -305,7 +305,7 @@ module File (C : PAGE_CODEC) = struct
     |> List.sort (fun a b -> compare (Page_id.to_int a) (Page_id.to_int b))
 
   let sync t =
-    Telemetry.Tracer.with_span t.tracer "page.sync" @@ fun () ->
+    Telemetry.Tracer.with_span t.tracer ~level:`Debug "page.sync" @@ fun () ->
     Io_stats.record_sync t.stats;
     t.file.Vfs.f_sync ();
     save_freed ~vfs:t.vfs ~path:t.path t.freed

@@ -579,7 +579,7 @@ let with_telemetry tracer vfs =
   if not (Telemetry.Tracer.enabled tracer) then vfs
   else begin
     let span name ?(len = -1) path f =
-      Telemetry.Tracer.with_span tracer name f ~attrs:(fun () ->
+      Telemetry.Tracer.with_span tracer ~level:`Debug name f ~attrs:(fun () ->
           let base = [ ("path", Telemetry.Tracer.Str path) ] in
           if len < 0 then base else ("len", Telemetry.Tracer.Int len) :: base)
     in

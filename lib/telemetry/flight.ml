@@ -1,0 +1,63 @@
+type t = {
+  buffer : Tracer.Memory.buffer;
+  prefix : string;
+  requested : string option Atomic.t;  (* pending dump reason, if any *)
+  dumps : int Atomic.t;
+}
+
+let create ?(capacity = 8192) ~prefix () =
+  {
+    buffer = Tracer.Memory.create ~capacity ();
+    prefix;
+    requested = Atomic.make None;
+    dumps = Atomic.make 0;
+  }
+
+let sink t = Tracer.Memory.sink t.buffer
+let buffer t = t.buffer
+let dumps t = Atomic.get t.dumps
+let request_dump t ~reason = Atomic.set t.requested (Some reason)
+
+(* Only [Atomic.set] happens in the handler itself; file I/O waits for
+   the event loop to poll [take_request]. *)
+let install_sigusr1 t =
+  Sys.set_signal Sys.sigusr1
+    (Sys.Signal_handle (fun _ -> request_dump t ~reason:"sigusr1"))
+
+let take_request t = Atomic.exchange t.requested None
+
+let dump t ~reason =
+  let n = Atomic.fetch_and_add t.dumps 1 in
+  let path = Printf.sprintf "%s-%d.jsonl" t.prefix n in
+  let spans = Tracer.Memory.spans t.buffer in
+  let events = Tracer.Memory.events t.buffer in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let header =
+        Json.Obj
+          [
+            ("type", Json.Str "flight_dump");
+            ("reason", Json.Str reason);
+            ("pid", Json.Int (Tracer.self_pid ()));
+            ("spans", Json.Int (List.length spans));
+            ("events", Json.Int (List.length events));
+            ("dropped", Json.Int (Tracer.Memory.dropped t.buffer));
+          ]
+      in
+      output_string oc (Json.to_string header);
+      output_char oc '\n';
+      List.iter
+        (fun s ->
+          output_string oc (Json.to_string (Tracer.span_to_json s));
+          output_char oc '\n')
+        spans;
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string (Tracer.event_to_json e));
+          output_char oc '\n')
+        events);
+  path
+
+let poll t = match take_request t with None -> None | Some reason -> Some (dump t ~reason)

@@ -1,0 +1,44 @@
+(** Flight recorder: an always-on in-memory span/event ring, dumped to a
+    JSONL artifact on demand.
+
+    The recorder is a {!Tracer.Memory} ring behind a {!Tracer.sink}; tee
+    it with any other sink so recent history is always retained at ring
+    cost (no I/O until a dump).  Dumps are triggered by SIGUSR1
+    ({!install_sigusr1}), by crash-exit paths, or programmatically
+    (e.g. a slow-request threshold) via {!request_dump}; the signal
+    handler only flips an atomic flag — the owning event loop calls
+    {!poll} to perform the file write on its own thread.
+
+    Each dump lands in ["<prefix>-<n>.jsonl"]: a header line
+    [{"type":"flight_dump","reason":…,"pid":…,…}] followed by one JSON
+    line per retained span and event (same schema as
+    {!Tracer.jsonl_sink}). *)
+
+type t
+
+val create : ?capacity:int -> prefix:string -> unit -> t
+(** [capacity] (default 8192) bounds retained spans and events
+    independently; [prefix] names dump files ["<prefix>-<n>.jsonl"]. *)
+
+val sink : t -> Tracer.sink
+(** The recording sink; tee into the active tracer's sink chain. *)
+
+val buffer : t -> Tracer.Memory.buffer
+
+val dumps : t -> int
+(** Dumps written so far (names the next artifact's suffix). *)
+
+val request_dump : t -> reason:string -> unit
+(** Flag a dump; the next {!poll} performs it.  Async-signal-safe. *)
+
+val install_sigusr1 : t -> unit
+(** Route SIGUSR1 to {!request_dump} ~reason:"sigusr1". *)
+
+val take_request : t -> string option
+(** Consume the pending dump reason, if any. *)
+
+val poll : t -> string option
+(** If a dump was requested, write it and return the artifact path. *)
+
+val dump : t -> reason:string -> string
+(** Write a dump unconditionally; returns the artifact path. *)

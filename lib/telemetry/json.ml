@@ -9,6 +9,12 @@ type t =
 
 (* --- Printing -------------------------------------------------------------- *)
 
+(* Strings here may hold arbitrary bytes (keys straight off the wire end
+   up in slow-request logs), so every byte outside printable ASCII is
+   escaped as [\u00XX].  The parser below decodes codes < 0x100 back to
+   the single raw byte, making print → parse the identity on any byte
+   string — the emitted text is pure ASCII and valid JSON regardless of
+   the input encoding. *)
 let escape_to buf s =
   Buffer.add_char buf '"';
   String.iter
@@ -19,7 +25,7 @@ let escape_to buf s =
       | '\n' -> Buffer.add_string buf "\\n"
       | '\r' -> Buffer.add_string buf "\\r"
       | '\t' -> Buffer.add_string buf "\\t"
-      | c when Char.code c < 0x20 ->
+      | c when Char.code c < 0x20 || Char.code c >= 0x7f ->
           Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
       | c -> Buffer.add_char buf c)
     s;
@@ -97,11 +103,14 @@ let of_string s =
     end
     else fail (Printf.sprintf "expected %s" word)
   in
-  (* UTF-8-encode a \uXXXX escape; surrogate pairs are passed through as
-     two separate 3-byte sequences, which is enough for our own output
-     (we never emit them). *)
+  (* Codes below 0x100 decode to the single raw byte (the printer emits
+     [\u00XX] for every non-ASCII byte, so this makes the round trip
+     byte-exact on arbitrary strings); higher codes are UTF-8-encoded.
+     Surrogate pairs are passed through as two separate 3-byte
+     sequences, which is enough for our own output (we never emit
+     them). *)
   let add_uchar buf code =
-    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    if code < 0x100 then Buffer.add_char buf (Char.chr code)
     else if code < 0x800 then begin
       Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
       Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))

@@ -7,18 +7,39 @@ type span = {
   depth : int;
   io : Io_stats.snapshot;
   attrs : (string * value) list;
+  trace_id : int64 option;
+  span_id : int;
+  parent_id : int option;
+  pid : int;
+  tid : int;
 }
 
 type event = {
   ev_name : string;
   ev_ns : int64;
   ev_attrs : (string * value) list;
+  ev_trace_id : int64 option;
+  ev_pid : int;
+  ev_tid : int;
 }
 
 type sink = { on_span : span -> unit; on_event : event -> unit }
 
 type t = {
   enabled : bool;
+  debug : bool;
+      (* Record [`Debug]-level spans (per-page IO, per-record appends,
+         per-key tree ops).  Off by default: micro-spans dominate span
+         volume ~4:1 and their recording cost — clock reads, io
+         snapshots, allocation (minor GCs synchronise every domain in
+         OCaml 5) — lands on the request critical path. *)
+  sample : int;
+      (* Head sampling for {e untagged} work: a root span (no open parent
+         in its domain) with no ambient trace id is recorded 1-in-
+         [sample]; its descendants follow the root's decision, so
+         recorded trees stay complete.  Spans under an explicit trace id
+         always record — a tagged request never loses its story.  1
+         records everything. *)
   sink : sink;
   io : Io_stats.t;
   depth : int Atomic.t;
@@ -31,11 +52,13 @@ type t = {
 let null_sink = { on_span = ignore; on_event = ignore }
 
 let noop =
-  { enabled = false; sink = null_sink; io = Io_stats.create (); depth = Atomic.make 0 }
+  { enabled = false; debug = false; sample = 1; sink = null_sink;
+    io = Io_stats.create (); depth = Atomic.make 0 }
 
-let create ?stats sink =
+let create ?stats ?(debug = false) ?(sample = 1) sink =
+  if sample < 1 then invalid_arg "Tracer.create: sample < 1";
   let io = match stats with Some s -> s | None -> Io_stats.create () in
-  { enabled = true; sink; io; depth = Atomic.make 0 }
+  { enabled = true; debug; sample; sink; io; depth = Atomic.make 0 }
 
 let tee a b =
   {
@@ -64,19 +87,130 @@ let enabled t = t.enabled
 let stats t = t.io
 let now_ns () = Monotonic_clock.now ()
 
+(* --- Ambient trace context -------------------------------------------------- *)
+
+(* The trace id is {e ambient}, not a tracer field: one request crosses
+   tracers (server, per-shard engines, the follower's engine) and
+   domains, so the id travels with the control flow — installed for the
+   dynamic extent of [with_trace] in whatever domain executes the work —
+   and every span opened inside picks it up, whichever tracer records
+   it.  Parent links use the same per-domain state: a stack of open span
+   ids, so nesting is per-domain even when a tracer is shared. *)
+type ctx = {
+  mutable trace : int64 option;
+  mutable open_spans : int list;
+  mutable suppress : int;
+      (* Depth inside a sampled-out subtree: descendants of an
+         unrecorded root are unrecorded too, so sampling drops whole
+         trees, never interior slices. *)
+  mutable tick : int;  (* per-domain sampling counter — no shared state *)
+}
+
+let ctx_key =
+  Domain.DLS.new_key (fun () -> { trace = None; open_spans = []; suppress = 0; tick = 0 })
+let ctx () = Domain.DLS.get ctx_key
+
+let with_trace ~trace f =
+  match trace with
+  | None -> f ()
+  | Some _ ->
+      let c = ctx () in
+      let saved = c.trace in
+      c.trace <- trace;
+      Fun.protect ~finally:(fun () -> c.trace <- saved) f
+
+let current_trace () = (ctx ()).trace
+
+let pid = lazy (Unix.getpid ())
+let self_pid () = Lazy.force pid
+let self_tid () = (Domain.self () :> int)
+
+(* Span ids only need to be unique within one process (the pid
+   disambiguates across processes in merged artifacts). *)
+let span_counter = Atomic.make 1
+
+(* Trace ids must be unique across processes without coordination: fold
+   the pid into the top bits over a wall-clock-seeded counter. *)
+let trace_counter =
+  Atomic.make (Int64.to_int (Int64.logand (Int64.of_float (Unix.gettimeofday () *. 1e6)) 0xFFFF_FFFFL))
+
+let new_trace_id () =
+  let n = Atomic.fetch_and_add trace_counter 1 in
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (self_pid () land 0x3F_FFFF)) 40)
+    (Int64.of_int (n land 0xFF_FFFF_FFFF))
+
+(* --- Thread naming ---------------------------------------------------------- *)
+
+(* Domains register a human name ("shard-0-writer", "reader-1") keyed by
+   (pid, tid); [chrome_trace] turns the registry into thread_name
+   metadata events so Perfetto rows are labelled.  Process-global: the
+   registry describes this process's domains only, which is exactly the
+   scope of the tids it labels. *)
+let names_mutex = Mutex.create ()
+let names : (int * int, string) Hashtbl.t = Hashtbl.create 8
+
+let set_thread_name name =
+  Mutex.lock names_mutex;
+  Hashtbl.replace names (self_pid (), self_tid ()) name;
+  Mutex.unlock names_mutex
+
+let thread_names () =
+  Mutex.lock names_mutex;
+  let out = Hashtbl.fold (fun (p, t) n acc -> (p, t, n) :: acc) names [] in
+  Mutex.unlock names_mutex;
+  List.sort compare out
+
 let no_attrs () = []
 
-let with_span t ?(attrs = no_attrs) name f =
-  if not t.enabled then f ()
+let sampled_out t c =
+  (* An ambient trace id always wins — a tagged request records its spans
+     even when they nest inside a sampled-out untagged root (a tagged
+     write riding an otherwise unsampled shard batch). *)
+  if c.trace <> None then false
+  else if c.suppress > 0 then true
+  else if t.sample > 1 && c.open_spans = [] then begin
+    c.tick <- c.tick + 1;
+    c.tick mod t.sample <> 0
+  end
+  else false
+
+let with_span t ?(level = `Info) ?(attrs = no_attrs) name f =
+  if (not t.enabled) || (level = `Debug && not t.debug) then f ()
   else begin
+    let c = ctx () in
+    if sampled_out t c then begin
+      c.suppress <- c.suppress + 1;
+      Fun.protect ~finally:(fun () -> c.suppress <- c.suppress - 1) f
+    end
+    else begin
     let depth = Atomic.fetch_and_add t.depth 1 in
+    let span_id = Atomic.fetch_and_add span_counter 1 in
+    let parent_id = match c.open_spans with [] -> None | p :: _ -> Some p in
+    let trace_id = c.trace in
+    c.open_spans <- span_id :: c.open_spans;
     let before = Io_stats.snapshot t.io in
     let start_ns = now_ns () in
     let finish () =
       let dur_ns = Int64.sub (now_ns ()) start_ns in
       Atomic.decr t.depth;
+      (c.open_spans <-
+         (match c.open_spans with s :: rest when s = span_id -> rest | l -> l));
       let io = Io_stats.diff (Io_stats.snapshot t.io) before in
-      t.sink.on_span { name; start_ns; dur_ns; depth; io; attrs = attrs () }
+      t.sink.on_span
+        {
+          name;
+          start_ns;
+          dur_ns;
+          depth;
+          io;
+          attrs = attrs ();
+          trace_id;
+          span_id;
+          parent_id;
+          pid = self_pid ();
+          tid = self_tid ();
+        }
     in
     match f () with
     | v ->
@@ -85,11 +219,20 @@ let with_span t ?(attrs = no_attrs) name f =
     | exception e ->
         finish ();
         raise e
+    end
   end
 
 let event t ?(attrs = []) name =
   if t.enabled then
-    t.sink.on_event { ev_name = name; ev_ns = now_ns (); ev_attrs = attrs }
+    t.sink.on_event
+      {
+        ev_name = name;
+        ev_ns = now_ns ();
+        ev_attrs = attrs;
+        ev_trace_id = current_trace ();
+        ev_pid = self_pid ();
+        ev_tid = self_tid ();
+      }
 
 (* --- In-memory ring buffer -------------------------------------------------- *)
 
@@ -111,17 +254,22 @@ module Memory = struct
     Mutex.lock b.b_m;
     Fun.protect ~finally:(fun () -> Mutex.unlock b.b_m) f
 
+  (* Hot path: plain lock/unlock, no [Fun.protect] closure — the array
+     stores cannot raise ([Array.make] can, only on an absurd capacity,
+     checked at [create]). *)
   let push b s =
-    locked b @@ fun () ->
+    Mutex.lock b.b_m;
     if Array.length b.ring = 0 then b.ring <- Array.make b.cap s;
     b.ring.(b.n mod b.cap) <- s;
-    b.n <- b.n + 1
+    b.n <- b.n + 1;
+    Mutex.unlock b.b_m
 
   let push_event b e =
-    locked b @@ fun () ->
+    Mutex.lock b.b_m;
     if Array.length b.ev_ring = 0 then b.ev_ring <- Array.make b.cap e;
     b.ev_ring.(b.ev_n mod b.cap) <- e;
-    b.ev_n <- b.ev_n + 1
+    b.ev_n <- b.ev_n + 1;
+    Mutex.unlock b.b_m
 
   let sink b = { on_span = push b; on_event = push_event b }
 
@@ -142,6 +290,94 @@ module Memory = struct
     b.ev_n <- 0;
     b.ring <- [||];
     b.ev_ring <- [||]
+end
+
+(* --- Asynchronous sink ------------------------------------------------------ *)
+
+(* Serialising a span to JSON and writing it through a channel costs
+   microseconds — two orders of magnitude more than recording the span —
+   and a mutex-guarded synchronous sink puts that cost on every traced
+   operation's critical path.  [Async] moves it off: emitters enqueue the
+   raw span record under a short mutex hold and a dedicated drain domain
+   runs the expensive inner sink.  The queue is bounded; when the drain
+   falls behind, new spans are dropped (and counted) rather than
+   back-pressuring the traced workload, the same policy as the Memory
+   ring.  Because one domain drains, the inner sink needs no further
+   synchronisation. *)
+module Async = struct
+  type item = I_span of span | I_event of event
+
+  type q = {
+    m : Mutex.t;
+    q : item Queue.t;
+    cap : int;
+    mutable dropped : int;
+    mutable closing : bool;
+  }
+
+  type t = { st : q; drain : unit Domain.t; mutable closed : bool }
+
+  (* No condition variable: with a keeping-up drain the queue is usually
+     empty, so a signal-on-first-item protocol pays a futex wake (a
+     syscall on the emitter's critical path) for nearly every span.  The
+     drain polls instead — a couple of milliseconds of added latency on a
+     sink whose output is read after the fact, for an enqueue that is
+     just lock/add/unlock. *)
+  let push st it =
+    Mutex.lock st.m;
+    if st.closing then Mutex.unlock st.m
+    else begin
+      if Queue.length st.q >= st.cap then st.dropped <- st.dropped + 1
+      else Queue.add it st.q;
+      Mutex.unlock st.m
+    end
+
+  let drain_loop st inner =
+    let batch = Queue.create () in
+    let stop = ref false in
+    while not !stop do
+      Mutex.lock st.m;
+      Queue.transfer st.q batch;
+      if st.closing then stop := true;
+      Mutex.unlock st.m;
+      if Queue.is_empty batch then (if not !stop then Unix.sleepf 0.002)
+      else begin
+        Queue.iter
+          (function I_span s -> inner.on_span s | I_event e -> inner.on_event e)
+          batch;
+        Queue.clear batch
+      end
+    done
+
+  let create ?(capacity = 1 lsl 18) inner =
+    if capacity < 1 then invalid_arg "Tracer.Async.create: capacity < 1";
+    let st =
+      { m = Mutex.create (); q = Queue.create (); cap = capacity; dropped = 0;
+        closing = false }
+    in
+    let drain = Domain.spawn (fun () -> drain_loop st inner) in
+    { st; drain; closed = false }
+
+  let sink a =
+    { on_span = (fun s -> push a.st (I_span s)); on_event = (fun e -> push a.st (I_event e)) }
+
+  let dropped a =
+    Mutex.lock a.st.m;
+    let d = a.st.dropped in
+    Mutex.unlock a.st.m;
+    d
+
+  (* Drains everything already enqueued, then joins the drain domain.
+     Idempotent: the crash path and the orderly-shutdown path can both
+     call it. *)
+  let close a =
+    if not a.closed then begin
+      a.closed <- true;
+      Mutex.lock a.st.m;
+      a.st.closing <- true;
+      Mutex.unlock a.st.m;
+      Domain.join a.drain
+    end
 end
 
 (* --- JSON rendering --------------------------------------------------------- *)
@@ -171,32 +407,174 @@ let json_of_io (io : Io_stats.snapshot) =
                   (opt "retries" io.retries
                      (opt "read_only_transitions" io.read_only_transitions []))))))
 
+let opt_trace name tid rest =
+  match tid with None -> rest | Some id -> (name, Json.Int (Int64.to_int id)) :: rest
+
+let opt_int name v rest =
+  match v with None -> rest | Some i -> (name, Json.Int i) :: rest
+
 let span_to_json (s : span) =
   Json.Obj
-    [
-      ("type", Json.Str "span");
-      ("name", Json.Str s.name);
-      ("start_ns", Json.Int (Int64.to_int s.start_ns));
-      ("dur_ns", Json.Int (Int64.to_int s.dur_ns));
-      ("depth", Json.Int s.depth);
-      ("io", json_of_io s.io);
-      ("attrs", json_of_attrs s.attrs);
-    ]
+    (("type", Json.Str "span")
+    :: ("name", Json.Str s.name)
+    :: ("start_ns", Json.Int (Int64.to_int s.start_ns))
+    :: ("dur_ns", Json.Int (Int64.to_int s.dur_ns))
+    :: ("depth", Json.Int s.depth)
+    :: opt_trace "trace_id" s.trace_id
+         (("span_id", Json.Int s.span_id)
+         :: opt_int "parent_id" s.parent_id
+              [
+                ("pid", Json.Int s.pid);
+                ("tid", Json.Int s.tid);
+                ("io", json_of_io s.io);
+                ("attrs", json_of_attrs s.attrs);
+              ]))
 
 let event_to_json (e : event) =
   Json.Obj
-    [
-      ("type", Json.Str "event");
-      ("name", Json.Str e.ev_name);
-      ("at_ns", Json.Int (Int64.to_int e.ev_ns));
-      ("attrs", json_of_attrs e.ev_attrs);
-    ]
+    (("type", Json.Str "event")
+    :: ("name", Json.Str e.ev_name)
+    :: ("at_ns", Json.Int (Int64.to_int e.ev_ns))
+    :: opt_trace "trace_id" e.ev_trace_id
+         [
+           ("pid", Json.Int e.ev_pid);
+           ("tid", Json.Int e.ev_tid);
+           ("attrs", json_of_attrs e.ev_attrs);
+         ])
+
+(* Hand-rolled renderers equivalent to [Json.to_string (span_to_json s)]:
+   the JSONL sink is the high-volume exporter and building the
+   intermediate [Json.t] tree per span costs ~5x the allocation of
+   rendering straight into a buffer.  Allocation here is not merely drain
+   throughput — in OCaml 5 a minor collection on any domain synchronises
+   them all, so garbage made on the drain domain stalls the traced
+   workload. *)
+let add_str buf s = Json.to_buffer buf (Json.Str s)
+
+let add_int_field buf name v =
+  Buffer.add_char buf ',';
+  Buffer.add_string buf name;
+  Buffer.add_char buf ':';
+  Buffer.add_string buf (string_of_int v)
+
+let add_span_jsonl buf (s : span) =
+  Buffer.add_string buf {|{"type":"span","name":|};
+  add_str buf s.name;
+  add_int_field buf {|"start_ns"|} (Int64.to_int s.start_ns);
+  add_int_field buf {|"dur_ns"|} (Int64.to_int s.dur_ns);
+  add_int_field buf {|"depth"|} s.depth;
+  (match s.trace_id with
+  | None -> ()
+  | Some id -> add_int_field buf {|"trace_id"|} (Int64.to_int id));
+  add_int_field buf {|"span_id"|} s.span_id;
+  (match s.parent_id with None -> () | Some p -> add_int_field buf {|"parent_id"|} p);
+  add_int_field buf {|"pid"|} s.pid;
+  add_int_field buf {|"tid"|} s.tid;
+  Buffer.add_string buf {|,"io":|};
+  Json.to_buffer buf (json_of_io s.io);
+  Buffer.add_string buf {|,"attrs":|};
+  Json.to_buffer buf (json_of_attrs s.attrs);
+  Buffer.add_char buf '}'
+
+let add_event_jsonl buf (e : event) =
+  Buffer.add_string buf {|{"type":"event","name":|};
+  add_str buf e.ev_name;
+  add_int_field buf {|"at_ns"|} (Int64.to_int e.ev_ns);
+  (match e.ev_trace_id with
+  | None -> ()
+  | Some id -> add_int_field buf {|"trace_id"|} (Int64.to_int id));
+  add_int_field buf {|"pid"|} e.ev_pid;
+  add_int_field buf {|"tid"|} e.ev_tid;
+  Buffer.add_string buf {|,"attrs":|};
+  Json.to_buffer buf (json_of_attrs e.ev_attrs);
+  Buffer.add_char buf '}'
 
 let jsonl_sink emit =
-  {
-    on_span = (fun s -> emit (Json.to_string (span_to_json s)));
-    on_event = (fun e -> emit (Json.to_string (event_to_json e)));
-  }
+  (* One reused buffer: the sink is stateful, so callers must serialise
+     it ([Async] or [synchronized]) when spans arrive from several
+     domains — exactly the discipline the other file-backed sinks need
+     anyway. *)
+  let buf = Buffer.create 512 in
+  let render f x =
+    Buffer.clear buf;
+    f buf x;
+    emit (Buffer.contents buf)
+  in
+  { on_span = render add_span_jsonl; on_event = render add_event_jsonl }
+
+(* Inverses of [span_to_json]/[event_to_json], tolerant of absent
+   optional fields: merging per-process JSONL sinks back into one
+   in-memory trace (rta_cli trace-merge, the propagation tests) reads
+   lines back through these. *)
+
+let value_of_json = function
+  | Json.Int i -> Int i
+  | Json.Float f -> Float f
+  | Json.Str s -> Str s
+  | Json.Bool b -> Bool b
+  | j -> Str (Json.to_string j)
+
+let attrs_of_json = function
+  | Some (Json.Obj kvs) -> List.map (fun (k, v) -> (k, value_of_json v)) kvs
+  | _ -> []
+
+let int_member name j =
+  match Json.member name j with Some (Json.Int i) -> Some i | _ -> None
+
+let zero_io = lazy (Io_stats.snapshot (Io_stats.create ()))
+
+let io_of_json = function
+  | Some (Json.Obj _ as io) ->
+      let g n = Option.value ~default:0 (int_member n io) in
+      {
+        (Lazy.force zero_io) with
+        Io_stats.reads = g "reads";
+        writes = g "writes";
+        allocs = g "allocs";
+        frees = g "frees";
+        syncs = g "syncs";
+        crc_failures = g "crc_failures";
+        scrubbed = g "scrubbed";
+        repaired = g "repaired";
+        errors_injected = g "errors_injected";
+        retries = g "retries";
+      }
+  | _ -> Lazy.force zero_io
+
+let span_of_json j =
+  match (Json.member "type" j, Json.member "name" j) with
+  | Some (Json.Str "span"), Some (Json.Str name) ->
+      let gi n = Option.value ~default:0 (int_member n j) in
+      Some
+        {
+          name;
+          start_ns = Int64.of_int (gi "start_ns");
+          dur_ns = Int64.of_int (gi "dur_ns");
+          depth = gi "depth";
+          io = io_of_json (Json.member "io" j);
+          attrs = attrs_of_json (Json.member "attrs" j);
+          trace_id = Option.map Int64.of_int (int_member "trace_id" j);
+          span_id = gi "span_id";
+          parent_id = int_member "parent_id" j;
+          pid = gi "pid";
+          tid = gi "tid";
+        }
+  | _ -> None
+
+let event_of_json j =
+  match (Json.member "type" j, Json.member "name" j) with
+  | Some (Json.Str "event"), Some (Json.Str name) ->
+      let gi n = Option.value ~default:0 (int_member n j) in
+      Some
+        {
+          ev_name = name;
+          ev_ns = Int64.of_int (gi "at_ns");
+          ev_attrs = attrs_of_json (Json.member "attrs" j);
+          ev_trace_id = Option.map Int64.of_int (int_member "trace_id" j);
+          ev_pid = gi "pid";
+          ev_tid = gi "tid";
+        }
+  | _ -> None
 
 (* --- Chrome trace_event format --------------------------------------------- *)
 
@@ -205,7 +583,10 @@ let us_of_ns ns = Int64.to_float ns /. 1000.
 let chrome_span (s : span) =
   let args =
     ("io", json_of_io s.io)
-    :: List.map (fun (k, v) -> (k, json_of_value v)) s.attrs
+    :: opt_trace "trace_id" s.trace_id
+         (("span_id", Json.Int s.span_id)
+         :: opt_int "parent_id" s.parent_id
+              (List.map (fun (k, v) -> (k, json_of_value v)) s.attrs))
   in
   Json.Obj
     [
@@ -214,8 +595,8 @@ let chrome_span (s : span) =
       ("ph", Json.Str "X");
       ("ts", Json.Float (us_of_ns s.start_ns));
       ("dur", Json.Float (us_of_ns s.dur_ns));
-      ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("pid", Json.Int s.pid);
+      ("tid", Json.Int s.tid);
       ("args", Json.Obj args);
     ]
 
@@ -227,19 +608,30 @@ let chrome_event (e : event) =
       ("ph", Json.Str "i");
       ("ts", Json.Float (us_of_ns e.ev_ns));
       ("s", Json.Str "t");
-      ("pid", Json.Int 1);
-      ("tid", Json.Int 1);
+      ("pid", Json.Int e.ev_pid);
+      ("tid", Json.Int e.ev_tid);
       ("args", json_of_attrs e.ev_attrs);
     ]
 
-let chrome_trace ?(events = []) spans =
+let chrome_thread_name ~pid ~tid name =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.Int pid);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj [ ("name", Json.Str name) ]);
+    ]
+
+let chrome_trace ?(events = []) ?(threads = []) spans =
   let tagged =
     List.map (fun s -> (s.start_ns, chrome_span s)) spans
     @ List.map (fun e -> (e.ev_ns, chrome_event e)) events
   in
   let sorted = List.stable_sort (fun (a, _) (b, _) -> Int64.compare a b) tagged in
+  let meta = List.map (fun (pid, tid, name) -> chrome_thread_name ~pid ~tid name) threads in
   Json.Obj
     [
-      ("traceEvents", Json.List (List.map snd sorted));
+      ("traceEvents", Json.List (meta @ List.map snd sorted));
       ("displayTimeUnit", Json.Str "ns");
     ]

@@ -12,6 +12,18 @@
     writer ({!jsonl_sink}), or post-hoc Chrome [trace_event] rendering
     ({!chrome_trace}) loadable in [about://tracing] / Perfetto.
 
+    {2 Distributed identity}
+
+    Every span carries [span_id] (unique within the process),
+    [parent_id] (the enclosing open span {e in the same domain}), [pid],
+    [tid] (the OCaml domain id), and an optional [trace_id].  The trace
+    id is {e ambient}: install one with {!with_trace} for the dynamic
+    extent of handling a request, and every span any tracer records in
+    that extent — in that domain — is stamped with it.  Ship the id
+    across domains and processes (mailbox messages, wire frames) and
+    re-install it on the other side to stitch one request's work into a
+    single trace.
+
     {2 Zero cost when disabled}
 
     The {!noop} tracer has [enabled = false]; every instrumentation site
@@ -28,12 +40,20 @@ type span = {
   depth : int;  (** Nesting depth at open; 0 = top level. *)
   io : Io_stats.snapshot;  (** I/O charged while the span was open. *)
   attrs : (string * value) list;
+  trace_id : int64 option;  (** Ambient request id at open, if any. *)
+  span_id : int;  (** Unique within this process. *)
+  parent_id : int option;  (** Enclosing open span in the same domain. *)
+  pid : int;  (** OS process id. *)
+  tid : int;  (** OCaml domain id. *)
 }
 
 type event = {
   ev_name : string;
   ev_ns : int64;
   ev_attrs : (string * value) list;
+  ev_trace_id : int64 option;
+  ev_pid : int;
+  ev_tid : int;
 }
 
 type sink = { on_span : span -> unit; on_event : event -> unit }
@@ -49,10 +69,18 @@ val null_sink : sink
 (** Accepts and discards everything (an {e enabled} tracer with this sink
     still pays for clock reads and snapshots — use {!noop} to disable). *)
 
-val create : ?stats:Io_stats.t -> sink -> t
+val create : ?stats:Io_stats.t -> ?debug:bool -> ?sample:int -> sink -> t
 (** An enabled tracer.  [stats] is the counter set whose deltas spans
     carry; pass the same [Io_stats.t] the instrumented stores charge, or
-    omit it to trace durations only. *)
+    omit it to trace durations only.  [debug] (default false) also
+    records [`Debug]-level micro-spans — per-page IO, per-record WAL
+    appends, per-key tree operations; these dominate span volume and
+    their recording cost lands on the request critical path, so the
+    default keeps them off.  [sample] (default 1 = everything) head-
+    samples {e untagged} work: a root span with no ambient trace id is
+    recorded 1-in-[sample] and its descendants follow the root's
+    decision, so recorded trees stay complete; spans under an explicit
+    trace id always record. *)
 
 val tee : sink -> sink -> sink
 (** Duplicate spans and events into both sinks, first argument first. *)
@@ -69,11 +97,46 @@ val stats : t -> Io_stats.t
 val now_ns : unit -> int64
 (** The monotonic clock spans are stamped with. *)
 
-val with_span : t -> ?attrs:(unit -> (string * value) list) -> string -> (unit -> 'a) -> 'a
+val with_trace : trace:int64 option -> (unit -> 'a) -> 'a
+(** [with_trace ~trace f] installs [trace] as the ambient trace id for
+    the dynamic extent of [f] {e in the calling domain}, restoring the
+    previous ambient id afterwards (also on exceptions).  [~trace:None]
+    is free: [f] runs directly and any enclosing ambient id stays in
+    effect. *)
+
+val current_trace : unit -> int64 option
+(** The ambient trace id installed by the innermost enclosing
+    {!with_trace} in this domain, if any.  This is what a frame encoder
+    reads to propagate the id downstream. *)
+
+val new_trace_id : unit -> int64
+(** A fresh id unique across processes without coordination (pid folded
+    over a wall-clock-seeded counter).  Always positive and nonzero. *)
+
+val self_pid : unit -> int
+val self_tid : unit -> int
+
+val set_thread_name : string -> unit
+(** Register a human-readable name for the calling domain ("shard-0-writer",
+    "reader-1").  {!chrome_trace} emits the registry as [thread_name]
+    metadata so Perfetto rows are labelled. *)
+
+val thread_names : unit -> (int * int * string) list
+(** The (pid, tid, name) registry of this process, sorted. *)
+
+val with_span :
+  t ->
+  ?level:[ `Info | `Debug ] ->
+  ?attrs:(unit -> (string * value) list) ->
+  string ->
+  (unit -> 'a) ->
+  'a
 (** [with_span t name f] runs [f] inside a span named [name].  The span
     is emitted when [f] returns {e or raises} (the exception is
     re-raised).  [attrs] is evaluated only when the tracer is enabled,
-    after [f] completes. *)
+    after [f] completes.  [level] defaults to [`Info]; [`Debug] spans
+    are recorded only by a tracer created with [~debug:true] and
+    otherwise cost one branch. *)
 
 val event : t -> ?attrs:(string * value) list -> string -> unit
 
@@ -101,15 +164,55 @@ module Memory : sig
   val clear : buffer -> unit
 end
 
+(** Move an expensive sink (JSONL serialisation to a channel) off the
+    traced workload's critical path: emitters enqueue raw span records
+    under a short mutex hold; a dedicated drain domain runs the inner
+    sink.  Bounded queue — when the drain falls behind, new spans are
+    dropped and counted rather than back-pressuring the workload.  The
+    inner sink needs no further synchronisation: exactly one domain
+    calls it. *)
+module Async : sig
+  type t
+
+  val create : ?capacity:int -> sink -> t
+  (** Spawns the drain domain.  [capacity] (default 262144) bounds the
+      in-flight queue. *)
+
+  val sink : t -> sink
+
+  val dropped : t -> int
+  (** Spans/events discarded because the queue was full. *)
+
+  val close : t -> unit
+  (** Drains everything already enqueued, then joins the drain domain.
+      Idempotent.  No spans may be emitted through [sink] after close
+      begins (they are silently discarded). *)
+end
+
 val span_to_json : span -> Json.t
 val event_to_json : event -> Json.t
 
+val span_of_json : Json.t -> span option
+val event_of_json : Json.t -> event option
+(** Inverses of the [*_to_json] pair ([None] when the document is not a
+    span/event), tolerant of absent optional fields — merging the
+    per-process JSONL sinks of a distributed run back into one in-memory
+    trace reads each line through these. *)
+
 val jsonl_sink : (string -> unit) -> sink
 (** Streams each completed span/event as one compact JSON line (without
-    the newline) through the given emit function. *)
+    the newline) through the given emit function.  The sink keeps an
+    internal scratch buffer, so when spans arrive from several domains it
+    must sit behind {!Async} or {!synchronized}. *)
 
-val chrome_trace : ?events:event list -> span list -> Json.t
+val chrome_thread_name : pid:int -> tid:int -> string -> Json.t
+(** A [thread_name] metadata event for the Chrome trace format. *)
+
+val chrome_trace :
+  ?events:event list -> ?threads:(int * int * string) list -> span list -> Json.t
 (** Render to the Chrome [trace_event] JSON format (complete ["ph":"X"]
     events plus instants), loadable in [about://tracing] or
-    [https://ui.perfetto.dev].  Timestamps are microseconds from the
-    monotonic clock's arbitrary origin. *)
+    [https://ui.perfetto.dev].  Spans land on rows keyed by their own
+    [pid]/[tid]; pass [threads] (e.g. {!thread_names}) to label the
+    rows.  Timestamps are microseconds from the monotonic clock's
+    arbitrary origin. *)

@@ -196,7 +196,7 @@ let append t ?(pos = 0) ?len buf =
   if pos < 0 || pos + len > Bytes.length buf then invalid_arg "Wal.append: range outside buffer";
   if t.broken then Error (E.v ~op:E.Append ~path:t.path E.Wal_poisoned)
   else begin
-    Telemetry.Tracer.with_span t.tel "wal.append"
+    Telemetry.Tracer.with_span t.tel ~level:`Debug "wal.append"
       ~attrs:(fun () -> [ ("bytes", Telemetry.Tracer.Int (frame_header_bytes + len)) ])
     @@ fun () ->
     let frame = Bytes.create (frame_header_bytes + len) in

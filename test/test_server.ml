@@ -54,7 +54,7 @@ let gen_request =
        return (Wire.Vacuum { horizon; max_pages_per_step }));
       oneofl
         [ Wire.Checkpoint; Wire.Stats; Wire.Health; Wire.Ping; Wire.Shutdown;
-          Wire.Shard_stats; Wire.Replica_stats; Wire.Promote ] ]
+          Wire.Shard_stats; Wire.Replica_stats; Wire.Promote; Wire.Observe ] ]
 
 let gen_stats =
   let open QCheck.Gen in
@@ -145,6 +145,7 @@ let gen_response =
        list_size (int_bound 8) gen_frame >>= fun frames ->
        return (Wire.Wal_frames { epoch; durable; commit; frames }));
       (gen_replica_stats >>= fun r -> return (Wire.Replica_stats_reply r));
+      (gen_detail >>= fun doc -> return (Wire.Observe_reply doc));
       (gen_i >>= fun v_horizon ->
        gen_i >>= fun v_steps ->
        gen_i >>= fun v_pages_freed ->
@@ -188,6 +189,43 @@ let prop_response_roundtrip =
   QCheck.Test.make ~name:"response encode . decode = id (all prefixes Incomplete)"
     ~count:500 arbitrary_response
     (roundtrip Wire.encode_response Wire.decode_response ( = ))
+
+(* v2 traced frames: the id survives the round trip, an untraced (v1)
+   frame reads back as [None], and a trace-blind decoder still accepts a
+   v2 frame — the version negotiation that keeps old peers working. *)
+let prop_traced_request_roundtrip =
+  QCheck.Test.make ~name:"traced request round-trips id; v1 decoders skip it" ~count:300
+    QCheck.(pair arbitrary_request (QCheck.make gen_i))
+    (fun (req, id) ->
+      let trace = Int64.of_int id in
+      let b = Wire.encode_request ~trace req in
+      let n = Bytes.length b in
+      (match Wire.decode_request_traced ~buf:b ~pos:0 ~avail:n with
+      | Wire.Complete ((got, Some t), used) -> got = req && t = trace && used = n
+      | _ -> false)
+      && (match Wire.decode_request ~buf:b ~pos:0 ~avail:n with
+         | Wire.Complete (got, used) -> got = req && used = n
+         | _ -> false)
+      &&
+      let b1 = Wire.encode_request req in
+      match Wire.decode_request_traced ~buf:b1 ~pos:0 ~avail:(Bytes.length b1) with
+      | Wire.Complete ((got, None), used) -> got = req && used = Bytes.length b1
+      | _ -> false)
+
+let prop_traced_response_roundtrip =
+  QCheck.Test.make ~name:"traced response round-trips id; v1 decoders skip it" ~count:300
+    QCheck.(pair arbitrary_response (QCheck.make gen_i))
+    (fun (resp, id) ->
+      let trace = Int64.of_int id in
+      let b = Wire.encode_response ~trace resp in
+      let n = Bytes.length b in
+      (match Wire.decode_response_traced ~buf:b ~pos:0 ~avail:n with
+      | Wire.Complete ((got, Some t), used) -> got = resp && t = trace && used = n
+      | _ -> false)
+      &&
+      match Wire.decode_response ~buf:b ~pos:0 ~avail:n with
+      | Wire.Complete (got, used) -> got = resp && used = n
+      | _ -> false)
 
 (* The decoder is total: arbitrary junk at arbitrary offsets never raises
    and never reads outside the declared window. *)
@@ -727,6 +765,8 @@ let () =
         [
           QCheck_alcotest.to_alcotest prop_request_roundtrip;
           QCheck_alcotest.to_alcotest prop_response_roundtrip;
+          QCheck_alcotest.to_alcotest prop_traced_request_roundtrip;
+          QCheck_alcotest.to_alcotest prop_traced_response_roundtrip;
           QCheck_alcotest.to_alcotest prop_decoder_total;
           Alcotest.test_case "adversarial frames" `Quick test_adversarial_frames;
         ] );
