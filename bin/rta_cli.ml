@@ -148,6 +148,23 @@ let checkpoint_every_term =
   let doc = "Checkpoint automatically every N logged updates (0 = manual only)." in
   Arg.(value & opt int 0 & info [ "checkpoint-every" ] ~doc)
 
+let store_conv =
+  let parse s =
+    match Storage.Store_kind.of_string s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "bad store kind %S (memory|file|mmap)" s))
+  in
+  Arg.conv (parse, Storage.Store_kind.pp)
+
+let store_term =
+  let doc =
+    "Page backend for the durable engine's working set: $(b,memory) (in-heap, the \
+     default), $(b,file) (CRC-framed blocks via pread/pwrite), or $(b,mmap) \
+     (memory-mapped arena, zero-copy codecs; falls back to a buffered arena where \
+     mapping is unavailable)."
+  in
+  Arg.(value & opt store_conv Storage.Store_kind.Memory & info [ "store" ] ~doc)
+
 let wal_doc =
   "Durable-engine path prefix: the log lives at PREFIX.wal, the committed checkpoint \
    pointer at PREFIX.ckpt, and snapshot files at PREFIX.ckpt-<gen>.{lkst,lklt,meta}."
@@ -269,11 +286,11 @@ let generate_cmd =
 (* --- build ----------------------------------------------------------------------- *)
 
 let build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_every
-    ~stats_json =
+    ~store ~stats_json =
   let stats = Storage.Io_stats.create () in
   let eng =
     Durable.open_ ~config ~pool_capacity:buffer ~stats ~sync_policy ~checkpoint_every
-      ~max_key:spec.Workload.Generator.max_key ~path ()
+      ~store ~max_key:spec.Workload.Generator.max_key ~path ()
   in
   if (not stats_json) && Durable.replayed_on_open eng > 0 then
     Printf.printf "recovered %d logged updates before building\n"
@@ -316,14 +333,14 @@ let build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_ev
   Durable.close eng
 
 let build verbosity spec (config, buffer) input snapshot wal sync_policy checkpoint_every
-    stats_json =
+    store stats_json =
   setup_logs verbosity;
   match wal with
   | Some path ->
       if snapshot <> None && not stats_json then
         Printf.printf "note: --save is ignored with --wal (use the checkpoint subcommand)\n";
       build_durable ~spec ~config ~buffer ~input ~path ~sync_policy ~checkpoint_every
-        ~stats_json
+        ~store ~stats_json
   | None -> (
       let rta, stats, m = build_rta ~spec ~config ~buffer ~input in
       Rta.check_invariants rta;
@@ -358,7 +375,7 @@ let build_cmd =
     (Cmd.info "build" ~doc:"Build the two-MVSBT index from a generated or replayed workload")
     Term.(const build $ verbosity $ spec_term $ mvsbt_config_term $ input_term
           $ snapshot_out_term $ wal_opt_term $ sync_policy_term $ checkpoint_every_term
-          $ stats_json_term)
+          $ store_term $ stats_json_term)
 
 (* --- query ----------------------------------------------------------------------- *)
 
@@ -492,9 +509,11 @@ let engine_buffer_term =
   let doc = "LRU buffer pool capacity in pages." in
   Arg.(value & opt int 64 & info [ "buffer" ] ~doc)
 
-let checkpoint_impl verbosity max_key buffer wal sync_policy =
+let checkpoint_impl verbosity max_key buffer wal sync_policy store =
   setup_logs verbosity;
-  let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
+  let eng =
+    Durable.open_ ~pool_capacity:buffer ~sync_policy ~store ~max_key ~path:wal ()
+  in
   Printf.printf "recovered: %d WAL records replayed on open\n" (Durable.replayed_on_open eng);
   (match Durable.checkpoint eng with
   | Ok () ->
@@ -514,11 +533,13 @@ let checkpoint_cmd =
     (Cmd.info "checkpoint"
        ~doc:"Recover a durable warehouse, snapshot it, and truncate its log")
     Term.(const checkpoint_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
-          $ wal_req_term $ sync_policy_term)
+          $ wal_req_term $ sync_policy_term $ store_term)
 
-let recover_impl verbosity max_key buffer wal sync_policy rect_opt stats_json =
+let recover_impl verbosity max_key buffer wal sync_policy store rect_opt stats_json =
   setup_logs verbosity;
-  let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
+  let eng =
+    Durable.open_ ~pool_capacity:buffer ~sync_policy ~store ~max_key ~path:wal ()
+  in
   let rta = Durable.warehouse eng in
   Rta.check_invariants rta;
   if stats_json then begin
@@ -564,14 +585,16 @@ let recover_cmd =
     (Cmd.info "recover"
        ~doc:"Recover a durable warehouse from its checkpoint and log and report its state")
     Term.(const recover_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
-          $ wal_req_term $ sync_policy_term $ rect $ stats_json_term)
+          $ wal_req_term $ sync_policy_term $ store_term $ rect $ stats_json_term)
 
 (* --- vacuum ----------------------------------------------------------------------- *)
 
-let vacuum_impl verbosity max_key buffer wal sync_policy horizon max_pages_per_step
-    crash_after_steps stats_json =
+let vacuum_impl verbosity max_key buffer wal sync_policy store horizon
+    max_pages_per_step crash_after_steps stats_json =
   setup_logs verbosity;
-  let eng = Durable.open_ ~pool_capacity:buffer ~sync_policy ~max_key ~path:wal () in
+  let eng =
+    Durable.open_ ~pool_capacity:buffer ~sync_policy ~store ~max_key ~path:wal ()
+  in
   let rta = Durable.warehouse eng in
   let horizon =
     match horizon with Some h -> h | None -> max (Durable.horizon eng) (Rta.now rta / 2)
@@ -660,7 +683,7 @@ let vacuum_cmd =
          "Recover a durable warehouse, raise its retention horizon, and reclaim dead \
           pages (crash-safe: every step is WAL-logged before it is applied)")
     Term.(const vacuum_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
-          $ wal_req_term $ sync_policy_term $ horizon $ max_pages_per_step
+          $ wal_req_term $ sync_policy_term $ store_term $ horizon $ max_pages_per_step
           $ crash_after_steps $ stats_json_term)
 
 (* --- scrub ------------------------------------------------------------------------ *)
@@ -693,8 +716,8 @@ let demo_updates ~n ~seed =
         `Insert (!key, 1 + Random.State.int rng 1000, !now)
       end)
 
-let build_demo_warehouse ~page_size ~n ~seed ~path =
-  let rta = Rta.create_durable ~page_size ~max_key:256 ~path () in
+let build_demo_warehouse ~page_size ~store ~n ~seed ~path =
+  let rta = Rta.create_durable ~page_size ~store ~max_key:256 ~path () in
   List.iter
     (function
       | `Insert (key, value, at) -> Rta.insert rta ~key ~value ~at
@@ -703,8 +726,8 @@ let build_demo_warehouse ~page_size ~n ~seed ~path =
   Rta.flush rta;
   rta
 
-let run_scrub ~quiet ~stats ~page_size ?repair_from ~path () =
-  let report = Rta.scrub ~stats ~page_size ?repair_from ~path () in
+let run_scrub ~quiet ~stats ~page_size ~store ?repair_from ~path () =
+  let report = Rta.scrub ~stats ~page_size ~store ?repair_from ~path () in
   if not quiet then Format.printf "scrub %s: %a@." path Rta.pp_scrub_report report;
   report
 
@@ -717,32 +740,39 @@ let scrub_pages_json pages =
              ("page", Telemetry.Json.Int (Storage.Page_id.to_int pid)) ])
        pages)
 
-let scrub_impl verbosity page_size wal inject seed repair_from demo stats_json =
+let scrub_impl verbosity page_size wal store inject seed repair_from demo stats_json =
   setup_logs verbosity;
+  (* Scrub works on page files; there is nothing to scrub in a heap, so
+     the default [memory] means "the ordinary file backend" here. *)
+  let store =
+    match store with Storage.Store_kind.Memory -> Storage.Store_kind.File | s -> s
+  in
   let stats = Storage.Io_stats.create () in
   let repair_from =
     match (repair_from, demo) with
-    | Some p, _ -> Some (Rta.reopen_durable ~page_size ~path:p ())
+    | Some p, _ -> Some (Rta.reopen_durable ~page_size ~store ~path:p ())
     | None, Some n ->
         (* Self-contained round trip: build the warehouse and a matching
            reference, corrupt the former, repair from the latter. *)
-        let _target = build_demo_warehouse ~page_size ~n ~seed ~path:wal in
+        let _target = build_demo_warehouse ~page_size ~store ~n ~seed ~path:wal in
         if not stats_json then
           Printf.printf "demo: built %d-update warehouse at %s (+ reference at %s.ref)\n" n
             wal wal;
-        Some (build_demo_warehouse ~page_size ~n ~seed ~path:(wal ^ ".ref"))
+        Some (build_demo_warehouse ~page_size ~store ~n ~seed ~path:(wal ^ ".ref"))
     | None, None -> None
   in
   (match inject with
   | Some flips when flips > 0 ->
-      let hits = Rta.inject_bit_flips ~page_size ~path:wal ~seed ~flips () in
+      let hits = Rta.inject_bit_flips ~page_size ~store ~path:wal ~seed ~flips () in
       if not stats_json then
         Printf.printf "injected single-bit flips into %d pages\n" (List.length hits)
   | _ -> ());
-  let report = run_scrub ~quiet:stats_json ~stats ~page_size ?repair_from ~path:wal () in
+  let report =
+    run_scrub ~quiet:stats_json ~stats ~page_size ~store ?repair_from ~path:wal ()
+  in
   let final =
     if report.Rta.repaired <> [] then
-      run_scrub ~quiet:stats_json ~stats ~page_size ~path:wal ()
+      run_scrub ~quiet:stats_json ~stats ~page_size ~store ~path:wal ()
     else report
   in
   let ok = Rta.scrub_clean final || final.Rta.corrupt = final.Rta.repaired in
@@ -803,24 +833,26 @@ let scrub_cmd =
        ~doc:
          "Verify the per-page checksums of a durable warehouse and repair corrupt pages \
           from a reference (exits 1 if corruption remains)")
-    Term.(const scrub_impl $ verbosity $ page_size $ path $ inject $ seed $ repair_from
-          $ demo $ stats_json_term)
+    Term.(const scrub_impl $ verbosity $ page_size $ path $ store_term $ inject $ seed
+          $ repair_from $ demo $ stats_json_term)
 
 (* --- crash-matrix ----------------------------------------------------------------- *)
 
-let crash_matrix_impl verbosity updates max_key checkpoint_every sync_policy seed limit
-    smoke =
+let crash_matrix_impl verbosity updates max_key checkpoint_every sync_policy store seed
+    limit smoke =
   setup_logs verbosity;
   let updates, limit =
     if smoke then (min updates 60, Some (match limit with Some l -> l | None -> 80))
     else (updates, limit)
   in
   let trace =
-    Faultsim.Harness.run_trace ~sync_policy ~checkpoint_every ~seed ~updates ~max_key ()
+    Faultsim.Harness.run_trace ~sync_policy ~checkpoint_every ~store ~seed ~updates
+      ~max_key ()
   in
   let report = Faultsim.Harness.check ?limit trace in
-  Format.printf "crash matrix (%d updates, checkpoint every %d, %a): %a@." updates
-    checkpoint_every Wal.pp_sync_policy sync_policy Faultsim.Harness.pp_report report;
+  Format.printf "crash matrix (%d updates, checkpoint every %d, %a, %a store): %a@."
+    updates checkpoint_every Wal.pp_sync_policy sync_policy Storage.Store_kind.pp store
+    Faultsim.Harness.pp_report report;
   if report.Faultsim.Harness.violations <> [] then exit 1
 
 let crash_matrix_cmd =
@@ -854,11 +886,11 @@ let crash_matrix_cmd =
          "Enumerate every legal post-crash disk image of a workload trace, run recovery \
           on each, and verify the recovered state (exits 1 on any violation)")
     Term.(const crash_matrix_impl $ verbosity $ updates $ max_key $ checkpoint_every
-          $ sync_policy_term $ seed $ limit $ smoke)
+          $ sync_policy_term $ store_term $ seed $ limit $ smoke)
 
 (* --- vacuum-matrix ---------------------------------------------------------------- *)
 
-let vacuum_matrix_impl verbosity updates max_key checkpoint_every sync_policy seed
+let vacuum_matrix_impl verbosity updates max_key checkpoint_every sync_policy store seed
     vacuum_step_pages limit smoke =
   setup_logs verbosity;
   let updates, limit =
@@ -866,13 +898,14 @@ let vacuum_matrix_impl verbosity updates max_key checkpoint_every sync_policy se
     else (updates, limit)
   in
   let trace =
-    Faultsim.Vacuum_matrix.run_trace ~sync_policy ~checkpoint_every ~seed ~updates
+    Faultsim.Vacuum_matrix.run_trace ~sync_policy ~checkpoint_every ~store ~seed ~updates
       ~vacuum_step_pages ~max_key ()
   in
   let report = Faultsim.Vacuum_matrix.check ?limit trace in
-  Format.printf "vacuum matrix (%d updates, %d-page chunks, checkpoint every %d, %a): %a@."
+  Format.printf
+    "vacuum matrix (%d updates, %d-page chunks, checkpoint every %d, %a, %a store): %a@."
     updates vacuum_step_pages checkpoint_every Wal.pp_sync_policy sync_policy
-    Faultsim.Vacuum_matrix.pp_report report;
+    Storage.Store_kind.pp store Faultsim.Vacuum_matrix.pp_report report;
   if report.Faultsim.Vacuum_matrix.violations <> [] then exit 1
 
 let vacuum_matrix_cmd =
@@ -913,7 +946,7 @@ let vacuum_matrix_cmd =
           each distinct post-crash image, and verify horizon exactness, invariants, \
           oracle queries, and vacuum convergence (exits 1 on any violation)")
     Term.(const vacuum_matrix_impl $ verbosity $ updates $ max_key $ checkpoint_every
-          $ sync_policy_term $ seed $ vacuum_step_pages $ limit $ smoke)
+          $ sync_policy_term $ store_term $ seed $ vacuum_step_pages $ limit $ smoke)
 
 (* --- errsweep --------------------------------------------------------------------- *)
 
@@ -1123,7 +1156,7 @@ let populate_registry reg ~stats ~spans rta =
     (Rta.page_touches rta)
 
 let metrics_impl verbosity spec (config, buffer) input n_queries qrs wal sync_policy
-    as_json =
+    store as_json =
   setup_logs verbosity;
   let mem = Tracer.Memory.create ~capacity:(ring_capacity ~spec ~n_queries) () in
   let reg = Telemetry.Metrics.create () in
@@ -1151,8 +1184,8 @@ let metrics_impl verbosity spec (config, buffer) input n_queries qrs wal sync_po
       let stats = Storage.Io_stats.create () in
       let tracer = Tracer.create ~stats ~debug:true (Tracer.Memory.sink mem) in
       let eng =
-        Durable.open_ ~config ~pool_capacity:buffer ~stats ~sync_policy ~telemetry:tracer
-          ~max_key:spec.Workload.Generator.max_key ~path ()
+        Durable.open_ ~config ~pool_capacity:buffer ~stats ~sync_policy ~store
+          ~telemetry:tracer ~max_key:spec.Workload.Generator.max_key ~path ()
       in
       let ok = Storage.Storage_error.ok_exn in
       Workload.Trace.replay (events_of ~spec ~input)
@@ -1190,7 +1223,8 @@ let metrics_cmd =
          "Build a workload and a query sweep with telemetry enabled and dump the metrics \
           registry (Prometheus text, or JSON with --json)")
     Term.(const metrics_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
-          $ queries_term $ qrs_term $ wal_opt_term $ sync_policy_term $ as_json)
+          $ queries_term $ qrs_term $ wal_opt_term $ sync_policy_term $ store_term
+          $ as_json)
 
 (* Re-parse emitted trace artifacts with the library's own JSON parser, so
    CI catches an encoder regression the moment it happens. *)
@@ -1224,8 +1258,8 @@ let validate_chrome path ~spans =
             (Printf.sprintf "%s: %d traceEvents for %d spans" path (List.length evs) spans)
       | _ -> Error (Printf.sprintf "%s: no traceEvents array" path))
 
-let profile_impl verbosity spec (config, buffer) input n_queries qrs slack worst smoke
-    trace_out =
+let profile_impl verbosity spec (config, buffer) input n_queries qrs store slack worst
+    smoke trace_out =
   setup_logs verbosity;
   (* Smoke mode is the bounded CI entry point: small warehouse, tracing
      on, trace artifacts written and re-parsed, zero violations asserted. *)
@@ -1245,8 +1279,20 @@ let profile_impl verbosity spec (config, buffer) input n_queries qrs slack worst
   let stats = Storage.Io_stats.create () in
   let tracer = Tracer.create ~stats ~debug:true (Tracer.Memory.sink mem) in
   let rta =
-    Rta.create ~config ~pool_capacity:buffer ~stats ~telemetry:tracer
-      ~max_key:spec.Workload.Generator.max_key ()
+    match (store : Storage.Store_kind.t) with
+    | Memory ->
+        Rta.create ~config ~pool_capacity:buffer ~stats ~telemetry:tracer
+          ~max_key:spec.Workload.Generator.max_key ()
+    | (File | Mmap) as store ->
+        (* The envelopes count logical page touches, which are backend
+           independent — running them over a real page store proves the
+           zero-copy path doesn't change what the tree visits. *)
+        let path = Filename.temp_file "rta-profile-store" "" in
+        let page_size =
+          (max 4096 (Rta.min_page_size config) + 4095) / 4096 * 4096
+        in
+        Rta.create_durable ~config ~pool_capacity:buffer ~stats ~telemetry:tracer ~store
+          ~page_size ~max_key:spec.Workload.Generator.max_key ~path ()
   in
   let checker = Telemetry.Bound_check.create ~slack ~worst ~b:config.Mvsbt.b () in
   (* K for the update envelope is the number of distinct keys ever seen
@@ -1347,7 +1393,7 @@ let profile_cmd =
          "Profile per-operation page touches against the paper's O(log_b K) / O(log_b n) \
           envelopes and report worst offenders (exits 1 on violations)")
     Term.(const profile_impl $ verbosity $ spec_term $ mvsbt_config_term $ input_term
-          $ queries_term $ qrs_term $ slack $ worst $ smoke $ trace_out)
+          $ queries_term $ qrs_term $ store_term $ slack $ worst $ smoke $ trace_out)
 
 (* --- replica-matrix ---------------------------------------------------------------- *)
 
@@ -1433,9 +1479,9 @@ let parse_upstream s =
   | None -> Replica.Follower.Unix_sock s
 
 let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
-    max_queue_depth checkpoint_every shards readers sim_io_us follower_of sync_replicas
-    heartbeat_ms failover_ms no_auto_promote trace_out trace_verbose trace_sample
-    slow_ms slow_log metrics_port no_flight =
+    max_queue_depth checkpoint_every store shards readers sim_io_us follower_of
+    sync_replicas heartbeat_ms failover_ms no_auto_promote trace_out trace_verbose
+    trace_sample slow_ms slow_log metrics_port no_flight =
   setup_logs verbosity;
   if shards < 1 then begin
     prerr_endline "serve: --shards must be >= 1";
@@ -1617,7 +1663,7 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
        — makes them durable. *)
     let eng =
       Durable.open_ ~pool_capacity:buffer ~sync_policy:Wal.Never ~checkpoint_every
-        ~max_key ~telemetry:tracer ~path:wal ()
+        ~store ~max_key ~telemetry:tracer ~path:wal ()
     in
     let srv = Server.create ~config ~telemetry:tracer ~engine:eng ~listen () in
     let stop _ = Server.request_shutdown srv in
@@ -1703,8 +1749,8 @@ let serve_impl verbosity max_key buffer wal socket port max_batch max_in_flight
       }
     in
     let cluster =
-      Shard.Cluster.create ~config:ccfg ~pool_capacity:buffer ~checkpoint_every ~max_key
-        ~telemetry:tracer ~path:wal ()
+      Shard.Cluster.create ~config:ccfg ~pool_capacity:buffer ~checkpoint_every ~store
+        ~max_key ~telemetry:tracer ~path:wal ()
     in
     let srv = Server.create_sharded ~config ~telemetry:tracer ~cluster ~listen () in
     let stop _ = Server.request_shutdown srv in
@@ -1869,7 +1915,8 @@ let serve_cmd =
           --metrics-port / SIGUSR1 flight dump); SIGTERM/SIGINT drain and exit 0")
     Term.(const serve_impl $ verbosity $ engine_max_key_term $ engine_buffer_term
           $ wal_req_term $ socket_term $ port_term $ max_batch $ max_in_flight
-          $ max_queue_depth $ checkpoint_every_term $ shards $ readers $ sim_io_us
+          $ max_queue_depth $ checkpoint_every_term $ store_term $ shards $ readers
+          $ sim_io_us
           $ follower_of $ sync_replicas $ heartbeat_ms $ failover_ms $ no_auto_promote
           $ trace_out $ trace_verbose $ trace_sample $ slow_ms $ slow_log $ metrics_port
           $ no_flight)

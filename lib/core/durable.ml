@@ -34,6 +34,7 @@ type t = {
   stats : Storage.Io_stats.t;
   tel : Telemetry.Tracer.t;
   path : string;
+  store : Storage.Store_kind.t;
   checkpoint_every : int;
   watermarks : (int * int) option; (* (soft, hard) disk-usage bytes *)
   disk_used : unit -> int;
@@ -146,6 +147,13 @@ let gen_prefix path gen = Printf.sprintf "%s.ckpt-%d" path gen
 let snapshot_exts = [ ".lkst"; ".lklt"; ".meta" ]
 let wal_path path = path ^ ".wal"
 
+(* Prefix under which a [File]/[Mmap] engine materialises its page-file
+   working set ([<p>.store.lkst.pages] etc.).  The page files are {e not}
+   a recovery source — snapshot + WAL are; they are rebuilt here on every
+   open, which is also what makes switching [store] kinds between runs
+   safe. *)
+let store_prefix path = path ^ ".store"
+
 let fsync_dir_of vfs p = vfs.Storage.Vfs.v_sync_dir (Filename.dirname p)
 
 let write_pointer vfs path gen =
@@ -241,7 +249,8 @@ let apply_record rta rd =
 let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
     ?(checkpoint_every = 0) ?wal_stats ?(wal_wrap = fun f -> f)
     ?(retry = Some Storage.Retry.default) ?(telemetry = Telemetry.Tracer.noop)
-    ?(vfs = Storage.Vfs.os) ?watermarks ?disk_used ?(retention = Keep_all)
+    ?(vfs = Storage.Vfs.os) ?(store = Storage.Store_kind.Memory)
+    ?(arena_backing = `Auto) ?watermarks ?disk_used ?(retention = Keep_all)
     ~max_key ~path () =
   (match watermarks with
   | Some (soft, hard) when soft <= 0 || hard < soft ->
@@ -293,6 +302,29 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
     let st = Wal.stats wal in
     let dropped_before = Wal.Stats.dropped_bytes st in
     let n_replayed = Wal.replay wal (apply_record rta) in
+    (* With a page-file backend, the recovered state is now materialised
+       into fresh page files and the engine runs over {e those}: every
+       subsequent page touch is real disk I/O (or a mapped access), not a
+       heap lookup.  Rebuilt on every open from snapshot + WAL — the page
+       files are a working set, never a recovery source, so a torn or
+       stale working set can never corrupt recovery. *)
+    let rta =
+      match store with
+      | Storage.Store_kind.Memory -> rta
+      | (File | Mmap) as kind ->
+          Telemetry.Tracer.with_span telemetry "durable.materialize"
+            ~attrs:(fun () ->
+              [ ("store", Telemetry.Tracer.Str (Storage.Store_kind.to_string kind)) ])
+          @@ fun () ->
+          (* Analytic configs push [b] past what a 4 KiB page holds, so
+             size the working set to the config — rounded up to 4 KiB so
+             mapped pages stay OS-page aligned. *)
+          let page_size =
+            (max 4096 (Rta.min_page_size (Rta.config rta)) + 4095) / 4096 * 4096
+          in
+          Rta.materialize_durable ?pool_capacity ~stats ~telemetry ~vfs ~store:kind
+            ~backing:arena_backing ~page_size ~path:(store_prefix path) rta
+    in
     (pointer, ckpt_gen, rta, wal, n_replayed,
      Wal.Stats.dropped_bytes st - dropped_before)
   in
@@ -319,7 +351,7 @@ let open_ ?config ?pool_capacity ?stats ?(sync_policy = Wal.Every_n 32)
   in
   (* Replayed records are exactly the updates the last checkpoint missed,
      so they count toward the next automatic checkpoint. *)
-  { rta; wal; vfs; stats; tel = telemetry; path; checkpoint_every;
+  { rta; wal; vfs; stats; tel = telemetry; path; store; checkpoint_every;
     watermarks; disk_used; retention; ckpt_gen;
     ckpt_attempt = ckpt_gen; since_ckpt = n_replayed; n_ckpts = 0; health;
     io_health = Healthy; pressure;
@@ -454,6 +486,10 @@ let checkpoint t =
       let prefix = gen_prefix t.path gen in
       match
         E.protect (fun () ->
+            (* Working set first: dirty pages reach their page files (and,
+               under mmap, the arena msyncs and commits its header) before
+               the WAL that could rebuild them is allowed to truncate. *)
+            Rta.flush t.rta;
             Rta.save ~vfs:t.vfs t.rta ~path:prefix;
             (* Force the snapshot files (and the new directory entries) to
                the platter before the pointer can name them, and the
@@ -708,6 +744,7 @@ let health t = t.health
 let io_health t = t.io_health
 let pressure t = t.pressure
 let horizon t = Rta.horizon t.rta
+let store_kind t = t.store
 let vacuums t = t.n_vacuums
 let disk_used t = t.disk_used ()
 let retention t = t.retention
@@ -718,6 +755,9 @@ let set_phase_cell t c = t.phase_cell <- c
 
 let close t =
   (* Best effort: a failing final fsync must not prevent releasing the
-     file — whatever the log already holds is what recovery will see. *)
+     file — whatever the log already holds is what recovery will see.
+     The page-file working set is flushed first so a clean shutdown
+     leaves it consistent (a torn one is rebuilt on open anyway). *)
+  (match Rta.try_flush t.rta with Ok () | Error _ -> ());
   (match Wal.sync t.wal with Ok () -> () | Error _ -> ());
   Wal.close t.wal

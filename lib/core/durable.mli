@@ -98,6 +98,8 @@ val open_ :
   ?retry:Storage.Retry.policy option ->
   ?telemetry:Telemetry.Tracer.t ->
   ?vfs:Storage.Vfs.t ->
+  ?store:Storage.Store_kind.t ->
+  ?arena_backing:[ `Auto | `Map | `Buffered ] ->
   ?watermarks:int * int ->
   ?disk_used:(unit -> int) ->
   ?retention:retention ->
@@ -109,7 +111,19 @@ val open_ :
     it if nothing is on disk yet.  [sync_policy] defaults to
     [Every_n 32]; [checkpoint_every] (default 0 = manual only) triggers
     an automatic {!checkpoint} once that many updates have accumulated
-    since the last one.  [telemetry] (default {!Telemetry.Tracer.noop})
+    since the last one.
+
+    [store] (default [Memory]) picks where the warehouse's MVSBT pages
+    live while the engine runs.  [Memory] is the original in-heap
+    warehouse.  [File] and [Mmap] materialise the recovered state into
+    real page files under [path ^ ".store"] and run over those, so every
+    page touch is genuine disk I/O ([File]: pread/pwrite; [Mmap]: a
+    mapped arena with zero-copy codecs — [arena_backing] as in
+    {!Storage.Arena.create}; pass [`Buffered] under a synthetic [vfs]).
+    The page files are a {e working set}, rebuilt from snapshot + WAL on
+    every open and flushed/msynced by every {!checkpoint} before the WAL
+    truncates — they are never themselves a recovery source, which is
+    also why switching [store] between runs is always safe.  [telemetry] (default {!Telemetry.Tracer.noop})
     attaches a tracer to the whole stack: the engine emits
     [durable.recover] / [durable.insert] / [durable.delete] /
     [durable.checkpoint] spans and [durable.health] transition events,
@@ -219,6 +233,9 @@ val vacuum :
 
 val horizon : t -> int
 (** The warehouse's retention horizon ([= Rta.horizon (warehouse t)]). *)
+
+val store_kind : t -> Storage.Store_kind.t
+(** The page backend this engine was opened with. *)
 
 val vacuums : t -> int
 (** Completed [vacuum] runs by this handle (manual + watermark-driven). *)

@@ -763,6 +763,8 @@ module Make (G : Aggregate.Group.S) = struct
     val max_size : int
     val encode : Storage.Codec.Writer.t -> G.t -> unit
     val decode : Storage.Codec.Reader.t -> G.t
+    val zencode : Storage.Zcodec.Writer.t -> G.t -> unit
+    val zdecode : Storage.Zcodec.Reader.t -> G.t
   end
 
   (* Binary layout of records and pages, shared by the durable (file-resident)
@@ -817,6 +819,57 @@ module Make (G : Aggregate.Group.S) = struct
       { pid; level; prange = Interval.make lo hi; created; closed; records }
 
     let page_header_bytes = 8 + 4 + (4 * 8) + 4
+
+    (* The zero-copy twins: byte-identical wire format, but encoding and
+       decoding run directly against a mapped slice ({!Storage.Zcodec})
+       instead of an intermediate [bytes] buffer.  Cross-codec equality
+       (encode here, decode there, and vice versa) is property-tested. *)
+
+    let zencode_record w r =
+      Storage.Zcodec.Writer.i64 w r.range.Interval.lo;
+      Storage.Zcodec.Writer.i64 w r.range.Interval.hi;
+      Storage.Zcodec.Writer.i64 w r.rt_start;
+      Storage.Zcodec.Writer.i64 w r.rt_end;
+      V.zencode w r.value;
+      match r.child with
+      | None -> Storage.Zcodec.Writer.bool w false
+      | Some c ->
+          Storage.Zcodec.Writer.bool w true;
+          Storage.Zcodec.Writer.i64 w (Storage.Page_id.to_int c)
+
+    let zdecode_record rd =
+      let lo = Storage.Zcodec.Reader.i64 rd in
+      let hi = Storage.Zcodec.Reader.i64 rd in
+      let rt_start = Storage.Zcodec.Reader.i64 rd in
+      let rt_end = Storage.Zcodec.Reader.i64 rd in
+      let value = V.zdecode rd in
+      let child =
+        if Storage.Zcodec.Reader.bool rd then
+          Some (Storage.Page_id.of_int (Storage.Zcodec.Reader.i64 rd))
+        else None
+      in
+      { range = Interval.make lo hi; rt_start; rt_end; value; child }
+
+    let zencode_page w p =
+      Storage.Zcodec.Writer.i64 w (Storage.Page_id.to_int p.pid);
+      Storage.Zcodec.Writer.i32 w p.level;
+      Storage.Zcodec.Writer.i64 w p.prange.Interval.lo;
+      Storage.Zcodec.Writer.i64 w p.prange.Interval.hi;
+      Storage.Zcodec.Writer.i64 w p.created;
+      Storage.Zcodec.Writer.i64 w p.closed;
+      Storage.Zcodec.Writer.i32 w (List.length p.records);
+      List.iter (zencode_record w) p.records
+
+    let zdecode_page rd =
+      let pid = Storage.Page_id.of_int (Storage.Zcodec.Reader.i64 rd) in
+      let level = Storage.Zcodec.Reader.i32 rd in
+      let lo = Storage.Zcodec.Reader.i64 rd in
+      let hi = Storage.Zcodec.Reader.i64 rd in
+      let created = Storage.Zcodec.Reader.i64 rd in
+      let closed = Storage.Zcodec.Reader.i64 rd in
+      let n_records = Storage.Zcodec.Reader.i32 rd in
+      let records = List.init n_records (fun _ -> zdecode_record rd) in
+      { pid; level; prange = Interval.make lo hi; created; closed; records }
   end
 
   module Durable (V : VALUE_CODEC) = struct
@@ -831,6 +884,16 @@ module Make (G : Aggregate.Group.S) = struct
 
     module File_pool = Storage.Buffer_pool.Make (File_store)
 
+    module Mmap_store = Storage.Page_store.Mmap (struct
+      type t = page
+
+      let encode = RC.zencode_page
+      let decode = RC.zdecode_page
+    end)
+
+    module Mmap_pool = Storage.Buffer_pool.Make (Mmap_store)
+
+    (* Same 8-byte frame on both stores, so one bound serves both. *)
     let min_page_size cfg =
       File_store.block_overhead + RC.page_header_bytes + (cfg.b * RC.record_bytes)
 
@@ -915,31 +978,178 @@ module Make (G : Aggregate.Group.S) = struct
       ( { b; f; variant; merging; disposal; root_star_btree },
         key_space, now_, horizon, cur_root, height, roots )
 
-    let make_backend ~vfs ~path ~self pool store =
+    (* The physical layer behind a durable tree — store + buffer pool —
+       as one closure record, so every entry point dispatches on the
+       {!Storage.Store_kind} once, at construction, and the tree machinery
+       above stays backend-blind. *)
+    type phys = {
+      p_kind : Storage.Store_kind.t;
+      p_backing : Storage.Arena.backing option;  (** [Mmap] only. *)
+      p_alloc : unit -> Storage.Page_id.t;
+      p_read : Storage.Page_id.t -> page;
+      p_write : Storage.Page_id.t -> page -> unit;
+      p_install : Storage.Page_id.t -> page -> unit;
+      p_free : Storage.Page_id.t -> unit;
+      p_mem : Storage.Page_id.t -> bool;
+      p_pin : Storage.Page_id.t -> unit;
+      p_unpin : Storage.Page_id.t -> unit;
+      p_pin_count : Storage.Page_id.t -> int;
+      p_resident : Storage.Page_id.t -> bool;
+      p_readahead : Storage.Page_id.t list -> unit;
+      p_flush : unit -> unit;
+      p_drop : unit -> unit;
+      p_written_ids : unit -> Storage.Page_id.t list;
+      p_live : unit -> int;
+      p_sync : unit -> unit;
+      p_close : unit -> unit;
+      p_verify : Storage.Page_id.t -> bool;
+      p_read_block : Storage.Page_id.t -> bytes;
+      p_write_block : Storage.Page_id.t -> bytes -> unit;
+      p_store_write : Storage.Page_id.t -> page -> unit;
+    }
+
+    let phys_file ~stats ~page_size ~mode ~vfs ~pool_capacity ~path () =
+      let store = File_store.create ~stats ~page_size ~mode ~vfs ~path () in
+      let pool = File_pool.create ~capacity:pool_capacity store in
       {
-        b_alloc = (fun () -> File_pool.alloc pool);
-        b_read = (fun pid -> File_pool.read pool pid);
-        b_write = (fun pid page -> File_pool.write pool pid page);
-        b_free = (fun pid -> File_pool.free pool pid);
-        b_exists = (fun pid -> File_pool.mem pool pid);
+        p_kind = Storage.Store_kind.File;
+        p_backing = None;
+        p_alloc = (fun () -> File_pool.alloc pool);
+        p_read = (fun pid -> File_pool.read pool pid);
+        p_write = (fun pid page -> File_pool.write pool pid page);
+        p_install = (fun pid page -> File_store.install store pid page);
+        p_free = (fun pid -> File_pool.free pool pid);
+        p_mem = (fun pid -> File_pool.mem pool pid);
+        p_pin = (fun pid -> File_pool.pin pool pid);
+        p_unpin = (fun pid -> File_pool.unpin pool pid);
+        p_pin_count = (fun pid -> File_pool.pin_count pool pid);
+        p_resident = (fun pid -> File_pool.resident pool pid);
+        p_readahead = (fun pids -> File_pool.readahead pool pids);
+        p_flush = (fun () -> File_pool.flush pool);
+        p_drop = (fun () -> File_pool.drop_cache pool);
+        p_written_ids = (fun () -> File_store.written_ids store);
+        p_live = (fun () -> File_store.live_pages store);
+        p_sync = (fun () -> File_store.sync store);
+        p_close = (fun () -> File_store.close store);
+        p_verify = (fun pid -> File_store.verify store pid);
+        p_read_block = (fun pid -> File_store.read_block store pid);
+        p_write_block = (fun pid block -> File_store.write_block store pid block);
+        p_store_write = (fun pid page -> File_store.write store pid page);
+      }
+
+    (* The mapped store pairs with clock eviction: with reads decoding
+       straight out of the mapping, eviction is pure bookkeeping, so the
+       cheaper approximation beats exact LRU's list surgery per touch. *)
+    let phys_mmap ~stats ~page_size ~mode ~vfs ~backing ~pool_capacity ~path () =
+      let store = Mmap_store.create ~stats ~page_size ~mode ~vfs ~backing ~path () in
+      let pool =
+        Mmap_pool.create ~capacity:pool_capacity ~policy:Storage.Evict.Second_chance store
+      in
+      {
+        p_kind = Storage.Store_kind.Mmap;
+        p_backing = Some (Mmap_store.backing store);
+        p_alloc = (fun () -> Mmap_pool.alloc pool);
+        p_read = (fun pid -> Mmap_pool.read pool pid);
+        p_write = (fun pid page -> Mmap_pool.write pool pid page);
+        p_install = (fun pid page -> Mmap_store.install store pid page);
+        p_free = (fun pid -> Mmap_pool.free pool pid);
+        p_mem = (fun pid -> Mmap_pool.mem pool pid);
+        p_pin = (fun pid -> Mmap_pool.pin pool pid);
+        p_unpin = (fun pid -> Mmap_pool.unpin pool pid);
+        p_pin_count = (fun pid -> Mmap_pool.pin_count pool pid);
+        p_resident = (fun pid -> Mmap_pool.resident pool pid);
+        p_readahead = (fun pids -> Mmap_pool.readahead pool pids);
+        p_flush = (fun () -> Mmap_pool.flush pool);
+        p_drop = (fun () -> Mmap_pool.drop_cache pool);
+        p_written_ids = (fun () -> Mmap_store.written_ids store);
+        p_live = (fun () -> Mmap_store.live_pages store);
+        p_sync = (fun () -> Mmap_store.sync store);
+        p_close = (fun () -> Mmap_store.close store);
+        p_verify = (fun pid -> Mmap_store.verify store pid);
+        p_read_block = (fun pid -> Mmap_store.read_block store pid);
+        p_write_block = (fun pid block -> Mmap_store.write_block store pid block);
+        p_store_write = (fun pid page -> Mmap_store.write store pid page);
+      }
+
+    let phys_make ~store_kind ~backing ~stats ~page_size ~mode ~vfs ~pool_capacity ~path
+        () =
+      match (store_kind : Storage.Store_kind.t) with
+      | File -> phys_file ~stats ~page_size ~mode ~vfs ~pool_capacity ~path ()
+      | Mmap -> phys_mmap ~stats ~page_size ~mode ~vfs ~backing ~pool_capacity ~path ()
+      | Memory ->
+          invalid_arg
+            "Mvsbt.Durable: Memory is not a page-file store kind (use the in-memory \
+             tree)"
+
+    let make_backend ~vfs ~path ~self phys =
+      (* The current root is pinned in the pool: every descent starts
+         there, and with readers decoding records straight out of mapped
+         blocks, evicting the page a descent is standing on is not an
+         option.  The pin follows root switches lazily — re-checked at
+         each access, moved when [cur_root] changed. *)
+      let pinned_root = ref None in
+      let repin () =
+        match !self with
+        | None -> () (* still booting *)
+        | Some t -> (
+            let want = t.cur_root in
+            match !pinned_root with
+            | Some held when Storage.Page_id.to_int held = Storage.Page_id.to_int want ->
+                ()
+            | held ->
+                (match held with
+                | Some old when phys.p_pin_count old > 0 -> phys.p_unpin old
+                | _ -> ());
+                if phys.p_mem want then begin
+                  phys.p_pin want;
+                  pinned_root := Some want
+                end)
+      in
+      (* Batched descent readahead: an internal page read means the next
+         step of the descent is one of its children, so hint them all in
+         one batch while this page is being searched. *)
+      let children_of page =
+        if page.level = 0 then []
+        else List.filter_map (fun r -> r.child) page.records
+      in
+      {
+        b_alloc = (fun () -> phys.p_alloc ());
+        b_read =
+          (fun pid ->
+            repin ();
+            (* Hint only when this page itself had to be faulted in: a
+               pool-resident parent already issued its batch, and hinting
+               again on every hit would drown the kernel in madvise. *)
+            let faulted = not (phys.p_resident pid) in
+            let page = phys.p_read pid in
+            if faulted then
+              (match children_of page with [] -> () | kids -> phys.p_readahead kids);
+            page);
+        b_write =
+          (fun pid page ->
+            repin ();
+            phys.p_write pid page);
+        b_free = (fun pid -> phys.p_free pid);
+        b_exists = (fun pid -> phys.p_mem pid);
         b_list =
           (fun () ->
-            File_pool.flush pool;
-            File_store.written_ids store);
-        b_live = (fun () -> File_store.live_pages store);
-        b_drop = (fun () -> File_pool.drop_cache pool);
+            phys.p_flush ();
+            phys.p_written_ids ());
+        b_live = (fun () -> phys.p_live ());
+        b_drop = (fun () -> phys.p_drop ());
         (* A durable flush must reach the platter, not just the kernel:
-           write back dirty pages, fsync the page file, then commit the
-           meta sidecar describing exactly that on-disk state. *)
+           write back dirty pages, fsync/msync the page file, then commit
+           the meta sidecar describing exactly that on-disk state. *)
         b_flush =
           (fun () ->
-            File_pool.flush pool;
-            File_store.sync store;
+            phys.p_flush ();
+            phys.p_sync ();
             match !self with Some t -> write_meta t ~vfs ~path | None -> ());
       }
 
     let create ?config ?(pool_capacity = 64) ?stats ?(page_size = 4096)
-        ?(vfs = Storage.Vfs.os) ~key_space ~path () =
+        ?(vfs = Storage.Vfs.os) ?(store = Storage.Store_kind.File) ?(backing = `Auto)
+        ~key_space ~path () =
       let cfg = match config with Some c -> c | None -> default_config ~b:64 in
       validate_create cfg key_space;
       if min_page_size cfg > page_size then
@@ -948,25 +1158,29 @@ module Make (G : Aggregate.Group.S) = struct
              "Mvsbt.Durable.create: %d-byte pages cannot hold b=%d records (need %d)"
              page_size cfg.b (min_page_size cfg));
       let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
-      let store = File_store.create ~stats:io_stats ~page_size ~vfs ~path () in
-      let pool = File_pool.create ~capacity:pool_capacity store in
+      let phys =
+        phys_make ~store_kind:store ~backing ~stats:io_stats ~page_size ~mode:`Create
+          ~vfs ~pool_capacity ~path ()
+      in
       let self = ref None in
-      let backend = make_backend ~vfs ~path ~self pool store in
+      let backend = make_backend ~vfs ~path ~self phys in
       let t = boot ~cfg ~key_space ~io_stats backend in
       self := Some t;
       write_meta t ~vfs ~path;
       t
 
     let reopen ?(pool_capacity = 64) ?stats ?(page_size = 4096) ?(vfs = Storage.Vfs.os)
-        ~path () =
+        ?(store = Storage.Store_kind.File) ?(backing = `Auto) ~path () =
       let cfg, key_space, now_, horizon, cur_root, height, roots = read_meta ~vfs ~path in
       let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
-      let store = File_store.create ~stats:io_stats ~page_size ~mode:`Reopen ~vfs ~path () in
-      if not (File_store.mem store cur_root) then
+      let phys =
+        phys_make ~store_kind:store ~backing ~stats:io_stats ~page_size ~mode:`Reopen
+          ~vfs ~pool_capacity ~path ()
+      in
+      if not (phys.p_mem cur_root) then
         failwith "Mvsbt.Durable.reopen: meta names a root the page file does not hold";
-      let pool = File_pool.create ~capacity:pool_capacity store in
       let self = ref None in
-      let backend = make_backend ~vfs ~path ~self pool store in
+      let backend = make_backend ~vfs ~path ~self phys in
       let root_star = Root_star.create ~btree:cfg.root_star_btree ~stats:io_stats () in
       List.iter (fun (ts, pid) -> Root_star.register root_star ~at:ts pid) roots;
       let t =
@@ -974,6 +1188,48 @@ module Make (G : Aggregate.Group.S) = struct
           touches = 0; tel = Telemetry.Tracer.noop }
       in
       self := Some t;
+      t
+
+    (* Materialise the working set of [src] — typically a tree just
+       loaded from a checkpoint snapshot — into a fresh page file at
+       [path]: every live page lands under its original id (page ids are
+       stable across backends), the meta sidecar commits the same logical
+       state, and the returned handle serves from the new store.  [src]
+       itself is read, never modified.  The installs are real, charged
+       physical writes: materialisation is the recovery cost a page-file
+       engine pays to rebuild its working set, and hiding it would skew
+       every recovery experiment. *)
+    let materialize ?(pool_capacity = 64) ?stats ?(page_size = 4096)
+        ?(vfs = Storage.Vfs.os) ?(store = Storage.Store_kind.File) ?(backing = `Auto)
+        ~path src =
+      if min_page_size src.cfg > page_size then
+        invalid_arg
+          (Printf.sprintf
+             "Mvsbt.Durable.materialize: %d-byte pages cannot hold b=%d records (need \
+              %d)"
+             page_size src.cfg.b (min_page_size src.cfg));
+      let io_stats = match stats with Some s -> s | None -> src.io_stats in
+      let phys =
+        phys_make ~store_kind:store ~backing ~stats:io_stats ~page_size ~mode:`Create
+          ~vfs ~pool_capacity ~path ()
+      in
+      List.iter
+        (fun pid -> phys.p_install pid (src.backend.b_read pid))
+        (src.backend.b_list ());
+      let self = ref None in
+      let backend = make_backend ~vfs ~path ~self phys in
+      let root_star = Root_star.create ~btree:src.cfg.root_star_btree ~stats:io_stats () in
+      List.iter
+        (fun (iv, pid) -> Root_star.register root_star ~at:iv.Interval.lo pid)
+        (Root_star.tenures src.root_star);
+      let t =
+        { backend; io_stats; cfg = src.cfg; key_space = src.key_space; root_star;
+          cur_root = src.cur_root; height = src.height; now_ = src.now_;
+          horizon = src.horizon; touches = 0; tel = src.tel }
+      in
+      self := Some t;
+      phys.p_sync ();
+      write_meta t ~vfs ~path;
       t
 
     (* --- Scrub and repair ----------------------------------------------------- *)
@@ -991,15 +1247,19 @@ module Make (G : Aggregate.Group.S) = struct
        sound.  The caller is responsible for that precondition (see
        [Rta.scrub], which checks the update counters); an id the reference
        does not hold is reported irreparable. *)
-    let scrub ?stats ?(page_size = 4096) ?(vfs = Storage.Vfs.os) ?repair_from ~path () =
+    let scrub ?stats ?(page_size = 4096) ?(vfs = Storage.Vfs.os)
+        ?(store = Storage.Store_kind.File) ?(backing = `Auto) ?repair_from ~path () =
       let io_stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
-      let store = File_store.create ~stats:io_stats ~page_size ~mode:`Reopen ~vfs ~path () in
-      Fun.protect ~finally:(fun () -> File_store.close store) @@ fun () ->
-      let ids = File_store.written_ids store in
+      let phys =
+        phys_make ~store_kind:store ~backing ~stats:io_stats ~page_size ~mode:`Reopen
+          ~vfs ~pool_capacity:8 ~path ()
+      in
+      Fun.protect ~finally:(fun () -> phys.p_close ()) @@ fun () ->
+      let ids = phys.p_written_ids () in
       let corrupt =
         List.filter
           (fun id ->
-            let ok = File_store.verify store id in
+            let ok = phys.p_verify id in
             Storage.Io_stats.record_scrubbed io_stats;
             not ok)
           ids
@@ -1011,14 +1271,14 @@ module Make (G : Aggregate.Group.S) = struct
             List.partition
               (fun id ->
                 if src.backend.b_exists id then begin
-                  File_store.write store id (src.backend.b_read id);
+                  phys.p_store_write id (src.backend.b_read id);
                   Storage.Io_stats.record_repaired io_stats;
                   true
                 end
                 else false)
               corrupt
       in
-      if repaired <> [] then File_store.sync store;
+      if repaired <> [] then phys.p_sync ();
       { pages_checked = List.length ids; corrupt; repaired; irreparable }
 
     (* Fault injection for scrub tests: flip one random bit in each of
@@ -1026,13 +1286,14 @@ module Make (G : Aggregate.Group.S) = struct
        the block ([len]+[crc]+payload — never the padding, which no
        checksum covers), so every flip is detectable by construction.
        Returns the ids hit, ascending. *)
-    let inject_bit_flips ?(page_size = 4096) ?(vfs = Storage.Vfs.os) ~path ~seed ~flips () =
-      let store =
-        File_store.create ~stats:(Storage.Io_stats.create ()) ~page_size ~mode:`Reopen
-          ~vfs ~path ()
+    let inject_bit_flips ?(page_size = 4096) ?(vfs = Storage.Vfs.os)
+        ?(store = Storage.Store_kind.File) ?(backing = `Auto) ~path ~seed ~flips () =
+      let phys =
+        phys_make ~store_kind:store ~backing ~stats:(Storage.Io_stats.create ())
+          ~page_size ~mode:`Reopen ~vfs ~pool_capacity:8 ~path ()
       in
-      Fun.protect ~finally:(fun () -> File_store.close store) @@ fun () ->
-      let ids = Array.of_list (File_store.written_ids store) in
+      Fun.protect ~finally:(fun () -> phys.p_close ()) @@ fun () ->
+      let ids = Array.of_list (phys.p_written_ids ()) in
       let rng = Random.State.make [| seed |] in
       let n = min flips (Array.length ids) in
       (* Partial Fisher-Yates: the first [n] slots end up a uniform sample. *)
@@ -1045,14 +1306,14 @@ module Make (G : Aggregate.Group.S) = struct
       let hit = Array.sub ids 0 n in
       Array.iter
         (fun id ->
-          let block = File_store.read_block store id in
+          let block = phys.p_read_block id in
           let len = Int32.to_int (Bytes.get_int32_le block 0) in
           let covered = File_store.block_overhead + max 0 (min len (page_size - 8)) in
           let bit = Random.State.int rng (covered * 8) in
           let byte = bit / 8 in
           Bytes.set block byte
             (Char.chr (Char.code (Bytes.get block byte) lxor (1 lsl (bit mod 8))));
-          File_store.write_block store id block)
+          phys.p_write_block id block)
         hit;
       Array.to_list hit
       |> List.sort (fun a b -> compare (Storage.Page_id.to_int a) (Storage.Page_id.to_int b))

@@ -191,12 +191,21 @@ module Make (G : Aggregate.Group.S) : sig
 
     val encode : Storage.Codec.Writer.t -> G.t -> unit
     val decode : Storage.Codec.Reader.t -> G.t
+
+    val zencode : Storage.Zcodec.Writer.t -> G.t -> unit
+    (** Same wire format as {!encode}, written straight into a mapped
+        block (the {!Storage.Page_store.Mmap} backend). *)
+
+    val zdecode : Storage.Zcodec.Reader.t -> G.t
   end
 
   (** A file-resident MVSBT: pages are encoded into fixed-size blocks of a
-      real file behind the LRU buffer pool, so physical reads and writes
-      hit the filesystem.  The handle type and every operation are those
-      of the in-memory tree. *)
+      real file behind a pinning buffer pool, so physical reads and
+      writes hit the filesystem.  The [store] parameter picks the page
+      backend: [File] (pread/pwrite blocks, LRU pool — the default) or
+      [Mmap] (memory-mapped arena, zero-copy codec, second-chance pool).
+      The handle type and every operation are those of the in-memory
+      tree. *)
   module Durable (V : VALUE_CODEC) : sig
     val create :
       ?config:config ->
@@ -204,6 +213,8 @@ module Make (G : Aggregate.Group.S) : sig
       ?stats:Storage.Io_stats.t ->
       ?page_size:int ->
       ?vfs:Storage.Vfs.t ->
+      ?store:Storage.Store_kind.t ->
+      ?backing:[ `Auto | `Map | `Buffered ] ->
       key_space:int ->
       path:string ->
       unit ->
@@ -214,26 +225,54 @@ module Make (G : Aggregate.Group.S) : sig
         [path ^ ".meta"] records the handle state (configuration, clock,
         current root, root* directory); it is rewritten atomically on
         every {!flush}, making {!reopen} possible.  All I/O goes through
-        [vfs] (default {!Storage.Vfs.os}).
-        @raise Invalid_argument when the configuration cannot fit. *)
+        [vfs] (default {!Storage.Vfs.os}).  [store] (default [File])
+        selects the page backend; [backing] (default [`Auto]) the arena
+        flavour when [store = Mmap] — see {!Storage.Arena.create}.
+        @raise Invalid_argument when the configuration cannot fit, or
+        when [store = Memory] (use the plain in-memory tree for that). *)
 
     val reopen :
       ?pool_capacity:int ->
       ?stats:Storage.Io_stats.t ->
       ?page_size:int ->
       ?vfs:Storage.Vfs.t ->
+      ?store:Storage.Store_kind.t ->
+      ?backing:[ `Auto | `Map | `Buffered ] ->
       path:string ->
       unit ->
       t
     (** Reopen an existing durable index {e without} truncating it,
         restoring the state committed by the last {!flush} (configuration
         and geometry come from the sidecar and the page-file header).
+        [store] must match the backend the file was written with (the
+        two share File's block layout, so they are mutually readable —
+        but the header count semantics differ after a crash; reopen with
+        the kind that wrote the file).
         This is a {e clean-shutdown} reopen: updates made after the last
         flush are not recovered — pair the index with the WAL engine
         ({!Durable} in [lib/core/durable.ml]) when crash recovery of the
         update tail is required.
         @raise Failure on a missing/corrupt sidecar or page file, or a
         [page_size] mismatch. *)
+
+    val materialize :
+      ?pool_capacity:int ->
+      ?stats:Storage.Io_stats.t ->
+      ?page_size:int ->
+      ?vfs:Storage.Vfs.t ->
+      ?store:Storage.Store_kind.t ->
+      ?backing:[ `Auto | `Map | `Buffered ] ->
+      path:string ->
+      t ->
+      t
+    (** Write a fresh page file at [path] holding an exact copy of the
+        source tree's page graph (every page under its original id, so
+        scrub's repair-by-id stays sound), and return a durable handle
+        over it.  The source — typically an in-memory tree just rebuilt
+        from snapshot + WAL — is left untouched.  Every page copy is
+        charged to [stats] as a real write: materialisation is honest
+        recovery cost, not free.  [stats] defaults to the {e source}
+        tree's counter sink. *)
 
     val min_page_size : config -> int
     (** The smallest page size accepted for a configuration. *)
@@ -249,6 +288,8 @@ module Make (G : Aggregate.Group.S) : sig
       ?stats:Storage.Io_stats.t ->
       ?page_size:int ->
       ?vfs:Storage.Vfs.t ->
+      ?store:Storage.Store_kind.t ->
+      ?backing:[ `Auto | `Map | `Buffered ] ->
       ?repair_from:t ->
       path:string ->
       unit ->
@@ -268,6 +309,8 @@ module Make (G : Aggregate.Group.S) : sig
     val inject_bit_flips :
       ?page_size:int ->
       ?vfs:Storage.Vfs.t ->
+      ?store:Storage.Store_kind.t ->
+      ?backing:[ `Auto | `Map | `Buffered ] ->
       path:string ->
       seed:int ->
       flips:int ->

@@ -12,6 +12,15 @@ module Value_codec = struct
     let s = Storage.Codec.Reader.i64 rd in
     let c = Storage.Codec.Reader.i64 rd in
     (s, c)
+
+  let zencode w ((s, c) : G.t) =
+    Storage.Zcodec.Writer.i64 w s;
+    Storage.Zcodec.Writer.i64 w c
+
+  let zdecode rd =
+    let s = Storage.Zcodec.Reader.i64 rd in
+    let c = Storage.Zcodec.Reader.i64 rd in
+    (s, c)
 end
 
 module Durable_index = Index.Durable (Value_codec)
@@ -135,13 +144,13 @@ let lkst_suffix = ".lkst.pages"
 let lklt_suffix = ".lklt.pages"
 
 let create_durable ?config ?pool_capacity ?stats ?telemetry ?page_size
-    ?(vfs = Storage.Vfs.os) ~max_key ~path () =
+    ?(vfs = Storage.Vfs.os) ?store ?backing ~max_key ~path () =
   if max_key < 1 then invalid_arg "Rta.create_durable: max_key must be >= 1";
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   let key_space = max_key + 1 in
   let mk suffix =
-    Durable_index.create ?config ?pool_capacity ~stats ?page_size ~vfs ~key_space
-      ~path:(path ^ suffix) ()
+    Durable_index.create ?config ?pool_capacity ~stats ?page_size ~vfs ?store
+      ?backing ~key_space ~path:(path ^ suffix) ()
   in
   let t =
     apply_telemetry telemetry
@@ -160,15 +169,38 @@ let create_durable ?config ?pool_capacity ?stats ?telemetry ?page_size
   t
 
 let reopen_durable ?pool_capacity ?stats ?telemetry ?page_size
-    ?(vfs = Storage.Vfs.os) ~path () =
+    ?(vfs = Storage.Vfs.os) ?store ?backing ~path () =
   let max_key, now_, n_updates, alive = read_durable_meta ~vfs ~path in
   let stats = match stats with Some s -> s | None -> Storage.Io_stats.create () in
   let mk suffix =
-    Durable_index.reopen ?pool_capacity ~stats ?page_size ~vfs ~path:(path ^ suffix) ()
+    Durable_index.reopen ?pool_capacity ~stats ?page_size ~vfs ?store ?backing
+      ~path:(path ^ suffix) ()
   in
   apply_telemetry telemetry
     { lkst = mk lkst_suffix; lklt = mk lklt_suffix; alive; max_key; now_;
       n_updates; tel = Telemetry.Tracer.noop; durable = Some (path, vfs) }
+
+let materialize_durable ?pool_capacity ?stats ?telemetry ?page_size
+    ?(vfs = Storage.Vfs.os) ?store ?backing ~path src =
+  let mk suffix tree =
+    Durable_index.materialize ?pool_capacity ?stats ?page_size ~vfs ?store
+      ?backing ~path:(path ^ suffix) tree
+  in
+  let t =
+    apply_telemetry telemetry
+      {
+        lkst = mk lkst_suffix src.lkst;
+        lklt = mk lklt_suffix src.lklt;
+        alive = Hashtbl.copy src.alive;
+        max_key = src.max_key;
+        now_ = src.now_;
+        n_updates = src.n_updates;
+        tel = Telemetry.Tracer.noop;
+        durable = Some (path, vfs);
+      }
+  in
+  write_durable_meta t ~vfs ~path;
+  t
 
 let flush t =
   Telemetry.Tracer.with_span t.tel "rta.flush" @@ fun () ->
@@ -180,6 +212,7 @@ let try_flush t = Storage.Storage_error.protect (fun () -> flush t)
 
 let max_key t = t.max_key
 let config t = Index.config t.lkst
+let min_page_size config = Durable_index.min_page_size config
 let stats t = Index.stats t.lkst
 let now t = t.now_
 let n_updates t = t.n_updates
@@ -377,7 +410,7 @@ let pp_scrub_report ppf r =
    counter against the one in the scrubbed warehouse's flushed sidecar.
    On a mismatch every corrupt page is reported irreparable rather than
    "repaired" with stale content. *)
-let scrub ?stats ?page_size ?(vfs = Storage.Vfs.os) ?repair_from
+let scrub ?stats ?page_size ?(vfs = Storage.Vfs.os) ?store ?backing ?repair_from
     ?(telemetry = Telemetry.Tracer.noop) ~path () =
   Telemetry.Tracer.with_span telemetry "rta.scrub"
     ~attrs:(fun () -> [ ("path", Telemetry.Tracer.Str path) ])
@@ -391,7 +424,8 @@ let scrub ?stats ?page_size ?(vfs = Storage.Vfs.os) ?repair_from
   let side_report side suffix tree =
     let repair_from = Option.map tree usable_reference in
     let r =
-      Durable_index.scrub ?stats ?page_size ~vfs ?repair_from ~path:(path ^ suffix) ()
+      Durable_index.scrub ?stats ?page_size ~vfs ?store ?backing ?repair_from
+        ~path:(path ^ suffix) ()
     in
     let tag = List.map (fun pid -> (side, pid)) in
     ( r.Durable_index.pages_checked,
@@ -404,9 +438,11 @@ let scrub ?stats ?page_size ?(vfs = Storage.Vfs.os) ?repair_from
   { pages_checked = n1 + n2; corrupt = c1 @ c2; repaired = r1 @ r2;
     irreparable = i1 @ i2 }
 
-let inject_bit_flips ?page_size ?(vfs = Storage.Vfs.os) ~path ~seed ~flips () =
+let inject_bit_flips ?page_size ?(vfs = Storage.Vfs.os) ?store ?backing ~path
+    ~seed ~flips () =
   let side tag suffix ~seed ~flips =
-    Durable_index.inject_bit_flips ?page_size ~vfs ~path:(path ^ suffix) ~seed ~flips ()
+    Durable_index.inject_bit_flips ?page_size ~vfs ?store ?backing
+      ~path:(path ^ suffix) ~seed ~flips ()
     |> List.map (fun pid -> (tag, pid))
   in
   side Lkst lkst_suffix ~seed ~flips:((flips + 1) / 2)

@@ -44,18 +44,24 @@ val create_durable :
   ?telemetry:Telemetry.Tracer.t ->
   ?page_size:int ->
   ?vfs:Storage.Vfs.t ->
+  ?store:Storage.Store_kind.t ->
+  ?backing:[ `Auto | `Map | `Buffered ] ->
   max_key:int ->
   path:string ->
   unit ->
   t
 (** Like {!create}, but both MVSBTs keep their pages in real files
     ([<path>.lkst.pages] and [<path>.lklt.pages], fixed-size blocks behind
-    the LRU pools).  [page_size] defaults to 4096 and must hold [config.b]
-    records (~50 bytes each).  Alongside the page files, meta sidecars
+    pinning buffer pools).  [page_size] defaults to 4096 and must hold
+    [config.b] records (~50 bytes each).  [store] (default [File])
+    selects the page backend — [Mmap] maps the files and codecs pages in
+    place; [backing] picks the arena flavour, see
+    {!Storage.Arena.create}.  Alongside the page files, meta sidecars
     (one per index plus [<path>.rta.meta] for the base table and counters)
     are committed atomically on every {!flush}, so an existing warehouse
     can be {!reopen_durable}ed instead of destroyed.
-    @raise Invalid_argument when the configuration cannot fit a page. *)
+    @raise Invalid_argument when the configuration cannot fit a page, or
+    when [store = Memory]. *)
 
 val reopen_durable :
   ?pool_capacity:int ->
@@ -63,17 +69,39 @@ val reopen_durable :
   ?telemetry:Telemetry.Tracer.t ->
   ?page_size:int ->
   ?vfs:Storage.Vfs.t ->
+  ?store:Storage.Store_kind.t ->
+  ?backing:[ `Auto | `Map | `Buffered ] ->
   path:string ->
   unit ->
   t
 (** Reopen a warehouse previously built with {!create_durable} — which
     truncates; this does not — restoring the state committed by its last
-    {!flush}.  Configuration and [max_key] come from the sidecars.  This
+    {!flush}.  Configuration and [max_key] come from the sidecars;
+    [store] must match the backend that wrote the files.  This
     is a {e clean-shutdown} restore: updates made after the last flush
     are lost, so pair the warehouse with the WAL engine ({!Durable}) when
     the update tail must survive crashes.
     @raise Failure on missing or corrupt sidecars/page files, or a
     [page_size] mismatch. *)
+
+val materialize_durable :
+  ?pool_capacity:int ->
+  ?stats:Storage.Io_stats.t ->
+  ?telemetry:Telemetry.Tracer.t ->
+  ?page_size:int ->
+  ?vfs:Storage.Vfs.t ->
+  ?store:Storage.Store_kind.t ->
+  ?backing:[ `Auto | `Map | `Buffered ] ->
+  path:string ->
+  t ->
+  t
+(** Write fresh page files at [path] holding an exact copy of the source
+    warehouse's page graphs (both MVSBTs, every page under its original
+    id, so {!scrub}'s repair-by-id stays sound) plus the meta sidecars,
+    and return a durable handle over them.  The source — typically an
+    in-memory warehouse just rebuilt from snapshot + WAL — is left
+    untouched.  Page copies are charged as real writes; [stats] defaults
+    to the source's counter sink. *)
 
 val flush : t -> unit
 (** Write dirty pages of both indices back to their stores. *)
@@ -85,6 +113,11 @@ val try_flush : t -> (unit, Storage.Storage_error.t) result
 
 val max_key : t -> int
 val config : t -> Mvsbt.config
+
+val min_page_size : Mvsbt.config -> int
+(** Smallest on-disk page able to hold [config.b] durable records — the
+    floor for [page_size] in {!create_durable} and friends. *)
+
 val stats : t -> Storage.Io_stats.t
 val now : t -> int
 
@@ -224,6 +257,8 @@ val scrub :
   ?stats:Storage.Io_stats.t ->
   ?page_size:int ->
   ?vfs:Storage.Vfs.t ->
+  ?store:Storage.Store_kind.t ->
+  ?backing:[ `Auto | `Map | `Buffered ] ->
   ?repair_from:t ->
   ?telemetry:Telemetry.Tracer.t ->
   path:string ->
@@ -250,6 +285,8 @@ val scrub :
 val inject_bit_flips :
   ?page_size:int ->
   ?vfs:Storage.Vfs.t ->
+  ?store:Storage.Store_kind.t ->
+  ?backing:[ `Auto | `Map | `Buffered ] ->
   path:string ->
   seed:int ->
   flips:int ->

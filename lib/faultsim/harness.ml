@@ -14,6 +14,7 @@ type trace = {
   max_t : int;
   sync_policy : Wal.sync_policy;
   checkpoint_every : int;
+  store : Storage.Store_kind.t;
   ops : M.op array;
   updates : update array;
   marks : (int * int) array;
@@ -22,12 +23,16 @@ type trace = {
 
 (* --- Trace generation --------------------------------------------------------- *)
 
-let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 0) ?(seed = 1)
-    ?(updates = 120) ~max_key () =
+let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 0)
+    ?(store = Storage.Store_kind.Memory) ?(seed = 1) ?(updates = 120) ~max_key
+    () =
   let fs = M.create () in
   let vfs = M.vfs fs in
+  (* The harness filesystem is the in-memory journal, so the arena must
+     run on its buffered backing — there is nothing to mmap. *)
   let eng =
-    Durable.open_ ~sync_policy ~checkpoint_every ~vfs ~max_key ~path:"w" ()
+    Durable.open_ ~sync_policy ~checkpoint_every ~store ~arena_backing:`Buffered
+      ~vfs ~max_key ~path:"w" ()
   in
   let rng = Random.State.make [| seed; 0x5eed |] in
   let ups = ref [] in
@@ -66,6 +71,7 @@ let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 0) ?(seed = 1)
     max_t = !now + 2;
     sync_policy;
     checkpoint_every;
+    store;
     ops = Array.of_list (M.ops fs);
     updates = Array.of_list (List.rev !ups);
     marks = Array.of_list (List.rev !marks);
@@ -181,8 +187,8 @@ let rta_answers rta qs =
 
 let reopen trace vfs =
   Durable.open_ ~sync_policy:trace.sync_policy
-    ~checkpoint_every:trace.checkpoint_every ~vfs ~max_key:trace.max_key
-    ~path:trace.prefix ()
+    ~checkpoint_every:trace.checkpoint_every ~store:trace.store
+    ~arena_backing:`Buffered ~vfs ~max_key:trace.max_key ~path:trace.prefix ()
 
 let check ?limit ?(query_count = 20) ?(query_seed = 42) (trace : trace) =
   let images = Explorer.enumerate (Array.to_list trace.ops) in

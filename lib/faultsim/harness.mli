@@ -27,6 +27,8 @@ type trace = {
   max_t : int;  (** Exclusive bound on update times, for query bounds. *)
   sync_policy : Wal.sync_policy;
   checkpoint_every : int;
+  store : Storage.Store_kind.t;
+      (** Page backend the engine (and every recovery) runs under. *)
   ops : Storage.Vfs.Memory.op array;  (** The journal, in program order. *)
   updates : update array;  (** The logical updates, in order. *)
   marks : (int * int) array;
@@ -37,6 +39,7 @@ type trace = {
 val run_trace :
   ?sync_policy:Wal.sync_policy ->
   ?checkpoint_every:int ->
+  ?store:Storage.Store_kind.t ->
   ?seed:int ->
   ?updates:int ->
   max_key:int ->
@@ -46,7 +49,10 @@ val run_trace :
     three updates) through a {!Durable} engine over
     {!Storage.Vfs.Memory}, recording the journal.  Deterministic in
     [seed].  Defaults: [Every_n 4] group commit, no automatic
-    checkpoints, 120 updates. *)
+    checkpoints, 120 updates, [Memory] page store.  Under [File]/[Mmap]
+    the engine's page working set rides the same journaled filesystem
+    ([Mmap] on its buffered arena backing), so crash images tear it too
+    — recovery must rebuild it from the WAL regardless. *)
 
 val issued_ceiling : trace -> cut:int -> int
 (** Updates that could possibly be recovered at [cut]: everything fully

@@ -14,6 +14,7 @@ type trace = {
   max_t : int;
   sync_policy : Wal.sync_policy;
   checkpoint_every : int;
+  store : Storage.Store_kind.t;
   vacuum_step_pages : int;
   horizons : int list; (* the vacuum targets the trace ran, ascending *)
   ops : M.op array;
@@ -34,11 +35,16 @@ type trace = {
    checkpoint it tripped, between the checkpoint's pointer rename and the
    WAL truncate, and the quiet stretches in between.  [vacuum_step_pages]
    is kept tiny so one vacuum spreads over many WAL records. *)
-let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 40) ?(seed = 1)
-    ?(updates = 110) ?(vacuum_step_pages = 4) ~max_key () =
+let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 40)
+    ?(store = Storage.Store_kind.Memory) ?(seed = 1) ?(updates = 110)
+    ?(vacuum_step_pages = 4) ~max_key () =
   let fs = M.create () in
   let vfs = M.vfs fs in
-  let eng = Durable.open_ ~sync_policy ~checkpoint_every ~vfs ~max_key ~path:"w" () in
+  (* In-memory journal — the arena must use its buffered backing. *)
+  let eng =
+    Durable.open_ ~sync_policy ~checkpoint_every ~store ~arena_backing:`Buffered
+      ~vfs ~max_key ~path:"w" ()
+  in
   let rta = Durable.warehouse eng in
   let rng = Random.State.make [| seed; 0xacc5 |] in
   let ups = ref [] in
@@ -104,6 +110,7 @@ let run_trace ?(sync_policy = Wal.Every_n 4) ?(checkpoint_every = 40) ?(seed = 1
     max_t = !now + 2;
     sync_policy;
     checkpoint_every;
+    store;
     vacuum_step_pages;
     horizons = List.rev !horizons;
     ops = Array.of_list (M.ops fs);
@@ -256,8 +263,8 @@ let compare_queries rta qs expected =
 
 let reopen trace vfs =
   Durable.open_ ~sync_policy:trace.sync_policy
-    ~checkpoint_every:trace.checkpoint_every ~vfs ~max_key:trace.max_key
-    ~path:trace.prefix ()
+    ~checkpoint_every:trace.checkpoint_every ~store:trace.store
+    ~arena_backing:`Buffered ~vfs ~max_key:trace.max_key ~path:trace.prefix ()
 
 let check ?limit ?(query_count = 20) ?(query_seed = 42) (trace : trace) =
   let images = Explorer.enumerate (Array.to_list trace.ops) in

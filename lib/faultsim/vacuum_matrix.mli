@@ -34,6 +34,8 @@ type trace = {
   max_t : int;  (** Exclusive bound on update times, for query bounds. *)
   sync_policy : Wal.sync_policy;
   checkpoint_every : int;
+  store : Storage.Store_kind.t;
+      (** Page backend the engine (and every recovery) runs under. *)
   vacuum_step_pages : int;  (** Chunk bound the trace vacuumed with. *)
   horizons : int list;  (** The vacuum targets the trace ran, in order. *)
   ops : Storage.Vfs.Memory.op array;  (** The journal, in program order. *)
@@ -49,6 +51,7 @@ type trace = {
 val run_trace :
   ?sync_policy:Wal.sync_policy ->
   ?checkpoint_every:int ->
+  ?store:Storage.Store_kind.t ->
   ?seed:int ->
   ?updates:int ->
   ?vacuum_step_pages:int ->
@@ -57,8 +60,10 @@ val run_trace :
   trace
 (** Deterministic in [seed].  Defaults: [Every_n 4] group commit,
     auto-checkpoint every 40 records, 110 updates, 4-page vacuum
-    chunks; vacuums to [now/2] after 3/5 of the updates and to
-    [2*now/3] at the end. *)
+    chunks, [Memory] page store ([File]/[Mmap] run their page working
+    set — [Mmap] on its buffered arena backing — over the same
+    journaled filesystem, so crash images tear it too); vacuums to
+    [now/2] after 3/5 of the updates and to [2*now/3] at the end. *)
 
 type violation = { cut : int; kind : Explorer.kind; reason : string }
 

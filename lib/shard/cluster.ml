@@ -360,7 +360,8 @@ let copy_warehouse ?pool_capacity rta =
   Rta.load ?pool_capacity ~vfs ~path:"replica" ()
 
 let create ?(config = default_config) ?(telemetry = Tracer.noop) ?engine_config
-    ?pool_capacity ?checkpoint_every ?boundaries ~max_key ~path () =
+    ?pool_capacity ?checkpoint_every ?boundaries ?store ?arena_backing ~max_key
+    ~path () =
   if config.shards < 1 || config.shards > 64 then
     invalid_arg "Cluster.create: shards must be in [1, 64]";
   if config.readers < 0 || config.readers > 64 then
@@ -371,8 +372,8 @@ let create ?(config = default_config) ?(telemetry = Tracer.noop) ?engine_config
   let engines =
     Array.init config.shards (fun i ->
         Durable.open_ ?config:engine_config ?pool_capacity ?checkpoint_every
-          ~stats:shard_io.(i) ~sync_policy:Wal.Never ~max_key ~telemetry
-          ~path:(shard_path path i) ())
+          ?store ?arena_backing ~stats:shard_io.(i) ~sync_policy:Wal.Never
+          ~max_key ~telemetry ~path:(shard_path path i) ())
   in
   let recovery_ =
     Array.mapi (fun i eng -> (i, Durable.recovery_report eng)) engines

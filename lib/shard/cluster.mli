@@ -91,13 +91,17 @@ val create :
   ?pool_capacity:int ->
   ?checkpoint_every:int ->
   ?boundaries:int list ->
+  ?store:Storage.Store_kind.t ->
+  ?arena_backing:[ `Auto | `Map | `Buffered ] ->
   max_key:int ->
   path:string ->
   unit ->
   t
 (** Open (recovering) one {!Durable} engine per shard under
     [<path>.s<i>], seed each reader's replicas from the recovered
-    state, and spawn the domains.  Engines run under [Wal.Never] — the
+    state, and spawn the domains.  [store]/[arena_backing] select each
+    shard engine's page backend, as in {!Durable.open_} (reader replicas
+    stay in memory — they are throwaway copies).  Engines run under [Wal.Never] — the
     per-shard group commit owns the sync, as in {!Batcher}.  [telemetry]
     receives [shard.batch] / [shard.query] / [reader.query] spans from
     the worker domains; each domain registers a thread name with

@@ -1,0 +1,70 @@
+/* msync/madvise bindings for the mmap page arena.
+
+   The OCaml stdlib exposes Unix.map_file but no way to force a mapped
+   range to the platter or to hint the kernel about an upcoming access
+   pattern; both matter here (durability barriers and descent-path
+   readahead).  Errors surface as Failure with the errno string — the
+   OCaml side converts them into its typed storage errors. */
+
+#include <caml/mlvalues.h>
+#include <caml/bigarray.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+
+#include <errno.h>
+#include <stdint.h>
+#include <string.h>
+#include <unistd.h>
+
+#ifndef _WIN32
+#include <sys/mman.h>
+#endif
+
+/* msync needs a page-aligned start address; widen the range down to the
+   enclosing page boundary (flushing a little extra is always sound). */
+static char *align_down(char *p, long pagesz, long *len)
+{
+  uintptr_t delta = (uintptr_t)p % (uintptr_t)pagesz;
+  *len += (long)delta;
+  return p - delta;
+}
+
+CAMLprim value rta_arena_msync(value vba, value voff, value vlen)
+{
+#ifdef _WIN32
+  caml_failwith("msync: unsupported platform");
+#else
+  char *base = (char *)Caml_ba_data_val(vba);
+  long off = Long_val(voff);
+  long len = Long_val(vlen);
+  long pagesz = sysconf(_SC_PAGESIZE);
+  char *p = align_down(base + off, pagesz, &len);
+  int rc, err;
+  caml_release_runtime_system();
+  rc = msync(p, (size_t)len, MS_SYNC);
+  err = errno;
+  caml_acquire_runtime_system();
+  if (rc != 0)
+    caml_failwith(strerror(err));
+#endif
+  return Val_unit;
+}
+
+CAMLprim value rta_arena_willneed(value vba, value voff, value vlen)
+{
+#if !defined(_WIN32) && defined(POSIX_MADV_WILLNEED)
+  char *base = (char *)Caml_ba_data_val(vba);
+  long off = Long_val(voff);
+  long len = Long_val(vlen);
+  long pagesz = sysconf(_SC_PAGESIZE);
+  char *p = align_down(base + off, pagesz, &len);
+  /* Advisory: a refusal (e.g. on weird filesystems) costs only the
+     prefetch, so the return code is deliberately ignored. */
+  (void)posix_madvise(p, (size_t)len, POSIX_MADV_WILLNEED);
+#else
+  (void)vba;
+  (void)voff;
+  (void)vlen;
+#endif
+  return Val_unit;
+}

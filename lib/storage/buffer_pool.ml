@@ -1,24 +1,43 @@
 module Make (Store : Page_store.S) = struct
   type entry = { payload : Store.payload; mutable dirty : bool }
 
+  (* [intents] is the durable pin ledger: Evict only knows about resident
+     entries, so a pin must survive the page being dropped ([drop_cache])
+     and re-establish itself when the page faults back in.  Evict's own
+     pin state is derived: pinned there iff resident with intent > 0. *)
   type t = {
     store : Store.t;
-    cache : (Page_id.t, entry) Lru.t;
+    cache : (Page_id.t, entry) Evict.t;
+    intents : (Page_id.t, int) Hashtbl.t;
     mutable hits : int;
     mutable misses : int;
     mutable touches : int;
+    mutable readaheads : int;
   }
 
-  let create ?(capacity = 64) store =
-    { store; cache = Lru.create ~capacity; hits = 0; misses = 0; touches = 0 }
+  let create ?(capacity = 64) ?(policy = Evict.Lru) store =
+    {
+      store;
+      cache = Evict.create ~policy ~capacity ();
+      intents = Hashtbl.create 8;
+      hits = 0;
+      misses = 0;
+      touches = 0;
+      readaheads = 0;
+    }
 
   let store t = t.store
-  let capacity t = Lru.capacity t.cache
+  let capacity t = Evict.capacity t.cache
+  let policy t = Evict.policy t.cache
   let stats t = Store.stats t.store
   let hits t = t.hits
   let misses t = t.misses
   let touches t = t.touches
+  let readaheads t = t.readaheads
+  let pinned t = Evict.pinned t.cache
   let alloc t = Store.alloc t.store
+
+  let intent t id = match Hashtbl.find_opt t.intents id with None -> 0 | Some n -> n
 
   let write_back t id (entry : entry) =
     if entry.dirty then begin
@@ -27,13 +46,14 @@ module Make (Store : Page_store.S) = struct
     end
 
   let insert t id entry =
-    match Lru.add t.cache id entry with
+    (match Evict.add t.cache id entry with
     | None -> ()
-    | Some (evicted_id, evicted) -> write_back t evicted_id evicted
+    | Some (evicted_id, evicted) -> write_back t evicted_id evicted);
+    if intent t id > 0 then Evict.pin t.cache id
 
   let read t id =
     t.touches <- t.touches + 1;
-    match Lru.find t.cache id with
+    match Evict.find t.cache id with
     | Some entry ->
         t.hits <- t.hits + 1;
         entry.payload
@@ -47,20 +67,54 @@ module Make (Store : Page_store.S) = struct
     t.touches <- t.touches + 1;
     insert t id { payload; dirty = true }
 
-  let mem t id = Lru.mem t.cache id || Store.mem t.store id
+  let mem t id = Evict.mem t.cache id || Store.mem t.store id
+  let resident t id = Evict.mem t.cache id
 
   let mark_dirty t id =
-    match Lru.peek t.cache id with
+    match Evict.peek t.cache id with
     | Some entry -> entry.dirty <- true
     | None -> ()
 
+  let pin t id =
+    let n = intent t id in
+    Hashtbl.replace t.intents id (n + 1);
+    if Evict.mem t.cache id then begin
+      if n = 0 then Evict.pin t.cache id
+    end
+    else
+      (* Fault the page in; [insert] applies the pin intent. *)
+      ignore (read t id)
+
+  let unpin t id =
+    match Hashtbl.find_opt t.intents id with
+    | None -> invalid_arg "Buffer_pool.unpin: page not pinned"
+    | Some 1 ->
+        Hashtbl.remove t.intents id;
+        if Evict.mem t.cache id then Evict.unpin t.cache id
+    | Some n -> Hashtbl.replace t.intents id (n - 1)
+
+  let pin_count t id = intent t id
+
+  (* Batched descent readahead: hint every not-yet-resident page of an
+     anticipated root-to-leaf path in one go, so the kernel can overlap
+     the faults instead of taking them serially as the descent walks. *)
+  let readahead t ids =
+    let missing = List.filter (fun id -> not (Evict.mem t.cache id)) ids in
+    (match missing with
+    | [] -> ()
+    | _ ->
+        t.readaheads <- t.readaheads + List.length missing;
+        Io_stats.record_readaheads (Store.stats t.store) (List.length missing);
+        Store.prefetch t.store missing)
+
   let free t id =
-    ignore (Lru.remove t.cache id);
+    Hashtbl.remove t.intents id;
+    ignore (Evict.remove t.cache id);
     Store.free t.store id
 
-  let flush t = Lru.iter (fun id entry -> write_back t id entry) t.cache
+  let flush t = Evict.iter (fun id entry -> write_back t id entry) t.cache
 
   let drop_cache t =
     flush t;
-    Lru.clear t.cache
+    Evict.clear t.cache
 end

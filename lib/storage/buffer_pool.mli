@@ -1,20 +1,31 @@
-(** Write-back LRU buffer pool over a page store.
+(** Write-back buffer pool with pinning over a page store.
 
     The paper's experiments use "LRU buffering and the default buffer size
     is 64 pages" (section 5) and sweep the buffer size in figure 4c.  The
     pool caches page payloads; a read miss costs one physical read, and
     evicting or flushing a dirty page costs one physical write — both
     charged to the underlying store's {!Io_stats}.  Cache hits are free,
-    exactly like a real buffer manager. *)
+    exactly like a real buffer manager.
+
+    Replacement is pluggable ({!Evict.policy}): exact LRU — the paper's
+    setting and the default — or second-chance (clock), the cheaper
+    approximation a mapped store pairs with.  Pages can be {!pin}ned
+    against eviction while a caller holds a reference into them
+    (mandatory once records are decoded straight out of mapped blocks);
+    a pin is an {e intent} that survives {!drop_cache} and re-applies
+    itself when the page faults back in.  {!readahead} batches the
+    prefetch hint for an anticipated descent path. *)
 
 module Make (Store : Page_store.S) : sig
   type t
 
-  val create : ?capacity:int -> Store.t -> t
-  (** [capacity] defaults to 64 pages, the paper's default. *)
+  val create : ?capacity:int -> ?policy:Evict.policy -> Store.t -> t
+  (** [capacity] defaults to 64 pages, the paper's default; [policy] to
+      {!Evict.Lru}. *)
 
   val store : t -> Store.t
   val capacity : t -> int
+  val policy : t -> Evict.policy
 
   val stats : t -> Io_stats.t
   (** Physical I/O counters of the underlying store. *)
@@ -28,13 +39,19 @@ module Make (Store : Page_store.S) : sig
       [O(log_b n)] bounds speak about, and what the telemetry bound
       checker profiles. *)
 
+  val readaheads : t -> int
+  (** Pages hinted via {!readahead} over the pool's lifetime. *)
+
+  val pinned : t -> int
+  (** Resident pages currently pinned. *)
+
   val alloc : t -> Page_id.t
   (** Allocate a page id from the store.  The caller must {!write} a
       payload before reading it back. *)
 
   val read : t -> Page_id.t -> Store.payload
   (** Cached read.  On a miss the payload is fetched from the store (one
-      physical read) and cached, possibly evicting the LRU page.
+      physical read) and cached, possibly evicting an unpinned page.
       @raise Not_found if the page does not exist. *)
 
   val write : t -> Page_id.t -> Store.payload -> unit
@@ -51,14 +68,36 @@ module Make (Store : Page_store.S) : sig
       page that has never been evicted lives only in the cache, so
       existence checks must go through the pool, not the raw store. *)
 
+  val resident : t -> Page_id.t -> bool
+  (** Whether the page is currently cached — a {!read} right now would
+      hit.  Lets callers gate advisory work (readahead) to faults. *)
+
+  val pin : t -> Page_id.t -> unit
+  (** Record the intent that this page must stay resident, faulting it in
+      (one charged read) if it is not.  Pins nest; each {!pin} needs a
+      matching {!unpin}.  When every resident page is pinned the cache
+      overcommits past capacity rather than evicting a held page. *)
+
+  val unpin : t -> Page_id.t -> unit
+  (** @raise Invalid_argument on an unbalanced unpin. *)
+
+  val pin_count : t -> Page_id.t -> int
+  (** Outstanding pin intents for a page (0 if none). *)
+
+  val readahead : t -> Page_id.t list -> unit
+  (** Batched prefetch hint for the not-yet-resident pages of an
+      anticipated descent path.  Advisory: charges no reads, only the
+      [readaheads] counter; actual faults are still charged where the
+      descent reads the pages. *)
+
   val free : t -> Page_id.t -> unit
-  (** Drop the page from the cache (without write-back) and free it in the
-      store. *)
+  (** Drop the page from the cache (without write-back, clearing any pin
+      intents) and free it in the store. *)
 
   val flush : t -> unit
   (** Write back every dirty page; the cache keeps its contents clean. *)
 
   val drop_cache : t -> unit
   (** Flush, then empty the cache — simulates a cold buffer pool before a
-      query batch. *)
+      query batch.  Pin intents survive and re-apply on fault-in. *)
 end

@@ -1,0 +1,194 @@
+type policy = Lru | Second_chance
+
+let policy_name = function Lru -> "lru" | Second_chance -> "second-chance"
+
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable pins : int;
+  mutable referenced : bool;
+  mutable prev : ('k, 'v) node option;
+  mutable next : ('k, 'v) node option;
+}
+
+(* [head] is the hot end (most recently used / just behind the clock
+   hand), [tail] the cold end (LRU victim / clock hand position). *)
+type ('k, 'v) t = {
+  pol : policy;
+  cap : int;
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;
+  mutable tail : ('k, 'v) node option;
+  mutable n_pinned : int;
+}
+
+let create ?(policy = Lru) ~capacity () =
+  if capacity < 1 then invalid_arg "Evict.create: capacity must be >= 1";
+  {
+    pol = policy;
+    cap = capacity;
+    table = Hashtbl.create (2 * capacity);
+    head = None;
+    tail = None;
+    n_pinned = 0;
+  }
+
+let policy t = t.pol
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+let pinned t = t.n_pinned
+
+let unlink t node =
+  (match node.prev with
+  | Some p -> p.next <- node.next
+  | None -> t.head <- node.next);
+  (match node.next with
+  | Some n -> n.prev <- node.prev
+  | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.pol with
+  | Lru ->
+      unlink t node;
+      push_front t node
+  | Second_chance -> node.referenced <- true
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      touch t node;
+      Some node.value
+
+let peek t k =
+  match Hashtbl.find_opt t.table k with None -> None | Some node -> Some node.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_node t node =
+  unlink t node;
+  Hashtbl.remove t.table node.key;
+  Some (node.key, node.value)
+
+(* LRU victim: the coldest unpinned entry.  Pinned entries keep their
+   position — they become evictable the moment they are unpinned, in the
+   order recency dictates. *)
+let victim_lru t =
+  let rec scan = function
+    | None -> None
+    | Some node -> if node.pins = 0 then evict_node t node else scan node.prev
+  in
+  scan t.tail
+
+(* Clock victim: sweep from the cold end.  A referenced entry loses its
+   bit and is recycled to the hot end (its second chance); a pinned entry
+   is recycled with its bit intact (it cannot be evicted, and its
+   recency shouldn't decay while someone holds it).  Two full sweeps
+   visit every entry at least twice, so if no victim surfaced by then,
+   everything is pinned. *)
+let victim_clock t =
+  let budget = ref (2 * Hashtbl.length t.table) in
+  let rec sweep () =
+    if !budget <= 0 then None
+    else
+      match t.tail with
+      | None -> None
+      | Some node ->
+          decr budget;
+          if node.pins > 0 then begin
+            unlink t node;
+            push_front t node;
+            sweep ()
+          end
+          else if node.referenced then begin
+            node.referenced <- false;
+            unlink t node;
+            push_front t node;
+            sweep ()
+          end
+          else evict_node t node
+  in
+  sweep ()
+
+let evict_one t =
+  match t.pol with Lru -> victim_lru t | Second_chance -> victim_clock t
+
+let add t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some node ->
+      node.value <- v;
+      touch t node;
+      None
+  | None ->
+      let node =
+        { key = k; value = v; pins = 0; referenced = false; prev = None; next = None }
+      in
+      Hashtbl.replace t.table k node;
+      push_front t node;
+      if Hashtbl.length t.table > t.cap then begin
+        (* The entry being inserted is never its own victim: bouncing it
+           straight back out would thrash, and the buffer pool applies
+           pin intents immediately after the add. *)
+        node.pins <- node.pins + 1;
+        let evicted = evict_one t in
+        node.pins <- node.pins - 1;
+        evicted
+      end
+      else None
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some node ->
+      if node.pins > 0 then t.n_pinned <- t.n_pinned - 1;
+      unlink t node;
+      Hashtbl.remove t.table k;
+      Some node.value
+
+let pin t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> invalid_arg "Evict.pin: key not resident"
+  | Some node ->
+      if node.pins = 0 then t.n_pinned <- t.n_pinned + 1;
+      node.pins <- node.pins + 1
+
+let unpin t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> invalid_arg "Evict.unpin: key not resident"
+  | Some node ->
+      if node.pins = 0 then invalid_arg "Evict.unpin: entry not pinned";
+      node.pins <- node.pins - 1;
+      if node.pins = 0 then t.n_pinned <- t.n_pinned - 1
+
+let pin_count t k =
+  match Hashtbl.find_opt t.table k with None -> 0 | Some node -> node.pins
+
+let iter f t =
+  let rec loop = function
+    | None -> ()
+    | Some node ->
+        (* Capture [next] first: [f] may remove the current entry. *)
+        let next = node.next in
+        f node.key node.value;
+        loop next
+  in
+  loop t.head
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun k v -> acc := f k v !acc) t;
+  !acc
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None;
+  t.n_pinned <- 0

@@ -1,0 +1,76 @@
+(** Fixed-capacity cache index with pluggable eviction and pin counts.
+
+    Backs {!Buffer_pool}.  One structure serves two replacement policies:
+
+    - {!Lru} — exact recency: {!find} moves the entry to the front and the
+      victim is the least-recently-used unpinned entry (the policy the
+      paper's experiments assume);
+    - {!Second_chance} — the clock approximation: {!find} only sets a
+      reference bit; the victim search sweeps from the cold end, giving
+      each referenced entry one more lap (bit cleared, entry recycled to
+      the hot end) and skipping pinned entries.  At most two sweeps run
+      before the search gives up.
+
+    Pinned entries ([pin_count > 0]) are never evicted under either
+    policy.  When every entry is pinned, {!add} {e overcommits}: the
+    cache grows past capacity rather than evicting a page someone holds a
+    pointer into — mandatory once callers read records straight out of
+    mapped pages.  Keys are hashed with the polymorphic hash, adequate
+    for the integer-like keys used here ({!Page_id.t}). *)
+
+type policy = Lru | Second_chance
+
+val policy_name : policy -> string
+(** ["lru"], ["second-chance"]. *)
+
+type ('k, 'v) t
+
+val create : ?policy:policy -> capacity:int -> unit -> ('k, 'v) t
+(** [policy] defaults to {!Lru}.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val policy : ('k, 'v) t -> policy
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Returns the value and records the access (recency promotion under
+    {!Lru}, reference bit under {!Second_chance}). *)
+
+val peek : ('k, 'v) t -> 'k -> 'v option
+(** Returns the value without recording an access. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+
+val add : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or replace, recording an access.  When the insert pushes the
+    cache past capacity, an unpinned victim is chosen by the policy,
+    removed, and returned for write-back.  Returns [None] when nothing
+    was evicted — including the overcommit case where every resident
+    entry is pinned. *)
+
+val remove : ('k, 'v) t -> 'k -> 'v option
+(** Drop an entry (pinned or not) without treating it as an eviction. *)
+
+val pin : ('k, 'v) t -> 'k -> unit
+(** Increment the entry's pin count.
+    @raise Invalid_argument if the key is not resident — pinning an
+    absent page is always a caller bug. *)
+
+val unpin : ('k, 'v) t -> 'k -> unit
+(** @raise Invalid_argument if the key is not resident or not pinned
+    (unbalanced unpin). *)
+
+val pin_count : ('k, 'v) t -> 'k -> int
+(** 0 if absent. *)
+
+val pinned : ('k, 'v) t -> int
+(** Number of resident entries with [pin_count > 0]. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Iterates from hot to cold end.  [f] may remove the current entry. *)
+
+val fold : ('k -> 'v -> 'acc -> 'acc) -> ('k, 'v) t -> 'acc -> 'acc
+val clear : ('k, 'v) t -> unit
+(** Drops everything, including pinned entries (callers only clear after
+    quiescing readers). *)

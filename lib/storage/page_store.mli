@@ -11,9 +11,13 @@
       genuinely disk-resident.  Every block carries a CRC32 over its
       payload, verified on every read, so bit-rot is detected loudly
       ({!Corrupt_page}) instead of being decoded into garbage.
+    - {!Mmap} keeps {!File}'s block geometry but maps the file into an
+      {!Arena} and codecs pages in place through {!Zcodec} — no
+      [read]/[write] syscalls, no intermediate [bytes].  See
+      {!Store_kind} for when to pick which.
 
     Stores are deliberately dumb: no caching.  Layer {!Buffer_pool} on top
-    for LRU buffering. *)
+    for buffering. *)
 
 exception Corrupt_page of { path : string; page : Page_id.t }
 (** A page block whose stored CRC32 does not match its payload (or whose
@@ -47,6 +51,12 @@ module type S = sig
   val live_pages : t -> int
   (** Number of currently allocated, not-freed pages — the paper's space
       metric. *)
+
+  val prefetch : t -> Page_id.t list -> unit
+  (** Advisory: hint that these pages are about to be read (a buffer pool
+      batches the root-to-leaf descent path through this).  No-op for
+      stores with nothing to warm ({!Mem}, {!File}); {!Mmap} forwards the
+      hint to the kernel via [posix_madvise].  Never charged as I/O. *)
 end
 
 module Mem (P : sig
@@ -147,4 +157,100 @@ module File (C : PAGE_CODEC) : sig
 
   val file_size_bytes : t -> int
   (** Includes the header block: [(1 + next_id) * page_size]. *)
+
+  val install : t -> Page_id.t -> payload -> unit
+  (** Install a page under an explicit id, moving the alloc cursor past
+      it — materialising a snapshot into a fresh page file.  Unlike
+      {!Mem.install} the physical write is real and charged as a write;
+      only the alloc is skipped (the id is fixed by its previous life). *)
+end
+
+module type ZPAGE_CODEC = sig
+  type t
+
+  val encode : Zcodec.Writer.t -> t -> unit
+  (** @raise Codec.Overflow if the payload exceeds the page size. *)
+
+  val decode : Zcodec.Reader.t -> t
+end
+
+module Mmap (C : ZPAGE_CODEC) : sig
+  include S with type payload = C.t
+
+  val block_overhead : int
+  (** Same frame as {!File.block_overhead}: [len] + [crc], 8 bytes. *)
+
+  val create :
+    ?stats:Io_stats.t ->
+    ?page_size:int ->
+    ?mode:[ `Create | `Reopen ] ->
+    ?vfs:Vfs.t ->
+    ?tracer:Telemetry.Tracer.t ->
+    ?backing:[ `Auto | `Map | `Buffered ] ->
+    path:string ->
+    unit ->
+    t
+  (** Block-for-block the layout of {!File} — header in block 0, page
+      [id] in block [1 + id], each block CRC32-framed — but the file is
+      memory-mapped (an {!Arena}) and pages are encoded/decoded in place
+      through the {!ZPAGE_CODEC}.  Because the arena grows by doubling,
+      the physical file length runs ahead of the used prefix; the header
+      therefore carries the {e committed} page count, rewritten (and
+      flushed separately, after the data ranges) on every {!sync}.
+
+      [backing] selects the arena flavour (default [`Auto]: real
+      [map_file], falling back to a RAM buffer flushed through [vfs]
+      where mapping is unavailable — see {!Arena.create}).  Each logical
+      read/write is charged to [stats] as a [read]/[write] {e plus} a
+      [mapped_read]/[mapped_write], so cost-model totals stay comparable
+      across backends while the zero-copy share stays visible.
+
+      @raise Failure on a missing, foreign, or geometry-mismatched file
+      under [`Reopen].
+      @raise Arena.Unavailable under [backing:`Map] on platforms that
+      refuse the mapping. *)
+
+  val page_size : t -> int
+
+  val backing : t -> Arena.backing
+  (** Which arena flavour [`Auto] resolved to. *)
+
+  val verify : t -> Page_id.t -> bool
+  (** In-place CRC check of a written page's mapped block, without
+      decoding.  [false] is also counted in {!Io_stats.crc_failures}.
+      @raise Not_found if the page was never written or was freed. *)
+
+  val read_block : t -> Page_id.t -> bytes
+  (** Copy of the raw [page_size]-byte block, frame included — scrub and
+      explorer plumbing (the one place the mmap store does copy). *)
+
+  val write_block : t -> Page_id.t -> bytes -> unit
+  (** Overwrite a page's raw block verbatim and mark it dirty.  Bypasses
+      the codec {e and the CRC framing}; scrub/repair and fault-injection
+      plumbing, not charged as a logical write. *)
+
+  val written_ids : t -> Page_id.t list
+
+  val sync : t -> unit
+  (** Flush dirty data ranges ([msync] per coalesced range), then commit
+      the header's page count, then persist the freed-id sidecar — in
+      that order, so a crash between barriers leaves the previous
+      committed prefix intact.  Charged to {!Io_stats.syncs}; the range
+      count lands in {!Io_stats.msyncs}. *)
+
+  val close : t -> unit
+
+  val file_size_bytes : t -> int
+  (** The used prefix, [(1 + next_id) * page_size] — comparable with
+      {!File.file_size_bytes} as the space metric. *)
+
+  val mapped_capacity_bytes : t -> int
+  (** Physical capacity of the arena file (runs ahead of
+      {!file_size_bytes} because growth doubles). *)
+
+  val remaps : t -> int
+  (** Times growth re-established the mapping. *)
+
+  val install : t -> Page_id.t -> payload -> unit
+  (** See {!File.install}. *)
 end

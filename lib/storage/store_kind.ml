@@ -1,0 +1,12 @@
+type t = Memory | File | Mmap
+
+let to_string = function Memory -> "memory" | File -> "file" | Mmap -> "mmap"
+
+let of_string = function
+  | "memory" | "mem" -> Some Memory
+  | "file" -> Some File
+  | "mmap" -> Some Mmap
+  | _ -> None
+
+let all = [ Memory; File; Mmap ]
+let pp ppf t = Format.pp_print_string ppf (to_string t)

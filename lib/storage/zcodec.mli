@@ -1,0 +1,60 @@
+(** Zero-copy record accessors over memory-mapped slices.
+
+    {!Codec} reads and writes through [bytes] buffers, which forces every
+    page access on a mapped store to round-trip through an intermediate
+    copy.  This module provides the same little-endian wire format over a
+    [Bigarray.Array1] of chars — the type [Unix.map_file] yields — so
+    MVSBT node fields are decoded from and encoded into the mapped page
+    {e in place}.
+
+    Byte-for-byte compatibility with {!Codec} is load-bearing: a page
+    written through a {!Writer} here must be readable by
+    [Codec.Reader] (and vice versa), and {!crc32} must agree with
+    [Codec.crc32] on equal contents.  [test_storage] pins both. *)
+
+type buf = (char, Bigarray.int8_unsigned_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val get_u8 : buf -> int -> int
+val set_u8 : buf -> int -> int -> unit
+val get_i32 : buf -> int -> int
+(** Little-endian, sign-extended — as [Codec.Reader.i32]. *)
+
+val set_i32 : buf -> int -> int -> unit
+val get_i64 : buf -> int -> int
+val set_i64 : buf -> int -> int -> unit
+
+val crc32 : buf -> pos:int -> len:int -> int
+(** Same polynomial and convention as [Codec.crc32]. *)
+
+val blit_to_bytes : buf -> int -> bytes -> int -> int -> unit
+val blit_of_bytes : bytes -> int -> buf -> int -> int -> unit
+
+module Writer : sig
+  (** Writes directly into a slice of the mapped region; [Overflow] on
+      running past the slice, mirroring [Codec.Writer]. *)
+
+  type t
+
+  val create : buf -> off:int -> len:int -> t
+  (** Writer over [len] bytes of [buf] starting at absolute offset [off].
+      Positions reported by {!pos} are relative to [off]. *)
+
+  val pos : t -> int
+  val u8 : t -> int -> unit
+  val i32 : t -> int -> unit
+  val i64 : t -> int -> unit
+  val bool : t -> bool -> unit
+end
+
+module Reader : sig
+  (** Reads directly out of a slice of the mapped region. *)
+
+  type t
+
+  val create : buf -> off:int -> len:int -> t
+  val pos : t -> int
+  val u8 : t -> int
+  val i32 : t -> int
+  val i64 : t -> int
+  val bool : t -> bool
+end

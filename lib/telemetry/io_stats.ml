@@ -12,6 +12,10 @@ type snapshot = {
   read_only_transitions : int;
   pages_reclaimed : int;
   vacuum_steps : int;
+  mapped_reads : int;
+  mapped_writes : int;
+  msyncs : int;
+  readaheads : int;
 }
 
 (* Atomic fields: one [t] may be charged from several domains at once
@@ -33,6 +37,10 @@ type t = {
   n_read_only_transitions : int Atomic.t;
   n_pages_reclaimed : int Atomic.t;
   n_vacuum_steps : int Atomic.t;
+  n_mapped_reads : int Atomic.t;
+  n_mapped_writes : int Atomic.t;
+  n_msyncs : int Atomic.t;
+  n_readaheads : int Atomic.t;
 }
 
 let create () =
@@ -50,6 +58,10 @@ let create () =
     n_read_only_transitions = Atomic.make 0;
     n_pages_reclaimed = Atomic.make 0;
     n_vacuum_steps = Atomic.make 0;
+    n_mapped_reads = Atomic.make 0;
+    n_mapped_writes = Atomic.make 0;
+    n_msyncs = Atomic.make 0;
+    n_readaheads = Atomic.make 0;
   }
 
 let reads t = Atomic.get t.n_reads
@@ -65,6 +77,10 @@ let retries t = Atomic.get t.n_retries
 let read_only_transitions t = Atomic.get t.n_read_only_transitions
 let pages_reclaimed t = Atomic.get t.n_pages_reclaimed
 let vacuum_steps t = Atomic.get t.n_vacuum_steps
+let mapped_reads t = Atomic.get t.n_mapped_reads
+let mapped_writes t = Atomic.get t.n_mapped_writes
+let msyncs t = Atomic.get t.n_msyncs
+let readaheads t = Atomic.get t.n_readaheads
 
 (* Frees are page disposals, charged as I/Os like reads and writes; see
    the .mli preamble for the I/O-versus-event classification. *)
@@ -82,6 +98,10 @@ let record_retry t = Atomic.incr t.n_retries
 let record_read_only_transition t = Atomic.incr t.n_read_only_transitions
 let record_pages_reclaimed t n = if n <> 0 then ignore (Atomic.fetch_and_add t.n_pages_reclaimed n)
 let record_vacuum_step t = Atomic.incr t.n_vacuum_steps
+let record_mapped_read t = Atomic.incr t.n_mapped_reads
+let record_mapped_write t = Atomic.incr t.n_mapped_writes
+let record_msync_ranges t n = if n <> 0 then ignore (Atomic.fetch_and_add t.n_msyncs n)
+let record_readaheads t n = if n <> 0 then ignore (Atomic.fetch_and_add t.n_readaheads n)
 
 let reset t =
   Atomic.set t.n_reads 0;
@@ -96,7 +116,11 @@ let reset t =
   Atomic.set t.n_retries 0;
   Atomic.set t.n_read_only_transitions 0;
   Atomic.set t.n_pages_reclaimed 0;
-  Atomic.set t.n_vacuum_steps 0
+  Atomic.set t.n_vacuum_steps 0;
+  Atomic.set t.n_mapped_reads 0;
+  Atomic.set t.n_mapped_writes 0;
+  Atomic.set t.n_msyncs 0;
+  Atomic.set t.n_readaheads 0
 
 let snapshot t : snapshot =
   {
@@ -113,6 +137,10 @@ let snapshot t : snapshot =
     read_only_transitions = read_only_transitions t;
     pages_reclaimed = pages_reclaimed t;
     vacuum_steps = vacuum_steps t;
+    mapped_reads = mapped_reads t;
+    mapped_writes = mapped_writes t;
+    msyncs = msyncs t;
+    readaheads = readaheads t;
   }
 
 (* [add] and [diff] share this combinator so a counter added to the
@@ -133,6 +161,10 @@ let map2 f (a : snapshot) (b : snapshot) : snapshot =
     read_only_transitions = f a.read_only_transitions b.read_only_transitions;
     pages_reclaimed = f a.pages_reclaimed b.pages_reclaimed;
     vacuum_steps = f a.vacuum_steps b.vacuum_steps;
+    mapped_reads = f a.mapped_reads b.mapped_reads;
+    mapped_writes = f a.mapped_writes b.mapped_writes;
+    msyncs = f a.msyncs b.msyncs;
+    readaheads = f a.readaheads b.readaheads;
   }
 
 let add = map2 ( + )
@@ -153,6 +185,10 @@ let zero =
     read_only_transitions = 0;
     pages_reclaimed = 0;
     vacuum_steps = 0;
+    mapped_reads = 0;
+    mapped_writes = 0;
+    msyncs = 0;
+    readaheads = 0;
   }
 
 let merge = List.fold_left add zero
@@ -171,7 +207,11 @@ let absorb t (s : snapshot) =
   bump t.n_retries s.retries;
   bump t.n_read_only_transitions s.read_only_transitions;
   bump t.n_pages_reclaimed s.pages_reclaimed;
-  bump t.n_vacuum_steps s.vacuum_steps
+  bump t.n_vacuum_steps s.vacuum_steps;
+  bump t.n_mapped_reads s.mapped_reads;
+  bump t.n_mapped_writes s.mapped_writes;
+  bump t.n_msyncs s.msyncs;
+  bump t.n_readaheads s.readaheads
 
 let snapshot_total_io (s : snapshot) = s.reads + s.writes + s.frees
 
@@ -190,6 +230,11 @@ let pp_robustness ppf ~injected ~retries ~ro =
     Format.fprintf ppf " errors_injected=%d retries=%d read_only_transitions=%d"
       injected retries ro
 
+let pp_mapped ppf ~mreads ~mwrites ~msyncs ~readaheads =
+  if mreads > 0 || mwrites > 0 || msyncs > 0 || readaheads > 0 then
+    Format.fprintf ppf " mapped_reads=%d mapped_writes=%d msyncs=%d readaheads=%d" mreads
+      mwrites msyncs readaheads
+
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf "reads=%d writes=%d allocs=%d frees=%d syncs=%d%a%a" s.reads s.writes
     s.allocs s.frees s.syncs
@@ -200,6 +245,8 @@ let pp_snapshot ppf (s : snapshot) =
       pp_robustness ppf ~injected:s.errors_injected ~retries:s.retries
         ~ro:s.read_only_transitions)
     ();
-  pp_vacuum ppf ~reclaimed:s.pages_reclaimed ~steps:s.vacuum_steps
+  pp_vacuum ppf ~reclaimed:s.pages_reclaimed ~steps:s.vacuum_steps;
+  pp_mapped ppf ~mreads:s.mapped_reads ~mwrites:s.mapped_writes ~msyncs:s.msyncs
+    ~readaheads:s.readaheads
 
 let pp ppf t = pp_snapshot ppf (snapshot t)

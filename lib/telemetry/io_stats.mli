@@ -85,6 +85,28 @@ val pages_reclaimed : t -> int
 val vacuum_steps : t -> int
 (** Event — bounded compaction steps executed by vacuum. *)
 
+val mapped_reads : t -> int
+(** Event — page reads served by decoding straight out of a memory
+    mapping ([Mmap] stores).  Each is {e also} charged as a [read] — the
+    logical page transfer the cost model and the Theorem-1/2 bound
+    checker count — so mapped stores stay comparable with file stores;
+    this counter isolates how many of those transfers were zero-copy. *)
+
+val mapped_writes : t -> int
+(** Event — page writes encoded straight into a memory mapping.  Each is
+    also charged as a [write]; see {!mapped_reads}. *)
+
+val msyncs : t -> int
+(** Event — coalesced dirty ranges pushed to the platter by [msync]
+    (or the buffered-arena equivalent).  A durability cost like [syncs],
+    but counted per range: one sync barrier over a fragmented dirty set
+    costs more than over a sequential one. *)
+
+val readaheads : t -> int
+(** Event — pages hinted to the kernel ahead of a root-to-leaf descent
+    ([posix_madvise(WILLNEED)] or a pool prefetch).  Advisory: no
+    guaranteed transfer, so never part of {!total_io}. *)
+
 val total_io : t -> int
 (** [reads + writes + frees] — every operation charged as a page I/O
     (see the module preamble for the classification). *)
@@ -106,6 +128,16 @@ val record_pages_reclaimed : t -> int -> unit
     bump (vacuum reclaims in batches). *)
 
 val record_vacuum_step : t -> unit
+val record_mapped_read : t -> unit
+val record_mapped_write : t -> unit
+
+val record_msync_ranges : t -> int -> unit
+(** [record_msync_ranges t n] adds the [n] ranges one sync barrier
+    flushed in one atomic bump. *)
+
+val record_readaheads : t -> int -> unit
+(** [record_readaheads t n] adds the [n] pages one batched descent
+    prefetch hinted. *)
 
 val reset : t -> unit
 (** Zero all counters. *)
@@ -124,6 +156,10 @@ type snapshot = {
   read_only_transitions : int;
   pages_reclaimed : int;
   vacuum_steps : int;
+  mapped_reads : int;
+  mapped_writes : int;
+  msyncs : int;
+  readaheads : int;
 }
 
 val zero : snapshot

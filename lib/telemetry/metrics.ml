@@ -170,7 +170,11 @@ let absorb_io_stats t ?(prefix = "io_") (s : Io_stats.snapshot) =
   set "retries" s.retries;
   set "read_only_transitions" s.read_only_transitions;
   set "pages_reclaimed" s.pages_reclaimed;
-  set "vacuum_steps" s.vacuum_steps
+  set "vacuum_steps" s.vacuum_steps;
+  set "mapped_reads" s.mapped_reads;
+  set "mapped_writes" s.mapped_writes;
+  set "msyncs" s.msyncs;
+  set "readaheads" s.readaheads
 
 let sanitize name =
   String.map

@@ -1,0 +1,369 @@
+(* Storage-engine tests: Zcodec/Codec byte equivalence, the mmap arena
+   (both backings), the Mmap page store, cross-backend engine
+   equivalence (Memory/File/Mmap answer and checkpoint identically), and
+   the crash matrices over an mmap-backed working set. *)
+
+module Zc = Storage.Zcodec
+module A = Storage.Arena
+module M = Storage.Vfs.Memory
+
+let make_buf n : Zc.buf =
+  let b = Bigarray.Array1.create Bigarray.char Bigarray.c_layout n in
+  Bigarray.Array1.fill b '\000';
+  b
+
+let buf_to_bytes (b : Zc.buf) =
+  let n = Bigarray.Array1.dim b in
+  let out = Bytes.create n in
+  Zc.blit_to_bytes b 0 out 0 n;
+  out
+
+(* A value sequence hitting the interesting encodings: zero, sign
+   boundaries, full-width 32-bit edges, and 64-bit values. *)
+let probe_values =
+  [ 0; 1; -1; 127; 128; 255; 256; -256; 0x7fffffff; -0x80000000; 42 ]
+
+let test_zcodec_codec_equivalence () =
+  let size = 256 in
+  (* Same sequence through both writers... *)
+  let cw = Storage.Codec.Writer.create size in
+  let zb = make_buf size in
+  let zw = Zc.Writer.create zb ~off:0 ~len:size in
+  List.iter
+    (fun v ->
+      Storage.Codec.Writer.u8 cw (v land 0xff);
+      Zc.Writer.u8 zw (v land 0xff);
+      if v >= -0x80000000 && v <= 0x7fffffff then begin
+        Storage.Codec.Writer.i32 cw v;
+        Zc.Writer.i32 zw v
+      end;
+      Storage.Codec.Writer.i64 cw (v * 1_000_003);
+      Zc.Writer.i64 zw (v * 1_000_003);
+      Storage.Codec.Writer.bool cw (v land 1 = 0);
+      Zc.Writer.bool zw (v land 1 = 0))
+    probe_values;
+  Alcotest.(check int) "positions agree" (Storage.Codec.Writer.pos cw) (Zc.Writer.pos zw);
+  (* ... must produce identical bytes, *)
+  let cb = Storage.Codec.Writer.contents cw in
+  Alcotest.(check bytes) "identical encodings" cb (buf_to_bytes zb);
+  (* identical CRCs, *)
+  Alcotest.(check int) "crc32 agrees"
+    (Storage.Codec.crc32 cb ~pos:0 ~len:size)
+    (Zc.crc32 zb ~pos:0 ~len:size);
+  (* and cross-read: each reader decodes the other's buffer. *)
+  let cr = Storage.Codec.Reader.create (buf_to_bytes zb) in
+  let zb2 = make_buf size in
+  Zc.blit_of_bytes cb 0 zb2 0 size;
+  let zr = Zc.Reader.create zb2 ~off:0 ~len:size in
+  List.iter
+    (fun v ->
+      Alcotest.(check int) "u8" (v land 0xff) (Storage.Codec.Reader.u8 cr);
+      Alcotest.(check int) "z u8" (v land 0xff) (Zc.Reader.u8 zr);
+      if v >= -0x80000000 && v <= 0x7fffffff then begin
+        Alcotest.(check int) "i32" v (Storage.Codec.Reader.i32 cr);
+        Alcotest.(check int) "z i32" v (Zc.Reader.i32 zr)
+      end;
+      Alcotest.(check int) "i64" (v * 1_000_003) (Storage.Codec.Reader.i64 cr);
+      Alcotest.(check int) "z i64" (v * 1_000_003) (Zc.Reader.i64 zr);
+      Alcotest.(check bool) "bool" (v land 1 = 0) (Storage.Codec.Reader.bool cr);
+      Alcotest.(check bool) "z bool" (v land 1 = 0) (Zc.Reader.bool zr))
+    probe_values
+
+(* --- Arena -------------------------------------------------------------------- *)
+
+let fill_block arena ~block ~seed =
+  let bs = A.block_size arena in
+  let buf = A.buffer arena in
+  for i = 0 to bs - 1 do
+    Zc.set_u8 buf ((block * bs) + i) ((seed + (block * 7) + i) land 0xff)
+  done;
+  A.mark_dirty arena ~block
+
+let check_block arena ~block ~seed =
+  let bs = A.block_size arena in
+  let buf = A.buffer arena in
+  let ok = ref true in
+  for i = 0 to bs - 1 do
+    if Zc.get_u8 buf ((block * bs) + i) <> (seed + (block * 7) + i) land 0xff then
+      ok := false
+  done;
+  Alcotest.(check bool) (Printf.sprintf "block %d content" block) true !ok
+
+let arena_lifecycle ~backing ~vfs ~path () =
+  let a =
+    A.create ~initial_blocks:2 ?vfs ~backing ~block_size:64 ~path ~mode:`Create ()
+  in
+  (* grow-by-remap past the initial capacity, then write every block *)
+  A.ensure a ~blocks:9;
+  Alcotest.(check bool) "capacity grew" true (A.capacity_blocks a >= 9);
+  for b = 0 to 8 do
+    fill_block a ~block:b ~seed:11
+  done;
+  Alcotest.(check int) "dirty blocks tracked" 9 (A.dirty_blocks a);
+  A.sync a;
+  Alcotest.(check int) "dirty set cleared" 0 (A.dirty_blocks a);
+  Alcotest.(check bool) "coalesced ranges flushed" true (A.msync_ranges a >= 1);
+  (match A.backing a with
+  | `Map -> Alcotest.(check bool) "growth remapped" true (A.remaps a >= 1)
+  | `Buffered -> ());
+  A.close a;
+  (* reopen and read everything back *)
+  let a2 =
+    A.create ?vfs ~backing ~block_size:64 ~path ~mode:`Reopen ()
+  in
+  Alcotest.(check bool) "reopen sees capacity" true (A.capacity_blocks a2 >= 9);
+  for b = 0 to 8 do
+    check_block a2 ~block:b ~seed:11
+  done;
+  A.close a2
+
+let test_arena_buffered () =
+  let fs = M.create () in
+  arena_lifecycle ~backing:`Buffered ~vfs:(Some (M.vfs fs)) ~path:"arena" ()
+
+let test_arena_mapped () =
+  let path = Filename.temp_file "rta-test-arena" "" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () -> arena_lifecycle ~backing:`Auto ~vfs:None ~path ()
+
+(* --- Mmap page store ---------------------------------------------------------- *)
+
+module Int_list_codec = struct
+  type t = int list
+
+  let encode w v =
+    Zc.Writer.i32 w (List.length v);
+    List.iter (Zc.Writer.i64 w) v
+
+  let decode r =
+    let n = Zc.Reader.i32 r in
+    List.init n (fun _ -> Zc.Reader.i64 r)
+end
+
+module MStore = Storage.Page_store.Mmap (Int_list_codec)
+
+let store_lifecycle ~backing ~vfs ~path () =
+  let stats = Storage.Io_stats.create () in
+  let mk mode = MStore.create ~stats ~page_size:128 ~mode ?vfs ~backing ~path () in
+  let s = mk `Create in
+  let payload i = [ i; i * i; -i ] in
+  let ids =
+    List.init 10 (fun i ->
+        let id = MStore.alloc s in
+        MStore.write s id (payload i);
+        id)
+  in
+  List.iteri
+    (fun i id ->
+      Alcotest.(check (list int)) "round trip" (payload i) (MStore.read s id);
+      Alcotest.(check bool) "crc verifies" true (MStore.verify s id))
+    ids;
+  (* mapped accesses are charged both as I/O and as mapped ops *)
+  Alcotest.(check bool) "mapped reads counted" true
+    (Storage.Io_stats.mapped_reads stats >= 10);
+  Alcotest.(check bool) "mapped writes counted" true
+    (Storage.Io_stats.mapped_writes stats >= 10);
+  (* free one page, corrupt another through the raw-block hatch *)
+  let freed = List.nth ids 3 in
+  MStore.free s freed;
+  Alcotest.(check bool) "freed page gone" false (MStore.mem s freed);
+  let victim = List.nth ids 5 in
+  let block = MStore.read_block s victim in
+  (* byte 12 sits inside the CRC-covered payload (the frame is 8 bytes) *)
+  Bytes.set block 12 (Char.chr (Char.code (Bytes.get block 12) lxor 0xff));
+  MStore.write_block s victim block;
+  Alcotest.(check bool) "corruption detected" false (MStore.verify s victim);
+  (match MStore.read s victim with
+  | exception Storage.Page_store.Corrupt_page _ -> ()
+  | _ -> Alcotest.fail "corrupt page decoded");
+  MStore.sync s;
+  Alcotest.(check bool) "msync ranges recorded" true (Storage.Io_stats.msyncs stats >= 1);
+  MStore.close s;
+  (* reopen: committed pages survive, the freed id stays freed *)
+  let s2 = mk `Reopen in
+  Alcotest.(check bool) "freed survives reopen" false (MStore.mem s2 freed);
+  List.iteri
+    (fun i id ->
+      if id <> freed && id <> victim then
+        Alcotest.(check (list int)) "reopen round trip" (payload i) (MStore.read s2 id))
+    ids;
+  Alcotest.(check bool) "corruption survives reopen" false (MStore.verify s2 victim);
+  (* a fresh alloc never reuses a retired id *)
+  let fresh = MStore.alloc s2 in
+  Alcotest.(check bool) "ids never recycled" true
+    (List.for_all (fun id -> id <> fresh) ids);
+  MStore.close s2
+
+let test_mmap_store_buffered () =
+  let fs = M.create () in
+  store_lifecycle ~backing:`Buffered ~vfs:(Some (M.vfs fs)) ~path:"pages" ()
+
+let test_mmap_store_mapped () =
+  let path = Filename.temp_file "rta-test-mstore" "" in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ path; path ^ ".free" ])
+  @@ fun () -> store_lifecycle ~backing:`Auto ~vfs:None ~path ()
+
+(* --- Cross-backend equivalence ------------------------------------------------ *)
+
+(* One deterministic engine run: the harness's alive-aware script under a
+   given store kind, with a mid-run checkpoint so every flush path
+   executes.  Returns the query answers, the update script it played,
+   and the durable image minus the page-file working set (which is
+   backend-specific by design — it is rebuilt on every open and never a
+   recovery source). *)
+let run_script ~store ~seed ~updates ~max_key =
+  let fs = M.create () in
+  let vfs = M.vfs fs in
+  let eng =
+    Durable.open_ ~sync_policy:(Wal.Every_n 4) ~store ~arena_backing:`Buffered ~vfs
+      ~max_key ~path:"w" ()
+  in
+  let rta = Durable.warehouse eng in
+  let rng = Random.State.make [| seed; 0x3a7e |] in
+  let ups = ref [] in
+  let now = ref 0 in
+  for i = 1 to updates do
+    now := !now + Random.State.int rng 3;
+    let alive = Rta.alive_count rta in
+    let start = Random.State.int rng max_key in
+    (if alive > 0 && (alive >= max_key || Random.State.int rng 3 = 0) then begin
+       let rec find i =
+         let k = (start + i) mod max_key in
+         if Rta.is_alive rta ~key:k then k else find (i + 1)
+       in
+       let key = find 0 in
+       Storage.Storage_error.ok_exn (Durable.delete eng ~key ~at:!now);
+       ups := `Delete (key, !now) :: !ups
+     end
+     else begin
+       let rec find i =
+         let k = (start + i) mod max_key in
+         if Rta.is_alive rta ~key:k then find (i + 1) else k
+       in
+       let key = find 0 in
+       let value = 1 + Random.State.int rng 100 in
+       Storage.Storage_error.ok_exn (Durable.insert eng ~key ~value ~at:!now);
+       ups := `Insert (key, value, !now) :: !ups
+     end);
+    if i = updates / 2 then Storage.Storage_error.ok_exn (Durable.checkpoint eng)
+  done;
+  Storage.Storage_error.ok_exn (Durable.checkpoint eng);
+  let qs =
+    Faultsim.Harness.queries ~max_key ~max_t:(!now + 2) ~seed:(seed + 1) ~count:20
+  in
+  let answers =
+    List.map (fun (klo, khi, tlo, thi) -> Rta.sum_count rta ~klo ~khi ~tlo ~thi) qs
+  in
+  Durable.close eng;
+  let contains_store p =
+    (* the materialized working set lives under "w.store.*" *)
+    let needle = ".store" in
+    let n = String.length needle and l = String.length p in
+    let rec scan i = i + n <= l && (String.sub p i n = needle || scan (i + 1)) in
+    scan 0
+  in
+  let image =
+    List.filter (fun (p, _) -> not (contains_store p)) (M.contents fs)
+  in
+  (answers, List.rev !ups, qs, image)
+
+let oracle_answers ups qs =
+  let w = Reference.Warehouse.create () in
+  List.iter
+    (function
+      | `Insert (key, value, at) -> Reference.Warehouse.insert w ~key ~value ~at
+      | `Delete (key, at) -> Reference.Warehouse.delete w ~key ~at)
+    ups;
+  List.map
+    (fun (klo, khi, tlo, thi) ->
+      ( Reference.Warehouse.rta_sum w ~klo ~khi ~tlo ~thi,
+        Reference.Warehouse.rta_count w ~klo ~khi ~tlo ~thi ))
+    qs
+
+let prop_backends_agree =
+  QCheck.Test.make ~count:15 ~name:"memory/file/mmap engines are indistinguishable"
+    QCheck.(pair (int_range 1 1000) (int_range 20 60))
+    (fun (seed, updates) ->
+      let max_key = 12 in
+      let mem = run_script ~store:Storage.Store_kind.Memory ~seed ~updates ~max_key in
+      let file = run_script ~store:Storage.Store_kind.File ~seed ~updates ~max_key in
+      let mmap = run_script ~store:Storage.Store_kind.Mmap ~seed ~updates ~max_key in
+      let answers (a, _, _, _) = a
+      and ups (_, u, _, _) = u
+      and qs (_, _, q, _) = q
+      and image (_, _, _, i) = i in
+      (* identical scripts (the generator is backend-blind)... *)
+      if ups file <> ups mem || ups mmap <> ups mem then
+        QCheck.Test.fail_report "backends played different scripts";
+      (* ...identical, oracle-exact answers... *)
+      let want = oracle_answers (ups mem) (qs mem) in
+      if answers mem <> want then QCheck.Test.fail_report "memory diverges from oracle";
+      if answers file <> want then QCheck.Test.fail_report "file diverges from oracle";
+      if answers mmap <> want then QCheck.Test.fail_report "mmap diverges from oracle";
+      (* ...and byte-identical durable images (WAL, checkpoint snapshots,
+         pointer — everything but the rebuilt-on-open working set). *)
+      if image file <> image mem then
+        QCheck.Test.fail_report "file checkpoint image differs from memory";
+      if image mmap <> image mem then
+        QCheck.Test.fail_report "mmap checkpoint image differs from memory";
+      true)
+
+(* --- Crash matrices over the mmap working set --------------------------------- *)
+
+(* Explorer tears the journal at every boundary, which for the mmap
+   store includes its buffered-arena block flushes and header commits —
+   the msync/remap analogue on the journaled filesystem.  Recovery must
+   shrug all of it off (the working set is never a recovery source). *)
+let test_crash_matrix_mmap () =
+  let trace =
+    Faultsim.Harness.run_trace ~store:Storage.Store_kind.Mmap ~checkpoint_every:20
+      ~updates:40 ~max_key:10 ()
+  in
+  let r = Faultsim.Harness.check ~limit:60 trace in
+  (match r.Faultsim.Harness.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "crash matrix violation: %s"
+        (Format.asprintf "%a" Faultsim.Harness.pp_violation v));
+  Alcotest.(check bool) "checked a real sample" true (r.Faultsim.Harness.checked >= 30)
+
+let test_vacuum_matrix_mmap () =
+  let trace =
+    Faultsim.Vacuum_matrix.run_trace ~store:Storage.Store_kind.Mmap ~updates:50
+      ~max_key:10 ()
+  in
+  let r = Faultsim.Vacuum_matrix.check ~limit:25 trace in
+  (match r.Faultsim.Vacuum_matrix.violations with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "vacuum matrix violation: %s"
+        (Format.asprintf "%a" Faultsim.Vacuum_matrix.pp_violation v));
+  Alcotest.(check bool) "checked a real sample" true
+    (r.Faultsim.Vacuum_matrix.checked >= 15)
+
+let () =
+  Alcotest.run "arena"
+    [
+      ( "zcodec",
+        [ Alcotest.test_case "codec equivalence" `Quick test_zcodec_codec_equivalence ] );
+      ( "arena",
+        [
+          Alcotest.test_case "buffered lifecycle" `Quick test_arena_buffered;
+          Alcotest.test_case "mapped lifecycle" `Quick test_arena_mapped;
+        ] );
+      ( "mmap-store",
+        [
+          Alcotest.test_case "buffered lifecycle" `Quick test_mmap_store_buffered;
+          Alcotest.test_case "mapped lifecycle" `Quick test_mmap_store_mapped;
+        ] );
+      ( "cross-backend",
+        [ QCheck_alcotest.to_alcotest prop_backends_agree ] );
+      ( "crash-matrix",
+        [
+          Alcotest.test_case "mmap store" `Slow test_crash_matrix_mmap;
+          Alcotest.test_case "mmap store vacuum" `Slow test_vacuum_matrix_mmap;
+        ] );
+    ]

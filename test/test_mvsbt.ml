@@ -254,6 +254,8 @@ let test_durable_mvsbt_direct () =
     let max_size = 8
     let encode w v = Storage.Codec.Writer.i64 w v
     let decode rd = Storage.Codec.Reader.i64 rd
+    let zencode w v = Storage.Zcodec.Writer.i64 w v
+    let zdecode rd = Storage.Zcodec.Reader.i64 rd
   end) in
   let config = mk_config ~b:8 ~f:0.75 () in
   let path = Filename.temp_file "mvsbt_pages" ".db" in

@@ -41,39 +41,73 @@ let test_mem_store () =
   Alcotest.(check bool) "no id reuse" false (Storage.Page_id.equal a c)
 
 let test_lru_eviction_order () =
-  let l = Storage.Lru.create ~capacity:2 in
-  Alcotest.(check (option (pair int string))) "no evict 1" None (Storage.Lru.add l 1 "a");
-  Alcotest.(check (option (pair int string))) "no evict 2" None (Storage.Lru.add l 2 "b");
+  let l = Storage.Evict.create ~capacity:2 () in
+  Alcotest.(check (option (pair int string))) "no evict 1" None (Storage.Evict.add l 1 "a");
+  Alcotest.(check (option (pair int string))) "no evict 2" None (Storage.Evict.add l 2 "b");
   (* Touch 1 so 2 becomes LRU. *)
-  Alcotest.(check (option string)) "find 1" (Some "a") (Storage.Lru.find l 1);
+  Alcotest.(check (option string)) "find 1" (Some "a") (Storage.Evict.find l 1);
   Alcotest.(check (option (pair int string))) "evicts 2" (Some (2, "b"))
-    (Storage.Lru.add l 3 "c");
-  Alcotest.(check int) "length" 2 (Storage.Lru.length l);
-  Alcotest.(check bool) "1 kept" true (Storage.Lru.mem l 1);
+    (Storage.Evict.add l 3 "c");
+  Alcotest.(check int) "length" 2 (Storage.Evict.length l);
+  Alcotest.(check bool) "1 kept" true (Storage.Evict.mem l 1);
   (* peek must not refresh recency. *)
-  Alcotest.(check (option string)) "peek 1" (Some "a") (Storage.Lru.peek l 1);
-  ignore (Storage.Lru.find l 3);
+  Alcotest.(check (option string)) "peek 1" (Some "a") (Storage.Evict.peek l 1);
+  ignore (Storage.Evict.find l 3);
   Alcotest.(check (option (pair int string))) "evicts 1 (peek did not touch)"
     (Some (1, "a"))
-    (Storage.Lru.add l 4 "d")
+    (Storage.Evict.add l 4 "d")
 
 let test_lru_replace_and_remove () =
-  let l = Storage.Lru.create ~capacity:2 in
-  ignore (Storage.Lru.add l 1 "a");
-  ignore (Storage.Lru.add l 1 "a2");
-  Alcotest.(check int) "replace keeps one entry" 1 (Storage.Lru.length l);
-  Alcotest.(check (option string)) "replaced" (Some "a2") (Storage.Lru.find l 1);
-  Alcotest.(check (option string)) "remove" (Some "a2") (Storage.Lru.remove l 1);
-  Alcotest.(check int) "empty" 0 (Storage.Lru.length l);
-  Alcotest.(check (option string)) "remove missing" None (Storage.Lru.remove l 1)
+  let l = Storage.Evict.create ~capacity:2 () in
+  ignore (Storage.Evict.add l 1 "a");
+  ignore (Storage.Evict.add l 1 "a2");
+  Alcotest.(check int) "replace keeps one entry" 1 (Storage.Evict.length l);
+  Alcotest.(check (option string)) "replaced" (Some "a2") (Storage.Evict.find l 1);
+  Alcotest.(check (option string)) "remove" (Some "a2") (Storage.Evict.remove l 1);
+  Alcotest.(check int) "empty" 0 (Storage.Evict.length l);
+  Alcotest.(check (option string)) "remove missing" None (Storage.Evict.remove l 1)
+
+let test_second_chance_gives_a_lap () =
+  let l = Storage.Evict.create ~policy:Storage.Evict.Second_chance ~capacity:2 () in
+  ignore (Storage.Evict.add l 1 "a");
+  ignore (Storage.Evict.add l 2 "b");
+  (* Reference 1: the clock hand must clear its bit and take 2 instead. *)
+  ignore (Storage.Evict.find l 1);
+  Alcotest.(check (option (pair int string))) "spares referenced 1" (Some (2, "b"))
+    (Storage.Evict.add l 3 "c");
+  (* 1's bit was spent sparing it; with nothing referenced, the coldest
+     unreferenced entry goes. *)
+  Alcotest.(check bool) "1 still resident" true (Storage.Evict.mem l 1);
+  let evicted = Storage.Evict.add l 4 "d" in
+  Alcotest.(check bool) "second add evicts someone" true (evicted <> None)
+
+let test_evict_pinning () =
+  List.iter
+    (fun policy ->
+      let name s = s ^ " (" ^ Storage.Evict.policy_name policy ^ ")" in
+      let l = Storage.Evict.create ~policy ~capacity:2 () in
+      ignore (Storage.Evict.add l 1 "a");
+      ignore (Storage.Evict.add l 2 "b");
+      Storage.Evict.pin l 1;
+      Storage.Evict.pin l 2;
+      (* Everything pinned: the cache overcommits rather than evicting. *)
+      Alcotest.(check (option (pair int string))) (name "overcommit") None
+        (Storage.Evict.add l 3 "c");
+      Alcotest.(check int) (name "grew past capacity") 3 (Storage.Evict.length l);
+      (* The one unpinned entry is the only possible victim. *)
+      Alcotest.(check (option (pair int string))) (name "evicts unpinned") (Some (3, "c"))
+        (Storage.Evict.add l 4 "d");
+      Storage.Evict.unpin l 1;
+      Alcotest.(check int) (name "pinned count") 1 (Storage.Evict.pinned l))
+    [ Storage.Evict.Lru; Storage.Evict.Second_chance ]
 
 let prop_lru_against_model =
   (* Compare against a naive list-based LRU model under random ops. *)
-  QCheck.Test.make ~name:"lru matches naive model" ~count:200
+  QCheck.Test.make ~name:"evict-lru matches naive model" ~count:200
     QCheck.(list (pair (int_range 0 9) (int_range 0 2)))
     (fun ops ->
       let capacity = 3 in
-      let l = Storage.Lru.create ~capacity in
+      let l = Storage.Evict.create ~capacity () in
       let model = ref [] (* most recent first: (key, value) *) in
       let model_find k =
         match List.assoc_opt k !model with
@@ -99,13 +133,49 @@ let prop_lru_against_model =
       List.for_all
         (fun (k, op) ->
           match op with
-          | 0 -> Storage.Lru.find l k = model_find k
-          | 1 -> Storage.Lru.add l k (string_of_int k) = model_add k (string_of_int k)
+          | 0 -> Storage.Evict.find l k = model_find k
+          | 1 -> Storage.Evict.add l k (string_of_int k) = model_add k (string_of_int k)
           | _ ->
-              let a = Storage.Lru.remove l k in
+              let a = Storage.Evict.remove l k in
               let b = List.assoc_opt k !model in
               model := List.remove_assoc k !model;
               a = b)
+        ops)
+
+let prop_evict_never_evicts_pinned =
+  (* Under random add/find/pin/unpin traffic, no eviction under either
+     policy may ever name a currently pinned key. *)
+  QCheck.Test.make ~name:"evict respects pins (both policies)" ~count:300
+    QCheck.(pair bool (list (pair (int_range 0 7) (int_range 0 3))))
+    (fun (second_chance, ops) ->
+      let policy =
+        if second_chance then Storage.Evict.Second_chance else Storage.Evict.Lru
+      in
+      let l = Storage.Evict.create ~policy ~capacity:3 () in
+      let pins = Hashtbl.create 8 in
+      let pin_count k = Option.value ~default:0 (Hashtbl.find_opt pins k) in
+      List.for_all
+        (fun (k, op) ->
+          match op with
+          | 0 -> (
+              match Storage.Evict.add l k (string_of_int k) with
+              | None -> true
+              | Some (victim, _) -> pin_count victim = 0)
+          | 1 ->
+              ignore (Storage.Evict.find l k);
+              true
+          | 2 ->
+              if Storage.Evict.mem l k then begin
+                Storage.Evict.pin l k;
+                Hashtbl.replace pins k (pin_count k + 1)
+              end;
+              true
+          | _ ->
+              if pin_count k > 0 && Storage.Evict.mem l k then begin
+                Storage.Evict.unpin l k;
+                Hashtbl.replace pins k (pin_count k - 1)
+              end;
+              true)
         ops)
 
 let test_buffer_pool_caching () =
@@ -322,11 +392,14 @@ let () =
           Alcotest.test_case "file store reopen freed" `Quick test_file_store_reopen_freed;
           Alcotest.test_case "cost model" `Quick test_cost_model;
         ] );
-      ( "lru",
+      ( "evict",
         [
-          Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
+          Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
           Alcotest.test_case "replace/remove" `Quick test_lru_replace_and_remove;
+          Alcotest.test_case "second-chance lap" `Quick test_second_chance_gives_a_lap;
+          Alcotest.test_case "pinning" `Quick test_evict_pinning;
           QCheck_alcotest.to_alcotest prop_lru_against_model;
+          QCheck_alcotest.to_alcotest prop_evict_never_evicts_pinned;
         ] );
       ( "buffer-pool",
         [
