@@ -86,11 +86,15 @@ let create ?(initial_blocks = 64) ?(vfs = Vfs.os) ~backing ~block_size ~path ~mo
     let bytes = cap_blocks * block_size in
     let data = ba_create bytes in
     Bigarray.Array1.fill data '\000';
-    (* Pull the durable image into the RAM "mapping". *)
+    (* Pull the durable image into the RAM "mapping".  Clamp to the
+       buffer: a crash can leave a torn trailing partial block, which
+       [cap_blocks] rounds down past — drop it, as [Page_store.File]
+       drops a torn trailing page. *)
+    let limit = min size bytes in
     let buf = Bytes.create 65536 in
     let rec pull off =
-      if off < size then begin
-        let n = file.Vfs.f_pread off buf 0 (min 65536 (size - off)) in
+      if off < limit then begin
+        let n = file.Vfs.f_pread off buf 0 (min 65536 (limit - off)) in
         if n > 0 then begin
           Zcodec.blit_of_bytes buf 0 data off n;
           pull (off + n)

@@ -49,7 +49,10 @@ module Make (Store : Page_store.S) = struct
     (match Evict.add t.cache id entry with
     | None -> ()
     | Some (evicted_id, evicted) -> write_back t evicted_id evicted);
-    if intent t id > 0 then Evict.pin t.cache id
+    (* Apply the pin intent only if the entry is not already pinned in the
+       index: [Evict.add] on a resident key updates in place, and re-pinning
+       there would leak a pin [unpin] (intent 1 -> 0) never releases. *)
+    if intent t id > 0 && Evict.pin_count t.cache id = 0 then Evict.pin t.cache id
 
   let read t id =
     t.touches <- t.touches + 1;

@@ -474,11 +474,16 @@ module Mmap (C : ZPAGE_CODEC) = struct
   let offset t id = block_of id * t.page_size
 
   let check_block t buf ~off =
-    let len = Zcodec.get_i32 buf off in
-    if len < 0 || len > t.page_size - block_overhead then false
+    (* A committed id whose block lies beyond the mapped capacity (file
+       truncated out from under the header) is corruption, not a codec
+       range error. *)
+    if off < 0 || off + t.page_size > Bigarray.Array1.dim buf then false
     else
-      let crc = Zcodec.get_i32 buf (off + 4) land 0xFFFFFFFF in
-      Zcodec.crc32 buf ~pos:(off + block_overhead) ~len = crc
+      let len = Zcodec.get_i32 buf off in
+      if len < 0 || len > t.page_size - block_overhead then false
+      else
+        let crc = Zcodec.get_i32 buf (off + 4) land 0xFFFFFFFF in
+        Zcodec.crc32 buf ~pos:(off + block_overhead) ~len = crc
 
   let page_attr id () = [ ("page", Telemetry.Tracer.Int (Page_id.to_int id)) ]
 

@@ -126,6 +126,37 @@ let test_arena_mapped () =
   Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
   @@ fun () -> arena_lifecycle ~backing:`Auto ~vfs:None ~path ()
 
+let test_arena_buffered_torn_tail () =
+  (* A crash can leave the file with a torn trailing partial block.
+     Buffered reopen must drop the tail (as Page_store.File drops a torn
+     trailing page) rather than fail pulling more bytes than the
+     rounded-down buffer holds. *)
+  let fs = M.create () in
+  let vfs = M.vfs fs in
+  let a =
+    A.create ~initial_blocks:2 ~vfs ~backing:`Buffered ~block_size:64 ~path:"arena"
+      ~mode:`Create ()
+  in
+  A.ensure a ~blocks:9;
+  for b = 0 to 8 do
+    fill_block a ~block:b ~seed:23
+  done;
+  A.sync a;
+  A.close a;
+  (* Append a partial block past the last full one. *)
+  let f = vfs.Storage.Vfs.v_open `Reopen "arena" in
+  let size = f.Storage.Vfs.f_size () in
+  f.Storage.Vfs.f_pwrite size (Bytes.make 10 '\xAB') 0 10;
+  f.Storage.Vfs.f_close ();
+  let a2 =
+    A.create ~initial_blocks:2 ~vfs ~backing:`Buffered ~block_size:64 ~path:"arena"
+      ~mode:`Reopen ()
+  in
+  for b = 0 to 8 do
+    check_block a2 ~block:b ~seed:23
+  done;
+  A.close a2
+
 (* --- Mmap page store ---------------------------------------------------------- *)
 
 module Int_list_codec = struct
@@ -197,6 +228,42 @@ let store_lifecycle ~backing ~vfs ~path () =
 let test_mmap_store_buffered () =
   let fs = M.create () in
   store_lifecycle ~backing:`Buffered ~vfs:(Some (M.vfs fs)) ~path:"pages" ()
+
+let test_mmap_store_truncated_arena () =
+  (* A committed id whose block lies beyond the mapped capacity (the
+     arena file truncated out from under the header) must surface as
+     Corrupt_page with a recorded CRC failure, not a raw codec range
+     error. *)
+  let fs = M.create () in
+  let vfs = M.vfs fs in
+  let stats = Storage.Io_stats.create () in
+  let mk mode =
+    MStore.create ~stats ~page_size:128 ~mode ~vfs ~backing:`Buffered ~path:"pages" ()
+  in
+  let s = mk `Create in
+  (* Enough pages that the arena grows past its default 64-block initial
+     capacity, so a truncated reopen maps fewer blocks than committed. *)
+  let ids =
+    List.init 70 (fun i ->
+        let id = MStore.alloc s in
+        MStore.write s id [ i ];
+        id)
+  in
+  MStore.sync s;
+  MStore.close s;
+  let f = vfs.Storage.Vfs.v_open `Reopen "pages" in
+  f.Storage.Vfs.f_truncate (64 * 128);
+  f.Storage.Vfs.f_close ();
+  let s2 = mk `Reopen in
+  let last = List.nth ids 69 in
+  let failures_before = Storage.Io_stats.crc_failures stats in
+  Alcotest.(check bool) "out-of-range block fails verify" false (MStore.verify s2 last);
+  (match MStore.read s2 last with
+  | exception Storage.Page_store.Corrupt_page _ -> ()
+  | _ -> Alcotest.fail "truncated-away block decoded");
+  Alcotest.(check bool) "crc failures recorded" true
+    (Storage.Io_stats.crc_failures stats > failures_before);
+  MStore.close s2
 
 let test_mmap_store_mapped () =
   let path = Filename.temp_file "rta-test-mstore" "" in
@@ -353,11 +420,13 @@ let () =
         [
           Alcotest.test_case "buffered lifecycle" `Quick test_arena_buffered;
           Alcotest.test_case "mapped lifecycle" `Quick test_arena_mapped;
+          Alcotest.test_case "torn trailing block" `Quick test_arena_buffered_torn_tail;
         ] );
       ( "mmap-store",
         [
           Alcotest.test_case "buffered lifecycle" `Quick test_mmap_store_buffered;
           Alcotest.test_case "mapped lifecycle" `Quick test_mmap_store_mapped;
+          Alcotest.test_case "truncated arena" `Quick test_mmap_store_truncated_arena;
         ] );
       ( "cross-backend",
         [ QCheck_alcotest.to_alcotest prop_backends_agree ] );

@@ -211,6 +211,29 @@ let test_buffer_pool_flush () =
   Alcotest.(check string) "read after drop is physical" "A" (Pool.read pool a);
   Alcotest.(check int) "one read" 1 (Storage.Io_stats.reads stats)
 
+let test_buffer_pool_pinned_rewrite () =
+  (* Regression: rewriting a resident pinned page (the Mvsbt root path)
+     must not stack an extra Evict pin per write — one unpin must make
+     the page evictable again. *)
+  let store = Mem.create () in
+  let pool = Pool.create ~capacity:2 store in
+  let a = Pool.alloc pool in
+  Pool.write pool a "A0";
+  Pool.pin pool a;
+  Pool.write pool a "A1";
+  Pool.write pool a "A2";
+  Alcotest.(check int) "one pin intent" 1 (Pool.pin_count pool a);
+  Alcotest.(check int) "one resident pin" 1 (Pool.pinned pool);
+  Pool.unpin pool a;
+  Alcotest.(check int) "intent released" 0 (Pool.pin_count pool a);
+  Alcotest.(check int) "no leaked pins" 0 (Pool.pinned pool);
+  (* The formerly pinned page must be evictable: fill the pool past it. *)
+  let b = Pool.alloc pool and c = Pool.alloc pool in
+  Pool.write pool b "B";
+  Pool.write pool c "C";
+  Alcotest.(check bool) "a evicted after unpin" false (Pool.resident pool a);
+  Alcotest.(check string) "a written back on eviction" "A2" (Pool.read pool a)
+
 let test_codec_roundtrip () =
   let w = Storage.Codec.Writer.create 64 in
   Storage.Codec.Writer.u8 w 200;
@@ -405,6 +428,7 @@ let () =
         [
           Alcotest.test_case "caching" `Quick test_buffer_pool_caching;
           Alcotest.test_case "flush" `Quick test_buffer_pool_flush;
+          Alcotest.test_case "pinned rewrite" `Quick test_buffer_pool_pinned_rewrite;
         ] );
       ( "codec",
         [
